@@ -1,0 +1,312 @@
+//! The three comparison platform models.
+//!
+//! Each model reports a component power breakdown at the normalised
+//! comparison rate ([`crate::reference_mac_rate`]). Per-operation energy
+//! constants are documented inline; converter energies scale as `2^bits`
+//! (the classic SAR/capacitor-array law), which is what makes the
+//! electronic platforms grow steeply across Fig. 9's bit-width sweep
+//! while OISA stays nearly flat.
+
+use oisa_memory::model::{MemoryKind, MemoryMacro};
+use oisa_units::Watt;
+use serde::{Deserialize, Serialize};
+
+use crate::{reference_mac_rate, BaselineError, PlatformPower, Result};
+
+fn check_bits(bits: u8) -> Result<()> {
+    if !(1..=4).contains(&bits) {
+        return Err(BaselineError::InvalidParameter(format!(
+            "weight bit-width {bits} outside 1..=4"
+        )));
+    }
+    Ok(())
+}
+
+/// Crosslight-like optical PIS \[18\].
+///
+/// Same photonic fabric class as OISA, with the two structural
+/// differences the paper calls out (§IV):
+///
+/// * **half the rings map activations**, so matching OISA's delivered
+///   rate requires twice the fabric activity per useful MAC;
+/// * activations enter through **DACs** (one conversion per activation
+///   element per arm evaluation) and results leave through **ADCs** (one
+///   conversion per arm result).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrosslightLike {
+    /// Arms in the fabric (matching OISA's 400).
+    pub arms: usize,
+    /// Activation elements per arm result.
+    pub elements_per_arm: usize,
+}
+
+impl Default for CrosslightLike {
+    fn default() -> Self {
+        Self {
+            arms: 400,
+            elements_per_arm: 9,
+        }
+    }
+}
+
+impl CrosslightLike {
+    /// Power breakdown at the reference rate for `[bits : 2]`.
+    ///
+    /// Energy constants: DAC ≈ 3.75 fJ × 2^bits per conversion, ADC ≈
+    /// 28 fJ × 2^bits per conversion (moderate-rate SAR converters),
+    /// optical fabric ≈ 2 × OISA's per-arm optical energy (double ring
+    /// count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidParameter`] for `bits` outside
+    /// 1–4.
+    pub fn power(&self, bits: u8) -> Result<PlatformPower> {
+        check_bits(bits)?;
+        let mac_rate = reference_mac_rate();
+        let arm_rate = mac_rate / self.elements_per_arm as f64;
+        let pow2 = f64::from(1u32 << bits);
+        // Converters.
+        let dac_energy = 3.75e-15 * pow2; // per activation conversion
+        let adc_energy = 28e-15 * pow2; // per arm-result conversion
+        let dac = Watt::new(dac_energy * mac_rate);
+        let adc = Watt::new(adc_energy * arm_rate);
+        // Optical fabric: OISA-class VCSEL/TED/BPD but with doubled ring
+        // count (activation rings) → 2× TED, same VCSEL/BPD.
+        let vcsel = Watt::from_milli(360.0);
+        let ted = Watt::from_milli(2.0 * 4000.0 * 0.1);
+        let bpd = Watt::from_milli(400.0 * 0.5);
+        let misc = Watt::from_milli(120.0);
+        Ok(PlatformPower {
+            platform: "Crosslight-like".into(),
+            components: vec![
+                ("ADC".into(), adc),
+                ("DAC".into(), dac),
+                ("VCSEL".into(), vcsel),
+                ("TED".into(), ted),
+                ("BPD".into(), bpd),
+                ("misc".into(), misc),
+            ],
+        })
+    }
+
+    /// Converter instance counts for Fig. 9's right panel: one ADC per
+    /// arm, one DAC per activation ring.
+    #[must_use]
+    pub fn converter_counts(&self) -> (usize, usize) {
+        (self.arms, self.arms * self.elements_per_arm)
+    }
+}
+
+/// AppCiP-like electronic processing-in-pixel accelerator \[13\].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppCipLike {
+    /// Pixel array side (paper's AppCiP: 32×32; scaled workloads tile
+    /// it).
+    pub array: usize,
+}
+
+impl Default for AppCipLike {
+    fn default() -> Self {
+        Self { array: 32 }
+    }
+}
+
+impl AppCipLike {
+    /// Power breakdown at the reference rate for `[bits : 2]`.
+    ///
+    /// Energy constants per elementwise MAC: analog in-pixel MAC
+    /// 30 + 2.5·bits fJ; folded-ADC 3.75 fJ × 2^bits (shared comparator
+    /// tree, amortised); NVM weight read ≈ 15 fJ (from the NVSim-like
+    /// macro model); array drivers ≈ 5 fJ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidParameter`] for `bits` outside
+    /// 1–4.
+    pub fn power(&self, bits: u8) -> Result<PlatformPower> {
+        check_bits(bits)?;
+        let rate = reference_mac_rate();
+        let pow2 = f64::from(1u32 << bits);
+        let analog_mac = Watt::new((30.0 + 2.5 * f64::from(bits)) * 1e-15 * rate);
+        let adc = Watt::new(3.75e-15 * pow2 * rate);
+        // NVM read amortised per MAC from the macro model (word read
+        // spread over its bits).
+        let nvm = MemoryMacro::new(MemoryKind::Nvm, 45, 4096, u32::from(bits))
+            .map_err(|e| BaselineError::InvalidParameter(e.to_string()))?;
+        let nvm_per_mac = nvm.read_energy().get() / f64::from(bits) / 8.0;
+        let nvm_power = Watt::new(nvm_per_mac * rate);
+        let drivers = Watt::new(5e-15 * rate);
+        Ok(PlatformPower {
+            platform: "AppCiP-like".into(),
+            components: vec![
+                ("ADC".into(), adc),
+                ("analog MAC".into(), analog_mac),
+                ("NVM".into(), nvm_power),
+                ("drivers".into(), drivers),
+            ],
+        })
+    }
+
+    /// Converter counts: one folded ADC per pixel column pair, no DACs.
+    #[must_use]
+    pub fn converter_counts(&self) -> (usize, usize) {
+        (self.array / 2, 0)
+    }
+}
+
+/// DaDianNao-like digital ASIC \[29\] behind a conventional image sensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsicBaseline {
+    /// Tile grid side (paper: 8×8 tiles).
+    pub tiles: usize,
+    /// Sensor side feeding the ASIC (paper: 128×128 with full ADC
+    /// readout).
+    pub sensor: usize,
+}
+
+impl Default for AsicBaseline {
+    fn default() -> Self {
+        Self {
+            tiles: 8,
+            sensor: 128,
+        }
+    }
+}
+
+impl AsicBaseline {
+    /// Power breakdown at the reference rate for `[bits : 2]`.
+    ///
+    /// Energy constants per elementwise MAC: eDRAM traffic ≈ 150 fJ (from
+    /// the macro model's per-bit read energy over a 16-bit operand pair),
+    /// digital MAC ≈ 60 fJ × (bits/4)² (array multiplier scaling), NoC +
+    /// buffers ≈ 50 fJ, sensor ADC chain ≈ 3.75 fJ × 2^8 amortised over
+    /// the ~2300 MACs each pixel feeds (8-bit conversion per pixel).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidParameter`] for `bits` outside
+    /// 1–4.
+    pub fn power(&self, bits: u8) -> Result<PlatformPower> {
+        check_bits(bits)?;
+        let rate = reference_mac_rate();
+        let b = f64::from(bits);
+        let edram = Watt::new(150e-15 * rate);
+        let mac = Watt::new(60e-15 * (b / 4.0) * (b / 4.0) * rate + 15e-15 * rate);
+        let noc = Watt::new(50e-15 * rate);
+        // Per-pixel 8-bit ADC amortised over the MACs one pixel feeds:
+        // 64 kernels × 49 taps / stride² ≈ 2300 → ≈ 0.4 fJ/MAC.
+        let adc = Watt::new(3.75e-15 * 256.0 / 2300.0 * rate);
+        Ok(PlatformPower {
+            platform: "ASIC (DaDianNao-like)".into(),
+            components: vec![
+                ("eDRAM".into(), edram),
+                ("MAC array".into(), mac),
+                ("NoC/buffers".into(), noc),
+                ("ADC".into(), adc),
+            ],
+        })
+    }
+
+    /// Converter counts: one ADC per sensor column, no DACs.
+    #[must_use]
+    pub fn converter_counts(&self) -> (usize, usize) {
+        (self.sensor, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// OISA's compute power at [4:2] from `oisa_core::perf` (kept as a
+    /// constant here to avoid a dependency cycle; the cross-crate
+    /// integration test revalidates it).
+    const OISA_POWER_W_4BIT: f64 = 1.073;
+
+    #[test]
+    fn crosslight_ratio_near_paper() {
+        let p = CrosslightLike::default().power(4).unwrap().total().get();
+        let ratio = p / OISA_POWER_W_4BIT;
+        assert!(
+            (ratio - 8.3).abs() < 1.7,
+            "Crosslight/OISA ratio {ratio} vs paper 8.3"
+        );
+    }
+
+    #[test]
+    fn appcip_ratio_near_paper() {
+        let p = AppCipLike::default().power(4).unwrap().total().get();
+        let ratio = p / OISA_POWER_W_4BIT;
+        assert!(
+            (ratio - 7.9).abs() < 1.6,
+            "AppCiP/OISA ratio {ratio} vs paper 7.9"
+        );
+    }
+
+    #[test]
+    fn asic_ratio_near_paper() {
+        let p = AsicBaseline::default().power(4).unwrap().total().get();
+        let ratio = p / OISA_POWER_W_4BIT;
+        assert!(
+            (ratio - 18.4).abs() < 3.7,
+            "ASIC/OISA ratio {ratio} vs paper 18.4"
+        );
+    }
+
+    #[test]
+    fn orderings_hold_at_all_bit_widths() {
+        for bits in 1..=4u8 {
+            let cl = CrosslightLike::default().power(bits).unwrap().total().get();
+            let ap = AppCipLike::default().power(bits).unwrap().total().get();
+            let asic = AsicBaseline::default().power(bits).unwrap().total().get();
+            assert!(
+                asic > cl && asic > ap,
+                "[{bits},2]: ASIC must be the most power-hungry"
+            );
+            assert!(cl > OISA_POWER_W_4BIT && ap > OISA_POWER_W_4BIT);
+        }
+    }
+
+    #[test]
+    fn electronic_platforms_grow_faster_with_bits_than_crosslight_optics() {
+        let growth = |p1: f64, p4: f64| p4 / p1;
+        let cl = CrosslightLike::default();
+        let ap = AppCipLike::default();
+        let g_cl = growth(
+            cl.power(1).unwrap().total().get(),
+            cl.power(4).unwrap().total().get(),
+        );
+        let g_ap = growth(
+            ap.power(1).unwrap().total().get(),
+            ap.power(4).unwrap().total().get(),
+        );
+        // Converter-dominated platforms steepen with bits.
+        assert!(g_cl > 1.5, "Crosslight growth {g_cl}");
+        assert!(g_ap > 1.2, "AppCiP growth {g_ap}");
+    }
+
+    #[test]
+    fn crosslight_breakdown_dominated_by_converters() {
+        let p = CrosslightLike::default().power(4).unwrap();
+        let converters = p.component("ADC") + p.component("DAC");
+        assert!(
+            converters.get() > 0.5 * p.total().get(),
+            "ADC+DAC should dominate Crosslight at 4 bits"
+        );
+    }
+
+    #[test]
+    fn converter_counts() {
+        assert_eq!(CrosslightLike::default().converter_counts(), (400, 3600));
+        assert_eq!(AppCipLike::default().converter_counts(), (16, 0));
+        assert_eq!(AsicBaseline::default().converter_counts(), (128, 0));
+    }
+
+    #[test]
+    fn bits_validated() {
+        assert!(CrosslightLike::default().power(0).is_err());
+        assert!(AppCipLike::default().power(5).is_err());
+        assert!(AsicBaseline::default().power(9).is_err());
+    }
+}

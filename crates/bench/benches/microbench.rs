@@ -1,0 +1,117 @@
+//! Criterion microbenchmarks over the hot paths behind every figure:
+//! MR transfer evaluation, arm MACs, AWC level generation, pixel
+//! exposure, conv2d, mapping planning and a short spice transient.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use oisa_core::mapping::{ConvWorkload, MappingPlan};
+use oisa_core::{OisaAccelerator, OisaConfig};
+use oisa_device::awc::{AwcLadder, AwcParams};
+use oisa_device::mr::{Microring, MrDesign};
+use oisa_device::noise::{NoiseConfig, NoiseSource};
+use oisa_nn::conv::Conv2d;
+use oisa_nn::layer::Layer;
+use oisa_nn::tensor::Tensor;
+use oisa_optics::arm::{Arm, ArmConfig};
+use oisa_optics::opc::OpcConfig;
+use oisa_optics::weights::WeightMapper;
+use oisa_sensor::frame::Frame;
+use oisa_sensor::imager::{Imager, ImagerConfig};
+use oisa_spice::{Circuit, TransientAnalysis, Waveform};
+use oisa_units::{Farad, Meter, Ohm, Second};
+
+fn bench_mr_transfer(c: &mut Criterion) {
+    let ring = Microring::new(MrDesign::paper_default()).unwrap();
+    c.bench_function("mr_through_transmission", |b| {
+        b.iter(|| ring.through_transmission(black_box(Meter::from_nano(0.15))));
+    });
+}
+
+fn bench_awc_levels(c: &mut Criterion) {
+    let ladder = AwcLadder::ideal(AwcParams::paper_default()).unwrap();
+    c.bench_function("awc_16_levels", |b| {
+        b.iter(|| black_box(ladder.levels()));
+    });
+}
+
+fn bench_arm_mac(c: &mut Criterion) {
+    let mapper = WeightMapper::paper(4).unwrap();
+    let mut arm = Arm::new(ArmConfig::paper_default()).unwrap();
+    arm.load_weights(&[0.5, -0.25, 1.0, 0.1, 0.7, -0.9, 0.3, 0.2, -0.6], &mapper)
+        .unwrap();
+    let activations = [1.0, 0.5, 0.0, 1.0, 0.5, 1.0, 0.0, 0.5, 1.0];
+    let mut noise = NoiseSource::seeded(1, NoiseConfig::paper_default());
+    c.bench_function("arm_mac_9tap", |b| {
+        b.iter(|| arm.mac(black_box(&activations), &mut noise).unwrap());
+    });
+}
+
+fn bench_pixel_exposure(c: &mut Criterion) {
+    let imager = Imager::new(ImagerConfig::paper_default(128, 128)).unwrap();
+    let frame = Frame::constant(128, 128, 0.6).unwrap();
+    c.bench_function("imager_expose_128x128", |b| {
+        b.iter(|| imager.expose(black_box(&frame)).unwrap());
+    });
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    let mut conv = Conv2d::with_seed(3, 16, 3, 1, 1, 7).unwrap();
+    let x = Tensor::he_normal(vec![1, 3, 16, 16], 27, 3);
+    c.bench_function("conv2d_3to16_16x16", |b| {
+        b.iter(|| conv.forward(black_box(&x), false).unwrap());
+    });
+}
+
+fn bench_mapping_plan(c: &mut Criterion) {
+    let opc = OpcConfig::paper_default();
+    let workload = ConvWorkload::resnet18_first_layer();
+    c.bench_function("mapping_plan_resnet_l1", |b| {
+        b.iter(|| MappingPlan::compute(black_box(&workload), &opc).unwrap());
+    });
+}
+
+fn bench_spice_rc(c: &mut Criterion) {
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.vsource("V1", vin, Circuit::GND, Waveform::dc(1.0))
+        .unwrap();
+    ckt.resistor("R1", vin, out, Ohm::from_kilo(1.0)).unwrap();
+    ckt.capacitor("C1", out, Circuit::GND, Farad::from_pico(100.0))
+        .unwrap();
+    c.bench_function("spice_rc_1000_steps", |b| {
+        b.iter(|| {
+            TransientAnalysis::new(Second::from_nano(100.0), Second::from_pico(100.0))
+                .run(black_box(&ckt))
+                .unwrap()
+        });
+    });
+}
+
+fn bench_full_frame_conv(c: &mut Criterion) {
+    let frame = Frame::constant(16, 16, 0.6).unwrap();
+    let kernels = vec![vec![0.4f32; 9]; 4];
+    c.bench_function("oisa_convolve_frame_16x16_4k", |b| {
+        b.iter_batched(
+            || OisaAccelerator::new(OisaConfig::small_test()).unwrap(),
+            |mut accel| accel.convolve_frame(&frame, &kernels, 3).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets =
+        bench_mr_transfer,
+        bench_awc_levels,
+        bench_arm_mac,
+        bench_pixel_exposure,
+        bench_conv2d,
+        bench_mapping_plan,
+        bench_spice_rc,
+        bench_full_frame_conv,
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Regenerates paper Fig. 9: normalised power of OISA vs Crosslight-like,
+//! AppCiP-like and ASIC platforms across \[1,2\]..\[4,2\], with breakdowns
+//! and converter counts.
+
+use oisa_bench::{bar, fig9, fmt_watts};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (series, factors) = fig9::power_sweep()?;
+    println!("=== Fig. 9 — power comparison (1st layer of ResNet18, normalised rate) ===\n");
+    println!(
+        "{:<24} | {:>11} {:>11} {:>11} {:>11}",
+        "platform", "[1,2]", "[2,2]", "[3,2]", "[4,2]"
+    );
+    println!("{}", "-".repeat(75));
+    for s in &series {
+        print!("{:<24} |", s.platform);
+        for w in &s.totals {
+            print!(" {:>11}", fmt_watts(*w));
+        }
+        println!();
+    }
+
+    println!("\nlog-scale view at [4,2] (paper's log axis):");
+    let max = series
+        .iter()
+        .map(|s| s.totals[3].get())
+        .fold(0.0f64, f64::max);
+    for s in &series {
+        let v = s.totals[3].get();
+        println!(
+            "  {:<24} {:>9} | {}",
+            s.platform,
+            fmt_watts(s.totals[3]),
+            bar(v.log10() - (max / 1000.0).log10(), 3.2, 40)
+        );
+    }
+
+    println!("\ncomponent breakdown at [4,2]:");
+    for s in &series {
+        println!("  {}:", s.platform);
+        for (name, w) in &s.breakdown_4bit.components {
+            println!("    {:<12} {:>12}", name, fmt_watts(*w));
+        }
+    }
+
+    println!("\nconverter counts (paper's right panel):");
+    for (name, adc, dac) in fig9::converter_counts() {
+        println!("  {name:<28} {adc:>6} / {dac:>6}");
+    }
+
+    println!("\naverage power-reduction factors vs OISA (paper: 8.3x / 7.9x / 18.4x):");
+    println!("  Crosslight-like : {:.1}x", factors.crosslight);
+    println!("  AppCiP-like     : {:.1}x", factors.appcip);
+    println!("  ASIC            : {:.1}x", factors.asic);
+    Ok(())
+}

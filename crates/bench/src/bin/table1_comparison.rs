@@ -1,0 +1,84 @@
+//! Regenerates paper Table I: the PIS/PNS/PIP comparison with OISA's row
+//! computed bottom-up.
+
+use oisa_bench::table1;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let t = table1::build_table()?;
+    println!("=== Table I — PIS/PNS/PIP comparison ===\n");
+    println!(
+        "{:<6} {:<7} {:<34} {:<13} {:<5} {:<5} {:<11} {:<10} {:>9} {:>22} {:>14}",
+        "ref",
+        "tech",
+        "purpose",
+        "scheme",
+        "mem",
+        "NVM",
+        "pixel(µm)",
+        "array",
+        "fps",
+        "power (mW)",
+        "TOp/s/W"
+    );
+    println!("{}", "-".repeat(148));
+    for r in &t.published {
+        let power = if (r.power_mw.0 - r.power_mw.1).abs() < 1e-12 {
+            format!("{:.5}", r.power_mw.0)
+        } else {
+            format!("{:.5} - {:.5}", r.power_mw.0, r.power_mw.1)
+        };
+        let eff = if (r.efficiency.0 - r.efficiency.1).abs() < 1e-12 {
+            format!("{:.3}", r.efficiency.0)
+        } else {
+            format!("{:.2} - {:.2}", r.efficiency.0, r.efficiency.1)
+        };
+        println!(
+            "{:<6} {:<7} {:<34} {:<13} {:<5} {:<5} {:<11} {:<10} {:>9} {:>22} {:>14}",
+            r.reference,
+            r.technology,
+            r.purpose,
+            r.scheme.label(),
+            if r.memory { "yes" } else { "no" },
+            if r.nvm { "yes" } else { "no" },
+            format!("{0}x{0}", r.pixel_um),
+            format!("{}x{}", r.array.0, r.array.1),
+            r.frame_rate,
+            power,
+            eff
+        );
+    }
+    let p = &t.paper_oisa;
+    println!(
+        "{:<6} {:<7} {:<34} {:<13} {:<5} {:<5} {:<11} {:<10} {:>9} {:>22} {:>14}",
+        "OISA",
+        p.technology_nm,
+        "1st-layer CNN (this work)",
+        "entire-array",
+        "yes",
+        "no",
+        format!("{0}x{0}", p.pixel_um),
+        format!("{0}x{0}", p.array),
+        p.frame_rate,
+        format!("{:.5} - {:.5}", p.power_mw.0, p.power_mw.1),
+        format!("{:.2}", p.efficiency),
+    );
+    let m = &t.measured_oisa;
+    println!("\nOISA row, paper vs this repository's bottom-up model:");
+    println!(
+        "  power (mW)   paper {:.5} - {:.5}   measured {:.5} - {:.5}",
+        p.power_mw.0, p.power_mw.1, m.power_mw.0, m.power_mw.1
+    );
+    println!(
+        "  efficiency   paper {:.2} TOp/s/W      measured {:.2} TOp/s/W",
+        p.efficiency, m.efficiency
+    );
+    println!(
+        "  throughput   paper 7.1 TOp/s         measured {:.2} TOp/s",
+        m.throughput_tops
+    );
+    println!(
+        "  area         paper 1.92 mm²         measured {:.2} mm²",
+        m.area_mm2
+    );
+    Ok(())
+}

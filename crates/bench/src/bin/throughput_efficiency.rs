@@ -1,0 +1,48 @@
+//! Regenerates the §IV headline numbers: throughput, efficiency,
+//! MACs/cycle, mapping iterations and area.
+
+use oisa_bench::headline;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let h = headline::headline_numbers()?;
+    println!("=== §IV headline numbers, paper vs measured ===\n");
+    println!("{:<42} {:>12} {:>12}", "metric", "paper", "measured");
+    println!("{}", "-".repeat(68));
+    println!(
+        "{:<42} {:>12} {:>12.3}",
+        "architecture-wide MAC time (ps)", "55.8", h.cycle_ps
+    );
+    println!(
+        "{:<42} {:>12} {:>12.2}",
+        "throughput (TOp/s)", "7.1", h.throughput_tops
+    );
+    println!(
+        "{:<42} {:>12} {:>12.2}",
+        "efficiency (TOp/s/W)", "6.68", h.efficiency
+    );
+    println!(
+        "{:<42} {:>12} {:>12}",
+        "MACs/cycle, K=3", "3600", h.macs_per_cycle[0]
+    );
+    println!(
+        "{:<42} {:>12} {:>12}",
+        "MACs/cycle, K=5", "2000", h.macs_per_cycle[1]
+    );
+    println!(
+        "{:<42} {:>12} {:>12}",
+        "MACs/cycle, K=7", "3920", h.macs_per_cycle[2]
+    );
+    println!(
+        "{:<42} {:>12} {:>12}",
+        "full-map AWC iterations", "100", h.full_map_iterations
+    );
+    println!(
+        "{:<42} {:>12} {:>12.2}",
+        "area (mm²)", "1.92", h.area_mm2
+    );
+    println!(
+        "{:<42} {:>12} {:>12.2}",
+        "ResNet18 L1 frame latency (µs)", "< 1000", h.resnet_frame_us
+    );
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Fig. 1: microring through/drop spectra and the tunable range.
+
+use oisa_device::mr::{Microring, MrDesign};
+use oisa_units::Meter;
+
+/// One spectral sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectrumPoint {
+    /// Wavelength offset from resonance, nm.
+    pub delta_nm: f64,
+    /// Through-port transmission.
+    pub through: f64,
+    /// Drop-port transmission.
+    pub drop: f64,
+}
+
+/// Samples the paper ring's spectra over ±`span_nm` with `points`
+/// samples.
+///
+/// # Panics
+///
+/// Panics if the paper default design is rejected (impossible for the
+/// built-in constants).
+#[must_use]
+pub fn spectrum_series(span_nm: f64, points: usize) -> Vec<SpectrumPoint> {
+    let ring = Microring::new(MrDesign::paper_default()).expect("paper design is valid");
+    (0..points)
+        .map(|i| {
+            let delta_nm = -span_nm + 2.0 * span_nm * i as f64 / (points - 1) as f64;
+            SpectrumPoint {
+                delta_nm,
+                through: ring.through_transmission(Meter::from_nano(delta_nm)),
+                drop: ring.drop_transmission(Meter::from_nano(delta_nm)),
+            }
+        })
+        .collect()
+}
+
+/// Key figure annotations: FWHM and FSR (the "tunable range") in nm.
+#[must_use]
+pub fn annotations() -> (f64, f64) {
+    let d = MrDesign::paper_default();
+    (d.fwhm().as_nano(), d.free_spectral_range().as_nano())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_spans_and_dips() {
+        let series = spectrum_series(2.0, 201);
+        assert_eq!(series.len(), 201);
+        let centre = &series[100];
+        assert!(centre.delta_nm.abs() < 1e-9);
+        assert!(centre.through < 0.05, "on-resonance dip");
+        assert!(centre.drop > 0.9, "on-resonance drop peak");
+        assert!(series[0].through > 0.95, "edges transparent");
+    }
+
+    #[test]
+    fn annotations_match_design() {
+        let (fwhm, fsr) = annotations();
+        assert!((fwhm - 0.31).abs() < 1e-6);
+        assert!((17.0..20.0).contains(&fsr));
+    }
+}

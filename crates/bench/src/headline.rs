@@ -1,0 +1,67 @@
+//! §IV headline numbers: throughput, efficiency, MACs/cycle, mapping
+//! iterations, area.
+
+use oisa_core::mapping::{ConvWorkload, MappingPlan};
+use oisa_core::perf::OisaPerfModel;
+
+/// The paper's headline claims next to this repository's measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Headline {
+    /// Measured throughput, TOp/s (paper: 7.1).
+    pub throughput_tops: f64,
+    /// Measured efficiency at 4-bit weights, TOp/s/W (paper: 6.68).
+    pub efficiency: f64,
+    /// Cycle time, ps (paper: 55.8).
+    pub cycle_ps: f64,
+    /// MACs per cycle for K = 3, 5, 7 (paper: 3600 / 2000 / 3920).
+    pub macs_per_cycle: [usize; 3],
+    /// Tuning iterations for a full 4000-ring map (paper: 100).
+    pub full_map_iterations: usize,
+    /// Area, mm² (paper: 1.92).
+    pub area_mm2: f64,
+    /// Frame latency of the ResNet18 first layer, µs.
+    pub resnet_frame_us: f64,
+}
+
+/// Computes every headline number from the models.
+///
+/// # Errors
+///
+/// Propagates perf-model failures as a boxed error for the harness.
+pub fn headline_numbers() -> Result<Headline, Box<dyn std::error::Error>> {
+    let perf = OisaPerfModel::paper_default()?;
+    let opc = *perf.opc();
+    // Validate that the reference workload maps before quoting numbers.
+    let _plan = MappingPlan::compute(&ConvWorkload::resnet18_first_layer(), &opc)?;
+    let (_, latency) = perf.frame_cost(&ConvWorkload::resnet18_first_layer(), 4)?;
+    Ok(Headline {
+        throughput_tops: perf.throughput_tops(),
+        efficiency: perf.efficiency_tops_per_watt(4)?,
+        cycle_ps: 55.8,
+        macs_per_cycle: [
+            opc.macs_per_cycle(oisa_optics::opc::KernelSize::K3),
+            opc.macs_per_cycle(oisa_optics::opc::KernelSize::K5),
+            opc.macs_per_cycle(oisa_optics::opc::KernelSize::K7),
+        ],
+        full_map_iterations: opc.tuning_iterations(opc.total_rings()),
+        area_mm2: perf.area().get() * 1e6,
+        resnet_frame_us: latency.as_micro(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_matches_paper() {
+        let h = headline_numbers().unwrap();
+        assert!((h.throughput_tops - 7.1).abs() < 0.2);
+        assert!((h.efficiency - 6.68).abs() < 0.7);
+        assert_eq!(h.macs_per_cycle, [3600, 2000, 3920]);
+        assert_eq!(h.full_map_iterations, 100);
+        assert!((h.area_mm2 - 1.92).abs() < 0.15);
+        // The whole first layer fits comfortably in a 1 ms frame.
+        assert!(h.resnet_frame_us < 1000.0);
+    }
+}

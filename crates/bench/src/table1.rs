@@ -1,0 +1,108 @@
+//! Table I: the PIS/PNS/PIP comparison, with OISA's row computed from
+//! the perf model next to the paper's published values.
+
+use oisa_baselines::published::{oisa_row, table1_rows, OisaTableRow, PublishedDesign};
+use oisa_core::perf::OisaPerfModel;
+
+/// OISA's measured row from the bottom-up model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredOisaRow {
+    /// Front-end power range over 1–4-bit weights, mW.
+    pub power_mw: (f64, f64),
+    /// Efficiency at 4-bit weights, TOp/s/W.
+    pub efficiency: f64,
+    /// Frame rate supported by the timing model, frames/s.
+    pub frame_rate: f64,
+    /// Throughput, TOp/s.
+    pub throughput_tops: f64,
+    /// Area, mm².
+    pub area_mm2: f64,
+}
+
+/// The complete table: published rows, the paper's OISA row, and the
+/// measured OISA row.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// The ten cited designs.
+    pub published: Vec<PublishedDesign>,
+    /// OISA as the paper reports it.
+    pub paper_oisa: OisaTableRow,
+    /// OISA as this repository measures it.
+    pub measured_oisa: MeasuredOisaRow,
+}
+
+/// Builds the table from the perf model.
+///
+/// # Errors
+///
+/// Propagates perf-model failures as a boxed error for the harness.
+pub fn build_table() -> Result<Table1, Box<dyn std::error::Error>> {
+    let perf = OisaPerfModel::paper_default()?;
+    let p1 = perf.frontend_power(1)?.as_milli();
+    let p4 = perf.frontend_power(4)?.as_milli();
+    let measured = MeasuredOisaRow {
+        power_mw: (p1, p4),
+        efficiency: perf.efficiency_tops_per_watt(4)?,
+        frame_rate: 1000.0,
+        throughput_tops: perf.throughput_tops(),
+        area_mm2: perf.area().get() * 1e6,
+    };
+    Ok(Table1 {
+        published: table1_rows(),
+        paper_oisa: oisa_row(),
+        measured_oisa: measured,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_row_within_paper_bands() {
+        let t = build_table().unwrap();
+        let m = &t.measured_oisa;
+        let p = &t.paper_oisa;
+        assert!(
+            (m.power_mw.0 - p.power_mw.0).abs() / p.power_mw.0 < 0.25,
+            "power low end {} vs {}",
+            m.power_mw.0,
+            p.power_mw.0
+        );
+        assert!(
+            (m.power_mw.1 - p.power_mw.1).abs() / p.power_mw.1 < 0.25,
+            "power high end {} vs {}",
+            m.power_mw.1,
+            p.power_mw.1
+        );
+        assert!((m.efficiency - p.efficiency).abs() < 0.7);
+        assert!((m.throughput_tops - 7.1).abs() < 0.2);
+        assert!((m.area_mm2 - 1.92).abs() < 0.15);
+    }
+
+    #[test]
+    fn table_has_all_rows() {
+        let t = build_table().unwrap();
+        assert_eq!(t.published.len(), 10);
+    }
+
+    #[test]
+    fn oisa_pixel_smallest_among_entire_array_designs() {
+        // Table I's structural claim: OISA achieves entire-array
+        // computation with the smallest pixel (4.5 µm, no in-pixel
+        // compute).
+        let t = build_table().unwrap();
+        for row in t
+            .published
+            .iter()
+            .filter(|r| r.scheme == oisa_baselines::published::ComputeScheme::EntireArray)
+        {
+            assert!(
+                t.paper_oisa.pixel_um < row.pixel_um,
+                "{} pixel {} µm should exceed OISA's 4.5 µm",
+                row.reference,
+                row.pixel_um
+            );
+        }
+    }
+}

@@ -1,0 +1,631 @@
+//! The end-to-end accelerator: imager → VAM → OPC → VOM.
+//!
+//! [`OisaAccelerator::convolve_frame`] runs the *physical* path the paper
+//! describes: expose the frame, threshold each pixel into a ternary VCSEL
+//! drive, multiply against ring-held weights wavelength-by-wavelength,
+//! subtract on the balanced photodetectors, and (for 5×5/7×7 kernels)
+//! re-aggregate per-arm partial sums in the VOM. Everything is energy-
+//! and latency-accounted through the controller and mapping plan.
+
+use oisa_device::awc::{AwcModel, AwcParams};
+use oisa_device::noise::{NoiseConfig, NoiseSource};
+use oisa_memory::bank::KernelBank;
+use oisa_optics::opc::{KernelSize, Opc, OpcConfig};
+use oisa_optics::vom::{Vom, VomConfig};
+use oisa_optics::weights::WeightMapper;
+use oisa_sensor::frame::Frame;
+use oisa_sensor::imager::{Imager, ImagerConfig};
+use oisa_sensor::vam::{Vam, VamConfig};
+use oisa_units::Joule;
+use serde::{Deserialize, Serialize};
+
+use crate::controller::{Controller, ControllerTiming, Timeline};
+use crate::mapping::{assign_slots, ConvWorkload, MappingPlan};
+use crate::{CoreError, Result};
+
+/// Accelerator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OisaConfig {
+    /// Imager (dimensions + pixel design + frame rate).
+    pub imager: ImagerConfig,
+    /// Optical core structure.
+    pub opc: OpcConfig,
+    /// Activation modulator.
+    pub vam: VamConfig,
+    /// Output modulator.
+    pub vom: VomConfig,
+    /// Controller timing.
+    pub timing: ControllerTiming,
+    /// Weight bit-width (1–4).
+    pub weight_bits: u8,
+    /// AWC fidelity (ideal vs. mismatch).
+    pub awc_model: AwcModel,
+    /// Optical noise intensities.
+    pub noise: NoiseConfig,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl OisaConfig {
+    /// The paper configuration at `width × height` pixels.
+    #[must_use]
+    pub fn paper_default(width: usize, height: usize) -> Self {
+        Self {
+            imager: ImagerConfig::paper_default(width, height),
+            opc: OpcConfig::paper_default(),
+            vam: VamConfig::paper_default(),
+            vom: VomConfig::paper_default(),
+            timing: ControllerTiming::paper_default(),
+            weight_bits: 4,
+            awc_model: AwcModel::paper_mismatch(),
+            noise: NoiseConfig::paper_default(),
+            seed: 0,
+        }
+    }
+
+    /// A small, fast configuration for tests and doctests: 16×16 imager,
+    /// 4-bank OPC, noiseless, ideal AWC.
+    #[must_use]
+    pub fn small_test() -> Self {
+        let mut cfg = Self::paper_default(16, 16);
+        cfg.opc.banks = 4;
+        cfg.opc.columns = 2;
+        cfg.opc.awc_units = 10;
+        cfg.noise = NoiseConfig::noiseless();
+        cfg.awc_model = AwcModel::Ideal;
+        cfg
+    }
+}
+
+impl Default for OisaConfig {
+    fn default() -> Self {
+        Self::small_test()
+    }
+}
+
+/// Energy breakdown of one convolved frame.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Pixel exposure and readout.
+    pub sensing: Joule,
+    /// Sense-amplifier decisions plus VCSEL symbols.
+    pub encoding: Joule,
+    /// Ring tuning (weight mapping), all passes.
+    pub tuning: Joule,
+    /// Optical compute (light absorbed at the detectors) plus ring hold.
+    pub compute: Joule,
+    /// VOM aggregation and re-modulation.
+    pub aggregation: Joule,
+    /// Kernel-bank accesses.
+    pub memory: Joule,
+}
+
+impl EnergyReport {
+    /// Total energy.
+    #[must_use]
+    pub fn total(&self) -> Joule {
+        self.sensing + self.encoding + self.tuning + self.compute + self.aggregation + self.memory
+    }
+}
+
+/// Output of [`OisaAccelerator::convolve_frame`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvolutionReport {
+    /// One feature map per kernel, row-major `out_h × out_w`.
+    pub output: Vec<Vec<f32>>,
+    /// Output feature-map height.
+    pub out_h: usize,
+    /// Output feature-map width.
+    pub out_w: usize,
+    /// The placement used.
+    pub plan: MappingPlan,
+    /// Phase latencies.
+    pub timeline: Timeline,
+    /// Energy breakdown.
+    pub energy: EnergyReport,
+}
+
+/// The assembled accelerator.
+///
+/// See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct OisaAccelerator {
+    config: OisaConfig,
+    imager: Imager,
+    vam: Vam,
+    opc: Opc,
+    vom: Vom,
+    bank: KernelBank,
+    mapper: WeightMapper,
+    noise: NoiseSource,
+    controller: Controller,
+}
+
+impl OisaAccelerator {
+    /// Builds the accelerator from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate construction failures.
+    pub fn new(config: OisaConfig) -> Result<Self> {
+        let awc_params = AwcParams {
+            bits: config.weight_bits,
+            model: config.awc_model,
+            ..AwcParams::paper_default()
+        };
+        let ladder = oisa_device::awc::AwcLadder::ideal(awc_params)?;
+        let mapper = WeightMapper::from_ladder(ladder)?;
+        Ok(Self {
+            imager: Imager::new(config.imager)?,
+            vam: Vam::new(config.vam)?,
+            opc: Opc::new(config.opc)?,
+            vom: Vom::new(config.vom)?,
+            bank: KernelBank::new(45, config.weight_bits, config.opc.total_rings())?,
+            mapper,
+            noise: NoiseSource::seeded(config.seed, config.noise),
+            controller: Controller::new(config.timing),
+            config,
+        })
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &OisaConfig {
+        &self.config
+    }
+
+    /// The weight mapper (AWC → ring level tables) in use — shared with
+    /// the behavioural deployment path so both quantise identically.
+    #[must_use]
+    pub fn mapper(&self) -> &WeightMapper {
+        &self.mapper
+    }
+
+    /// Convolves a captured frame with `kernels` (each `k²` weights,
+    /// row-major) at stride 1, running the full optical path.
+    ///
+    /// Kernels may use any float range; they are normalised per call by
+    /// the joint maximum magnitude (per-tensor scaling, as the deployment
+    /// path does) and the outputs are scaled back.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidParameter`] for empty/ill-sized kernels.
+    /// * [`CoreError::Unmappable`] for unsupported kernel sizes.
+    /// * Substrate errors from the optical fabric.
+    pub fn convolve_frame(
+        &mut self,
+        frame: &Frame,
+        kernels: &[Vec<f32>],
+        k: usize,
+    ) -> Result<ConvolutionReport> {
+        if kernels.is_empty() {
+            return Err(CoreError::InvalidParameter("no kernels supplied".into()));
+        }
+        if kernels.iter().any(|kn| kn.len() != k * k) {
+            return Err(CoreError::InvalidParameter(format!(
+                "every kernel must have {} weights",
+                k * k
+            )));
+        }
+        let ks = KernelSize::from_k(k).map_err(|e| CoreError::Unmappable(e.to_string()))?;
+        let workload = ConvWorkload {
+            out_channels: kernels.len(),
+            in_channels: 1,
+            kernel: k,
+            input_h: frame.height(),
+            input_w: frame.width(),
+            stride: 1,
+        };
+        let plan = MappingPlan::compute(&workload, &self.config.opc)?;
+        let (oh, ow) = workload.output_size();
+
+        // Sense + encode.
+        let capture = self.imager.expose(frame)?;
+        let encoded = self.vam.encode_capture(&capture)?;
+
+        // Per-kernel weight normalisation: each kernel's arm carries
+        // its own receiver gain, so every kernel uses its full dynamic
+        // range (this is what keeps 1-bit weights usable).
+        let scales: Vec<f32> = kernels
+            .iter()
+            .map(|kn| {
+                kn.iter()
+                    .fold(0.0f32, |m, w| m.max(w.abs()))
+                    .max(f32::MIN_POSITIVE)
+            })
+            .collect();
+
+        let mut energy = EnergyReport {
+            sensing: capture.energy,
+            encoding: encoded.total_energy(),
+            ..EnergyReport::default()
+        };
+        let mut output = vec![vec![0.0f32; oh * ow]; kernels.len()];
+
+        let slots_per_pass = plan.slots_per_pass;
+        let mut kernel_index = 0usize;
+        while kernel_index < kernels.len() {
+            let pass_kernels =
+                &kernels[kernel_index..(kernel_index + slots_per_pass).min(kernels.len())];
+            let slots = assign_slots(pass_kernels.len(), ks, &self.config.opc)?;
+            // Map this pass's weights (bank store + ring tuning).
+            for (pk, (kn, &(bank, first_arm))) in
+                pass_kernels.iter().zip(&slots).enumerate()
+            {
+                let scale = scales[kernel_index + pk];
+                let normalised: Vec<f64> = kn.iter().map(|&w| f64::from(w / scale)).collect();
+                let codes: Vec<u16> = normalised
+                    .iter()
+                    .map(|&w| self.mapper.quantize(w).map(|m| m.code))
+                    .collect::<oisa_optics::Result<Vec<u16>>>()?;
+                let offset = (bank * oisa_optics::bank::RINGS_PER_BANK
+                    + first_arm * oisa_optics::arm::RINGS_PER_ARM)
+                    % self.bank.len();
+                self.bank.store(offset, &codes)?;
+                self.opc.load_kernel(bank, first_arm, &normalised, &self.mapper)?;
+            }
+            energy.tuning += self.opc.tuning_energy();
+
+            // Compute all positions for this pass's kernels (slots are in
+            // kernel order).
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let window = gather_window(&encoded.optical, frame.width(), oy, ox, k);
+                    for (slot_idx, &(bank, first_arm)) in slots.iter().enumerate() {
+                        let value =
+                            self.evaluate_kernel(bank, first_arm, &window, ks, &mut energy)?;
+                        output[kernel_index + slot_idx][oy * ow + ox] =
+                            (value * f64::from(scales[kernel_index + slot_idx])) as f32;
+                    }
+                }
+            }
+            kernel_index += pass_kernels.len();
+        }
+
+        // Kernel-bank access energy.
+        energy.memory = self.bank.total_energy();
+        self.bank.reset_counters();
+
+        // Timeline from the controller program.
+        let program = self
+            .controller
+            .frame_program(&plan, (oh * ow * kernels.len()) as u64);
+        let timeline = self.controller.execute(&program)?;
+
+        Ok(ConvolutionReport {
+            output,
+            out_h: oh,
+            out_w: ow,
+            plan,
+            timeline,
+            energy,
+        })
+    }
+
+    /// Convolves a multi-channel input (e.g. RGB): one [`Frame`] per
+    /// input channel, one kernel *plane* per (output, input) channel
+    /// pair. Per-channel partial feature maps are accumulated through
+    /// the VOM, as the paper's first-layer mapping does for
+    /// multi-channel CNNs.
+    ///
+    /// `kernels[oc][ic]` holds the `k²` weights of output channel `oc`
+    /// applied to input channel `ic`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidParameter`] for empty inputs or mismatched
+    ///   channel counts/shapes.
+    /// * Substrate errors from the optical fabric.
+    pub fn convolve_channels(
+        &mut self,
+        frames: &[Frame],
+        kernels: &[Vec<Vec<f32>>],
+        k: usize,
+    ) -> Result<ConvolutionReport> {
+        if frames.is_empty() || kernels.is_empty() {
+            return Err(CoreError::InvalidParameter(
+                "need at least one input channel and one kernel".into(),
+            ));
+        }
+        let in_ch = frames.len();
+        if kernels.iter().any(|planes| planes.len() != in_ch) {
+            return Err(CoreError::InvalidParameter(format!(
+                "every kernel needs {in_ch} planes (one per input channel)"
+            )));
+        }
+        let mut combined: Option<ConvolutionReport> = None;
+        for (ic, frame) in frames.iter().enumerate() {
+            let planes: Vec<Vec<f32>> = kernels.iter().map(|kn| kn[ic].clone()).collect();
+            let partial = self.convolve_frame(frame, &planes, k)?;
+            combined = Some(match combined {
+                None => partial,
+                Some(mut acc) => {
+                    // Electrical accumulation of per-channel partial maps
+                    // in the VOM.
+                    for (dst, src) in acc.output.iter_mut().zip(&partial.output) {
+                        for (d, s) in dst.iter_mut().zip(src) {
+                            *d += *s;
+                        }
+                    }
+                    acc.energy.sensing += partial.energy.sensing;
+                    acc.energy.encoding += partial.energy.encoding;
+                    acc.energy.tuning += partial.energy.tuning;
+                    acc.energy.compute += partial.energy.compute;
+                    acc.energy.memory += partial.energy.memory;
+                    // One VOM accumulation per output value per extra
+                    // channel.
+                    let adds = acc.output.len() * acc.out_h * acc.out_w;
+                    acc.energy.aggregation += partial.energy.aggregation
+                        + self.vom.config().accumulate_energy * adds as f64;
+                    acc.timeline.capture += partial.timeline.capture;
+                    acc.timeline.mapping += partial.timeline.mapping;
+                    acc.timeline.compute += partial.timeline.compute;
+                    acc.timeline.transmit += partial.timeline.transmit;
+                    acc.timeline.control += partial.timeline.control;
+                    acc
+                }
+            });
+        }
+        combined.ok_or_else(|| CoreError::InvalidParameter("no channels convolved".into()))
+    }
+
+    /// Executes a dense (MLP) first layer on a captured frame: the frame
+    /// is sensed and ternary-encoded, then each of the `rows × (w·h)`
+    /// weight rows is chunked across arms and VOM-aggregated (paper
+    /// §III-A's MLP path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sensing, shape and fabric failures.
+    pub fn dense_layer(
+        &mut self,
+        frame: &Frame,
+        matrix: &[f32],
+        rows: usize,
+    ) -> Result<crate::mlp::MatVecReport> {
+        let capture = self.imager.expose(frame)?;
+        let encoded = self.vam.encode_capture(&capture)?;
+        let cols = encoded.optical.len();
+        crate::mlp::matvec(
+            &mut self.opc,
+            &self.vom,
+            &self.mapper,
+            matrix,
+            rows,
+            cols,
+            &encoded.optical,
+            &mut self.noise,
+        )
+    }
+
+    /// Evaluates one kernel (possibly spanning several arms) on one
+    /// activation window.
+    fn evaluate_kernel(
+        &mut self,
+        bank: usize,
+        first_arm: usize,
+        window: &[f64],
+        ks: KernelSize,
+        energy: &mut EnergyReport,
+    ) -> Result<f64> {
+        let arms = ks.arms_per_kernel();
+        if arms == 1 {
+            let result = self
+                .opc
+                .compute_arm(bank, first_arm, window, &mut self.noise)?;
+            energy.compute += result.optical_energy;
+            Ok(result.value)
+        } else {
+            let mut partials = Vec::with_capacity(arms);
+            for (i, chunk) in window.chunks(oisa_optics::arm::RINGS_PER_ARM).enumerate() {
+                let r = self
+                    .opc
+                    .compute_arm(bank, first_arm + i, chunk, &mut self.noise)?;
+                energy.compute += r.optical_energy;
+                partials.push(r);
+            }
+            let agg = self.vom.accumulate(&partials)?;
+            energy.aggregation += agg.energy;
+            Ok(agg.value)
+        }
+    }
+}
+
+/// Extracts the `k×k` activation window at output position `(oy, ox)`
+/// from a row-major optical frame.
+fn gather_window(optical: &[f64], width: usize, oy: usize, ox: usize, k: usize) -> Vec<f64> {
+    let mut window = Vec::with_capacity(k * k);
+    for dy in 0..k {
+        let row = (oy + dy) * width + ox;
+        window.extend_from_slice(&optical[row..row + k]);
+    }
+    window
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accel() -> OisaAccelerator {
+        OisaAccelerator::new(OisaConfig::small_test()).unwrap()
+    }
+
+    /// Reference float convolution with the same ternary front end.
+    fn reference_conv(
+        frame: &Frame,
+        kernel: &[f32],
+        k: usize,
+        vam: &Vam,
+        imager: &Imager,
+    ) -> Vec<f32> {
+        let capture = imager.expose(frame).unwrap();
+        let encoded = vam.encode_capture(&capture).unwrap();
+        let w = frame.width();
+        let oh = frame.height() - k + 1;
+        let ow = w - k + 1;
+        let mut out = vec![0.0f32; oh * ow];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f64;
+                for dy in 0..k {
+                    for dx in 0..k {
+                        let a = encoded.optical[(oy + dy) * w + ox + dx];
+                        acc += a * f64::from(kernel[dy * k + dx]);
+                    }
+                }
+                out[oy * ow + ox] = acc as f32;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn optical_conv_matches_reference_3x3() {
+        let mut accel = accel();
+        let mut data = vec![0.2; 256];
+        for (i, v) in data.iter_mut().enumerate() {
+            *v = (0.2 + 0.75 * ((i % 7) as f64 / 7.0)).min(1.0);
+        }
+        let frame = Frame::new(16, 16, data).unwrap();
+        let kernel: Vec<f32> = vec![0.5, -0.25, 1.0, 0.0, 0.75, -1.0, 0.25, 0.5, -0.5];
+        let report = accel.convolve_frame(&frame, &[kernel.clone()], 3).unwrap();
+        let reference = reference_conv(
+            &frame,
+            &kernel,
+            3,
+            &Vam::new(VamConfig::paper_default()).unwrap(),
+            &Imager::new(ImagerConfig::paper_default(16, 16)).unwrap(),
+        );
+        assert_eq!(report.output[0].len(), reference.len());
+        let max_dev = report.output[0]
+            .iter()
+            .zip(&reference)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        // 4-bit quantisation over a 9-element window.
+        assert!(max_dev < 0.35, "max deviation {max_dev}");
+    }
+
+    #[test]
+    fn multiple_kernels_produce_independent_maps() {
+        let mut accel = accel();
+        let frame = Frame::constant(16, 16, 0.9).unwrap();
+        let pos = vec![1.0f32; 9];
+        let neg = vec![-1.0f32; 9];
+        let report = accel.convolve_frame(&frame, &[pos, neg], 3).unwrap();
+        assert_eq!(report.output.len(), 2);
+        assert!(report.output[0][0] > 7.0);
+        assert!(report.output[1][0] < -7.0);
+    }
+
+    #[test]
+    fn five_by_five_kernel_uses_vom() {
+        let mut accel = accel();
+        let frame = Frame::constant(16, 16, 0.9).unwrap();
+        let kernel = vec![0.5f32; 25];
+        let report = accel.convolve_frame(&frame, &[kernel], 5).unwrap();
+        // Σ 0.5 × 1.0 over 25 taps ≈ 12.5 (ternary encode of 0.9 → 1.0).
+        let v = report.output[0][0];
+        assert!((v - 12.5).abs() < 1.5, "got {v}");
+        assert!(report.energy.aggregation.get() > 0.0, "VOM must be used");
+    }
+
+    #[test]
+    fn energy_report_phases_populated() {
+        let mut accel = accel();
+        let frame = Frame::constant(16, 16, 0.5).unwrap();
+        let report = accel
+            .convolve_frame(&frame, &[vec![0.5f32; 9]], 3)
+            .unwrap();
+        assert!(report.energy.sensing.get() > 0.0);
+        assert!(report.energy.encoding.get() > 0.0);
+        assert!(report.energy.tuning.get() > 0.0);
+        assert!(report.energy.compute.get() > 0.0);
+        assert!(report.energy.memory.get() > 0.0);
+        assert!(report.energy.total().get() > report.energy.compute.get());
+        assert!(report.timeline.total().get() > 0.0);
+    }
+
+    #[test]
+    fn kernel_validation() {
+        let mut accel = accel();
+        let frame = Frame::constant(16, 16, 0.5).unwrap();
+        assert!(accel.convolve_frame(&frame, &[], 3).is_err());
+        assert!(accel
+            .convolve_frame(&frame, &[vec![0.5f32; 8]], 3)
+            .is_err());
+        assert!(accel
+            .convolve_frame(&frame, &[vec![0.5f32; 16]], 4)
+            .is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let frame = Frame::constant(16, 16, 0.7).unwrap();
+        let kernel = vec![0.3f32; 9];
+        let mut cfg = OisaConfig::small_test();
+        cfg.noise = NoiseConfig::paper_default();
+        cfg.seed = 42;
+        let mut a = OisaAccelerator::new(cfg).unwrap();
+        let mut b = OisaAccelerator::new(cfg).unwrap();
+        let ra = a.convolve_frame(&frame, &[kernel.clone()], 3).unwrap();
+        let rb = b.convolve_frame(&frame, &[kernel], 3).unwrap();
+        assert_eq!(ra.output, rb.output);
+    }
+
+    #[test]
+    fn multichannel_convolution_sums_planes() {
+        let mut accel = accel();
+        // Two constant channels; kernels that sum each channel's window.
+        let bright = Frame::constant(16, 16, 0.9).unwrap();
+        let dark = Frame::constant(16, 16, 0.1).unwrap();
+        // One output channel: plane 0 all +1, plane 1 all −1.
+        let kernels = vec![vec![vec![1.0f32; 9], vec![-1.0f32; 9]]];
+        let report = accel
+            .convolve_channels(&[bright.clone(), dark], &kernels, 3)
+            .unwrap();
+        // Channel encodings: 0.9 → 1.0 optical, 0.1 → floor ≈ 0.022.
+        // Output ≈ 9·1.0 − 9·0.022 ≈ 8.8.
+        let v = report.output[0][0];
+        assert!((v - 8.8).abs() < 0.5, "got {v}");
+        // Aggregation energy must include the cross-channel adds.
+        assert!(report.energy.aggregation.get() > 0.0);
+
+        // Single-channel sanity: same kernels on one channel only.
+        let single = accel
+            .convolve_frame(&bright, &[vec![1.0f32; 9]], 3)
+            .unwrap();
+        assert!(single.output[0][0] > 8.0);
+    }
+
+    #[test]
+    fn multichannel_validation() {
+        let mut accel = accel();
+        let frame = Frame::constant(16, 16, 0.5).unwrap();
+        // Kernel with wrong plane count.
+        let kernels = vec![vec![vec![1.0f32; 9]]]; // 1 plane for 2 channels
+        assert!(accel
+            .convolve_channels(&[frame.clone(), frame.clone()], &kernels, 3)
+            .is_err());
+        assert!(accel.convolve_channels(&[], &[], 3).is_err());
+    }
+
+    #[test]
+    fn multi_pass_when_kernels_exceed_slots() {
+        // small_test has 4 banks × 5 arms = 20 slots; 25 kernels → 2
+        // passes.
+        let mut accel = accel();
+        let frame = Frame::constant(16, 16, 0.6).unwrap();
+        let kernels: Vec<Vec<f32>> = (0..25)
+            .map(|i| vec![(i as f32 / 25.0) - 0.5; 9])
+            .collect();
+        let report = accel.convolve_frame(&frame, &kernels, 3).unwrap();
+        assert_eq!(report.plan.passes, 2);
+        assert_eq!(report.output.len(), 25);
+        // Kernel 0 (all −0.5) and kernel 24 (all +0.46) must differ in
+        // sign.
+        assert!(report.output[0][0] < 0.0);
+        assert!(report.output[24][0] > 0.0);
+    }
+}

@@ -1,0 +1,373 @@
+//! Command decoder and timing controller (paper Fig. 2's `Ctrl Unit`).
+//!
+//! The controller sequences the accelerator through its four phases and
+//! produces a [`Timeline`] — the latency side of every report in this
+//! workspace. Durations come from the mapping plan and the device
+//! constants; the controller itself adds a fixed decode overhead per
+//! command, mirroring a small synthesized FSM.
+
+use oisa_units::Second;
+use serde::{Deserialize, Serialize};
+
+use crate::mapping::MappingPlan;
+use crate::{CoreError, Result};
+
+/// One architecture command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Command {
+    /// Expose the pixel array (global shutter).
+    CaptureFrame,
+    /// Stream weight codes through the AWC row into the rings.
+    MapWeights {
+        /// AWC iterations this mapping needs.
+        iterations: u32,
+    },
+    /// Run optical MAC cycles.
+    Compute {
+        /// Number of 55.8 ps cycles.
+        cycles: u64,
+    },
+    /// Ship results through the output optical transmitter.
+    Transmit {
+        /// Result words to send.
+        words: u64,
+    },
+}
+
+impl Command {
+    /// Opcode of this command in the binary encoding.
+    #[must_use]
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Self::CaptureFrame => 0x01,
+            Self::MapWeights { .. } => 0x02,
+            Self::Compute { .. } => 0x03,
+            Self::Transmit { .. } => 0x04,
+        }
+    }
+
+    /// Encodes the command as `opcode · u64-operand` (9 bytes,
+    /// little-endian) — the wire format of Fig. 2's command stream.
+    #[must_use]
+    pub fn encode(&self) -> [u8; 9] {
+        let operand: u64 = match *self {
+            Self::CaptureFrame => 0,
+            Self::MapWeights { iterations } => u64::from(iterations),
+            Self::Compute { cycles } => cycles,
+            Self::Transmit { words } => words,
+        };
+        let mut out = [0u8; 9];
+        out[0] = self.opcode();
+        out[1..].copy_from_slice(&operand.to_le_bytes());
+        out
+    }
+
+    /// Decodes one 9-byte command.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for unknown opcodes or
+    /// out-of-range operands.
+    pub fn decode(bytes: &[u8; 9]) -> Result<Self> {
+        let operand = u64::from_le_bytes(bytes[1..].try_into().expect("8 bytes"));
+        match bytes[0] {
+            0x01 => Ok(Self::CaptureFrame),
+            0x02 => {
+                let iterations = u32::try_from(operand).map_err(|_| {
+                    CoreError::InvalidParameter(format!(
+                        "MapWeights iterations {operand} exceeds u32"
+                    ))
+                })?;
+                Ok(Self::MapWeights { iterations })
+            }
+            0x03 => Ok(Self::Compute { cycles: operand }),
+            0x04 => Ok(Self::Transmit { words: operand }),
+            other => Err(CoreError::InvalidParameter(format!(
+                "unknown opcode 0x{other:02x}"
+            ))),
+        }
+    }
+}
+
+/// Decodes a byte stream of 9-byte commands (Fig. 2's `CMD Decoder`).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for a stream whose length is
+/// not a multiple of 9 or that contains an invalid command.
+pub fn decode_program(stream: &[u8]) -> Result<Vec<Command>> {
+    if stream.len() % 9 != 0 {
+        return Err(CoreError::InvalidParameter(format!(
+            "command stream length {} is not a multiple of 9",
+            stream.len()
+        )));
+    }
+    stream
+        .chunks_exact(9)
+        .map(|chunk| Command::decode(chunk.try_into().expect("chunked by 9")))
+        .collect()
+}
+
+/// Encodes a program into the byte stream form.
+#[must_use]
+pub fn encode_program(program: &[Command]) -> Vec<u8> {
+    program.iter().flat_map(|c| c.encode()).collect()
+}
+
+/// Timing constants of the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControllerTiming {
+    /// One optical MAC cycle (paper: 55.8 ps architecture-wide).
+    pub cycle: Second,
+    /// One AWC tuning iteration (AWC settle; ring EO settle overlaps).
+    pub tuning_iteration: Second,
+    /// Exposure time of a capture.
+    pub exposure: Second,
+    /// Per-word optical transmit time.
+    pub transmit_word: Second,
+    /// Fixed decode overhead per command.
+    pub decode: Second,
+}
+
+impl ControllerTiming {
+    /// Paper constants: 55.8 ps cycles, 1 ns tuning iterations, 50 µs
+    /// exposure, 100 ps per transmitted word, 1 ns decode.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            cycle: Second::from_pico(55.8),
+            tuning_iteration: Second::from_nano(1.0),
+            exposure: Second::from_micro(50.0),
+            transmit_word: Second::from_pico(100.0),
+            decode: Second::from_nano(1.0),
+        }
+    }
+}
+
+/// Phase-by-phase latency accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Time spent exposing the sensor.
+    pub capture: Second,
+    /// Time spent mapping weights.
+    pub mapping: Second,
+    /// Time spent computing.
+    pub compute: Second,
+    /// Time spent transmitting outputs.
+    pub transmit: Second,
+    /// Controller decode overhead.
+    pub control: Second,
+}
+
+impl Timeline {
+    /// End-to-end latency.
+    #[must_use]
+    pub fn total(&self) -> Second {
+        self.capture + self.mapping + self.compute + self.transmit + self.control
+    }
+}
+
+/// The timing controller.
+///
+/// # Examples
+///
+/// ```
+/// use oisa_core::controller::{Command, Controller, ControllerTiming};
+///
+/// # fn main() -> Result<(), oisa_core::CoreError> {
+/// let ctrl = Controller::new(ControllerTiming::paper_default());
+/// let timeline = ctrl.execute(&[
+///     Command::CaptureFrame,
+///     Command::MapWeights { iterations: 100 },
+///     Command::Compute { cycles: 1000 },
+///     Command::Transmit { words: 64 },
+/// ])?;
+/// assert!(timeline.total().get() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Controller {
+    timing: ControllerTiming,
+}
+
+impl Controller {
+    /// Builds a controller with the given timing constants.
+    #[must_use]
+    pub fn new(timing: ControllerTiming) -> Self {
+        Self { timing }
+    }
+
+    /// Timing constants in use.
+    #[must_use]
+    pub fn timing(&self) -> &ControllerTiming {
+        &self.timing
+    }
+
+    /// Executes a command program, returning the accumulated timeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an empty program.
+    pub fn execute(&self, program: &[Command]) -> Result<Timeline> {
+        if program.is_empty() {
+            return Err(CoreError::InvalidParameter("empty command program".into()));
+        }
+        let mut t = Timeline::default();
+        for cmd in program {
+            t.control += self.timing.decode;
+            match *cmd {
+                Command::CaptureFrame => t.capture += self.timing.exposure,
+                Command::MapWeights { iterations } => {
+                    t.mapping += self.timing.tuning_iteration * f64::from(iterations);
+                }
+                Command::Compute { cycles } => {
+                    t.compute += self.timing.cycle * cycles as f64;
+                }
+                Command::Transmit { words } => {
+                    t.transmit += self.timing.transmit_word * words as f64;
+                }
+            }
+        }
+        Ok(t)
+    }
+
+    /// Builds the canonical per-frame program for a mapping plan:
+    /// capture, then per pass (map + compute), then transmit.
+    #[must_use]
+    pub fn frame_program(&self, plan: &MappingPlan, output_words: u64) -> Vec<Command> {
+        let mut program = vec![Command::CaptureFrame];
+        for _ in 0..plan.passes {
+            program.push(Command::MapWeights {
+                iterations: plan.tuning_iterations_per_pass as u32,
+            });
+            program.push(Command::Compute {
+                cycles: plan.cycles_per_pass as u64,
+            });
+        }
+        program.push(Command::Transmit {
+            words: output_words,
+        });
+        program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::ConvWorkload;
+    use oisa_optics::opc::OpcConfig;
+
+    #[test]
+    fn empty_program_rejected() {
+        let ctrl = Controller::new(ControllerTiming::paper_default());
+        assert!(ctrl.execute(&[]).is_err());
+    }
+
+    #[test]
+    fn compute_phase_uses_paper_cycle() {
+        let ctrl = Controller::new(ControllerTiming::paper_default());
+        let t = ctrl
+            .execute(&[Command::Compute { cycles: 1000 }])
+            .unwrap();
+        assert!((t.compute.as_nano() - 55.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capture_dominates_frame_latency() {
+        // At 1000 fps the 50 µs exposure dwarfs compute — the paper's
+        // point that OPC throughput is not the bottleneck.
+        let plan = MappingPlan::compute(
+            &ConvWorkload::resnet18_first_layer(),
+            &OpcConfig::paper_default(),
+        )
+        .unwrap();
+        let ctrl = Controller::new(ControllerTiming::paper_default());
+        let program = ctrl.frame_program(&plan, 61 * 61 * 64);
+        let t = ctrl.execute(&program).unwrap();
+        assert!(t.capture.get() > t.compute.get());
+        assert!(t.total().get() < 1e-3, "fits a 1 ms frame budget");
+    }
+
+    #[test]
+    fn frame_program_structure() {
+        let plan = MappingPlan::compute(
+            &ConvWorkload::resnet18_first_layer(),
+            &OpcConfig::paper_default(),
+        )
+        .unwrap();
+        let ctrl = Controller::new(ControllerTiming::paper_default());
+        let program = ctrl.frame_program(&plan, 128);
+        // capture + 3 × (map + compute) + transmit.
+        assert_eq!(program.len(), 1 + 2 * plan.passes + 1);
+        assert!(matches!(program[0], Command::CaptureFrame));
+        assert!(matches!(program.last(), Some(Command::Transmit { .. })));
+    }
+
+    #[test]
+    fn timeline_total_sums_phases() {
+        let t = Timeline {
+            capture: Second::from_micro(50.0),
+            mapping: Second::from_nano(100.0),
+            compute: Second::from_nano(10.0),
+            transmit: Second::from_nano(5.0),
+            control: Second::from_nano(4.0),
+        };
+        let total = t.total();
+        assert!((total.as_micro() - 50.119).abs() < 1e-6);
+    }
+
+    #[test]
+    fn command_encoding_round_trips() {
+        let program = vec![
+            Command::CaptureFrame,
+            Command::MapWeights { iterations: 98 },
+            Command::Compute { cycles: 11163 },
+            Command::Transmit { words: 238144 },
+        ];
+        let stream = encode_program(&program);
+        assert_eq!(stream.len(), 4 * 9);
+        let decoded = decode_program(&stream).unwrap();
+        assert_eq!(decoded, program);
+    }
+
+    #[test]
+    fn decoder_rejects_malformed_streams() {
+        assert!(decode_program(&[0x01, 0, 0]).is_err()); // not ×9
+        let mut bad = Command::CaptureFrame.encode().to_vec();
+        bad[0] = 0xFF;
+        assert!(decode_program(&bad).is_err()); // unknown opcode
+        let mut overflow = [0u8; 9];
+        overflow[0] = 0x02; // MapWeights
+        overflow[1..].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Command::decode(&overflow).is_err()); // iterations > u32
+    }
+
+    #[test]
+    fn decoded_program_executes_identically() {
+        let plan = MappingPlan::compute(
+            &ConvWorkload::resnet18_first_layer(),
+            &OpcConfig::paper_default(),
+        )
+        .unwrap();
+        let ctrl = Controller::new(ControllerTiming::paper_default());
+        let program = ctrl.frame_program(&plan, 64);
+        let round_tripped = decode_program(&encode_program(&program)).unwrap();
+        assert_eq!(
+            ctrl.execute(&program).unwrap(),
+            ctrl.execute(&round_tripped).unwrap()
+        );
+    }
+
+    #[test]
+    fn decode_overhead_charged_per_command() {
+        let ctrl = Controller::new(ControllerTiming::paper_default());
+        let t = ctrl
+            .execute(&[
+                Command::Compute { cycles: 1 },
+                Command::Compute { cycles: 1 },
+            ])
+            .unwrap();
+        assert!((t.control.as_nano() - 2.0).abs() < 1e-9);
+    }
+}

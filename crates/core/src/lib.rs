@@ -1,0 +1,108 @@
+//! The OISA architecture: the paper's contribution, assembled.
+//!
+//! This crate sits on top of the substrate crates and implements what the
+//! paper actually proposes (§III):
+//!
+//! * [`mapping`] — **hardware mapping & bank allocation**: how kernel
+//!   planes of size 3×3 / 5×5 / 7×7 are spread over 80 banks × 5 arms,
+//!   how many AWC tuning iterations a full map takes (100 for all 4000
+//!   rings), and how many cycles a convolution needs.
+//! * [`controller`] — the command decoder / timing controller FSM that
+//!   sequences capture → map → compute → transmit.
+//! * [`perf`] — the calibrated performance and power model behind the
+//!   paper's headline numbers (7.1 TOp/s at 55.8 ps per architecture-wide
+//!   MAC, 6.68 TOp/s/W, 1.92 mm²) and the Fig. 9 platform comparison
+//!   inputs.
+//! * [`accelerator`] — [`OisaAccelerator`]: the end-to-end device that
+//!   captures a frame, encodes it through the VAM, runs the first layer
+//!   in the Optical Processing Core, and reports energy/latency.
+//! * [`deploy`] — the Table II bridge: converts the AWC→MR level tables
+//!   into [`oisa_nn`] quantisers and swaps a trained model's first
+//!   convolution for its OISA deployment wrapper.
+//!
+//! # Examples
+//!
+//! ```
+//! use oisa_core::{OisaAccelerator, OisaConfig};
+//! use oisa_sensor::Frame;
+//!
+//! # fn main() -> Result<(), oisa_core::CoreError> {
+//! let mut accel = OisaAccelerator::new(OisaConfig::small_test())?;
+//! let frame = Frame::constant(16, 16, 0.8)?;
+//! let kernels = vec![vec![0.25f32; 9], vec![-0.5f32; 9]];
+//! let report = accel.convolve_frame(&frame, &kernels, 3)?;
+//! assert_eq!(report.output.len(), 2); // one feature map per kernel
+//! assert!(report.energy.compute.get() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod accelerator;
+pub mod controller;
+pub mod deploy;
+pub mod mapping;
+pub mod mlp;
+pub mod perf;
+
+pub use accelerator::{ConvolutionReport, OisaAccelerator, OisaConfig};
+pub use mapping::{ConvWorkload, MappingPlan};
+pub use perf::{OisaPerfModel, PowerBreakdown};
+
+use std::fmt;
+
+/// Errors from the architecture layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A configuration or argument was invalid.
+    InvalidParameter(String),
+    /// A workload cannot be mapped onto the configured OPC.
+    Unmappable(String),
+    /// A substrate crate failed.
+    Substrate(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            Self::Unmappable(what) => write!(f, "workload cannot be mapped: {what}"),
+            Self::Substrate(what) => write!(f, "substrate error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<oisa_optics::OpticsError> for CoreError {
+    fn from(e: oisa_optics::OpticsError) -> Self {
+        Self::Substrate(e.to_string())
+    }
+}
+
+impl From<oisa_sensor::SensorError> for CoreError {
+    fn from(e: oisa_sensor::SensorError) -> Self {
+        Self::Substrate(e.to_string())
+    }
+}
+
+impl From<oisa_device::DeviceError> for CoreError {
+    fn from(e: oisa_device::DeviceError) -> Self {
+        Self::Substrate(e.to_string())
+    }
+}
+
+impl From<oisa_memory::MemoryError> for CoreError {
+    fn from(e: oisa_memory::MemoryError) -> Self {
+        Self::Substrate(e.to_string())
+    }
+}
+
+impl From<oisa_nn::NnError> for CoreError {
+    fn from(e: oisa_nn::NnError) -> Self {
+        Self::Substrate(e.to_string())
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

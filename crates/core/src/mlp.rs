@@ -1,0 +1,207 @@
+//! MLP (fully connected) first-layer execution via the VOM.
+//!
+//! Paper §III-A: "In the case of the MLP, the number of dot products is
+//! enormous. To reduce the complexity of the calculations, the VOM unit
+//! … enables OISA to break the intensive MAC operations into smaller
+//! parts." A dense row of `n` weights becomes `⌈n / 9⌉` arm-sized
+//! chunks; each chunk computes optically and the VOM accumulates and
+//! re-modulates the partial sums.
+
+use oisa_device::noise::NoiseSource;
+use oisa_optics::opc::Opc;
+use oisa_optics::vom::Vom;
+use oisa_optics::weights::WeightMapper;
+use oisa_units::{Joule, Second};
+use serde::{Deserialize, Serialize};
+
+use crate::{CoreError, Result};
+
+/// Elements of a dense row executed per arm (the paper's 3×3-sized
+/// chunks: nine weights plus the spare slot).
+pub const CHUNK: usize = 9;
+
+/// Result of one dense matrix–vector product.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatVecReport {
+    /// The output vector, one value per matrix row.
+    pub output: Vec<f32>,
+    /// Chunks evaluated in total.
+    pub chunks: usize,
+    /// Total energy (optical + VOM accumulation/re-modulation).
+    pub energy: Joule,
+    /// Serialized latency over all chunk evaluations.
+    pub latency: Second,
+}
+
+/// Executes `matrix · input` (row-major `rows × cols` matrix) on the
+/// optical fabric, chunking every row across arms and aggregating
+/// through the VOM.
+///
+/// Weights are normalised per call by the joint maximum magnitude;
+/// `input` must already be in the VAM's normalised optical domain
+/// (`[0, 1]`).
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidParameter`] for shape mismatches or
+///   out-of-range inputs.
+/// * Substrate errors from the optical fabric.
+#[allow(clippy::too_many_arguments)]
+pub fn matvec(
+    opc: &mut Opc,
+    vom: &Vom,
+    mapper: &WeightMapper,
+    matrix: &[f32],
+    rows: usize,
+    cols: usize,
+    input: &[f64],
+    noise: &mut NoiseSource,
+) -> Result<MatVecReport> {
+    if matrix.len() != rows * cols || rows == 0 || cols == 0 {
+        return Err(CoreError::InvalidParameter(format!(
+            "matrix {rows}x{cols} does not match {} elements",
+            matrix.len()
+        )));
+    }
+    if input.len() != cols {
+        return Err(CoreError::InvalidParameter(format!(
+            "input length {} != cols {cols}",
+            input.len()
+        )));
+    }
+    let scale = matrix
+        .iter()
+        .fold(0.0f32, |m, w| m.max(w.abs()))
+        .max(f32::MIN_POSITIVE);
+    let arms_per_bank = oisa_optics::bank::ARMS_PER_BANK;
+    let mut output = Vec::with_capacity(rows);
+    let mut total_chunks = 0usize;
+    let mut energy = Joule::ZERO;
+    let mut latency = Second::ZERO;
+    for r in 0..rows {
+        let row = &matrix[r * cols..(r + 1) * cols];
+        let mut partials = Vec::new();
+        for (ci, (w_chunk, a_chunk)) in row.chunks(CHUNK).zip(input.chunks(CHUNK)).enumerate() {
+            // Round-robin chunks over the fabric; each chunk occupies one
+            // arm for its evaluation.
+            let slot = (total_chunks + ci) % (opc.bank_count() * arms_per_bank);
+            let bank = slot / arms_per_bank;
+            let arm = slot % arms_per_bank;
+            let normalised: Vec<f64> = w_chunk.iter().map(|&w| f64::from(w / scale)).collect();
+            opc.bank_mut(bank)?.load_arm(arm, &normalised, mapper)?;
+            let result = opc.compute_arm(bank, arm, a_chunk, noise)?;
+            energy += result.optical_energy;
+            partials.push(result);
+        }
+        total_chunks += partials.len();
+        let agg = vom.accumulate_and_transmit(&partials)?;
+        energy += agg.energy;
+        latency += agg.latency;
+        output.push((agg.value * f64::from(scale)) as f32);
+    }
+    Ok(MatVecReport {
+        output,
+        chunks: total_chunks,
+        energy,
+        latency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oisa_device::noise::{NoiseConfig, NoiseSource};
+    use oisa_optics::arm::ArmConfig;
+    use oisa_optics::opc::OpcConfig;
+    use oisa_optics::vom::VomConfig;
+
+    fn fabric() -> (Opc, Vom, WeightMapper) {
+        let cfg = OpcConfig {
+            banks: 2,
+            columns: 1,
+            awc_units: 10,
+            arm: ArmConfig::no_crosstalk(),
+        };
+        (
+            Opc::new(cfg).unwrap(),
+            Vom::new(VomConfig::paper_default()).unwrap(),
+            WeightMapper::ideal(4).unwrap(),
+        )
+    }
+
+    fn quiet() -> NoiseSource {
+        NoiseSource::seeded(0, NoiseConfig::noiseless())
+    }
+
+    #[test]
+    fn matvec_matches_reference() {
+        let (mut opc, vom, mapper) = fabric();
+        // 3×12 matrix → each row spans 2 chunks.
+        let rows = 3;
+        let cols = 12;
+        let matrix: Vec<f32> = (0..rows * cols)
+            .map(|i| (i as f32 * 0.37).sin())
+            .collect();
+        let input: Vec<f64> = (0..cols).map(|i| (i as f64) / cols as f64).collect();
+        let report = matvec(
+            &mut opc, &vom, &mapper, &matrix, rows, cols, &input, &mut quiet(),
+        )
+        .unwrap();
+        assert_eq!(report.output.len(), rows);
+        assert_eq!(report.chunks, rows * 2);
+        for r in 0..rows {
+            let exact: f64 = (0..cols)
+                .map(|c| f64::from(matrix[r * cols + c]) * input[c])
+                .sum();
+            let got = f64::from(report.output[r]);
+            assert!(
+                (got - exact).abs() < 0.25,
+                "row {r}: got {got}, exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn large_row_chunk_count() {
+        let (mut opc, vom, mapper) = fabric();
+        // One 784-wide row (an MNIST-sized MLP input) → 88 chunks.
+        let cols = 784;
+        let matrix = vec![0.01f32; cols];
+        let input = vec![0.5f64; cols];
+        let report = matvec(&mut opc, &vom, &mapper, &matrix, 1, cols, &input, &mut quiet())
+            .unwrap();
+        assert_eq!(report.chunks, 88);
+        let exact = 0.01 * 0.5 * cols as f64;
+        assert!(
+            (f64::from(report.output[0]) - exact).abs() < 0.4,
+            "got {} exact {exact}",
+            report.output[0]
+        );
+    }
+
+    #[test]
+    fn energy_and_latency_scale_with_rows() {
+        let (mut opc, vom, mapper) = fabric();
+        let cols = 18;
+        let run = |opc: &mut Opc, rows: usize| {
+            let matrix = vec![0.1f32; rows * cols];
+            let input = vec![0.5f64; cols];
+            matvec(opc, &vom, &mapper, &matrix, rows, cols, &input, &mut quiet()).unwrap()
+        };
+        let one = run(&mut opc, 1);
+        let four = run(&mut opc, 4);
+        assert!(four.energy.get() > 3.0 * one.energy.get());
+        assert!(four.latency.get() > 3.0 * one.latency.get());
+    }
+
+    #[test]
+    fn shape_validation() {
+        let (mut opc, vom, mapper) = fabric();
+        let err = matvec(&mut opc, &vom, &mapper, &[0.1; 6], 2, 4, &[0.5; 4], &mut quiet());
+        assert!(err.is_err());
+        let err = matvec(&mut opc, &vom, &mapper, &[0.1; 8], 2, 4, &[0.5; 3], &mut quiet());
+        assert!(err.is_err());
+        let err = matvec(&mut opc, &vom, &mapper, &[], 0, 0, &[], &mut quiet());
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Shared noise utilities for the optical and analog models.
+//!
+//! Simulation crates inject noise through a single [`NoiseSource`] so the
+//! whole stack stays deterministic under a seed: the accuracy experiments
+//! of Table II must be reproducible run-to-run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::sense_amp::gaussian;
+
+/// Relative noise intensities applied along the optical MAC path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Relative intensity noise of the VCSEL output (σ as a fraction of
+    /// the signal).
+    pub vcsel_rin: f64,
+    /// Relative σ of each ring's transmission (thermal drift of the
+    /// resonance between calibrations).
+    pub mr_drift: f64,
+    /// Additive σ at the BPD output as a fraction of the arm full scale
+    /// (shot + thermal, lumped).
+    pub detector: f64,
+}
+
+impl NoiseConfig {
+    /// Calibrated so the optical first layer degrades CIFAR-like accuracy
+    /// by a few points, matching Table II's gap to the float baseline.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            vcsel_rin: 0.01,
+            mr_drift: 0.01,
+            detector: 0.005,
+        }
+    }
+
+    /// Noise-free configuration for ablations and functional tests.
+    #[must_use]
+    pub fn noiseless() -> Self {
+        Self {
+            vcsel_rin: 0.0,
+            mr_drift: 0.0,
+            detector: 0.0,
+        }
+    }
+}
+
+/// A seeded Gaussian noise source.
+///
+/// # Examples
+///
+/// ```
+/// use oisa_device::noise::{NoiseConfig, NoiseSource};
+///
+/// let mut a = NoiseSource::seeded(1, NoiseConfig::paper_default());
+/// let mut b = NoiseSource::seeded(1, NoiseConfig::paper_default());
+/// assert_eq!(a.perturb_signal(1.0, 0.01), b.perturb_signal(1.0, 0.01));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NoiseSource {
+    rng: StdRng,
+    config: NoiseConfig,
+}
+
+impl NoiseSource {
+    /// Creates a source with a fixed seed.
+    #[must_use]
+    pub fn seeded(seed: u64, config: NoiseConfig) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            config,
+        }
+    }
+
+    /// The configured intensities.
+    #[must_use]
+    pub fn config(&self) -> &NoiseConfig {
+        &self.config
+    }
+
+    /// Multiplies `signal` by `(1 + σ·N(0,1))`.
+    pub fn perturb_signal(&mut self, signal: f64, sigma: f64) -> f64 {
+        if sigma == 0.0 {
+            return signal;
+        }
+        signal * (1.0 + sigma * gaussian(&mut self.rng))
+    }
+
+    /// Applies VCSEL relative-intensity noise to an emitted power.
+    pub fn vcsel(&mut self, power: f64) -> f64 {
+        let sigma = self.config.vcsel_rin;
+        self.perturb_signal(power, sigma).max(0.0)
+    }
+
+    /// Applies microring transmission drift, clamped to the physical
+    /// `[0, 1]` range.
+    pub fn mr_transmission(&mut self, t: f64) -> f64 {
+        let sigma = self.config.mr_drift;
+        self.perturb_signal(t, sigma).clamp(0.0, 1.0)
+    }
+
+    /// Adds detector noise: `value + σ·full_scale·N(0,1)`.
+    pub fn detector(&mut self, value: f64, full_scale: f64) -> f64 {
+        if self.config.detector == 0.0 {
+            return value;
+        }
+        value + self.config.detector * full_scale * gaussian(&mut self.rng)
+    }
+
+    /// Raw standard-normal sample (for callers composing their own
+    /// models).
+    pub fn standard_normal(&mut self) -> f64 {
+        gaussian(&mut self.rng)
+    }
+
+    /// Raw uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let cfg = NoiseConfig::paper_default();
+        let mut a = NoiseSource::seeded(99, cfg);
+        let mut b = NoiseSource::seeded(99, cfg);
+        for _ in 0..50 {
+            assert_eq!(a.standard_normal(), b.standard_normal());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = NoiseConfig::paper_default();
+        let mut a = NoiseSource::seeded(1, cfg);
+        let mut b = NoiseSource::seeded(2, cfg);
+        let same = (0..20)
+            .filter(|_| a.standard_normal() == b.standard_normal())
+            .count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn noiseless_config_is_identity() {
+        let mut src = NoiseSource::seeded(5, NoiseConfig::noiseless());
+        assert_eq!(src.vcsel(0.7), 0.7);
+        assert_eq!(src.mr_transmission(0.3), 0.3);
+        assert_eq!(src.detector(1.5, 10.0), 1.5);
+    }
+
+    #[test]
+    fn mr_transmission_stays_physical() {
+        let mut src = NoiseSource::seeded(5, NoiseConfig {
+            mr_drift: 0.5, // exaggerated
+            ..NoiseConfig::paper_default()
+        });
+        for _ in 0..500 {
+            let t = src.mr_transmission(0.95);
+            assert!((0.0..=1.0).contains(&t));
+        }
+    }
+
+    #[test]
+    fn vcsel_power_never_negative() {
+        let mut src = NoiseSource::seeded(5, NoiseConfig {
+            vcsel_rin: 1.0, // exaggerated
+            ..NoiseConfig::paper_default()
+        });
+        for _ in 0..500 {
+            assert!(src.vcsel(0.01) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn perturbation_statistics() {
+        let mut src = NoiseSource::seeded(17, NoiseConfig::paper_default());
+        let n = 10_000;
+        let samples: Vec<f64> = (0..n).map(|_| src.perturb_signal(2.0, 0.05)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.01, "mean {mean}");
+        let sd = (samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64).sqrt();
+        assert!((sd - 0.1).abs() < 0.01, "sd {sd}");
+    }
+}

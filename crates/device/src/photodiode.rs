@@ -1,0 +1,275 @@
+//! Photodiodes and the balanced photodetector (BPD).
+//!
+//! Each OPC arm terminates in two photodiodes wired in opposition: the
+//! positive-weight waveguide feeds one, the negative-weight waveguide the
+//! other, and the difference current *is* the signed dot-product result
+//! (paper §III-A, *Optical Processing Core*). This module models the
+//! responsivity, dark current and the two physical noise sources that
+//! bound OISA's effective resolution: shot noise and Johnson (thermal)
+//! noise in the transimpedance load.
+
+use oisa_units::{Ampere, Hertz, Kelvin, Ohm, Watt, BOLTZMANN_J_PER_K, ELEMENTARY_CHARGE_C};
+use serde::{Deserialize, Serialize};
+
+use crate::{DeviceError, Result};
+
+/// PIN photodiode parameters (defaults follow the SiGe detectors cited via
+/// ROBIN \[17\]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhotodiodeParams {
+    /// Responsivity, amperes per watt.
+    pub responsivity_a_per_w: f64,
+    /// Dark current.
+    pub dark_current: Ampere,
+    /// Detection bandwidth.
+    pub bandwidth: Hertz,
+    /// Transimpedance load resistance (sets thermal noise).
+    pub load: Ohm,
+    /// Operating temperature.
+    pub temperature: Kelvin,
+}
+
+impl PhotodiodeParams {
+    /// Paper-calibrated defaults: 1.1 A/W, 50 nA dark current, 42 GHz
+    /// bandwidth (>100 GHz-class photodetection cited in the intro is
+    /// derated to the receiver chain), 1 kΩ load at 300 K.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            responsivity_a_per_w: 1.1,
+            dark_current: Ampere::from_nano(50.0),
+            bandwidth: Hertz::from_giga(42.0),
+            load: Ohm::from_kilo(1.0),
+            temperature: Kelvin::new(300.0),
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.responsivity_a_per_w <= 0.0 {
+            return Err(DeviceError::InvalidParameter(
+                "responsivity must be positive".into(),
+            ));
+        }
+        if self.bandwidth.get() <= 0.0 {
+            return Err(DeviceError::InvalidParameter(
+                "bandwidth must be positive".into(),
+            ));
+        }
+        if self.load.get() <= 0.0 {
+            return Err(DeviceError::InvalidParameter(
+                "load resistance must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Photocurrent for incident optical power `p`.
+    #[must_use]
+    pub fn photocurrent(&self, p: Watt) -> Ampere {
+        Ampere::new(p.get().max(0.0) * self.responsivity_a_per_w) + self.dark_current
+    }
+
+    /// RMS shot-noise current for average current `i`:
+    /// `σ = √(2·q·I·B)`.
+    #[must_use]
+    pub fn shot_noise_rms(&self, i: Ampere) -> Ampere {
+        Ampere::new((2.0 * ELEMENTARY_CHARGE_C * i.get().abs() * self.bandwidth.get()).sqrt())
+    }
+
+    /// RMS thermal (Johnson) noise current in the load:
+    /// `σ = √(4·k·T·B / R)`.
+    #[must_use]
+    pub fn thermal_noise_rms(&self) -> Ampere {
+        Ampere::new(
+            (4.0 * BOLTZMANN_J_PER_K * self.temperature.get() * self.bandwidth.get()
+                / self.load.get())
+            .sqrt(),
+        )
+    }
+}
+
+/// A balanced photodetector: two matched photodiodes subtracting their
+/// photocurrents.
+///
+/// # Examples
+///
+/// ```
+/// use oisa_device::photodiode::{BalancedPhotodetector, PhotodiodeParams};
+/// use oisa_units::Watt;
+///
+/// # fn main() -> Result<(), oisa_device::DeviceError> {
+/// let bpd = BalancedPhotodetector::new(PhotodiodeParams::paper_default())?;
+/// let out = bpd.difference_current(Watt::from_micro(100.0), Watt::from_micro(40.0));
+/// assert!(out.get() > 0.0); // positive arm dominates
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BalancedPhotodetector {
+    params: PhotodiodeParams,
+}
+
+impl BalancedPhotodetector {
+    /// Builds a BPD from matched diode parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] for non-physical
+    /// parameters.
+    pub fn new(params: PhotodiodeParams) -> Result<Self> {
+        params.validate()?;
+        Ok(Self { params })
+    }
+
+    /// Diode parameters.
+    #[must_use]
+    pub fn params(&self) -> &PhotodiodeParams {
+        &self.params
+    }
+
+    /// Signed difference current for the two incident powers. Dark
+    /// currents cancel in the balanced topology.
+    #[must_use]
+    pub fn difference_current(&self, positive: Watt, negative: Watt) -> Ampere {
+        Ampere::new(
+            (positive.get().max(0.0) - negative.get().max(0.0)) * self.params.responsivity_a_per_w,
+        )
+    }
+
+    /// Total RMS noise current of the balanced pair for the given incident
+    /// powers: shot noise of *both* diodes (they add in quadrature — the
+    /// subtraction cancels signal, not noise) plus one load's thermal
+    /// noise.
+    #[must_use]
+    pub fn noise_rms(&self, positive: Watt, negative: Watt) -> Ampere {
+        let shot_p = self.params.shot_noise_rms(self.params.photocurrent(positive));
+        let shot_n = self.params.shot_noise_rms(self.params.photocurrent(negative));
+        let thermal = self.params.thermal_noise_rms();
+        Ampere::new(
+            (shot_p.get().powi(2) + shot_n.get().powi(2) + thermal.get().powi(2)).sqrt(),
+        )
+    }
+
+    /// Signal-to-noise ratio (linear) of a differential measurement.
+    /// Returns 0 for zero signal.
+    #[must_use]
+    pub fn snr(&self, positive: Watt, negative: Watt) -> f64 {
+        let signal = self.difference_current(positive, negative).get().abs();
+        let noise = self.noise_rms(positive, negative).get();
+        if noise <= 0.0 {
+            return f64::INFINITY;
+        }
+        signal / noise
+    }
+
+    /// Conversion latency: the balanced pair settles in roughly
+    /// `0.35 / bandwidth` (10–90% step response of a single-pole system).
+    #[must_use]
+    pub fn settling_time(&self) -> oisa_units::Second {
+        oisa_units::Second::new(0.35 / self.params.bandwidth.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bpd() -> BalancedPhotodetector {
+        BalancedPhotodetector::new(PhotodiodeParams::paper_default()).unwrap()
+    }
+
+    #[test]
+    fn photocurrent_linear_in_power() {
+        let p = PhotodiodeParams::paper_default();
+        let i1 = p.photocurrent(Watt::from_micro(10.0));
+        let i2 = p.photocurrent(Watt::from_micro(20.0));
+        let signal1 = i1.get() - p.dark_current.get();
+        let signal2 = i2.get() - p.dark_current.get();
+        assert!((signal2 / signal1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_power_clamped() {
+        let p = PhotodiodeParams::paper_default();
+        assert_eq!(p.photocurrent(Watt::new(-1.0)), p.dark_current);
+    }
+
+    #[test]
+    fn difference_current_signs() {
+        let b = bpd();
+        let pos = b.difference_current(Watt::from_micro(50.0), Watt::from_micro(10.0));
+        let neg = b.difference_current(Watt::from_micro(10.0), Watt::from_micro(50.0));
+        assert!(pos.get() > 0.0);
+        assert!(neg.get() < 0.0);
+        assert!((pos.get() + neg.get()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn balanced_zero_for_equal_arms() {
+        let b = bpd();
+        let out = b.difference_current(Watt::from_micro(33.0), Watt::from_micro(33.0));
+        assert_eq!(out.get(), 0.0);
+    }
+
+    #[test]
+    fn shot_noise_grows_with_current() {
+        let p = PhotodiodeParams::paper_default();
+        let n1 = p.shot_noise_rms(Ampere::from_micro(1.0));
+        let n2 = p.shot_noise_rms(Ampere::from_micro(4.0));
+        assert!((n2.get() / n1.get() - 2.0).abs() < 1e-9); // √4 = 2
+    }
+
+    #[test]
+    fn thermal_noise_fixed_magnitude() {
+        let p = PhotodiodeParams::paper_default();
+        let n = p.thermal_noise_rms();
+        // √(4·1.38e-23·300·42e9/1000) ≈ 0.83 µA.
+        assert!((n.as_micro() - 0.834).abs() < 0.01, "thermal {n}");
+    }
+
+    #[test]
+    fn snr_improves_with_signal() {
+        let b = bpd();
+        let low = b.snr(Watt::from_micro(11.0), Watt::from_micro(10.0));
+        let high = b.snr(Watt::from_micro(100.0), Watt::from_micro(10.0));
+        assert!(high > low);
+        assert_eq!(b.snr(Watt::from_micro(10.0), Watt::from_micro(10.0)), 0.0);
+    }
+
+    #[test]
+    fn settling_time_sub_nanosecond() {
+        let t = bpd().settling_time();
+        assert!(t.as_pico() < 20.0, "settling {t}");
+        assert!(t.as_pico() > 1.0);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut p = PhotodiodeParams::paper_default();
+        p.responsivity_a_per_w = 0.0;
+        assert!(BalancedPhotodetector::new(p).is_err());
+        let mut p = PhotodiodeParams::paper_default();
+        p.load = Ohm::ZERO;
+        assert!(BalancedPhotodetector::new(p).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn difference_is_antisymmetric(
+            a in 0.0..1e-3f64,
+            b_pow in 0.0..1e-3f64,
+        ) {
+            let b = bpd();
+            let fwd = b.difference_current(Watt::new(a), Watt::new(b_pow));
+            let rev = b.difference_current(Watt::new(b_pow), Watt::new(a));
+            prop_assert!((fwd.get() + rev.get()).abs() < 1e-15);
+        }
+
+        #[test]
+        fn noise_always_positive(a in 0.0..1e-3f64, b_pow in 0.0..1e-3f64) {
+            let b = bpd();
+            prop_assert!(b.noise_rms(Watt::new(a), Watt::new(b_pow)).get() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! The layer abstraction plus the parameter-free layers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Tensor;
+use crate::{NnError, Result};
+
+/// A differentiable layer.
+///
+/// Layers own their parameters and cache whatever the backward pass needs
+/// during [`Layer::forward`]. [`Layer::backward`] consumes the cache and
+/// accumulates parameter gradients internally; [`Layer::apply_gradients`]
+/// performs the SGD update (with the optimizer supplying scaling).
+pub trait Layer {
+    /// Computes the layer output. `training` toggles batch statistics and
+    /// cache retention.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`NnError::ShapeMismatch`] for incompatible
+    /// inputs.
+    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor>;
+
+    /// Propagates `grad_output` to the input, accumulating parameter
+    /// gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidState`] when called before `forward`.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
+
+    /// Applies the accumulated gradients with the provided update rule and
+    /// clears them. `update(param, grad, slot)` receives a per-parameter
+    /// momentum slot.
+    fn apply_gradients(&mut self, update: &mut dyn FnMut(&mut [f32], &[f32], &mut Vec<f32>));
+
+    /// Number of trainable parameters.
+    fn parameter_count(&self) -> usize {
+        0
+    }
+
+    /// Layer name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Downcast hook for containers that need concrete-type access (e.g.
+    /// swapping the first convolution for its quantised wrapper). Layers
+    /// that opt in return `Some(self)`.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+
+    /// Appends this layer's trainable parameters to `out`, in a fixed
+    /// per-layer order. Parameter-free layers append nothing.
+    fn export_parameters(&self, out: &mut Vec<f32>) {
+        let _ = out;
+    }
+
+    /// Restores parameters previously produced by
+    /// [`Layer::export_parameters`], consuming them from the front of
+    /// `input` and returning the remainder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when `input` holds fewer values
+    /// than this layer needs.
+    fn import_parameters<'a>(&mut self, input: &'a [f32]) -> Result<&'a [f32]> {
+        Ok(input)
+    }
+}
+
+/// Splits `count` values off the front of `input` for a layer restore.
+pub(crate) fn take(input: &[f32], count: usize) -> Result<(&[f32], &[f32])> {
+    if input.len() < count {
+        return Err(NnError::ShapeMismatch {
+            expected: format!("at least {count} parameters"),
+            got: vec![input.len()],
+        });
+    }
+    Ok(input.split_at(count))
+}
+
+/// Rectified linear unit.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor> {
+        if training {
+            self.mask = Some(input.as_slice().iter().map(|&v| v > 0.0).collect());
+        }
+        Ok(input.map(|v| v.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or_else(|| NnError::InvalidState("relu backward before forward".into()))?;
+        if mask.len() != grad_output.len() {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("volume {}", mask.len()),
+                got: grad_output.shape().to_vec(),
+            });
+        }
+        let mut g = grad_output.clone();
+        for (v, &keep) in g.as_mut_slice().iter_mut().zip(mask) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        Ok(g)
+    }
+
+    fn apply_gradients(&mut self, _update: &mut dyn FnMut(&mut [f32], &[f32], &mut Vec<f32>)) {}
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+/// 2×2 max pooling with stride 2 (NCHW).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MaxPool2 {
+    /// Cached argmax indices into the input, one per output element.
+    argmax: Option<(Vec<usize>, Vec<usize>)>,
+}
+
+impl MaxPool2 {
+    /// Creates a 2×2/stride-2 max-pool layer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for MaxPool2 {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor> {
+        let s = input.shape();
+        if s.len() != 4 || s[2] < 2 || s[3] < 2 {
+            return Err(NnError::ShapeMismatch {
+                expected: "NCHW with H, W >= 2".into(),
+                got: s.to_vec(),
+            });
+        }
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = Tensor::zeros(vec![n, c, oh, ow]);
+        let mut argmax = Vec::with_capacity(n * c * oh * ow);
+        for ni in 0..n {
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let (y, x) = (oy * 2 + dy, ox * 2 + dx);
+                                let v = input.at4(ni, ci, y, x);
+                                if v > best {
+                                    best = v;
+                                    best_idx = ((ni * c + ci) * h + y) * w + x;
+                                }
+                            }
+                        }
+                        *out.at4_mut(ni, ci, oy, ox) = best;
+                        argmax.push(best_idx);
+                    }
+                }
+            }
+        }
+        if training {
+            self.argmax = Some((argmax, s.to_vec()));
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let (argmax, in_shape) = self
+            .argmax
+            .as_ref()
+            .ok_or_else(|| NnError::InvalidState("maxpool backward before forward".into()))?;
+        if argmax.len() != grad_output.len() {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("volume {}", argmax.len()),
+                got: grad_output.shape().to_vec(),
+            });
+        }
+        let mut grad_in = Tensor::zeros(in_shape.clone());
+        let gi = grad_in.as_mut_slice();
+        for (&idx, &g) in argmax.iter().zip(grad_output.as_slice()) {
+            gi[idx] += g;
+        }
+        Ok(grad_in)
+    }
+
+    fn apply_gradients(&mut self, _update: &mut dyn FnMut(&mut [f32], &[f32], &mut Vec<f32>)) {}
+
+    fn name(&self) -> &'static str {
+        "maxpool2"
+    }
+}
+
+/// Global average pooling: NCHW → NC.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GlobalAvgPool {
+    in_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor> {
+        let s = input.shape();
+        if s.len() != 4 {
+            return Err(NnError::ShapeMismatch {
+                expected: "NCHW".into(),
+                got: s.to_vec(),
+            });
+        }
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let mut out = Tensor::zeros(vec![n, c]);
+        for ni in 0..n {
+            for ci in 0..c {
+                let mut acc = 0.0f32;
+                for y in 0..h {
+                    for x in 0..w {
+                        acc += input.at4(ni, ci, y, x);
+                    }
+                }
+                out.as_mut_slice()[ni * c + ci] = acc / (h * w) as f32;
+            }
+        }
+        if training {
+            self.in_shape = Some(s.to_vec());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let in_shape = self
+            .in_shape
+            .as_ref()
+            .ok_or_else(|| NnError::InvalidState("gap backward before forward".into()))?;
+        let (n, c, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
+        if grad_output.shape() != [n, c] {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("[{n}, {c}]"),
+                got: grad_output.shape().to_vec(),
+            });
+        }
+        let scale = 1.0 / (h * w) as f32;
+        let mut grad_in = Tensor::zeros(in_shape.clone());
+        for ni in 0..n {
+            for ci in 0..c {
+                let g = grad_output.as_slice()[ni * c + ci] * scale;
+                for y in 0..h {
+                    for x in 0..w {
+                        *grad_in.at4_mut(ni, ci, y, x) = g;
+                    }
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn apply_gradients(&mut self, _update: &mut dyn FnMut(&mut [f32], &[f32], &mut Vec<f32>)) {}
+
+    fn name(&self) -> &'static str {
+        "global_avg_pool"
+    }
+}
+
+/// Flattens NCHW to `[N, C·H·W]`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Flatten {
+    in_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor> {
+        let s = input.shape();
+        if s.is_empty() {
+            return Err(NnError::ShapeMismatch {
+                expected: "at least 1-D".into(),
+                got: s.to_vec(),
+            });
+        }
+        let n = s[0];
+        let rest: usize = s[1..].iter().product();
+        if training {
+            self.in_shape = Some(s.to_vec());
+        }
+        input.reshape(vec![n, rest])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let in_shape = self
+            .in_shape
+            .as_ref()
+            .ok_or_else(|| NnError::InvalidState("flatten backward before forward".into()))?;
+        grad_output.reshape(in_shape.clone())
+    }
+
+    fn apply_gradients(&mut self, _update: &mut dyn FnMut(&mut [f32], &[f32], &mut Vec<f32>)) {}
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![4], vec![-1.0, 0.0, 0.5, 2.0]).unwrap();
+        let y = relu.forward(&x, true).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 0.5, 2.0]);
+        let g = relu
+            .backward(&Tensor::from_vec(vec![4], vec![1.0; 4]).unwrap())
+            .unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_backward_requires_forward() {
+        let mut relu = Relu::new();
+        assert!(relu.backward(&Tensor::zeros(vec![2])).is_err());
+    }
+
+    #[test]
+    fn maxpool_selects_max_and_routes_gradient() {
+        let mut pool = MaxPool2::new();
+        let x = Tensor::from_vec(
+            vec![1, 1, 2, 2],
+            vec![1.0, 3.0, 2.0, 0.0], // max is 3.0 at (0,1)
+        )
+        .unwrap();
+        let y = pool.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.as_slice(), &[3.0]);
+        let g = pool
+            .backward(&Tensor::from_vec(vec![1, 1, 1, 1], vec![5.0]).unwrap())
+            .unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_shape_validation() {
+        let mut pool = MaxPool2::new();
+        assert!(pool.forward(&Tensor::zeros(vec![1, 1, 1, 4]), true).is_err());
+        assert!(pool.forward(&Tensor::zeros(vec![4, 4]), true).is_err());
+    }
+
+    #[test]
+    fn gap_averages_and_distributes() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = gap.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[1, 1]);
+        assert!((y.as_slice()[0] - 2.5).abs() < 1e-6);
+        let g = gap
+            .backward(&Tensor::from_vec(vec![1, 1], vec![4.0]).unwrap())
+            .unwrap();
+        assert!(g.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut fl = Flatten::new();
+        let x = Tensor::zeros(vec![2, 3, 4, 5]);
+        let y = fl.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[2, 60]);
+        let g = fl.backward(&Tensor::zeros(vec![2, 60])).unwrap();
+        assert_eq!(g.shape(), &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn parameter_free_layers_report_zero() {
+        assert_eq!(Relu::new().parameter_count(), 0);
+        assert_eq!(MaxPool2::new().parameter_count(), 0);
+        assert_eq!(Flatten::new().parameter_count(), 0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Batch normalisation over channels (NCHW).
+
+use serde::{Deserialize, Serialize};
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+use crate::{NnError, Result};
+
+/// BatchNorm2d: per-channel normalisation with learnable scale/shift and
+/// running statistics for inference.
+///
+/// # Examples
+///
+/// ```
+/// use oisa_nn::norm::BatchNorm2d;
+/// use oisa_nn::layer::Layer;
+/// use oisa_nn::Tensor;
+///
+/// # fn main() -> Result<(), oisa_nn::NnError> {
+/// let mut bn = BatchNorm2d::new(4)?;
+/// let y = bn.forward(&Tensor::zeros(vec![2, 4, 3, 3]), true)?;
+/// assert_eq!(y.shape(), &[2, 4, 3, 3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchNorm2d {
+    channels: usize,
+    gamma: Vec<f32>,
+    beta: Vec<f32>,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    grad_gamma: Vec<f32>,
+    grad_beta: Vec<f32>,
+    /// Cache: (normalised input, batch std per channel, input shape).
+    cache: Option<(Tensor, Vec<f32>)>,
+    momentum_g: Vec<f32>,
+    momentum_b: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Builds a batch-norm layer over `channels`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidParameter`] for zero channels.
+    pub fn new(channels: usize) -> Result<Self> {
+        if channels == 0 {
+            return Err(NnError::InvalidParameter(
+                "batchnorm channels must be positive".into(),
+            ));
+        }
+        Ok(Self {
+            channels,
+            gamma: vec![1.0; channels],
+            beta: vec![0.0; channels],
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            grad_gamma: vec![0.0; channels],
+            grad_beta: vec![0.0; channels],
+            cache: None,
+            momentum_g: Vec::new(),
+            momentum_b: Vec::new(),
+        })
+    }
+
+    /// Channel count.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    fn check_shape(&self, s: &[usize]) -> Result<()> {
+        if s.len() != 4 || s[1] != self.channels {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("NCHW with C = {}", self.channels),
+                got: s.to_vec(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor> {
+        self.check_shape(input.shape())?;
+        let s = input.shape();
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let count = (n * h * w) as f32;
+        let mut out = Tensor::zeros(s.to_vec());
+        if training {
+            let mut normalised = Tensor::zeros(s.to_vec());
+            let mut stds = vec![0.0f32; c];
+            for ci in 0..c {
+                let mut mean = 0.0f32;
+                for ni in 0..n {
+                    for y in 0..h {
+                        for x in 0..w {
+                            mean += input.at4(ni, ci, y, x);
+                        }
+                    }
+                }
+                mean /= count;
+                let mut var = 0.0f32;
+                for ni in 0..n {
+                    for y in 0..h {
+                        for x in 0..w {
+                            let d = input.at4(ni, ci, y, x) - mean;
+                            var += d * d;
+                        }
+                    }
+                }
+                var /= count;
+                let std = (var + self.eps).sqrt();
+                stds[ci] = std;
+                self.running_mean[ci] =
+                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean;
+                self.running_var[ci] =
+                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var;
+                for ni in 0..n {
+                    for y in 0..h {
+                        for x in 0..w {
+                            let xn = (input.at4(ni, ci, y, x) - mean) / std;
+                            *normalised.at4_mut(ni, ci, y, x) = xn;
+                            *out.at4_mut(ni, ci, y, x) = self.gamma[ci] * xn + self.beta[ci];
+                        }
+                    }
+                }
+            }
+            self.cache = Some((normalised, stds));
+        } else {
+            for ci in 0..c {
+                let std = (self.running_var[ci] + self.eps).sqrt();
+                let mean = self.running_mean[ci];
+                for ni in 0..n {
+                    for y in 0..h {
+                        for x in 0..w {
+                            let xn = (input.at4(ni, ci, y, x) - mean) / std;
+                            *out.at4_mut(ni, ci, y, x) = self.gamma[ci] * xn + self.beta[ci];
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let (normalised, stds) = self
+            .cache
+            .as_ref()
+            .ok_or_else(|| NnError::InvalidState("batchnorm backward before forward".into()))?;
+        self.check_shape(grad_output.shape())?;
+        let s = grad_output.shape();
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let count = (n * h * w) as f32;
+        let mut grad_in = Tensor::zeros(s.to_vec());
+        for ci in 0..c {
+            // Standard batch-norm backward:
+            // dx = γ/σ · (dy − mean(dy) − x̂ · mean(dy·x̂))
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xn = 0.0f32;
+            for ni in 0..n {
+                for y in 0..h {
+                    for x in 0..w {
+                        let dy = grad_output.at4(ni, ci, y, x);
+                        let xn = normalised.at4(ni, ci, y, x);
+                        sum_dy += dy;
+                        sum_dy_xn += dy * xn;
+                    }
+                }
+            }
+            self.grad_beta[ci] += sum_dy;
+            self.grad_gamma[ci] += sum_dy_xn;
+            let scale = self.gamma[ci] / stds[ci];
+            for ni in 0..n {
+                for y in 0..h {
+                    for x in 0..w {
+                        let dy = grad_output.at4(ni, ci, y, x);
+                        let xn = normalised.at4(ni, ci, y, x);
+                        *grad_in.at4_mut(ni, ci, y, x) =
+                            scale * (dy - sum_dy / count - xn * sum_dy_xn / count);
+                    }
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn apply_gradients(&mut self, update: &mut dyn FnMut(&mut [f32], &[f32], &mut Vec<f32>)) {
+        update(&mut self.gamma, &self.grad_gamma, &mut self.momentum_g);
+        update(&mut self.beta, &self.grad_beta, &mut self.momentum_b);
+        self.grad_gamma.fill(0.0);
+        self.grad_beta.fill(0.0);
+    }
+
+    fn parameter_count(&self) -> usize {
+        2 * self.channels
+    }
+
+    fn name(&self) -> &'static str {
+        "batchnorm2d"
+    }
+
+    fn export_parameters(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(&self.gamma);
+        out.extend_from_slice(&self.beta);
+        out.extend_from_slice(&self.running_mean);
+        out.extend_from_slice(&self.running_var);
+    }
+
+    fn import_parameters<'a>(&mut self, input: &'a [f32]) -> Result<&'a [f32]> {
+        let (g, rest) = crate::layer::take(input, self.channels)?;
+        self.gamma.copy_from_slice(g);
+        let (b, rest) = crate::layer::take(rest, self.channels)?;
+        self.beta.copy_from_slice(b);
+        let (m, rest) = crate::layer::take(rest, self.channels)?;
+        self.running_mean.copy_from_slice(m);
+        let (v, rest) = crate::layer::take(rest, self.channels)?;
+        self.running_var.copy_from_slice(v);
+        Ok(rest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_normalises_batch() {
+        let mut bn = BatchNorm2d::new(1).unwrap();
+        let x = Tensor::from_vec(vec![2, 1, 1, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = bn.forward(&x, true).unwrap();
+        let mean: f32 = y.as_slice().iter().sum::<f32>() / 4.0;
+        let var: f32 = y.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5, "mean {mean}");
+        assert!((var - 1.0).abs() < 1e-2, "var {var}");
+    }
+
+    #[test]
+    fn inference_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1).unwrap();
+        // Train on many batches so running stats converge.
+        let x = Tensor::from_vec(vec![2, 1, 1, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        for _ in 0..200 {
+            let _ = bn.forward(&x, true).unwrap();
+        }
+        let y = bn.forward(&x, false).unwrap();
+        // Mean ≈ 2.5, var ≈ 1.25: (1 − 2.5)/√1.25 ≈ −1.34.
+        assert!((y.as_slice()[0] + 1.34).abs() < 0.05, "got {}", y.as_slice()[0]);
+    }
+
+    #[test]
+    fn gradient_check_gamma_beta() {
+        let mut bn = BatchNorm2d::new(2).unwrap();
+        let x = Tensor::he_normal(vec![2, 2, 2, 2], 4, 3);
+        let y = bn.forward(&x, true).unwrap();
+        let ones = Tensor::full(y.shape().to_vec(), 1.0);
+        let _ = bn.backward(&ones).unwrap();
+        // dβ = Σ dy = count per channel.
+        assert!((bn.grad_beta[0] - 8.0).abs() < 1e-4);
+        // dγ = Σ dy·x̂ ≈ 0 for a normalised batch.
+        assert!(bn.grad_gamma[0].abs() < 1e-3);
+    }
+
+    #[test]
+    fn gradient_check_input_numerical() {
+        let mut bn = BatchNorm2d::new(1).unwrap();
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![0.5, -0.3, 0.8, 0.1]).unwrap();
+        let y = bn.forward(&x, true).unwrap();
+        // Loss: weighted sum with distinct weights so the gradient isn't
+        // trivially zero.
+        let w = [0.7f32, -0.2, 0.5, 1.1];
+        let g = Tensor::from_vec(vec![1, 1, 2, 2], w.to_vec()).unwrap();
+        let grad_in = bn.backward(&g).unwrap();
+        let loss = |t: &Tensor| -> f32 {
+            t.as_slice().iter().zip(&w).map(|(a, b)| a * b).sum()
+        };
+        let _ = loss(&y);
+        let eps = 1e-3f32;
+        for idx in 0..4 {
+            let mut bn2 = BatchNorm2d::new(1).unwrap();
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let plus = loss(&bn2.forward(&xp, true).unwrap());
+            let mut bn3 = BatchNorm2d::new(1).unwrap();
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let minus = loss(&bn3.forward(&xm, true).unwrap());
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!(
+                (grad_in.as_slice()[idx] - numeric).abs() < 2e-2,
+                "dx[{idx}]: analytic {} vs numeric {numeric}",
+                grad_in.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn shape_validation() {
+        let mut bn = BatchNorm2d::new(3).unwrap();
+        assert!(bn.forward(&Tensor::zeros(vec![1, 2, 2, 2]), true).is_err());
+        assert!(bn.backward(&Tensor::zeros(vec![1, 3, 2, 2])).is_err());
+        assert!(BatchNorm2d::new(0).is_err());
+    }
+
+    #[test]
+    fn parameter_count() {
+        assert_eq!(BatchNorm2d::new(16).unwrap().parameter_count(), 32);
+    }
+}

@@ -1,0 +1,447 @@
+//! Quantisers bridging the CNN framework to the OISA hardware models.
+//!
+//! The optics stack decides *which* discrete levels exist (the AWC ladder
+//! through the ring calibration — `oisa_optics::weights::WeightMapper`);
+//! this module consumes a plain level table so the two crates stay
+//! decoupled. The architecture crate wires them together and
+//! cross-validates the behavioural path against the physical one.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::conv::Conv2d;
+use crate::layer::Layer;
+use crate::tensor::{gaussian32, Tensor};
+use crate::{NnError, Result};
+
+/// Nearest-level magnitude quantiser over `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use oisa_nn::quantize::LevelQuantizer;
+///
+/// # fn main() -> Result<(), oisa_nn::NnError> {
+/// let q = LevelQuantizer::uniform(2)?; // 0, ⅓, ⅔, 1
+/// assert!((q.nearest(0.3) - 1.0 / 3.0).abs() < 1e-6);
+/// assert_eq!(q.nearest(-0.4), -1.0 / 3.0); // sign preserved
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelQuantizer {
+    levels: Vec<f32>,
+}
+
+impl LevelQuantizer {
+    /// Builds from an explicit, ascending level table in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidParameter`] for empty, unsorted or
+    /// out-of-range tables.
+    pub fn new(levels: Vec<f32>) -> Result<Self> {
+        if levels.is_empty() {
+            return Err(NnError::InvalidParameter("empty level table".into()));
+        }
+        if levels.windows(2).any(|w| w[1] < w[0]) {
+            return Err(NnError::InvalidParameter(
+                "level table must be ascending".into(),
+            ));
+        }
+        if levels.iter().any(|l| !(0.0..=1.0).contains(l)) {
+            return Err(NnError::InvalidParameter(
+                "levels must lie in [0, 1]".into(),
+            ));
+        }
+        Ok(Self { levels })
+    }
+
+    /// Uniform `2^bits` levels over `[0, 1]` — an ideal converter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidParameter`] for `bits` outside `1..=8`.
+    pub fn uniform(bits: u8) -> Result<Self> {
+        if !(1..=8).contains(&bits) {
+            return Err(NnError::InvalidParameter(format!(
+                "bits {bits} outside 1..=8"
+            )));
+        }
+        let n = (1u16 << bits) as usize;
+        Ok(Self {
+            levels: (0..n).map(|i| i as f32 / (n - 1) as f32).collect(),
+        })
+    }
+
+    /// The level table.
+    #[must_use]
+    pub fn levels(&self) -> &[f32] {
+        &self.levels
+    }
+
+    /// Quantises a signed value in `[−1, 1]` to the nearest level,
+    /// preserving sign. Values beyond ±1 clamp.
+    #[must_use]
+    pub fn nearest(&self, v: f32) -> f32 {
+        let magnitude = v.abs().min(1.0);
+        let level = self
+            .levels
+            .iter()
+            .copied()
+            .min_by(|a, b| (a - magnitude).abs().total_cmp(&(b - magnitude).abs()))
+            .unwrap_or(0.0);
+        if v < 0.0 {
+            -level
+        } else {
+            level
+        }
+    }
+
+    /// Quantises a convolution's weights in place using per-tensor scaling
+    /// (`scale = max |w|`), returning the scale so outputs can be
+    /// de-quantised.
+    pub fn quantize_conv(&self, conv: &mut Conv2d) -> f32 {
+        let scale = conv.weights().max_abs().max(f32::MIN_POSITIVE);
+        for w in conv.weights_mut().as_mut_slice() {
+            *w = self.nearest(*w / scale) * scale;
+        }
+        scale
+    }
+
+    /// Quantises a convolution's weights in place with **per-output-
+    /// channel** scales, returning one scale per channel. This matches
+    /// the hardware: each kernel occupies its own arm, whose receiver
+    /// gain can absorb a per-kernel scale — and it preserves far more
+    /// signal at low bit widths than a single per-tensor scale.
+    pub fn quantize_conv_per_channel(&self, conv: &mut Conv2d) -> Vec<f32> {
+        let out_ch = conv.out_channels();
+        let per_ch = conv.weights().len() / out_ch;
+        let weights = conv.weights_mut().as_mut_slice();
+        let mut scales = Vec::with_capacity(out_ch);
+        for oc in 0..out_ch {
+            let chunk = &mut weights[oc * per_ch..(oc + 1) * per_ch];
+            let scale = chunk
+                .iter()
+                .fold(0.0f32, |m, w| m.max(w.abs()))
+                .max(f32::MIN_POSITIVE);
+            for w in chunk.iter_mut() {
+                *w = self.nearest(*w / scale) * scale;
+            }
+            scales.push(scale);
+        }
+        scales
+    }
+}
+
+/// The VAM's ternary activation quantiser in the illumination domain.
+///
+/// Thresholds sit where the pixel's 0.16 V / 0.32 V references land after
+/// the 0.5 V swing (paper Fig. 8): illumination 0.32 and 0.64. The three
+/// output values are the normalised VCSEL amplitudes — the zero level
+/// carries the small non-return-to-zero floor emission.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TernaryActivation {
+    /// Lower illumination threshold.
+    pub t1: f32,
+    /// Upper illumination threshold.
+    pub t2: f32,
+    /// Emitted amplitude for level 0 (NRZ floor).
+    pub v0: f32,
+    /// Emitted amplitude for level 1.
+    pub v1: f32,
+    /// Emitted amplitude for level 2.
+    pub v2: f32,
+}
+
+impl TernaryActivation {
+    /// Paper calibration: thresholds 0.32 / 0.64; amplitudes 0.022 / 0.511
+    /// / 1.0, matching `oisa_device::vcsel::Vcsel::normalized_output` for
+    /// the paper VCSEL (cross-checked by an integration test).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            t1: 0.32,
+            t2: 0.64,
+            v0: 0.022,
+            v1: 0.511,
+            v2: 1.0,
+        }
+    }
+
+    /// Ideal ternary encoding without the NRZ floor (for ablations).
+    #[must_use]
+    pub fn ideal() -> Self {
+        Self {
+            t1: 0.32,
+            t2: 0.64,
+            v0: 0.0,
+            v1: 0.5,
+            v2: 1.0,
+        }
+    }
+
+    /// Encodes one illumination value.
+    #[must_use]
+    pub fn encode(&self, lux: f32) -> f32 {
+        if lux > self.t2 {
+            self.v2
+        } else if lux > self.t1 {
+            self.v1
+        } else {
+            self.v0
+        }
+    }
+
+    /// Encodes a whole tensor.
+    #[must_use]
+    pub fn encode_tensor(&self, x: &Tensor) -> Tensor {
+        x.map(|v| self.encode(v))
+    }
+}
+
+/// Inference-only wrapper executing a convolution the way OISA does:
+/// ternary-encoded input, level-quantised weights, Gaussian read-out
+/// noise. Swapped in for the first conv of a trained model (Table II's
+/// deployment path).
+pub struct QuantizedConv2d {
+    conv: Conv2d,
+    activation: TernaryActivation,
+    /// σ of the additive output noise, relative to the layer's output RMS.
+    noise_sigma: f32,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for QuantizedConv2d {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuantizedConv2d")
+            .field("noise_sigma", &self.noise_sigma)
+            .finish()
+    }
+}
+
+impl QuantizedConv2d {
+    /// Wraps a trained convolution: quantises its weights through
+    /// `quantizer` (per-tensor scaling) and applies `activation` to
+    /// inputs at inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidParameter`] for a negative noise sigma.
+    pub fn new(
+        mut conv: Conv2d,
+        quantizer: &LevelQuantizer,
+        activation: TernaryActivation,
+        noise_sigma: f32,
+        seed: u64,
+    ) -> Result<Self> {
+        if noise_sigma < 0.0 {
+            return Err(NnError::InvalidParameter(
+                "noise sigma must be non-negative".into(),
+            ));
+        }
+        quantizer.quantize_conv(&mut conv);
+        Ok(Self {
+            conv,
+            activation,
+            noise_sigma,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Like [`QuantizedConv2d::new`] but with per-output-channel weight
+    /// scaling — the hardware-faithful deployment (each kernel's arm has
+    /// its own receiver gain) and the variant that keeps 1-bit weights
+    /// usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidParameter`] for a negative noise sigma.
+    pub fn new_per_channel(
+        mut conv: Conv2d,
+        quantizer: &LevelQuantizer,
+        activation: TernaryActivation,
+        noise_sigma: f32,
+        seed: u64,
+    ) -> Result<Self> {
+        if noise_sigma < 0.0 {
+            return Err(NnError::InvalidParameter(
+                "noise sigma must be non-negative".into(),
+            ));
+        }
+        quantizer.quantize_conv_per_channel(&mut conv);
+        Ok(Self {
+            conv,
+            activation,
+            noise_sigma,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// The wrapped (already-quantised) convolution.
+    #[must_use]
+    pub fn conv(&self) -> &Conv2d {
+        &self.conv
+    }
+}
+
+impl Layer for QuantizedConv2d {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor> {
+        let encoded = self.activation.encode_tensor(input);
+        let mut out = self.conv.forward(&encoded, false)?;
+        if self.noise_sigma > 0.0 {
+            // Scale noise to the output RMS so it tracks signal magnitude,
+            // as physical detector noise does relative to full scale.
+            let rms = (out.as_slice().iter().map(|v| v * v).sum::<f32>()
+                / out.len() as f32)
+                .sqrt()
+                .max(1e-6);
+            let sigma = self.noise_sigma * rms;
+            for v in out.as_mut_slice() {
+                *v += gaussian32(&mut self.rng) * sigma;
+            }
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, _grad_output: &Tensor) -> Result<Tensor> {
+        Err(NnError::InvalidState(
+            "QuantizedConv2d is inference-only (deployment wrapper)".into(),
+        ))
+    }
+
+    fn apply_gradients(&mut self, _update: &mut dyn FnMut(&mut [f32], &[f32], &mut Vec<f32>)) {}
+
+    fn parameter_count(&self) -> usize {
+        self.conv.parameter_count()
+    }
+
+    fn name(&self) -> &'static str {
+        "quantized_conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uniform_levels() {
+        let q = LevelQuantizer::uniform(2).unwrap();
+        assert_eq!(q.levels().len(), 4);
+        assert!((q.levels()[1] - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn custom_table_validation() {
+        assert!(LevelQuantizer::new(vec![]).is_err());
+        assert!(LevelQuantizer::new(vec![0.5, 0.2]).is_err());
+        assert!(LevelQuantizer::new(vec![0.0, 1.5]).is_err());
+        assert!(LevelQuantizer::new(vec![0.0, 0.4, 0.9]).is_ok());
+    }
+
+    #[test]
+    fn nearest_clamps_and_signs() {
+        let q = LevelQuantizer::uniform(1).unwrap(); // {0, 1}
+        assert_eq!(q.nearest(0.4), 0.0);
+        assert_eq!(q.nearest(0.6), 1.0);
+        assert_eq!(q.nearest(-0.6), -1.0);
+        assert_eq!(q.nearest(5.0), 1.0); // clamp
+    }
+
+    #[test]
+    fn quantize_conv_preserves_scale() {
+        let mut conv = Conv2d::with_seed(1, 2, 3, 1, 1, 7).unwrap();
+        let before_max = conv.weights().max_abs();
+        let q = LevelQuantizer::uniform(4).unwrap();
+        let scale = q.quantize_conv(&mut conv);
+        assert!((scale - before_max).abs() < 1e-6);
+        // The largest weight must map to ±scale exactly.
+        assert!((conv.weights().max_abs() - before_max).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ternary_encoding_matches_vam_bins() {
+        let t = TernaryActivation::paper_default();
+        assert_eq!(t.encode(0.1), t.v0);
+        assert_eq!(t.encode(0.5), t.v1);
+        assert_eq!(t.encode(0.9), t.v2);
+        // Exact thresholds fall into the lower bin (strict >).
+        assert_eq!(t.encode(0.32), t.v0);
+        assert_eq!(t.encode(0.64), t.v1);
+    }
+
+    #[test]
+    fn quantized_conv_deterministic_per_seed() {
+        let q = LevelQuantizer::uniform(4).unwrap();
+        let conv = Conv2d::with_seed(1, 2, 3, 1, 1, 3).unwrap();
+        let x = Tensor::he_normal(vec![1, 1, 6, 6], 36, 1).map(|v| v.abs().min(1.0));
+        let mut a = QuantizedConv2d::new(
+            conv.clone(),
+            &q,
+            TernaryActivation::paper_default(),
+            0.01,
+            99,
+        )
+        .unwrap();
+        let mut b = QuantizedConv2d::new(conv, &q, TernaryActivation::paper_default(), 0.01, 99)
+            .unwrap();
+        let ya = a.forward(&x, false).unwrap();
+        let yb = b.forward(&x, false).unwrap();
+        assert_eq!(ya, yb);
+    }
+
+    #[test]
+    fn quantized_conv_close_to_float_conv() {
+        let q = LevelQuantizer::uniform(4).unwrap();
+        let mut float_conv = Conv2d::with_seed(1, 2, 3, 1, 1, 3).unwrap();
+        let x = Tensor::he_normal(vec![1, 1, 6, 6], 36, 1).map(|v| v.abs().min(1.0));
+        // Reference: float conv on the ideal ternary encoding.
+        let enc = TernaryActivation::ideal().encode_tensor(&x);
+        let reference = float_conv.forward(&enc, false).unwrap();
+        let mut quant = QuantizedConv2d::new(
+            float_conv.clone(),
+            &q,
+            TernaryActivation::ideal(),
+            0.0,
+            0,
+        )
+        .unwrap();
+        let approx = quant.forward(&x, false).unwrap();
+        let max_dev = reference
+            .as_slice()
+            .iter()
+            .zip(approx.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        // 4-bit weights on a 9-element window: deviation stays small.
+        assert!(max_dev < 0.2, "max deviation {max_dev}");
+    }
+
+    #[test]
+    fn quantized_conv_refuses_backward() {
+        let q = LevelQuantizer::uniform(4).unwrap();
+        let conv = Conv2d::with_seed(1, 1, 3, 1, 1, 0).unwrap();
+        let mut qc =
+            QuantizedConv2d::new(conv, &q, TernaryActivation::ideal(), 0.0, 0).unwrap();
+        assert!(qc.backward(&Tensor::zeros(vec![1, 1, 4, 4])).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn nearest_error_bounded(v in -1.0..=1.0f32, bits in 1u8..=4) {
+            let q = LevelQuantizer::uniform(bits).unwrap();
+            let lsb = 1.0 / ((1u16 << bits) - 1) as f32;
+            prop_assert!((q.nearest(v) - v).abs() <= lsb / 2.0 + 1e-6);
+        }
+
+        #[test]
+        fn ternary_monotone(a in 0.0..=1.0f32, b in 0.0..=1.0f32) {
+            let t = TernaryActivation::paper_default();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(t.encode(lo) <= t.encode(hi));
+        }
+    }
+}

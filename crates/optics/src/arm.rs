@@ -1,0 +1,467 @@
+//! One OPC arm: ten microrings, two waveguides, one balanced
+//! photodetector.
+//!
+//! The arm is the unit of computation (paper Fig. 5(c)): the nine weights
+//! of a 3×3 kernel occupy nine rings (the tenth is a spare / bias slot),
+//! each ring weighting one WDM channel. Positive-sign rings sit on one
+//! waveguide, negative-sign rings on the other; the BPD at the arm's end
+//! subtracts the two accumulated powers, so the photocurrent *is* the
+//! signed dot product.
+
+use oisa_device::mr::{Microring, MrDesign};
+use oisa_device::noise::NoiseSource;
+use oisa_device::photodiode::{BalancedPhotodetector, PhotodiodeParams};
+use oisa_device::waveguide::{ChannelPlan, LossBudget, OpticalPath};
+use oisa_units::{Joule, Meter, Second, Watt};
+use serde::{Deserialize, Serialize};
+
+use crate::weights::{MappedWeight, WeightMapper};
+use crate::{OpticsError, Result};
+
+/// Number of microrings per arm (paper §III-B).
+pub const RINGS_PER_ARM: usize = 10;
+
+/// Arm configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArmConfig {
+    /// Ring design used for every MR in the arm.
+    pub ring: MrDesign,
+    /// Detector at the arm output.
+    pub detector: PhotodiodeParams,
+    /// Loss budget for the waveguide run.
+    pub losses: LossBudget,
+    /// Physical arm length (sets propagation loss and time of flight).
+    pub length: Meter,
+    /// Per-channel optical input power at full activation.
+    pub channel_power: Watt,
+    /// Model inter-channel crosstalk: each ring's Lorentzian tail also
+    /// attenuates its spectral neighbours. Costs one extra transmission
+    /// evaluation per adjacent-channel pair.
+    pub crosstalk: bool,
+}
+
+impl ArmConfig {
+    /// Paper defaults: paper ring + detector + losses over a 500 µm arm
+    /// with 200 µW per channel; crosstalk modelling on.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            ring: MrDesign::paper_default(),
+            detector: PhotodiodeParams::paper_default(),
+            losses: LossBudget::paper_default(),
+            length: Meter::from_micro(500.0),
+            channel_power: Watt::from_micro(200.0),
+            crosstalk: true,
+        }
+    }
+
+    /// Paper defaults with crosstalk disabled (ideal-isolation ablation).
+    #[must_use]
+    pub fn no_crosstalk() -> Self {
+        Self {
+            crosstalk: false,
+            ..Self::paper_default()
+        }
+    }
+}
+
+/// Result of one arm-level MAC.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MacResult {
+    /// The signed dot product, in weight·activation units (loss-
+    /// normalised).
+    pub value: f64,
+    /// BPD difference current before normalisation, amperes.
+    pub raw_current: f64,
+    /// Optical + detection latency of the evaluation.
+    pub latency: Second,
+    /// Optical energy consumed by this arm for one symbol.
+    pub optical_energy: Joule,
+}
+
+/// A single arm with its loaded weights.
+///
+/// See the crate-level example for typical use.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Arm {
+    config: ArmConfig,
+    rings: Vec<Microring>,
+    weights: Vec<MappedWeight>,
+    plan: ChannelPlan,
+    detector: BalancedPhotodetector,
+    /// Cached waveguide transmission from input to detector.
+    path_transmission: f64,
+    /// Total tuning energy spent loading the current weights.
+    tuning_energy: Joule,
+    /// Worst-case tuning latency of the last load.
+    tuning_latency: Second,
+}
+
+impl Arm {
+    /// Builds an idle arm with all rings parked (weight 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpticsError::Device`] when a sub-device rejects its
+    /// parameters.
+    pub fn new(config: ArmConfig) -> Result<Self> {
+        // Spread the ten channels across the ring's free spectral range:
+        // the spacing must exceed the worst-case weight detuning
+        // (≈ 0.67 nm) plus guard band, or a fully-detuned ring parks on
+        // its neighbour's channel.
+        let plan = ChannelPlan::new(
+            config.ring.resonance_wavelength,
+            Meter::new(config.ring.free_spectral_range().get() / RINGS_PER_ARM as f64),
+            RINGS_PER_ARM as u16,
+        )?;
+        let rings = (0..RINGS_PER_ARM)
+            .map(|_| Microring::new(config.ring))
+            .collect::<oisa_device::Result<Vec<_>>>()?;
+        let detector = BalancedPhotodetector::new(config.detector)?;
+        let path = OpticalPath::new(config.losses)?
+            .with_length(config.length)
+            .with_ring_passes((RINGS_PER_ARM - 1) as u32)
+            .with_splitters(1);
+        Ok(Self {
+            config,
+            rings,
+            weights: Vec::new(),
+            plan,
+            detector,
+            path_transmission: path.transmission(),
+            tuning_energy: Joule::ZERO,
+            tuning_latency: Second::ZERO,
+        })
+    }
+
+    /// Arm configuration.
+    #[must_use]
+    pub fn config(&self) -> &ArmConfig {
+        &self.config
+    }
+
+    /// Currently loaded weights.
+    #[must_use]
+    pub fn weights(&self) -> &[MappedWeight] {
+        &self.weights
+    }
+
+    /// Tuning energy spent by the last [`Arm::load_weights`].
+    #[must_use]
+    pub fn tuning_energy(&self) -> Joule {
+        self.tuning_energy
+    }
+
+    /// Worst-case settling latency of the last load (rings tune in
+    /// parallel).
+    #[must_use]
+    pub fn tuning_latency(&self) -> Second {
+        self.tuning_latency
+    }
+
+    /// Static heater power holding the current weights.
+    #[must_use]
+    pub fn holding_power(&self) -> Watt {
+        self.rings.iter().map(Microring::holding_power).sum()
+    }
+
+    /// Quantises `weights` through `mapper` and maps them onto the rings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpticsError::CapacityExceeded`] when more than
+    /// [`RINGS_PER_ARM`] weights are supplied, or a quantisation error.
+    pub fn load_weights(&mut self, weights: &[f64], mapper: &WeightMapper) -> Result<()> {
+        if weights.len() > RINGS_PER_ARM {
+            return Err(OpticsError::CapacityExceeded {
+                capacity: RINGS_PER_ARM,
+                requested: weights.len(),
+            });
+        }
+        let mapped = mapper.quantize_all(weights)?;
+        let mut energy = Joule::ZERO;
+        let mut latency = Second::ZERO;
+        for (i, ring) in self.rings.iter_mut().enumerate() {
+            let magnitude = mapped.get(i).map_or(0.0, |m| m.magnitude);
+            // Ring transmission encodes the magnitude; parked rings
+            // (weight 0) sit on resonance and block their channel.
+            let floor = ring.design().intrinsic_loss;
+            let target = floor + (0.95 - floor) * magnitude;
+            let detuning = ring.detuning_for_transmission(target)?;
+            let outcome = ring.apply_detuning(detuning);
+            energy += outcome.energy;
+            latency = latency.max(outcome.latency);
+        }
+        self.weights = mapped;
+        self.tuning_energy = energy;
+        self.tuning_latency = latency;
+        Ok(())
+    }
+
+    /// Evaluates the signed dot product of the loaded weights with
+    /// `activations` (normalised optical amplitudes in `[0, 1]`, one per
+    /// loaded weight).
+    ///
+    /// The chain models: VCSEL RIN on each channel → ring transmission
+    /// (with drift) → waveguide losses → accumulation on the +/−
+    /// waveguides → BPD subtraction with detector noise → loss-normalised
+    /// signed result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpticsError::InvalidParameter`] when activation count
+    /// exceeds the loaded weight count or values leave `[0, 1]`.
+    pub fn mac(&self, activations: &[f64], noise: &mut NoiseSource) -> Result<MacResult> {
+        if activations.len() > self.weights.len() {
+            return Err(OpticsError::InvalidParameter(format!(
+                "{} activations for {} loaded weights",
+                activations.len(),
+                self.weights.len()
+            )));
+        }
+        let mut p_pos = 0.0f64;
+        let mut p_neg = 0.0f64;
+        let p_in = self.config.channel_power.get();
+        let spacing = self.plan.spacing();
+        for (i, (a, w)) in activations.iter().zip(&self.weights).enumerate() {
+            if !(0.0..=1.0).contains(a) {
+                return Err(OpticsError::InvalidParameter(format!(
+                    "activation {a} outside [0, 1]"
+                )));
+            }
+            let launched = noise.vcsel(p_in * a);
+            let t = noise.mr_transmission(w.magnitude);
+            // Spectral neighbours' Lorentzian tails shave a little power
+            // off this channel (inter-channel crosstalk; paper §III-A's
+            // Q-factor trade-off).
+            let mut xt = 1.0;
+            if self.config.crosstalk {
+                if i > 0 {
+                    xt *= self.rings[i - 1].crosstalk_transmission(spacing);
+                }
+                if i + 1 < self.weights.len() {
+                    xt *= self.rings[i + 1].crosstalk_transmission(-spacing);
+                }
+            }
+            let arrived = launched * t * xt * self.path_transmission;
+            if w.negative {
+                p_neg += arrived;
+            } else {
+                p_pos += arrived;
+            }
+        }
+        let diff = self
+            .detector
+            .difference_current(Watt::new(p_pos), Watt::new(p_neg));
+        // Full scale: all channels at activation 1 with weight magnitude 1
+        // on one waveguide.
+        let full_scale = p_in
+            * self.path_transmission
+            * self.config.detector.responsivity_a_per_w
+            * activations.len().max(1) as f64;
+        let noisy = noise.detector(diff.get(), full_scale);
+        // Loss-normalised value in weight·activation units.
+        let per_channel_full =
+            p_in * self.path_transmission * self.config.detector.responsivity_a_per_w;
+        let value = noisy / per_channel_full;
+        let latency = self.time_of_flight() + self.detector.settling_time();
+        let optical_energy =
+            Watt::new(p_pos + p_neg) * (self.time_of_flight() + self.detector.settling_time());
+        Ok(MacResult {
+            value,
+            raw_current: noisy,
+            latency,
+            optical_energy,
+        })
+    }
+
+    /// Optical time of flight along the arm (group velocity c/n_g).
+    #[must_use]
+    pub fn time_of_flight(&self) -> Second {
+        let v = oisa_units::SPEED_OF_LIGHT_M_PER_S / self.config.ring.group_index;
+        Second::new(self.config.length.get() / v)
+    }
+
+    /// The WDM channel plan used by this arm.
+    #[must_use]
+    pub fn channel_plan(&self) -> &ChannelPlan {
+        &self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oisa_device::noise::NoiseConfig;
+    use proptest::prelude::*;
+
+    fn quiet() -> NoiseSource {
+        NoiseSource::seeded(0, NoiseConfig::noiseless())
+    }
+
+    fn loaded_arm_with(config: ArmConfig, weights: &[f64], bits: u8) -> Arm {
+        let mapper = WeightMapper::ideal(bits).unwrap();
+        let mut arm = Arm::new(config).unwrap();
+        arm.load_weights(weights, &mapper).unwrap();
+        arm
+    }
+
+    fn loaded_arm(weights: &[f64], bits: u8) -> Arm {
+        loaded_arm_with(ArmConfig::paper_default(), weights, bits)
+    }
+
+    #[test]
+    fn mac_matches_exact_dot_product_noiselessly() {
+        let w = [0.5, -0.25, 1.0, 0.0, 0.75, -1.0, 0.25, 0.5, -0.5];
+        let a = [1.0, 1.0, 0.5, 0.0, 1.0, 0.5, 0.0, 0.0, 1.0];
+        let arm = loaded_arm_with(ArmConfig::no_crosstalk(), &w, 4);
+        let out = arm.mac(&a, &mut quiet()).unwrap();
+        let exact: f64 = w.iter().zip(&a).map(|(w, a)| w * a).sum();
+        // 4-bit quantisation bounds the per-element error to 1/30.
+        assert!(
+            (out.value - exact).abs() < 9.0 / 30.0 + 1e-6,
+            "got {} exact {exact}",
+            out.value
+        );
+    }
+
+    #[test]
+    fn positive_and_negative_weights_cancel() {
+        let arm = loaded_arm_with(ArmConfig::no_crosstalk(), &[1.0, -1.0], 4);
+        let out = arm.mac(&[1.0, 1.0], &mut quiet()).unwrap();
+        assert!(out.value.abs() < 1e-9, "got {}", out.value);
+    }
+
+    #[test]
+    fn crosstalk_shaves_a_few_percent() {
+        let w = [0.8; 9];
+        let a = [1.0; 9];
+        let clean = loaded_arm_with(ArmConfig::no_crosstalk(), &w, 4)
+            .mac(&a, &mut quiet())
+            .unwrap()
+            .value;
+        let with_xt = loaded_arm(&w, 4).mac(&a, &mut quiet()).unwrap().value;
+        let loss = (clean - with_xt) / clean;
+        assert!(loss > 0.0, "crosstalk must attenuate, got gain {loss}");
+        assert!(
+            loss < 0.15,
+            "crosstalk loss {loss} too large for the paper channel plan"
+        );
+    }
+
+    #[test]
+    fn detuned_neighbours_leak_toward_next_channel() {
+        // Weight detuning shifts a ring's resonance *toward* the next
+        // channel, so fully-detuned neighbours attenuate the centre
+        // channel more than parked ones — the physical reason the
+        // channel plan spreads over the whole FSR.
+        let a = [0.0, 1.0, 0.0];
+        let parked = loaded_arm(&[0.0, 0.8, 0.0], 4)
+            .mac(&a, &mut quiet())
+            .unwrap()
+            .value;
+        let detuned = loaded_arm(&[1.0, 0.8, 1.0], 4)
+            .mac(&a, &mut quiet())
+            .unwrap()
+            .value;
+        assert!(
+            detuned < parked,
+            "detuned neighbours should attenuate the centre channel more: {detuned} vs {parked}"
+        );
+        // But with the FSR-wide plan the effect stays small.
+        assert!((parked - detuned) / parked < 0.05);
+    }
+
+    #[test]
+    fn all_zero_weights_give_zero() {
+        let arm = loaded_arm(&[0.0; 9], 4);
+        let out = arm.mac(&[1.0; 9], &mut quiet()).unwrap();
+        assert!(out.value.abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mapper = WeightMapper::ideal(4).unwrap();
+        let mut arm = Arm::new(ArmConfig::paper_default()).unwrap();
+        let too_many = vec![0.1; RINGS_PER_ARM + 1];
+        assert!(matches!(
+            arm.load_weights(&too_many, &mapper),
+            Err(OpticsError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn activation_validation() {
+        let arm = loaded_arm(&[0.5; 9], 4);
+        assert!(arm.mac(&[1.5; 9], &mut quiet()).is_err());
+        assert!(arm.mac(&[1.0; 10], &mut quiet()).is_err());
+    }
+
+    #[test]
+    fn tuning_costs_accounted() {
+        let arm = loaded_arm(&[0.9; 9], 4);
+        assert!(arm.tuning_energy().get() > 0.0);
+        assert!(arm.tuning_latency().get() > 0.0);
+        assert!(arm.holding_power().get() > 0.0);
+    }
+
+    #[test]
+    fn holding_power_within_architecture_budget() {
+        // Full-magnitude weights are the worst case; the paper's power
+        // budget requires an arm to hold well under 10 × 0.3 mW.
+        let arm = loaded_arm(&[1.0; 9], 4);
+        let p = arm.holding_power();
+        assert!(p.as_milli() < 3.0, "arm holding power {p}");
+    }
+
+    #[test]
+    fn latency_dominated_by_flight_plus_detector() {
+        let arm = loaded_arm(&[0.5; 9], 4);
+        let out = arm.mac(&[1.0; 9], &mut quiet()).unwrap();
+        // 500 µm at c/4.2 ≈ 7 ps, BPD ≈ 8.3 ps → ~15 ps.
+        assert!(
+            out.latency.as_pico() > 5.0 && out.latency.as_pico() < 60.0,
+            "latency {}",
+            out.latency
+        );
+    }
+
+    #[test]
+    fn noise_perturbs_but_preserves_scale() {
+        let w = [0.5, -0.25, 1.0, 0.0, 0.75, -1.0, 0.25, 0.5, -0.5];
+        let a = [1.0, 1.0, 0.5, 0.0, 1.0, 0.5, 0.0, 0.0, 1.0];
+        let arm = loaded_arm(&w, 4);
+        let mut noisy = NoiseSource::seeded(42, NoiseConfig::paper_default());
+        let exact: f64 = w.iter().zip(&a).map(|(w, a)| w * a).sum();
+        let runs: Vec<f64> = (0..64)
+            .map(|_| arm.mac(&a, &mut noisy).unwrap().value)
+            .collect();
+        let mean = runs.iter().sum::<f64>() / runs.len() as f64;
+        assert!((mean - exact).abs() < 0.4, "mean {mean} vs exact {exact}");
+        let spread = runs
+            .iter()
+            .map(|r| (r - mean).abs())
+            .fold(0.0f64, f64::max);
+        assert!(spread > 0.0, "noise must perturb results");
+        assert!(spread < 0.5, "noise out of calibration: {spread}");
+    }
+
+    proptest! {
+        #[test]
+        fn mac_bounded_by_operand_count(
+            seed in 0u64..100,
+            n in 1usize..=9,
+        ) {
+            let mut src = NoiseSource::seeded(seed, NoiseConfig::noiseless());
+            let weights: Vec<f64> = (0..n)
+                .map(|i| ((seed as f64 + i as f64) * 0.37).sin())
+                .collect();
+            let activations: Vec<f64> = (0..n)
+                .map(|i| (((seed + 3) as f64 + i as f64) * 0.21).sin().abs())
+                .collect();
+            let arm = loaded_arm(&weights, 4);
+            let out = arm.mac(&activations, &mut src).unwrap();
+            prop_assert!(out.value.abs() <= n as f64 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Thermal crosstalk between neighbouring ring heaters.
+//!
+//! Every programmed ring dissipates its holding power a few micrometres
+//! from its neighbours; the leaked heat shifts *their* resonances too.
+//! The paper's hybrid TO-EO scheme absorbs small drifts in the EO range,
+//! but the drift magnitude determines how often re-trimming is needed —
+//! and, untrimmed, it becomes a weight error. This module quantifies
+//! both.
+
+use oisa_units::{Meter, Watt};
+use serde::{Deserialize, Serialize};
+
+use crate::arm::Arm;
+use crate::{OpticsError, Result};
+
+/// Thermal coupling model between rings in one arm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    /// Resonance shift induced on a ring per watt dissipated by its
+    /// *immediate* neighbour.
+    pub coupling_m_per_w: f64,
+    /// Geometric decay of the coupling per additional ring of distance
+    /// (0 = no reach beyond immediate neighbours).
+    pub decay: f64,
+}
+
+impl ThermalModel {
+    /// Silicon-photonics defaults: ≈ 0.05 nm/mW to the immediate
+    /// neighbour (2% of the 2.5 nm/mW self-tuning efficiency at ~15 µm
+    /// pitch), decaying ×0.3 per ring.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            coupling_m_per_w: 0.05e-9 / 1e-3,
+            decay: 0.3,
+        }
+    }
+
+    /// Thermally isolated (deep-trench) variant for ablation.
+    #[must_use]
+    pub fn isolated() -> Self {
+        Self {
+            coupling_m_per_w: 0.0,
+            decay: 0.0,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.coupling_m_per_w < 0.0 || !(0.0..1.0).contains(&self.decay) {
+            return Err(OpticsError::InvalidParameter(
+                "coupling must be non-negative and decay in [0, 1)".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Per-ring resonance drift induced by the other rings' holding
+    /// powers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpticsError::InvalidParameter`] for a non-physical
+    /// model.
+    pub fn drift(&self, holding_powers: &[Watt]) -> Result<Vec<Meter>> {
+        self.validate()?;
+        let n = holding_powers.len();
+        let mut drift = vec![Meter::ZERO; n];
+        for (i, d) in drift.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (j, p) in holding_powers.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let distance = i.abs_diff(j);
+                acc += p.get() * self.coupling_m_per_w * self.decay.powi(distance as i32 - 1);
+            }
+            *d = Meter::new(acc);
+        }
+        Ok(drift)
+    }
+
+    /// Analyses a loaded arm: per-ring drift, the worst drift, and
+    /// whether the EO range can trim it away without re-running the slow
+    /// thermal loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates drift-model failures.
+    pub fn analyze_arm(&self, arm: &Arm) -> Result<ThermalReport> {
+        // Reconstruct per-ring holding powers from the arm's total: the
+        // Arm API exposes the aggregate; distribute by weight magnitude,
+        // which is what sets each ring's detuning.
+        let n = crate::arm::RINGS_PER_ARM;
+        let total = arm.holding_power();
+        let magnitudes: Vec<f64> = arm.weights().iter().map(|w| w.magnitude).collect();
+        let mag_sum: f64 = magnitudes.iter().sum();
+        let powers: Vec<Watt> = if mag_sum > 0.0 {
+            (0..n)
+                .map(|i| total * (magnitudes.get(i).copied().unwrap_or(0.0) / mag_sum))
+                .collect()
+        } else {
+            vec![Watt::ZERO; n]
+        };
+        let drift = self.drift(&powers)?;
+        let worst = drift
+            .iter()
+            .map(|d| d.get().abs())
+            .fold(0.0f64, f64::max);
+        let eo_range = arm.config().ring.eo_range.get();
+        Ok(ThermalReport {
+            drift,
+            worst_drift: Meter::new(worst),
+            eo_trimmable: worst <= eo_range,
+        })
+    }
+}
+
+/// Thermal-crosstalk analysis of one arm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalReport {
+    /// Per-ring induced resonance drift.
+    pub drift: Vec<Meter>,
+    /// Largest drift magnitude.
+    pub worst_drift: Meter,
+    /// `true` when the fast EO tuner can trim the worst drift (no slow
+    /// thermal re-map needed).
+    pub eo_trimmable: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arm::ArmConfig;
+    use crate::weights::WeightMapper;
+
+    #[test]
+    fn no_coupling_no_drift() {
+        let m = ThermalModel::isolated();
+        let drift = m
+            .drift(&[Watt::from_milli(1.0), Watt::from_milli(1.0)])
+            .unwrap();
+        assert!(drift.iter().all(|d| d.get() == 0.0));
+    }
+
+    #[test]
+    fn immediate_neighbour_dominates() {
+        let m = ThermalModel::paper_default();
+        // One hot ring in the middle.
+        let mut powers = vec![Watt::ZERO; 5];
+        powers[2] = Watt::from_milli(1.0);
+        let drift = m.drift(&powers).unwrap();
+        // Symmetric around the source, decaying outward; the source
+        // itself sees nothing (self-heating is its own tuning).
+        assert_eq!(drift[2], Meter::ZERO);
+        assert!(drift[1].get() > drift[0].get());
+        assert!((drift[1].get() - drift[3].get()).abs() < 1e-18);
+        // Immediate neighbour: 0.05 nm/mW × 1 mW = 0.05 nm.
+        assert!((drift[1].as_nano() - 0.05).abs() < 1e-9);
+        // Next ring decays ×0.3.
+        assert!((drift[0].as_nano() - 0.015).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_arm_drift_is_eo_trimmable() {
+        // A fully loaded paper arm must stay within the EO trim range —
+        // the condition for the hybrid tuning scheme to avoid slow
+        // re-maps (paper §III-A).
+        let mapper = WeightMapper::paper(4).unwrap();
+        let mut arm = Arm::new(ArmConfig::paper_default()).unwrap();
+        arm.load_weights(&[0.9, -0.8, 0.7, 0.6, -0.9, 0.8, 0.5, -0.6, 0.7], &mapper)
+            .unwrap();
+        let report = ThermalModel::paper_default().analyze_arm(&arm).unwrap();
+        assert!(
+            report.eo_trimmable,
+            "worst drift {} exceeds the EO range",
+            report.worst_drift
+        );
+        assert!(report.worst_drift.get() > 0.0, "loaded arm must drift");
+    }
+
+    #[test]
+    fn stronger_coupling_breaks_trimmability() {
+        let mapper = WeightMapper::paper(4).unwrap();
+        let mut arm = Arm::new(ArmConfig::paper_default()).unwrap();
+        arm.load_weights(&[1.0; 9], &mapper).unwrap();
+        let hot = ThermalModel {
+            coupling_m_per_w: 2.0e-9 / 1e-3, // pathological 2 nm/mW
+            decay: 0.6,
+        };
+        let report = hot.analyze_arm(&arm).unwrap();
+        assert!(
+            !report.eo_trimmable,
+            "pathological coupling should exceed the EO range, got {}",
+            report.worst_drift
+        );
+    }
+
+    #[test]
+    fn invalid_models_rejected() {
+        let bad = ThermalModel {
+            coupling_m_per_w: -1.0,
+            decay: 0.3,
+        };
+        assert!(bad.drift(&[Watt::ZERO]).is_err());
+        let bad = ThermalModel {
+            coupling_m_per_w: 0.1,
+            decay: 1.0,
+        };
+        assert!(bad.drift(&[Watt::ZERO]).is_err());
+    }
+}

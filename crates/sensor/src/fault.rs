@@ -1,0 +1,214 @@
+//! Pixel-level fault injection: dead, hot and stuck pixels.
+//!
+//! Image sensors accumulate defective pixels over their lifetime; an
+//! in-sensor accelerator ingests those defects straight into the first
+//! CNN layer with no ISP to mask them. This module applies a defect map
+//! to captures so experiments can measure the accuracy impact.
+
+use oisa_units::Volt;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::imager::Capture;
+use crate::{Result, SensorError};
+
+/// A pixel defect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PixelFault {
+    /// Reads zero regardless of illumination.
+    Dead {
+        /// Row index.
+        row: usize,
+        /// Column index.
+        col: usize,
+    },
+    /// Reads full swing regardless of illumination.
+    Hot {
+        /// Row index.
+        row: usize,
+        /// Column index.
+        col: usize,
+    },
+    /// Stuck at a fixed voltage.
+    Stuck {
+        /// Row index.
+        row: usize,
+        /// Column index.
+        col: usize,
+        /// The stuck level.
+        level: Volt,
+    },
+}
+
+impl PixelFault {
+    fn position(&self) -> (usize, usize) {
+        match *self {
+            Self::Dead { row, col } | Self::Hot { row, col } | Self::Stuck { row, col, .. } => {
+                (row, col)
+            }
+        }
+    }
+}
+
+/// A defect map applied to captures.
+///
+/// # Examples
+///
+/// ```
+/// use oisa_sensor::fault::{DefectMap, PixelFault};
+///
+/// let mut defects = DefectMap::new();
+/// defects.add(PixelFault::Dead { row: 3, col: 7 });
+/// assert_eq!(defects.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DefectMap {
+    faults: Vec<PixelFault>,
+}
+
+impl DefectMap {
+    /// An empty (healthy) map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a defect (later defects at the same position win).
+    pub fn add(&mut self, fault: PixelFault) {
+        self.faults.push(fault);
+    }
+
+    /// Number of defects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// `true` when the sensor is healthy.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Draws a random defect map with the given per-pixel defect
+    /// probability (half dead, half hot).
+    pub fn random<R: Rng + ?Sized>(
+        width: usize,
+        height: usize,
+        defect_rate: f64,
+        rng: &mut R,
+    ) -> Self {
+        let mut map = Self::new();
+        for row in 0..height {
+            for col in 0..width {
+                if rng.gen::<f64>() < defect_rate {
+                    if rng.gen_bool(0.5) {
+                        map.add(PixelFault::Dead { row, col });
+                    } else {
+                        map.add(PixelFault::Hot { row, col });
+                    }
+                }
+            }
+        }
+        map
+    }
+
+    /// Applies the defects to a capture, returning the corrupted
+    /// capture. `swing` is the pixel's full-scale voltage (hot pixels
+    /// read it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::InvalidParameter`] when a defect lies
+    /// outside the capture.
+    pub fn apply(&self, capture: &Capture, swing: Volt) -> Result<Capture> {
+        let mut out = capture.clone();
+        for fault in &self.faults {
+            let (row, col) = fault.position();
+            if row >= capture.height || col >= capture.width {
+                return Err(SensorError::InvalidParameter(format!(
+                    "defect at ({row}, {col}) outside {}x{} capture",
+                    capture.width, capture.height
+                )));
+            }
+            let v = match *fault {
+                PixelFault::Dead { .. } => Volt::ZERO,
+                PixelFault::Hot { .. } => swing,
+                PixelFault::Stuck { level, .. } => level,
+            };
+            out.voltages[row * capture.width + col] = v;
+        }
+        Ok(out)
+    }
+}
+
+impl FromIterator<PixelFault> for DefectMap {
+    fn from_iter<I: IntoIterator<Item = PixelFault>>(iter: I) -> Self {
+        let mut map = Self::new();
+        for f in iter {
+            map.add(f);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Frame;
+    use crate::imager::{Imager, ImagerConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn capture() -> Capture {
+        let imager = Imager::new(ImagerConfig::paper_default(8, 8)).unwrap();
+        imager.expose(&Frame::constant(8, 8, 0.5).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn dead_and_hot_pixels_override_readings() {
+        let cap = capture();
+        let swing = Volt::new(0.5);
+        let defects: DefectMap = [
+            PixelFault::Dead { row: 0, col: 0 },
+            PixelFault::Hot { row: 1, col: 1 },
+            PixelFault::Stuck {
+                row: 2,
+                col: 2,
+                level: Volt::new(0.123),
+            },
+        ]
+        .into_iter()
+        .collect();
+        let corrupted = defects.apply(&cap, swing).unwrap();
+        assert_eq!(corrupted.voltage(0, 0), Volt::ZERO);
+        assert_eq!(corrupted.voltage(1, 1), swing);
+        assert_eq!(corrupted.voltage(2, 2), Volt::new(0.123));
+        // Healthy pixels untouched.
+        assert_eq!(corrupted.voltage(4, 4), cap.voltage(4, 4));
+    }
+
+    #[test]
+    fn out_of_range_defect_rejected() {
+        let cap = capture();
+        let defects: DefectMap = [PixelFault::Dead { row: 8, col: 0 }].into_iter().collect();
+        assert!(defects.apply(&cap, Volt::new(0.5)).is_err());
+    }
+
+    #[test]
+    fn random_map_density() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let map = DefectMap::random(64, 64, 0.01, &mut rng);
+        // 4096 pixels at 1%: expect ≈ 41 defects.
+        assert!((20..80).contains(&map.len()), "got {}", map.len());
+    }
+
+    #[test]
+    fn empty_map_is_identity() {
+        let cap = capture();
+        let map = DefectMap::new();
+        assert!(map.is_empty());
+        let out = map.apply(&cap, Volt::new(0.5)).unwrap();
+        assert_eq!(out, cap);
+    }
+}

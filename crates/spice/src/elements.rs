@@ -1,0 +1,308 @@
+//! Circuit element definitions and their MNA stamps.
+
+use serde::{Deserialize, Serialize};
+
+use crate::circuit::NodeId;
+use crate::waveform::Waveform;
+
+/// MOSFET polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MosType {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+/// Level-1 (square-law) MOSFET parameters.
+///
+/// This is the classic Shichman–Hodges model: enough to capture the
+/// current-mirror weighting of the AWC ladder and the switching behaviour of
+/// the pixel/driver transistors, which is all the paper's circuit figures
+/// exercise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MosParams {
+    /// Polarity.
+    pub mos_type: MosType,
+    /// Threshold voltage magnitude, volts.
+    pub vth: f64,
+    /// Process transconductance `k' = µ·Cox`, A/V².
+    pub kp: f64,
+    /// Width/length ratio (dimensionless).
+    pub w_over_l: f64,
+    /// Channel-length modulation, 1/V.
+    pub lambda: f64,
+}
+
+impl MosParams {
+    /// A generic 45 nm-ish NMOS: `vth` 0.4 V, `k'` 200 µA/V², λ 0.05 /V.
+    #[must_use]
+    pub fn nmos(w_over_l: f64) -> Self {
+        Self {
+            mos_type: MosType::Nmos,
+            vth: 0.4,
+            kp: 200e-6,
+            w_over_l,
+            lambda: 0.05,
+        }
+    }
+
+    /// A generic 45 nm-ish PMOS: `vth` 0.4 V, `k'` 100 µA/V², λ 0.08 /V.
+    #[must_use]
+    pub fn pmos(w_over_l: f64) -> Self {
+        Self {
+            mos_type: MosType::Pmos,
+            vth: 0.4,
+            kp: 100e-6,
+            w_over_l,
+            lambda: 0.08,
+        }
+    }
+
+    /// Drain current and its partial derivatives at the given absolute
+    /// terminal voltages, for the Newton linearisation.
+    ///
+    /// `op.id` is the conventional current flowing *into* the drain node
+    /// and out of the source node (negative for a conducting PMOS).
+    #[must_use]
+    pub(crate) fn evaluate(&self, vg: f64, vd: f64, vs: f64) -> MosOperatingPoint {
+        // The square-law channel is symmetric: when the nominal drain sits
+        // below the nominal source (vds < 0 for NMOS), the roles swap. We
+        // therefore evaluate a canonical forward device and track, via the
+        // chain rule, how its (vgs, vds) arguments depend on the three
+        // absolute node voltages.
+        //
+        // Canonical forward current f(vgs, vds) flows hi→lo through the
+        // channel; `flip` converts it back to into-the-drain current.
+        let (vgs, vds, dvgs, dvds, flip) = match self.mos_type {
+            MosType::Nmos => {
+                if vd >= vs {
+                    // d(vgs)/d(vg,vd,vs), d(vds)/d(vg,vd,vs)
+                    (vg - vs, vd - vs, [1.0, 0.0, -1.0], [0.0, 1.0, -1.0], 1.0)
+                } else {
+                    // Source and drain swap: effective source is `vd`.
+                    (vg - vd, vs - vd, [1.0, -1.0, 0.0], [0.0, -1.0, 1.0], -1.0)
+                }
+            }
+            MosType::Pmos => {
+                if vs >= vd {
+                    (vs - vg, vs - vd, [-1.0, 0.0, 1.0], [0.0, -1.0, 1.0], -1.0)
+                } else {
+                    (vd - vg, vd - vs, [-1.0, 1.0, 0.0], [0.0, 1.0, -1.0], 1.0)
+                }
+            }
+        };
+        let beta = self.kp * self.w_over_l;
+        let vov = vgs - self.vth;
+        if vov <= 0.0 {
+            return MosOperatingPoint::default();
+        }
+        let (f, df_dvgs, df_dvds) = if vds < vov {
+            // Triode, with the same (1 + λ·vds) factor SPICE level 1 applies
+            // so the current is continuous at the saturation boundary.
+            let clm = 1.0 + self.lambda * vds;
+            let f0 = beta * (vov * vds - 0.5 * vds * vds);
+            (
+                f0 * clm,
+                beta * vds * clm,
+                beta * (vov - vds) * clm + f0 * self.lambda,
+            )
+        } else {
+            // Saturation with channel-length modulation.
+            let f0 = 0.5 * beta * vov * vov;
+            let f = f0 * (1.0 + self.lambda * vds);
+            (f, beta * vov * (1.0 + self.lambda * vds), f0 * self.lambda)
+        };
+        MosOperatingPoint {
+            id: flip * f,
+            did_dvg: flip * (df_dvgs * dvgs[0] + df_dvds * dvds[0]),
+            did_dvd: flip * (df_dvgs * dvgs[1] + df_dvds * dvds[1]),
+            did_dvs: flip * (df_dvgs * dvgs[2] + df_dvds * dvds[2]),
+        }
+    }
+}
+
+/// Linearised MOSFET operating point used by the Newton stamp.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct MosOperatingPoint {
+    /// Current into the drain node, amperes.
+    pub id: f64,
+    /// ∂id/∂vg.
+    pub did_dvg: f64,
+    /// ∂id/∂vd.
+    pub did_dvd: f64,
+    /// ∂id/∂vs.
+    pub did_dvs: f64,
+}
+
+/// Voltage-controlled switch parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchParams {
+    /// Control voltage above which the switch is closed, volts.
+    pub threshold: f64,
+    /// Closed-state resistance, ohms.
+    pub r_on: f64,
+    /// Open-state resistance, ohms.
+    pub r_off: f64,
+}
+
+impl Default for SwitchParams {
+    fn default() -> Self {
+        Self {
+            threshold: 0.5,
+            r_on: 10.0,
+            r_off: 1e9,
+        }
+    }
+}
+
+/// A circuit element with its connectivity.
+#[derive(Debug, Clone)]
+pub(crate) enum Element {
+    Resistor {
+        a: NodeId,
+        b: NodeId,
+        conductance: f64,
+    },
+    Capacitor {
+        a: NodeId,
+        b: NodeId,
+        capacitance: f64,
+    },
+    /// Independent voltage source; `branch` indexes its MNA current
+    /// variable.
+    VSource {
+        pos: NodeId,
+        neg: NodeId,
+        wave: Waveform,
+        branch: usize,
+    },
+    /// Independent current source, flowing from `from` out through `to`.
+    ISource {
+        from: NodeId,
+        to: NodeId,
+        wave: Waveform,
+    },
+    Switch {
+        a: NodeId,
+        b: NodeId,
+        control: NodeId,
+        params: SwitchParams,
+    },
+    Mosfet {
+        drain: NodeId,
+        gate: NodeId,
+        source: NodeId,
+        params: MosParams,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn nmos_cutoff_below_threshold() {
+        let m = MosParams::nmos(2.0);
+        let op = m.evaluate(0.2, 1.0, 0.0);
+        assert_eq!(op, MosOperatingPoint::default());
+    }
+
+    #[test]
+    fn nmos_saturation_current_squares_with_overdrive() {
+        let m = MosParams {
+            lambda: 0.0,
+            ..MosParams::nmos(1.0)
+        };
+        let i1 = m.evaluate(0.9, 1.0, 0.0).id; // vov = 0.5
+        let i2 = m.evaluate(1.4, 1.5, 0.0).id; // vov = 1.0
+        assert!((i2 / i1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nmos_current_scales_linearly_with_width() {
+        let i1 = MosParams::nmos(1.0).evaluate(1.0, 1.0, 0.0).id;
+        let i8 = MosParams::nmos(8.0).evaluate(1.0, 1.0, 0.0).id;
+        assert!((i8 / i1 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triode_vs_saturation_boundary_is_continuous() {
+        let m = MosParams::nmos(1.0);
+        let vov = 0.6;
+        let below = m.evaluate(vov + m.vth, vov - 1e-9, 0.0).id;
+        let above = m.evaluate(vov + m.vth, vov + 1e-9, 0.0).id;
+        assert!((below - above).abs() / above < 1e-6);
+    }
+
+    #[test]
+    fn pmos_mirror_symmetry() {
+        // A PMOS with source at VDD conducts when the gate goes low.
+        let m = MosParams::pmos(1.0);
+        assert_eq!(m.evaluate(1.0, 0.0, 1.0).id, 0.0); // vg = vdd: off
+        assert!(
+            m.evaluate(0.0, 0.0, 1.0).id < 0.0,
+            "conducting PMOS current flows source->drain (negative into drain)"
+        );
+    }
+
+    #[test]
+    fn reverse_vds_mirrors_current() {
+        let m = MosParams {
+            lambda: 0.0,
+            ..MosParams::nmos(1.0)
+        };
+        // Swap drain/source terminals: into-the-drain current flips sign.
+        let fwd = m.evaluate(1.2, 0.3, 0.0).id;
+        let rev = m.evaluate(1.2, 0.0, 0.3).id;
+        assert!((fwd + rev).abs() < 1e-12);
+    }
+
+    fn finite_difference_check(m: &MosParams, vg: f64, vd: f64, vs: f64) {
+        let dv = 1e-7;
+        let op = m.evaluate(vg, vd, vs);
+        // Skip points sitting exactly on a region boundary where the
+        // one-sided derivative differs.
+        let fd_g = (m.evaluate(vg + dv, vd, vs).id - op.id) / dv;
+        let fd_d = (m.evaluate(vg, vd + dv, vs).id - op.id) / dv;
+        let fd_s = (m.evaluate(vg, vd, vs + dv).id - op.id) / dv;
+        let tol = 1e-3 * (op.id.abs() + 1e-6);
+        assert!((op.did_dvg - fd_g).abs() < tol.max(1e-9), "dvg");
+        assert!((op.did_dvd - fd_d).abs() < tol.max(1e-9), "dvd");
+        assert!((op.did_dvs - fd_s).abs() < tol.max(1e-9), "dvs");
+    }
+
+    #[test]
+    fn derivatives_match_finite_difference_nmos_saturation() {
+        finite_difference_check(&MosParams::nmos(4.0), 1.0, 1.2, 0.0);
+    }
+
+    #[test]
+    fn derivatives_match_finite_difference_nmos_triode() {
+        finite_difference_check(&MosParams::nmos(4.0), 1.2, 0.2, 0.0);
+    }
+
+    #[test]
+    fn derivatives_match_finite_difference_pmos() {
+        finite_difference_check(&MosParams::pmos(2.0), 0.2, 0.3, 1.0);
+        finite_difference_check(&MosParams::pmos(2.0), 0.0, 0.9, 1.0);
+    }
+
+    proptest! {
+        /// KCL sanity: a MOSFET's drain and source partials must sum to the
+        /// negated gate partial (shifting all three terminals together
+        /// changes nothing).
+        #[test]
+        fn translation_invariance(
+            vg in 0.0..1.5f64, vd in 0.0..1.5f64, vs in 0.0..1.5f64,
+            pmos in proptest::bool::ANY,
+        ) {
+            let m = if pmos { MosParams::pmos(3.0) } else { MosParams::nmos(3.0) };
+            let op = m.evaluate(vg, vd, vs);
+            prop_assert!((op.did_dvg + op.did_dvd + op.did_dvs).abs() < 1e-9);
+            let shifted = m.evaluate(vg + 0.1, vd + 0.1, vs + 0.1);
+            prop_assert!((shifted.id - op.id).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Dense LU solve with partial pivoting, sized for small MNA systems.
+
+use crate::SpiceError;
+
+/// A dense square matrix in row-major order.
+#[derive(Debug, Clone)]
+pub(crate) struct DenseMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    pub(crate) fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    #[inline]
+    pub(crate) fn add(&mut self, row: usize, col: usize, value: f64) {
+        self.data[row * self.n + col] += value;
+    }
+
+    #[inline]
+    fn at(&self, row: usize, col: usize) -> f64 {
+        self.data[row * self.n + col]
+    }
+
+    #[inline]
+    fn set(&mut self, row: usize, col: usize, value: f64) {
+        self.data[row * self.n + col] = value;
+    }
+
+    /// Solves `A·x = b` in place (destroys `self`), returning `x` in `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] when no usable pivot exists.
+    pub(crate) fn solve_in_place(&mut self, b: &mut [f64]) -> Result<(), SpiceError> {
+        debug_assert_eq!(b.len(), self.n);
+        let n = self.n;
+        for k in 0..n {
+            // Partial pivoting.
+            let mut pivot_row = k;
+            let mut pivot_mag = self.at(k, k).abs();
+            for r in (k + 1)..n {
+                let mag = self.at(r, k).abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = r;
+                }
+            }
+            if pivot_mag < 1e-300 {
+                return Err(SpiceError::SingularMatrix);
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    let tmp = self.at(k, c);
+                    self.set(k, c, self.at(pivot_row, c));
+                    self.set(pivot_row, c, tmp);
+                }
+                b.swap(k, pivot_row);
+            }
+            let pivot = self.at(k, k);
+            for r in (k + 1)..n {
+                let factor = self.at(r, k) / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in k..n {
+                    let v = self.at(r, c) - factor * self.at(k, c);
+                    self.set(r, c, v);
+                }
+                b[r] -= factor * b[k];
+            }
+        }
+        // Back substitution.
+        for k in (0..n).rev() {
+            let mut acc = b[k];
+            for c in (k + 1)..n {
+                acc -= self.at(k, c) * b[c];
+            }
+            b[k] = acc / self.at(k, k);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn solve(matrix: &[&[f64]], rhs: &[f64]) -> Result<Vec<f64>, SpiceError> {
+        let n = rhs.len();
+        let mut m = DenseMatrix::zeros(n);
+        for (r, row) in matrix.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                m.add(r, c, v);
+            }
+        }
+        let mut b = rhs.to_vec();
+        m.solve_in_place(&mut b)?;
+        Ok(b)
+    }
+
+    #[test]
+    fn solves_identity() {
+        let x = solve(&[&[1.0, 0.0], &[0.0, 1.0]], &[3.0, -2.0]).unwrap();
+        assert_eq!(x, vec![3.0, -2.0]);
+    }
+
+    #[test]
+    fn solves_with_pivoting_needed() {
+        // Leading zero forces a row swap.
+        let x = solve(&[&[0.0, 1.0], &[2.0, 1.0]], &[1.0, 4.0]).unwrap();
+        assert!((x[0] - 1.5).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let err = solve(&[&[1.0, 2.0], &[2.0, 4.0]], &[1.0, 2.0]).unwrap_err();
+        assert_eq!(err, SpiceError::SingularMatrix);
+    }
+
+    #[test]
+    fn three_by_three() {
+        let x = solve(
+            &[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]],
+            &[8.0, -11.0, -3.0],
+        )
+        .unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+        assert!((x[2] + 1.0).abs() < 1e-10);
+    }
+
+    proptest! {
+        /// For diagonally dominant random systems (always nonsingular),
+        /// the residual ‖Ax − b‖ must be tiny.
+        #[test]
+        fn residual_is_small_for_diagonally_dominant(
+            seed in 0u64..1000,
+            n in 1usize..8,
+        ) {
+            use rand_like::splitmix;
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            let mut a = vec![vec![0.0f64; n]; n];
+            let mut b = vec![0.0f64; n];
+            for r in 0..n {
+                let mut off_sum = 0.0;
+                for c in 0..n {
+                    if r != c {
+                        let v = splitmix(&mut state) * 2.0 - 1.0;
+                        a[r][c] = v;
+                        off_sum += v.abs();
+                    }
+                }
+                a[r][r] = off_sum + 1.0 + splitmix(&mut state);
+                b[r] = splitmix(&mut state) * 10.0 - 5.0;
+            }
+            let rows: Vec<&[f64]> = a.iter().map(Vec::as_slice).collect();
+            let x = solve(&rows, &b).unwrap();
+            for r in 0..n {
+                let mut acc = 0.0;
+                for c in 0..n {
+                    acc += a[r][c] * x[c];
+                }
+                prop_assert!((acc - b[r]).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// Tiny deterministic PRNG so the proptest above doesn't need `rand`.
+    mod rand_like {
+        pub fn splitmix(state: &mut u64) -> f64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Design-space exploration: sweep OPC size, weight bit-width and kernel
+//! size, reporting throughput, power, efficiency and area.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use oisa::core::controller::ControllerTiming;
+use oisa::core::mapping::{ConvWorkload, MappingPlan};
+use oisa::core::perf::OisaPerfModel;
+use oisa::optics::opc::OpcConfig;
+use oisa::optics::weights::WeightMapper;
+use oisa::sensor::imager::ImagerConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("OISA design-space exploration");
+    println!("=============================\n");
+
+    println!("-- OPC size sweep (4-bit weights) --");
+    println!(
+        "{:>6} {:>10} {:>12} {:>14} {:>10}",
+        "banks", "TOp/s", "power (W)", "TOp/s/W", "mm²"
+    );
+    for banks in [20usize, 40, 80, 160] {
+        let mut opc = OpcConfig::paper_default();
+        opc.banks = banks;
+        let perf = OisaPerfModel::new(
+            opc,
+            ImagerConfig::paper_default(128, 128),
+            ControllerTiming::paper_default(),
+        )?;
+        println!(
+            "{:>6} {:>10.2} {:>12.3} {:>14.2} {:>10.2}",
+            banks,
+            perf.throughput_tops(),
+            perf.compute_power(4)?.total().get(),
+            perf.efficiency_tops_per_watt(4)?,
+            perf.area().get() * 1e6
+        );
+    }
+
+    println!("\n-- weight bit-width sweep (paper OPC) --");
+    let perf = OisaPerfModel::paper_default()?;
+    println!(
+        "{:>6} {:>12} {:>14} {:>24}",
+        "bits", "power (W)", "TOp/s/W", "worst |w_eff − w|"
+    );
+    for bits in 1..=4u8 {
+        let mapper = WeightMapper::paper(bits)?;
+        println!(
+            "{:>6} {:>12.3} {:>14.2} {:>24.4}",
+            bits,
+            perf.compute_power(bits)?.total().get(),
+            perf.efficiency_tops_per_watt(bits)?,
+            mapper.worst_case_error()
+        );
+    }
+
+    println!("\n-- kernel size / workload sweep (paper OPC) --");
+    println!(
+        "{:>4} {:>12} {:>8} {:>10} {:>14}",
+        "K", "MACs/cycle", "passes", "cycles", "iterations"
+    );
+    for (k, out_ch) in [(3usize, 64usize), (5, 64), (7, 64)] {
+        let workload = ConvWorkload {
+            out_channels: out_ch,
+            in_channels: 3,
+            kernel: k,
+            input_h: 128,
+            input_w: 128,
+            stride: 2,
+        };
+        let plan = MappingPlan::compute(&workload, perf.opc())?;
+        println!(
+            "{:>4} {:>12} {:>8} {:>10} {:>14}",
+            k,
+            plan.macs_per_cycle,
+            plan.passes,
+            plan.total_cycles(),
+            plan.total_tuning_iterations()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! Edge inference: train a small CNN on the digits stand-in, deploy its
+//! first layer to OISA, and cross-check the behavioural deployment
+//! against the physical optical path.
+//!
+//! ```sh
+//! cargo run --release --example edge_inference
+//! ```
+
+use oisa::core::deploy::{deploy_first_layer, quantizer_for_bits, ternary_from_devices};
+use oisa::core::{OisaAccelerator, OisaConfig};
+use oisa::datasets::{DatasetSpec, SyntheticDataset};
+use oisa::device::awc::AwcModel;
+use oisa::nn::layer::Layer;
+use oisa::nn::model::lenet;
+use oisa::nn::quantize::QuantizedConv2d;
+use oisa::nn::train::{Sgd, TrainConfig, Trainer};
+use oisa::sensor::Frame;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("OISA edge inference");
+    println!("===================");
+
+    // 1. Train a float LeNet on the MNIST stand-in.
+    let spec = DatasetSpec::digits().with_counts(1200, 300);
+    let ds = SyntheticDataset::generate(&spec, 11)?;
+    let mut model = lenet(1, spec.img, spec.classes, 11)?;
+    let mut trainer = Trainer::new(Sgd::new(0.08, 0.9), TrainConfig::default());
+    for epoch in 0..6 {
+        let mut start = 0;
+        let mut loss_acc = 0.0;
+        let mut batches = 0;
+        while start < ds.train_labels.len() {
+            let (x, y) = ds.train_batch(start, 32)?;
+            loss_acc += trainer.train_batch(&mut model, &x, &y)?;
+            batches += 1;
+            start += 32;
+        }
+        println!("epoch {epoch}: mean loss {:.3}", loss_acc / batches as f32);
+    }
+    let float_acc = trainer.evaluate_batched(&mut model, &ds.test_images, &ds.test_labels, 64)?;
+    println!("float baseline accuracy: {:.1}%", float_acc * 100.0);
+
+    // Keep a copy of the trained first layer for the physical cross-check.
+    let conv0 = model
+        .first_conv_mut()
+        .expect("lenet starts with a conv")
+        .clone();
+
+    // 2. Deploy the first layer at [3:2] (the paper's sweet spot).
+    deploy_first_layer(&mut model, 3, AwcModel::paper_mismatch(), 0.02, 99)?;
+    let oisa_acc = trainer.evaluate_batched(&mut model, &ds.test_images, &ds.test_labels, 64)?;
+    println!("OISA [3:2] accuracy   : {:.1}%", oisa_acc * 100.0);
+
+    // 3. Cross-check: one test image's first layer on the *physical*
+    //    optical accelerator vs the behavioural wrapper.
+    let img = spec.img;
+    let sample: Vec<f64> = ds.test_images.as_slice()[..img * img]
+        .iter()
+        .map(|&v| f64::from(v.clamp(0.0, 1.0)))
+        .collect();
+    let frame = Frame::new(img, img, sample)?;
+    // The physical path quantises the same way (paper-mismatch ladder).
+    let mut cfg = OisaConfig::small_test();
+    cfg.weight_bits = 3;
+    cfg.awc_model = AwcModel::paper_mismatch();
+    let mut accel = OisaAccelerator::new(cfg)?;
+    let kernels: Vec<Vec<f32>> = (0..conv0.out_channels())
+        .map(|oc| {
+            (0..9)
+                .map(|i| conv0.weights().as_slice()[oc * 9 + i])
+                .collect()
+        })
+        .collect();
+    let physical = accel.convolve_frame(&frame, &kernels, 3)?;
+
+    let quantizer = quantizer_for_bits(3, AwcModel::paper_mismatch())?;
+    let mut behavioural =
+        QuantizedConv2d::new_per_channel(conv0, &quantizer, ternary_from_devices()?, 0.0, 0)?;
+    let x = oisa::nn::Tensor::from_vec(
+        vec![1, 1, img, img],
+        frame.as_slice().iter().map(|&v| v as f32).collect(),
+    )?;
+    let y = behavioural.forward(&x, false)?;
+
+    // Compare channel 0 (behavioural output is padded; compare the valid
+    // interior that matches the physical valid-convolution output).
+    let mut worst = 0.0f32;
+    for oy in 0..physical.out_h {
+        for ox in 0..physical.out_w {
+            let phys = physical.output[0][oy * physical.out_w + ox];
+            let behav = y.at4(0, 0, oy + 1, ox + 1);
+            worst = worst.max((phys - behav).abs());
+        }
+    }
+    println!("physical vs behavioural first layer: max |Δ| = {worst:.3}");
+    println!(
+        "physical path energy {:.3}, latency {:.3}",
+        physical.energy.total(),
+        physical.timeline.total()
+    );
+    Ok(())
+}

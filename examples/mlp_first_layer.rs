@@ -1,0 +1,63 @@
+//! MLP first layer on OISA: the VOM breaks a 256-wide dense row into
+//! arm-sized chunks (paper §III-A's MLP path).
+//!
+//! ```sh
+//! cargo run --release --example mlp_first_layer
+//! ```
+
+use oisa::core::{OisaAccelerator, OisaConfig};
+use oisa::sensor::Frame;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("OISA MLP first layer");
+    println!("====================\n");
+
+    let mut accel = OisaAccelerator::new(OisaConfig::small_test())?;
+
+    // A 16×16 frame flattens to a 256-wide input vector.
+    let frame = Frame::new(
+        16,
+        16,
+        (0..256).map(|i| f64::from(i as u32) / 255.0).collect(),
+    )?;
+
+    // A dense layer with 8 output neurons: each row is 256 weights →
+    // ⌈256/9⌉ = 29 chunks per row, re-aggregated by the VOM.
+    let rows = 8usize;
+    let cols = 256usize;
+    let matrix: Vec<f32> = (0..rows * cols)
+        .map(|i| ((i as f32) * 0.013).sin() * 0.5)
+        .collect();
+
+    let report = accel.dense_layer(&frame, &matrix, rows)?;
+
+    println!("dense 256 -> {rows} executed in {} arm-chunks", report.chunks);
+    println!("energy : {:.3}", report.energy);
+    println!("latency: {:.3}", report.latency);
+    println!("\nneuron outputs (optical vs exact):");
+    // Reference: exact dot products on the ternary-encoded frame.
+    let encoded: Vec<f64> = frame
+        .as_slice()
+        .iter()
+        .map(|&lux| {
+            // The VAM's ternary encoding (thresholds at 0.32/0.64).
+            if lux > 0.64 {
+                1.0
+            } else if lux > 0.32 {
+                0.511
+            } else {
+                0.022
+            }
+        })
+        .collect();
+    for r in 0..rows {
+        let exact: f64 = (0..cols)
+            .map(|c| f64::from(matrix[r * cols + c]) * encoded[c])
+            .sum();
+        println!(
+            "  neuron {r}: optical {:>8.3}   exact {:>8.3}",
+            report.output[r], exact
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! Robustness study: how gracefully does the optical first layer degrade
+//! under fabrication faults (stuck rings) and sensor defects (dead/hot
+//! pixels)?
+//!
+//! ```sh
+//! cargo run --release --example robustness
+//! ```
+
+use oisa::device::noise::{NoiseConfig, NoiseSource};
+use oisa::optics::arm::ArmConfig;
+use oisa::optics::fault::FaultMap;
+use oisa::optics::opc::{Opc, OpcConfig};
+use oisa::optics::weights::WeightMapper;
+use oisa::sensor::fault::DefectMap;
+use oisa::sensor::imager::{Imager, ImagerConfig};
+use oisa::sensor::vam::{Vam, VamConfig};
+use oisa::sensor::Frame;
+use oisa::units::Volt;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("OISA robustness study");
+    println!("=====================\n");
+
+    // -- Part 1: stuck rings in the OPC ----------------------------------
+    let opc_cfg = OpcConfig {
+        banks: 8,
+        columns: 2,
+        awc_units: 20,
+        arm: ArmConfig::paper_default(),
+    };
+    let mapper = WeightMapper::paper(4)?;
+    let kernel = [0.9, -0.6, 0.3, 0.0, 0.8, -0.9, 0.5, -0.2, 0.7];
+    let activations = [1.0, 0.5, 0.0, 1.0, 1.0, 0.5, 0.0, 1.0, 0.5];
+    let exact: f64 = kernel.iter().zip(&activations).map(|(w, a)| w * a).sum();
+
+    println!("-- stuck microrings (kernel replicated on 8 banks x 5 arms) --");
+    println!("{:>12} {:>16} {:>16}", "ring faults", "mean |error|", "worst |error|");
+    for &fault_count in &[0usize, 4, 16, 64] {
+        let mut opc = Opc::new(opc_cfg)?;
+        for bank in 0..opc_cfg.banks {
+            for arm in 0..oisa::optics::bank::ARMS_PER_BANK {
+                opc.load_kernel(bank, arm, &kernel, &mapper)?;
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(fault_count as u64);
+        let faults = FaultMap::random_ring_faults(fault_count, opc_cfg.banks, &mut rng);
+        let mut noise = NoiseSource::seeded(7, NoiseConfig::noiseless());
+        let mut errors = Vec::new();
+        for bank in 0..opc_cfg.banks {
+            for arm in 0..oisa::optics::bank::ARMS_PER_BANK {
+                let out = faults.compute_arm(&opc, bank, arm, &activations, &mut noise)?;
+                errors.push((out.value - exact).abs());
+            }
+        }
+        let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+        let worst = errors.iter().cloned().fold(0.0f64, f64::max);
+        println!("{fault_count:>12} {mean:>16.4} {worst:>16.4}");
+    }
+
+    // -- Part 2: pixel defects --------------------------------------------
+    println!("\n-- pixel defects (128x128 imager, ternary histogram drift) --");
+    let imager = Imager::new(ImagerConfig::paper_default(128, 128))?;
+    let vam = Vam::new(VamConfig::paper_default())?;
+    let frame = Frame::new(
+        128,
+        128,
+        (0..128 * 128)
+            .map(|i| f64::from((i % 97) as u32) / 96.0)
+            .collect(),
+    )?;
+    let clean = vam.encode_capture(&imager.expose(&frame)?)?;
+    let clean_hist = clean.ternary.histogram();
+    println!(
+        "{:>12} {:>22} {:>14}",
+        "defect rate", "ternary histogram", "flipped px"
+    );
+    println!("{:>12} {:>22?} {:>14}", "0.0%", clean_hist, 0);
+    for &rate in &[0.001f64, 0.01, 0.05] {
+        let mut rng = StdRng::seed_from_u64((rate * 1e4) as u64);
+        let defects = DefectMap::random(128, 128, rate, &mut rng);
+        let corrupted = defects.apply(&imager.expose(&frame)?, Volt::new(0.5))?;
+        let encoded = vam.encode_capture(&corrupted)?;
+        let flipped = encoded
+            .ternary
+            .as_slice()
+            .iter()
+            .zip(clean.ternary.as_slice())
+            .filter(|(a, b)| a != b)
+            .count();
+        println!(
+            "{:>11.1}% {:>22?} {:>14}",
+            rate * 100.0,
+            encoded.ternary.histogram(),
+            flipped
+        );
+    }
+    println!("\nTernary encoding absorbs most sub-threshold defects; only pixels whose");
+    println!("defect crosses a 0.16/0.32 V boundary flip their activation level.");
+    Ok(())
+}

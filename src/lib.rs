@@ -1,0 +1,54 @@
+//! # OISA — Optical In-Sensor Accelerator (reproduction)
+//!
+//! Facade crate for the device-to-architecture simulation stack reproducing
+//! *OISA: Architecting an Optical In-Sensor Accelerator for Efficient Visual
+//! Computing* (DATE 2024). Each subsystem lives in its own crate; this crate
+//! re-exports them under one roof so examples and downstream users can write
+//! `use oisa::...`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use oisa::core::{OisaAccelerator, OisaConfig};
+//! use oisa::sensor::Frame;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut accel = OisaAccelerator::new(OisaConfig::default())?; // 16×16 test imager
+//! let frame = Frame::constant(16, 16, 0.5)?;
+//! let weights = vec![vec![0.5f32; 9]; 4]; // four 3x3 kernels
+//! let report = accel.convolve_frame(&frame, &weights, 3)?;
+//! assert_eq!(report.output.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+/// Physical-quantity newtypes (volts, watts, seconds, …).
+pub use oisa_units as units;
+
+/// Mini MNA transient circuit simulator used for analog verification.
+pub use oisa_spice as spice;
+
+/// Photonic and analog device models (MR, VCSEL, BPD, SA, AWC).
+pub use oisa_device as device;
+
+/// ADC-less imager and VCSEL activation modulator.
+pub use oisa_sensor as sensor;
+
+/// Optical Processing Core: arms, banks, WDM, VOM.
+pub use oisa_optics as optics;
+
+/// CACTI-like SRAM/eDRAM and NVSim-like NVM models.
+pub use oisa_memory as memory;
+
+/// Tensor/CNN framework with backprop and quantizers.
+pub use oisa_nn as nn;
+
+/// Seeded procedural datasets for accuracy studies.
+pub use oisa_datasets as datasets;
+
+/// The paper's contribution: mapping, timing, energy and the end-to-end
+/// accelerator.
+pub use oisa_core as core;
+
+/// Comparison platforms (Crosslight-like, AppCiP-like, ASIC).
+pub use oisa_baselines as baselines;

@@ -1,0 +1,80 @@
+//! Reduced Table II smoke test: train on a small digits set, deploy at
+//! every OISA configuration, and check the accuracy ladder's shape.
+//!
+//! The full experiment lives in `cargo run --release -p oisa-bench --bin
+//! table2_accuracy`; this test keeps the training budget tiny so the
+//! suite stays fast.
+
+use oisa::core::deploy::{deploy_first_layer, quantizer_for_bits, ternary_from_devices};
+use oisa::datasets::{DatasetSpec, SyntheticDataset};
+use oisa::device::awc::AwcModel;
+use oisa::nn::model::lenet;
+use oisa::nn::quantize::QuantizedConv2d;
+use oisa::nn::train::{Sgd, TrainConfig, Trainer};
+
+#[test]
+fn quantisation_ladder_on_digits() {
+    let spec = DatasetSpec::digits().with_counts(500, 200);
+    let ds = SyntheticDataset::generate(&spec, 3).unwrap();
+    let mut model = lenet(1, spec.img, spec.classes, 3).unwrap();
+    let mut trainer = Trainer::new(Sgd::new(0.08, 0.9), TrainConfig::default());
+    for _ in 0..4 {
+        let mut start = 0;
+        while start < ds.train_labels.len() {
+            let (x, y) = ds.train_batch(start, 32).unwrap();
+            trainer.train_batch(&mut model, &x, &y).unwrap();
+            start += 32;
+        }
+    }
+    let float_acc = trainer
+        .evaluate_batched(&mut model, &ds.test_images, &ds.test_labels, 64)
+        .unwrap();
+    assert!(float_acc > 0.5, "float model failed to learn: {float_acc}");
+
+    let conv0 = model.first_conv_mut().unwrap().clone();
+    let ternary = ternary_from_devices().unwrap();
+    let mut accs = Vec::new();
+    for bits in [4u8, 3, 2, 1] {
+        let quantizer = quantizer_for_bits(bits, AwcModel::paper_mismatch()).unwrap();
+        let wrapper =
+            QuantizedConv2d::new(conv0.clone(), &quantizer, ternary, 0.02, 40 + u64::from(bits))
+                .unwrap();
+        model.replace_layer(0, Box::new(wrapper)).unwrap();
+        let acc = trainer
+            .evaluate_batched(&mut model, &ds.test_images, &ds.test_labels, 64)
+            .unwrap();
+        accs.push((bits, acc));
+    }
+
+    // Shape checks (loose — small training budget):
+    // every deployed config must stay well above chance and within
+    // striking distance of the float baseline.
+    for &(bits, acc) in &accs {
+        assert!(acc > 0.25, "OISA [{bits}:2] collapsed to {acc}");
+        assert!(
+            acc >= float_acc - 0.35,
+            "OISA [{bits}:2] lost too much: {acc} vs float {float_acc}"
+        );
+    }
+}
+
+#[test]
+fn deploy_helper_end_to_end() {
+    let spec = DatasetSpec::digits().with_counts(300, 100);
+    let ds = SyntheticDataset::generate(&spec, 5).unwrap();
+    let mut model = lenet(1, spec.img, spec.classes, 5).unwrap();
+    let mut trainer = Trainer::new(Sgd::new(0.08, 0.9), TrainConfig::default());
+    for _ in 0..3 {
+        let mut start = 0;
+        while start < ds.train_labels.len() {
+            let (x, y) = ds.train_batch(start, 32).unwrap();
+            trainer.train_batch(&mut model, &x, &y).unwrap();
+            start += 32;
+        }
+    }
+    deploy_first_layer(&mut model, 3, AwcModel::paper_mismatch(), 0.02, 7).unwrap();
+    let acc = trainer
+        .evaluate_batched(&mut model, &ds.test_images, &ds.test_labels, 64)
+        .unwrap();
+    assert!(acc > 0.2, "deployed model collapsed: {acc}");
+}

@@ -1,0 +1,117 @@
+//! Integration tests over the microarchitectural blocks: the command
+//! decoder, the thermal/resolution analyses, and their interplay with
+//! the paper configuration.
+
+use oisa::core::controller::{
+    decode_program, encode_program, Command, Controller, ControllerTiming,
+};
+use oisa::core::mapping::{ConvWorkload, MappingPlan};
+use oisa::optics::arm::{Arm, ArmConfig};
+use oisa::optics::opc::OpcConfig;
+use oisa::optics::resolution;
+use oisa::optics::thermal::ThermalModel;
+use oisa::optics::weights::WeightMapper;
+
+/// A full frame program survives the binary wire format and executes to
+/// the same timeline — the controller and decoder agree on semantics.
+#[test]
+fn wire_format_round_trip_preserves_timeline() {
+    let plan = MappingPlan::compute(
+        &ConvWorkload::resnet18_first_layer(),
+        &OpcConfig::paper_default(),
+    )
+    .unwrap();
+    let ctrl = Controller::new(ControllerTiming::paper_default());
+    let program = ctrl.frame_program(&plan, 61 * 61 * 64);
+    let wire = encode_program(&program);
+    let decoded = decode_program(&wire).unwrap();
+    assert_eq!(program, decoded);
+    let t1 = ctrl.execute(&program).unwrap();
+    let t2 = ctrl.execute(&decoded).unwrap();
+    assert_eq!(t1, t2);
+}
+
+/// A corrupted stream never silently mis-executes.
+#[test]
+fn corrupted_streams_rejected() {
+    let good = encode_program(&[Command::Compute { cycles: 7 }]);
+    // Truncation.
+    assert!(decode_program(&good[..good.len() - 1]).is_err());
+    // Bit-flip in the opcode.
+    let mut flipped = good.clone();
+    flipped[0] ^= 0x80;
+    assert!(decode_program(&flipped).is_err());
+}
+
+/// The paper operating point simultaneously satisfies the three analog
+/// feasibility conditions: 4-bit-capable detection SNR, EO-trimmable
+/// thermal drift, and bounded crosstalk loss.
+#[test]
+fn paper_operating_point_is_jointly_feasible() {
+    let config = ArmConfig::paper_default();
+
+    // 1. Detection resolution.
+    let res = resolution::analyze(&config).unwrap();
+    assert!(res.four_bit_feasible, "{res:?}");
+
+    // 2. Thermal drift under a realistic load.
+    let mapper = WeightMapper::paper(4).unwrap();
+    let mut arm = Arm::new(config).unwrap();
+    arm.load_weights(&[0.9, -0.7, 0.5, 0.8, -0.6, 0.4, -0.9, 0.3, 0.6], &mapper)
+        .unwrap();
+    let thermal = ThermalModel::paper_default().analyze_arm(&arm).unwrap();
+    assert!(thermal.eo_trimmable, "{:?}", thermal.worst_drift);
+
+    // 3. Crosstalk: a fully loaded arm's MAC stays within a few per cent
+    //    of the crosstalk-free value.
+    let mut quiet = oisa::device::noise::NoiseSource::seeded(
+        0,
+        oisa::device::noise::NoiseConfig::noiseless(),
+    );
+    let a = [1.0; 9];
+    let with_xt = arm.mac(&a, &mut quiet).unwrap().value;
+    let mut clean_arm = Arm::new(ArmConfig::no_crosstalk()).unwrap();
+    clean_arm
+        .load_weights(&[0.9, -0.7, 0.5, 0.8, -0.6, 0.4, -0.9, 0.3, 0.6], &mapper)
+        .unwrap();
+    let without_xt = clean_arm.mac(&a, &mut quiet).unwrap().value;
+    let rel = (with_xt - without_xt).abs() / without_xt.abs().max(1e-9);
+    assert!(rel < 0.1, "crosstalk impact {rel}");
+}
+
+/// Per-channel quantisation (the deployed scaling) dominates per-tensor
+/// at 1-bit on a realistic weight distribution — the property that keeps
+/// OISA [1:2] usable.
+#[test]
+fn per_channel_scaling_preserves_one_bit_kernels() {
+    use oisa::nn::conv::Conv2d;
+    use oisa::nn::quantize::LevelQuantizer;
+
+    // Channels with very different magnitudes (as trained convs have).
+    let mut conv = Conv2d::with_seed(1, 4, 3, 1, 1, 11).unwrap();
+    for (i, w) in conv.weights_mut().as_mut_slice().iter_mut().enumerate() {
+        let ch = i / 9;
+        *w *= [1.0f32, 0.3, 0.1, 0.03][ch];
+    }
+    let q = LevelQuantizer::uniform(1).unwrap();
+
+    let mut per_tensor = conv.clone();
+    q.quantize_conv(&mut per_tensor);
+    let mut per_channel = conv.clone();
+    q.quantize_conv_per_channel(&mut per_channel);
+
+    // Per-tensor scaling zeroes the small channels entirely.
+    let small_ch_pt: f32 = per_tensor.weights().as_slice()[27..36]
+        .iter()
+        .map(|w| w.abs())
+        .sum();
+    let small_ch_pc: f32 = per_channel.weights().as_slice()[27..36]
+        .iter()
+        .map(|w| w.abs())
+        .sum();
+    assert_eq!(small_ch_pt, 0.0, "per-tensor flushes the 0.03x channel");
+    assert!(
+        small_ch_pc > 0.0,
+        "per-channel must keep the small channel alive"
+    );
+}

@@ -1,0 +1,131 @@
+//! Integration tests for the MLP (VOM) path and fault tolerance.
+
+use oisa::core::{OisaAccelerator, OisaConfig};
+use oisa::device::noise::{NoiseConfig, NoiseSource};
+use oisa::optics::arm::ArmConfig;
+use oisa::optics::fault::{Fault, FaultMap};
+use oisa::optics::opc::{Opc, OpcConfig};
+use oisa::optics::weights::WeightMapper;
+use oisa::sensor::fault::{DefectMap, PixelFault};
+use oisa::sensor::imager::{Imager, ImagerConfig};
+use oisa::sensor::vam::{Vam, VamConfig};
+use oisa::sensor::Frame;
+use oisa::units::Volt;
+
+#[test]
+fn dense_layer_matches_reference_through_accelerator() {
+    let mut accel = OisaAccelerator::new(OisaConfig::small_test()).unwrap();
+    let img = 16usize;
+    let frame = Frame::new(
+        img,
+        img,
+        (0..img * img)
+            .map(|i| f64::from(i as u32 % 128) / 127.0)
+            .collect(),
+    )
+    .unwrap();
+    let rows = 4usize;
+    let cols = img * img;
+    let matrix: Vec<f32> = (0..rows * cols)
+        .map(|i| ((i as f32) * 0.029).cos() * 0.4)
+        .collect();
+    let report = accel.dense_layer(&frame, &matrix, rows).unwrap();
+    assert_eq!(report.output.len(), rows);
+    assert_eq!(report.chunks, rows * cols.div_ceil(9));
+
+    // Reference through the sensor models.
+    let imager = Imager::new(ImagerConfig::paper_default(img, img)).unwrap();
+    let vam = Vam::new(VamConfig::paper_default()).unwrap();
+    let encoded = vam.encode_capture(&imager.expose(&frame).unwrap()).unwrap();
+    for r in 0..rows {
+        let exact: f64 = (0..cols)
+            .map(|c| f64::from(matrix[r * cols + c]) * encoded.optical[c])
+            .sum();
+        let got = f64::from(report.output[r]);
+        assert!(
+            (got - exact).abs() < 0.05 * exact.abs().max(1.0) + 0.5,
+            "row {r}: optical {got} vs exact {exact}"
+        );
+    }
+}
+
+#[test]
+fn single_ring_fault_bounded_impact() {
+    // One stuck ring must perturb only its own arm's result, by at most
+    // one weight·activation unit.
+    let cfg = OpcConfig {
+        banks: 2,
+        columns: 1,
+        awc_units: 10,
+        arm: ArmConfig::no_crosstalk(),
+    };
+    let mut opc = Opc::new(cfg).unwrap();
+    let mapper = WeightMapper::ideal(4).unwrap();
+    let kernel = [0.5, -0.5, 0.25, 0.75, -0.25, 0.1, -0.9, 0.6, 0.3];
+    opc.load_kernel(0, 0, &kernel, &mapper).unwrap();
+    opc.load_kernel(0, 1, &kernel, &mapper).unwrap();
+    let a = [1.0; 9];
+    let mut quiet = NoiseSource::seeded(0, NoiseConfig::noiseless());
+    let healthy_0 = opc.compute_arm(0, 0, &a, &mut quiet).unwrap().value;
+    let healthy_1 = opc.compute_arm(0, 1, &a, &mut quiet).unwrap().value;
+
+    let faults: FaultMap = [Fault::RingStuckLow {
+        bank: 0,
+        arm: 0,
+        ring: 6, // the −0.9 weight
+    }]
+    .into_iter()
+    .collect();
+    let faulty_0 = faults
+        .compute_arm(&opc, 0, 0, &a, &mut quiet)
+        .unwrap()
+        .value;
+    let faulty_1 = faults
+        .compute_arm(&opc, 0, 1, &a, &mut quiet)
+        .unwrap()
+        .value;
+    // Arm 1 untouched.
+    assert!((faulty_1 - healthy_1).abs() < 1e-9);
+    // Arm 0 loses exactly the −0.9 contribution (gains +0.9).
+    assert!(
+        (faulty_0 - healthy_0 - 0.9).abs() < 0.05,
+        "{healthy_0} -> {faulty_0}"
+    );
+}
+
+#[test]
+fn defect_map_shifts_only_boundary_pixels() {
+    let imager = Imager::new(ImagerConfig::paper_default(16, 16)).unwrap();
+    let vam = Vam::new(VamConfig::paper_default()).unwrap();
+    // Mid-gray frame: every pixel encodes to level 1.
+    let frame = Frame::constant(16, 16, 0.5).unwrap();
+    let capture = imager.expose(&frame).unwrap();
+    let clean = vam.encode_capture(&capture).unwrap();
+    assert_eq!(clean.ternary.histogram(), (0, 256, 0));
+
+    // One dead and one hot pixel.
+    let defects: DefectMap = [
+        PixelFault::Dead { row: 0, col: 0 },
+        PixelFault::Hot { row: 15, col: 15 },
+    ]
+    .into_iter()
+    .collect();
+    let corrupted = defects.apply(&capture, Volt::new(0.5)).unwrap();
+    let encoded = vam.encode_capture(&corrupted).unwrap();
+    let (zeros, ones, twos) = encoded.ternary.histogram();
+    assert_eq!((zeros, ones, twos), (1, 254, 1));
+}
+
+#[test]
+fn mlp_path_deterministic_under_seed() {
+    let frame = Frame::constant(16, 16, 0.55).unwrap();
+    let matrix = vec![0.2f32; 2 * 256];
+    let run = || {
+        let mut cfg = OisaConfig::small_test();
+        cfg.noise = NoiseConfig::paper_default();
+        cfg.seed = 5;
+        let mut accel = OisaAccelerator::new(cfg).unwrap();
+        accel.dense_layer(&frame, &matrix, 2).unwrap()
+    };
+    assert_eq!(run().output, run().output);
+}
