@@ -45,6 +45,21 @@ fn bench_arm_mac(c: &mut Criterion) {
     c.bench_function("arm_mac_9tap", |b| {
         b.iter(|| arm.mac(black_box(&activations), &mut noise).unwrap());
     });
+    // The fused fast path with counter-addressed noise streams.
+    let source = NoiseSource::seeded(1, NoiseConfig::paper_default());
+    let slot = source.slot_stream(0, 0);
+    let mut position = 0u64;
+    c.bench_function("arm_mac_indexed_9tap", |b| {
+        b.iter(|| {
+            position = position.wrapping_add(1);
+            let stream = slot.at(position);
+            arm.mac_indexed(black_box(&activations), &stream, 0)
+        });
+    });
+    // The pre-optimisation port the speedup is measured against.
+    c.bench_function("arm_mac_reference_9tap", |b| {
+        b.iter(|| arm.mac_reference(black_box(&activations), &mut noise).unwrap());
+    });
 }
 
 fn bench_pixel_exposure(c: &mut Criterion) {
@@ -58,8 +73,11 @@ fn bench_pixel_exposure(c: &mut Criterion) {
 fn bench_conv2d(c: &mut Criterion) {
     let mut conv = Conv2d::with_seed(3, 16, 3, 1, 1, 7).unwrap();
     let x = Tensor::he_normal(vec![1, 3, 16, 16], 27, 3);
-    c.bench_function("conv2d_3to16_16x16", |b| {
+    c.bench_function("conv2d_im2col_3to16_16x16", |b| {
         b.iter(|| conv.forward(black_box(&x), false).unwrap());
+    });
+    c.bench_function("conv2d_naive_3to16_16x16", |b| {
+        b.iter(|| conv.forward_naive(black_box(&x), false).unwrap());
     });
 }
 
@@ -101,6 +119,36 @@ fn bench_full_frame_conv(c: &mut Criterion) {
     });
 }
 
+/// The acceptance workload: a full 128×128 frame against 16 kernels,
+/// optimised pipeline vs the pre-optimisation reference.
+fn bench_full_frame_conv_128(c: &mut Criterion) {
+    let side = 128usize;
+    let data: Vec<f64> = (0..side * side)
+        .map(|i| {
+            let x = (i % side) as f64 / side as f64;
+            let y = (i / side) as f64 / side as f64;
+            (0.5 + 0.5 * (8.0 * x).sin() * (6.0 * y).cos()).clamp(0.0, 1.0)
+        })
+        .collect();
+    let frame = Frame::new(side, side, data).unwrap();
+    let kernels: Vec<Vec<f32>> = (0..16)
+        .map(|i| (0..9).map(|j| ((i * 7 + j * 3) as f32 * 0.37).sin()).collect())
+        .collect();
+    let mut cfg = OisaConfig::paper_default(side, side);
+    cfg.seed = 42;
+    let mut accel = OisaAccelerator::new(cfg).unwrap();
+    c.bench_function("oisa_convolve_frame_128x128_16k", |b| {
+        b.iter(|| accel.convolve_frame(black_box(&frame), &kernels, 3).unwrap());
+    });
+    c.bench_function("oisa_convolve_frame_128x128_16k_reference", |b| {
+        b.iter(|| {
+            accel
+                .convolve_frame_reference(black_box(&frame), &kernels, 3)
+                .unwrap()
+        });
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
@@ -113,5 +161,6 @@ criterion_group! {
         bench_mapping_plan,
         bench_spice_rc,
         bench_full_frame_conv,
+        bench_full_frame_conv_128,
 }
 criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Machine-readable performance benchmark for the optical conv hot path.
+//!
+//! Emits one `BENCH JSON` document on stdout so CI (and future PRs) can
+//! track the perf trajectory without parsing human-oriented tables:
+//!
+//! ```text
+//! BENCH JSON {"workload":{...},"wall_clock_ms":{...},"speedup":{...},...}
+//! ```
+//!
+//! Three pipelines run the same 128×128, 16-kernel, 3×3 convolution
+//! under the paper noise model:
+//!
+//! * `parallel` — [`OisaAccelerator::convolve_frame`]: counter-based
+//!   noise streams, fused allocation-free MACs, row-parallel.
+//! * `sequential` — the single-threaded twin (bit-identical output).
+//! * `reference` — the faithful pre-optimisation pipeline
+//!   ([`OisaAccelerator::convolve_frame_reference`]), the baseline the
+//!   acceptance speedup is measured against.
+//!
+//! Pass `--quick` for fewer repetitions (CI smoke mode).
+
+use std::time::Instant;
+
+use oisa_core::{OisaAccelerator, OisaConfig};
+use oisa_nn::conv::Conv2d;
+use oisa_nn::layer::Layer;
+use oisa_nn::tensor::Tensor;
+use oisa_sensor::frame::Frame;
+
+/// A deterministic "natural-ish" test frame: radial vignette over a
+/// diagonal gradient with a bright blob, so the ternary encoder emits a
+/// realistic mix of zero / mid / full activations.
+fn test_frame(side: usize) -> Frame {
+    let mut data = vec![0.0f64; side * side];
+    let c = side as f64 / 2.0;
+    for y in 0..side {
+        for x in 0..side {
+            let dx = (x as f64 - c) / c;
+            let dy = (y as f64 - c) / c;
+            let vignette = (1.0 - 0.8 * (dx * dx + dy * dy)).max(0.0);
+            let gradient = (x + y) as f64 / (2.0 * side as f64);
+            let blob = (-8.0 * ((dx - 0.3).powi(2) + (dy + 0.2).powi(2))).exp();
+            data[y * side + x] = (0.55 * gradient * vignette + 0.6 * blob).clamp(0.0, 1.0);
+        }
+    }
+    Frame::new(side, side, data).expect("frame construction")
+}
+
+/// Deterministic kernel bank: oriented edge/texture filters.
+fn test_kernels(count: usize, k: usize) -> Vec<Vec<f32>> {
+    (0..count)
+        .map(|i| {
+            (0..k * k)
+                .map(|j| ((i * 7 + j * 3) as f32 * 0.37).sin())
+                .collect()
+        })
+        .collect()
+}
+
+fn median_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 2 } else { 5 };
+    let side = 128usize;
+    let kernels = 16usize;
+    let k = 3usize;
+
+    let frame = test_frame(side);
+    let banks = test_kernels(kernels, k);
+    let mut cfg = OisaConfig::paper_default(side, side);
+    cfg.seed = 42;
+
+    let mut accel = OisaAccelerator::new(cfg).expect("accelerator construction");
+
+    // Correctness gate before timing anything: the parallel pipeline
+    // must be bit-identical to its sequential twin under the seed.
+    let par = accel.convolve_frame(&frame, &banks, k).expect("parallel run");
+    let mut accel_seq = OisaAccelerator::new(cfg).expect("accelerator construction");
+    let seq = accel_seq
+        .convolve_frame_sequential(&frame, &banks, k)
+        .expect("sequential run");
+    assert_eq!(par.output, seq.output, "parallel output must be bit-identical");
+    assert_eq!(par.energy, seq.energy, "parallel energy must be bit-identical");
+
+    let parallel_ms = median_ms(reps, || {
+        let r = accel.convolve_frame(&frame, &banks, k).expect("parallel run");
+        std::hint::black_box(r.output[0][0]);
+    });
+    let sequential_ms = median_ms(reps, || {
+        let r = accel
+            .convolve_frame_sequential(&frame, &banks, k)
+            .expect("sequential run");
+        std::hint::black_box(r.output[0][0]);
+    });
+    let reference_ms = median_ms(reps, || {
+        let r = accel
+            .convolve_frame_reference(&frame, &banks, k)
+            .expect("reference run");
+        std::hint::black_box(r.output[0][0]);
+    });
+
+    // Digital reference path: im2col Conv2d forward vs the naive loop.
+    let x = Tensor::he_normal(vec![1, 3, side, side], 27, 3);
+    let mut conv = Conv2d::with_seed(3, kernels, k, 1, 1, 7).expect("conv construction");
+    let im2col_ms = median_ms(reps, || {
+        let y = conv.forward(&x, false).expect("im2col forward");
+        std::hint::black_box(y.as_slice()[0]);
+    });
+    let naive_ms = median_ms(reps, || {
+        let y = conv.forward_naive(&x, false).expect("naive forward");
+        std::hint::black_box(y.as_slice()[0]);
+    });
+
+    // Report the worker count the parallel pipeline actually used.
+    let threads = rayon::current_num_threads();
+    let optical_speedup = reference_ms / parallel_ms;
+    let conv_speedup = naive_ms / im2col_ms;
+    println!(
+        concat!(
+            "BENCH JSON {{",
+            "\"workload\":{{\"frame\":\"{side}x{side}\",\"kernels\":{kernels},\"k\":{k}}},",
+            "\"threads\":{threads},",
+            "\"wall_clock_ms\":{{",
+            "\"optical_parallel\":{parallel:.3},",
+            "\"optical_sequential\":{sequential:.3},",
+            "\"optical_reference\":{reference:.3},",
+            "\"conv2d_im2col\":{im2col:.3},",
+            "\"conv2d_naive\":{naive:.3}}},",
+            "\"speedup\":{{",
+            "\"optical_vs_reference\":{opt_speedup:.2},",
+            "\"conv2d_vs_naive\":{conv_speedup:.2}}},",
+            "\"bit_identical_parallel_vs_sequential\":true}}"
+        ),
+        side = side,
+        kernels = kernels,
+        k = k,
+        threads = threads,
+        parallel = parallel_ms,
+        sequential = sequential_ms,
+        reference = reference_ms,
+        im2col = im2col_ms,
+        naive = naive_ms,
+        opt_speedup = optical_speedup,
+        conv_speedup = conv_speedup,
+    );
+}

@@ -114,6 +114,7 @@ fn binary_activation() -> TernaryActivation {
 
 /// Evaluates the trained model with its first conv swapped for a
 /// quantised wrapper.
+#[allow(clippy::too_many_arguments)]
 fn eval_deployed(
     model: &mut Sequential,
     conv0: &Conv2d,

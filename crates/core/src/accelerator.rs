@@ -6,10 +6,36 @@
 //! subtract on the balanced photodetectors, and (for 5×5/7×7 kernels)
 //! re-aggregate per-arm partial sums in the VOM. Everything is energy-
 //! and latency-accounted through the controller and mapping plan.
+//!
+//! # Hot-path architecture
+//!
+//! The convolution inner loop is engineered for frame-rate simulation:
+//!
+//! * **Counter-based noise.** Every `(kernel, output position)` pair
+//!   gets its own [`NoiseStream`](oisa_device::noise::NoiseStream), so
+//!   evaluation order — including across threads — never changes the
+//!   physics. `convolve_frame` (parallel over output rows) and
+//!   [`OisaAccelerator::convolve_frame_sequential`] are bit-identical.
+//! * **Zero per-pixel allocation.** Windows are gathered into a stack
+//!   scratch array, per-pass results land in one flat row-major buffer,
+//!   and the fused [`Arm::mac_indexed`](oisa_optics::arm::Arm) skips
+//!   [`MacResult`](oisa_optics::arm::MacResult) construction entirely.
+//! * **Precomputed arm constants.** Crosstalk, waveguide loss and
+//!   full-scale terms are folded into per-ring gains at weight-load
+//!   time instead of being re-derived on every MAC.
+//! * **Ordered reduction.** Row tasks return energy partials that are
+//!   reduced in row order, so the energy report is identical no matter
+//!   how many worker threads ran.
+//!
+//! [`OisaAccelerator::convolve_frame_reference`] keeps a faithful port
+//! of the pre-optimisation pipeline (per-window allocation, per-MAC
+//! validation and crosstalk evaluation, order-dependent noise) as the
+//! wall-clock baseline for `perf_json` and the microbenchmarks.
 
 use oisa_device::awc::{AwcModel, AwcParams};
 use oisa_device::noise::{NoiseConfig, NoiseSource};
 use oisa_memory::bank::KernelBank;
+use oisa_optics::arm::{Arm, RINGS_PER_ARM};
 use oisa_optics::opc::{KernelSize, Opc, OpcConfig};
 use oisa_optics::vom::{Vom, VomConfig};
 use oisa_optics::weights::WeightMapper;
@@ -182,11 +208,17 @@ impl OisaAccelerator {
     }
 
     /// Convolves a captured frame with `kernels` (each `k²` weights,
-    /// row-major) at stride 1, running the full optical path.
+    /// row-major) at stride 1, running the full optical path with the
+    /// parallel, allocation-free pipeline (see the module docs).
     ///
     /// Kernels may use any float range; they are normalised per call by
     /// the joint maximum magnitude (per-tensor scaling, as the deployment
     /// path does) and the outputs are scaled back.
+    ///
+    /// Noise is drawn from counter-based streams keyed by
+    /// `(seed, frame epoch, kernel, output position)`, so the result is
+    /// bit-identical to [`OisaAccelerator::convolve_frame_sequential`]
+    /// regardless of worker-thread count.
     ///
     /// # Errors
     ///
@@ -194,6 +226,254 @@ impl OisaAccelerator {
     /// * [`CoreError::Unmappable`] for unsupported kernel sizes.
     /// * Substrate errors from the optical fabric.
     pub fn convolve_frame(
+        &mut self,
+        frame: &Frame,
+        kernels: &[Vec<f32>],
+        k: usize,
+    ) -> Result<ConvolutionReport> {
+        let planes: Vec<&[f32]> = kernels.iter().map(Vec::as_slice).collect();
+        self.convolve_impl(frame, &planes, k, true)
+    }
+
+    /// Single-threaded twin of [`OisaAccelerator::convolve_frame`]:
+    /// identical physics, identical noise streams, identical energy
+    /// reduction order — the parity oracle the parallel path is tested
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`OisaAccelerator::convolve_frame`].
+    pub fn convolve_frame_sequential(
+        &mut self,
+        frame: &Frame,
+        kernels: &[Vec<f32>],
+        k: usize,
+    ) -> Result<ConvolutionReport> {
+        let planes: Vec<&[f32]> = kernels.iter().map(Vec::as_slice).collect();
+        self.convolve_impl(frame, &planes, k, false)
+    }
+
+    fn convolve_impl(
+        &mut self,
+        frame: &Frame,
+        kernels: &[&[f32]],
+        k: usize,
+        parallel: bool,
+    ) -> Result<ConvolutionReport> {
+        if kernels.is_empty() {
+            return Err(CoreError::InvalidParameter("no kernels supplied".into()));
+        }
+        if kernels.iter().any(|kn| kn.len() != k * k) {
+            return Err(CoreError::InvalidParameter(format!(
+                "every kernel must have {} weights",
+                k * k
+            )));
+        }
+        let ks = KernelSize::from_k(k).map_err(|e| CoreError::Unmappable(e.to_string()))?;
+        let workload = ConvWorkload {
+            out_channels: kernels.len(),
+            in_channels: 1,
+            kernel: k,
+            input_h: frame.height(),
+            input_w: frame.width(),
+            stride: 1,
+        };
+        let plan = MappingPlan::compute(&workload, &self.config.opc)?;
+        let (oh, ow) = workload.output_size();
+
+        // Sense + encode.
+        let capture = self.imager.expose(frame)?;
+        let encoded = self.vam.encode_capture(&capture)?;
+        // Validate the optical frame once up front; every window below
+        // reuses the guarantee instead of re-checking k² amplitudes per
+        // output pixel.
+        if let Some(i) = encoded
+            .optical
+            .iter()
+            .position(|a| !(0.0..=1.0).contains(a))
+        {
+            return Err(CoreError::InvalidParameter(format!(
+                "encoded optical amplitude {} at pixel {i} outside [0, 1]",
+                encoded.optical[i]
+            )));
+        }
+
+        // Per-kernel weight normalisation: each kernel's arm carries
+        // its own receiver gain, so every kernel uses its full dynamic
+        // range (this is what keeps 1-bit weights usable).
+        let scales: Vec<f32> = kernels
+            .iter()
+            .map(|kn| {
+                kn.iter()
+                    .fold(0.0f32, |m, w| m.max(w.abs()))
+                    .max(f32::MIN_POSITIVE)
+            })
+            .collect();
+
+        let mut energy = EnergyReport {
+            sensing: capture.energy,
+            encoding: encoded.total_energy(),
+            ..EnergyReport::default()
+        };
+        let mut output = vec![vec![0.0f32; oh * ow]; kernels.len()];
+        let epoch = self.noise.begin_epoch();
+        let width = frame.width();
+        let k2 = k * k;
+        let arms_per_kernel = ks.arms_per_kernel();
+
+        let slots_per_pass = plan.slots_per_pass;
+        let mut kernel_index = 0usize;
+        // Weight staging is off the hot path, but reuse its buffers
+        // anyway.
+        let mut normalised: Vec<f64> = Vec::with_capacity(k2);
+        let mut codes: Vec<u16> = Vec::with_capacity(k2);
+        while kernel_index < kernels.len() {
+            let pass_kernels =
+                &kernels[kernel_index..(kernel_index + slots_per_pass).min(kernels.len())];
+            let slots = assign_slots(pass_kernels.len(), ks, &self.config.opc)?;
+            // Map this pass's weights (bank store + ring tuning).
+            for (pk, (kn, &(bank, first_arm))) in
+                pass_kernels.iter().zip(&slots).enumerate()
+            {
+                let scale = scales[kernel_index + pk];
+                normalised.clear();
+                normalised.extend(kn.iter().map(|&w| f64::from(w / scale)));
+                codes.clear();
+                for &w in normalised.iter() {
+                    codes.push(self.mapper.quantize(w)?.code);
+                }
+                let offset = (bank * oisa_optics::bank::RINGS_PER_BANK
+                    + first_arm * RINGS_PER_ARM)
+                    % self.bank.len();
+                self.bank.store(offset, &codes)?;
+                self.opc.load_kernel(bank, first_arm, &normalised, &self.mapper)?;
+            }
+            energy.tuning += self.opc.tuning_energy();
+
+            // Resolve every slot's arms once per pass; the hot loop then
+            // walks shared references instead of doing checked bank/arm
+            // lookups per pixel.
+            let mut slot_arms: Vec<Vec<&Arm>> = Vec::with_capacity(slots.len());
+            for &(bank, first_arm) in &slots {
+                let bank_ref = self.opc.bank(bank)?;
+                let arms = (0..arms_per_kernel)
+                    .map(|i| bank_ref.arm(first_arm + i))
+                    .collect::<oisa_optics::Result<Vec<&Arm>>>()?;
+                slot_arms.push(arms);
+            }
+
+            let nslots = slots.len();
+            // Hoist the (seed, epoch, slot) key mixing out of the pixel
+            // loop: per position only one extra mix remains.
+            let slot_streams: Vec<oisa_device::noise::SlotStream> = (0..nslots)
+                .map(|si| self.noise.slot_stream(epoch, (kernel_index + si) as u64))
+                .collect();
+            let row_len = nslots * ow;
+            // One flat row-major buffer per pass: [row][slot][ox]. Row
+            // tasks own disjoint chunks, so they parallelise without
+            // locks; results are scattered into the per-kernel maps
+            // afterwards.
+            let mut pass_out = vec![0.0f32; oh * row_len];
+            let vom = &self.vom;
+            let optical = &encoded.optical[..];
+            let pass_scales = &scales[kernel_index..kernel_index + nslots];
+            let slot_arms_ref = &slot_arms;
+            let slot_streams_ref = &slot_streams;
+            let row_task = move |oy: usize, row: &mut [f32]| -> RowEnergy {
+                let mut scratch = [0.0f64; MAX_WINDOW];
+                let mut partial = RowEnergy::default();
+                for ox in 0..ow {
+                    for dy in 0..k {
+                        let src = (oy + dy) * width + ox;
+                        scratch[dy * k..dy * k + k].copy_from_slice(&optical[src..src + k]);
+                    }
+                    let window = &scratch[..k2];
+                    let position = (oy * ow + ox) as u64;
+                    for (si, arms) in slot_arms_ref.iter().enumerate() {
+                        let stream = slot_streams_ref[si].at(position);
+                        let value = if arms.len() == 1 {
+                            let (value, e) = arms[0].mac_indexed(window, &stream, 0);
+                            partial.compute += e;
+                            value
+                        } else {
+                            let mut values = [0.0f64; MAX_ARMS];
+                            let mut base = 0u64;
+                            for (ai, chunk) in window.chunks(RINGS_PER_ARM).enumerate() {
+                                let (value, e) = arms[ai].mac_indexed(chunk, &stream, base);
+                                values[ai] = value;
+                                partial.compute += e;
+                                base += Arm::counter_stride(chunk.len());
+                            }
+                            let (value, agg) = vom.accumulate_values(&values[..arms.len()]);
+                            partial.aggregation += agg;
+                            value
+                        };
+                        row[si * ow + ox] = (value * f64::from(pass_scales[si])) as f32;
+                    }
+                }
+                partial
+            };
+            let rows: Vec<&mut [f32]> = pass_out.chunks_mut(row_len).collect();
+            let partials: Vec<RowEnergy> = if parallel {
+                rayon::iter::parallel_map(rows, row_task)
+            } else {
+                rows.into_iter()
+                    .enumerate()
+                    .map(|(oy, row)| row_task(oy, row))
+                    .collect()
+            };
+            // Ordered reduction: identical grouping whether the rows ran
+            // on one thread or many.
+            for partial in partials {
+                energy.compute += Joule::new(partial.compute);
+                energy.aggregation += Joule::new(partial.aggregation);
+            }
+            for si in 0..nslots {
+                let dst = &mut output[kernel_index + si];
+                for oy in 0..oh {
+                    let src = oy * row_len + si * ow;
+                    dst[oy * ow..(oy + 1) * ow].copy_from_slice(&pass_out[src..src + ow]);
+                }
+            }
+            kernel_index += pass_kernels.len();
+        }
+
+        // Kernel-bank access energy.
+        energy.memory = self.bank.total_energy();
+        self.bank.reset_counters();
+
+        // Timeline from the controller program.
+        let program = self
+            .controller
+            .frame_program(&plan, (oh * ow * kernels.len()) as u64);
+        let timeline = self.controller.execute(&program)?;
+
+        Ok(ConvolutionReport {
+            output,
+            out_h: oh,
+            out_w: ow,
+            plan,
+            timeline,
+            energy,
+        })
+    }
+
+    /// Faithful port of the pre-optimisation sequential pipeline: one
+    /// mutable noise stream shared by every MAC (order-dependent draws),
+    /// a freshly allocated `Vec` per activation window, per-MAC range
+    /// validation, and per-call crosstalk/full-scale/time-of-flight
+    /// evaluation through [`Arm::mac_reference`].
+    ///
+    /// Kept as the wall-clock baseline the `perf_json` benchmark and the
+    /// acceptance speedup are measured against. Its outputs differ from
+    /// [`OisaAccelerator::convolve_frame`] only through the noise
+    /// drawing scheme (stateful stream vs. counter-based streams); with
+    /// noise disabled the two pipelines agree exactly.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`OisaAccelerator::convolve_frame`].
+    pub fn convolve_frame_reference(
         &mut self,
         frame: &Frame,
         kernels: &[Vec<f32>],
@@ -220,13 +500,9 @@ impl OisaAccelerator {
         let plan = MappingPlan::compute(&workload, &self.config.opc)?;
         let (oh, ow) = workload.output_size();
 
-        // Sense + encode.
         let capture = self.imager.expose(frame)?;
         let encoded = self.vam.encode_capture(&capture)?;
 
-        // Per-kernel weight normalisation: each kernel's arm carries
-        // its own receiver gain, so every kernel uses its full dynamic
-        // range (this is what keeps 1-bit weights usable).
         let scales: Vec<f32> = kernels
             .iter()
             .map(|kn| {
@@ -249,7 +525,6 @@ impl OisaAccelerator {
             let pass_kernels =
                 &kernels[kernel_index..(kernel_index + slots_per_pass).min(kernels.len())];
             let slots = assign_slots(pass_kernels.len(), ks, &self.config.opc)?;
-            // Map this pass's weights (bank store + ring tuning).
             for (pk, (kn, &(bank, first_arm))) in
                 pass_kernels.iter().zip(&slots).enumerate()
             {
@@ -260,21 +535,20 @@ impl OisaAccelerator {
                     .map(|&w| self.mapper.quantize(w).map(|m| m.code))
                     .collect::<oisa_optics::Result<Vec<u16>>>()?;
                 let offset = (bank * oisa_optics::bank::RINGS_PER_BANK
-                    + first_arm * oisa_optics::arm::RINGS_PER_ARM)
+                    + first_arm * RINGS_PER_ARM)
                     % self.bank.len();
                 self.bank.store(offset, &codes)?;
                 self.opc.load_kernel(bank, first_arm, &normalised, &self.mapper)?;
             }
             energy.tuning += self.opc.tuning_energy();
 
-            // Compute all positions for this pass's kernels (slots are in
-            // kernel order).
             for oy in 0..oh {
                 for ox in 0..ow {
                     let window = gather_window(&encoded.optical, frame.width(), oy, ox, k);
                     for (slot_idx, &(bank, first_arm)) in slots.iter().enumerate() {
-                        let value =
-                            self.evaluate_kernel(bank, first_arm, &window, ks, &mut energy)?;
+                        let value = self.evaluate_kernel_reference(
+                            bank, first_arm, &window, ks, &mut energy,
+                        )?;
                         output[kernel_index + slot_idx][oy * ow + ox] =
                             (value * f64::from(scales[kernel_index + slot_idx])) as f32;
                     }
@@ -283,11 +557,9 @@ impl OisaAccelerator {
             kernel_index += pass_kernels.len();
         }
 
-        // Kernel-bank access energy.
         energy.memory = self.bank.total_energy();
         self.bank.reset_counters();
 
-        // Timeline from the controller program.
         let program = self
             .controller
             .frame_program(&plan, (oh * ow * kernels.len()) as u64);
@@ -301,6 +573,42 @@ impl OisaAccelerator {
             timeline,
             energy,
         })
+    }
+
+    /// Evaluates one kernel the pre-optimisation way (see
+    /// [`OisaAccelerator::convolve_frame_reference`]).
+    fn evaluate_kernel_reference(
+        &mut self,
+        bank: usize,
+        first_arm: usize,
+        window: &[f64],
+        ks: KernelSize,
+        energy: &mut EnergyReport,
+    ) -> Result<f64> {
+        let arms = ks.arms_per_kernel();
+        if arms == 1 {
+            let result = self
+                .opc
+                .bank(bank)?
+                .arm(first_arm)?
+                .mac_reference(window, &mut self.noise)?;
+            energy.compute += result.optical_energy;
+            Ok(result.value)
+        } else {
+            let mut partials = Vec::with_capacity(arms);
+            for (i, chunk) in window.chunks(RINGS_PER_ARM).enumerate() {
+                let r = self
+                    .opc
+                    .bank(bank)?
+                    .arm(first_arm + i)?
+                    .mac_reference(chunk, &mut self.noise)?;
+                energy.compute += r.optical_energy;
+                partials.push(r);
+            }
+            let agg = self.vom.accumulate(&partials)?;
+            energy.aggregation += agg.energy;
+            Ok(agg.value)
+        }
     }
 
     /// Convolves a multi-channel input (e.g. RGB): one [`Frame`] per
@@ -336,8 +644,10 @@ impl OisaAccelerator {
         }
         let mut combined: Option<ConvolutionReport> = None;
         for (ic, frame) in frames.iter().enumerate() {
-            let planes: Vec<Vec<f32>> = kernels.iter().map(|kn| kn[ic].clone()).collect();
-            let partial = self.convolve_frame(frame, &planes, k)?;
+            // Borrow each kernel's plane for this channel instead of
+            // cloning the weight vectors per channel.
+            let planes: Vec<&[f32]> = kernels.iter().map(|kn| kn[ic].as_slice()).collect();
+            let partial = self.convolve_impl(frame, &planes, k, true)?;
             combined = Some(match combined {
                 None => partial,
                 Some(mut acc) => {
@@ -399,41 +709,23 @@ impl OisaAccelerator {
         )
     }
 
-    /// Evaluates one kernel (possibly spanning several arms) on one
-    /// activation window.
-    fn evaluate_kernel(
-        &mut self,
-        bank: usize,
-        first_arm: usize,
-        window: &[f64],
-        ks: KernelSize,
-        energy: &mut EnergyReport,
-    ) -> Result<f64> {
-        let arms = ks.arms_per_kernel();
-        if arms == 1 {
-            let result = self
-                .opc
-                .compute_arm(bank, first_arm, window, &mut self.noise)?;
-            energy.compute += result.optical_energy;
-            Ok(result.value)
-        } else {
-            let mut partials = Vec::with_capacity(arms);
-            for (i, chunk) in window.chunks(oisa_optics::arm::RINGS_PER_ARM).enumerate() {
-                let r = self
-                    .opc
-                    .compute_arm(bank, first_arm + i, chunk, &mut self.noise)?;
-                energy.compute += r.optical_energy;
-                partials.push(r);
-            }
-            let agg = self.vom.accumulate(&partials)?;
-            energy.aggregation += agg.energy;
-            Ok(agg.value)
-        }
-    }
+}
+
+/// Maximum supported window size (7×7).
+const MAX_WINDOW: usize = 49;
+/// Maximum arms one kernel spans (7×7 → 5 arms).
+const MAX_ARMS: usize = 5;
+
+/// Per-row energy partial reduced in row order after a pass.
+#[derive(Debug, Default, Clone, Copy)]
+struct RowEnergy {
+    compute: f64,
+    aggregation: f64,
 }
 
 /// Extracts the `k×k` activation window at output position `(oy, ox)`
-/// from a row-major optical frame.
+/// from a row-major optical frame, allocating a fresh `Vec` — the
+/// pre-optimisation gather kept for the reference pipeline.
 fn gather_window(optical: &[f64], width: usize, oy: usize, ox: usize, k: usize) -> Vec<f64> {
     let mut window = Vec::with_capacity(k * k);
     for dy in 0..k {
@@ -489,7 +781,9 @@ mod tests {
         }
         let frame = Frame::new(16, 16, data).unwrap();
         let kernel: Vec<f32> = vec![0.5, -0.25, 1.0, 0.0, 0.75, -1.0, 0.25, 0.5, -0.5];
-        let report = accel.convolve_frame(&frame, &[kernel.clone()], 3).unwrap();
+        let report = accel
+            .convolve_frame(&frame, std::slice::from_ref(&kernel), 3)
+            .unwrap();
         let reference = reference_conv(
             &frame,
             &kernel,
@@ -569,7 +863,9 @@ mod tests {
         cfg.seed = 42;
         let mut a = OisaAccelerator::new(cfg).unwrap();
         let mut b = OisaAccelerator::new(cfg).unwrap();
-        let ra = a.convolve_frame(&frame, &[kernel.clone()], 3).unwrap();
+        let ra = a
+            .convolve_frame(&frame, std::slice::from_ref(&kernel), 3)
+            .unwrap();
         let rb = b.convolve_frame(&frame, &[kernel], 3).unwrap();
         assert_eq!(ra.output, rb.output);
     }
@@ -609,6 +905,64 @@ mod tests {
             .convolve_channels(&[frame.clone(), frame.clone()], &kernels, 3)
             .is_err());
         assert!(accel.convolve_channels(&[], &[], 3).is_err());
+    }
+
+    #[test]
+    fn parallel_and_sequential_pipelines_bit_identical() {
+        // Force real worker threads even on single-CPU hosts so the
+        // parity claim is exercised, not vacuous. Thread count never
+        // affects results by design.
+        rayon::set_num_threads(3);
+        let mut data = vec![0.0f64; 256];
+        for (i, v) in data.iter_mut().enumerate() {
+            *v = ((i % 11) as f64 / 11.0 + (i / 16) as f64 / 32.0).clamp(0.0, 1.0);
+        }
+        let frame = Frame::new(16, 16, data).unwrap();
+        let mut cfg = OisaConfig::small_test();
+        cfg.noise = NoiseConfig::paper_default();
+        cfg.seed = 7;
+
+        // 3×3, multi-pass (25 kernels over 20 slots) and 5×5 (VOM).
+        let kernels3: Vec<Vec<f32>> = (0..25)
+            .map(|i| (0..9).map(|j| ((i * 5 + j) as f32 * 0.61).sin()).collect())
+            .collect();
+        let kernels5 = vec![vec![0.4f32; 25], vec![-0.2f32; 25]];
+
+        for (kernels, k) in [(&kernels3, 3usize), (&kernels5, 5usize)] {
+            let mut par = OisaAccelerator::new(cfg).unwrap();
+            let mut seq = OisaAccelerator::new(cfg).unwrap();
+            let rp = par.convolve_frame(&frame, kernels, k).unwrap();
+            let rs = seq.convolve_frame_sequential(&frame, kernels, k).unwrap();
+            assert_eq!(rp.output, rs.output, "k={k} outputs must be bit-identical");
+            assert_eq!(rp.energy, rs.energy, "k={k} energy must be bit-identical");
+            assert_eq!(rp.timeline, rs.timeline);
+        }
+    }
+
+    #[test]
+    fn optimised_pipeline_matches_reference_noiselessly() {
+        // With noise disabled the counter-stream and stateful draws are
+        // both identity, so the optimised pipeline must reproduce the
+        // pre-optimisation reference exactly.
+        let mut data = vec![0.0f64; 256];
+        for (i, v) in data.iter_mut().enumerate() {
+            *v = ((i % 7) as f64 / 7.0).clamp(0.0, 1.0);
+        }
+        let frame = Frame::new(16, 16, data).unwrap();
+        let kernels: Vec<Vec<f32>> = (0..4)
+            .map(|i| (0..9).map(|j| ((i * 3 + j) as f32 * 0.45).cos()).collect())
+            .collect();
+        let cfg = OisaConfig::small_test();
+        let mut fast = OisaAccelerator::new(cfg).unwrap();
+        let mut slow = OisaAccelerator::new(cfg).unwrap();
+        let rf = fast.convolve_frame(&frame, &kernels, 3).unwrap();
+        let rr = slow.convolve_frame_reference(&frame, &kernels, 3).unwrap();
+        assert_eq!(rf.output, rr.output);
+        // Energy matches up to reduction grouping (row partials vs one
+        // running sum).
+        let rel = (rf.energy.total().get() - rr.energy.total().get()).abs()
+            / rr.energy.total().get();
+        assert!(rel < 1e-9, "energy drift {rel}");
     }
 
     #[test]

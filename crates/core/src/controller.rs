@@ -96,7 +96,7 @@ impl Command {
 /// Returns [`CoreError::InvalidParameter`] for a stream whose length is
 /// not a multiple of 9 or that contains an invalid command.
 pub fn decode_program(stream: &[u8]) -> Result<Vec<Command>> {
-    if stream.len() % 9 != 0 {
+    if !stream.len().is_multiple_of(9) {
         return Err(CoreError::InvalidParameter(format!(
             "command stream length {} is not a multiple of 9",
             stream.len()

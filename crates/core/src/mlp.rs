@@ -6,6 +6,11 @@
 //! parts." A dense row of `n` weights becomes `⌈n / 9⌉` arm-sized
 //! chunks; each chunk computes optically and the VOM accumulates and
 //! re-modulates the partial sums.
+//!
+//! Like the convolution pipeline, the dense path draws its noise from
+//! counter-based streams — keyed by `(epoch, row, chunk)` — and reuses
+//! its staging buffers across chunks, so evaluation order never changes
+//! the physics and the inner loop allocates nothing per chunk.
 
 use oisa_device::noise::NoiseSource;
 use oisa_optics::opc::Opc;
@@ -69,27 +74,46 @@ pub fn matvec(
             input.len()
         )));
     }
+    // Validate the shared input vector up front so range errors report
+    // the offending index before any fabric state changes. (The generic
+    // Arm::mac each chunk routes through still performs its own cheap
+    // per-chunk check; only the conv path's mac_indexed skips it.)
+    if let Some(i) = input.iter().position(|a| !(0.0..=1.0).contains(a)) {
+        return Err(CoreError::InvalidParameter(format!(
+            "input activation {} at index {i} outside [0, 1]",
+            input[i]
+        )));
+    }
     let scale = matrix
         .iter()
         .fold(0.0f32, |m, w| m.max(w.abs()))
         .max(f32::MIN_POSITIVE);
     let arms_per_bank = oisa_optics::bank::ARMS_PER_BANK;
+    let epoch = noise.begin_epoch();
     let mut output = Vec::with_capacity(rows);
     let mut total_chunks = 0usize;
     let mut energy = Joule::ZERO;
     let mut latency = Second::ZERO;
+    // Staging buffers reused across every chunk of every row.
+    let mut normalised: Vec<f64> = Vec::with_capacity(CHUNK);
+    let mut partials = Vec::with_capacity(cols.div_ceil(CHUNK));
     for r in 0..rows {
         let row = &matrix[r * cols..(r + 1) * cols];
-        let mut partials = Vec::new();
+        let row_stream = noise.slot_stream(epoch, r as u64);
+        partials.clear();
         for (ci, (w_chunk, a_chunk)) in row.chunks(CHUNK).zip(input.chunks(CHUNK)).enumerate() {
             // Round-robin chunks over the fabric; each chunk occupies one
             // arm for its evaluation.
             let slot = (total_chunks + ci) % (opc.bank_count() * arms_per_bank);
             let bank = slot / arms_per_bank;
             let arm = slot % arms_per_bank;
-            let normalised: Vec<f64> = w_chunk.iter().map(|&w| f64::from(w / scale)).collect();
+            normalised.clear();
+            normalised.extend(w_chunk.iter().map(|&w| f64::from(w / scale)));
             opc.bank_mut(bank)?.load_arm(arm, &normalised, mapper)?;
-            let result = opc.compute_arm(bank, arm, a_chunk, noise)?;
+            // Counter-based stream per (row, chunk): draws are addressed,
+            // not consumed, so chunk evaluation order is immaterial.
+            let stream = row_stream.at(ci as u64);
+            let result = opc.compute_arm(bank, arm, a_chunk, &mut stream.cursor())?;
             energy += result.optical_energy;
             partials.push(result);
         }
@@ -192,6 +216,19 @@ mod tests {
         let four = run(&mut opc, 4);
         assert!(four.energy.get() > 3.0 * one.energy.get());
         assert!(four.latency.get() > 3.0 * one.latency.get());
+    }
+
+    #[test]
+    fn out_of_range_input_reports_index() {
+        let (mut opc, vom, mapper) = fabric();
+        let mut input = vec![0.5f64; 12];
+        input[7] = 1.7;
+        let err = matvec(
+            &mut opc, &vom, &mapper, &[0.1; 12], 1, 12, &input, &mut quiet(),
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("index 7"), "must name the index: {msg}");
     }
 
     #[test]

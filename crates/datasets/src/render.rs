@@ -296,9 +296,9 @@ mod tests {
 
     #[test]
     fn all_segment_patterns_distinct() {
-        for a in 0..10 {
-            for b in (a + 1)..10 {
-                assert_ne!(SEGMENTS[a], SEGMENTS[b], "digits {a} and {b} collide");
+        for (a, sa) in SEGMENTS.iter().enumerate() {
+            for (b, sb) in SEGMENTS.iter().enumerate().skip(a + 1) {
+                assert_ne!(sa, sb, "digits {a} and {b} collide");
             }
         }
     }

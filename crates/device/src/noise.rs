@@ -1,12 +1,30 @@
 //! Shared noise utilities for the optical and analog models.
 //!
-//! Simulation crates inject noise through a single [`NoiseSource`] so the
-//! whole stack stays deterministic under a seed: the accuracy experiments
-//! of Table II must be reproducible run-to-run.
+//! Simulation crates inject noise through two complementary interfaces,
+//! both deterministic under a seed so the accuracy experiments of
+//! Table II stay reproducible run-to-run:
+//!
+//! * [`NoiseSource`] — the original *stateful* stream. Draws depend on
+//!   call order, so it suits inherently serial paths (fault injection,
+//!   behavioural quantisation sweeps) and keeps backwards compatibility.
+//! * [`NoiseStream`] — a *counter-based* source keyed by
+//!   `(seed, epoch, slot, position)`. Every draw is addressed by an
+//!   explicit counter instead of consuming shared state, so evaluations
+//!   can run in any order — including across threads — and still produce
+//!   bit-identical results. This is what lets the accelerator parallelise
+//!   `convolve_frame` without breaking `deterministic_under_seed`.
+//!
+//! Both implement [`NoiseModel`], the trait the optical fabric samples
+//! through. The stream path draws its Gaussians with a 128-layer
+//! ziggurat (one 64-bit mix and one compare on the fast path), which is
+//! several times cheaper than the Box–Muller evaluation the stateful
+//! path inherits from [`crate::sense_amp`] — the per-MAC noise draw is
+//! the single hottest operation in frame-rate simulation.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 use crate::sense_amp::gaussian;
 
@@ -47,6 +65,22 @@ impl NoiseConfig {
     }
 }
 
+/// The sampling interface the optical fabric perturbs signals through.
+///
+/// Implemented by the stateful [`NoiseSource`], by [`StreamCursor`]
+/// (sequential draws over a counter-based stream) and by test doubles.
+pub trait NoiseModel {
+    /// Applies VCSEL relative-intensity noise to an emitted power.
+    fn vcsel(&mut self, power: f64) -> f64;
+
+    /// Applies microring transmission drift, clamped to the physical
+    /// `[0, 1]` range.
+    fn mr_transmission(&mut self, t: f64) -> f64;
+
+    /// Adds detector noise: `value + σ·full_scale·N(0,1)`.
+    fn detector(&mut self, value: f64, full_scale: f64) -> f64;
+}
+
 /// A seeded Gaussian noise source.
 ///
 /// # Examples
@@ -62,6 +96,8 @@ impl NoiseConfig {
 pub struct NoiseSource {
     rng: StdRng,
     config: NoiseConfig,
+    seed: u64,
+    epoch: u64,
 }
 
 impl NoiseSource {
@@ -71,6 +107,8 @@ impl NoiseSource {
         Self {
             rng: StdRng::seed_from_u64(seed),
             config,
+            seed,
+            epoch: 0,
         }
     }
 
@@ -118,6 +156,316 @@ impl NoiseSource {
     /// Raw uniform sample in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
         self.rng.gen()
+    }
+
+    /// Advances to (and returns) the next noise epoch.
+    ///
+    /// Counter-based streams mix the epoch into their keys, so repeated
+    /// evaluations of the same workload (e.g. per-channel passes of a
+    /// multi-channel convolution) see fresh noise while staying
+    /// deterministic under the seed.
+    pub fn begin_epoch(&mut self) -> u64 {
+        let epoch = self.epoch;
+        self.epoch = self.epoch.wrapping_add(1);
+        epoch
+    }
+
+    /// A counter-based stream for `(slot, position)` under `epoch`.
+    ///
+    /// Streams derived from the same key always replay the same draws,
+    /// independent of evaluation order — see [`NoiseStream`].
+    #[must_use]
+    pub fn stream(&self, epoch: u64, slot: u64, position: u64) -> NoiseStream {
+        self.slot_stream(epoch, slot).at(position)
+    }
+
+    /// The per-slot half of [`NoiseSource::stream`], hoistable out of
+    /// position loops: the `(seed, epoch, slot)` mixing happens once and
+    /// each output position costs a single extra mix.
+    #[must_use]
+    pub fn slot_stream(&self, epoch: u64, slot: u64) -> SlotStream {
+        SlotStream {
+            partial_key: mix64(self.seed ^ mix64(epoch ^ mix64(slot ^ 0x6A09_E667_F3BC_C909))),
+            config: self.config,
+            tables: zig_tables(),
+        }
+    }
+}
+
+/// The `(seed, epoch, slot)`-mixed prefix of a stream key. Call
+/// [`SlotStream::at`] per output position to get the full
+/// [`NoiseStream`].
+#[derive(Debug, Clone, Copy)]
+pub struct SlotStream {
+    partial_key: u64,
+    config: NoiseConfig,
+    tables: &'static ZigTables,
+}
+
+impl SlotStream {
+    /// The stream for one output position under this slot.
+    #[inline]
+    #[must_use]
+    pub fn at(&self, position: u64) -> NoiseStream {
+        NoiseStream {
+            key: mix64(self.partial_key ^ position.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            config: self.config,
+            tables: self.tables,
+        }
+    }
+}
+
+impl NoiseModel for NoiseSource {
+    fn vcsel(&mut self, power: f64) -> f64 {
+        Self::vcsel(self, power)
+    }
+
+    fn mr_transmission(&mut self, t: f64) -> f64 {
+        Self::mr_transmission(self, t)
+    }
+
+    fn detector(&mut self, value: f64, full_scale: f64) -> f64 {
+        Self::detector(self, value, full_scale)
+    }
+}
+
+/// SplitMix64 finaliser — the avalanche permutation behind stream keys
+/// and per-counter substreams.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Minimal per-counter substream: a SplitMix64 walk seeded from the
+/// mixed `(key, counter)` pair. Only the rare ziggurat fallback draws
+/// more than one value from it.
+struct SubRng(u64);
+
+impl SubRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `(0, 1]` — never zero, so logarithms stay finite.
+    #[inline]
+    fn uniform_open(&mut self) -> f64 {
+        (((self.next_u64() >> 11) + 1) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Number of ziggurat layers.
+const ZIG_LAYERS: usize = 128;
+/// Ziggurat tail cut-off (Doornik's constants for 128 layers).
+const ZIG_R: f64 = 3.442_619_855_899;
+/// Area of each ziggurat slice.
+const ZIG_V: f64 = 9.912_563_035_262_17e-3;
+
+/// Precomputed ziggurat geometry: layer edges `x[i]` and the rectangle
+/// acceptance ratios `x[i+1]/x[i]`.
+#[derive(Debug)]
+pub struct ZigTables {
+    x: [f64; ZIG_LAYERS + 1],
+    ratio: [f64; ZIG_LAYERS],
+}
+
+/// The tables, built on first use. Streams cache the reference so the
+/// hot path never touches the `OnceLock` per draw.
+fn zig_tables() -> &'static ZigTables {
+    static TABLES: OnceLock<ZigTables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut x = [0.0f64; ZIG_LAYERS + 1];
+        let f = (-0.5 * ZIG_R * ZIG_R).exp();
+        x[0] = ZIG_V / f;
+        x[1] = ZIG_R;
+        for i in 2..ZIG_LAYERS {
+            let prev = x[i - 1];
+            x[i] = (-2.0 * (ZIG_V / prev + (-0.5 * prev * prev).exp()).ln()).sqrt();
+        }
+        x[ZIG_LAYERS] = 0.0;
+        let mut ratio = [0.0f64; ZIG_LAYERS];
+        for i in 0..ZIG_LAYERS {
+            ratio[i] = x[i + 1] / x[i];
+        }
+        ZigTables { x, ratio }
+    })
+}
+
+/// Cold continuation of the ziggurat: wedge and tail corrections, fed by
+/// a substream derived from the rejected draw (≈ 1.2 % of samples).
+#[cold]
+fn ziggurat_slow(tables: &ZigTables, mut first_u: f64, mut first_i: usize, state: u64) -> f64 {
+    let x = &tables.x;
+    let ratio = &tables.ratio;
+    let mut sub = SubRng(state);
+    loop {
+        if first_i == 0 {
+            // Marsaglia tail beyond ZIG_R.
+            loop {
+                let tx = -sub.uniform_open().ln() / ZIG_R;
+                let ty = -sub.uniform_open().ln();
+                if 2.0 * ty > tx * tx {
+                    return if first_u < 0.0 { -(ZIG_R + tx) } else { ZIG_R + tx };
+                }
+            }
+        }
+        let xi = first_u * x[first_i];
+        let f0 = (-0.5 * (x[first_i] * x[first_i] - xi * xi)).exp();
+        let f1 = (-0.5 * (x[first_i + 1] * x[first_i + 1] - xi * xi)).exp();
+        if f1 + sub.uniform_open() * (f0 - f1) < 1.0 {
+            return xi;
+        }
+        // Fresh rectangle attempt from the substream.
+        let bits = sub.next_u64();
+        let i = (bits & 0x7F) as usize;
+        let u = 2.0 * ((bits >> 12) as f64 * (1.0 / (1u64 << 52) as f64)) - 1.0;
+        if u.abs() < ratio[i] {
+            return u * x[i];
+        }
+        first_u = u;
+        first_i = i;
+    }
+}
+
+/// A counter-based Gaussian noise stream.
+///
+/// Each draw is addressed by an explicit `counter`; the result depends
+/// only on `(key, counter)`, never on how many draws happened before.
+/// Two streams with the same key replay identical noise in any
+/// evaluation order, which is what makes the parallel convolution
+/// pipeline bit-identical to its sequential reference.
+///
+/// # Examples
+///
+/// ```
+/// use oisa_device::noise::{NoiseConfig, NoiseSource};
+///
+/// let src = NoiseSource::seeded(7, NoiseConfig::paper_default());
+/// let s = src.stream(0, 3, 41);
+/// // Order does not matter: counter 5 always yields the same draw.
+/// let a = s.gaussian_at(5);
+/// let _ = s.gaussian_at(0);
+/// assert_eq!(a, s.gaussian_at(5));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseStream {
+    key: u64,
+    config: NoiseConfig,
+    tables: &'static ZigTables,
+}
+
+impl NoiseStream {
+    /// The configured intensities.
+    #[must_use]
+    pub fn config(&self) -> &NoiseConfig {
+        &self.config
+    }
+
+    /// Standard-normal draw at `counter`.
+    ///
+    /// Fast path: one SplitMix64 finalisation feeds both the ziggurat
+    /// layer index (low 7 bits) and the 52-bit uniform; the rare
+    /// rejected draw continues in [`ziggurat_slow`].
+    #[inline]
+    #[must_use]
+    pub fn gaussian_at(&self, counter: u64) -> f64 {
+        let state = self.key ^ counter.wrapping_mul(0xA24B_AED4_963E_E407);
+        let bits = mix64(state);
+        let i = (bits & 0x7F) as usize;
+        let u = 2.0 * ((bits >> 12) as f64 * (1.0 / (1u64 << 52) as f64)) - 1.0;
+        if u.abs() < self.tables.ratio[i] {
+            return u * self.tables.x[i];
+        }
+        ziggurat_slow(self.tables, u, i, bits)
+    }
+
+    /// VCSEL relative-intensity noise on `power`, addressed by
+    /// `counter`.
+    #[inline]
+    #[must_use]
+    pub fn vcsel_at(&self, counter: u64, power: f64) -> f64 {
+        let sigma = self.config.vcsel_rin;
+        if sigma == 0.0 {
+            return power.max(0.0);
+        }
+        (power * (1.0 + sigma * self.gaussian_at(counter))).max(0.0)
+    }
+
+    /// Microring transmission drift on `t`, addressed by `counter`.
+    #[inline]
+    #[must_use]
+    pub fn mr_transmission_at(&self, counter: u64, t: f64) -> f64 {
+        let sigma = self.config.mr_drift;
+        if sigma == 0.0 {
+            return t.clamp(0.0, 1.0);
+        }
+        (t * (1.0 + sigma * self.gaussian_at(counter))).clamp(0.0, 1.0)
+    }
+
+    /// Detector noise on `value`, addressed by `counter`.
+    #[inline]
+    #[must_use]
+    pub fn detector_at(&self, counter: u64, value: f64, full_scale: f64) -> f64 {
+        if self.config.detector == 0.0 {
+            return value;
+        }
+        value + self.config.detector * full_scale * self.gaussian_at(counter)
+    }
+
+    /// A sequential [`NoiseModel`] cursor over this stream, starting at
+    /// counter 0.
+    #[must_use]
+    pub fn cursor(&self) -> StreamCursor {
+        StreamCursor {
+            stream: *self,
+            counter: 0,
+        }
+    }
+}
+
+/// Sequential adapter: draws counters 0, 1, 2, … from a
+/// [`NoiseStream`], one per [`NoiseModel`] call.
+///
+/// A MAC evaluated through a cursor consumes exactly the counters
+/// `2·i` (VCSEL) and `2·i + 1` (ring drift) per channel `i` and `2·m`
+/// (detector) for an `m`-channel window — the same addressing the fused
+/// fast path uses explicitly, so the two produce bit-identical physics.
+#[derive(Debug, Clone)]
+pub struct StreamCursor {
+    stream: NoiseStream,
+    counter: u64,
+}
+
+impl StreamCursor {
+    #[inline]
+    fn next_counter(&mut self) -> u64 {
+        let c = self.counter;
+        self.counter += 1;
+        c
+    }
+}
+
+impl NoiseModel for StreamCursor {
+    fn vcsel(&mut self, power: f64) -> f64 {
+        let c = self.next_counter();
+        self.stream.vcsel_at(c, power)
+    }
+
+    fn mr_transmission(&mut self, t: f64) -> f64 {
+        let c = self.next_counter();
+        self.stream.mr_transmission_at(c, t)
+    }
+
+    fn detector(&mut self, value: f64, full_scale: f64) -> f64 {
+        let c = self.next_counter();
+        self.stream.detector_at(c, value, full_scale)
     }
 }
 
@@ -186,5 +534,71 @@ mod tests {
         assert!((mean - 2.0).abs() < 0.01, "mean {mean}");
         let sd = (samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64).sqrt();
         assert!((sd - 0.1).abs() < 0.01, "sd {sd}");
+    }
+
+    #[test]
+    fn stream_draws_are_order_independent() {
+        let src = NoiseSource::seeded(11, NoiseConfig::paper_default());
+        let s = src.stream(0, 4, 1000);
+        let forward: Vec<f64> = (0..16).map(|c| s.gaussian_at(c)).collect();
+        let backward: Vec<f64> = (0..16).rev().map(|c| s.gaussian_at(c)).collect();
+        let reversed: Vec<f64> = backward.into_iter().rev().collect();
+        assert_eq!(forward, reversed);
+    }
+
+    #[test]
+    fn stream_keys_separate_slots_positions_epochs() {
+        let src = NoiseSource::seeded(11, NoiseConfig::paper_default());
+        let base = src.stream(0, 1, 1).gaussian_at(0);
+        assert_ne!(base, src.stream(0, 1, 2).gaussian_at(0));
+        assert_ne!(base, src.stream(0, 2, 1).gaussian_at(0));
+        assert_ne!(base, src.stream(1, 1, 1).gaussian_at(0));
+        // And the same key replays exactly.
+        assert_eq!(base, src.stream(0, 1, 1).gaussian_at(0));
+    }
+
+    #[test]
+    fn cursor_matches_explicit_counters() {
+        let src = NoiseSource::seeded(3, NoiseConfig::paper_default());
+        let s = src.stream(0, 0, 7);
+        let mut cursor = s.cursor();
+        let via_cursor = (
+            cursor.vcsel(1.0e-4),
+            cursor.mr_transmission(0.8),
+            cursor.detector(2.0e-6, 1.0e-3),
+        );
+        let via_counters = (
+            s.vcsel_at(0, 1.0e-4),
+            s.mr_transmission_at(1, 0.8),
+            s.detector_at(2, 2.0e-6, 1.0e-3),
+        );
+        assert_eq!(via_cursor, via_counters);
+    }
+
+    #[test]
+    fn ziggurat_moments_match_standard_normal() {
+        let src = NoiseSource::seeded(23, NoiseConfig::paper_default());
+        let s = src.stream(0, 0, 0);
+        let n = 40_000u64;
+        let samples: Vec<f64> = (0..n).map(|c| s.gaussian_at(c)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+        // Symmetric-ish and with realistic tails.
+        let above = samples.iter().filter(|&&x| x > 0.0).count() as f64 / n as f64;
+        assert!((above - 0.5).abs() < 0.02, "P(x>0) {above}");
+        let tail = samples.iter().filter(|&&x| x.abs() > 2.0).count() as f64 / n as f64;
+        assert!((tail - 0.0455).abs() < 0.01, "P(|x|>2) {tail}");
+    }
+
+    #[test]
+    fn epochs_advance_and_wrap_deterministically() {
+        let mut a = NoiseSource::seeded(1, NoiseConfig::paper_default());
+        let mut b = NoiseSource::seeded(1, NoiseConfig::paper_default());
+        assert_eq!(a.begin_epoch(), 0);
+        assert_eq!(a.begin_epoch(), 1);
+        assert_eq!(b.begin_epoch(), 0);
+        assert_eq!(b.begin_epoch(), 1);
     }
 }

@@ -129,6 +129,7 @@ impl BalancedPhotodetector {
 
     /// Signed difference current for the two incident powers. Dark
     /// currents cancel in the balanced topology.
+    #[inline]
     #[must_use]
     pub fn difference_current(&self, positive: Watt, negative: Watt) -> Ampere {
         Ampere::new(

@@ -5,6 +5,9 @@ use serde::{Deserialize, Serialize};
 use crate::tensor::Tensor;
 use crate::{NnError, Result};
 
+/// Update rule applied per parameter group: `(params, grads, momentum)`.
+pub type UpdateRule<'a> = dyn FnMut(&mut [f32], &[f32], &mut Vec<f32>) + 'a;
+
 /// A differentiable layer.
 ///
 /// Layers own their parameters and cache whatever the backward pass needs
@@ -32,7 +35,7 @@ pub trait Layer {
     /// Applies the accumulated gradients with the provided update rule and
     /// clears them. `update(param, grad, slot)` receives a per-parameter
     /// momentum slot.
-    fn apply_gradients(&mut self, update: &mut dyn FnMut(&mut [f32], &[f32], &mut Vec<f32>));
+    fn apply_gradients(&mut self, update: &mut UpdateRule);
 
     /// Number of trainable parameters.
     fn parameter_count(&self) -> usize {
@@ -121,7 +124,7 @@ impl Layer for Relu {
         Ok(g)
     }
 
-    fn apply_gradients(&mut self, _update: &mut dyn FnMut(&mut [f32], &[f32], &mut Vec<f32>)) {}
+    fn apply_gradients(&mut self, _update: &mut UpdateRule) {}
 
     fn name(&self) -> &'static str {
         "relu"
@@ -203,7 +206,7 @@ impl Layer for MaxPool2 {
         Ok(grad_in)
     }
 
-    fn apply_gradients(&mut self, _update: &mut dyn FnMut(&mut [f32], &[f32], &mut Vec<f32>)) {}
+    fn apply_gradients(&mut self, _update: &mut UpdateRule) {}
 
     fn name(&self) -> &'static str {
         "maxpool2"
@@ -279,7 +282,7 @@ impl Layer for GlobalAvgPool {
         Ok(grad_in)
     }
 
-    fn apply_gradients(&mut self, _update: &mut dyn FnMut(&mut [f32], &[f32], &mut Vec<f32>)) {}
+    fn apply_gradients(&mut self, _update: &mut UpdateRule) {}
 
     fn name(&self) -> &'static str {
         "global_avg_pool"
@@ -325,7 +328,7 @@ impl Layer for Flatten {
         grad_output.reshape(in_shape.clone())
     }
 
-    fn apply_gradients(&mut self, _update: &mut dyn FnMut(&mut [f32], &[f32], &mut Vec<f32>)) {}
+    fn apply_gradients(&mut self, _update: &mut UpdateRule) {}
 
     fn name(&self) -> &'static str {
         "flatten"

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::layer::Layer;
+use crate::layer::{Layer, UpdateRule};
 use crate::tensor::Tensor;
 use crate::{NnError, Result};
 
@@ -132,7 +132,7 @@ impl Layer for Linear {
         grad_output.matmul(&self.weights)
     }
 
-    fn apply_gradients(&mut self, update: &mut dyn FnMut(&mut [f32], &[f32], &mut Vec<f32>)) {
+    fn apply_gradients(&mut self, update: &mut UpdateRule) {
         update(
             self.weights.as_mut_slice(),
             self.grad_weights.as_slice(),

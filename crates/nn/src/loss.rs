@@ -44,16 +44,15 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, 
     }
     let mut grad = Tensor::zeros(vec![n, classes]);
     let mut total_loss = 0.0f32;
-    for i in 0..n {
+    for (i, &label) in labels.iter().enumerate() {
         let row = &logits.as_slice()[i * classes..(i + 1) * classes];
         let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
         let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
         let sum: f32 = exps.iter().sum();
-        let label = labels[i];
         let p_label = exps[label] / sum;
         total_loss += -(p_label.max(1e-12)).ln();
-        for j in 0..classes {
-            let p = exps[j] / sum;
+        for (j, &e) in exps.iter().enumerate() {
+            let p = e / sum;
             grad.as_mut_slice()[i * classes + j] =
                 (p - if j == label { 1.0 } else { 0.0 }) / n as f32;
         }

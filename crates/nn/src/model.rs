@@ -9,7 +9,7 @@
 //! across quantisation configurations, which the reduced models preserve.
 
 use crate::conv::Conv2d;
-use crate::layer::{Flatten, GlobalAvgPool, Layer, MaxPool2, Relu};
+use crate::layer::{Flatten, GlobalAvgPool, Layer, MaxPool2, Relu, UpdateRule};
 use crate::linear::Linear;
 use crate::norm::BatchNorm2d;
 use crate::tensor::Tensor;
@@ -151,7 +151,7 @@ impl Layer for Sequential {
         Ok(g)
     }
 
-    fn apply_gradients(&mut self, update: &mut dyn FnMut(&mut [f32], &[f32], &mut Vec<f32>)) {
+    fn apply_gradients(&mut self, update: &mut UpdateRule) {
         for layer in &mut self.layers {
             layer.apply_gradients(update);
         }
@@ -279,7 +279,7 @@ impl Layer for ResidualBlock {
         gm.add(&gs)
     }
 
-    fn apply_gradients(&mut self, update: &mut dyn FnMut(&mut [f32], &[f32], &mut Vec<f32>)) {
+    fn apply_gradients(&mut self, update: &mut UpdateRule) {
         self.conv1.apply_gradients(update);
         self.bn1.apply_gradients(update);
         self.conv2.apply_gradients(update);

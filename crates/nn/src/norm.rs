@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::layer::Layer;
+use crate::layer::{Layer, UpdateRule};
 use crate::tensor::Tensor;
 use crate::{NnError, Result};
 
@@ -95,7 +95,7 @@ impl Layer for BatchNorm2d {
         if training {
             let mut normalised = Tensor::zeros(s.to_vec());
             let mut stds = vec![0.0f32; c];
-            for ci in 0..c {
+            for (ci, std_slot) in stds.iter_mut().enumerate() {
                 let mut mean = 0.0f32;
                 for ni in 0..n {
                     for y in 0..h {
@@ -116,7 +116,7 @@ impl Layer for BatchNorm2d {
                 }
                 var /= count;
                 let std = (var + self.eps).sqrt();
-                stds[ci] = std;
+                *std_slot = std;
                 self.running_mean[ci] =
                     (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean;
                 self.running_var[ci] =
@@ -159,7 +159,8 @@ impl Layer for BatchNorm2d {
         let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
         let count = (n * h * w) as f32;
         let mut grad_in = Tensor::zeros(s.to_vec());
-        for ci in 0..c {
+        debug_assert_eq!(stds.len(), c);
+        for (ci, &std) in stds.iter().enumerate() {
             // Standard batch-norm backward:
             // dx = γ/σ · (dy − mean(dy) − x̂ · mean(dy·x̂))
             let mut sum_dy = 0.0f32;
@@ -176,7 +177,7 @@ impl Layer for BatchNorm2d {
             }
             self.grad_beta[ci] += sum_dy;
             self.grad_gamma[ci] += sum_dy_xn;
-            let scale = self.gamma[ci] / stds[ci];
+            let scale = self.gamma[ci] / std;
             for ni in 0..n {
                 for y in 0..h {
                     for x in 0..w {
@@ -191,7 +192,7 @@ impl Layer for BatchNorm2d {
         Ok(grad_in)
     }
 
-    fn apply_gradients(&mut self, update: &mut dyn FnMut(&mut [f32], &[f32], &mut Vec<f32>)) {
+    fn apply_gradients(&mut self, update: &mut UpdateRule) {
         update(&mut self.gamma, &self.grad_gamma, &mut self.momentum_g);
         update(&mut self.beta, &self.grad_beta, &mut self.momentum_b);
         self.grad_gamma.fill(0.0);

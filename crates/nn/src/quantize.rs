@@ -11,7 +11,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::conv::Conv2d;
-use crate::layer::Layer;
+use crate::layer::{Layer, UpdateRule};
 use crate::tensor::{gaussian32, Tensor};
 use crate::{NnError, Result};
 
@@ -311,7 +311,7 @@ impl Layer for QuantizedConv2d {
         ))
     }
 
-    fn apply_gradients(&mut self, _update: &mut dyn FnMut(&mut [f32], &[f32], &mut Vec<f32>)) {}
+    fn apply_gradients(&mut self, _update: &mut UpdateRule) {}
 
     fn parameter_count(&self) -> usize {
         self.conv.parameter_count()

@@ -229,19 +229,7 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         let n = other.shape[1];
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let row = &other.data[p * n..(p + 1) * n];
-                let dst = &mut out[i * n..(i + 1) * n];
-                for (d, &b) in dst.iter_mut().zip(row) {
-                    *d += a * b;
-                }
-            }
-        }
+        gemm_into(m, k, n, &self.data, &other.data, &mut out);
         Ok(Self {
             shape: vec![m, n],
             data: out,
@@ -283,6 +271,44 @@ pub(crate) fn gaussian32<R: Rng + ?Sized>(rng: &mut R) -> f32 {
         }
         let u2: f64 = rng.gen();
         return ((-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()) as f32;
+    }
+}
+
+/// Cache-blocked dense matrix multiply: `out += a[m×k] · b[k×n]` with
+/// `out` pre-zeroed by the caller.
+///
+/// Blocks over the `n` and `k` dimensions so the active `b` panel stays
+/// in L1/L2 while each `a` scalar streams across it; the inner loop is a
+/// contiguous axpy the compiler auto-vectorises. This is the engine
+/// behind [`Tensor::matmul`] and the im2col convolution forward.
+///
+/// # Panics
+///
+/// Panics if a slice is shorter than its `m·k` / `k·n` / `m·n` extent.
+pub fn gemm_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert!(a.len() >= m * k && b.len() >= k * n && out.len() >= m * n);
+    // Tile sizes: a 64×256 f32 panel of `b` is 64 KiB — resident in L2
+    // and streamed through L1 row by row.
+    const KB: usize = 64;
+    const NB: usize = 256;
+    for k0 in (0..k).step_by(KB) {
+        let k1 = (k0 + KB).min(k);
+        for n0 in (0..n).step_by(NB) {
+            let n1 = (n0 + NB).min(n);
+            for i in 0..m {
+                let dst = &mut out[i * n + n0..i * n + n1];
+                for p in k0..k1 {
+                    let scalar = a[i * k + p];
+                    if scalar == 0.0 {
+                        continue;
+                    }
+                    let row = &b[p * n + n0..p * n + n1];
+                    for (d, &v) in dst.iter_mut().zip(row) {
+                        *d += scalar * v;
+                    }
+                }
+            }
+        }
     }
 }
 

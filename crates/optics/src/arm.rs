@@ -9,7 +9,7 @@
 //! signed dot product.
 
 use oisa_device::mr::{Microring, MrDesign};
-use oisa_device::noise::NoiseSource;
+use oisa_device::noise::{NoiseModel, NoiseStream};
 use oisa_device::photodiode::{BalancedPhotodetector, PhotodiodeParams};
 use oisa_device::waveguide::{ChannelPlan, LossBudget, OpticalPath};
 use oisa_units::{Joule, Meter, Second, Watt};
@@ -95,6 +95,15 @@ pub struct Arm {
     tuning_energy: Joule,
     /// Worst-case tuning latency of the last load.
     tuning_latency: Second,
+    /// Per-ring crosstalk × waveguide gain, precomputed at
+    /// [`Arm::load_weights`] time (it depends only on the loaded weights
+    /// and the channel plan, never on activations).
+    ring_gain: Vec<f64>,
+    /// Full-scale photocurrent of one channel at weight and activation 1
+    /// (`P_in · T_path · R`), precomputed at construction.
+    per_channel_full: f64,
+    /// Optical dwell per symbol: time of flight plus detector settling.
+    dwell: Second,
 }
 
 impl Arm {
@@ -122,15 +131,23 @@ impl Arm {
             .with_length(config.length)
             .with_ring_passes((RINGS_PER_ARM - 1) as u32)
             .with_splitters(1);
+        let path_transmission = path.transmission();
+        let per_channel_full =
+            config.channel_power.get() * path_transmission * config.detector.responsivity_a_per_w;
+        let velocity = oisa_units::SPEED_OF_LIGHT_M_PER_S / config.ring.group_index;
+        let dwell = Second::new(config.length.get() / velocity) + detector.settling_time();
         Ok(Self {
             config,
             rings,
             weights: Vec::new(),
             plan,
             detector,
-            path_transmission: path.transmission(),
+            path_transmission,
             tuning_energy: Joule::ZERO,
             tuning_latency: Second::ZERO,
+            ring_gain: Vec::new(),
+            per_channel_full,
+            dwell,
         })
     }
 
@@ -195,6 +212,25 @@ impl Arm {
         self.weights = mapped;
         self.tuning_energy = energy;
         self.tuning_latency = latency;
+        // Crosstalk and waveguide attenuation depend only on the loaded
+        // weights (ring detunings) and the channel spacing, so fold them
+        // into one per-ring gain here instead of re-evaluating two
+        // Lorentzian tails per channel on every MAC.
+        let spacing = self.plan.spacing();
+        self.ring_gain = (0..self.weights.len())
+            .map(|i| {
+                let mut xt = 1.0;
+                if self.config.crosstalk {
+                    if i > 0 {
+                        xt *= self.rings[i - 1].crosstalk_transmission(spacing);
+                    }
+                    if i + 1 < self.weights.len() {
+                        xt *= self.rings[i + 1].crosstalk_transmission(-spacing);
+                    }
+                }
+                xt * self.path_transmission
+            })
+            .collect();
         Ok(())
     }
 
@@ -205,13 +241,118 @@ impl Arm {
     /// The chain models: VCSEL RIN on each channel → ring transmission
     /// (with drift) → waveguide losses → accumulation on the +/−
     /// waveguides → BPD subtraction with detector noise → loss-normalised
-    /// signed result.
+    /// signed result. Crosstalk and waveguide attenuation come from the
+    /// per-ring gains precomputed at [`Arm::load_weights`] time.
     ///
     /// # Errors
     ///
     /// Returns [`OpticsError::InvalidParameter`] when activation count
-    /// exceeds the loaded weight count or values leave `[0, 1]`.
-    pub fn mac(&self, activations: &[f64], noise: &mut NoiseSource) -> Result<MacResult> {
+    /// exceeds the loaded weight count or values leave `[0, 1]`; all
+    /// activations are validated up front, so the error names the first
+    /// offending index and no partial evaluation happens.
+    pub fn mac<N: NoiseModel>(&self, activations: &[f64], noise: &mut N) -> Result<MacResult> {
+        self.validate_activations(activations)?;
+        let p_in = self.config.channel_power.get();
+        let mut p_pos = 0.0f64;
+        let mut p_neg = 0.0f64;
+        for (i, (a, w)) in activations.iter().zip(&self.weights).enumerate() {
+            let launched = noise.vcsel(p_in * a);
+            let t = noise.mr_transmission(w.magnitude);
+            let arrived = launched * t * self.ring_gain[i];
+            if w.negative {
+                p_neg += arrived;
+            } else {
+                p_pos += arrived;
+            }
+        }
+        let diff = self
+            .detector
+            .difference_current(Watt::new(p_pos), Watt::new(p_neg));
+        // Full scale: all channels at activation 1 with weight magnitude 1
+        // on one waveguide.
+        let full_scale = self.per_channel_full * activations.len().max(1) as f64;
+        let noisy = noise.detector(diff.get(), full_scale);
+        // Loss-normalised value in weight·activation units.
+        let value = noisy / self.per_channel_full;
+        Ok(MacResult {
+            value,
+            raw_current: noisy,
+            latency: self.dwell,
+            optical_energy: Watt::new(p_pos + p_neg) * self.dwell,
+        })
+    }
+
+    /// Fused fast-path MAC for the accelerator's inner loop: draws are
+    /// addressed on `stream` by explicit counters starting at `base`
+    /// (channel `i` uses `base + 2i` / `base + 2i + 1`, the detector
+    /// `base + 2m`), zero activations are skipped outright (they
+    /// contribute exactly `+0.0` to either rail, and counter addressing
+    /// means skipping consumes nothing), and no [`MacResult`] is built.
+    ///
+    /// Returns `(value, optical_energy_joules)`. Activations must
+    /// already be validated to `[0, 1]` by the caller — the accelerator
+    /// validates each encoded frame once instead of once per window.
+    ///
+    /// Bit-identical to [`Arm::mac`] driven by a
+    /// [`oisa_device::noise::StreamCursor`] over the same stream and
+    /// base counter 0.
+    #[must_use]
+    pub fn mac_indexed(&self, activations: &[f64], stream: &NoiseStream, base: u64) -> (f64, f64) {
+        debug_assert!(activations.len() <= self.weights.len());
+        let p_in = self.config.channel_power.get();
+        let mut p_pos = 0.0f64;
+        let mut p_neg = 0.0f64;
+        let mut counter = base;
+        for ((&a, w), &gain) in activations
+            .iter()
+            .zip(&self.weights)
+            .zip(&self.ring_gain)
+        {
+            if a == 0.0 {
+                counter += 2;
+                continue;
+            }
+            let launched = stream.vcsel_at(counter, p_in * a);
+            let t = stream.mr_transmission_at(counter + 1, w.magnitude);
+            counter += 2;
+            let arrived = launched * t * gain;
+            if w.negative {
+                p_neg += arrived;
+            } else {
+                p_pos += arrived;
+            }
+        }
+        let diff = self
+            .detector
+            .difference_current(Watt::new(p_pos), Watt::new(p_neg));
+        let full_scale = self.per_channel_full * activations.len().max(1) as f64;
+        let noisy = stream.detector_at(base + 2 * activations.len() as u64, diff.get(), full_scale);
+        (noisy / self.per_channel_full, (p_pos + p_neg) * self.dwell.get())
+    }
+
+    /// Counter stride one MAC of `m` activations consumes on a stream:
+    /// two draws per channel plus the detector draw.
+    #[must_use]
+    pub fn counter_stride(m: usize) -> u64 {
+        2 * m as u64 + 1
+    }
+
+    /// Faithful port of the pre-optimisation MAC: validates inside the
+    /// loop, re-derives both crosstalk Lorentzians per channel from ring
+    /// state, recomputes the full-scale and time-of-flight terms per
+    /// call. Kept as the wall-clock baseline for the performance
+    /// benchmarks and as a physics cross-check (it produces the same
+    /// values as [`Arm::mac`] given the same noise draws).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Arm::mac`], but the range error reports no
+    /// index (the historical message).
+    pub fn mac_reference<N: NoiseModel>(
+        &self,
+        activations: &[f64],
+        noise: &mut N,
+    ) -> Result<MacResult> {
         if activations.len() > self.weights.len() {
             return Err(OpticsError::InvalidParameter(format!(
                 "{} activations for {} loaded weights",
@@ -231,9 +372,6 @@ impl Arm {
             }
             let launched = noise.vcsel(p_in * a);
             let t = noise.mr_transmission(w.magnitude);
-            // Spectral neighbours' Lorentzian tails shave a little power
-            // off this channel (inter-channel crosstalk; paper §III-A's
-            // Q-factor trade-off).
             let mut xt = 1.0;
             if self.config.crosstalk {
                 if i > 0 {
@@ -243,7 +381,7 @@ impl Arm {
                     xt *= self.rings[i + 1].crosstalk_transmission(-spacing);
                 }
             }
-            let arrived = launched * t * xt * self.path_transmission;
+            let arrived = launched * t * (xt * self.path_transmission);
             if w.negative {
                 p_neg += arrived;
             } else {
@@ -253,16 +391,14 @@ impl Arm {
         let diff = self
             .detector
             .difference_current(Watt::new(p_pos), Watt::new(p_neg));
-        // Full scale: all channels at activation 1 with weight magnitude 1
-        // on one waveguide.
-        let full_scale = p_in
+        let full_scale = self.config.channel_power.get()
             * self.path_transmission
             * self.config.detector.responsivity_a_per_w
             * activations.len().max(1) as f64;
         let noisy = noise.detector(diff.get(), full_scale);
-        // Loss-normalised value in weight·activation units.
-        let per_channel_full =
-            p_in * self.path_transmission * self.config.detector.responsivity_a_per_w;
+        let per_channel_full = self.config.channel_power.get()
+            * self.path_transmission
+            * self.config.detector.responsivity_a_per_w;
         let value = noisy / per_channel_full;
         let latency = self.time_of_flight() + self.detector.settling_time();
         let optical_energy =
@@ -273,6 +409,25 @@ impl Arm {
             latency,
             optical_energy,
         })
+    }
+
+    /// Checks activation count and range, reporting the first offending
+    /// index.
+    fn validate_activations(&self, activations: &[f64]) -> Result<()> {
+        if activations.len() > self.weights.len() {
+            return Err(OpticsError::InvalidParameter(format!(
+                "{} activations for {} loaded weights",
+                activations.len(),
+                self.weights.len()
+            )));
+        }
+        if let Some(i) = activations.iter().position(|a| !(0.0..=1.0).contains(a)) {
+            return Err(OpticsError::InvalidParameter(format!(
+                "activation {} at index {i} outside [0, 1]",
+                activations[i]
+            )));
+        }
+        Ok(())
     }
 
     /// Optical time of flight along the arm (group velocity c/n_g).
@@ -292,7 +447,7 @@ impl Arm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use oisa_device::noise::NoiseConfig;
+    use oisa_device::noise::{NoiseConfig, NoiseSource};
     use proptest::prelude::*;
 
     fn quiet() -> NoiseSource {
@@ -444,6 +599,39 @@ mod tests {
             .fold(0.0f64, f64::max);
         assert!(spread > 0.0, "noise must perturb results");
         assert!(spread < 0.5, "noise out of calibration: {spread}");
+    }
+
+    #[test]
+    fn indexed_reference_and_general_macs_are_bit_identical() {
+        // Same stream, three evaluation strategies: the fused fast path
+        // (explicit counters, zero-skip), the general path behind a
+        // sequential cursor, and the pre-optimisation reference port.
+        let w = [0.5, -0.25, 1.0, 0.0, 0.75, -1.0, 0.25, 0.5, -0.5];
+        let a = [1.0, 0.0, 0.5, 0.0, 1.0, 0.5, 0.0, 0.022, 1.0]; // ternary-ish, with zeros
+        let arm = loaded_arm(&w, 4);
+        let source = NoiseSource::seeded(99, NoiseConfig::paper_default());
+        let stream = source.stream(0, 3, 17);
+
+        let (fast_value, fast_energy) = arm.mac_indexed(&a, &stream, 0);
+        let general = arm.mac(&a, &mut stream.cursor()).unwrap();
+        let reference = arm.mac_reference(&a, &mut stream.cursor()).unwrap();
+
+        assert_eq!(fast_value, general.value);
+        assert_eq!(fast_value, reference.value);
+        assert_eq!(fast_energy, general.optical_energy.get());
+        assert_eq!(fast_energy, reference.optical_energy.get());
+        assert_eq!(general.raw_current, reference.raw_current);
+    }
+
+    #[test]
+    fn validation_reports_offending_index() {
+        let arm = loaded_arm(&[0.5; 9], 4);
+        let mut acts = [0.5; 9];
+        acts[6] = 1.5;
+        let err = arm.mac(&acts, &mut quiet()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("index 6"), "message must name the index: {msg}");
+        assert!(msg.contains("1.5"), "message must name the value: {msg}");
     }
 
     proptest! {

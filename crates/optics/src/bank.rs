@@ -1,6 +1,6 @@
 //! A bank: five arms, fifty microrings (paper Fig. 6).
 
-use oisa_device::noise::NoiseSource;
+use oisa_device::noise::NoiseModel;
 use oisa_units::{Joule, Second, Watt};
 use serde::{Deserialize, Serialize};
 
@@ -107,10 +107,10 @@ impl Bank {
     ///
     /// Returns [`OpticsError::InvalidParameter`] when the number of
     /// activation vectors differs from the loaded arm count.
-    pub fn compute(
+    pub fn compute<N: NoiseModel>(
         &self,
         activations: &[Vec<f64>],
-        noise: &mut NoiseSource,
+        noise: &mut N,
     ) -> Result<Vec<MacResult>> {
         let loaded_indices: Vec<usize> = (0..ARMS_PER_BANK).filter(|&i| self.loaded[i]).collect();
         if activations.len() != loaded_indices.len() {
@@ -152,7 +152,7 @@ impl Bank {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use oisa_device::noise::NoiseConfig;
+    use oisa_device::noise::{NoiseConfig, NoiseSource};
 
     fn mapper() -> WeightMapper {
         WeightMapper::ideal(4).unwrap()

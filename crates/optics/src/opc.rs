@@ -6,7 +6,7 @@
 //! exactly **100 iterations**, the number the paper quotes for a complete
 //! weight-map.
 
-use oisa_device::noise::NoiseSource;
+use oisa_device::noise::NoiseModel;
 use oisa_units::{Joule, Second, Watt};
 use serde::{Deserialize, Serialize};
 
@@ -111,7 +111,7 @@ impl OpcConfig {
                 "banks, columns and awc_units must be positive".into(),
             ));
         }
-        if self.banks % self.columns != 0 {
+        if !self.banks.is_multiple_of(self.columns) {
             return Err(OpticsError::InvalidParameter(format!(
                 "banks ({}) must divide evenly into columns ({})",
                 self.banks, self.columns
@@ -249,12 +249,12 @@ impl Opc {
     /// # Errors
     ///
     /// Propagates index and arm-level failures.
-    pub fn compute_arm(
+    pub fn compute_arm<N: NoiseModel>(
         &self,
         bank: usize,
         arm: usize,
         activations: &[f64],
-        noise: &mut NoiseSource,
+        noise: &mut N,
     ) -> Result<MacResult> {
         self.bank(bank)?.arm(arm)?.mac(activations, noise)
     }

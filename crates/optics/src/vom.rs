@@ -136,6 +136,17 @@ impl Vom {
         })
     }
 
+    /// Fast-path twin of [`Vom::accumulate`] for the accelerator's inner
+    /// loop: takes pre-extracted partial values and returns
+    /// `(summed value, accumulation energy in joules)` without building
+    /// [`AggregateResult`]. Arithmetic matches [`Vom::accumulate`]
+    /// bit-for-bit (same summation order, same energy product).
+    #[must_use]
+    pub fn accumulate_values(&self, values: &[f64]) -> (f64, f64) {
+        let value: f64 = values.iter().sum();
+        (value, self.config.accumulate_energy.get() * values.len() as f64)
+    }
+
     /// Splits an oversized dot product (an MLP row of `total` elements)
     /// into per-arm chunks of at most `chunk` elements, returning the
     /// chunk count — the "break down the MAC" behaviour.

@@ -82,8 +82,8 @@ impl DenseMatrix {
         // Back substitution.
         for k in (0..n).rev() {
             let mut acc = b[k];
-            for c in (k + 1)..n {
-                acc -= self.at(k, c) * b[c];
+            for (off, &bc) in b[k + 1..n].iter().enumerate() {
+                acc -= self.at(k, k + 1 + off) * bc;
             }
             b[k] = acc / self.at(k, k);
         }
@@ -155,10 +155,11 @@ mod tests {
             let mut b = vec![0.0f64; n];
             for r in 0..n {
                 let mut off_sum = 0.0;
-                for c in 0..n {
+                let row = &mut a[r];
+                for (c, slot) in row.iter_mut().enumerate() {
                     if r != c {
                         let v = splitmix(&mut state) * 2.0 - 1.0;
-                        a[r][c] = v;
+                        *slot = v;
                         off_sum += v.abs();
                     }
                 }

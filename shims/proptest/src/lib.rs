@@ -1,0 +1,217 @@
+//! Offline shim for `proptest`.
+//!
+//! The workspace builds without network access, so the real `proptest`
+//! is unavailable. This shim keeps the in-tree property tests runnable by
+//! providing the used subset:
+//!
+//! * the `proptest! { #[test] fn name(arg in strategy, ...) { body } }`
+//!   macro, which runs the body over a fixed number of deterministic
+//!   samples (seeded per test name, so failures reproduce),
+//! * numeric [`Range`](std::ops::Range) / `RangeInclusive` strategies,
+//!   `collection::vec`, and `bool::ANY`,
+//! * `prop_assert!`, `prop_assert_eq!` and `prop_assume!`.
+//!
+//! There is no shrinking: a failing case reports the sampled inputs via
+//! the panic message instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of cases each property runs (the real crate defaults to 256;
+/// the shim trades a little coverage for suite latency).
+pub const NUM_CASES: u32 = 64;
+
+/// Outcome of one property-test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; carries the formatted message.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` and should be skipped.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    #[must_use]
+    pub fn fail(message: String) -> Self {
+        Self::Fail(message)
+    }
+
+    /// Builds a rejection (assumption not met).
+    #[must_use]
+    pub fn reject() -> Self {
+        Self::Reject
+    }
+}
+
+/// A source of sampled values (mirrors the strategy concept).
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! numeric_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+numeric_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+
+    /// Strategy producing `Vec`s of fixed length.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    /// Builds a strategy for a vector of `len` elements of `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut rand::rngs::StdRng) -> Self::Value {
+            (0..self.len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::Strategy;
+
+    /// Uniformly random booleans (mirrors `proptest::bool::ANY`).
+    pub struct Any;
+
+    /// The canonical instance.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = core::primitive::bool;
+        fn sample(&self, rng: &mut rand::rngs::StdRng) -> Self::Value {
+            rand::Rng::gen::<core::primitive::bool>(rng)
+        }
+    }
+}
+
+/// Deterministic per-test runner state.
+pub struct Runner {
+    /// The RNG strategies sample from.
+    pub rng: StdRng,
+}
+
+impl Runner {
+    /// Seeds the runner from the test name so each property gets a
+    /// stable, independent stream.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{Runner, Strategy, TestCaseError, NUM_CASES};
+    /// Alias so `prop::collection::vec(...)`-style paths work.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::Runner::new(stringify!($name));
+                for case in 0..$crate::NUM_CASES {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut runner.rng);)*
+                    let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => {}
+                        ::core::result::Result::Err($crate::TestCaseError::Reject) => continue,
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property {} failed at case {case}:\n{msg}\ninputs: {:?}",
+                                stringify!($name),
+                                ($(stringify!($arg), &$arg),*),
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside `proptest!`, reporting sampled inputs on
+/// failure instead of panicking immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Skips the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject());
+        }
+    };
+}

@@ -1,0 +1,24 @@
+//! Offline shim for the `serde` facade.
+//!
+//! The workspace builds without network access, so the real `serde` is
+//! unavailable. In-tree code only uses `#[derive(Serialize, Deserialize)]`
+//! as a forward-compatibility marker — nothing serializes at runtime — so
+//! this shim provides the two marker traits plus no-op derive macros (from
+//! the sibling `serde_derive` shim). Swap back to the real crates by
+//! replacing the `[patch]`-style path dependencies in the workspace
+//! manifests once a registry is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait Deserialize<'de> {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T> Serialize for T {}
+impl<'de, T> Deserialize<'de> for T {}
+impl<T> DeserializeOwned for T {}

@@ -1,0 +1,22 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! This workspace builds in a fully offline environment, so the real
+//! `serde_derive` cannot be fetched. The simulation crates only use the
+//! derives as documentation-grade markers (nothing in-tree serializes
+//! through serde), so expanding to nothing is sufficient. The `serde`
+//! helper attribute is registered so `#[serde(transparent)]` and
+//! `#[serde(skip)]` annotations parse.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -22,6 +22,44 @@
 //! # }
 //! ```
 
+//! # Performance notes
+//!
+//! The convolution hot path is engineered to run at the host's memory
+//! and ALU speed; the design decisions live in three layers:
+//!
+//! * **Counter-based noise streams**
+//!   ([`device::noise::NoiseStream`]). Every `(kernel, output position)`
+//!   pair owns an addressed stream keyed by
+//!   `(seed, frame epoch, slot, position)`; a draw depends only on its
+//!   counter, never on evaluation order. This is what makes
+//!   [`core::OisaAccelerator::convolve_frame`] (parallel over output
+//!   rows) bit-identical to `convolve_frame_sequential` under a fixed
+//!   seed, on any thread count. Gaussians come from a 128-layer
+//!   ziggurat: the common case is one SplitMix64 finalisation, one
+//!   table compare and one multiply.
+//! * **Precomputed arm constants** ([`optics::arm::Arm`]). Inter-channel
+//!   crosstalk, waveguide loss, detector full-scale and dwell time
+//!   depend only on the loaded weights and geometry, so
+//!   `Arm::load_weights` folds them into per-ring gains;
+//!   `Arm::mac_indexed` is the fused allocation-free MAC the inner loop
+//!   calls, and `Arm::mac_reference` keeps the pre-optimisation cost
+//!   profile as the benchmark baseline.
+//! * **Flat, row-parallel pass buffers**
+//!   ([`core::OisaAccelerator::convolve_frame`]). Windows gather into a
+//!   stack scratch array, each pass writes one flat `[row][slot][x]`
+//!   buffer whose rows are distributed over worker threads (a
+//!   `std::thread::scope`-backed rayon subset in offline builds), and
+//!   per-row energy partials are reduced in row order so reports are
+//!   reproducible bit-for-bit.
+//!
+//! Benchmarks: `cargo bench -p oisa_bench` runs the microbenchmarks
+//! (`arm_mac_indexed_9tap`, `oisa_convolve_frame_128x128_16k`, …);
+//! `cargo run --release -p oisa_bench --bin perf_json` emits one
+//! machine-readable `BENCH JSON` line comparing the optimised pipeline
+//! against the pre-optimisation reference (≥ 5× on the 128×128,
+//! 16-kernel acceptance workload) plus the im2col-vs-naive digital
+//! `Conv2d` ratio, so CI can track the perf trajectory.
+
 /// Physical-quantity newtypes (volts, watts, seconds, …).
 pub use oisa_units as units;
 
