@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use oisa_core::mapping::{ConvWorkload, MappingPlan};
+use oisa_core::mlp::{matvec, matvec_parallel};
 use oisa_core::{OisaAccelerator, OisaConfig};
 use oisa_device::awc::{AwcLadder, AwcParams};
 use oisa_device::mr::{Microring, MrDesign};
@@ -14,7 +15,8 @@ use oisa_nn::conv::Conv2d;
 use oisa_nn::layer::Layer;
 use oisa_nn::tensor::Tensor;
 use oisa_optics::arm::{Arm, ArmConfig};
-use oisa_optics::opc::OpcConfig;
+use oisa_optics::opc::{Opc, OpcConfig};
+use oisa_optics::vom::{Vom, VomConfig};
 use oisa_optics::weights::WeightMapper;
 use oisa_sensor::frame::Frame;
 use oisa_sensor::imager::{Imager, ImagerConfig};
@@ -149,6 +151,91 @@ fn bench_full_frame_conv_128(c: &mut Criterion) {
     });
 }
 
+/// The parallel dense path vs its serial oracle on a 256-row layer.
+fn bench_matvec(c: &mut Criterion) {
+    let cfg = OpcConfig {
+        banks: 4,
+        columns: 2,
+        awc_units: 10,
+        arm: ArmConfig::paper_default(),
+    };
+    let mut opc = Opc::new(cfg).unwrap();
+    let vom = Vom::new(VomConfig::paper_default()).unwrap();
+    let mapper = WeightMapper::ideal(4).unwrap();
+    let rows = 256usize;
+    let cols = 72usize;
+    let matrix: Vec<f32> = (0..rows * cols).map(|i| (i as f32 * 0.19).sin()).collect();
+    let input: Vec<f64> = (0..cols)
+        .map(|i| ((i as f64 * 0.23).sin().abs()).min(1.0))
+        .collect();
+    let mut noise = NoiseSource::seeded(7, NoiseConfig::paper_default());
+    c.bench_function("matvec_serial_256x72", |b| {
+        b.iter(|| {
+            matvec(
+                &mut opc,
+                &vom,
+                &mapper,
+                black_box(&matrix),
+                rows,
+                cols,
+                &input,
+                &mut noise,
+            )
+            .unwrap()
+        });
+    });
+    c.bench_function("matvec_parallel_256x72", |b| {
+        b.iter(|| {
+            matvec_parallel(
+                &mut opc,
+                &vom,
+                &mapper,
+                black_box(&matrix),
+                rows,
+                cols,
+                &input,
+                &mut noise,
+            )
+            .unwrap()
+        });
+    });
+}
+
+/// The batched engine on 8 frames vs a per-frame loop over the same
+/// frames — the sustained-throughput acceptance workload at bench size.
+fn bench_batch_conv(c: &mut Criterion) {
+    let side = 32usize;
+    let frames: Vec<Frame> = (0..8)
+        .map(|f| {
+            let data: Vec<f64> = (0..side * side)
+                .map(|i| {
+                    let x = (i % side) as f64 / side as f64;
+                    let y = (i / side) as f64 / side as f64;
+                    (0.5 + 0.5 * ((8.0 + f as f64) * x).sin() * (6.0 * y).cos()).clamp(0.0, 1.0)
+                })
+                .collect();
+            Frame::new(side, side, data).unwrap()
+        })
+        .collect();
+    let kernels: Vec<Vec<f32>> = (0..8)
+        .map(|i| (0..9).map(|j| ((i * 7 + j * 3) as f32 * 0.37).sin()).collect())
+        .collect();
+    let mut cfg = OisaConfig::paper_default(side, side);
+    cfg.seed = 9;
+    let mut accel = OisaAccelerator::new(cfg).unwrap();
+    c.bench_function("batch_8_frames_32x32", |b| {
+        b.iter(|| accel.convolve_frames(black_box(&frames), &kernels, 3).unwrap());
+    });
+    c.bench_function("loop_8_frames_32x32", |b| {
+        b.iter(|| {
+            frames
+                .iter()
+                .map(|f| accel.convolve_frame(black_box(f), &kernels, 3).unwrap())
+                .count()
+        });
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
@@ -162,5 +249,7 @@ criterion_group! {
         bench_spice_rc,
         bench_full_frame_conv,
         bench_full_frame_conv_128,
+        bench_matvec,
+        bench_batch_conv,
 }
 criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Machine-readable performance benchmark for the optical conv hot path.
+//! Machine-readable performance benchmark for the optical hot paths.
 //!
 //! Emits one `BENCH JSON` document on stdout so CI (and future PRs) can
 //! track the perf trajectory without parsing human-oriented tables:
@@ -17,29 +17,55 @@
 //!   ([`OisaAccelerator::convolve_frame_reference`]), the baseline the
 //!   acceptance speedup is measured against.
 //!
-//! Pass `--quick` for fewer repetitions (CI smoke mode).
+//! On top of that, the batched engine runs an 8-frame batch through
+//! [`OisaAccelerator::convolve_frames`] against a per-frame loop
+//! (`frames_per_sec_batch`), and the dense path times
+//! [`matvec_parallel`] against serial [`matvec`] on a 256-row layer
+//! (`matvec_rows_per_sec`).
+//!
+//! Flags:
+//!
+//! * `--quick` — fewer repetitions (CI smoke mode).
+//! * `--gate <baseline.json>` — regression gate: exit non-zero when the
+//!   headline throughput (single-frame `frames_per_sec`, and
+//!   `frames_per_sec_batch` when the baseline records it) drops more
+//!   than 15 % below the committed baseline. Regenerate the baseline
+//!   (`bench/baseline.json`) whenever the CI hardware changes — the
+//!   gate compares wall-clock throughput, not machine-neutral ratios.
 
 use std::time::Instant;
 
+use oisa_core::mlp::{matvec, matvec_parallel};
 use oisa_core::{OisaAccelerator, OisaConfig};
+use oisa_device::noise::{NoiseConfig, NoiseSource};
 use oisa_nn::conv::Conv2d;
 use oisa_nn::layer::Layer;
 use oisa_nn::tensor::Tensor;
+use oisa_optics::arm::ArmConfig;
+use oisa_optics::opc::{Opc, OpcConfig};
+use oisa_optics::vom::{Vom, VomConfig};
+use oisa_optics::weights::WeightMapper;
 use oisa_sensor::frame::Frame;
+
+/// Allowed headline-throughput regression vs the committed baseline.
+const GATE_TOLERANCE: f64 = 0.15;
 
 /// A deterministic "natural-ish" test frame: radial vignette over a
 /// diagonal gradient with a bright blob, so the ternary encoder emits a
-/// realistic mix of zero / mid / full activations.
-fn test_frame(side: usize) -> Frame {
+/// realistic mix of zero / mid / full activations. `phase` shifts the
+/// blob so batch frames differ.
+fn test_frame(side: usize, phase: usize) -> Frame {
     let mut data = vec![0.0f64; side * side];
     let c = side as f64 / 2.0;
+    let shift = phase as f64 * 0.07;
     for y in 0..side {
         for x in 0..side {
             let dx = (x as f64 - c) / c;
             let dy = (y as f64 - c) / c;
             let vignette = (1.0 - 0.8 * (dx * dx + dy * dy)).max(0.0);
             let gradient = (x + y) as f64 / (2.0 * side as f64);
-            let blob = (-8.0 * ((dx - 0.3).powi(2) + (dy + 0.2).powi(2))).exp();
+            let blob =
+                (-8.0 * ((dx - 0.3 + shift).powi(2) + (dy + 0.2 - shift).powi(2))).exp();
             data[y * side + x] = (0.55 * gradient * vignette + 0.6 * blob).clamp(0.0, 1.0);
         }
     }
@@ -69,22 +95,65 @@ fn median_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Extracts the number following `"key":` in a JSON document
+/// (whitespace-tolerant, so pretty-printed baselines still parse). The
+/// pattern includes the quotes and colon, so `frames_per_sec` never
+/// matches `frames_per_sec_batch`.
+fn json_f64(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let after_key = doc.find(&needle)? + needle.len();
+    let rest = doc[after_key..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Applies the ≤15 % regression gate to one metric; returns `false` on
+/// regression.
+fn gate_metric(name: &str, current: f64, baseline: Option<f64>) -> bool {
+    let Some(base) = baseline else {
+        eprintln!("perf gate: baseline has no `{name}` — skipped");
+        return true;
+    };
+    let ratio = current / base;
+    eprintln!("perf gate: {name} {current:.2} vs baseline {base:.2} ({ratio:.2}x)");
+    if ratio < 1.0 - GATE_TOLERANCE {
+        eprintln!(
+            "perf gate FAILED: {name} regressed {:.0}% (> {:.0}% allowed)",
+            (1.0 - ratio) * 100.0,
+            GATE_TOLERANCE * 100.0
+        );
+        return false;
+    }
+    true
+}
+
+#[allow(clippy::too_many_lines)]
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let gate_path = args
+        .iter()
+        .position(|a| a == "--gate")
+        .map(|i| args.get(i + 1).expect("--gate needs a path").clone());
     let reps = if quick { 2 } else { 5 };
     let side = 128usize;
     let kernels = 16usize;
     let k = 3usize;
+    let batch = 8usize;
 
-    let frame = test_frame(side);
+    let frame = test_frame(side, 0);
     let banks = test_kernels(kernels, k);
     let mut cfg = OisaConfig::paper_default(side, side);
     cfg.seed = 42;
 
     let mut accel = OisaAccelerator::new(cfg).expect("accelerator construction");
 
-    // Correctness gate before timing anything: the parallel pipeline
-    // must be bit-identical to its sequential twin under the seed.
+    // Correctness gates before timing anything: the parallel pipeline
+    // must be bit-identical to its sequential twin, and the batch
+    // engine to the per-frame sequential loop, under the seed.
     let par = accel.convolve_frame(&frame, &banks, k).expect("parallel run");
     let mut accel_seq = OisaAccelerator::new(cfg).expect("accelerator construction");
     let seq = accel_seq
@@ -92,6 +161,18 @@ fn main() {
         .expect("sequential run");
     assert_eq!(par.output, seq.output, "parallel output must be bit-identical");
     assert_eq!(par.energy, seq.energy, "parallel energy must be bit-identical");
+
+    let batch_frames: Vec<Frame> = (0..batch).map(|i| test_frame(side, i)).collect();
+    {
+        let mut a = OisaAccelerator::new(cfg).expect("accelerator construction");
+        let mut b = OisaAccelerator::new(cfg).expect("accelerator construction");
+        let batched = a.convolve_frames(&batch_frames, &banks, k).expect("batch run");
+        let looped: Vec<_> = batch_frames
+            .iter()
+            .map(|f| b.convolve_frame_sequential(f, &banks, k).expect("loop run"))
+            .collect();
+        assert_eq!(batched, looped, "batch must equal the per-frame loop");
+    }
 
     let parallel_ms = median_ms(reps, || {
         let r = accel.convolve_frame(&frame, &banks, k).expect("parallel run");
@@ -110,6 +191,70 @@ fn main() {
         std::hint::black_box(r.output[0][0]);
     });
 
+    // Batched engine vs a per-frame loop over the same frames.
+    let batch_ms = median_ms(reps, || {
+        let r = accel
+            .convolve_frames(&batch_frames, &banks, k)
+            .expect("batch run");
+        std::hint::black_box(r[0].output[0][0]);
+    });
+    let frame_loop_ms = median_ms(reps, || {
+        for f in &batch_frames {
+            let r = accel.convolve_frame(f, &banks, k).expect("loop run");
+            std::hint::black_box(r.output[0][0]);
+        }
+    });
+
+    // Dense path: a 256-row layer over a 1152-wide input (128 chunks
+    // per row), parallel snapshot evaluation vs the serial oracle.
+    let mv_rows = 256usize;
+    let mv_cols = 1152usize;
+    let mv_matrix: Vec<f32> = (0..mv_rows * mv_cols)
+        .map(|i| (i as f32 * 0.19).sin())
+        .collect();
+    let mv_input: Vec<f64> = (0..mv_cols)
+        .map(|i| ((i as f64 * 0.23).sin().abs()).min(1.0))
+        .collect();
+    let opc_cfg = OpcConfig {
+        banks: 4,
+        columns: 2,
+        awc_units: 10,
+        arm: ArmConfig::paper_default(),
+    };
+    let mut mv_opc = Opc::new(opc_cfg).expect("opc construction");
+    let mv_vom = Vom::new(VomConfig::paper_default()).expect("vom construction");
+    let mv_mapper = WeightMapper::ideal(4).expect("mapper construction");
+    {
+        let mut n1 = NoiseSource::seeded(7, NoiseConfig::paper_default());
+        let mut n2 = NoiseSource::seeded(7, NoiseConfig::paper_default());
+        let s = matvec(
+            &mut mv_opc, &mv_vom, &mv_mapper, &mv_matrix, mv_rows, mv_cols, &mv_input, &mut n1,
+        )
+        .expect("serial matvec");
+        let p = matvec_parallel(
+            &mut mv_opc, &mv_vom, &mv_mapper, &mv_matrix, mv_rows, mv_cols, &mv_input, &mut n2,
+        )
+        .expect("parallel matvec");
+        assert_eq!(s, p, "parallel matvec must be bit-identical to serial");
+    }
+    let mut mv_noise = NoiseSource::seeded(7, NoiseConfig::paper_default());
+    let matvec_serial_ms = median_ms(reps, || {
+        let r = matvec(
+            &mut mv_opc, &mv_vom, &mv_mapper, &mv_matrix, mv_rows, mv_cols, &mv_input,
+            &mut mv_noise,
+        )
+        .expect("serial matvec");
+        std::hint::black_box(r.output[0]);
+    });
+    let matvec_parallel_ms = median_ms(reps, || {
+        let r = matvec_parallel(
+            &mut mv_opc, &mv_vom, &mv_mapper, &mv_matrix, mv_rows, mv_cols, &mv_input,
+            &mut mv_noise,
+        )
+        .expect("parallel matvec");
+        std::hint::black_box(r.output[0]);
+    });
+
     // Digital reference path: im2col Conv2d forward vs the naive loop.
     let x = Tensor::he_normal(vec![1, 3, side, side], 27, 3);
     let mut conv = Conv2d::with_seed(3, kernels, k, 1, 1, 7).expect("conv construction");
@@ -122,36 +267,96 @@ fn main() {
         std::hint::black_box(y.as_slice()[0]);
     });
 
-    // Report the worker count the parallel pipeline actually used.
+    // Report the worker count the parallel pipelines actually used.
     let threads = rayon::current_num_threads();
     let optical_speedup = reference_ms / parallel_ms;
     let conv_speedup = naive_ms / im2col_ms;
-    println!(
+    let batch_speedup = frame_loop_ms / batch_ms;
+    let matvec_speedup = matvec_serial_ms / matvec_parallel_ms;
+    let frames_per_sec = 1e3 / parallel_ms;
+    let frames_per_sec_batch = batch as f64 * 1e3 / batch_ms;
+    let matvec_rows_per_sec = mv_rows as f64 * 1e3 / matvec_parallel_ms;
+    let doc = format!(
         concat!(
-            "BENCH JSON {{",
-            "\"workload\":{{\"frame\":\"{side}x{side}\",\"kernels\":{kernels},\"k\":{k}}},",
+            "{{",
+            "\"workload\":{{\"frame\":\"{side}x{side}\",\"kernels\":{kernels},\"k\":{k},",
+            "\"batch\":{batch},\"matvec\":\"{mv_rows}x{mv_cols}\"}},",
             "\"threads\":{threads},",
             "\"wall_clock_ms\":{{",
             "\"optical_parallel\":{parallel:.3},",
             "\"optical_sequential\":{sequential:.3},",
             "\"optical_reference\":{reference:.3},",
+            "\"batch_8_frames\":{batch_ms:.3},",
+            "\"frame_loop_8\":{frame_loop_ms:.3},",
+            "\"matvec_parallel\":{matvec_parallel_ms:.3},",
+            "\"matvec_serial\":{matvec_serial_ms:.3},",
             "\"conv2d_im2col\":{im2col:.3},",
             "\"conv2d_naive\":{naive:.3}}},",
+            "\"throughput\":{{",
+            "\"frames_per_sec\":{fps:.3},",
+            "\"frames_per_sec_batch\":{fps_batch:.3},",
+            "\"matvec_rows_per_sec\":{mv_rps:.3}}},",
             "\"speedup\":{{",
             "\"optical_vs_reference\":{opt_speedup:.2},",
+            "\"batch_vs_frame_loop\":{batch_speedup:.2},",
+            "\"matvec_parallel_vs_serial\":{matvec_speedup:.2},",
             "\"conv2d_vs_naive\":{conv_speedup:.2}}},",
-            "\"bit_identical_parallel_vs_sequential\":true}}"
+            "\"bit_identical_parallel_vs_sequential\":true,",
+            "\"bit_identical_batch_vs_frame_loop\":true}}"
         ),
         side = side,
         kernels = kernels,
         k = k,
+        batch = batch,
+        mv_rows = mv_rows,
+        mv_cols = mv_cols,
         threads = threads,
         parallel = parallel_ms,
         sequential = sequential_ms,
         reference = reference_ms,
+        batch_ms = batch_ms,
+        frame_loop_ms = frame_loop_ms,
+        matvec_parallel_ms = matvec_parallel_ms,
+        matvec_serial_ms = matvec_serial_ms,
         im2col = im2col_ms,
         naive = naive_ms,
+        fps = frames_per_sec,
+        fps_batch = frames_per_sec_batch,
+        mv_rps = matvec_rows_per_sec,
         opt_speedup = optical_speedup,
+        batch_speedup = batch_speedup,
+        matvec_speedup = matvec_speedup,
         conv_speedup = conv_speedup,
     );
+    println!("BENCH JSON {doc}");
+
+    if let Some(path) = gate_path {
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("perf gate: cannot read baseline {path}: {e}"));
+        // Headline throughput. PR-1 baselines predate the throughput
+        // block, so fall back to deriving frames/sec from the recorded
+        // parallel wall clock. A baseline with *neither* key is a
+        // broken baseline, not a pass — fail loudly instead of
+        // silently disabling the gate.
+        let Some(base_fps) = json_f64(&baseline, "frames_per_sec")
+            .or_else(|| json_f64(&baseline, "optical_parallel").map(|ms| 1e3 / ms))
+        else {
+            eprintln!(
+                "perf gate FAILED: {path} has no parseable headline throughput \
+                 (frames_per_sec / optical_parallel) — regenerate it with \
+                 `cargo run --release -p oisa_bench --bin perf_json`"
+            );
+            std::process::exit(1);
+        };
+        let mut ok = gate_metric("frames_per_sec", frames_per_sec, Some(base_fps));
+        ok &= gate_metric(
+            "frames_per_sec_batch",
+            frames_per_sec_batch,
+            json_f64(&baseline, "frames_per_sec_batch"),
+        );
+        if !ok {
+            std::process::exit(1);
+        }
+        eprintln!("perf gate: OK (within {:.0}% of baseline)", GATE_TOLERANCE * 100.0);
+    }
 }

@@ -16,9 +16,36 @@
 //! * [`accelerator`] — [`OisaAccelerator`]: the end-to-end device that
 //!   captures a frame, encodes it through the VAM, runs the first layer
 //!   in the Optical Processing Core, and reports energy/latency.
+//! * [`scheduler`] — the work-stealing scheduler behind the batched
+//!   inference engine: `(frame, pass, row-band)` and dense-row work
+//!   items drain across scoped worker threads with per-worker deques
+//!   and back-steals, returning results in item order.
 //! * [`deploy`] — the Table II bridge: converts the AWC→MR level tables
 //!   into [`oisa_nn`] quantisers and swaps a trained model's first
 //!   convolution for its OISA deployment wrapper.
+//!
+//! # Performance notes
+//!
+//! Three engines cover the throughput story; all are bit-identical to
+//! their serial oracles under a fixed seed:
+//!
+//! * **Single frame** — [`OisaAccelerator::convolve_frame`]
+//!   parallelises over output rows with counter-based noise streams
+//!   (PR 1); [`OisaAccelerator::convolve_frame_sequential`] is the
+//!   oracle.
+//! * **Batched frames** — [`OisaAccelerator::convolve_frames`] stages
+//!   each weight pass once per batch (not once per frame), snapshots
+//!   the pass's arms ([`oisa_optics::arm::ArmSnapshot`]), and
+//!   work-steals `(frame, pass, row-band)` items so no worker idles at
+//!   a frame boundary. Each frame keys its own noise epoch; the oracle
+//!   is the per-frame sequential loop.
+//! * **Dense / MLP** — [`mlp::matvec_parallel`] fans rows out over the
+//!   scheduler; each worker re-tunes a private scratch arm per chunk
+//!   and evaluates immutable snapshots, so rows never serialise on
+//!   shared-fabric `load_arm`. [`mlp::matvec`] is the oracle.
+//!
+//! `rayon::set_num_threads` (or `RAYON_NUM_THREADS`) governs the worker
+//! count of every engine; thread count never changes any result.
 //!
 //! # Examples
 //!
@@ -43,6 +70,7 @@ pub mod deploy;
 pub mod mapping;
 pub mod mlp;
 pub mod perf;
+pub mod scheduler;
 
 pub use accelerator::{ConvolutionReport, OisaAccelerator, OisaConfig};
 pub use mapping::{ConvWorkload, MappingPlan};

@@ -8,18 +8,31 @@
 //! re-modulates the partial sums.
 //!
 //! Like the convolution pipeline, the dense path draws its noise from
-//! counter-based streams — keyed by `(epoch, row, chunk)` — and reuses
-//! its staging buffers across chunks, so evaluation order never changes
-//! the physics and the inner loop allocates nothing per chunk.
+//! counter-based streams — keyed by `(epoch, row, chunk)` — so
+//! evaluation order never changes the physics. The whole weight matrix
+//! is normalised in one up-front scan (one division per element, no
+//! per-chunk staging buffer in the row loop), and two engines share
+//! that staging:
+//!
+//! * [`matvec`] — the serial oracle: chunks round-robin over the shared
+//!   fabric via `load_arm`, exactly as the hardware would serialise
+//!   them.
+//! * [`matvec_parallel`] — rows fan out over the work-stealing
+//!   scheduler; each worker re-tunes a *private* scratch arm per chunk
+//!   and evaluates an immutable [`ArmSnapshot`], so no row ever waits
+//!   on another's fabric mutation. Output, energy, latency and chunk
+//!   count are bit-identical to [`matvec`] under the same seed and
+//!   epoch.
 
 use oisa_device::noise::NoiseSource;
+use oisa_optics::arm::MacResult;
 use oisa_optics::opc::Opc;
 use oisa_optics::vom::Vom;
 use oisa_optics::weights::WeightMapper;
 use oisa_units::{Joule, Second};
 use serde::{Deserialize, Serialize};
 
-use crate::{CoreError, Result};
+use crate::{scheduler, CoreError, Result};
 
 /// Elements of a dense row executed per arm (the paper's 3×3-sized
 /// chunks: nine weights plus the spare slot).
@@ -62,43 +75,17 @@ pub fn matvec(
     input: &[f64],
     noise: &mut NoiseSource,
 ) -> Result<MatVecReport> {
-    if matrix.len() != rows * cols || rows == 0 || cols == 0 {
-        return Err(CoreError::InvalidParameter(format!(
-            "matrix {rows}x{cols} does not match {} elements",
-            matrix.len()
-        )));
-    }
-    if input.len() != cols {
-        return Err(CoreError::InvalidParameter(format!(
-            "input length {} != cols {cols}",
-            input.len()
-        )));
-    }
-    // Validate the shared input vector up front so range errors report
-    // the offending index before any fabric state changes. (The generic
-    // Arm::mac each chunk routes through still performs its own cheap
-    // per-chunk check; only the conv path's mac_indexed skips it.)
-    if let Some(i) = input.iter().position(|a| !(0.0..=1.0).contains(a)) {
-        return Err(CoreError::InvalidParameter(format!(
-            "input activation {} at index {i} outside [0, 1]",
-            input[i]
-        )));
-    }
-    let scale = matrix
-        .iter()
-        .fold(0.0f32, |m, w| m.max(w.abs()))
-        .max(f32::MIN_POSITIVE);
+    validate_matvec(matrix, rows, cols, input)?;
+    let (scale, normalised) = normalise_matrix(matrix);
     let arms_per_bank = oisa_optics::bank::ARMS_PER_BANK;
     let epoch = noise.begin_epoch();
     let mut output = Vec::with_capacity(rows);
     let mut total_chunks = 0usize;
     let mut energy = Joule::ZERO;
     let mut latency = Second::ZERO;
-    // Staging buffers reused across every chunk of every row.
-    let mut normalised: Vec<f64> = Vec::with_capacity(CHUNK);
     let mut partials = Vec::with_capacity(cols.div_ceil(CHUNK));
     for r in 0..rows {
-        let row = &matrix[r * cols..(r + 1) * cols];
+        let row = &normalised[r * cols..(r + 1) * cols];
         let row_stream = noise.slot_stream(epoch, r as u64);
         partials.clear();
         for (ci, (w_chunk, a_chunk)) in row.chunks(CHUNK).zip(input.chunks(CHUNK)).enumerate() {
@@ -107,9 +94,7 @@ pub fn matvec(
             let slot = (total_chunks + ci) % (opc.bank_count() * arms_per_bank);
             let bank = slot / arms_per_bank;
             let arm = slot % arms_per_bank;
-            normalised.clear();
-            normalised.extend(w_chunk.iter().map(|&w| f64::from(w / scale)));
-            opc.bank_mut(bank)?.load_arm(arm, &normalised, mapper)?;
+            opc.bank_mut(bank)?.load_arm(arm, w_chunk, mapper)?;
             // Counter-based stream per (row, chunk): draws are addressed,
             // not consumed, so chunk evaluation order is immaterial.
             let stream = row_stream.at(ci as u64);
@@ -129,6 +114,155 @@ pub fn matvec(
         energy,
         latency,
     })
+}
+
+/// Parallel twin of [`matvec`]: rows fan out over the work-stealing
+/// scheduler and evaluate against private per-worker arm state instead
+/// of serialising on the shared fabric.
+///
+/// Each worker owns one scratch arm (cloned from the core's arm
+/// design). Per chunk it re-tunes that arm, takes an immutable
+/// [`oisa_optics::arm::ArmSnapshot`] and evaluates the snapshot through
+/// the same `(epoch, row, chunk)` noise stream the serial engine would
+/// use — arm state after `load_weights` depends only on the loaded
+/// chunk, never on fabric history, so every [`MacResult`] is
+/// bit-identical to the serial path's. The final reduction walks rows
+/// in order with the serial engine's exact floating-point grouping.
+///
+/// The consumed noise epoch matches [`matvec`], and the fabric is left
+/// in the serial engine's exact exit state (each used arm's final two
+/// round-robin loads are replayed, which pins both the ring operating
+/// points and the per-arm recorded tuning energy/latency) — so the two
+/// engines are drop-in interchangeable under a seed, including for
+/// whatever runs on the fabric afterwards.
+///
+/// # Errors
+///
+/// Same contract as [`matvec`].
+#[allow(clippy::too_many_arguments)]
+pub fn matvec_parallel(
+    opc: &mut Opc,
+    vom: &Vom,
+    mapper: &WeightMapper,
+    matrix: &[f32],
+    rows: usize,
+    cols: usize,
+    input: &[f64],
+    noise: &mut NoiseSource,
+) -> Result<MatVecReport> {
+    validate_matvec(matrix, rows, cols, input)?;
+    let (scale, normalised) = normalise_matrix(matrix);
+    let epoch = noise.begin_epoch();
+    let template = opc.scratch_arm()?;
+    let noise_ref: &NoiseSource = noise;
+    let normalised_ref = &normalised;
+    let row_partials: Vec<Result<Vec<MacResult>>> = scheduler::execute_with(
+        (0..rows).collect(),
+        || template.clone(),
+        |arm, _, r| -> Result<Vec<MacResult>> {
+            let row = &normalised_ref[r * cols..(r + 1) * cols];
+            let row_stream = noise_ref.slot_stream(epoch, r as u64);
+            let mut partials = Vec::with_capacity(cols.div_ceil(CHUNK));
+            for (ci, (w_chunk, a_chunk)) in
+                row.chunks(CHUNK).zip(input.chunks(CHUNK)).enumerate()
+            {
+                arm.load_weights(w_chunk, mapper)?;
+                let snapshot = arm.snapshot();
+                let stream = row_stream.at(ci as u64);
+                partials.push(snapshot.mac(a_chunk, &mut stream.cursor())?);
+            }
+            Ok(partials)
+        },
+    );
+    // Ordered reduction with the serial engine's exact grouping: per
+    // row, chunk energies first, then the VOM aggregate.
+    let mut output = Vec::with_capacity(rows);
+    let mut total_chunks = 0usize;
+    let mut energy = Joule::ZERO;
+    let mut latency = Second::ZERO;
+    for partials in row_partials {
+        let partials = partials?;
+        for p in &partials {
+            energy += p.optical_energy;
+        }
+        total_chunks += partials.len();
+        let agg = vom.accumulate_and_transmit(&partials)?;
+        energy += agg.energy;
+        latency += agg.latency;
+        output.push((agg.value * f64::from(scale)) as f32);
+    }
+
+    // Leave the shared fabric exactly as the serial engine would, so
+    // the two paths stay interchangeable for whatever runs next. Ring
+    // state after a load depends only on that load's chunk, and an
+    // arm's recorded tuning energy/latency only on its previous
+    // operating point — so replaying each used arm's final two
+    // round-robin loads (in any arm order) reproduces the serial exit
+    // state bit-for-bit at a cost bounded by the fabric size, not the
+    // chunk count.
+    let arms_per_bank = oisa_optics::bank::ARMS_PER_BANK;
+    let nslots = opc.bank_count() * arms_per_bank;
+    let chunks_per_row = cols.div_ceil(CHUNK);
+    let chunk_of = |g: usize| {
+        let start = (g / chunks_per_row) * cols + (g % chunks_per_row) * CHUNK;
+        let end = (g / chunks_per_row) * cols + cols.min((g % chunks_per_row) * CHUNK + CHUNK);
+        &normalised[start..end]
+    };
+    for slot in 0..nslots.min(total_chunks) {
+        // Serial chunk `g` (row-major) lands on arm `g % nslots`; the
+        // last such `g` fixes this arm's final weights, the one before
+        // it the operating point that final tuning was paid from.
+        let last = slot + ((total_chunks - 1 - slot) / nslots) * nslots;
+        let bank = slot / arms_per_bank;
+        let arm = slot % arms_per_bank;
+        if last >= nslots {
+            opc.bank_mut(bank)?.load_arm(arm, chunk_of(last - nslots), mapper)?;
+        }
+        opc.bank_mut(bank)?.load_arm(arm, chunk_of(last), mapper)?;
+    }
+
+    Ok(MatVecReport {
+        output,
+        chunks: total_chunks,
+        energy,
+        latency,
+    })
+}
+
+/// Shape/range validation shared by both matvec engines; range errors
+/// report the offending index before any fabric state changes.
+fn validate_matvec(matrix: &[f32], rows: usize, cols: usize, input: &[f64]) -> Result<()> {
+    if matrix.len() != rows * cols || rows == 0 || cols == 0 {
+        return Err(CoreError::InvalidParameter(format!(
+            "matrix {rows}x{cols} does not match {} elements",
+            matrix.len()
+        )));
+    }
+    if input.len() != cols {
+        return Err(CoreError::InvalidParameter(format!(
+            "input length {} != cols {cols}",
+            input.len()
+        )));
+    }
+    if let Some(i) = input.iter().position(|a| !(0.0..=1.0).contains(a)) {
+        return Err(CoreError::InvalidParameter(format!(
+            "input activation {} at index {i} outside [0, 1]",
+            input[i]
+        )));
+    }
+    Ok(())
+}
+
+/// One scan for the per-tensor scale, one pass normalising the whole
+/// matrix — hoisted out of the row loop so neither engine re-stages
+/// weights per chunk.
+fn normalise_matrix(matrix: &[f32]) -> (f32, Vec<f64>) {
+    let scale = matrix
+        .iter()
+        .fold(0.0f32, |m, w| m.max(w.abs()))
+        .max(f32::MIN_POSITIVE);
+    let normalised = matrix.iter().map(|&w| f64::from(w / scale)).collect();
+    (scale, normalised)
 }
 
 #[cfg(test)]
@@ -216,6 +350,54 @@ mod tests {
         let four = run(&mut opc, 4);
         assert!(four.energy.get() > 3.0 * one.energy.get());
         assert!(four.latency.get() > 3.0 * one.latency.get());
+    }
+
+    #[test]
+    fn parallel_matvec_bit_identical_to_serial() {
+        // Force real worker threads so the claim is exercised even on
+        // single-CPU hosts.
+        rayon::set_num_threads(4);
+        let (mut opc, vom, mapper) = fabric();
+        // 7×23: ragged final chunk, rows spanning 3 chunks.
+        let rows = 7;
+        let cols = 23;
+        let matrix: Vec<f32> = (0..rows * cols).map(|i| (i as f32 * 0.13).sin()).collect();
+        let input: Vec<f64> = (0..cols)
+            .map(|i| (i as f64 * 0.37).sin().abs().min(1.0))
+            .collect();
+        let mut serial_noise = NoiseSource::seeded(42, NoiseConfig::paper_default());
+        let mut parallel_noise = NoiseSource::seeded(42, NoiseConfig::paper_default());
+        let serial = matvec(
+            &mut opc, &vom, &mapper, &matrix, rows, cols, &input, &mut serial_noise,
+        )
+        .unwrap();
+        let mut par_opc = {
+            let (opc, _, _) = fabric();
+            opc
+        };
+        let parallel = matvec_parallel(
+            &mut par_opc, &vom, &mapper, &matrix, rows, cols, &input, &mut parallel_noise,
+        )
+        .unwrap();
+        assert_eq!(serial, parallel, "reports must be bit-identical");
+        // And the fabric exits in the serial engine's exact state, so
+        // the engines stay interchangeable for whatever runs next.
+        assert_eq!(opc, par_opc, "fabric exit state must match the serial engine");
+    }
+
+    #[test]
+    fn parallel_matvec_validates_like_serial() {
+        let (mut opc, vom, mapper) = fabric();
+        let mut noise = quiet();
+        assert!(
+            matvec_parallel(&mut opc, &vom, &mapper, &[0.1; 6], 2, 4, &[0.5; 4], &mut noise)
+                .is_err()
+        );
+        let mut input = vec![0.5f64; 12];
+        input[4] = -0.3;
+        let err = matvec_parallel(&mut opc, &vom, &mapper, &[0.1; 12], 1, 12, &input, &mut noise)
+            .unwrap_err();
+        assert!(err.to_string().contains("index 4"));
     }
 
     #[test]

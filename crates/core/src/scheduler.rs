@@ -1,0 +1,227 @@
+//! Work-stealing scheduler for the batched inference engine.
+//!
+//! The batch engine decomposes a workload into many independent items —
+//! `(frame, pass, row-band)` for convolution, rows for the dense path —
+//! whose costs are uneven: a band full of zero activations finishes far
+//! sooner than a dense one, and frames late in a batch must not wait on
+//! a static partition sized for the early ones. A fixed block split (or
+//! the single shared-counter loop the `rayon` shim uses) leaves workers
+//! idle at the tail; work stealing keeps them busy:
+//!
+//! * every worker owns a deque seeded with a contiguous block of items
+//!   (cache-friendly: neighbouring row-bands share frame data),
+//! * a worker pops from the **front** of its own deque (locality),
+//! * a worker whose deque is empty steals from the **back** of the
+//!   first non-empty victim, scanning round-robin from its right-hand
+//!   neighbour (stolen items are the ones the owner would reach last,
+//!   minimising contention on the hot front end),
+//! * since items never spawn new items, a worker that finds every deque
+//!   empty is done — any remaining items are already claimed.
+//!
+//! Results are returned **in item order** regardless of which worker ran
+//! what, so callers can reduce floating-point partials with the exact
+//! grouping a sequential loop would use — the scheduler never affects
+//! the physics, only the wall clock. Determinism therefore rests on the
+//! same contract as the row-parallel convolution: tasks must key any
+//! randomness by item index (counter-based noise streams), never by
+//! execution order.
+//!
+//! Worker count follows the `rayon` shim's configuration
+//! ([`rayon::current_num_threads`]), so `rayon::set_num_threads` and
+//! `RAYON_NUM_THREADS` govern both parallel paths; with one worker (or
+//! one item) everything degenerates to a plain sequential loop.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Runs `f` over every item on a work-stealing pool, returning results
+/// in item order.
+///
+/// `f` receives the item's index and the item; it must be a pure
+/// function of those (plus captured shared state) for the scheduler's
+/// determinism guarantee to hold.
+pub fn execute<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    execute_with(items, || (), move |(), index, item| f(index, item))
+}
+
+/// [`execute`] with per-worker scratch state: `init` runs once on each
+/// worker and the resulting state is threaded through every item that
+/// worker processes.
+///
+/// The parallel dense path uses this to give each worker a private
+/// scratch [`Arm`](oisa_optics::arm::Arm) it can re-tune per weight
+/// chunk without touching the shared fabric.
+pub fn execute_with<T, R, S, I, F>(items: Vec<T>, init: I, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, T) -> R + Sync,
+{
+    let count = items.len();
+    if count == 0 {
+        return Vec::new();
+    }
+    let workers = rayon::current_num_threads().min(count);
+    if workers <= 1 {
+        let mut state = init();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(&mut state, i, item))
+            .collect();
+    }
+
+    // Seed each worker's deque with a contiguous block of items.
+    let mut queues: Vec<Mutex<VecDeque<(usize, T)>>> = (0..workers)
+        .map(|_| Mutex::new(VecDeque::with_capacity(count.div_ceil(workers))))
+        .collect();
+    for (i, item) in items.into_iter().enumerate() {
+        let owner = i * workers / count;
+        queues[owner]
+            .get_mut()
+            .expect("scheduler: seeding a fresh queue cannot fail")
+            .push_back((i, item));
+    }
+
+    let queues = &queues;
+    let init = &init;
+    let f = &f;
+    let mut collected: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut state = init();
+                    let mut done = Vec::new();
+                    loop {
+                        // Own work first (front), then steal (back).
+                        let mut job = queues[w]
+                            .lock()
+                            .expect("scheduler: poisoned own deque")
+                            .pop_front();
+                        if job.is_none() {
+                            for offset in 1..workers {
+                                let victim = (w + offset) % workers;
+                                job = queues[victim]
+                                    .lock()
+                                    .expect("scheduler: poisoned victim deque")
+                                    .pop_back();
+                                if job.is_some() {
+                                    break;
+                                }
+                            }
+                        }
+                        match job {
+                            Some((i, item)) => done.push((i, f(&mut state, i, item))),
+                            None => break,
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("scheduler: worker panicked"))
+            .collect()
+    });
+    collected.sort_unstable_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = execute(Vec::<u32>::new(), |_, v| v);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        rayon::set_num_threads(4);
+        let items: Vec<usize> = (0..513).collect();
+        let out = execute(items, |i, v| {
+            assert_eq!(i, v);
+            v * 3
+        });
+        assert_eq!(out, (0..513).map(|v| v * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once_under_uneven_load() {
+        rayon::set_num_threads(4);
+        let runs = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..257).collect();
+        let out = execute(items, |_, v| {
+            runs.fetch_add(1, Ordering::Relaxed);
+            // Skew the costs so early blocks finish long before late
+            // ones and stealing actually happens.
+            if v % 64 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            v
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 257);
+        assert_eq!(out, (0..257).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_state_is_private_and_reused() {
+        rayon::set_num_threads(3);
+        let inits = AtomicUsize::new(0);
+        let out = execute_with(
+            (0..100).collect::<Vec<usize>>(),
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |seen, _, v| {
+                *seen += 1;
+                (v, *seen)
+            },
+        );
+        let workers = inits.load(Ordering::Relaxed);
+        assert!(workers <= 3, "one init per worker, got {workers}");
+        assert_eq!(out.len(), 100);
+        // Private, persistent per-worker counters partition the items
+        // into at most `workers` contiguous chains 1..=len. That makes
+        // the histogram of observed counter values falsifiable three
+        // ways: it starts with one entry per chain (re-init per item
+        // would give 100 ones), it never increases with the counter
+        // value (a reset mid-chain would leave a gap), and its longest
+        // chain covers at least the balanced share of the items (a
+        // fresh state per item would cap every counter at 1).
+        let max_seen = out.iter().map(|&(_, s)| s).max().unwrap();
+        let mut hist = vec![0usize; max_seen + 1];
+        for &(_, s) in &out {
+            hist[s] += 1;
+        }
+        assert!(hist[1] <= workers, "more chains than workers: {hist:?}");
+        for v in 2..=max_seen {
+            assert!(hist[v] <= hist[v - 1], "broken chain at counter {v}: {hist:?}");
+        }
+        assert!(
+            max_seen >= 100usize.div_ceil(workers),
+            "no worker kept its state across the balanced share: max {max_seen}"
+        );
+    }
+
+    #[test]
+    fn sequential_fallback_matches_parallel() {
+        let items: Vec<u64> = (0..64).collect();
+        rayon::set_num_threads(1);
+        let seq = execute(items.clone(), |i, v| v * 7 + i as u64);
+        rayon::set_num_threads(4);
+        let par = execute(items, |i, v| v * 7 + i as u64);
+        assert_eq!(seq, par);
+    }
+}

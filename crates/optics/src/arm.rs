@@ -79,6 +79,75 @@ pub struct MacResult {
     pub optical_energy: Joule,
 }
 
+/// Immutable snapshot of everything an arm-level MAC consumes: the
+/// mapped weights, the precomputed per-ring gains, the detector and the
+/// full-scale / dwell constants.
+///
+/// A snapshot is what lets evaluation outlive fabric mutation: the
+/// batched convolution engine snapshots every pass's arms before the
+/// next pass re-tunes the same physical rings, and the parallel dense
+/// path evaluates rows against snapshots instead of serialising on
+/// [`Bank::load_arm`](crate::bank::Bank::load_arm). Both MAC entry
+/// points are bit-identical to their [`Arm`] counterparts — they share
+/// the same inner evaluation, not a re-implementation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArmSnapshot {
+    weights: Vec<MappedWeight>,
+    ring_gain: Vec<f64>,
+    detector: BalancedPhotodetector,
+    per_channel_full: f64,
+    channel_power: f64,
+    dwell: Second,
+}
+
+impl ArmSnapshot {
+    /// The weights captured by this snapshot.
+    #[must_use]
+    pub fn weights(&self) -> &[MappedWeight] {
+        &self.weights
+    }
+
+    /// Fused fast-path MAC over counter-addressed noise — bit-identical
+    /// to [`Arm::mac_indexed`] on the arm this snapshot was taken from.
+    ///
+    /// Activations must already be validated to `[0, 1]` by the caller.
+    #[must_use]
+    pub fn mac_indexed(&self, activations: &[f64], stream: &NoiseStream, base: u64) -> (f64, f64) {
+        debug_assert!(activations.len() <= self.weights.len());
+        mac_indexed_core(
+            &self.weights,
+            &self.ring_gain,
+            &self.detector,
+            self.per_channel_full,
+            self.channel_power,
+            self.dwell.get(),
+            activations,
+            stream,
+            base,
+        )
+    }
+
+    /// General MAC through any [`NoiseModel`] — bit-identical to
+    /// [`Arm::mac`] on the arm this snapshot was taken from.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Arm::mac`].
+    pub fn mac<N: NoiseModel>(&self, activations: &[f64], noise: &mut N) -> Result<MacResult> {
+        validate_activation_window(self.weights.len(), activations)?;
+        Ok(mac_core(
+            &self.weights,
+            &self.ring_gain,
+            &self.detector,
+            self.per_channel_full,
+            self.channel_power,
+            self.dwell,
+            activations,
+            noise,
+        ))
+    }
+}
+
 /// A single arm with its loaded weights.
 ///
 /// See the crate-level example for typical use.
@@ -252,34 +321,33 @@ impl Arm {
     /// offending index and no partial evaluation happens.
     pub fn mac<N: NoiseModel>(&self, activations: &[f64], noise: &mut N) -> Result<MacResult> {
         self.validate_activations(activations)?;
-        let p_in = self.config.channel_power.get();
-        let mut p_pos = 0.0f64;
-        let mut p_neg = 0.0f64;
-        for (i, (a, w)) in activations.iter().zip(&self.weights).enumerate() {
-            let launched = noise.vcsel(p_in * a);
-            let t = noise.mr_transmission(w.magnitude);
-            let arrived = launched * t * self.ring_gain[i];
-            if w.negative {
-                p_neg += arrived;
-            } else {
-                p_pos += arrived;
-            }
+        Ok(mac_core(
+            &self.weights,
+            &self.ring_gain,
+            &self.detector,
+            self.per_channel_full,
+            self.config.channel_power.get(),
+            self.dwell,
+            activations,
+            noise,
+        ))
+    }
+
+    /// Captures the compute-relevant state of this arm as an immutable
+    /// [`ArmSnapshot`]: the mapped weights, the precomputed per-ring
+    /// gains and the detector / full-scale / dwell constants. Evaluating
+    /// the snapshot is bit-identical to evaluating the arm, and stays
+    /// valid after the arm is re-tuned with new weights.
+    #[must_use]
+    pub fn snapshot(&self) -> ArmSnapshot {
+        ArmSnapshot {
+            weights: self.weights.clone(),
+            ring_gain: self.ring_gain.clone(),
+            detector: self.detector,
+            per_channel_full: self.per_channel_full,
+            channel_power: self.config.channel_power.get(),
+            dwell: self.dwell,
         }
-        let diff = self
-            .detector
-            .difference_current(Watt::new(p_pos), Watt::new(p_neg));
-        // Full scale: all channels at activation 1 with weight magnitude 1
-        // on one waveguide.
-        let full_scale = self.per_channel_full * activations.len().max(1) as f64;
-        let noisy = noise.detector(diff.get(), full_scale);
-        // Loss-normalised value in weight·activation units.
-        let value = noisy / self.per_channel_full;
-        Ok(MacResult {
-            value,
-            raw_current: noisy,
-            latency: self.dwell,
-            optical_energy: Watt::new(p_pos + p_neg) * self.dwell,
-        })
     }
 
     /// Fused fast-path MAC for the accelerator's inner loop: draws are
@@ -299,35 +367,17 @@ impl Arm {
     #[must_use]
     pub fn mac_indexed(&self, activations: &[f64], stream: &NoiseStream, base: u64) -> (f64, f64) {
         debug_assert!(activations.len() <= self.weights.len());
-        let p_in = self.config.channel_power.get();
-        let mut p_pos = 0.0f64;
-        let mut p_neg = 0.0f64;
-        let mut counter = base;
-        for ((&a, w), &gain) in activations
-            .iter()
-            .zip(&self.weights)
-            .zip(&self.ring_gain)
-        {
-            if a == 0.0 {
-                counter += 2;
-                continue;
-            }
-            let launched = stream.vcsel_at(counter, p_in * a);
-            let t = stream.mr_transmission_at(counter + 1, w.magnitude);
-            counter += 2;
-            let arrived = launched * t * gain;
-            if w.negative {
-                p_neg += arrived;
-            } else {
-                p_pos += arrived;
-            }
-        }
-        let diff = self
-            .detector
-            .difference_current(Watt::new(p_pos), Watt::new(p_neg));
-        let full_scale = self.per_channel_full * activations.len().max(1) as f64;
-        let noisy = stream.detector_at(base + 2 * activations.len() as u64, diff.get(), full_scale);
-        (noisy / self.per_channel_full, (p_pos + p_neg) * self.dwell.get())
+        mac_indexed_core(
+            &self.weights,
+            &self.ring_gain,
+            &self.detector,
+            self.per_channel_full,
+            self.config.channel_power.get(),
+            self.dwell.get(),
+            activations,
+            stream,
+            base,
+        )
     }
 
     /// Counter stride one MAC of `m` activations consumes on a stream:
@@ -414,20 +464,7 @@ impl Arm {
     /// Checks activation count and range, reporting the first offending
     /// index.
     fn validate_activations(&self, activations: &[f64]) -> Result<()> {
-        if activations.len() > self.weights.len() {
-            return Err(OpticsError::InvalidParameter(format!(
-                "{} activations for {} loaded weights",
-                activations.len(),
-                self.weights.len()
-            )));
-        }
-        if let Some(i) = activations.iter().position(|a| !(0.0..=1.0).contains(a)) {
-            return Err(OpticsError::InvalidParameter(format!(
-                "activation {} at index {i} outside [0, 1]",
-                activations[i]
-            )));
-        }
-        Ok(())
+        validate_activation_window(self.weights.len(), activations)
     }
 
     /// Optical time of flight along the arm (group velocity c/n_g).
@@ -442,6 +479,108 @@ impl Arm {
     pub fn channel_plan(&self) -> &ChannelPlan {
         &self.plan
     }
+}
+
+/// Checks activation count against `loaded` weights and the `[0, 1]`
+/// range, reporting the first offending index — shared by [`Arm`] and
+/// [`ArmSnapshot`] so both reject identically.
+fn validate_activation_window(loaded: usize, activations: &[f64]) -> Result<()> {
+    if activations.len() > loaded {
+        return Err(OpticsError::InvalidParameter(format!(
+            "{} activations for {loaded} loaded weights",
+            activations.len(),
+        )));
+    }
+    if let Some(i) = activations.iter().position(|a| !(0.0..=1.0).contains(a)) {
+        return Err(OpticsError::InvalidParameter(format!(
+            "activation {} at index {i} outside [0, 1]",
+            activations[i]
+        )));
+    }
+    Ok(())
+}
+
+/// The general MAC evaluation shared bit-for-bit by [`Arm::mac`] and
+/// [`ArmSnapshot::mac`]: VCSEL RIN → ring transmission (with drift) →
+/// precomputed per-ring gain → rail accumulation → BPD subtraction with
+/// detector noise → loss-normalised signed result.
+#[allow(clippy::too_many_arguments)]
+fn mac_core<N: NoiseModel>(
+    weights: &[MappedWeight],
+    ring_gain: &[f64],
+    detector: &BalancedPhotodetector,
+    per_channel_full: f64,
+    channel_power_w: f64,
+    dwell: Second,
+    activations: &[f64],
+    noise: &mut N,
+) -> MacResult {
+    let mut p_pos = 0.0f64;
+    let mut p_neg = 0.0f64;
+    for (i, (a, w)) in activations.iter().zip(weights).enumerate() {
+        let launched = noise.vcsel(channel_power_w * a);
+        let t = noise.mr_transmission(w.magnitude);
+        let arrived = launched * t * ring_gain[i];
+        if w.negative {
+            p_neg += arrived;
+        } else {
+            p_pos += arrived;
+        }
+    }
+    let diff = detector.difference_current(Watt::new(p_pos), Watt::new(p_neg));
+    // Full scale: all channels at activation 1 with weight magnitude 1
+    // on one waveguide.
+    let full_scale = per_channel_full * activations.len().max(1) as f64;
+    let noisy = noise.detector(diff.get(), full_scale);
+    // Loss-normalised value in weight·activation units.
+    let value = noisy / per_channel_full;
+    MacResult {
+        value,
+        raw_current: noisy,
+        latency: dwell,
+        optical_energy: Watt::new(p_pos + p_neg) * dwell,
+    }
+}
+
+/// The fused counter-addressed MAC shared bit-for-bit by
+/// [`Arm::mac_indexed`] and [`ArmSnapshot::mac_indexed`]: channel `i`
+/// draws counters `base + 2i` / `base + 2i + 1`, the detector draws
+/// `base + 2m`, zero activations are skipped outright.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn mac_indexed_core(
+    weights: &[MappedWeight],
+    ring_gain: &[f64],
+    detector: &BalancedPhotodetector,
+    per_channel_full: f64,
+    channel_power_w: f64,
+    dwell_s: f64,
+    activations: &[f64],
+    stream: &NoiseStream,
+    base: u64,
+) -> (f64, f64) {
+    let mut p_pos = 0.0f64;
+    let mut p_neg = 0.0f64;
+    let mut counter = base;
+    for ((&a, w), &gain) in activations.iter().zip(weights).zip(ring_gain) {
+        if a == 0.0 {
+            counter += 2;
+            continue;
+        }
+        let launched = stream.vcsel_at(counter, channel_power_w * a);
+        let t = stream.mr_transmission_at(counter + 1, w.magnitude);
+        counter += 2;
+        let arrived = launched * t * gain;
+        if w.negative {
+            p_neg += arrived;
+        } else {
+            p_pos += arrived;
+        }
+    }
+    let diff = detector.difference_current(Watt::new(p_pos), Watt::new(p_neg));
+    let full_scale = per_channel_full * activations.len().max(1) as f64;
+    let noisy = stream.detector_at(base + 2 * activations.len() as u64, diff.get(), full_scale);
+    (noisy / per_channel_full, (p_pos + p_neg) * dwell_s)
 }
 
 #[cfg(test)]
@@ -621,6 +760,51 @@ mod tests {
         assert_eq!(fast_energy, general.optical_energy.get());
         assert_eq!(fast_energy, reference.optical_energy.get());
         assert_eq!(general.raw_current, reference.raw_current);
+    }
+
+    #[test]
+    fn snapshot_macs_bit_identical_to_arm() {
+        let w = [0.5, -0.25, 1.0, 0.0, 0.75, -1.0, 0.25, 0.5, -0.5];
+        let a = [1.0, 0.0, 0.5, 0.0, 1.0, 0.5, 0.0, 0.022, 1.0];
+        let arm = loaded_arm(&w, 4);
+        let snap = arm.snapshot();
+        let source = NoiseSource::seeded(7, NoiseConfig::paper_default());
+        let stream = source.stream(1, 2, 33);
+
+        assert_eq!(
+            arm.mac_indexed(&a, &stream, 5),
+            snap.mac_indexed(&a, &stream, 5)
+        );
+        assert_eq!(
+            arm.mac(&a, &mut stream.cursor()).unwrap(),
+            snap.mac(&a, &mut stream.cursor()).unwrap()
+        );
+        assert_eq!(snap.weights(), arm.weights());
+    }
+
+    #[test]
+    fn snapshot_outlives_arm_retuning() {
+        let mapper = WeightMapper::ideal(4).unwrap();
+        let mut arm = Arm::new(ArmConfig::paper_default()).unwrap();
+        arm.load_weights(&[0.8; 9], &mapper).unwrap();
+        let snap = arm.snapshot();
+        let a = [1.0; 9];
+        let before = snap.mac(&a, &mut quiet()).unwrap();
+        // Re-tune the physical arm; the snapshot must keep replaying the
+        // old weights.
+        arm.load_weights(&[-0.8; 9], &mapper).unwrap();
+        let after_snap = snap.mac(&a, &mut quiet()).unwrap();
+        let after_arm = arm.mac(&a, &mut quiet()).unwrap();
+        assert_eq!(before, after_snap);
+        assert!(after_arm.value < 0.0 && after_snap.value > 0.0);
+    }
+
+    #[test]
+    fn snapshot_validates_like_arm() {
+        let arm = loaded_arm(&[0.5; 9], 4);
+        let snap = arm.snapshot();
+        assert!(snap.mac(&[1.5; 9], &mut quiet()).is_err());
+        assert!(snap.mac(&[1.0; 10], &mut quiet()).is_err());
     }
 
     #[test]

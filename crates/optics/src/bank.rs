@@ -4,7 +4,7 @@ use oisa_device::noise::NoiseModel;
 use oisa_units::{Joule, Second, Watt};
 use serde::{Deserialize, Serialize};
 
-use crate::arm::{Arm, ArmConfig, MacResult, RINGS_PER_ARM};
+use crate::arm::{Arm, ArmConfig, ArmSnapshot, MacResult, RINGS_PER_ARM};
 use crate::weights::WeightMapper;
 use crate::{OpticsError, Result};
 
@@ -62,6 +62,17 @@ impl Bank {
         self.arms
             .get(index)
             .ok_or_else(|| OpticsError::IndexOutOfRange(format!("arm {index}")))
+    }
+
+    /// Immutable snapshot of arm `index` (see [`Arm::snapshot`]): the
+    /// captured state keeps evaluating bit-identically even after the
+    /// arm is re-tuned for a later pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpticsError::IndexOutOfRange`] for an invalid index.
+    pub fn snapshot_arm(&self, index: usize) -> Result<ArmSnapshot> {
+        Ok(self.arm(index)?.snapshot())
     }
 
     /// Loads `weights` into arm `index`.

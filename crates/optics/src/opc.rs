@@ -10,7 +10,7 @@ use oisa_device::noise::NoiseModel;
 use oisa_units::{Joule, Second, Watt};
 use serde::{Deserialize, Serialize};
 
-use crate::arm::{ArmConfig, MacResult, RINGS_PER_ARM};
+use crate::arm::{Arm, ArmConfig, ArmSnapshot, MacResult, RINGS_PER_ARM};
 use crate::bank::{Bank, ARMS_PER_BANK, RINGS_PER_BANK};
 use crate::weights::WeightMapper;
 use crate::{OpticsError, Result};
@@ -242,6 +242,35 @@ impl Opc {
             target.load_arm(first_arm + i, chunk, mapper)?;
         }
         Ok(arms_needed)
+    }
+
+    /// Snapshots the `arms` consecutive arms holding one kernel,
+    /// starting at `(bank, first_arm)`. The snapshots keep evaluating
+    /// the kernel bit-identically even after a later pass re-tunes the
+    /// same physical arms — the basis of the batched convolution engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpticsError::IndexOutOfRange`] for invalid indices.
+    pub fn snapshot_kernel_arms(
+        &self,
+        bank: usize,
+        first_arm: usize,
+        arms: usize,
+    ) -> Result<Vec<ArmSnapshot>> {
+        let bank_ref = self.bank(bank)?;
+        (0..arms).map(|i| bank_ref.snapshot_arm(first_arm + i)).collect()
+    }
+
+    /// A fresh idle arm matching this core's arm design — private
+    /// scratch state for workers that load and evaluate weight chunks
+    /// without mutating the shared fabric (the parallel dense path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates arm construction failures.
+    pub fn scratch_arm(&self) -> Result<Arm> {
+        Arm::new(self.config.arm)
     }
 
     /// Evaluates one loaded arm.

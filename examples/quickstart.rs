@@ -60,5 +60,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         peak_idx / report.out_w,
         peak_idx % report.out_w
     );
+
+    // Batched inference
+    // -----------------
+    // For sustained workloads, hand a whole batch to `convolve_frames`:
+    // the engine stages each weight pass once for the batch (instead of
+    // once per frame), snapshots the tuned arms, and spreads
+    // (frame, pass, row-band) work items over a work-stealing scheduler
+    // so no worker idles at a frame boundary. Every frame keys its own
+    // noise epoch, which makes the reports bit-identical to calling
+    // `convolve_frame_sequential` once per frame — batching buys wall
+    // clock, never different physics.
+    let batch: Vec<Frame> = (0..4)
+        .map(|i| {
+            let mut pixels = vec![0.08f64; 16 * 16];
+            for y in 5..11 {
+                for x in 5..11 {
+                    // The square brightens frame by frame.
+                    pixels[y * 16 + x] = 0.6 + 0.1 * f64::from(i);
+                }
+            }
+            Frame::new(16, 16, pixels)
+        })
+        .collect::<Result<_, _>>()?;
+    let sharpen = vec![0.0f32, -1.0, 0.0, -1.0, 5.0, -1.0, 0.0, -1.0, 0.0];
+    let reports = accel.convolve_frames(&batch, &[sharpen], 3)?;
+    println!("\nbatched inference ({} frames)", reports.len());
+    for (i, r) in reports.iter().enumerate() {
+        let peak = r.output[0].iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        println!(
+            "  frame {i}: sharpen peak {peak:.2}, energy {:.3}",
+            r.energy.total()
+        );
+    }
     Ok(())
 }

@@ -1,0 +1,155 @@
+//! Cross-crate guarantees of the batched inference engine and the
+//! parallel dense path: element-exact agreement with their serial
+//! oracles — outputs, energy reports and timelines — over randomised
+//! workloads, with worker threads forced on so the claims are never
+//! vacuous on small CI hosts.
+
+use oisa::core::mlp::{matvec, matvec_parallel};
+use oisa::core::{ConvolutionReport, OisaAccelerator, OisaConfig};
+use oisa::device::noise::{NoiseConfig, NoiseSource};
+use oisa::optics::arm::ArmConfig;
+use oisa::optics::opc::{Opc, OpcConfig};
+use oisa::optics::vom::{Vom, VomConfig};
+use oisa::optics::weights::WeightMapper;
+use oisa::sensor::Frame;
+use proptest::prelude::*;
+
+/// Deterministic frame whose texture varies with `tag`.
+fn frame_16(tag: u64) -> Frame {
+    let data: Vec<f64> = (0..256)
+        .map(|i| {
+            let phase = (i as f64 * 0.37) + tag as f64 * 1.91;
+            (0.5 + 0.5 * phase.sin()).clamp(0.0, 1.0)
+        })
+        .collect();
+    Frame::new(16, 16, data).unwrap()
+}
+
+/// Deterministic kernel bank seeded by `tag`.
+fn kernel_bank(tag: u64, count: usize, k: usize) -> Vec<Vec<f32>> {
+    (0..count)
+        .map(|i| {
+            (0..k * k)
+                .map(|j| (((tag as usize + i * 7 + j * 3) as f32) * 0.41).sin())
+                .collect()
+        })
+        .collect()
+}
+
+fn batch_config(seed: u64) -> OisaConfig {
+    let mut cfg = OisaConfig::small_test();
+    cfg.noise = NoiseConfig::paper_default();
+    cfg.seed = seed;
+    cfg
+}
+
+/// The tentpole batch property on a fixed workload: 8 frames, forced
+/// worker threads, element-exact reports and identical post-batch
+/// accelerator state.
+#[test]
+fn batch_of_eight_bit_identical_to_sequential_loop() {
+    rayon::set_num_threads(4);
+    let cfg = batch_config(2024);
+    let frames: Vec<Frame> = (0..8).map(frame_16).collect();
+    let kernels = kernel_bank(3, 6, 3);
+
+    let mut batch = OisaAccelerator::new(cfg).unwrap();
+    let mut serial = OisaAccelerator::new(cfg).unwrap();
+    let batched = batch.convolve_frames(&frames, &kernels, 3).unwrap();
+    let looped: Vec<ConvolutionReport> = frames
+        .iter()
+        .map(|f| serial.convolve_frame_sequential(f, &kernels, 3).unwrap())
+        .collect();
+    assert_eq!(batched, looped);
+
+    // The engines leave the accelerator in the same state: fabric
+    // operating point, bank counters and noise epoch all line up, so
+    // the *next* frame agrees too.
+    let next = frame_16(99);
+    assert_eq!(
+        batch.convolve_frame(&next, &kernels, 3).unwrap(),
+        serial.convolve_frame(&next, &kernels, 3).unwrap()
+    );
+}
+
+/// Multi-pass (25 kernels on a 20-slot fabric) and VOM-aggregated 5×5
+/// batches hold the same exactness.
+#[test]
+fn batch_parity_covers_multi_pass_and_vom_kernels() {
+    rayon::set_num_threads(3);
+    let cfg = batch_config(7);
+    let frames: Vec<Frame> = (0..3).map(|f| frame_16(f + 40)).collect();
+    for (count, k) in [(25usize, 3usize), (2, 5)] {
+        let kernels = kernel_bank(11, count, k);
+        let mut batch = OisaAccelerator::new(cfg).unwrap();
+        let mut serial = OisaAccelerator::new(cfg).unwrap();
+        let batched = batch.convolve_frames(&frames, &kernels, k).unwrap();
+        let looped: Vec<ConvolutionReport> = frames
+            .iter()
+            .map(|f| serial.convolve_frame_sequential(f, &kernels, k).unwrap())
+            .collect();
+        assert_eq!(batched, looped, "{count} kernels of {k}x{k}");
+    }
+}
+
+proptest! {
+    /// Randomised batches are element-exact against the per-frame
+    /// sequential oracle: every field of every report.
+    #[test]
+    fn prop_batch_matches_sequential_loop(
+        seed in 0u64..40,
+        nframes in 1usize..=3,
+        nkernels in 1usize..=5,
+    ) {
+        let cfg = batch_config(seed);
+        let frames: Vec<Frame> = (0..nframes as u64)
+            .map(|f| frame_16(seed.wrapping_mul(31).wrapping_add(f)))
+            .collect();
+        let kernels = kernel_bank(seed, nkernels, 3);
+        let mut batch = OisaAccelerator::new(cfg).unwrap();
+        let mut serial = OisaAccelerator::new(cfg).unwrap();
+        let batched = batch.convolve_frames(&frames, &kernels, 3).unwrap();
+        let looped: Vec<ConvolutionReport> = frames
+            .iter()
+            .map(|f| serial.convolve_frame_sequential(f, &kernels, 3).unwrap())
+            .collect();
+        prop_assert_eq!(batched, looped);
+    }
+
+    /// Randomised dense layers: parallel matvec is bit-identical to the
+    /// serial oracle — output vector, chunk count, energy and latency.
+    #[test]
+    fn prop_matvec_parallel_matches_serial(
+        seed in 0u64..40,
+        rows in 1usize..=10,
+        cols in 1usize..=40,
+    ) {
+        let cfg = OpcConfig {
+            banks: 2,
+            columns: 1,
+            awc_units: 10,
+            arm: ArmConfig::paper_default(),
+        };
+        let mut opc = Opc::new(cfg).unwrap();
+        let vom = Vom::new(VomConfig::paper_default()).unwrap();
+        let mapper = WeightMapper::ideal(4).unwrap();
+        let matrix: Vec<f32> = (0..rows * cols)
+            .map(|i| ((seed as usize + i) as f32 * 0.29).sin())
+            .collect();
+        let input: Vec<f64> = (0..cols)
+            .map(|i| (((seed as usize + i) as f64) * 0.17).sin().abs().min(1.0))
+            .collect();
+        let mut serial_noise = NoiseSource::seeded(seed, NoiseConfig::paper_default());
+        let mut parallel_noise = NoiseSource::seeded(seed, NoiseConfig::paper_default());
+        let mut parallel_opc = Opc::new(cfg).unwrap();
+        let serial = matvec(
+            &mut opc, &vom, &mapper, &matrix, rows, cols, &input, &mut serial_noise,
+        ).unwrap();
+        let parallel = matvec_parallel(
+            &mut parallel_opc, &vom, &mapper, &matrix, rows, cols, &input, &mut parallel_noise,
+        ).unwrap();
+        prop_assert_eq!(serial, parallel);
+        // Both engines leave the fabric in the same exit state.
+        prop_assert_eq!(opc, parallel_opc);
+    }
+}
