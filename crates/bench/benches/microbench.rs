@@ -236,6 +236,55 @@ fn bench_batch_conv(c: &mut Criterion) {
     });
 }
 
+/// The serving front end on the batch workload: 8 frames submitted to
+/// the queue and waited on, against `batch_8_frames_32x32` the delta is
+/// pure serving overhead (queueing, batch formation, handle wakeups).
+fn bench_serving(c: &mut Criterion) {
+    use oisa_core::serving::{ServingConfig, ServingEngine};
+    use std::time::Duration;
+
+    let side = 32usize;
+    let frames: Vec<Frame> = (0..8)
+        .map(|f| {
+            let data: Vec<f64> = (0..side * side)
+                .map(|i| {
+                    let x = (i % side) as f64 / side as f64;
+                    let y = (i / side) as f64 / side as f64;
+                    (0.5 + 0.5 * ((8.0 + f as f64) * x).sin() * (6.0 * y).cos()).clamp(0.0, 1.0)
+                })
+                .collect();
+            Frame::new(side, side, data).unwrap()
+        })
+        .collect();
+    let kernels: Vec<Vec<f32>> = (0..8)
+        .map(|i| (0..9).map(|j| ((i * 7 + j * 3) as f32 * 0.37).sin()).collect())
+        .collect();
+    let mut cfg = OisaConfig::paper_default(side, side);
+    cfg.seed = 9;
+    let engine = ServingEngine::new(
+        OisaAccelerator::new(cfg).unwrap(),
+        kernels,
+        3,
+        ServingConfig {
+            max_batch: 8,
+            deadline: Duration::from_millis(2),
+            queue_depth: 16,
+        },
+    )
+    .unwrap();
+    c.bench_function("serving_8_frames_32x32", |b| {
+        b.iter(|| {
+            let handles: Vec<_> = frames
+                .iter()
+                .map(|f| engine.submit(black_box(f.clone())).unwrap())
+                .collect();
+            for h in handles {
+                black_box(h.wait().unwrap());
+            }
+        });
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
@@ -251,5 +300,6 @@ criterion_group! {
         bench_full_frame_conv_128,
         bench_matvec,
         bench_batch_conv,
+        bench_serving,
 }
 criterion_main!(benches);

@@ -19,23 +19,31 @@
 //!
 //! On top of that, the batched engine runs an 8-frame batch through
 //! [`OisaAccelerator::convolve_frames`] against a per-frame loop
-//! (`frames_per_sec_batch`), and the dense path times
-//! [`matvec_parallel`] against serial [`matvec`] on a 256-row layer
-//! (`matvec_rows_per_sec`).
+//! (`frames_per_sec_batch`), the serving front end pushes the same
+//! frames through [`ServingEngine`] submission → completion
+//! (`frames_per_sec_serving`, plus queue-wait percentiles and the
+//! batch-size histogram in the `serving` block), and the dense path
+//! times [`matvec_parallel`] against serial [`matvec`] on a 256-row
+//! layer (`matvec_rows_per_sec`).
 //!
 //! Flags:
 //!
 //! * `--quick` — fewer repetitions (CI smoke mode).
-//! * `--gate <baseline.json>` — regression gate: exit non-zero when the
-//!   headline throughput (single-frame `frames_per_sec`, and
-//!   `frames_per_sec_batch` when the baseline records it) drops more
-//!   than 15 % below the committed baseline. Regenerate the baseline
-//!   (`bench/baseline.json`) whenever the CI hardware changes — the
-//!   gate compares wall-clock throughput, not machine-neutral ratios.
+//! * `--gate <baseline.json>` — regression gate
+//!   ([`oisa_bench::gate`]): exit non-zero, with an actionable message,
+//!   when any headline throughput (`frames_per_sec`,
+//!   `frames_per_sec_batch`, `frames_per_sec_serving`) drops more than
+//!   15 % below the committed baseline, when the baseline file is
+//!   unreadable, or when it lacks a headline metric this run emits.
+//!   Regenerate the baseline (`bench/baseline.json`) whenever the CI
+//!   hardware changes — the gate compares wall-clock throughput, not
+//!   machine-neutral ratios.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use oisa_bench::gate::{self, Metric};
 use oisa_core::mlp::{matvec, matvec_parallel};
+use oisa_core::serving::{ServingConfig, ServingEngine};
 use oisa_core::{OisaAccelerator, OisaConfig};
 use oisa_device::noise::{NoiseConfig, NoiseSource};
 use oisa_nn::conv::Conv2d;
@@ -46,9 +54,6 @@ use oisa_optics::opc::{Opc, OpcConfig};
 use oisa_optics::vom::{Vom, VomConfig};
 use oisa_optics::weights::WeightMapper;
 use oisa_sensor::frame::Frame;
-
-/// Allowed headline-throughput regression vs the committed baseline.
-const GATE_TOLERANCE: f64 = 0.15;
 
 /// A deterministic "natural-ish" test frame: radial vignette over a
 /// diagonal gradient with a bright blob, so the ternary encoder emits a
@@ -93,41 +98,6 @@ fn median_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
         .collect();
     samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
-}
-
-/// Extracts the number following `"key":` in a JSON document
-/// (whitespace-tolerant, so pretty-printed baselines still parse). The
-/// pattern includes the quotes and colon, so `frames_per_sec` never
-/// matches `frames_per_sec_batch`.
-fn json_f64(doc: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\"");
-    let after_key = doc.find(&needle)? + needle.len();
-    let rest = doc[after_key..].trim_start();
-    let rest = rest.strip_prefix(':')?.trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
-/// Applies the ≤15 % regression gate to one metric; returns `false` on
-/// regression.
-fn gate_metric(name: &str, current: f64, baseline: Option<f64>) -> bool {
-    let Some(base) = baseline else {
-        eprintln!("perf gate: baseline has no `{name}` — skipped");
-        return true;
-    };
-    let ratio = current / base;
-    eprintln!("perf gate: {name} {current:.2} vs baseline {base:.2} ({ratio:.2}x)");
-    if ratio < 1.0 - GATE_TOLERANCE {
-        eprintln!(
-            "perf gate FAILED: {name} regressed {:.0}% (> {:.0}% allowed)",
-            (1.0 - ratio) * 100.0,
-            GATE_TOLERANCE * 100.0
-        );
-        return false;
-    }
-    true
 }
 
 #[allow(clippy::too_many_lines)]
@@ -205,6 +175,59 @@ fn main() {
         }
     });
 
+    // Serving front end: the same 8 frames pushed through submission →
+    // completion handles. One long-lived engine serves every rep, as a
+    // deployment would; the wall clock includes queueing and batch
+    // formation, so `frames_per_sec_serving` vs `frames_per_sec_batch`
+    // is the serving overhead.
+    let serving_cfg = ServingConfig {
+        max_batch: batch,
+        deadline: Duration::from_millis(2),
+        queue_depth: 2 * batch,
+    };
+    {
+        // Correctness gate: served reports must be bit-identical to the
+        // per-frame sequential loop.
+        let engine = ServingEngine::new(
+            OisaAccelerator::new(cfg).expect("accelerator construction"),
+            banks.clone(),
+            k,
+            serving_cfg,
+        )
+        .expect("serving engine construction");
+        let handles: Vec<_> = batch_frames
+            .iter()
+            .map(|f| engine.submit(f.clone()).expect("serving submit"))
+            .collect();
+        let served: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.wait().expect("serving run"))
+            .collect();
+        let mut oracle = OisaAccelerator::new(cfg).expect("accelerator construction");
+        let looped: Vec<_> = batch_frames
+            .iter()
+            .map(|f| oracle.convolve_frame_sequential(f, &banks, k).expect("loop run"))
+            .collect();
+        assert_eq!(served, looped, "serving must equal the per-frame loop");
+    }
+    let serving_engine = ServingEngine::new(
+        OisaAccelerator::new(cfg).expect("accelerator construction"),
+        banks.clone(),
+        k,
+        serving_cfg,
+    )
+    .expect("serving engine construction");
+    let serving_ms = median_ms(reps, || {
+        let handles: Vec<_> = batch_frames
+            .iter()
+            .map(|f| serving_engine.submit(f.clone()).expect("serving submit"))
+            .collect();
+        for h in handles {
+            std::hint::black_box(h.wait().expect("serving run").output[0][0]);
+        }
+    });
+    let (_serving_accel, serving_stats) = serving_engine.shutdown();
+
     // Dense path: a 256-row layer over a 1152-wide input (128 chunks
     // per row), parallel snapshot evaluation vs the serial oracle.
     let mv_rows = 256usize;
@@ -275,7 +298,14 @@ fn main() {
     let matvec_speedup = matvec_serial_ms / matvec_parallel_ms;
     let frames_per_sec = 1e3 / parallel_ms;
     let frames_per_sec_batch = batch as f64 * 1e3 / batch_ms;
+    let frames_per_sec_serving = batch as f64 * 1e3 / serving_ms;
     let matvec_rows_per_sec = mv_rows as f64 * 1e3 / matvec_parallel_ms;
+    let batch_histogram = serving_stats
+        .batch_size_histogram
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
     let doc = format!(
         concat!(
             "{{",
@@ -288,6 +318,7 @@ fn main() {
             "\"optical_reference\":{reference:.3},",
             "\"batch_8_frames\":{batch_ms:.3},",
             "\"frame_loop_8\":{frame_loop_ms:.3},",
+            "\"serving_8_frames\":{serving_ms:.3},",
             "\"matvec_parallel\":{matvec_parallel_ms:.3},",
             "\"matvec_serial\":{matvec_serial_ms:.3},",
             "\"conv2d_im2col\":{im2col:.3},",
@@ -295,14 +326,29 @@ fn main() {
             "\"throughput\":{{",
             "\"frames_per_sec\":{fps:.3},",
             "\"frames_per_sec_batch\":{fps_batch:.3},",
+            "\"frames_per_sec_serving\":{fps_serving:.3},",
             "\"matvec_rows_per_sec\":{mv_rps:.3}}},",
+            "\"serving\":{{",
+            "\"max_batch\":{srv_max_batch},",
+            "\"deadline_ms\":{srv_deadline_ms},",
+            "\"queue_depth\":{srv_queue_depth},",
+            "\"frames_completed\":{srv_frames},",
+            "\"batches_run\":{srv_batches},",
+            "\"size_batches\":{srv_size_batches},",
+            "\"deadline_batches\":{srv_deadline_batches},",
+            "\"drain_batches\":{srv_drain_batches},",
+            "\"queue_wait_p50_us\":{srv_p50:.1},",
+            "\"queue_wait_p99_us\":{srv_p99:.1},",
+            "\"queue_wait_max_us\":{srv_max:.1},",
+            "\"batch_size_histogram\":[{batch_histogram}]}},",
             "\"speedup\":{{",
             "\"optical_vs_reference\":{opt_speedup:.2},",
             "\"batch_vs_frame_loop\":{batch_speedup:.2},",
             "\"matvec_parallel_vs_serial\":{matvec_speedup:.2},",
             "\"conv2d_vs_naive\":{conv_speedup:.2}}},",
             "\"bit_identical_parallel_vs_sequential\":true,",
-            "\"bit_identical_batch_vs_frame_loop\":true}}"
+            "\"bit_identical_batch_vs_frame_loop\":true,",
+            "\"bit_identical_serving_vs_frame_loop\":true}}"
         ),
         side = side,
         kernels = kernels,
@@ -316,13 +362,27 @@ fn main() {
         reference = reference_ms,
         batch_ms = batch_ms,
         frame_loop_ms = frame_loop_ms,
+        serving_ms = serving_ms,
         matvec_parallel_ms = matvec_parallel_ms,
         matvec_serial_ms = matvec_serial_ms,
         im2col = im2col_ms,
         naive = naive_ms,
         fps = frames_per_sec,
         fps_batch = frames_per_sec_batch,
+        fps_serving = frames_per_sec_serving,
         mv_rps = matvec_rows_per_sec,
+        srv_max_batch = serving_cfg.max_batch,
+        srv_deadline_ms = serving_cfg.deadline.as_millis(),
+        srv_queue_depth = serving_cfg.queue_depth,
+        srv_frames = serving_stats.frames_completed,
+        srv_batches = serving_stats.batches_run,
+        srv_size_batches = serving_stats.size_batches,
+        srv_deadline_batches = serving_stats.deadline_batches,
+        srv_drain_batches = serving_stats.drain_batches,
+        srv_p50 = serving_stats.queue_wait_p50_us,
+        srv_p99 = serving_stats.queue_wait_p99_us,
+        srv_max = serving_stats.queue_wait_max_us,
+        batch_histogram = batch_histogram,
         opt_speedup = optical_speedup,
         batch_speedup = batch_speedup,
         matvec_speedup = matvec_speedup,
@@ -331,32 +391,25 @@ fn main() {
     println!("BENCH JSON {doc}");
 
     if let Some(path) = gate_path {
-        let baseline = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("perf gate: cannot read baseline {path}: {e}"));
-        // Headline throughput. PR-1 baselines predate the throughput
-        // block, so fall back to deriving frames/sec from the recorded
-        // parallel wall clock. A baseline with *neither* key is a
-        // broken baseline, not a pass — fail loudly instead of
-        // silently disabling the gate.
-        let Some(base_fps) = json_f64(&baseline, "frames_per_sec")
-            .or_else(|| json_f64(&baseline, "optical_parallel").map(|ms| 1e3 / ms))
-        else {
-            eprintln!(
-                "perf gate FAILED: {path} has no parseable headline throughput \
-                 (frames_per_sec / optical_parallel) — regenerate it with \
-                 `cargo run --release -p oisa_bench --bin perf_json`"
-            );
-            std::process::exit(1);
-        };
-        let mut ok = gate_metric("frames_per_sec", frames_per_sec, Some(base_fps));
-        ok &= gate_metric(
-            "frames_per_sec_batch",
-            frames_per_sec_batch,
-            json_f64(&baseline, "frames_per_sec_batch"),
-        );
-        if !ok {
-            std::process::exit(1);
+        let headline = [
+            Metric { name: "frames_per_sec", current: frames_per_sec },
+            Metric { name: "frames_per_sec_batch", current: frames_per_sec_batch },
+            Metric { name: "frames_per_sec_serving", current: frames_per_sec_serving },
+        ];
+        match gate::gate_file(&path, &headline, gate::GATE_TOLERANCE) {
+            Ok(log) => {
+                for line in log {
+                    eprintln!("{line}");
+                }
+                eprintln!(
+                    "perf gate: OK (within {:.0}% of baseline)",
+                    gate::GATE_TOLERANCE * 100.0
+                );
+            }
+            Err(message) => {
+                eprintln!("perf gate FAILED: {message}");
+                std::process::exit(1);
+            }
         }
-        eprintln!("perf gate: OK (within {:.0}% of baseline)", GATE_TOLERANCE * 100.0);
     }
 }

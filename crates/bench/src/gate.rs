@@ -1,0 +1,171 @@
+//! The perf regression gate behind `perf_json --gate`.
+//!
+//! CI compares the current run's headline throughput against the
+//! committed `bench/baseline.json`. The gate's failure modes are as
+//! important as its comparison: a missing baseline file or a baseline
+//! that lacks a headline metric the current run emits must **fail with
+//! a clear message** — a panic hides the remedy and a silent skip turns
+//! the gate off exactly when the baseline rots. The logic lives here
+//! (not in the binary) so both cases are unit-testable.
+
+/// Allowed headline-throughput regression vs the committed baseline.
+pub const GATE_TOLERANCE: f64 = 0.15;
+
+/// How to regenerate a stale/broken baseline — appended to every
+/// baseline-shaped failure.
+const REGENERATE: &str =
+    "regenerate it with `cargo run --release -p oisa_bench --bin perf_json > bench/baseline.json`";
+
+/// One headline metric of the current run.
+#[derive(Debug, Clone, Copy)]
+pub struct Metric {
+    /// JSON key the metric is recorded under (e.g. `frames_per_sec`).
+    pub name: &'static str,
+    /// The current run's value (higher is better).
+    pub current: f64,
+}
+
+/// Extracts the number following `"key":` in a JSON document
+/// (whitespace-tolerant, so pretty-printed baselines still parse). The
+/// pattern includes the quotes and colon, so `frames_per_sec` never
+/// matches `frames_per_sec_batch`.
+#[must_use]
+pub fn json_f64(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let after_key = doc.find(&needle)? + needle.len();
+    let rest = doc[after_key..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Gates every current headline metric against `baseline` (the raw
+/// text of `bench/baseline.json`).
+///
+/// Returns the per-metric comparison log on success.
+///
+/// # Errors
+///
+/// A human-actionable message when the baseline lacks a headline metric
+/// the current run emits, records a non-positive value for one, or when
+/// any metric regressed more than `tolerance`.
+pub fn check_baseline(
+    baseline: &str,
+    metrics: &[Metric],
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    let mut log = Vec::with_capacity(metrics.len());
+    let mut failures = Vec::new();
+    for metric in metrics {
+        let Some(base) = json_f64(baseline, metric.name) else {
+            failures.push(format!(
+                "baseline has no parseable `{}` — it predates a headline metric \
+                 the current run emits; {REGENERATE}",
+                metric.name
+            ));
+            continue;
+        };
+        if base <= 0.0 {
+            failures.push(format!(
+                "baseline `{}` is {base}, not a positive throughput; {REGENERATE}",
+                metric.name
+            ));
+            continue;
+        }
+        let ratio = metric.current / base;
+        log.push(format!(
+            "perf gate: {} {:.2} vs baseline {base:.2} ({ratio:.2}x)",
+            metric.name, metric.current
+        ));
+        if ratio < 1.0 - tolerance {
+            failures.push(format!(
+                "{} regressed {:.0}% (> {:.0}% allowed)",
+                metric.name,
+                (1.0 - ratio) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(log)
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+/// [`check_baseline`] over a baseline file on disk.
+///
+/// # Errors
+///
+/// A clear message (never a panic) when the file cannot be read, plus
+/// everything [`check_baseline`] reports.
+pub fn gate_file(path: &str, metrics: &[Metric], tolerance: f64) -> Result<Vec<String>, String> {
+    let baseline = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {path}: {e}; {REGENERATE}"))?;
+    check_baseline(&baseline, metrics, tolerance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CURRENT: &[Metric] = &[
+        Metric { name: "frames_per_sec", current: 100.0 },
+        Metric { name: "frames_per_sec_batch", current: 200.0 },
+    ];
+
+    #[test]
+    fn missing_baseline_file_fails_with_clear_message() {
+        let err = gate_file("/nonexistent/baseline.json", CURRENT, GATE_TOLERANCE)
+            .expect_err("a missing baseline must not pass the gate");
+        assert!(err.contains("cannot read baseline"), "{err}");
+        assert!(err.contains("/nonexistent/baseline.json"), "{err}");
+        assert!(err.contains("regenerate"), "the remedy must be named: {err}");
+    }
+
+    #[test]
+    fn baseline_lacking_a_headline_field_fails_not_skips() {
+        // Records frames_per_sec but not frames_per_sec_batch: the
+        // old behaviour skipped the missing metric (a silent pass);
+        // now it must fail and name the field.
+        let doc = r#"{"throughput":{"frames_per_sec":101.0}}"#;
+        let err = check_baseline(doc, CURRENT, GATE_TOLERANCE)
+            .expect_err("a baseline missing a headline metric must fail");
+        assert!(err.contains("frames_per_sec_batch"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
+    }
+
+    #[test]
+    fn within_tolerance_passes_with_comparison_log() {
+        let doc =
+            r#"{"throughput":{"frames_per_sec":110.0,"frames_per_sec_batch":210.0}}"#;
+        let log = check_baseline(doc, CURRENT, GATE_TOLERANCE).expect("within tolerance");
+        assert_eq!(log.len(), 2);
+        assert!(log[0].contains("frames_per_sec 100.00 vs baseline 110.00"), "{}", log[0]);
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails_and_names_the_metric() {
+        let doc =
+            r#"{"throughput":{"frames_per_sec":100.0,"frames_per_sec_batch":300.0}}"#;
+        let err = check_baseline(doc, CURRENT, GATE_TOLERANCE).expect_err("33% regression");
+        assert!(err.contains("frames_per_sec_batch regressed 33%"), "{err}");
+    }
+
+    #[test]
+    fn json_extraction_is_prefix_safe_and_whitespace_tolerant() {
+        let doc = "{\n  \"frames_per_sec\" : 12.5,\n  \"frames_per_sec_batch\": 99e1\n}";
+        assert_eq!(json_f64(doc, "frames_per_sec"), Some(12.5));
+        assert_eq!(json_f64(doc, "frames_per_sec_batch"), Some(990.0));
+        assert_eq!(json_f64(doc, "absent"), None);
+    }
+
+    #[test]
+    fn non_positive_baseline_value_is_rejected() {
+        let doc = r#"{"frames_per_sec":0.0,"frames_per_sec_batch":200.0}"#;
+        let err = check_baseline(doc, CURRENT, GATE_TOLERANCE).expect_err("zero baseline");
+        assert!(err.contains("not a positive throughput"), "{err}");
+    }
+}

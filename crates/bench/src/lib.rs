@@ -20,6 +20,7 @@ pub mod fig1;
 pub mod fig4b;
 pub mod fig8;
 pub mod fig9;
+pub mod gate;
 pub mod headline;
 pub mod table1;
 pub mod table2;

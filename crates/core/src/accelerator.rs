@@ -304,7 +304,7 @@ impl OisaAccelerator {
             ..EnergyReport::default()
         };
         let mut output = vec![vec![0.0f32; oh * ow]; kernels.len()];
-        let epoch = self.noise.begin_epoch();
+        let epoch = self.noise.begin_epoch()?;
         let width = frame.width();
         let k2 = k * k;
         let arms_per_kernel = ks.arms_per_kernel();
@@ -507,7 +507,7 @@ impl OisaAccelerator {
                 encoding,
             });
         }
-        let first_epoch = self.noise.reserve_epochs(frames.len() as u64);
+        let first_epoch = self.noise.reserve_epochs(frames.len() as u64)?;
 
         let scales = kernel_scales(&planes);
 
@@ -618,7 +618,9 @@ impl OisaAccelerator {
             let pass = &passes_ref[item.pass];
             let ctx = &ctxs_ref[item.frame];
             let row_len = pass.nslots * ow;
-            let epoch = first_epoch.wrapping_add(item.frame as u64);
+            // The reservation above is overflow-checked, so plain
+            // addition cannot wrap here.
+            let epoch = first_epoch + item.frame as u64;
             let slot_streams: Vec<SlotStream> = (0..pass.nslots)
                 .map(|si| noise.slot_stream(epoch, (pass.kernel_index + si) as u64))
                 .collect();
@@ -1276,6 +1278,7 @@ mod tests {
         // Force real worker threads even on single-CPU hosts so the
         // parity claim is exercised, not vacuous. Thread count never
         // affects results by design.
+        let _guard = crate::test_sync::thread_count_lock();
         rayon::set_num_threads(3);
         let mut data = vec![0.0f64; 256];
         for (i, v) in data.iter_mut().enumerate() {
@@ -1331,6 +1334,7 @@ mod tests {
 
     #[test]
     fn batch_bit_identical_to_per_frame_sequential_loop() {
+        let _guard = crate::test_sync::thread_count_lock();
         rayon::set_num_threads(3);
         let mut cfg = OisaConfig::small_test();
         cfg.noise = NoiseConfig::paper_default();
@@ -1405,6 +1409,7 @@ mod tests {
 
     #[test]
     fn dense_layer_parallel_matches_serial_oracle() {
+        let _guard = crate::test_sync::thread_count_lock();
         rayon::set_num_threads(3);
         let mut cfg = OisaConfig::small_test();
         cfg.noise = NoiseConfig::paper_default();

@@ -20,6 +20,11 @@
 //!   inference engine: `(frame, pass, row-band)` and dense-row work
 //!   items drain across scoped worker threads with per-worker deques
 //!   and back-steals, returning results in item order.
+//! * [`serving`] — the async serving front end: frames are submitted
+//!   to a queue from any thread, batches form on a deadline or a size
+//!   bound, and a dedicated worker drives the batch engine; completion
+//!   handles return per-request reports bit-identical to a sequential
+//!   per-frame loop.
 //! * [`deploy`] — the Table II bridge: converts the AWC→MR level tables
 //!   into [`oisa_nn`] quantisers and swaps a trained model's first
 //!   convolution for its OISA deployment wrapper.
@@ -43,6 +48,10 @@
 //!   scheduler; each worker re-tunes a private scratch arm per chunk
 //!   and evaluates immutable snapshots, so rows never serialise on
 //!   shared-fabric `load_arm`. [`mlp::matvec`] is the oracle.
+//! * **Served frames** — [`serving::ServingEngine`] queues frames that
+//!   arrive over time and feeds the batch engine; the oracle is the
+//!   same sequential per-frame loop, independent of how requests
+//!   happened to batch.
 //!
 //! `rayon::set_num_threads` (or `RAYON_NUM_THREADS`) governs the worker
 //! count of every engine; thread count never changes any result.
@@ -71,8 +80,10 @@ pub mod mapping;
 pub mod mlp;
 pub mod perf;
 pub mod scheduler;
+pub mod serving;
 
 pub use accelerator::{ConvolutionReport, OisaAccelerator, OisaConfig};
+pub use serving::{ServingConfig, ServingEngine, ServingStats};
 pub use mapping::{ConvWorkload, MappingPlan};
 pub use perf::{OisaPerfModel, PowerBreakdown};
 
@@ -134,3 +145,16 @@ impl From<oisa_nn::NnError> for CoreError {
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+pub(crate) mod test_sync {
+    /// `rayon::set_num_threads` mutates a process-global, and the test
+    /// harness runs this crate's tests concurrently — so *every* test
+    /// in this crate that sets a thread count must hold this lock for
+    /// its whole body. Mutators that skip it can break count-dependent
+    /// assertions in a concurrently running guarded test.
+    pub fn thread_count_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}

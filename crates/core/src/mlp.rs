@@ -78,7 +78,7 @@ pub fn matvec(
     validate_matvec(matrix, rows, cols, input)?;
     let (scale, normalised) = normalise_matrix(matrix);
     let arms_per_bank = oisa_optics::bank::ARMS_PER_BANK;
-    let epoch = noise.begin_epoch();
+    let epoch = noise.begin_epoch()?;
     let mut output = Vec::with_capacity(rows);
     let mut total_chunks = 0usize;
     let mut energy = Joule::ZERO;
@@ -152,7 +152,7 @@ pub fn matvec_parallel(
 ) -> Result<MatVecReport> {
     validate_matvec(matrix, rows, cols, input)?;
     let (scale, normalised) = normalise_matrix(matrix);
-    let epoch = noise.begin_epoch();
+    let epoch = noise.begin_epoch()?;
     let template = opc.scratch_arm()?;
     let noise_ref: &NoiseSource = noise;
     let normalised_ref = &normalised;
@@ -356,6 +356,7 @@ mod tests {
     fn parallel_matvec_bit_identical_to_serial() {
         // Force real worker threads so the claim is exercised even on
         // single-CPU hosts.
+        let _guard = crate::test_sync::thread_count_lock();
         rayon::set_num_threads(4);
         let (mut opc, vom, mapper) = fabric();
         // 7×23: ragged final chunk, rows spanning 3 chunks.

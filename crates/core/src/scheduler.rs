@@ -139,6 +139,8 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
+    use crate::test_sync::thread_count_lock;
+
     #[test]
     fn empty_input_yields_empty_output() {
         let out: Vec<u32> = execute(Vec::<u32>::new(), |_, v| v);
@@ -146,7 +148,83 @@ mod tests {
     }
 
     #[test]
+    fn zero_items_with_many_workers_returns_without_spawning() {
+        let _guard = thread_count_lock();
+        // The empty fast path must neither deadlock waiting for work
+        // nor pay for worker state it will never use.
+        rayon::set_num_threads(8);
+        let inits = AtomicUsize::new(0);
+        let out: Vec<u32> = execute_with(
+            Vec::<u32>::new(),
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+            },
+            |(), _, v| v,
+        );
+        assert!(out.is_empty());
+        assert_eq!(inits.load(Ordering::Relaxed), 0, "no worker state for no work");
+    }
+
+    #[test]
+    fn more_workers_than_items_clamps_and_stays_ordered() {
+        let _guard = thread_count_lock();
+        // 8 configured workers against 3 items: the pool clamps to one
+        // worker per item, every item runs exactly once and results
+        // still come back in item order.
+        rayon::set_num_threads(8);
+        let runs = AtomicUsize::new(0);
+        let out = execute(vec![10usize, 20, 30], |i, v| {
+            runs.fetch_add(1, Ordering::Relaxed);
+            v + i
+        });
+        assert_eq!(out, vec![10, 21, 32]);
+        assert_eq!(runs.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_ordered_loop() {
+        let _guard = thread_count_lock();
+        // One worker must mean the plain sequential path: exactly one
+        // state init, strictly ordered results, and no stealing to
+        // deadlock on.
+        rayon::set_num_threads(1);
+        let inits = AtomicUsize::new(0);
+        let out = execute_with(
+            (0..200).collect::<Vec<usize>>(),
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            },
+            |seen: &mut Vec<usize>, i, v| {
+                seen.push(i);
+                // A single worker observes items in exactly item order.
+                assert_eq!(seen.len() - 1, i);
+                v * 2
+            },
+        );
+        assert_eq!(inits.load(Ordering::Relaxed), 1);
+        assert_eq!(out, (0..200).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_item_runs_on_one_worker() {
+        let _guard = thread_count_lock();
+        rayon::set_num_threads(4);
+        let inits = AtomicUsize::new(0);
+        let out = execute_with(
+            vec![41u64],
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+            },
+            |(), i, v| v + 1 + i as u64,
+        );
+        assert_eq!(out, vec![42]);
+        assert_eq!(inits.load(Ordering::Relaxed), 1, "one item needs one worker");
+    }
+
+    #[test]
     fn results_come_back_in_item_order() {
+        let _guard = crate::test_sync::thread_count_lock();
         rayon::set_num_threads(4);
         let items: Vec<usize> = (0..513).collect();
         let out = execute(items, |i, v| {
@@ -158,6 +236,7 @@ mod tests {
 
     #[test]
     fn every_item_runs_exactly_once_under_uneven_load() {
+        let _guard = crate::test_sync::thread_count_lock();
         rayon::set_num_threads(4);
         let runs = AtomicUsize::new(0);
         let items: Vec<usize> = (0..257).collect();
@@ -176,6 +255,7 @@ mod tests {
 
     #[test]
     fn worker_state_is_private_and_reused() {
+        let _guard = thread_count_lock();
         rayon::set_num_threads(3);
         let inits = AtomicUsize::new(0);
         let out = execute_with(
@@ -217,6 +297,7 @@ mod tests {
 
     #[test]
     fn sequential_fallback_matches_parallel() {
+        let _guard = thread_count_lock();
         let items: Vec<u64> = (0..64).collect();
         rayon::set_num_threads(1);
         let seq = execute(items.clone(), |i, v| v * 7 + i as u64);

@@ -27,6 +27,7 @@ use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
 
 use crate::sense_amp::gaussian;
+use crate::{DeviceError, Result};
 
 /// Relative noise intensities applied along the optical MAC path.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -164,10 +165,13 @@ impl NoiseSource {
     /// evaluations of the same workload (e.g. per-channel passes of a
     /// multi-channel convolution) see fresh noise while staying
     /// deterministic under the seed.
-    pub fn begin_epoch(&mut self) -> u64 {
-        let epoch = self.epoch;
-        self.epoch = self.epoch.wrapping_add(1);
-        epoch
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::OutOfRange`] when the epoch counter would wrap —
+    /// see [`NoiseSource::reserve_epochs`].
+    pub fn begin_epoch(&mut self) -> Result<u64> {
+        self.reserve_epochs(1)
     }
 
     /// Reserves `count` consecutive epochs in one step, returning the
@@ -178,10 +182,24 @@ impl NoiseSource {
     /// epoch `first + f`, so a batch draws exactly the noise a
     /// per-frame sequential loop would, while the reservation happens
     /// atomically once the whole batch has validated.
-    pub fn reserve_epochs(&mut self, count: u64) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::OutOfRange`] when the reservation would wrap the
+    /// `u64` epoch counter. A wrapped counter would silently re-key new
+    /// frames onto noise streams already used by earlier ones — fatal
+    /// for a long-lived serving process that relies on per-frame stream
+    /// independence — so exhaustion is a checked error, never a wrap.
+    /// The counter stays unchanged on error.
+    pub fn reserve_epochs(&mut self, count: u64) -> Result<u64> {
         let first = self.epoch;
-        self.epoch = self.epoch.wrapping_add(count);
-        first
+        self.epoch = self.epoch.checked_add(count).ok_or_else(|| {
+            DeviceError::OutOfRange(format!(
+                "noise epoch counter would wrap: {first} + {count} epochs exceeds u64::MAX; \
+                 re-seed the source to start a fresh stream family"
+            ))
+        })?;
+        Ok(first)
     }
 
     /// A counter-based stream for `(slot, position)` under `epoch`.
@@ -607,13 +625,13 @@ mod tests {
     }
 
     #[test]
-    fn epochs_advance_and_wrap_deterministically() {
+    fn epochs_advance_deterministically() {
         let mut a = NoiseSource::seeded(1, NoiseConfig::paper_default());
         let mut b = NoiseSource::seeded(1, NoiseConfig::paper_default());
-        assert_eq!(a.begin_epoch(), 0);
-        assert_eq!(a.begin_epoch(), 1);
-        assert_eq!(b.begin_epoch(), 0);
-        assert_eq!(b.begin_epoch(), 1);
+        assert_eq!(a.begin_epoch().unwrap(), 0);
+        assert_eq!(a.begin_epoch().unwrap(), 1);
+        assert_eq!(b.begin_epoch().unwrap(), 0);
+        assert_eq!(b.begin_epoch().unwrap(), 1);
     }
 
     #[test]
@@ -621,18 +639,41 @@ mod tests {
         let cfg = NoiseConfig::paper_default();
         let mut batch = NoiseSource::seeded(9, cfg);
         let mut serial = NoiseSource::seeded(9, cfg);
-        batch.begin_epoch();
-        serial.begin_epoch();
-        let first = batch.reserve_epochs(3);
-        let singles: Vec<u64> = (0..3).map(|_| serial.begin_epoch()).collect();
+        batch.begin_epoch().unwrap();
+        serial.begin_epoch().unwrap();
+        let first = batch.reserve_epochs(3).unwrap();
+        let singles: Vec<u64> = (0..3).map(|_| serial.begin_epoch().unwrap()).collect();
         assert_eq!(vec![first, first + 1, first + 2], singles);
         // Both sources continue from the same epoch afterwards.
-        assert_eq!(batch.begin_epoch(), serial.begin_epoch());
+        assert_eq!(batch.begin_epoch().unwrap(), serial.begin_epoch().unwrap());
         // And the reserved epochs key the same streams a sequential
         // loop would have seen.
         assert_eq!(
             batch.stream(first + 1, 0, 0).gaussian_at(0),
             serial.stream(singles[1], 0, 0).gaussian_at(0)
         );
+    }
+
+    #[test]
+    fn epoch_exhaustion_is_a_checked_error_not_a_wrap() {
+        let mut src = NoiseSource::seeded(4, NoiseConfig::paper_default());
+        // Walk the counter to the exact boundary: the reservation that
+        // fills the space succeeds...
+        let first = src.reserve_epochs(u64::MAX - 1).unwrap();
+        assert_eq!(first, 0);
+        assert_eq!(src.begin_epoch().unwrap(), u64::MAX - 1);
+        // ...and the first reservation past it fails instead of
+        // wrapping back onto epoch 0's streams.
+        let err = src.begin_epoch().unwrap_err();
+        assert!(matches!(err, DeviceError::OutOfRange(_)), "got {err:?}");
+        assert!(err.to_string().contains("epoch"), "message: {err}");
+        // The failed call left the counter untouched: a zero-count
+        // reservation (a no-op) still reports the same next epoch.
+        assert_eq!(src.reserve_epochs(0).unwrap(), u64::MAX);
+        // Multi-epoch reservations are checked the same way.
+        let mut batch = NoiseSource::seeded(4, NoiseConfig::paper_default());
+        batch.reserve_epochs(u64::MAX - 2).unwrap();
+        assert!(batch.reserve_epochs(3).is_err());
+        assert_eq!(batch.reserve_epochs(2).unwrap(), u64::MAX - 2);
     }
 }

@@ -14,9 +14,13 @@ use oisa::units::Joule;
 /// feature maps (the off-chip processor's next stage pools anyway, and
 /// first-layer partial sums need no more precision than the 4-bit
 /// weights that produced them).
+///
+/// Pooling an odd-sized map keeps a ragged last row/column (`ceil`,
+/// matching a stride-2 pool with padding), so odd `out` must round the
+/// pooled dimension *up* — flooring undercounts the uplink bytes.
 fn traffic_bytes(img: usize, out: usize, kernels: usize) -> (usize, usize) {
     let raw = img * img;
-    let pooled = out / 2;
+    let pooled = out.div_ceil(2);
     let features = (pooled * pooled * kernels).div_ceil(2);
     (raw, features)
 }
@@ -76,4 +80,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  (the cloud node receives first-layer features, not pixels — the paper's");
     println!("   thing-centric shift: conversion and transmission power stay in-sensor)");
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_bytes_covers_odd_pooled_outputs() {
+        // 16×16 input, 3×3 kernel → out = 14 (even): 7×7 pooled, 3
+        // maps at 4 bits → ceil(147/2) = 74 B.
+        assert_eq!(traffic_bytes(16, 14, 3), (256, 74));
+        // 15×15 input, 3×3 kernel → out = 13 (odd): the pool keeps a
+        // ragged 7th row/column, so 7×7×3 nibbles again — a floored
+        // 6×6 would undercount by 20 bytes.
+        assert_eq!(traffic_bytes(15, 13, 3), (225, 74));
+        // Degenerate 1×1 output still ships one nibble.
+        assert_eq!(traffic_bytes(3, 1, 1), (9, 1));
+    }
+
+    #[test]
+    fn multi_node_demo_runs() {
+        main().expect("multi_node example");
+    }
 }

@@ -84,7 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect::<Result<_, _>>()?;
     let sharpen = vec![0.0f32, -1.0, 0.0, -1.0, 5.0, -1.0, 0.0, -1.0, 0.0];
-    let reports = accel.convolve_frames(&batch, &[sharpen], 3)?;
+    let reports = accel.convolve_frames(&batch, std::slice::from_ref(&sharpen), 3)?;
     println!("\nbatched inference ({} frames)", reports.len());
     for (i, r) in reports.iter().enumerate() {
         let peak = r.output[0].iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -93,5 +93,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.energy.total()
         );
     }
+
+    // Serving
+    // -------
+    // `convolve_frames` wants the whole batch up front. When frames
+    // instead *arrive over time* (the paper's deployment: a sensor
+    // streaming at frame rate), wrap the accelerator in a
+    // `ServingEngine`: submissions queue up, batches form when either
+    // `max_batch` frames are pending or the oldest has waited
+    // `deadline` (so light traffic is not starved), and a full queue
+    // (`queue_depth`) pushes back on the producer. Batching still never
+    // changes the physics — each frame keys its own noise epoch, so a
+    // served report is bit-identical to running the same frame through
+    // `convolve_frame_sequential` in submission order, whatever batch
+    // shapes the queue happened to form.
+    use oisa::core::serving::{ServingConfig, ServingEngine};
+    let engine = ServingEngine::new(
+        OisaAccelerator::new(OisaConfig::small_test())?,
+        vec![sharpen],
+        3,
+        ServingConfig {
+            max_batch: 4,                                   // throughput knob
+            deadline: std::time::Duration::from_millis(2),  // tail-latency knob
+            queue_depth: 16,                                // backpressure knob
+        },
+    )?;
+    let handles: Vec<_> = batch
+        .iter()
+        .map(|f| engine.submit(f.clone()).expect("submit"))
+        .collect();
+    println!("\nserved inference ({} frames)", handles.len());
+    for (i, h) in handles.into_iter().enumerate() {
+        let r = h.wait()?;
+        let peak = r.output[0].iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        println!("  frame {i}: sharpen peak {peak:.2}");
+    }
+    let (_accel, stats) = engine.shutdown();
+    println!(
+        "  {} batches, queue wait p50 {:.0} us / p99 {:.0} us, {:.0} frames/s",
+        stats.batches_run, stats.queue_wait_p50_us, stats.queue_wait_p99_us, stats.frames_per_sec
+    );
     Ok(())
 }

@@ -1,0 +1,258 @@
+//! Cross-crate guarantees of the async serving front end: per-request
+//! reports bit-identical to a sequential per-frame loop regardless of
+//! how requests happened to batch, plus the operational paths — batches
+//! launching on deadline, on size, backpressure at the queue bound and
+//! a shutdown that drains everything still queued.
+
+use std::time::Duration;
+
+use oisa::core::serving::{ServingConfig, ServingEngine, SubmitError};
+use oisa::core::{ConvolutionReport, OisaAccelerator, OisaConfig};
+use oisa::device::noise::NoiseConfig;
+use oisa::sensor::Frame;
+
+fn serving_oisa_config(seed: u64) -> OisaConfig {
+    let mut cfg = OisaConfig::small_test();
+    cfg.noise = NoiseConfig::paper_default();
+    cfg.seed = seed;
+    cfg
+}
+
+/// Deterministic frame whose texture varies with `tag`.
+fn frame_16(tag: u64) -> Frame {
+    let data: Vec<f64> = (0..256)
+        .map(|i| {
+            let phase = (i as f64 * 0.37) + tag as f64 * 1.91;
+            (0.5 + 0.5 * phase.sin()).clamp(0.0, 1.0)
+        })
+        .collect();
+    Frame::new(16, 16, data).unwrap()
+}
+
+fn kernel_bank(count: usize) -> Vec<Vec<f32>> {
+    (0..count)
+        .map(|i| (0..9).map(|j| ((i * 7 + j * 3) as f32 * 0.41).sin()).collect())
+        .collect()
+}
+
+/// The acceptance property: a frame served through the engine yields a
+/// report bit-identical to the same frame run via
+/// `convolve_frame_sequential` on an identically-seeded accelerator —
+/// whatever batch shapes the queue happened to form.
+#[test]
+fn served_reports_bit_identical_to_sequential_loop() {
+    let frames: Vec<Frame> = (0..7).map(frame_16).collect();
+    let kernels = kernel_bank(3);
+    // Three very different batching regimes: single-frame batches,
+    // mid-size batches, and one batch swallowing everything.
+    for max_batch in [1usize, 3, 16] {
+        let accel = OisaAccelerator::new(serving_oisa_config(42)).unwrap();
+        let engine = ServingEngine::new(
+            accel,
+            kernels.clone(),
+            3,
+            ServingConfig {
+                max_batch,
+                deadline: Duration::from_millis(1),
+                queue_depth: 32,
+            },
+        )
+        .unwrap();
+        let handles: Vec<_> = frames
+            .iter()
+            .map(|f| engine.submit(f.clone()).expect("submit"))
+            .collect();
+        let served: Vec<ConvolutionReport> =
+            handles.into_iter().map(|h| h.wait().unwrap()).collect();
+
+        let mut serial = OisaAccelerator::new(serving_oisa_config(42)).unwrap();
+        let looped: Vec<ConvolutionReport> = frames
+            .iter()
+            .map(|f| serial.convolve_frame_sequential(f, &kernels, 3).unwrap())
+            .collect();
+        assert_eq!(served, looped, "max_batch={max_batch}");
+
+        // The engine hands the accelerator back in exactly the state
+        // the loop left its twin in: the *next* frame agrees too.
+        let (mut accel, stats) = engine.shutdown();
+        assert_eq!(stats.frames_completed, frames.len() as u64);
+        let next = frame_16(99);
+        assert_eq!(
+            accel.convolve_frame(&next, &kernels, 3).unwrap(),
+            serial.convolve_frame(&next, &kernels, 3).unwrap(),
+            "max_batch={max_batch}: post-serving state must match the loop's"
+        );
+    }
+}
+
+/// With a large size bound and a short deadline, a lone pair of frames
+/// must be served by the deadline firing — never by reaching size.
+#[test]
+fn deadline_launches_underfull_batches() {
+    let accel = OisaAccelerator::new(serving_oisa_config(7)).unwrap();
+    let engine = ServingEngine::new(
+        accel,
+        kernel_bank(2),
+        3,
+        ServingConfig {
+            max_batch: 64,
+            deadline: Duration::from_millis(20),
+            queue_depth: 64,
+        },
+    )
+    .unwrap();
+    let h0 = engine.submit(frame_16(0)).unwrap();
+    let h1 = engine.submit(frame_16(1)).unwrap();
+    assert!(h0.wait().is_ok());
+    assert!(h1.wait().is_ok());
+    let (_accel, stats) = engine.shutdown();
+    assert_eq!(stats.frames_completed, 2);
+    // 2 frames can never reach the size bound of 64, and both completed
+    // before shutdown, so every batch was deadline-launched.
+    assert!(stats.batches_run >= 1);
+    assert_eq!(stats.deadline_batches, stats.batches_run);
+    assert_eq!(stats.size_batches, 0);
+    assert_eq!(stats.drain_batches, 0);
+    // Queue waits include the deadline dwell, so the distribution is
+    // populated and ordered.
+    assert!(stats.queue_wait_p50_us > 0.0);
+    assert!(stats.queue_wait_p50_us <= stats.queue_wait_p99_us);
+    assert!(stats.queue_wait_p99_us <= stats.queue_wait_max_us);
+}
+
+/// With an effectively infinite deadline, filling the queue to
+/// `max_batch` is the only thing that can launch — and it launches one
+/// exactly-full batch.
+#[test]
+fn size_bound_launches_full_batches() {
+    let accel = OisaAccelerator::new(serving_oisa_config(8)).unwrap();
+    let engine = ServingEngine::new(
+        accel,
+        kernel_bank(2),
+        3,
+        ServingConfig {
+            max_batch: 4,
+            deadline: Duration::MAX,
+            queue_depth: 64,
+        },
+    )
+    .unwrap();
+    let handles: Vec<_> = (0..4)
+        .map(|i| engine.submit(frame_16(i)).unwrap())
+        .collect();
+    for h in handles {
+        assert!(h.wait().is_ok());
+    }
+    let (_accel, stats) = engine.shutdown();
+    assert_eq!(stats.frames_completed, 4);
+    assert_eq!(stats.batches_run, 1);
+    assert_eq!(stats.size_batches, 1);
+    assert_eq!(stats.deadline_batches, 0);
+    assert_eq!(stats.batch_size_histogram[4], 1, "{:?}", stats.batch_size_histogram);
+    assert!(stats.frames_per_sec > 0.0);
+}
+
+/// A full queue bounces `try_submit` with the frame handed back, and
+/// blocks `submit` until the worker frees space.
+#[test]
+fn backpressure_bounds_the_queue() {
+    let accel = OisaAccelerator::new(serving_oisa_config(9)).unwrap();
+    // Worker holds the first batch open for 800 ms (deadline) while the
+    // queue is only 2 deep, so the third frame must feel backpressure.
+    let engine = ServingEngine::new(
+        accel,
+        kernel_bank(1),
+        3,
+        ServingConfig {
+            max_batch: 64,
+            deadline: Duration::from_millis(800),
+            queue_depth: 2,
+        },
+    )
+    .unwrap();
+    let h0 = engine.submit(frame_16(0)).unwrap();
+    let h1 = engine.submit(frame_16(1)).unwrap();
+    // The worker dequeues only when a batch launches; until the
+    // deadline fires the queue stays at depth 2.
+    let bounced = match engine.try_submit(frame_16(2)) {
+        Err(SubmitError::Backpressure(frame)) => frame,
+        other => panic!("expected backpressure, got {other:?}"),
+    };
+    assert_eq!(bounced, frame_16(2), "the frame comes back intact");
+
+    // The blocking path waits out the backpressure and then succeeds.
+    let h2 = std::thread::scope(|s| {
+        s.spawn(|| engine.submit(bounced).expect("blocking submit"))
+            .join()
+            .expect("submitter thread")
+    });
+    for h in [h0, h1, h2] {
+        assert!(h.wait().is_ok());
+    }
+    let (_accel, stats) = engine.shutdown();
+    assert_eq!(stats.frames_completed, 3);
+}
+
+/// Shutdown with a full queue and an infinite deadline: nothing could
+/// have launched yet, so the drain must run everything and resolve
+/// every handle.
+#[test]
+fn shutdown_drains_the_queue() {
+    let frames: Vec<Frame> = (0..5).map(frame_16).collect();
+    let kernels = kernel_bank(2);
+    let accel = OisaAccelerator::new(serving_oisa_config(10)).unwrap();
+    let engine = ServingEngine::new(
+        accel,
+        kernels.clone(),
+        3,
+        ServingConfig {
+            max_batch: 8,
+            deadline: Duration::MAX,
+            queue_depth: 8,
+        },
+    )
+    .unwrap();
+    let handles: Vec<_> = frames
+        .iter()
+        .map(|f| engine.submit(f.clone()).unwrap())
+        .collect();
+    // Nothing has launched (size 5 < 8, deadline never): shutdown must
+    // drain the 5 pending frames in one final batch.
+    let (_accel, stats) = engine.shutdown();
+    assert_eq!(stats.frames_completed, 5);
+    assert_eq!(stats.drain_batches, 1);
+    assert_eq!(stats.batch_size_histogram[5], 1);
+    assert_eq!(stats.queued, 0, "nothing left behind");
+
+    // Handles queued at shutdown still resolve — bit-identically.
+    let mut serial = OisaAccelerator::new(serving_oisa_config(10)).unwrap();
+    for (h, f) in handles.into_iter().zip(&frames) {
+        assert_eq!(
+            h.wait().unwrap(),
+            serial.convolve_frame_sequential(f, &kernels, 3).unwrap()
+        );
+    }
+}
+
+/// Dropping the engine without an explicit shutdown still resolves all
+/// outstanding handles (the drop path drains).
+#[test]
+fn drop_resolves_outstanding_handles() {
+    let accel = OisaAccelerator::new(serving_oisa_config(11)).unwrap();
+    let engine = ServingEngine::new(
+        accel,
+        kernel_bank(1),
+        3,
+        ServingConfig {
+            max_batch: 8,
+            deadline: Duration::MAX,
+            queue_depth: 8,
+        },
+    )
+    .unwrap();
+    let h0 = engine.submit(frame_16(3)).unwrap();
+    let h1 = engine.submit(frame_16(4)).unwrap();
+    drop(engine);
+    assert!(h0.wait().is_ok());
+    assert!(h1.wait().is_ok());
+}
