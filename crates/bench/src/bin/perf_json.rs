@@ -22,7 +22,10 @@
 //! (`frames_per_sec_batch`), the serving front end pushes the same
 //! frames through [`ServingEngine`] submission → completion
 //! (`frames_per_sec_serving`, plus queue-wait percentiles and the
-//! batch-size histogram in the `serving` block), and the dense path
+//! batch-size histogram in the `serving` block), the sharded backend
+//! splits the same job over in-process wire workers
+//! (`frames_per_sec_backend_shard` and the `backend_shard` block —
+//! the coordination cost a multi-host split pays), and the dense path
 //! times [`matvec_parallel`] against serial [`matvec`] on a 256-row
 //! layer (`matvec_rows_per_sec`).
 //!
@@ -32,7 +35,8 @@
 //! * `--gate <baseline.json>` — regression gate
 //!   ([`oisa_bench::gate`]): exit non-zero, with an actionable message,
 //!   when any headline throughput (`frames_per_sec`,
-//!   `frames_per_sec_batch`, `frames_per_sec_serving`) drops more than
+//!   `frames_per_sec_batch`, `frames_per_sec_serving`,
+//!   `frames_per_sec_backend_shard`) drops more than
 //!   15 % below the committed baseline, when the baseline file is
 //!   unreadable, or when it lacks a headline metric this run emits.
 //!   Regenerate the baseline (`bench/baseline.json`) whenever the CI
@@ -42,8 +46,10 @@
 use std::time::{Duration, Instant};
 
 use oisa_bench::gate::{self, Metric};
+use oisa_core::backend::{ComputeBackend, ShardedBackend};
 use oisa_core::mlp::{matvec, matvec_parallel};
 use oisa_core::serving::{ServingConfig, ServingEngine};
+use oisa_core::wire::InferenceJob;
 use oisa_core::{OisaAccelerator, OisaConfig};
 use oisa_device::noise::{NoiseConfig, NoiseSource};
 use oisa_nn::conv::Conv2d;
@@ -133,14 +139,18 @@ fn main() {
     assert_eq!(par.energy, seq.energy, "parallel energy must be bit-identical");
 
     let batch_frames: Vec<Frame> = (0..batch).map(|i| test_frame(side, i)).collect();
+    // The oracle every engine is gated against: a per-frame sequential
+    // loop on an identically-seeded accelerator.
+    let looped: Vec<_> = {
+        let mut oracle = OisaAccelerator::new(cfg).expect("accelerator construction");
+        batch_frames
+            .iter()
+            .map(|f| oracle.convolve_frame_sequential(f, &banks, k).expect("loop run"))
+            .collect()
+    };
     {
         let mut a = OisaAccelerator::new(cfg).expect("accelerator construction");
-        let mut b = OisaAccelerator::new(cfg).expect("accelerator construction");
         let batched = a.convolve_frames(&batch_frames, &banks, k).expect("batch run");
-        let looped: Vec<_> = batch_frames
-            .iter()
-            .map(|f| b.convolve_frame_sequential(f, &banks, k).expect("loop run"))
-            .collect();
         assert_eq!(batched, looped, "batch must equal the per-frame loop");
     }
 
@@ -226,7 +236,40 @@ fn main() {
             std::hint::black_box(h.wait().expect("serving run").output[0][0]);
         }
     });
-    let (_serving_accel, serving_stats) = serving_engine.shutdown();
+    let (_serving_backend, serving_stats) = serving_engine.shutdown();
+
+    // Sharded backend: the same 8 frames split over in-process workers
+    // speaking the full wire path (encode → frame → decode → execute →
+    // merge), vs the batch engine on one accelerator. The gap between
+    // `frames_per_sec_backend_shard` and `frames_per_sec_batch` is the
+    // coordination overhead a multi-host split pays per job.
+    let shard_workers = 2usize;
+    {
+        let mut check =
+            ShardedBackend::in_process(cfg, shard_workers).expect("sharded backend construction");
+        let job = InferenceJob {
+            job_id: 0,
+            k,
+            kernels: banks.clone(),
+            frames: batch_frames.clone(),
+        };
+        let merged = check.run_job(&job).expect("sharded run");
+        assert_eq!(merged, looped, "merged shards must equal the per-frame loop");
+    }
+    let mut shard_backend =
+        ShardedBackend::in_process(cfg, shard_workers).expect("sharded backend construction");
+    let mut shard_job_id = 0u64;
+    let backend_shard_ms = median_ms(reps, || {
+        let job = InferenceJob {
+            job_id: shard_job_id,
+            k,
+            kernels: banks.clone(),
+            frames: batch_frames.clone(),
+        };
+        shard_job_id += 1;
+        let merged = shard_backend.run_job(&job).expect("sharded run");
+        std::hint::black_box(merged[0].output[0][0]);
+    });
 
     // Dense path: a 256-row layer over a 1152-wide input (128 chunks
     // per row), parallel snapshot evaluation vs the serial oracle.
@@ -299,6 +342,7 @@ fn main() {
     let frames_per_sec = 1e3 / parallel_ms;
     let frames_per_sec_batch = batch as f64 * 1e3 / batch_ms;
     let frames_per_sec_serving = batch as f64 * 1e3 / serving_ms;
+    let frames_per_sec_backend_shard = batch as f64 * 1e3 / backend_shard_ms;
     let matvec_rows_per_sec = mv_rows as f64 * 1e3 / matvec_parallel_ms;
     let batch_histogram = serving_stats
         .batch_size_histogram
@@ -319,6 +363,7 @@ fn main() {
             "\"batch_8_frames\":{batch_ms:.3},",
             "\"frame_loop_8\":{frame_loop_ms:.3},",
             "\"serving_8_frames\":{serving_ms:.3},",
+            "\"backend_shard_8_frames\":{backend_shard_ms:.3},",
             "\"matvec_parallel\":{matvec_parallel_ms:.3},",
             "\"matvec_serial\":{matvec_serial_ms:.3},",
             "\"conv2d_im2col\":{im2col:.3},",
@@ -327,7 +372,11 @@ fn main() {
             "\"frames_per_sec\":{fps:.3},",
             "\"frames_per_sec_batch\":{fps_batch:.3},",
             "\"frames_per_sec_serving\":{fps_serving:.3},",
+            "\"frames_per_sec_backend_shard\":{fps_backend_shard:.3},",
             "\"matvec_rows_per_sec\":{mv_rps:.3}}},",
+            "\"backend_shard\":{{",
+            "\"workers\":{shard_workers},",
+            "\"jobs_run\":{shard_jobs}}},",
             "\"serving\":{{",
             "\"max_batch\":{srv_max_batch},",
             "\"deadline_ms\":{srv_deadline_ms},",
@@ -348,7 +397,8 @@ fn main() {
             "\"conv2d_vs_naive\":{conv_speedup:.2}}},",
             "\"bit_identical_parallel_vs_sequential\":true,",
             "\"bit_identical_batch_vs_frame_loop\":true,",
-            "\"bit_identical_serving_vs_frame_loop\":true}}"
+            "\"bit_identical_serving_vs_frame_loop\":true,",
+            "\"bit_identical_backend_shard_vs_frame_loop\":true}}"
         ),
         side = side,
         kernels = kernels,
@@ -363,6 +413,7 @@ fn main() {
         batch_ms = batch_ms,
         frame_loop_ms = frame_loop_ms,
         serving_ms = serving_ms,
+        backend_shard_ms = backend_shard_ms,
         matvec_parallel_ms = matvec_parallel_ms,
         matvec_serial_ms = matvec_serial_ms,
         im2col = im2col_ms,
@@ -370,7 +421,10 @@ fn main() {
         fps = frames_per_sec,
         fps_batch = frames_per_sec_batch,
         fps_serving = frames_per_sec_serving,
+        fps_backend_shard = frames_per_sec_backend_shard,
         mv_rps = matvec_rows_per_sec,
+        shard_workers = shard_workers,
+        shard_jobs = shard_backend.jobs_run(),
         srv_max_batch = serving_cfg.max_batch,
         srv_deadline_ms = serving_cfg.deadline.as_millis(),
         srv_queue_depth = serving_cfg.queue_depth,
@@ -395,6 +449,10 @@ fn main() {
             Metric { name: "frames_per_sec", current: frames_per_sec },
             Metric { name: "frames_per_sec_batch", current: frames_per_sec_batch },
             Metric { name: "frames_per_sec_serving", current: frames_per_sec_serving },
+            Metric {
+                name: "frames_per_sec_backend_shard",
+                current: frames_per_sec_backend_shard,
+            },
         ];
         match gate::gate_file(&path, &headline, gate::GATE_TOLERANCE) {
             Ok(log) => {

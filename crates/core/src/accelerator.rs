@@ -89,32 +89,230 @@ pub struct OisaConfig {
 
 impl OisaConfig {
     /// The paper configuration at `width × height` pixels.
+    ///
+    /// A thin wrapper over [`OisaConfig::builder`]'s defaults that
+    /// never panics: degenerate dimensions still surface as a
+    /// `Result` from [`OisaAccelerator::new`], exactly as before the
+    /// builder existed. Call `builder().build()` instead when you want
+    /// the up-front [`OisaError::Config`] validation.
     #[must_use]
     pub fn paper_default(width: usize, height: usize) -> Self {
-        Self {
-            imager: ImagerConfig::paper_default(width, height),
-            opc: OpcConfig::paper_default(),
-            vam: VamConfig::paper_default(),
-            vom: VomConfig::paper_default(),
-            timing: ControllerTiming::paper_default(),
-            weight_bits: 4,
-            awc_model: AwcModel::paper_mismatch(),
-            noise: NoiseConfig::paper_default(),
-            seed: 0,
-        }
+        Self::builder().imager_dims(width, height).config
     }
 
     /// A small, fast configuration for tests and doctests: 16×16 imager,
     /// 4-bank OPC, noiseless, ideal AWC.
     #[must_use]
     pub fn small_test() -> Self {
-        let mut cfg = Self::paper_default(16, 16);
-        cfg.opc.banks = 4;
-        cfg.opc.columns = 2;
-        cfg.opc.awc_units = 10;
-        cfg.noise = NoiseConfig::noiseless();
-        cfg.awc_model = AwcModel::Ideal;
-        cfg
+        Self::builder()
+            .imager_dims(16, 16)
+            .opc_shape(4, 2, 10)
+            .noise(NoiseConfig::noiseless())
+            .awc_model(AwcModel::Ideal)
+            .config
+    }
+
+    /// Starts a validated builder from the paper defaults (16×16
+    /// imager until [`OisaConfigBuilder::imager_dims`] says otherwise).
+    ///
+    /// Prefer this over mutating a default struct when the values come
+    /// from outside the program: [`OisaConfigBuilder::build`] rejects
+    /// bad dimensions with a typed [`OisaError::Config`] naming the
+    /// field, instead of letting them surface as a substrate error
+    /// deep inside [`OisaAccelerator::new`].
+    #[must_use]
+    pub fn builder() -> OisaConfigBuilder {
+        OisaConfigBuilder::default()
+    }
+
+    /// A stable-within-a-build fingerprint of every configuration
+    /// field, mixed with FNV-1a over the `Debug` rendering.
+    ///
+    /// The sharded backend stamps this into every
+    /// [`JobShard`](crate::wire::JobShard) and workers refuse shards
+    /// whose fingerprint differs from their own deployment config —
+    /// two processes disagreeing about the physics would otherwise
+    /// merge incompatible shards. The hash is derived from the `Debug`
+    /// format, so it discriminates configs **within one build of this
+    /// crate**; deployments spanning different builds must ship the
+    /// config out-of-band (it intentionally does not travel on the
+    /// wire).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in format!("{self:?}").bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+}
+
+/// Validating builder for [`OisaConfig`] — see [`OisaConfig::builder`].
+///
+/// Every setter overrides one field of the paper defaults; `build`
+/// checks the cross-field invariants the substrate crates would
+/// otherwise reject one constructor at a time.
+///
+/// # Examples
+///
+/// ```
+/// use oisa_core::{OisaConfig, OisaError};
+///
+/// let cfg = OisaConfig::builder()
+///     .imager_dims(32, 32)
+///     .opc_shape(4, 2, 10)
+///     .seed(7)
+///     .build()
+///     .expect("valid");
+/// assert_eq!(cfg.imager.width, 32);
+///
+/// let err = OisaConfig::builder().imager_dims(0, 32).build().unwrap_err();
+/// assert!(matches!(err, OisaError::Config { field: "imager", .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct OisaConfigBuilder {
+    config: OisaConfig,
+}
+
+impl Default for OisaConfigBuilder {
+    /// Paper defaults on a 16×16 imager.
+    fn default() -> Self {
+        Self {
+            config: OisaConfig {
+                imager: ImagerConfig::paper_default(16, 16),
+                opc: OpcConfig::paper_default(),
+                vam: VamConfig::paper_default(),
+                vom: VomConfig::paper_default(),
+                timing: ControllerTiming::paper_default(),
+                weight_bits: 4,
+                awc_model: AwcModel::paper_mismatch(),
+                noise: NoiseConfig::paper_default(),
+                seed: 0,
+            },
+        }
+    }
+}
+
+impl OisaConfigBuilder {
+    /// Imager dimensions in pixels.
+    #[must_use]
+    pub fn imager_dims(mut self, width: usize, height: usize) -> Self {
+        self.config.imager.width = width;
+        self.config.imager.height = height;
+        self
+    }
+
+    /// Target frame rate of the imager.
+    #[must_use]
+    pub fn frame_rate_hz(mut self, hz: f64) -> Self {
+        self.config.imager.frame_rate_hz = hz;
+        self
+    }
+
+    /// OPC structure: bank count, bank columns and shared AWC units.
+    #[must_use]
+    pub fn opc_shape(mut self, banks: usize, columns: usize, awc_units: usize) -> Self {
+        self.config.opc.banks = banks;
+        self.config.opc.columns = columns;
+        self.config.opc.awc_units = awc_units;
+        self
+    }
+
+    /// Weight bit-width (1–4).
+    #[must_use]
+    pub fn weight_bits(mut self, bits: u8) -> Self {
+        self.config.weight_bits = bits;
+        self
+    }
+
+    /// AWC fidelity model.
+    #[must_use]
+    pub fn awc_model(mut self, model: AwcModel) -> Self {
+        self.config.awc_model = model;
+        self
+    }
+
+    /// Optical noise intensities.
+    #[must_use]
+    pub fn noise(mut self, noise: NoiseConfig) -> Self {
+        self.config.noise = noise;
+        self
+    }
+
+    /// Simulation seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`OisaError::Config`] naming the offending field when any
+    /// dimension is degenerate: a zero-sized imager, a non-positive
+    /// frame rate, an OPC whose banks don't tile its columns (or with
+    /// zero banks/columns/AWC units), or a weight bit-width outside
+    /// 1–4.
+    pub fn build(self) -> std::result::Result<OisaConfig, crate::OisaError> {
+        let cfg = &self.config;
+        let fail = |field: &'static str, reason: String| {
+            Err(crate::OisaError::Config { field, reason })
+        };
+        if cfg.imager.width == 0 || cfg.imager.height == 0 {
+            return fail(
+                "imager",
+                format!(
+                    "dimensions must be positive, got {}x{}",
+                    cfg.imager.width, cfg.imager.height
+                ),
+            );
+        }
+        if !(cfg.imager.frame_rate_hz.is_finite() && cfg.imager.frame_rate_hz > 0.0) {
+            return fail(
+                "frame_rate_hz",
+                format!("must be a positive finite rate, got {}", cfg.imager.frame_rate_hz),
+            );
+        }
+        if cfg.opc.banks == 0 || cfg.opc.columns == 0 || cfg.opc.awc_units == 0 {
+            return fail(
+                "opc",
+                format!(
+                    "banks ({}), columns ({}) and awc_units ({}) must all be positive",
+                    cfg.opc.banks, cfg.opc.columns, cfg.opc.awc_units
+                ),
+            );
+        }
+        if !cfg.opc.banks.is_multiple_of(cfg.opc.columns) {
+            return fail(
+                "opc",
+                format!(
+                    "banks ({}) must tile evenly over columns ({})",
+                    cfg.opc.banks, cfg.opc.columns
+                ),
+            );
+        }
+        if !(1..=4).contains(&cfg.weight_bits) {
+            return fail(
+                "weight_bits",
+                format!("must be 1–4, got {}", cfg.weight_bits),
+            );
+        }
+        for (name, sigma) in [
+            ("vcsel_rin", cfg.noise.vcsel_rin),
+            ("mr_drift", cfg.noise.mr_drift),
+            ("detector", cfg.noise.detector),
+        ] {
+            if !(sigma.is_finite() && sigma >= 0.0) {
+                return fail(
+                    "noise",
+                    format!("{name} must be a finite non-negative sigma, got {sigma}"),
+                );
+            }
+        }
+        Ok(self.config)
     }
 }
 
@@ -222,6 +420,77 @@ impl OisaAccelerator {
         &self.mapper
     }
 
+    /// The noise epoch the next convolved frame will key its streams
+    /// under — the distributed-execution counterpart of
+    /// [`NoiseSource::next_epoch`](oisa_device::noise::NoiseSource::next_epoch).
+    #[must_use]
+    pub fn next_noise_epoch(&self) -> u64 {
+        self.noise.next_epoch()
+    }
+
+    /// Fast-forwards the noise-epoch counter to `target`.
+    ///
+    /// A shard worker executing frames `[a, b)` of a distributed job
+    /// aligns its freshly-built accelerator to `base + a` so its frames
+    /// draw from exactly the streams a single sequential host would
+    /// have used for the same positions.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Substrate`] when `target` is behind the counter
+    /// (rewinding could silently reuse consumed noise streams).
+    pub fn align_noise_epoch(&mut self, target: u64) -> Result<()> {
+        self.noise.advance_to_epoch(target)?;
+        Ok(())
+    }
+
+    /// Stages `kernels` onto the fabric once — tuning the rings and
+    /// cycling the kernel bank exactly as one convolution pass sequence
+    /// would — **without** computing anything, consuming noise epochs,
+    /// or leaving energy in the counters.
+    ///
+    /// After a prewarm, the fabric sits in the *steady state* a
+    /// sequential per-frame loop over the same kernels reaches after
+    /// its first frame. That is what lets a stateless shard worker
+    /// reproduce mid-stream tuning/memory energies bit-identically: a
+    /// shard that does not start at the stream's first frame prewarm's
+    /// with the kernel set that produced the fabric state its first
+    /// frame would have seen (see
+    /// [`FabricEntry`](crate::wire::FabricEntry)).
+    ///
+    /// # Errors
+    ///
+    /// Same kernel-validation and mapping contract as
+    /// [`OisaAccelerator::convolve_frame`].
+    pub fn prewarm(&mut self, kernels: &[Vec<f32>], k: usize) -> Result<()> {
+        let planes: Vec<&[f32]> = kernels.iter().map(Vec::as_slice).collect();
+        validate_kernels(&planes, k)?;
+        let ks = KernelSize::from_k(k).map_err(|e| CoreError::Unmappable(e.to_string()))?;
+        let workload = ConvWorkload {
+            out_channels: kernels.len(),
+            in_channels: 1,
+            kernel: k,
+            input_h: self.config.imager.height,
+            input_w: self.config.imager.width,
+            stride: 1,
+        };
+        let plan = MappingPlan::compute(&workload, &self.config.opc)?;
+        let scales = kernel_scales(&planes);
+        let mut normalised: Vec<f64> = Vec::with_capacity(k * k);
+        let mut codes: Vec<u16> = Vec::with_capacity(k * k);
+        let mut kernel_index = 0usize;
+        while kernel_index < planes.len() {
+            let pass_kernels =
+                &planes[kernel_index..(kernel_index + plan.slots_per_pass).min(planes.len())];
+            self.stage_pass(pass_kernels, kernel_index, &scales, ks, &mut normalised, &mut codes)?;
+            kernel_index += pass_kernels.len();
+        }
+        // Staging cycled the kernel bank; the next convolution's memory
+        // energy must account only its own accesses.
+        self.bank.reset_counters();
+        Ok(())
+    }
+
     /// Convolves a captured frame with `kernels` (each `k²` weights,
     /// row-major) at stride 1, running the full optical path with the
     /// parallel, allocation-free pipeline (see the module docs).
@@ -320,7 +589,7 @@ impl OisaAccelerator {
                 &kernels[kernel_index..(kernel_index + slots_per_pass).min(kernels.len())];
             let slots =
                 self.stage_pass(pass_kernels, kernel_index, &scales, ks, &mut normalised, &mut codes)?;
-            energy.tuning += self.opc.tuning_energy();
+            energy.tuning += self.pass_tuning_energy(&slots, arms_per_kernel)?;
 
             // Snapshot every slot's arms once per pass; the hot loop
             // then walks immutable captured state instead of doing
@@ -406,6 +675,30 @@ impl OisaAccelerator {
             timeline,
             energy,
         })
+    }
+
+    /// Tuning energy of exactly the arms `slots` staged — the energy a
+    /// pass is charged.
+    ///
+    /// Summing [`Opc::tuning_energy`] here instead would re-charge the
+    /// *last* load of every arm on the fabric, double-counting earlier
+    /// passes (and earlier workloads) on every pass; per-slot
+    /// accounting is also what lets a stateless shard worker reproduce
+    /// mid-stream tuning energies without the fabric's full load
+    /// history (see [`crate::backend`]).
+    fn pass_tuning_energy(
+        &self,
+        slots: &[(usize, usize)],
+        arms_per_kernel: usize,
+    ) -> Result<Joule> {
+        let mut total = Joule::ZERO;
+        for &(bank, first_arm) in slots {
+            let bank = self.opc.bank(bank)?;
+            for arm in first_arm..first_arm + arms_per_kernel {
+                total += bank.arm(arm)?.tuning_energy();
+            }
+        }
+        Ok(total)
     }
 
     /// Stages one pass's kernels onto the fabric: quantises each kernel
@@ -543,7 +836,7 @@ impl OisaAccelerator {
                     self.opc.snapshot_kernel_arms(bank, first_arm, arms_per_kernel)
                 })
                 .collect::<oisa_optics::Result<_>>()?;
-            let tuning_first = self.opc.tuning_energy();
+            let tuning_first = self.pass_tuning_energy(&slots, arms_per_kernel)?;
             passes.push(PassCtx {
                 kernel_index,
                 nslots: slots.len(),
@@ -563,8 +856,9 @@ impl OisaAccelerator {
             for pass in &mut passes {
                 let ki = pass.kernel_index;
                 let pass_kernels = &planes[ki..(ki + slots_per_pass).min(planes.len())];
-                self.stage_pass(pass_kernels, ki, &scales, ks, &mut normalised, &mut codes)?;
-                pass.tuning_steady = self.opc.tuning_energy();
+                let slots =
+                    self.stage_pass(pass_kernels, ki, &scales, ks, &mut normalised, &mut codes)?;
+                pass.tuning_steady = self.pass_tuning_energy(&slots, arms_per_kernel)?;
             }
             memory_steady = self.bank.total_energy();
             self.bank.reset_counters();
@@ -778,7 +1072,7 @@ impl OisaAccelerator {
                 self.bank.store(offset, &codes)?;
                 self.opc.load_kernel(bank, first_arm, &normalised, &self.mapper)?;
             }
-            energy.tuning += self.opc.tuning_energy();
+            energy.tuning += self.pass_tuning_energy(&slots, ks.arms_per_kernel())?;
 
             for oy in 0..oh {
                 for ox in 0..ow {

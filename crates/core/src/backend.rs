@@ -1,0 +1,746 @@
+//! The unified execution API: [`ComputeBackend`] and its two
+//! implementations.
+//!
+//! Everything above the accelerator — the serving engine, the bench
+//! harness, future transports — talks to *a thing that executes
+//! [`InferenceJob`]s*, not to an [`OisaAccelerator`] directly:
+//!
+//! * [`LocalBackend`] — wraps one accelerator and runs jobs through the
+//!   batched engine ([`OisaAccelerator::convolve_frames`]) on the
+//!   calling host.
+//! * [`ShardedBackend`] — a coordinator that splits each job's frames
+//!   into contiguous `(frame, epoch)` ranges, ships them as
+//!   length-prefixed [`wire`] messages to workers (in-process for
+//!   tests/bench, separate OS processes in `examples/multi_node.rs`,
+//!   TCP later — anything implementing [`ShardTransport`]), and merges
+//!   the [`ShardReport`]s in frame order.
+//!
+//! # The determinism contract
+//!
+//! Any backend built from config `C` produces, across its lifetime of
+//! `run_job` calls, a report stream **bit-identical** (outputs, energy,
+//! timeline — every field) to one fresh accelerator built from `C`
+//! running `convolve_frame_sequential` over the concatenated frames in
+//! order. Worker count, shard boundaries and transport move wall
+//! clock, never physics. Three mechanisms carry the guarantee across
+//! process boundaries:
+//!
+//! 1. **Epoch alignment** — frame `i` of the stream always computes
+//!    under noise epoch `i`; a shard carries its `first_epoch` and the
+//!    worker fast-forwards a fresh accelerator to it
+//!    ([`OisaAccelerator::align_noise_epoch`]).
+//! 2. **Fabric entry state** — ring-tuning and kernel-bank energies
+//!    depend on what the fabric held *before* a job; a shard carries a
+//!    [`FabricEntry`] and the worker prewarm's accordingly
+//!    ([`OisaAccelerator::prewarm`]), so a mid-stream shard's first
+//!    frame pays steady-state cost exactly like the sequential loop.
+//! 3. **Config fingerprinting** — every shard carries
+//!    [`OisaConfig::fingerprint`]; a worker refuses shards from a
+//!    coordinator whose physics differ.
+//!
+//! Because workers are *stateless per shard*, a failed job consumes no
+//! coordinator state: `run_job` only advances the epoch cursor after
+//! every shard merged, so a retry re-executes identically.
+//!
+//! One caveat bounds the contract: the coordinator reproduces fabric
+//! history **one job deep** (the previous job's kernel set travels in
+//! [`FabricEntry::Warm`]). Feature maps are always exact — noise
+//! depends only on epochs — but if a job stages an arm that the
+//! *immediately previous* job left untouched while some older job had
+//! loaded it, that arm's tuning energy reads from a pristine operating
+//! point instead of the deep history. Fixed or non-growing kernel sets
+//! (every serving deployment: the kernel set is pinned at engine
+//! construction) never hit this.
+
+use std::io::{Read, Write};
+
+use crate::accelerator::{ConvolutionReport, OisaAccelerator, OisaConfig};
+use crate::error::OisaError;
+use crate::mapping::{ConvWorkload, MappingPlan};
+use crate::wire::{self, FabricEntry, InferenceJob, JobShard, ShardRefusal, ShardReport, WireMessage};
+use crate::CoreError;
+
+/// Result alias for backend operations.
+pub type BackendResult<T> = std::result::Result<T, OisaError>;
+
+/// Something that executes [`InferenceJob`]s — the seam between "submit
+/// frames" and "who executes them".
+///
+/// See the module docs for the determinism contract implementations
+/// must uphold.
+pub trait ComputeBackend: Send {
+    /// The physics configuration this backend executes under.
+    fn config(&self) -> &OisaConfig;
+
+    /// Executes one job, returning one report per frame in frame order.
+    ///
+    /// # Errors
+    ///
+    /// [`OisaError`] on validation, substrate, wire or transport
+    /// failure. Implementations must not advance observable state on
+    /// error, so callers can retry.
+    fn run_job(&mut self, job: &InferenceJob) -> BackendResult<Vec<ConvolutionReport>>;
+
+    /// Frame dimensions (width, height) this backend accepts.
+    fn frame_dims(&self) -> (usize, usize) {
+        let imager = self.config().imager;
+        (imager.width, imager.height)
+    }
+
+    /// Validates that a kernel set maps onto this backend's OPC and
+    /// imager — the up-front check front ends run at construction so
+    /// unmappable workloads fail before the first frame arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] / [`CoreError::Unmappable`]
+    /// (wrapped in [`OisaError::Core`]) exactly as the execution path
+    /// would report them.
+    fn check_workload(&self, kernels: &[Vec<f32>], k: usize) -> BackendResult<()> {
+        if kernels.is_empty() {
+            return Err(CoreError::InvalidParameter("no kernels supplied".into()).into());
+        }
+        if kernels.iter().any(|kn| kn.len() != k * k) {
+            return Err(CoreError::InvalidParameter(format!(
+                "every kernel must have {} weights",
+                k * k
+            ))
+            .into());
+        }
+        let config = self.config();
+        let workload = ConvWorkload {
+            out_channels: kernels.len(),
+            in_channels: 1,
+            kernel: k,
+            input_h: config.imager.height,
+            input_w: config.imager.width,
+            stride: 1,
+        };
+        MappingPlan::compute(&workload, &config.opc)?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// LocalBackend
+// ---------------------------------------------------------------------
+
+/// Single-host backend: one [`OisaAccelerator`] executing jobs through
+/// the batched engine. Epochs and fabric state carry across jobs
+/// naturally, because the same accelerator runs every one of them.
+#[derive(Debug)]
+pub struct LocalBackend {
+    accel: OisaAccelerator,
+}
+
+impl LocalBackend {
+    /// Builds a backend from a fresh accelerator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OisaAccelerator::new`] failures.
+    pub fn new(config: OisaConfig) -> BackendResult<Self> {
+        Ok(Self {
+            accel: OisaAccelerator::new(config)?,
+        })
+    }
+
+    /// Wraps an existing accelerator. The determinism contract (module
+    /// docs) is stated from a *fresh* accelerator; wrapping one with
+    /// history simply continues that history.
+    #[must_use]
+    pub fn from_accelerator(accel: OisaAccelerator) -> Self {
+        Self { accel }
+    }
+
+    /// Shared view of the wrapped accelerator.
+    #[must_use]
+    pub fn accelerator(&self) -> &OisaAccelerator {
+        &self.accel
+    }
+
+    /// Exclusive view of the wrapped accelerator (e.g. to run a
+    /// non-job workload between jobs).
+    pub fn accelerator_mut(&mut self) -> &mut OisaAccelerator {
+        &mut self.accel
+    }
+
+    /// Hands the accelerator back (after a serving shutdown, in
+    /// exactly the state the sequential loop would have left it).
+    #[must_use]
+    pub fn into_accelerator(self) -> OisaAccelerator {
+        self.accel
+    }
+}
+
+impl ComputeBackend for LocalBackend {
+    fn config(&self) -> &OisaConfig {
+        self.accel.config()
+    }
+
+    fn run_job(&mut self, job: &InferenceJob) -> BackendResult<Vec<ConvolutionReport>> {
+        self.accel
+            .convolve_frames(&job.frames, &job.kernels, job.k)
+            .map_err(Into::into)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+/// Executes one [`JobShard`] on a fresh accelerator — the worker-side
+/// core both the in-process transport and the process worker loop
+/// ([`serve_worker`]) share.
+///
+/// Statelessness is the point: everything the shard's physics needs is
+/// in the message (plus the out-of-band `config`, guarded by the
+/// fingerprint), so any worker can execute any shard of any job.
+///
+/// # Errors
+///
+/// [`OisaError::Backend`] on a fingerprint mismatch; otherwise the
+/// accelerator's own validation/substrate errors.
+pub fn execute_shard(config: &OisaConfig, shard: &JobShard) -> BackendResult<ShardReport> {
+    let expected = config.fingerprint();
+    if shard.config_fingerprint != expected {
+        return Err(OisaError::Backend(format!(
+            "config fingerprint mismatch: shard was built for {:#018x}, worker runs {expected:#018x} \
+             — coordinator and worker must deploy identical OisaConfigs",
+            shard.config_fingerprint
+        )));
+    }
+    let mut accel = OisaAccelerator::new(*config)?;
+    accel.align_noise_epoch(shard.first_epoch)?;
+    match &shard.entry {
+        FabricEntry::Cold => {}
+        FabricEntry::WarmSelf => accel.prewarm(&shard.kernels, shard.k)?,
+        FabricEntry::Warm { k, kernels } => accel.prewarm(kernels, *k)?,
+    }
+    let reports = accel.convolve_frames(&shard.frames, &shard.kernels, shard.k)?;
+    Ok(ShardReport {
+        job_id: shard.job_id,
+        shard_index: shard.shard_index,
+        first_frame: shard.first_frame,
+        reports,
+    })
+}
+
+/// Serves shards from a byte stream until clean EOF: the main loop of
+/// a worker process. Each incoming frame must be a [`JobShard`]; the
+/// reply is a [`ShardReport`] on success or a typed [`ShardRefusal`]
+/// (never a dropped connection) when the shard cannot run.
+///
+/// Returns the number of shards answered.
+///
+/// # Errors
+///
+/// Only transport-level failures ([`OisaError::Wire`]): an undecodable
+/// *request* still gets a refusal reply, but a broken stream ends the
+/// loop.
+pub fn serve_worker<R: Read, W: Write>(
+    config: &OisaConfig,
+    reader: &mut R,
+    writer: &mut W,
+) -> BackendResult<u64> {
+    let mut served = 0u64;
+    while let Some(payload) = wire::read_frame(reader)? {
+        let reply = match wire::decode(&payload) {
+            Ok(WireMessage::Shard(shard)) => match execute_shard(config, &shard) {
+                Ok(report) => WireMessage::Report(report),
+                Err(e) => WireMessage::Refusal(ShardRefusal {
+                    job_id: shard.job_id,
+                    shard_index: shard.shard_index,
+                    reason: e.to_string(),
+                }),
+            },
+            Ok(other) => WireMessage::Refusal(ShardRefusal {
+                job_id: 0,
+                shard_index: 0,
+                reason: format!("worker expected a JobShard, got {}", message_name(&other)),
+            }),
+            Err(e) => WireMessage::Refusal(ShardRefusal {
+                job_id: 0,
+                shard_index: 0,
+                reason: format!("worker could not decode request: {e}"),
+            }),
+        };
+        wire::send(writer, &reply)?;
+        writer
+            .flush()
+            .map_err(|e| wire::WireError::Io(e.to_string()))?;
+        served += 1;
+    }
+    Ok(served)
+}
+
+fn message_name(message: &WireMessage) -> &'static str {
+    match message {
+        WireMessage::Job(_) => "InferenceJob",
+        WireMessage::Shard(_) => "JobShard",
+        WireMessage::Report(_) => "ShardReport",
+        WireMessage::Refusal(_) => "ShardRefusal",
+    }
+}
+
+// ---------------------------------------------------------------------
+// Transports
+// ---------------------------------------------------------------------
+
+/// One worker as the coordinator sees it: a byte-message round trip.
+/// The transport owns framing; the coordinator hands it one encoded
+/// message and expects one encoded reply.
+pub trait ShardTransport: Send {
+    /// Sends one encoded wire message, returns the worker's encoded
+    /// reply.
+    ///
+    /// # Errors
+    ///
+    /// [`OisaError`] when the transport breaks (worker death, stream
+    /// failure). Protocol-level refusals travel *inside* the reply.
+    fn round_trip(&mut self, message: &[u8]) -> BackendResult<Vec<u8>>;
+}
+
+/// An in-process worker: runs [`serve_worker`] over in-memory buffers,
+/// so the full encode → frame → decode → execute → encode path is
+/// exercised without spawning a process. This is what the bench
+/// harness and the parity tests use; `examples/multi_node.rs` swaps in
+/// a real child-process transport over the same trait.
+#[derive(Debug, Clone)]
+pub struct InProcessWorker {
+    config: OisaConfig,
+}
+
+impl InProcessWorker {
+    /// A worker that executes under `config`.
+    #[must_use]
+    pub fn new(config: OisaConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl ShardTransport for InProcessWorker {
+    fn round_trip(&mut self, message: &[u8]) -> BackendResult<Vec<u8>> {
+        let mut request = Vec::with_capacity(message.len() + 4);
+        wire::write_frame(&mut request, message)?;
+        let mut reader = std::io::Cursor::new(request);
+        let mut reply_stream = Vec::new();
+        serve_worker(&self.config, &mut reader, &mut reply_stream)?;
+        let mut cursor = std::io::Cursor::new(reply_stream);
+        wire::read_frame(&mut cursor)?
+            .ok_or_else(|| OisaError::Backend("in-process worker produced no reply".into()))
+    }
+}
+
+// ---------------------------------------------------------------------
+// ShardedBackend
+// ---------------------------------------------------------------------
+
+/// Coordinator backend: splits each job over a fleet of workers and
+/// merges their shard reports bit-identically to one sequential loop
+/// (module docs).
+///
+/// # Examples
+///
+/// ```
+/// use oisa_core::backend::{ComputeBackend, ShardedBackend};
+/// use oisa_core::wire::InferenceJob;
+/// use oisa_core::OisaConfig;
+/// use oisa_sensor::Frame;
+///
+/// # fn main() -> Result<(), oisa_core::OisaError> {
+/// let cfg = OisaConfig::small_test();
+/// let mut backend = ShardedBackend::in_process(cfg, 2)?;
+/// let job = InferenceJob {
+///     job_id: 1,
+///     k: 3,
+///     kernels: vec![vec![0.5f32; 9]],
+///     frames: vec![Frame::constant(16, 16, 0.6)?, Frame::constant(16, 16, 0.4)?],
+/// };
+/// let reports = backend.run_job(&job)?;
+/// assert_eq!(reports.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ShardedBackend {
+    config: OisaConfig,
+    fingerprint: u64,
+    workers: Vec<Box<dyn ShardTransport>>,
+    /// Absolute epoch of the next job's first frame (frames executed so
+    /// far across every job).
+    next_epoch: u64,
+    /// The kernel set the fabric "holds" between jobs — what a
+    /// sequential host's fabric would hold — so the next job's first
+    /// shard can reproduce its entry-state tuning cost.
+    last_staged: Option<(usize, Vec<Vec<f32>>)>,
+    jobs_run: u64,
+}
+
+impl std::fmt::Debug for ShardedBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedBackend")
+            .field("workers", &self.workers.len())
+            .field("next_epoch", &self.next_epoch)
+            .field("jobs_run", &self.jobs_run)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedBackend {
+    /// Builds a coordinator over an explicit worker fleet.
+    ///
+    /// # Errors
+    ///
+    /// [`OisaError::Backend`] for an empty fleet.
+    pub fn new(
+        config: OisaConfig,
+        workers: Vec<Box<dyn ShardTransport>>,
+    ) -> BackendResult<Self> {
+        if workers.is_empty() {
+            return Err(OisaError::Backend(
+                "a sharded backend needs at least one worker".into(),
+            ));
+        }
+        Ok(Self {
+            fingerprint: config.fingerprint(),
+            config,
+            workers,
+            next_epoch: 0,
+            last_staged: None,
+            jobs_run: 0,
+        })
+    }
+
+    /// Convenience fleet of `workers` in-process workers (tests,
+    /// benches, single-host parallelism over the wire path).
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedBackend::new`].
+    pub fn in_process(config: OisaConfig, workers: usize) -> BackendResult<Self> {
+        let fleet: Vec<Box<dyn ShardTransport>> = (0..workers)
+            .map(|_| Box::new(InProcessWorker::new(config)) as Box<dyn ShardTransport>)
+            .collect();
+        Self::new(config, fleet)
+    }
+
+    /// Number of workers in the fleet.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs merged so far.
+    #[must_use]
+    pub fn jobs_run(&self) -> u64 {
+        self.jobs_run
+    }
+
+    /// Builds the shard messages for `job` without dispatching them —
+    /// split out so tests can inspect the partitioning.
+    fn plan_shards(&self, job: &InferenceJob) -> Vec<JobShard> {
+        let n = job.frames.len();
+        let fleet = self.workers.len().min(n).max(1);
+        let base = n / fleet;
+        let extra = n % fleet;
+        let mut shards = Vec::with_capacity(fleet);
+        let mut start = 0usize;
+        for index in 0..fleet {
+            let len = base + usize::from(index < extra);
+            let range = start..start + len;
+            let entry = if start == 0 {
+                match &self.last_staged {
+                    None => FabricEntry::Cold,
+                    Some((k, kernels)) if *k == job.k && *kernels == job.kernels => {
+                        FabricEntry::WarmSelf
+                    }
+                    Some((k, kernels)) => FabricEntry::Warm {
+                        k: *k,
+                        kernels: kernels.clone(),
+                    },
+                }
+            } else {
+                FabricEntry::WarmSelf
+            };
+            shards.push(JobShard {
+                job_id: job.job_id,
+                shard_index: u32::try_from(index).expect("fleet fits u32"),
+                shard_count: u32::try_from(fleet).expect("fleet fits u32"),
+                first_frame: start as u64,
+                first_epoch: self.next_epoch + start as u64,
+                config_fingerprint: self.fingerprint,
+                entry,
+                k: job.k,
+                kernels: job.kernels.clone(),
+                frames: job.frames[range].to_vec(),
+            });
+            start += len;
+        }
+        shards
+    }
+}
+
+impl ComputeBackend for ShardedBackend {
+    fn config(&self) -> &OisaConfig {
+        &self.config
+    }
+
+    fn run_job(&mut self, job: &InferenceJob) -> BackendResult<Vec<ConvolutionReport>> {
+        if job.frames.is_empty() {
+            return Err(CoreError::InvalidParameter("no frames supplied".into()).into());
+        }
+        self.check_workload(&job.kernels, job.k)?;
+        let (width, height) = self.frame_dims();
+        if let Some(frame) = job
+            .frames
+            .iter()
+            .find(|f| f.width() != width || f.height() != height)
+        {
+            return Err(CoreError::InvalidParameter(format!(
+                "frame is {}x{} but the imager is {width}x{height}",
+                frame.width(),
+                frame.height()
+            ))
+            .into());
+        }
+        let shards = self.plan_shards(job);
+        let messages: Vec<Vec<u8>> = shards.iter().map(wire::encode_shard).collect();
+
+        // Dispatch every shard concurrently: one OS thread per engaged
+        // worker, each blocking on its transport's round trip. Replies
+        // come back in spawn order, which is frame order.
+        let replies: Vec<BackendResult<Vec<u8>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .workers
+                .iter_mut()
+                .zip(&messages)
+                .map(|(worker, message)| scope.spawn(move || worker.round_trip(message)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(OisaError::Backend("shard dispatch thread panicked".into()))
+                    })
+                })
+                .collect()
+        });
+
+        // Merge in frame order, verifying every echo field so a
+        // misrouted or stale reply cannot silently corrupt the stream.
+        let mut merged = Vec::with_capacity(job.frames.len());
+        for (shard, reply) in shards.iter().zip(replies) {
+            let report = match wire::decode(&reply?)? {
+                WireMessage::Report(report) => report,
+                WireMessage::Refusal(refusal) => {
+                    return Err(OisaError::Backend(format!(
+                        "worker refused shard {} of job {}: {}",
+                        refusal.shard_index, refusal.job_id, refusal.reason
+                    )));
+                }
+                other => {
+                    return Err(OisaError::Backend(format!(
+                        "worker answered shard {} with a {}",
+                        shard.shard_index,
+                        message_name(&other)
+                    )));
+                }
+            };
+            if report.job_id != shard.job_id
+                || report.shard_index != shard.shard_index
+                || report.first_frame != shard.first_frame
+            {
+                return Err(OisaError::Backend(format!(
+                    "shard reply mismatch: expected job {} shard {} first_frame {}, \
+                     got job {} shard {} first_frame {}",
+                    shard.job_id,
+                    shard.shard_index,
+                    shard.first_frame,
+                    report.job_id,
+                    report.shard_index,
+                    report.first_frame
+                )));
+            }
+            if report.reports.len() != shard.frames.len() {
+                return Err(OisaError::Backend(format!(
+                    "shard {} returned {} reports for {} frames",
+                    shard.shard_index,
+                    report.reports.len(),
+                    shard.frames.len()
+                )));
+            }
+            merged.extend(report.reports);
+        }
+
+        // Only now does coordinator state advance: a failed job above
+        // consumed nothing, so a retry re-executes identically.
+        self.next_epoch += job.frames.len() as u64;
+        self.last_staged = Some((job.k, job.kernels.clone()));
+        self.jobs_run += 1;
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oisa_device::noise::NoiseConfig;
+    use oisa_sensor::frame::Frame;
+
+    fn cfg(seed: u64) -> OisaConfig {
+        let mut cfg = OisaConfig::small_test();
+        cfg.noise = NoiseConfig::paper_default();
+        cfg.seed = seed;
+        cfg
+    }
+
+    fn frames(count: usize) -> Vec<Frame> {
+        (0..count)
+            .map(|f| {
+                let data: Vec<f64> = (0..256)
+                    .map(|i| ((i * (f + 3)) % 17) as f64 / 17.0)
+                    .collect();
+                Frame::new(16, 16, data).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn local_backend_matches_direct_batch_calls() {
+        let job = InferenceJob {
+            job_id: 1,
+            k: 3,
+            kernels: vec![vec![0.4f32; 9], vec![-0.2f32; 9]],
+            frames: frames(3),
+        };
+        let mut backend = LocalBackend::new(cfg(5)).unwrap();
+        let via_backend = backend.run_job(&job).unwrap();
+        let mut direct = OisaAccelerator::new(cfg(5)).unwrap();
+        let via_accel = direct.convolve_frames(&job.frames, &job.kernels, 3).unwrap();
+        assert_eq!(via_backend, via_accel);
+    }
+
+    #[test]
+    fn shard_planning_partitions_frames_epochs_and_entry_states() {
+        let backend = ShardedBackend::in_process(cfg(6), 3).unwrap();
+        let job = InferenceJob {
+            job_id: 9,
+            k: 3,
+            kernels: vec![vec![0.5f32; 9]],
+            frames: frames(7),
+        };
+        let shards = backend.plan_shards(&job);
+        assert_eq!(shards.len(), 3);
+        // 7 frames over 3 workers: 3 + 2 + 2, contiguous.
+        assert_eq!(
+            shards.iter().map(|s| s.frames.len()).collect::<Vec<_>>(),
+            vec![3, 2, 2]
+        );
+        assert_eq!(
+            shards.iter().map(|s| s.first_frame).collect::<Vec<_>>(),
+            vec![0, 3, 5]
+        );
+        assert_eq!(
+            shards.iter().map(|s| s.first_epoch).collect::<Vec<_>>(),
+            vec![0, 3, 5]
+        );
+        // First shard of a fresh stream is cold; later shards are warm.
+        assert_eq!(shards[0].entry, FabricEntry::Cold);
+        assert_eq!(shards[1].entry, FabricEntry::WarmSelf);
+        assert_eq!(shards[2].entry, FabricEntry::WarmSelf);
+        // More workers than frames engages only as many as there are
+        // frames.
+        let tiny = InferenceJob {
+            frames: frames(2),
+            ..job
+        };
+        let shards = backend.plan_shards(&tiny);
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].shard_count, 2);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_refused_with_a_reason() {
+        let mut worker_cfg = cfg(7);
+        worker_cfg.seed = 8; // different physics
+        let shard = JobShard {
+            job_id: 3,
+            shard_index: 0,
+            shard_count: 1,
+            first_frame: 0,
+            first_epoch: 0,
+            config_fingerprint: cfg(7).fingerprint(),
+            entry: FabricEntry::Cold,
+            k: 3,
+            kernels: vec![vec![0.5f32; 9]],
+            frames: frames(1),
+        };
+        let err = execute_shard(&worker_cfg, &shard).unwrap_err();
+        assert!(matches!(err, OisaError::Backend(_)), "got {err:?}");
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+        // And through a transport it comes back as a typed refusal.
+        let mut transport = InProcessWorker::new(worker_cfg);
+        let reply = transport
+            .round_trip(&wire::encode(&WireMessage::Shard(shard)))
+            .unwrap();
+        match wire::decode(&reply).unwrap() {
+            WireMessage::Refusal(refusal) => {
+                assert_eq!(refusal.job_id, 3);
+                assert!(refusal.reason.contains("fingerprint"), "{}", refusal.reason);
+            }
+            other => panic!("expected a refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_answers_garbage_with_a_refusal_not_a_hangup() {
+        let mut transport = InProcessWorker::new(cfg(8));
+        // A syntactically valid frame holding an undecodable payload.
+        let reply = transport.round_trip(&[0xDE, 0xAD]).unwrap();
+        match wire::decode(&reply).unwrap() {
+            WireMessage::Refusal(refusal) => {
+                assert!(refusal.reason.contains("decode"), "{}", refusal.reason);
+            }
+            other => panic!("expected a refusal, got {other:?}"),
+        }
+        // A well-formed message of the wrong type is named in the
+        // refusal.
+        let job = InferenceJob {
+            job_id: 1,
+            k: 3,
+            kernels: vec![vec![0.5f32; 9]],
+            frames: frames(1),
+        };
+        let reply = transport
+            .round_trip(&wire::encode(&WireMessage::Job(job)))
+            .unwrap();
+        match wire::decode(&reply).unwrap() {
+            WireMessage::Refusal(refusal) => {
+                assert!(refusal.reason.contains("InferenceJob"), "{}", refusal.reason);
+            }
+            other => panic!("expected a refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_fleet_and_empty_job_are_rejected() {
+        assert!(ShardedBackend::new(cfg(9), Vec::new()).is_err());
+        let mut backend = ShardedBackend::in_process(cfg(9), 2).unwrap();
+        let empty = InferenceJob {
+            job_id: 1,
+            k: 3,
+            kernels: vec![vec![0.5f32; 9]],
+            frames: Vec::new(),
+        };
+        assert!(backend.run_job(&empty).is_err());
+        let wrong_dims = InferenceJob {
+            job_id: 2,
+            k: 3,
+            kernels: vec![vec![0.5f32; 9]],
+            frames: vec![Frame::constant(8, 8, 0.5).unwrap()],
+        };
+        assert!(backend.run_job(&wrong_dims).is_err());
+        // Failed jobs consumed no epochs.
+        assert_eq!(backend.next_epoch, 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! `OisaError` — the one error type backend and serving callers handle.
+//!
+//! The execution stack grew errors layer by layer: [`CoreError`] from
+//! the architecture, [`DeviceError`](oisa_device::DeviceError) from the
+//! substrate, [`SubmitError`](crate::serving::SubmitError) from the
+//! serving queue and [`WireError`](crate::wire::WireError) from the
+//! sharding protocol. A caller driving a [`ComputeBackend`] through all
+//! of them previously needed four `match` arms per call site;
+//! [`OisaError`] folds them into one `#[non_exhaustive]` enum with
+//! `From` impls, so `?` composes across every layer.
+//!
+//! [`ComputeBackend`]: crate::backend::ComputeBackend
+
+use std::fmt;
+
+use oisa_device::DeviceError;
+
+use crate::wire::WireError;
+use crate::CoreError;
+
+/// Why a submission was declined, without the returned frame.
+///
+/// [`SubmitError`](crate::serving::SubmitError) hands the undelivered
+/// frame back by value so callers can retry without a copy; once an
+/// error is folded into [`OisaError`] the frame has been consumed, so
+/// only the *kind* survives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitKind {
+    /// The serving queue was at capacity.
+    Backpressure,
+    /// The engine was shutting down.
+    ShutDown,
+}
+
+/// Unified error of the execution stack (backend, serving, wire,
+/// device, architecture).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OisaError {
+    /// Architecture-layer failure ([`CoreError`]).
+    Core(CoreError),
+    /// Substrate device failure ([`DeviceError`]), kept distinct from
+    /// [`OisaError::Core`] so epoch-exhaustion and range faults stay
+    /// matchable.
+    Device(DeviceError),
+    /// Wire-protocol failure ([`WireError`]): decode errors, framing
+    /// truncation, schema-version mismatches.
+    Wire(WireError),
+    /// A serving submission was declined (frame already handed back).
+    Submit(SubmitKind),
+    /// A configuration field failed validation
+    /// ([`OisaConfigBuilder`](crate::accelerator::OisaConfigBuilder)).
+    Config {
+        /// The offending builder field.
+        field: &'static str,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A distributed-backend fault: a worker refused a shard, a
+    /// transport broke mid-job, or merged shards failed consistency
+    /// checks.
+    Backend(String),
+}
+
+impl fmt::Display for OisaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Core(e) => write!(f, "{e}"),
+            Self::Device(e) => write!(f, "device error: {e}"),
+            Self::Wire(e) => write!(f, "wire error: {e}"),
+            Self::Submit(SubmitKind::Backpressure) => {
+                write!(f, "submission declined: queue full (backpressure)")
+            }
+            Self::Submit(SubmitKind::ShutDown) => {
+                write!(f, "submission declined: engine shutting down")
+            }
+            Self::Config { field, reason } => {
+                write!(f, "invalid configuration: {field}: {reason}")
+            }
+            Self::Backend(what) => write!(f, "backend error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for OisaError {}
+
+impl From<CoreError> for OisaError {
+    fn from(e: CoreError) -> Self {
+        Self::Core(e)
+    }
+}
+
+impl From<DeviceError> for OisaError {
+    fn from(e: DeviceError) -> Self {
+        Self::Device(e)
+    }
+}
+
+impl From<WireError> for OisaError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
+    }
+}
+
+impl From<oisa_sensor::SensorError> for OisaError {
+    fn from(e: oisa_sensor::SensorError) -> Self {
+        Self::Core(e.into())
+    }
+}
+
+impl From<oisa_optics::OpticsError> for OisaError {
+    fn from(e: oisa_optics::OpticsError) -> Self {
+        Self::Core(e.into())
+    }
+}
+
+impl From<oisa_memory::MemoryError> for OisaError {
+    fn from(e: oisa_memory::MemoryError) -> Self {
+        Self::Core(e.into())
+    }
+}
+
+impl From<oisa_nn::NnError> for OisaError {
+    fn from(e: oisa_nn::NnError) -> Self {
+        Self::Core(e.into())
+    }
+}
+
+impl From<crate::serving::SubmitError> for OisaError {
+    /// Folds a submit error into the unified type. A
+    /// [`Rejected`](crate::serving::SubmitError::Rejected) submission
+    /// carries an architecture error and maps to [`OisaError::Core`];
+    /// the queue-state variants keep their kind but drop the returned
+    /// frame (it was available on the original error for zero-copy
+    /// retry).
+    fn from(e: crate::serving::SubmitError) -> Self {
+        match e {
+            crate::serving::SubmitError::Rejected(core) => Self::Core(core),
+            crate::serving::SubmitError::Backpressure(_) => {
+                Self::Submit(SubmitKind::Backpressure)
+            }
+            crate::serving::SubmitError::ShutDown(_) => Self::Submit(SubmitKind::ShutDown),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oisa_sensor::Frame;
+
+    #[test]
+    fn every_layer_folds_in() {
+        let core: OisaError = CoreError::InvalidParameter("x".into()).into();
+        assert!(matches!(core, OisaError::Core(_)));
+        let device: OisaError = DeviceError::OutOfRange("epoch".into()).into();
+        assert!(matches!(device, OisaError::Device(_)));
+        let wire: OisaError = WireError::UnsupportedVersion { got: 9 }.into();
+        assert!(matches!(wire, OisaError::Wire(_)));
+        let frame = Frame::constant(2, 2, 0.5).unwrap();
+        let submit: OisaError = crate::serving::SubmitError::Backpressure(frame).into();
+        assert_eq!(submit, OisaError::Submit(SubmitKind::Backpressure));
+        let rejected: OisaError = crate::serving::SubmitError::Rejected(
+            CoreError::InvalidParameter("bad frame".into()),
+        )
+        .into();
+        assert!(matches!(rejected, OisaError::Core(_)), "Rejected keeps its cause");
+    }
+
+    #[test]
+    fn display_names_the_layer() {
+        assert!(OisaError::from(DeviceError::OutOfRange("e".into()))
+            .to_string()
+            .starts_with("device error"));
+        assert!(OisaError::from(WireError::UnsupportedVersion { got: 2 })
+            .to_string()
+            .starts_with("wire error"));
+        let cfg = OisaError::Config {
+            field: "imager",
+            reason: "zero width".into(),
+        };
+        assert!(cfg.to_string().contains("imager"));
+    }
+}

@@ -22,9 +22,17 @@
 //!   and back-steals, returning results in item order.
 //! * [`serving`] — the async serving front end: frames are submitted
 //!   to a queue from any thread, batches form on a deadline or a size
-//!   bound, and a dedicated worker drives the batch engine; completion
+//!   bound, and a dedicated worker drives a [`backend`]; completion
 //!   handles return per-request reports bit-identical to a sequential
 //!   per-frame loop.
+//! * [`backend`] — the unified execution seam: [`ComputeBackend`]
+//!   executes [`wire::InferenceJob`]s, either on this host
+//!   ([`LocalBackend`]) or sharded across worker processes
+//!   ([`ShardedBackend`]) with bit-identical merges.
+//! * [`wire`] — the versioned, length-prefixed binary schema those
+//!   processes speak (strict decode errors, schema-version checks).
+//! * [`error`] — [`OisaError`], the one error type backend/serving
+//!   callers handle; every layer's error folds in via `From`.
 //! * [`deploy`] — the Table II bridge: converts the AWC→MR level tables
 //!   into [`oisa_nn`] quantisers and swaps a trained model's first
 //!   convolution for its OISA deployment wrapper.
@@ -74,18 +82,24 @@
 //! ```
 
 pub mod accelerator;
+pub mod backend;
 pub mod controller;
 pub mod deploy;
+pub mod error;
 pub mod mapping;
 pub mod mlp;
 pub mod perf;
 pub mod scheduler;
 pub mod serving;
+pub mod wire;
 
-pub use accelerator::{ConvolutionReport, OisaAccelerator, OisaConfig};
+pub use accelerator::{ConvolutionReport, OisaAccelerator, OisaConfig, OisaConfigBuilder};
+pub use backend::{ComputeBackend, LocalBackend, ShardTransport, ShardedBackend};
+pub use error::OisaError;
 pub use serving::{ServingConfig, ServingEngine, ServingStats};
 pub use mapping::{ConvWorkload, MappingPlan};
 pub use perf::{OisaPerfModel, PowerBreakdown};
+pub use wire::{InferenceJob, JobShard, ShardReport};
 
 use std::fmt;
 

@@ -1,4 +1,4 @@
-//! Async serving front end over the batched inference engine.
+//! Async serving front end over the [`ComputeBackend`] seam.
 //!
 //! The OISA paper positions the accelerator as the first stage of an
 //! edge deployment: sensors capture frames continuously and the
@@ -6,9 +6,12 @@
 //! `convolve_frame` call at a time. [`ServingEngine`] models exactly
 //! that deployment boundary: callers submit captured [`Frame`]s from
 //! any thread and get a [`FrameHandle`] back immediately; a dedicated
-//! worker thread groups pending frames into batches and runs them
-//! through [`OisaAccelerator::convolve_frames`], which spreads the work
-//! over the work-stealing scheduler in [`crate::scheduler`].
+//! worker thread groups pending frames into [`InferenceJob`]s and runs
+//! them through whatever [`ComputeBackend`] the engine fronts —
+//! a [`LocalBackend`] (one accelerator, the work-stealing scheduler in
+//! [`crate::scheduler`] underneath) by default, or a
+//! [`ShardedBackend`](crate::backend::ShardedBackend) for multi-host
+//! serving, via [`ServingEngine::with_backend`].
 //!
 //! # Batching policy — the latency/throughput knobs
 //!
@@ -70,7 +73,8 @@
 //! let handle = engine.submit(Frame::constant(16, 16, 0.8)?).map_err(Box::new)?;
 //! let report = handle.wait()?;
 //! assert_eq!(report.output.len(), 1);
-//! let (_accel, stats) = engine.shutdown();
+//! let (backend, stats) = engine.shutdown();
+//! let _accel = backend.into_accelerator();
 //! assert_eq!(stats.frames_completed, 1);
 //! # Ok(())
 //! # }
@@ -82,12 +86,13 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use oisa_optics::opc::KernelSize;
 use oisa_sensor::frame::Frame;
 
 use crate::accelerator::{ConvolutionReport, OisaAccelerator};
-use crate::mapping::{ConvWorkload, MappingPlan};
-use crate::{CoreError, Result};
+use crate::backend::{ComputeBackend, LocalBackend};
+use crate::error::OisaError;
+use crate::wire::InferenceJob;
+use crate::CoreError;
 
 /// Knobs of the serving front end. See the module docs for how the
 /// three interact.
@@ -118,9 +123,13 @@ impl Default for ServingConfig {
     }
 }
 
+/// Result alias for serving-path operations: everything surfaces the
+/// unified [`OisaError`].
+type ServeResult<T> = std::result::Result<T, OisaError>;
+
 impl ServingConfig {
     /// Rejects degenerate configurations.
-    fn validate(&self) -> Result<()> {
+    fn validate(&self) -> crate::Result<()> {
         if self.max_batch == 0 {
             return Err(CoreError::InvalidParameter(
                 "serving max_batch must be at least 1".into(),
@@ -190,14 +199,15 @@ impl FrameHandle {
     ///
     /// # Errors
     ///
-    /// The error the frame's batch hit, if any ([`CoreError`]), or
-    /// [`CoreError::InvalidParameter`] when the result was already
-    /// consumed through [`FrameHandle::try_take`].
-    pub fn wait(self) -> Result<ConvolutionReport> {
+    /// The [`OisaError`] the frame's batch hit, if any, or
+    /// [`CoreError::InvalidParameter`] (wrapped) when the result was
+    /// already consumed through [`FrameHandle::try_take`].
+    pub fn wait(self) -> ServeResult<ConvolutionReport> {
         if self.taken {
             return Err(CoreError::InvalidParameter(
                 "serving result was already taken from this handle".into(),
-            ));
+            )
+            .into());
         }
         let mut result = self.slot.result.lock().expect("serving: poisoned result slot");
         loop {
@@ -226,7 +236,7 @@ impl FrameHandle {
 
     /// Takes the result if it is available, leaving the handle empty
     /// (non-blocking poll counterpart of [`FrameHandle::wait`]).
-    pub fn try_take(&mut self) -> Option<Result<ConvolutionReport>> {
+    pub fn try_take(&mut self) -> Option<ServeResult<ConvolutionReport>> {
         if self.taken {
             return None;
         }
@@ -244,7 +254,7 @@ impl FrameHandle {
 /// One-shot mailbox a request's result lands in.
 #[derive(Debug)]
 struct Slot {
-    result: Mutex<Option<Result<ConvolutionReport>>>,
+    result: Mutex<Option<ServeResult<ConvolutionReport>>>,
     ready: Condvar,
 }
 
@@ -256,7 +266,7 @@ impl Slot {
         }
     }
 
-    fn fulfil(&self, r: Result<ConvolutionReport>) {
+    fn fulfil(&self, r: ServeResult<ConvolutionReport>) {
         *self.result.lock().expect("serving: poisoned result slot") = Some(r);
         self.ready.notify_all();
     }
@@ -391,59 +401,62 @@ struct Shared {
 
 /// The serving front end. See the module docs.
 ///
-/// The engine owns the accelerator for its lifetime (the worker thread
-/// needs `&mut` access); [`ServingEngine::shutdown`] hands it back so
-/// callers can verify or reuse the fabric state.
+/// Generic over the [`ComputeBackend`] that executes the batches; the
+/// engine owns the backend for its lifetime (the worker thread needs
+/// `&mut` access) and [`ServingEngine::shutdown`] hands it back so
+/// callers can verify or reuse its state (for a [`LocalBackend`],
+/// [`LocalBackend::into_accelerator`] recovers the accelerator).
 #[derive(Debug)]
-pub struct ServingEngine {
+pub struct ServingEngine<B: ComputeBackend + 'static = LocalBackend> {
     shared: Arc<Shared>,
-    worker: Option<JoinHandle<OisaAccelerator>>,
+    worker: Option<JoinHandle<B>>,
     frame_width: usize,
     frame_height: usize,
 }
 
-impl ServingEngine {
-    /// Spawns the worker thread and starts serving.
-    ///
-    /// The kernel set is fixed for the engine's lifetime — a deployed
-    /// first layer, in the paper's framing — so per-request work is
-    /// frames only and weight staging amortises across whole batches.
+impl ServingEngine<LocalBackend> {
+    /// Spawns the worker thread and starts serving on this host —
+    /// shorthand for [`ServingEngine::with_backend`] over a
+    /// [`LocalBackend`] wrapping `accel`.
     ///
     /// # Errors
     ///
-    /// * [`CoreError::InvalidParameter`] for a degenerate
-    ///   [`ServingConfig`] or empty/ill-sized kernels.
-    /// * [`CoreError::Unmappable`] when the kernels do not fit the
-    ///   accelerator's OPC.
+    /// As [`ServingEngine::with_backend`].
     pub fn new(
         accel: OisaAccelerator,
         kernels: Vec<Vec<f32>>,
         k: usize,
         config: ServingConfig,
-    ) -> Result<Self> {
+    ) -> ServeResult<Self> {
+        Self::with_backend(LocalBackend::from_accelerator(accel), kernels, k, config)
+    }
+}
+
+impl<B: ComputeBackend + 'static> ServingEngine<B> {
+    /// Spawns the worker thread and starts serving over `backend`.
+    ///
+    /// The kernel set is fixed for the engine's lifetime — a deployed
+    /// first layer, in the paper's framing — so per-request work is
+    /// frames only, weight staging amortises across whole batches, and
+    /// a sharded backend's workers can reproduce fabric entry states
+    /// without per-request coordination.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidParameter`] (wrapped in [`OisaError`])
+    ///   for a degenerate [`ServingConfig`] or empty/ill-sized kernels.
+    /// * [`CoreError::Unmappable`] when the kernels do not fit the
+    ///   backend's OPC ([`ComputeBackend::check_workload`] — failing at
+    ///   construction, not on the first submitted frame).
+    pub fn with_backend(
+        backend: B,
+        kernels: Vec<Vec<f32>>,
+        k: usize,
+        config: ServingConfig,
+    ) -> ServeResult<Self> {
         config.validate()?;
-        if kernels.is_empty() {
-            return Err(CoreError::InvalidParameter("no kernels supplied".into()));
-        }
-        if kernels.iter().any(|kn| kn.len() != k * k) {
-            return Err(CoreError::InvalidParameter(format!(
-                "every kernel must have {} weights",
-                k * k
-            )));
-        }
-        KernelSize::from_k(k).map_err(|e| CoreError::Unmappable(e.to_string()))?;
-        let imager = accel.config().imager;
-        // Fail unmappable workloads at construction, not on the first
-        // submitted frame.
-        let workload = ConvWorkload {
-            out_channels: kernels.len(),
-            in_channels: 1,
-            kernel: k,
-            input_h: imager.height,
-            input_w: imager.width,
-            stride: 1,
-        };
-        MappingPlan::compute(&workload, &accel.config().opc)?;
+        backend.check_workload(&kernels, k)?;
+        let (frame_width, frame_height) = backend.frame_dims();
 
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
@@ -458,13 +471,17 @@ impl ServingEngine {
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
             .name("oisa-serving".into())
-            .spawn(move || worker_loop(accel, &kernels, k, &worker_shared))
-            .map_err(|e| CoreError::InvalidParameter(format!("cannot spawn serving worker: {e}")))?;
+            .spawn(move || worker_loop(backend, kernels, k, &worker_shared))
+            .map_err(|e| {
+                OisaError::from(CoreError::InvalidParameter(format!(
+                    "cannot spawn serving worker: {e}"
+                )))
+            })?;
         Ok(Self {
             shared,
             worker: Some(worker),
-            frame_width: imager.width,
-            frame_height: imager.height,
+            frame_width,
+            frame_height,
         })
     }
 
@@ -582,21 +599,22 @@ impl ServingEngine {
     }
 
     /// Stops accepting frames, drains every pending batch, joins the
-    /// worker and returns the accelerator (in exactly the state a
-    /// sequential per-frame loop over all served frames would leave it)
-    /// together with the final stats.
+    /// worker and returns the backend (a [`LocalBackend`] comes back
+    /// with its accelerator in exactly the state a sequential per-frame
+    /// loop over all served frames would leave it) together with the
+    /// final stats.
     ///
     /// Handles for frames that were queued at shutdown resolve normally.
     #[must_use]
-    pub fn shutdown(mut self) -> (OisaAccelerator, ServingStats) {
-        let accel = self
+    pub fn shutdown(mut self) -> (B, ServingStats) {
+        let backend = self
             .shutdown_inner()
             .expect("serving: worker already joined");
         let stats = self.stats();
-        (accel, stats)
+        (backend, stats)
     }
 
-    fn shutdown_inner(&mut self) -> Option<OisaAccelerator> {
+    fn shutdown_inner(&mut self) -> Option<B> {
         let worker = self.worker.take()?;
         self.shared
             .queue
@@ -609,7 +627,7 @@ impl ServingEngine {
     }
 }
 
-impl Drop for ServingEngine {
+impl<B: ComputeBackend + 'static> Drop for ServingEngine<B> {
     /// Dropping without [`ServingEngine::shutdown`] still drains the
     /// queue and resolves every outstanding handle.
     fn drop(&mut self) {
@@ -675,15 +693,20 @@ fn next_batch(shared: &Shared) -> Option<(Vec<Request>, BatchTrigger)> {
     }
 }
 
-/// The worker thread: form batch → run `convolve_frames` → resolve
-/// handles → account, until drained and shut down. Returns the
-/// accelerator so `shutdown` can hand it back.
-fn worker_loop(
-    mut accel: OisaAccelerator,
-    kernels: &[Vec<f32>],
+/// The worker thread: form batch → build an [`InferenceJob`] → run it
+/// through the backend → resolve handles → account, until drained and
+/// shut down. Returns the backend so `shutdown` can hand it back.
+fn worker_loop<B: ComputeBackend>(
+    mut backend: B,
+    kernels: Vec<Vec<f32>>,
     k: usize,
     shared: &Shared,
-) -> OisaAccelerator {
+) -> B {
+    let mut next_job_id = 0u64;
+    // The deployed kernel set is moved into each batch's job and
+    // reclaimed afterwards, so the latency-critical loop never deep-
+    // clones the weights.
+    let mut kernel_set = kernels;
     while let Some((batch, trigger)) = next_batch(shared) {
         // Space freed — wake blocked submitters before computing.
         shared.space.notify_all();
@@ -707,12 +730,20 @@ fn worker_loop(
             }
         }
         // The batch body runs under `catch_unwind`: a panic in the
-        // accelerator or scheduler must not strand waiters on condvars
+        // backend or scheduler must not strand waiters on condvars
         // that would otherwise never fire again (a deployed server
         // would deadlock instead of surfacing the fault).
+        let job = InferenceJob {
+            job_id: next_job_id,
+            k,
+            kernels: std::mem::take(&mut kernel_set),
+            frames,
+        };
+        next_job_id += 1;
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            accel.convolve_frames(&frames, kernels, k)
+            backend.run_job(&job)
         }));
+        kernel_set = job.kernels;
         match outcome {
             Ok(Ok(reports)) => {
                 for (slot, report) in slots.iter().zip(reports) {
@@ -732,11 +763,11 @@ fn worker_loop(
             // refused, blocked submitters wake, and the worker exits
             // cleanly so `shutdown` can still join it.
             Err(_panic) => {
-                let error = CoreError::Substrate(
+                let error = OisaError::from(CoreError::Substrate(
                     "serving worker panicked while running a batch; \
                      the engine refuses further work"
                         .into(),
-                );
+                ));
                 for slot in &slots {
                     slot.fulfil(Err(error.clone()));
                 }
@@ -752,14 +783,14 @@ fn worker_loop(
                 let mut stats = shared.stats.lock().expect("serving: poisoned stats");
                 stats.frames_completed += (slots.len() + stranded.len()) as u64;
                 stats.last_done = Some(Instant::now());
-                return accel;
+                return backend;
             }
         }
         let mut stats = shared.stats.lock().expect("serving: poisoned stats");
         stats.frames_completed += slots.len() as u64;
         stats.last_done = Some(Instant::now());
     }
-    accel
+    backend
 }
 
 #[cfg(test)]
@@ -846,7 +877,7 @@ mod tests {
         // a condvar that will never fire again.
         assert!(matches!(
             handle.wait(),
-            Err(CoreError::InvalidParameter(_))
+            Err(OisaError::Core(CoreError::InvalidParameter(_)))
         ));
     }
 

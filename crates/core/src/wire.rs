@@ -1,0 +1,970 @@
+//! Versioned wire schema for distributed execution.
+//!
+//! The sharded backend splits an [`InferenceJob`] into [`JobShard`]s,
+//! ships each to a worker process and merges the returned
+//! [`ShardReport`]s ([`crate::backend`]). This module is the protocol
+//! between those processes: a small, explicit, **versioned** binary
+//! encoding with strict decode errors, so a coordinator and a worker
+//! that disagree about anything fail loudly instead of silently
+//! computing on garbage.
+//!
+//! # Framing and layout
+//!
+//! Messages travel over any byte stream (pipes in the in-tree example,
+//! TCP later) as length-prefixed frames:
+//!
+//! ```text
+//! frame   := len:u32le payload
+//! payload := magic:u16le version:u16le tag:u8 body
+//! ```
+//!
+//! All integers are little-endian; `f64`/`f32` travel as their IEEE-754
+//! bit patterns, so reports round-trip **bit-exactly** — a requirement,
+//! not a nicety, because the sharding contract is bit-identical merges.
+//! Collections are a `u32` count followed by the elements.
+//!
+//! # Strictness
+//!
+//! Decoding rejects, with a typed [`WireError`] and never a panic:
+//!
+//! * a bad magic or an unknown message tag,
+//! * any schema version other than [`SCHEMA_VERSION`] (no silent
+//!   best-effort reads of future layouts),
+//! * truncated payloads and truncated length prefixes,
+//! * trailing bytes after a complete message,
+//! * length prefixes beyond [`MAX_MESSAGE_BYTES`] (a corrupt prefix
+//!   must not become an allocation bomb),
+//! * semantic violations the constructors enforce (e.g. frame pixels
+//!   outside `[0, 1]`).
+//!
+//! The shim `serde` derive on these types is a forward-compatibility
+//! marker only (the offline build has no real serde); this module is
+//! the actual, tested serialization.
+
+use std::io::{Read, Write};
+
+use oisa_sensor::frame::Frame;
+
+use crate::accelerator::{ConvolutionReport, EnergyReport};
+use crate::controller::Timeline;
+use crate::mapping::MappingPlan;
+use oisa_units::{Joule, Second};
+
+/// Version of the message layout. Bump on **any** layout change; a
+/// decoder only ever accepts its own version.
+pub const SCHEMA_VERSION: u16 = 1;
+
+/// Magic prefix of every payload (`"OW"`, OISA wire).
+pub const MAGIC: u16 = u16::from_le_bytes(*b"OW");
+
+/// Upper bound a frame's length prefix may claim. Generous for real
+/// jobs (a 1024×1024 float frame is 8 MiB) while keeping a corrupt
+/// prefix from looking like a 4 GiB allocation.
+pub const MAX_MESSAGE_BYTES: u32 = 256 * 1024 * 1024;
+
+const TAG_JOB: u8 = 1;
+const TAG_SHARD: u8 = 2;
+const TAG_REPORT: u8 = 3;
+const TAG_REFUSAL: u8 = 4;
+
+/// Decode/framing failures. Every variant is a *protocol* fault — the
+/// bytes were readable but wrong — except [`WireError::Io`], which
+/// wraps transport failures so stream helpers return one error type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The payload does not start with [`MAGIC`].
+    BadMagic(u16),
+    /// The payload's schema version is not [`SCHEMA_VERSION`].
+    UnsupportedVersion {
+        /// The version the peer wrote.
+        got: u16,
+    },
+    /// The message tag names no known message type.
+    UnknownTag(u8),
+    /// The payload ended before the layout was complete.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes that remained.
+        available: usize,
+    },
+    /// A complete message was followed by garbage.
+    TrailingBytes(usize),
+    /// A length prefix claimed more than [`MAX_MESSAGE_BYTES`].
+    TooLarge(u32),
+    /// The bytes decoded but violate a semantic invariant.
+    Malformed(String),
+    /// The underlying stream failed.
+    Io(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic(got) => write!(f, "bad magic 0x{got:04x} (expected 0x{MAGIC:04x})"),
+            Self::UnsupportedVersion { got } => write!(
+                f,
+                "unsupported schema version {got} (this build speaks {SCHEMA_VERSION})"
+            ),
+            Self::UnknownTag(tag) => write!(f, "unknown message tag {tag}"),
+            Self::Truncated { needed, available } => write!(
+                f,
+                "truncated message: needed {needed} more byte(s), {available} available"
+            ),
+            Self::TrailingBytes(n) => write!(f, "{n} trailing byte(s) after message"),
+            Self::TooLarge(n) => write!(
+                f,
+                "length prefix {n} exceeds the {MAX_MESSAGE_BYTES}-byte message bound"
+            ),
+            Self::Malformed(what) => write!(f, "malformed message: {what}"),
+            Self::Io(what) => write!(f, "stream error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Wire-level result alias.
+pub type Result<T> = std::result::Result<T, WireError>;
+
+/// A batch of frames to convolve with a fixed kernel set — the unit of
+/// work a [`ComputeBackend`](crate::backend::ComputeBackend) executes.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct InferenceJob {
+    /// Caller-chosen identifier, echoed in every shard and report.
+    pub job_id: u64,
+    /// Kernel side (3, 5 or 7).
+    pub k: usize,
+    /// One `k²`-weight plane per output channel.
+    pub kernels: Vec<Vec<f32>>,
+    /// The frames, in order; reports come back in the same order.
+    pub frames: Vec<Frame>,
+}
+
+/// The fabric state a shard's first frame must see, so tuning/memory
+/// energies merge bit-identically (ring tuning cost depends on the
+/// previous operating point).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FabricEntry {
+    /// Pristine fabric: the shard starts at the job stream's very first
+    /// frame, which pays the cold-entry tuning cost.
+    Cold,
+    /// Stage the shard's own kernel set once before computing — the
+    /// steady state a sequential loop reaches after its first frame.
+    WarmSelf,
+    /// Stage *this* kernel set once before computing: the state a
+    /// previous job (with different kernels) left the fabric in.
+    Warm {
+        /// Kernel side of the previous set.
+        k: usize,
+        /// The previous kernel planes.
+        kernels: Vec<Vec<f32>>,
+    },
+}
+
+/// A contiguous `(frame, epoch)` range of an [`InferenceJob`], assigned
+/// to one worker. Self-contained: a stateless worker can execute it
+/// from nothing but this message plus the out-of-band deployment
+/// config (checked via [`JobShard::config_fingerprint`]).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct JobShard {
+    /// The job this shard belongs to.
+    pub job_id: u64,
+    /// Position of this shard in the job's split.
+    pub shard_index: u32,
+    /// Number of shards the job was split into.
+    pub shard_count: u32,
+    /// Index (within the job) of this shard's first frame.
+    pub first_frame: u64,
+    /// Absolute noise epoch of this shard's first frame.
+    pub first_epoch: u64,
+    /// Fingerprint of the coordinator's [`OisaConfig`]
+    /// ([`crate::accelerator::OisaConfig::fingerprint`]); a worker
+    /// refuses shards whose fingerprint differs from its own config's.
+    pub config_fingerprint: u64,
+    /// Fabric entry state (see [`FabricEntry`]).
+    pub entry: FabricEntry,
+    /// Kernel side.
+    pub k: usize,
+    /// The job's kernel planes.
+    pub kernels: Vec<Vec<f32>>,
+    /// This shard's frames, in job order.
+    pub frames: Vec<Frame>,
+}
+
+/// One worker's results for one shard: per-frame reports in frame
+/// order, merge-ready.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ShardReport {
+    /// Echo of [`JobShard::job_id`].
+    pub job_id: u64,
+    /// Echo of [`JobShard::shard_index`].
+    pub shard_index: u32,
+    /// Echo of [`JobShard::first_frame`].
+    pub first_frame: u64,
+    /// One report per shard frame, in order.
+    pub reports: Vec<ConvolutionReport>,
+}
+
+/// A worker's typed "no": the shard could not run (fingerprint
+/// mismatch, substrate failure, undecodable request). Travels instead
+/// of a [`ShardReport`] so coordinator-side errors carry the worker's
+/// reason rather than a broken pipe.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ShardRefusal {
+    /// Echo of the refused shard's job (0 when the request never
+    /// decoded).
+    pub job_id: u64,
+    /// Echo of the refused shard's index (0 when the request never
+    /// decoded).
+    pub shard_index: u32,
+    /// Human-readable cause.
+    pub reason: String,
+}
+
+/// Every message the protocol speaks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMessage {
+    /// A full job (client → coordinator).
+    Job(InferenceJob),
+    /// One shard of a job (coordinator → worker).
+    Shard(JobShard),
+    /// A shard's results (worker → coordinator).
+    Report(ShardReport),
+    /// A shard's typed failure (worker → coordinator).
+    Refusal(ShardRefusal),
+}
+
+// ---------------------------------------------------------------------
+// Primitive writer/reader
+// ---------------------------------------------------------------------
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.0.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    /// Writes a collection length (`u32`); lengths beyond `u32::MAX`
+    /// cannot occur for in-memory `Vec`s we build, but saturating would
+    /// corrupt the stream, so this asserts the invariant.
+    fn len(&mut self, n: usize) {
+        self.u32(u32::try_from(n).expect("wire collection length exceeds u32"));
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let available = self.buf.len() - self.pos;
+        if n > available {
+            return Err(WireError::Truncated {
+                needed: n - available,
+                available,
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn f32(&mut self) -> Result<f32> {
+        Ok(f32::from_bits(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        )))
+    }
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        )))
+    }
+
+    /// Reads a collection length and sanity-checks it against the bytes
+    /// that could possibly back it (`min_elem_bytes` per element), so a
+    /// corrupt count fails as [`WireError::Truncated`] instead of a
+    /// huge allocation.
+    fn len(&mut self, min_elem_bytes: usize) -> Result<usize> {
+        let n = self.u32()? as usize;
+        let available = self.buf.len() - self.pos;
+        let needed = n.saturating_mul(min_elem_bytes.max(1));
+        if needed > available {
+            return Err(WireError::Truncated {
+                needed: needed - available,
+                available,
+            });
+        }
+        Ok(n)
+    }
+
+    fn usize_from_u64(&mut self, what: &str) -> Result<usize> {
+        let v = self.u64()?;
+        usize::try_from(v)
+            .map_err(|_| WireError::Malformed(format!("{what} {v} exceeds this host's usize")))
+    }
+
+    fn finish(&self) -> Result<()> {
+        let trailing = self.buf.len() - self.pos;
+        if trailing != 0 {
+            return Err(WireError::TrailingBytes(trailing));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Composite codecs
+// ---------------------------------------------------------------------
+
+fn put_f32s(w: &mut Writer, values: &[f32]) {
+    w.len(values.len());
+    for &v in values {
+        w.f32(v);
+    }
+}
+
+fn get_f32s(r: &mut Reader<'_>) -> Result<Vec<f32>> {
+    let n = r.len(4)?;
+    (0..n).map(|_| r.f32()).collect()
+}
+
+fn put_kernels(w: &mut Writer, kernels: &[Vec<f32>]) {
+    w.len(kernels.len());
+    for kernel in kernels {
+        put_f32s(w, kernel);
+    }
+}
+
+fn get_kernels(r: &mut Reader<'_>) -> Result<Vec<Vec<f32>>> {
+    let n = r.len(4)?;
+    (0..n).map(|_| get_f32s(r)).collect()
+}
+
+fn put_frame(w: &mut Writer, frame: &Frame) {
+    w.u32(u32::try_from(frame.width()).expect("frame width exceeds u32"));
+    w.u32(u32::try_from(frame.height()).expect("frame height exceeds u32"));
+    for &v in frame.as_slice() {
+        w.f64(v);
+    }
+}
+
+fn get_frame(r: &mut Reader<'_>) -> Result<Frame> {
+    let width = r.u32()? as usize;
+    let height = r.u32()? as usize;
+    let pixels = width.checked_mul(height).ok_or_else(|| {
+        WireError::Malformed(format!("frame {width}x{height} overflows a pixel count"))
+    })?;
+    let available = r.buf.len() - r.pos;
+    let needed = pixels.saturating_mul(8);
+    if needed > available {
+        return Err(WireError::Truncated {
+            needed: needed - available,
+            available,
+        });
+    }
+    let data: Vec<f64> = (0..pixels).map(|_| r.f64()).collect::<Result<_>>()?;
+    Frame::new(width, height, data)
+        .map_err(|e| WireError::Malformed(format!("frame rejected: {e}")))
+}
+
+fn put_frames(w: &mut Writer, frames: &[Frame]) {
+    w.len(frames.len());
+    for frame in frames {
+        put_frame(w, frame);
+    }
+}
+
+fn get_frames(r: &mut Reader<'_>) -> Result<Vec<Frame>> {
+    let n = r.len(8)?;
+    (0..n).map(|_| get_frame(r)).collect()
+}
+
+fn put_plan(w: &mut Writer, plan: &MappingPlan) {
+    for field in [
+        plan.kernel_size_class,
+        plan.slots_per_pass,
+        plan.passes,
+        plan.planes_last_pass,
+        plan.parallel_positions,
+        plan.cycles_per_pass,
+        plan.rings_per_pass,
+        plan.tuning_iterations_per_pass,
+        plan.macs_per_cycle,
+    ] {
+        w.u64(field as u64);
+    }
+}
+
+fn get_plan(r: &mut Reader<'_>) -> Result<MappingPlan> {
+    Ok(MappingPlan {
+        kernel_size_class: r.usize_from_u64("plan.kernel_size_class")?,
+        slots_per_pass: r.usize_from_u64("plan.slots_per_pass")?,
+        passes: r.usize_from_u64("plan.passes")?,
+        planes_last_pass: r.usize_from_u64("plan.planes_last_pass")?,
+        parallel_positions: r.usize_from_u64("plan.parallel_positions")?,
+        cycles_per_pass: r.usize_from_u64("plan.cycles_per_pass")?,
+        rings_per_pass: r.usize_from_u64("plan.rings_per_pass")?,
+        tuning_iterations_per_pass: r.usize_from_u64("plan.tuning_iterations_per_pass")?,
+        macs_per_cycle: r.usize_from_u64("plan.macs_per_cycle")?,
+    })
+}
+
+fn put_report(w: &mut Writer, report: &ConvolutionReport) {
+    w.len(report.output.len());
+    for map in &report.output {
+        put_f32s(w, map);
+    }
+    w.u64(report.out_h as u64);
+    w.u64(report.out_w as u64);
+    put_plan(w, &report.plan);
+    for t in [
+        report.timeline.capture,
+        report.timeline.mapping,
+        report.timeline.compute,
+        report.timeline.transmit,
+        report.timeline.control,
+    ] {
+        w.f64(t.get());
+    }
+    for e in [
+        report.energy.sensing,
+        report.energy.encoding,
+        report.energy.tuning,
+        report.energy.compute,
+        report.energy.aggregation,
+        report.energy.memory,
+    ] {
+        w.f64(e.get());
+    }
+}
+
+fn get_report(r: &mut Reader<'_>) -> Result<ConvolutionReport> {
+    let maps = r.len(4)?;
+    let output: Vec<Vec<f32>> = (0..maps).map(|_| get_f32s(r)).collect::<Result<_>>()?;
+    let out_h = r.usize_from_u64("report.out_h")?;
+    let out_w = r.usize_from_u64("report.out_w")?;
+    let plan = get_plan(r)?;
+    let timeline = Timeline {
+        capture: Second::new(r.f64()?),
+        mapping: Second::new(r.f64()?),
+        compute: Second::new(r.f64()?),
+        transmit: Second::new(r.f64()?),
+        control: Second::new(r.f64()?),
+    };
+    let energy = EnergyReport {
+        sensing: Joule::new(r.f64()?),
+        encoding: Joule::new(r.f64()?),
+        tuning: Joule::new(r.f64()?),
+        compute: Joule::new(r.f64()?),
+        aggregation: Joule::new(r.f64()?),
+        memory: Joule::new(r.f64()?),
+    };
+    let positions = out_h.checked_mul(out_w).ok_or_else(|| {
+        WireError::Malformed(format!(
+            "report dimensions {out_h}x{out_w} overflow a position count"
+        ))
+    })?;
+    for (map, name) in output.iter().zip(0..) {
+        if map.len() != positions {
+            return Err(WireError::Malformed(format!(
+                "feature map {name} has {} values for a {out_h}x{out_w} output",
+                map.len()
+            )));
+        }
+    }
+    Ok(ConvolutionReport {
+        output,
+        out_h,
+        out_w,
+        plan,
+        timeline,
+        energy,
+    })
+}
+
+fn put_entry(w: &mut Writer, entry: &FabricEntry) {
+    match entry {
+        FabricEntry::Cold => w.u8(0),
+        FabricEntry::WarmSelf => w.u8(1),
+        FabricEntry::Warm { k, kernels } => {
+            w.u8(2);
+            w.u64(*k as u64);
+            put_kernels(w, kernels);
+        }
+    }
+}
+
+fn get_entry(r: &mut Reader<'_>) -> Result<FabricEntry> {
+    match r.u8()? {
+        0 => Ok(FabricEntry::Cold),
+        1 => Ok(FabricEntry::WarmSelf),
+        2 => Ok(FabricEntry::Warm {
+            k: r.usize_from_u64("entry.k")?,
+            kernels: get_kernels(r)?,
+        }),
+        other => Err(WireError::Malformed(format!(
+            "unknown fabric entry discriminant {other}"
+        ))),
+    }
+}
+
+fn put_string(w: &mut Writer, s: &str) {
+    w.len(s.len());
+    w.0.extend_from_slice(s.as_bytes());
+}
+
+fn get_string(r: &mut Reader<'_>) -> Result<String> {
+    let n = r.len(1)?;
+    let bytes = r.take(n)?;
+    String::from_utf8(bytes.to_vec())
+        .map_err(|e| WireError::Malformed(format!("non-UTF-8 string: {e}")))
+}
+
+// ---------------------------------------------------------------------
+// Message encode/decode
+// ---------------------------------------------------------------------
+
+/// Encodes one message as a versioned payload (no length prefix — see
+/// [`write_frame`] for framing).
+#[must_use]
+pub fn encode(message: &WireMessage) -> Vec<u8> {
+    let mut w = Writer(Vec::with_capacity(64));
+    w.u16(MAGIC);
+    w.u16(SCHEMA_VERSION);
+    match message {
+        WireMessage::Job(job) => {
+            w.u8(TAG_JOB);
+            w.u64(job.job_id);
+            w.u64(job.k as u64);
+            put_kernels(&mut w, &job.kernels);
+            put_frames(&mut w, &job.frames);
+        }
+        WireMessage::Shard(shard) => put_shard_message(&mut w, shard),
+        WireMessage::Report(report) => {
+            w.u8(TAG_REPORT);
+            w.u64(report.job_id);
+            w.u32(report.shard_index);
+            w.u64(report.first_frame);
+            w.len(report.reports.len());
+            for r in &report.reports {
+                put_report(&mut w, r);
+            }
+        }
+        WireMessage::Refusal(refusal) => {
+            w.u8(TAG_REFUSAL);
+            w.u64(refusal.job_id);
+            w.u32(refusal.shard_index);
+            put_string(&mut w, &refusal.reason);
+        }
+    }
+    w.0
+}
+
+fn put_shard_message(w: &mut Writer, shard: &JobShard) {
+    w.u8(TAG_SHARD);
+    w.u64(shard.job_id);
+    w.u32(shard.shard_index);
+    w.u32(shard.shard_count);
+    w.u64(shard.first_frame);
+    w.u64(shard.first_epoch);
+    w.u64(shard.config_fingerprint);
+    put_entry(w, &shard.entry);
+    w.u64(shard.k as u64);
+    put_kernels(w, &shard.kernels);
+    put_frames(w, &shard.frames);
+}
+
+/// [`encode`] for a [`JobShard`] by reference — the coordinator's
+/// dispatch path, which would otherwise have to clone the shard
+/// (frames included) just to wrap it in a [`WireMessage`].
+#[must_use]
+pub fn encode_shard(shard: &JobShard) -> Vec<u8> {
+    let mut w = Writer(Vec::with_capacity(64));
+    w.u16(MAGIC);
+    w.u16(SCHEMA_VERSION);
+    put_shard_message(&mut w, shard);
+    w.0
+}
+
+/// Decodes one payload produced by [`encode`].
+///
+/// # Errors
+///
+/// Every malformation is a typed [`WireError`]; see the module docs for
+/// the strictness contract.
+pub fn decode(payload: &[u8]) -> Result<WireMessage> {
+    let mut r = Reader::new(payload);
+    let magic = r.u16()?;
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = r.u16()?;
+    if version != SCHEMA_VERSION {
+        return Err(WireError::UnsupportedVersion { got: version });
+    }
+    let message = match r.u8()? {
+        TAG_JOB => WireMessage::Job(InferenceJob {
+            job_id: r.u64()?,
+            k: r.usize_from_u64("job.k")?,
+            kernels: get_kernels(&mut r)?,
+            frames: get_frames(&mut r)?,
+        }),
+        TAG_SHARD => WireMessage::Shard(JobShard {
+            job_id: r.u64()?,
+            shard_index: r.u32()?,
+            shard_count: r.u32()?,
+            first_frame: r.u64()?,
+            first_epoch: r.u64()?,
+            config_fingerprint: r.u64()?,
+            entry: get_entry(&mut r)?,
+            k: r.usize_from_u64("shard.k")?,
+            kernels: get_kernels(&mut r)?,
+            frames: get_frames(&mut r)?,
+        }),
+        TAG_REPORT => {
+            let job_id = r.u64()?;
+            let shard_index = r.u32()?;
+            let first_frame = r.u64()?;
+            let n = r.len(1)?;
+            let reports = (0..n).map(|_| get_report(&mut r)).collect::<Result<_>>()?;
+            WireMessage::Report(ShardReport {
+                job_id,
+                shard_index,
+                first_frame,
+                reports,
+            })
+        }
+        TAG_REFUSAL => WireMessage::Refusal(ShardRefusal {
+            job_id: r.u64()?,
+            shard_index: r.u32()?,
+            reason: get_string(&mut r)?,
+        }),
+        other => return Err(WireError::UnknownTag(other)),
+    };
+    r.finish()?;
+    Ok(message)
+}
+
+// ---------------------------------------------------------------------
+// Stream framing
+// ---------------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// [`WireError::Io`] on transport failure; [`WireError::TooLarge`]
+/// when the payload exceeds [`MAX_MESSAGE_BYTES`] (nothing is written).
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> Result<()> {
+    // Report the payload's actual size (saturated past 4 GiB) so the
+    // operator sees how far over the bound the message really was.
+    let len = u32::try_from(payload.len()).unwrap_or(u32::MAX);
+    if len > MAX_MESSAGE_BYTES {
+        return Err(WireError::TooLarge(len));
+    }
+    writer
+        .write_all(&len.to_le_bytes())
+        .and_then(|()| writer.write_all(payload))
+        .map_err(|e| WireError::Io(e.to_string()))
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on a clean end of
+/// stream (EOF exactly at a frame boundary).
+///
+/// # Errors
+///
+/// * [`WireError::Truncated`] — EOF inside a length prefix or payload
+///   (a half-written frame is a protocol fault, not a clean shutdown).
+/// * [`WireError::TooLarge`] — the prefix exceeds
+///   [`MAX_MESSAGE_BYTES`].
+/// * [`WireError::Io`] — the stream failed.
+pub fn read_frame<R: Read>(reader: &mut R) -> Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0usize;
+    while got < prefix.len() {
+        match reader.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(WireError::Truncated {
+                    needed: prefix.len() - got,
+                    available: got,
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e.to_string())),
+        }
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len > MAX_MESSAGE_BYTES {
+        return Err(WireError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut filled = 0usize;
+    while filled < payload.len() {
+        match reader.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(WireError::Truncated {
+                    needed: payload.len() - filled,
+                    available: filled,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e.to_string())),
+        }
+    }
+    Ok(Some(payload))
+}
+
+/// [`encode`] + [`write_frame`] in one call.
+///
+/// # Errors
+///
+/// As [`write_frame`].
+pub fn send<W: Write>(writer: &mut W, message: &WireMessage) -> Result<()> {
+    write_frame(writer, &encode(message))
+}
+
+/// [`read_frame`] + [`decode`] in one call; `Ok(None)` on clean EOF.
+///
+/// # Errors
+///
+/// As [`read_frame`] and [`decode`].
+pub fn receive<R: Read>(reader: &mut R) -> Result<Option<WireMessage>> {
+    match read_frame(reader)? {
+        None => Ok(None),
+        Some(payload) => decode(&payload).map(Some),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_job() -> InferenceJob {
+        InferenceJob {
+            job_id: 7,
+            k: 3,
+            kernels: vec![vec![0.5f32; 9], vec![-0.25f32; 9]],
+            frames: vec![
+                Frame::constant(4, 4, 0.25).unwrap(),
+                Frame::constant(4, 4, 0.75).unwrap(),
+            ],
+        }
+    }
+
+    fn sample_report() -> ShardReport {
+        ShardReport {
+            job_id: 7,
+            shard_index: 1,
+            first_frame: 4,
+            reports: vec![ConvolutionReport {
+                output: vec![vec![1.5f32, -2.25, 0.0, f32::MIN_POSITIVE]],
+                out_h: 2,
+                out_w: 2,
+                plan: MappingPlan {
+                    kernel_size_class: 3,
+                    slots_per_pass: 20,
+                    passes: 1,
+                    planes_last_pass: 2,
+                    parallel_positions: 10,
+                    cycles_per_pass: 4,
+                    rings_per_pass: 18,
+                    tuning_iterations_per_pass: 2,
+                    macs_per_cycle: 90,
+                },
+                timeline: Timeline {
+                    capture: Second::new(5e-5),
+                    mapping: Second::new(2e-9),
+                    compute: Second::new(2.232e-10),
+                    transmit: Second::new(4e-10),
+                    control: Second::new(4e-9),
+                },
+                energy: EnergyReport {
+                    sensing: Joule::new(1.25e-9),
+                    encoding: Joule::new(3.5e-12),
+                    tuning: Joule::new(7.75e-12),
+                    compute: Joule::new(9.5e-13),
+                    aggregation: Joule::new(0.0),
+                    memory: Joule::new(1.5e-12),
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        let shard = JobShard {
+            job_id: 7,
+            shard_index: 2,
+            shard_count: 4,
+            first_frame: 4,
+            first_epoch: 104,
+            config_fingerprint: 0xDEAD_BEEF,
+            entry: FabricEntry::Warm {
+                k: 5,
+                kernels: vec![vec![0.1f32; 25]],
+            },
+            k: 3,
+            kernels: vec![vec![0.5f32; 9]],
+            frames: vec![Frame::constant(3, 5, 0.5).unwrap()],
+        };
+        let messages = [
+            WireMessage::Job(sample_job()),
+            WireMessage::Shard(shard),
+            WireMessage::Report(sample_report()),
+            WireMessage::Refusal(ShardRefusal {
+                job_id: 9,
+                shard_index: 0,
+                reason: "fingerprint mismatch — coordinator 0x1, worker 0x2".into(),
+            }),
+        ];
+        for message in messages {
+            let bytes = encode(&message);
+            assert_eq!(decode(&bytes).unwrap(), message);
+        }
+    }
+
+    #[test]
+    fn encode_shard_matches_the_owned_message_encoding() {
+        let shard = JobShard {
+            job_id: 3,
+            shard_index: 1,
+            shard_count: 2,
+            first_frame: 2,
+            first_epoch: 12,
+            config_fingerprint: 5,
+            entry: FabricEntry::WarmSelf,
+            k: 3,
+            kernels: vec![vec![0.25f32; 9]],
+            frames: vec![Frame::constant(2, 3, 0.5).unwrap()],
+        };
+        assert_eq!(
+            encode_shard(&shard),
+            encode(&WireMessage::Shard(shard.clone())),
+            "the by-reference dispatch path must emit identical bytes"
+        );
+    }
+
+    #[test]
+    fn version_and_magic_are_enforced() {
+        let mut bytes = encode(&WireMessage::Job(sample_job()));
+        // Payload layout: magic(2) version(2) tag(1) ...
+        bytes[2] = 0xFF;
+        bytes[3] = 0xFF;
+        assert_eq!(
+            decode(&bytes),
+            Err(WireError::UnsupportedVersion { got: 0xFFFF })
+        );
+        let mut bad_magic = encode(&WireMessage::Job(sample_job()));
+        bad_magic[0] = b'X';
+        assert!(matches!(decode(&bad_magic), Err(WireError::BadMagic(_))));
+        let mut bad_tag = encode(&WireMessage::Job(sample_job()));
+        bad_tag[4] = 0xEE;
+        assert_eq!(decode(&bad_tag), Err(WireError::UnknownTag(0xEE)));
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_errors_not_panics() {
+        let bytes = encode(&WireMessage::Report(sample_report()));
+        for cut in 0..bytes.len() {
+            let err = decode(&bytes[..cut]).expect_err("truncation must fail");
+            assert!(
+                matches!(err, WireError::Truncated { .. } | WireError::Malformed(_)),
+                "cut at {cut}: {err:?}"
+            );
+        }
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert_eq!(decode(&trailing), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn frame_pixels_outside_unit_range_are_rejected() {
+        let mut bytes = encode(&WireMessage::Job(sample_job()));
+        // The last 8 bytes are the final pixel; overwrite with 2.0.
+        let n = bytes.len();
+        bytes[n - 8..].copy_from_slice(&2.0f64.to_bits().to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn framing_round_trips_and_rejects_truncation() {
+        let payload = encode(&WireMessage::Refusal(ShardRefusal {
+            job_id: 1,
+            shard_index: 2,
+            reason: "x".into(),
+        }));
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &payload).unwrap();
+        write_frame(&mut stream, &payload).unwrap();
+        let mut cursor = std::io::Cursor::new(stream.clone());
+        assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some(&payload[..]));
+        assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some(&payload[..]));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
+        // EOF inside the second frame's payload.
+        let mut cut = std::io::Cursor::new(stream[..stream.len() - 3].to_vec());
+        assert!(read_frame(&mut cut).unwrap().is_some());
+        assert!(matches!(
+            read_frame(&mut cut),
+            Err(WireError::Truncated { .. })
+        ));
+        // EOF inside a length prefix.
+        let mut half_prefix = std::io::Cursor::new(vec![3u8, 0]);
+        assert!(matches!(
+            read_frame(&mut half_prefix),
+            Err(WireError::Truncated { .. })
+        ));
+        // A corrupt length prefix must not allocate.
+        let mut huge = std::io::Cursor::new(u32::MAX.to_le_bytes().to_vec());
+        assert_eq!(read_frame(&mut huge), Err(WireError::TooLarge(u32::MAX)));
+    }
+
+    #[test]
+    fn corrupt_collection_count_fails_before_allocating() {
+        let mut bytes = encode(&WireMessage::Job(sample_job()));
+        // kernels count lives right after magic+version+tag+job_id+k =
+        // 2+2+1+8+8 = 21 bytes.
+        bytes[21..25].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode(&bytes),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+}

@@ -202,6 +202,45 @@ impl NoiseSource {
         Ok(first)
     }
 
+    /// The epoch the next [`NoiseSource::begin_epoch`] /
+    /// [`NoiseSource::reserve_epochs`] call will hand out.
+    ///
+    /// Together with [`NoiseSource::advance_to_epoch`] this is the
+    /// hook distributed executors use to keep several sources — one
+    /// per worker process — keyed into the *same* stream family as a
+    /// single sequential source.
+    #[must_use]
+    pub fn next_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Fast-forwards the epoch counter to `target`, so the next
+    /// reservation starts there.
+    ///
+    /// A shard worker that owns frames `[a, b)` of a job advances its
+    /// freshly-seeded source to `base + a` before reserving; the frames
+    /// then draw from exactly the streams a single host running the
+    /// whole job would have used.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::OutOfRange`] when `target` lies *behind* the
+    /// counter — rewinding would re-key new frames onto streams already
+    /// consumed, the same silent collision the overflow check in
+    /// [`NoiseSource::reserve_epochs`] exists to prevent. The counter
+    /// stays unchanged on error.
+    pub fn advance_to_epoch(&mut self, target: u64) -> Result<()> {
+        if target < self.epoch {
+            return Err(DeviceError::OutOfRange(format!(
+                "cannot rewind noise epoch counter from {} to {target}: earlier epochs may \
+                 already key consumed streams; re-seed the source instead",
+                self.epoch
+            )));
+        }
+        self.epoch = target;
+        Ok(())
+    }
+
     /// A counter-based stream for `(slot, position)` under `epoch`.
     ///
     /// Streams derived from the same key always replay the same draws,
@@ -652,6 +691,38 @@ mod tests {
             batch.stream(first + 1, 0, 0).gaussian_at(0),
             serial.stream(singles[1], 0, 0).gaussian_at(0)
         );
+    }
+
+    #[test]
+    fn advance_aligns_with_a_sequential_source() {
+        let cfg = NoiseConfig::paper_default();
+        let mut sequential = NoiseSource::seeded(6, cfg);
+        sequential.reserve_epochs(5).unwrap();
+        // A worker handling frames [3, 5) of the same 5-frame job.
+        let mut worker = NoiseSource::seeded(6, cfg);
+        assert_eq!(worker.next_epoch(), 0);
+        worker.advance_to_epoch(3).unwrap();
+        assert_eq!(worker.next_epoch(), 3);
+        let first = worker.reserve_epochs(2).unwrap();
+        assert_eq!(first, 3);
+        assert_eq!(
+            worker.stream(4, 1, 2).gaussian_at(9),
+            sequential.stream(4, 1, 2).gaussian_at(9)
+        );
+        // Advancing to the current position is a no-op, not an error.
+        worker.advance_to_epoch(5).unwrap();
+        assert_eq!(worker.next_epoch(), 5);
+    }
+
+    #[test]
+    fn advance_refuses_to_rewind() {
+        let mut src = NoiseSource::seeded(6, NoiseConfig::paper_default());
+        src.reserve_epochs(10).unwrap();
+        let err = src.advance_to_epoch(4).unwrap_err();
+        assert!(matches!(err, DeviceError::OutOfRange(_)), "got {err:?}");
+        assert!(err.to_string().contains("rewind"), "message: {err}");
+        // The failed call left the counter untouched.
+        assert_eq!(src.next_epoch(), 10);
     }
 
     #[test]

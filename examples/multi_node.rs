@@ -1,14 +1,72 @@
-//! Multi-node IoT scenario (paper Fig. 2): several OISA nodes each
-//! capture frames, run the first CNN layer in-sensor, and ship compact
-//! feature maps to a cloud aggregator instead of raw pixels.
+//! Multi-node deployment: a coordinator shards inference jobs across
+//! OISA worker **processes** over the versioned wire protocol.
+//!
+//! This is the paper's Fig. 2 scenario grown up: instead of four
+//! independent nodes each printing their own numbers, one coordinator
+//! process runs a [`ShardedBackend`] whose workers are separate OS
+//! processes (this same binary, re-executed with `--worker`). Shards
+//! travel as length-prefixed [`oisa::core::wire`] messages over the
+//! workers' stdin/stdout; every worker aligns its noise epochs and
+//! fabric entry state from the shard message, so the merged reports
+//! are **bit-identical** to one sequential per-frame loop — which the
+//! example verifies before printing anything (it exits non-zero on any
+//! mismatch, making it a CI check).
 //!
 //! ```sh
-//! cargo run --release --example multi_node
+//! cargo run --release --example multi_node            # coordinator + 4 worker processes
+//! cargo run --release --example multi_node -- --worker # (what the coordinator spawns)
 //! ```
 
-use oisa::core::{OisaAccelerator, OisaConfig};
+use std::io::Write;
+use std::process::{Child, Command, Stdio};
+
+use oisa::core::backend::{ComputeBackend, InProcessWorker, ShardTransport, ShardedBackend};
+use oisa::core::wire::{self, InferenceJob};
+use oisa::core::{ConvolutionReport, OisaAccelerator, OisaConfig, OisaError};
+use oisa::device::noise::NoiseConfig;
 use oisa::sensor::Frame;
 use oisa::units::Joule;
+
+const WORKERS: usize = 4;
+const IMG: usize = 16;
+
+/// The deployment configuration every process must agree on: shards
+/// carry its fingerprint and workers refuse mismatches. In a real
+/// fleet this ships with the deployment, out-of-band.
+fn node_config() -> OisaConfig {
+    OisaConfig::builder()
+        .imager_dims(IMG, IMG)
+        .opc_shape(4, 2, 10)
+        .noise(NoiseConfig::paper_default())
+        .seed(2024)
+        .build()
+        .expect("deployment config validates")
+}
+
+/// First-layer kernel set, fixed for the deployment.
+fn kernel_bank() -> Vec<Vec<f32>> {
+    vec![
+        vec![0.0, -0.5, 0.0, -0.5, 2.0, -0.5, 0.0, -0.5, 0.0], // sharpen
+        vec![1.0 / 9.0; 9],                                    // blur
+        vec![-1.0, 0.0, 1.0, -2.0, 0.0, 2.0, -1.0, 0.0, 1.0],  // sobel-x
+    ]
+}
+
+/// Frame `t` of the sensor burst: a gradient with a moving bright band.
+fn capture(t: usize) -> Frame {
+    let pixels: Vec<f64> = (0..IMG * IMG)
+        .map(|i| {
+            let row = i / IMG;
+            let base = 0.15 + 0.4 * (row as f64 / IMG as f64);
+            if row % 5 == t % 5 {
+                (base + 0.4).min(1.0)
+            } else {
+                base
+            }
+        })
+        .collect();
+    Frame::new(IMG, IMG, pixels).expect("valid frame")
+}
 
 /// Bytes to ship one frame raw (8-bit pixels) vs as 2×2-pooled 4-bit
 /// feature maps (the off-chip processor's next stage pools anyway, and
@@ -25,61 +83,164 @@ fn traffic_bytes(img: usize, out: usize, kernels: usize) -> (usize, usize) {
     (raw, features)
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    const NODES: usize = 4;
-    const IMG: usize = 16;
-    println!("OISA multi-node edge deployment ({NODES} nodes)");
-    println!("===============================================\n");
+/// One worker process: a child of this binary speaking the wire
+/// protocol over its stdin/stdout.
+struct ProcessWorker {
+    child: Child,
+}
 
-    let kernels: Vec<Vec<f32>> = vec![
-        vec![0.0, -0.5, 0.0, -0.5, 2.0, -0.5, 0.0, -0.5, 0.0], // sharpen
-        vec![1.0 / 9.0; 9],                                    // blur
-        vec![-1.0, 0.0, 1.0, -2.0, 0.0, 2.0, -1.0, 0.0, 1.0],  // sobel-x
+impl ProcessWorker {
+    fn spawn() -> std::io::Result<Self> {
+        let exe = std::env::current_exe()?;
+        let child = Command::new(exe)
+            .arg("--worker")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()?;
+        Ok(Self { child })
+    }
+}
+
+impl ShardTransport for ProcessWorker {
+    fn round_trip(&mut self, message: &[u8]) -> Result<Vec<u8>, OisaError> {
+        let stdin = self
+            .child
+            .stdin
+            .as_mut()
+            .ok_or_else(|| OisaError::Backend("worker stdin already closed".into()))?;
+        wire::write_frame(stdin, message)?;
+        stdin
+            .flush()
+            .map_err(|e| OisaError::Backend(format!("worker stdin broke: {e}")))?;
+        let stdout = self
+            .child
+            .stdout
+            .as_mut()
+            .ok_or_else(|| OisaError::Backend("worker stdout already closed".into()))?;
+        wire::read_frame(stdout)?
+            .ok_or_else(|| OisaError::Backend("worker exited without replying".into()))
+    }
+}
+
+impl Drop for ProcessWorker {
+    fn drop(&mut self) {
+        // Closing stdin lets the worker's serve loop see clean EOF and
+        // exit; then reap it so no zombie outlives the coordinator.
+        drop(self.child.stdin.take());
+        let _ = self.child.wait();
+    }
+}
+
+/// How the coordinator reaches its workers.
+enum Fleet {
+    /// Spawn `--worker` child processes (the real deployment shape).
+    Processes,
+    /// In-process workers over the same wire path — used by the unit
+    /// test, where `current_exe` is the test harness, not this example.
+    InProcess,
+}
+
+fn run_coordinator(fleet: &Fleet) -> Result<(), Box<dyn std::error::Error>> {
+    let config = node_config();
+    let kernels = kernel_bank();
+    let workers: Vec<Box<dyn ShardTransport>> = match fleet {
+        Fleet::Processes => (0..WORKERS)
+            .map(|_| ProcessWorker::spawn().map(|w| Box::new(w) as Box<dyn ShardTransport>))
+            .collect::<std::io::Result<_>>()?,
+        Fleet::InProcess => (0..WORKERS)
+            .map(|_| Box::new(InProcessWorker::new(config)) as Box<dyn ShardTransport>)
+            .collect(),
+    };
+    let mode = match fleet {
+        Fleet::Processes => "worker processes",
+        Fleet::InProcess => "in-process workers",
+    };
+    let mut backend = ShardedBackend::new(config, workers)?;
+
+    println!("OISA multi-node coordinator ({WORKERS} {mode})");
+    println!("==============================================\n");
+    println!(
+        "deployment: {IMG}x{IMG} imager, {} kernels, config fingerprint {:#018x}\n",
+        kernels.len(),
+        config.fingerprint()
+    );
+
+    // Two bursts, so the second job exercises epoch/fabric continuation
+    // across jobs — each shard of each burst lands on a different
+    // worker with nothing but its wire message.
+    let bursts: [Vec<Frame>; 2] = [
+        (0..10).map(capture).collect(),
+        (10..16).map(capture).collect(),
     ];
-
+    let mut oracle = OisaAccelerator::new(config)?;
     let mut total_energy = Joule::ZERO;
-    let mut total_feature_bytes = 0usize;
-    let mut total_raw_bytes = 0usize;
-    for node in 0..NODES {
-        let mut cfg = OisaConfig::small_test();
-        cfg.seed = node as u64;
-        let mut accel = OisaAccelerator::new(cfg)?;
-        // Each node sees a different scene: a gradient with a node-specific
-        // bright band.
-        let pixels: Vec<f64> = (0..IMG * IMG)
-            .map(|i| {
-                let row = i / IMG;
-                let base = 0.15 + 0.4 * (row as f64 / IMG as f64);
-                if row % NODES == node {
-                    (base + 0.4).min(1.0)
-                } else {
-                    base
-                }
-            })
-            .collect();
-        let frame = Frame::new(IMG, IMG, pixels)?;
-        let report = accel.convolve_frame(&frame, &kernels, 3)?;
-        let (raw, features) = traffic_bytes(IMG, report.out_h, kernels.len());
-        total_energy += report.energy.total();
-        total_raw_bytes += raw;
-        total_feature_bytes += features;
+    let mut total_raw = 0usize;
+    let mut total_features = 0usize;
+    for (b, frames) in bursts.iter().enumerate() {
+        let job = InferenceJob {
+            job_id: b as u64 + 1,
+            k: 3,
+            kernels: kernels.clone(),
+            frames: frames.clone(),
+        };
+        let merged = backend.run_job(&job)?;
+
+        // The acceptance check: merged shards must equal one
+        // sequential per-frame loop, bit for bit.
+        let looped: Vec<ConvolutionReport> = frames
+            .iter()
+            .map(|f| oracle.convolve_frame_sequential(f, &kernels, 3))
+            .collect::<Result<_, _>>()?;
+        assert_eq!(
+            merged, looped,
+            "burst {b}: sharded reports must be bit-identical to the sequential loop"
+        );
+
+        let energy: Joule = merged.iter().map(|r| r.energy.total()).sum();
+        total_energy += energy;
+        for report in &merged {
+            let (raw, features) = traffic_bytes(IMG, report.out_h, kernels.len());
+            total_raw += raw;
+            total_features += features;
+        }
         println!(
-            "node {node}: latency {:.3}, energy {:.3}, uplink {} B pooled features (raw: {} B)",
-            report.timeline.total(),
-            report.energy.total(),
-            features,
-            raw
+            "burst {b}: {} frames over {} shards -> {} reports, energy {energy:.3} \
+             (bit-identical to the sequential loop)",
+            frames.len(),
+            WORKERS.min(frames.len()),
+            merged.len()
         );
     }
-    println!("\nfleet totals per frame period:");
+
+    println!("\nfleet totals:");
+    println!("  jobs merged      : {}", backend.jobs_run());
     println!("  energy           : {total_energy:.3}");
     println!(
-        "  uplink traffic   : {total_feature_bytes} B vs {total_raw_bytes} B raw ({:.1}x)",
-        total_raw_bytes as f64 / total_feature_bytes as f64
+        "  uplink traffic   : {total_features} B pooled features vs {total_raw} B raw ({:.1}x)",
+        total_raw as f64 / total_features as f64
     );
-    println!("  (the cloud node receives first-layer features, not pixels — the paper's");
-    println!("   thing-centric shift: conversion and transmission power stay in-sensor)");
+    println!("  (workers ship first-layer features, not pixels — the paper's thing-centric");
+    println!("   shift: conversion and transmission power stay in-sensor)");
+    println!("\ndeterminism: all merged reports bit-identical to the sequential loop");
     Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if std::env::args().any(|a| a == "--worker") {
+        // Worker mode: speak the wire protocol over stdio until the
+        // coordinator closes the pipe. Nothing else may touch stdout.
+        let config = node_config();
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        oisa::core::backend::serve_worker(&config, &mut stdin.lock(), &mut stdout.lock())?;
+        return Ok(());
+    }
+    let fleet = if std::env::args().any(|a| a == "--in-process") {
+        Fleet::InProcess
+    } else {
+        Fleet::Processes
+    };
+    run_coordinator(&fleet)
 }
 
 #[cfg(test)]
@@ -99,8 +260,12 @@ mod tests {
         assert_eq!(traffic_bytes(3, 1, 1), (9, 1));
     }
 
+    /// The coordinator's full pipeline — shard, dispatch over the wire,
+    /// merge, verify parity — with in-process workers (the test
+    /// harness binary cannot re-exec itself as `--worker`; CI runs the
+    /// example binary itself for the real multi-process path).
     #[test]
-    fn multi_node_demo_runs() {
-        main().expect("multi_node example");
+    fn coordinator_demo_runs_and_verifies() {
+        run_coordinator(&Fleet::InProcess).expect("multi_node coordinator");
     }
 }

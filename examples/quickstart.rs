@@ -128,10 +128,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let peak = r.output[0].iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         println!("  frame {i}: sharpen peak {peak:.2}");
     }
-    let (_accel, stats) = engine.shutdown();
+    let (_backend, stats) = engine.shutdown();
     println!(
         "  {} batches, queue wait p50 {:.0} us / p99 {:.0} us, {:.0} frames/s",
         stats.batches_run, stats.queue_wait_p50_us, stats.queue_wait_p99_us, stats.frames_per_sec
+    );
+
+    // Sharded execution
+    // -----------------
+    // The serving engine talks to a `ComputeBackend`, and so can you:
+    // `LocalBackend` runs jobs on this host, `ShardedBackend` splits
+    // each job's frames into `(frame, epoch)` ranges, ships them to
+    // workers as versioned wire messages and merges the reports
+    // bit-identically to one sequential loop. Here the workers are
+    // in-process; `examples/multi_node.rs` runs the same protocol over
+    // real worker processes.
+    use oisa::core::backend::{ComputeBackend, ShardedBackend};
+    use oisa::core::wire::InferenceJob;
+    let mut sharded = ShardedBackend::in_process(OisaConfig::small_test(), 2)?;
+    let job = InferenceJob {
+        job_id: 1,
+        k: 3,
+        kernels: vec![vec![1.0f32 / 9.0; 9]],
+        frames: batch.clone(),
+    };
+    let merged = sharded.run_job(&job)?;
+    println!(
+        "\nsharded inference: {} frames over {} workers -> {} reports",
+        job.frames.len(),
+        sharded.worker_count(),
+        merged.len()
     );
     Ok(())
 }

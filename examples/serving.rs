@@ -86,7 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("... ({FRAMES} frames served, mean edge peak {:.2})", peak_sum / FRAMES as f32);
 
-    let (_accel, stats) = engine.shutdown();
+    let (_backend, stats) = engine.shutdown();
     println!("\nserving stats:");
     println!("  frames completed : {}", stats.frames_completed);
     println!(

@@ -21,6 +21,37 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Scaling out
+//!
+//! Execution is abstracted behind [`core::backend::ComputeBackend`]:
+//! the serving engine ([`core::serving::ServingEngine`]) batches
+//! submissions into [`core::wire::InferenceJob`]s and drives whichever
+//! backend it fronts. [`core::backend::LocalBackend`] runs jobs on
+//! this host; [`core::backend::ShardedBackend`] splits each job's
+//! frames into `(frame, epoch)` ranges, ships them to worker
+//! processes over the versioned wire schema ([`core::wire`]) and
+//! merges the reports **bit-identically** to one sequential loop —
+//! `examples/multi_node.rs` is the runnable coordinator/worker pair.
+//!
+//! ```
+//! use oisa::core::backend::{ComputeBackend, ShardedBackend};
+//! use oisa::core::wire::InferenceJob;
+//! use oisa::core::OisaConfig;
+//! use oisa::sensor::Frame;
+//!
+//! # fn main() -> Result<(), oisa::core::OisaError> {
+//! let mut backend = ShardedBackend::in_process(OisaConfig::small_test(), 2)?;
+//! let job = InferenceJob {
+//!     job_id: 1,
+//!     k: 3,
+//!     kernels: vec![vec![0.5f32; 9]],
+//!     frames: vec![Frame::constant(16, 16, 0.7)?; 4],
+//! };
+//! assert_eq!(backend.run_job(&job)?.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
 
 //! # Performance notes
 //!

@@ -1,0 +1,194 @@
+//! Cross-crate guarantees of the `ComputeBackend` seam: a sharded
+//! coordinator merging worker reports must be **bit-identical** —
+//! outputs, energy, timeline, every field — to one sequential per-frame
+//! loop on a single accelerator, for any worker count, across multiple
+//! jobs, and when fronted by the serving engine.
+
+use oisa::core::backend::{ComputeBackend, LocalBackend, ShardedBackend};
+use oisa::core::serving::{ServingConfig, ServingEngine};
+use oisa::core::wire::InferenceJob;
+use oisa::core::{ConvolutionReport, OisaAccelerator, OisaConfig};
+use oisa::device::noise::NoiseConfig;
+use oisa::sensor::Frame;
+use oisa::units::Joule;
+
+fn noisy_config(seed: u64) -> OisaConfig {
+    OisaConfig::builder()
+        .imager_dims(16, 16)
+        .opc_shape(4, 2, 10)
+        .noise(NoiseConfig::paper_default())
+        .seed(seed)
+        .build()
+        .expect("test config validates")
+}
+
+fn textured_frames(count: usize, salt: u64) -> Vec<Frame> {
+    (0..count)
+        .map(|f| {
+            let data: Vec<f64> = (0..256)
+                .map(|i| {
+                    let phase = (i as f64 * 0.29) + (f as u64 * 3 + salt) as f64 * 1.37;
+                    (0.5 + 0.5 * phase.sin()).clamp(0.0, 1.0)
+                })
+                .collect();
+            Frame::new(16, 16, data).unwrap()
+        })
+        .collect()
+}
+
+fn kernel_bank(count: usize, k: usize) -> Vec<Vec<f32>> {
+    (0..count)
+        .map(|i| {
+            (0..k * k)
+                .map(|j| ((i * 7 + j * 3) as f32 * 0.43).sin())
+                .collect()
+        })
+        .collect()
+}
+
+fn sequential_loop(
+    accel: &mut OisaAccelerator,
+    frames: &[Frame],
+    kernels: &[Vec<f32>],
+    k: usize,
+) -> Vec<ConvolutionReport> {
+    frames
+        .iter()
+        .map(|f| accel.convolve_frame_sequential(f, kernels, k).unwrap())
+        .collect()
+}
+
+/// The acceptance property: merged `ShardReport`s across 1/2/4 workers
+/// are bit-identical (outputs *and* energy totals) to
+/// `convolve_frame_sequential` over the same frames — including a
+/// multi-pass 3×3 workload and a VOM-aggregated 5×5 workload.
+#[test]
+fn shard_merge_bit_identical_to_sequential_loop_across_worker_counts() {
+    let frames = textured_frames(7, 0);
+    // 25 kernels → 2 passes on the 20-slot test fabric; the 5×5 bank
+    // exercises the VOM aggregation path.
+    let kernels3 = kernel_bank(25, 3);
+    let kernels5 = kernel_bank(2, 5);
+    for (kernels, k) in [(&kernels3, 3usize), (&kernels5, 5usize)] {
+        let mut oracle = OisaAccelerator::new(noisy_config(42)).unwrap();
+        let looped = sequential_loop(&mut oracle, &frames, kernels, k);
+        let oracle_energy: Joule = looped.iter().map(|r| r.energy.total()).sum();
+        for workers in [1usize, 2, 4] {
+            let mut backend = ShardedBackend::in_process(noisy_config(42), workers).unwrap();
+            let job = InferenceJob {
+                job_id: 1,
+                k,
+                kernels: kernels.clone(),
+                frames: frames.clone(),
+            };
+            let merged = backend.run_job(&job).unwrap();
+            assert_eq!(
+                merged, looped,
+                "k={k} workers={workers}: merged shards must equal the sequential loop"
+            );
+            let merged_energy: Joule = merged.iter().map(|r| r.energy.total()).sum();
+            assert_eq!(
+                merged_energy.get(),
+                oracle_energy.get(),
+                "k={k} workers={workers}: summed energy must be bit-identical"
+            );
+        }
+    }
+}
+
+/// Consecutive jobs on one coordinator continue the epoch/fabric
+/// history exactly like consecutive batches on one accelerator — even
+/// when the kernel set *changes* between jobs (the second job's first
+/// shard must reproduce the fabric state the first job left behind).
+#[test]
+fn consecutive_jobs_continue_the_stream_bit_identically() {
+    let frames_a = textured_frames(5, 1);
+    let frames_b = textured_frames(4, 2);
+    let kernels_a = kernel_bank(3, 3);
+    let kernels_b = kernel_bank(2, 3); // different set: entry state matters
+
+    let mut oracle = OisaAccelerator::new(noisy_config(9)).unwrap();
+    let looped_a = sequential_loop(&mut oracle, &frames_a, &kernels_a, 3);
+    let looped_b = sequential_loop(&mut oracle, &frames_b, &kernels_b, 3);
+
+    for workers in [2usize, 3] {
+        let mut backend = ShardedBackend::in_process(noisy_config(9), workers).unwrap();
+        let job_a = InferenceJob {
+            job_id: 1,
+            k: 3,
+            kernels: kernels_a.clone(),
+            frames: frames_a.clone(),
+        };
+        let job_b = InferenceJob {
+            job_id: 2,
+            k: 3,
+            kernels: kernels_b.clone(),
+            frames: frames_b.clone(),
+        };
+        assert_eq!(backend.run_job(&job_a).unwrap(), looped_a, "workers={workers} job A");
+        assert_eq!(
+            backend.run_job(&job_b).unwrap(),
+            looped_b,
+            "workers={workers} job B must see job A's fabric/epoch history"
+        );
+        assert_eq!(backend.jobs_run(), 2);
+    }
+}
+
+/// `LocalBackend` and `ShardedBackend` are interchangeable behind the
+/// trait: the same job stream produces the same bytes.
+#[test]
+fn local_and_sharded_backends_agree_behind_the_trait() {
+    let frames = textured_frames(6, 3);
+    let kernels = kernel_bank(4, 3);
+    let job = |id: u64, frames: &[Frame]| InferenceJob {
+        job_id: id,
+        k: 3,
+        kernels: kernels.clone(),
+        frames: frames.to_vec(),
+    };
+    let mut local = LocalBackend::new(noisy_config(17)).unwrap();
+    let mut sharded = ShardedBackend::in_process(noisy_config(17), 3).unwrap();
+    let (first, second) = frames.split_at(4);
+    assert_eq!(
+        local.run_job(&job(1, first)).unwrap(),
+        sharded.run_job(&job(1, first)).unwrap()
+    );
+    assert_eq!(
+        local.run_job(&job(2, second)).unwrap(),
+        sharded.run_job(&job(2, second)).unwrap()
+    );
+}
+
+/// Sharded multi-host serving: a `ServingEngine` fronting a
+/// `ShardedBackend` serves reports bit-identical to the sequential
+/// loop, whatever batch shapes the queue forms.
+#[test]
+fn serving_over_a_sharded_backend_is_bit_identical() {
+    let frames = textured_frames(9, 4);
+    let kernels = kernel_bank(3, 3);
+    let backend = ShardedBackend::in_process(noisy_config(23), 2).unwrap();
+    let engine = ServingEngine::with_backend(
+        backend,
+        kernels.clone(),
+        3,
+        ServingConfig {
+            max_batch: 4,
+            deadline: std::time::Duration::from_millis(1),
+            queue_depth: 16,
+        },
+    )
+    .unwrap();
+    let handles: Vec<_> = frames
+        .iter()
+        .map(|f| engine.submit(f.clone()).expect("submit"))
+        .collect();
+    let served: Vec<ConvolutionReport> =
+        handles.into_iter().map(|h| h.wait().unwrap()).collect();
+    let (backend, stats) = engine.shutdown();
+    assert_eq!(stats.frames_completed, frames.len() as u64);
+    assert!(backend.jobs_run() >= 1);
+
+    let mut oracle = OisaAccelerator::new(noisy_config(23)).unwrap();
+    assert_eq!(served, sequential_loop(&mut oracle, &frames, &kernels, 3));
+}

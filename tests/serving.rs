@@ -72,9 +72,11 @@ fn served_reports_bit_identical_to_sequential_loop() {
             .collect();
         assert_eq!(served, looped, "max_batch={max_batch}");
 
-        // The engine hands the accelerator back in exactly the state
-        // the loop left its twin in: the *next* frame agrees too.
-        let (mut accel, stats) = engine.shutdown();
+        // The engine hands the backend back with its accelerator in
+        // exactly the state the loop left its twin in: the *next*
+        // frame agrees too.
+        let (backend, stats) = engine.shutdown();
+        let mut accel = backend.into_accelerator();
         assert_eq!(stats.frames_completed, frames.len() as u64);
         let next = frame_16(99);
         assert_eq!(

@@ -1,0 +1,196 @@
+//! Property tests of the wire schema: encode → decode is lossless
+//! (bit-exact, including every float field of a `ConvolutionReport`),
+//! and malformed inputs — wrong schema version, truncated payloads,
+//! truncated length prefixes — fail with typed decode errors, never
+//! panics.
+
+use oisa::core::accelerator::EnergyReport;
+use oisa::core::controller::Timeline;
+use oisa::core::wire::{
+    self, FabricEntry, InferenceJob, JobShard, ShardReport, WireError, WireMessage,
+    SCHEMA_VERSION,
+};
+use oisa::core::{ConvolutionReport, MappingPlan};
+use oisa::sensor::Frame;
+use oisa::units::{Joule, Second};
+use proptest::prelude::*;
+
+/// Builds a frame whose pixels are derived from sampled unit floats.
+fn frame_from(width: usize, height: usize, samples: &[f64]) -> Frame {
+    let data: Vec<f64> = (0..width * height)
+        .map(|i| samples[i % samples.len()].clamp(0.0, 1.0))
+        .collect();
+    Frame::new(width, height, data).unwrap()
+}
+
+fn kernels_from(count: usize, k: usize, weights: &[f32]) -> Vec<Vec<f32>> {
+    (0..count)
+        .map(|i| {
+            (0..k * k)
+                .map(|j| weights[(i * k * k + j) % weights.len()])
+                .collect()
+        })
+        .collect()
+}
+
+/// A synthetic report exercising every field with sampled values.
+fn report_from(out_h: usize, out_w: usize, maps: usize, floats: &[f64]) -> ConvolutionReport {
+    let f = |i: usize| floats[i % floats.len()];
+    ConvolutionReport {
+        output: (0..maps)
+            .map(|m| (0..out_h * out_w).map(|i| f(m * 31 + i) as f32).collect())
+            .collect(),
+        out_h,
+        out_w,
+        plan: MappingPlan {
+            kernel_size_class: 3,
+            slots_per_pass: 20,
+            passes: maps.div_ceil(20).max(1),
+            planes_last_pass: maps.clamp(1, 20),
+            parallel_positions: 1 + out_w % 7,
+            cycles_per_pass: out_h * out_w,
+            rings_per_pass: 9 * maps.clamp(1, 20),
+            tuning_iterations_per_pass: 1 + maps % 5,
+            macs_per_cycle: 9 * (1 + out_w % 7),
+        },
+        timeline: Timeline {
+            capture: Second::new(f(0).abs()),
+            mapping: Second::new(f(1).abs()),
+            compute: Second::new(f(2).abs()),
+            transmit: Second::new(f(3).abs()),
+            control: Second::new(f(4).abs()),
+        },
+        energy: EnergyReport {
+            sensing: Joule::new(f(5).abs()),
+            encoding: Joule::new(f(6).abs()),
+            tuning: Joule::new(f(7).abs()),
+            compute: Joule::new(f(8).abs()),
+            aggregation: Joule::new(f(9).abs()),
+            memory: Joule::new(f(10).abs()),
+        },
+    }
+}
+
+proptest! {
+    /// `InferenceJob` encode → decode is lossless for arbitrary
+    /// shapes, kernel weights and pixel values.
+    #[test]
+    fn inference_job_roundtrip_is_lossless(
+        job_id in 0u64..u64::MAX,
+        // width 1–11 × height 1–11, packed into one sample so the shim
+        // reporter's tuple stays within `Debug`'s 12-element cap.
+        dims in 0usize..121,
+        nframes in 1usize..5,
+        nkernels in 1usize..6,
+        pixels in prop::collection::vec(0.0f64..=1.0, 16),
+        weights in prop::collection::vec(-4.0f32..4.0, 18),
+    ) {
+        let (width, height) = (dims % 11 + 1, dims / 11 + 1);
+        let job = InferenceJob {
+            job_id,
+            k: 3,
+            kernels: kernels_from(nkernels, 3, &weights),
+            frames: (0..nframes)
+                .map(|i| frame_from(width, height, &pixels[i % 8..]))
+                .collect(),
+        };
+        let bytes = wire::encode(&WireMessage::Job(job.clone()));
+        let decoded = wire::decode(&bytes);
+        prop_assert_eq!(decoded, Ok(WireMessage::Job(job)));
+    }
+
+    /// `ShardReport` (with full `ConvolutionReport`s inside) and
+    /// `JobShard` round-trip bit-exactly.
+    #[test]
+    fn shard_messages_roundtrip_is_lossless(
+        job_id in 0u64..u64::MAX,
+        // out_h 1–8 × out_w 1–8 × maps 1–3 × shard_index 0–63, packed
+        // (see `inference_job_roundtrip_is_lossless`).
+        shape in 0usize..(8 * 8 * 3 * 64),
+        floats in prop::collection::vec(-1.0e-3f64..1.0e-3, 24),
+        weights in prop::collection::vec(-2.0f32..2.0, 27),
+        pixels in prop::collection::vec(0.0f64..=1.0, 16),
+        warm in proptest::bool::ANY,
+    ) {
+        let out_h = shape % 8 + 1;
+        let out_w = (shape / 8) % 8 + 1;
+        let maps = (shape / 64) % 3 + 1;
+        let shard_index = (shape / 192) as u32;
+        let first_frame = job_id % 1_000_000;
+        let report = ShardReport {
+            job_id,
+            shard_index,
+            first_frame,
+            reports: (0..2).map(|i| report_from(out_h, out_w, maps, &floats[i..])).collect(),
+        };
+        let bytes = wire::encode(&WireMessage::Report(report.clone()));
+        prop_assert_eq!(wire::decode(&bytes), Ok(WireMessage::Report(report)));
+
+        let shard = JobShard {
+            job_id,
+            shard_index,
+            shard_count: shard_index + 1,
+            first_frame,
+            first_epoch: first_frame.wrapping_mul(3),
+            config_fingerprint: job_id ^ 0xABCD,
+            entry: if warm {
+                FabricEntry::Warm { k: 5, kernels: kernels_from(2, 5, &weights) }
+            } else {
+                FabricEntry::Cold
+            },
+            k: 3,
+            kernels: kernels_from(maps, 3, &weights),
+            frames: vec![frame_from(4, 4, &pixels)],
+        };
+        let bytes = wire::encode(&WireMessage::Shard(shard.clone()));
+        prop_assert_eq!(wire::decode(&bytes), Ok(WireMessage::Shard(shard)));
+    }
+
+    /// Any single-byte corruption of the 5-byte header, any truncation,
+    /// and any trailing garbage produce a typed error — never a panic,
+    /// never a silently different message.
+    #[test]
+    fn corrupted_envelopes_fail_with_typed_errors(
+        job_id in 0u64..u64::MAX,
+        version in 0u16..u16::MAX,
+        cut_salt in 0usize..10_000,
+        pixels in prop::collection::vec(0.0f64..=1.0, 16),
+    ) {
+        prop_assume!(version != SCHEMA_VERSION);
+        let job = InferenceJob {
+            job_id,
+            k: 3,
+            kernels: kernels_from(1, 3, &[0.5, -0.5]),
+            frames: vec![frame_from(4, 4, &pixels)],
+        };
+        let bytes = wire::encode(&WireMessage::Job(job));
+
+        // Unknown schema version.
+        let mut versioned = bytes.clone();
+        versioned[2..4].copy_from_slice(&version.to_le_bytes());
+        prop_assert_eq!(
+            wire::decode(&versioned),
+            Err(WireError::UnsupportedVersion { got: version })
+        );
+
+        // Truncation anywhere.
+        let cut = cut_salt % bytes.len();
+        prop_assert!(wire::decode(&bytes[..cut]).is_err());
+
+        // Trailing bytes.
+        let mut trailing = bytes.clone();
+        trailing.push(0x00);
+        prop_assert_eq!(wire::decode(&trailing), Err(WireError::TrailingBytes(1)));
+
+        // A truncated length prefix on the framed stream is a decode
+        // error, not a panic or a clean EOF.
+        let mut framed = Vec::new();
+        wire::write_frame(&mut framed, &bytes).unwrap();
+        let cut = 1 + cut_salt % (framed.len() - 1);
+        let mut partial = std::io::Cursor::new(framed[..cut].to_vec());
+        prop_assert!(matches!(
+            wire::read_frame(&mut partial),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+}
