@@ -60,7 +60,10 @@ fn bench_arm_mac(c: &mut Criterion) {
     });
     // The pre-optimisation port the speedup is measured against.
     c.bench_function("arm_mac_reference_9tap", |b| {
-        b.iter(|| arm.mac_reference(black_box(&activations), &mut noise).unwrap());
+        b.iter(|| {
+            arm.mac_reference(black_box(&activations), &mut noise)
+                .unwrap()
+        });
     });
 }
 
@@ -134,13 +137,21 @@ fn bench_full_frame_conv_128(c: &mut Criterion) {
         .collect();
     let frame = Frame::new(side, side, data).unwrap();
     let kernels: Vec<Vec<f32>> = (0..16)
-        .map(|i| (0..9).map(|j| ((i * 7 + j * 3) as f32 * 0.37).sin()).collect())
+        .map(|i| {
+            (0..9)
+                .map(|j| ((i * 7 + j * 3) as f32 * 0.37).sin())
+                .collect()
+        })
         .collect();
     let mut cfg = OisaConfig::paper_default(side, side);
     cfg.seed = 42;
     let mut accel = OisaAccelerator::new(cfg).unwrap();
     c.bench_function("oisa_convolve_frame_128x128_16k", |b| {
-        b.iter(|| accel.convolve_frame(black_box(&frame), &kernels, 3).unwrap());
+        b.iter(|| {
+            accel
+                .convolve_frame(black_box(&frame), &kernels, 3)
+                .unwrap()
+        });
     });
     c.bench_function("oisa_convolve_frame_128x128_16k_reference", |b| {
         b.iter(|| {
@@ -218,13 +229,21 @@ fn bench_batch_conv(c: &mut Criterion) {
         })
         .collect();
     let kernels: Vec<Vec<f32>> = (0..8)
-        .map(|i| (0..9).map(|j| ((i * 7 + j * 3) as f32 * 0.37).sin()).collect())
+        .map(|i| {
+            (0..9)
+                .map(|j| ((i * 7 + j * 3) as f32 * 0.37).sin())
+                .collect()
+        })
         .collect();
     let mut cfg = OisaConfig::paper_default(side, side);
     cfg.seed = 9;
     let mut accel = OisaAccelerator::new(cfg).unwrap();
     c.bench_function("batch_8_frames_32x32", |b| {
-        b.iter(|| accel.convolve_frames(black_box(&frames), &kernels, 3).unwrap());
+        b.iter(|| {
+            accel
+                .convolve_frames(black_box(&frames), &kernels, 3)
+                .unwrap()
+        });
     });
     c.bench_function("loop_8_frames_32x32", |b| {
         b.iter(|| {
@@ -257,7 +276,11 @@ fn bench_serving(c: &mut Criterion) {
         })
         .collect();
     let kernels: Vec<Vec<f32>> = (0..8)
-        .map(|i| (0..9).map(|j| ((i * 7 + j * 3) as f32 * 0.37).sin()).collect())
+        .map(|i| {
+            (0..9)
+                .map(|j| ((i * 7 + j * 3) as f32 * 0.37).sin())
+                .collect()
+        })
         .collect();
     let mut cfg = OisaConfig::paper_default(side, side);
     cfg.seed = 9;

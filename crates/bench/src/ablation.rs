@@ -111,10 +111,7 @@ pub fn tuning_policy() -> Result<Finding, Box<dyn std::error::Error>> {
         axis: "ring tuning".into(),
         chosen: "hybrid TO-EO".into(),
         alternative: "TO-only".into(),
-        values: (
-            hybrid_outcome.latency.as_nano(),
-            to_only_latency.as_nano(),
-        ),
+        values: (hybrid_outcome.latency.as_nano(), to_only_latency.as_nano()),
         metric: "small-update latency, ns".into(),
     })
 }

@@ -6,7 +6,10 @@ fn main() {
     let (fwhm, fsr) = fig1::annotations();
     println!("=== Fig. 1 — microring spectra (R = 5 µm, Q ≈ 5000) ===");
     println!("FWHM = {fwhm:.3} nm   tunable range (FSR) = {fsr:.2} nm\n");
-    println!("{:>9} | {:>8} {:<26} | {:>8}", "δλ (nm)", "through", "", "drop");
+    println!(
+        "{:>9} | {:>8} {:<26} | {:>8}",
+        "δλ (nm)", "through", "", "drop"
+    );
     println!("{}", "-".repeat(62));
     for p in fig1::spectrum_series(1.2, 25) {
         println!(

@@ -31,6 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let final_v = w.out.last().copied().unwrap_or(0.0);
         println!("  final output voltage: {final_v:.3} V\n");
     }
-    println!("Paper truth table: above both thresholds -> (1,1); between -> (1,0); below -> (0,0).");
+    println!(
+        "Paper truth table: above both thresholds -> (1,1); between -> (1,0); below -> (0,0)."
+    );
     Ok(())
 }

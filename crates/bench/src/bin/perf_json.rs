@@ -25,9 +25,12 @@
 //! batch-size histogram in the `serving` block), the sharded backend
 //! splits the same job over in-process wire workers
 //! (`frames_per_sec_backend_shard` and the `backend_shard` block —
-//! the coordination cost a multi-host split pays), and the dense path
-//! times [`matvec_parallel`] against serial [`matvec`] on a 256-row
-//! layer (`matvec_rows_per_sec`).
+//! the coordination cost a multi-host split pays), the TCP transport
+//! runs the same split over real loopback sockets to worker daemons
+//! (`frames_per_sec_backend_tcp` and the `backend_tcp` block — the
+//! socket/handshake overhead on top of the wire codec), and the dense
+//! path times [`matvec_parallel`] against serial [`matvec`] on a
+//! 256-row layer (`matvec_rows_per_sec`).
 //!
 //! Flags:
 //!
@@ -36,7 +39,8 @@
 //!   ([`oisa_bench::gate`]): exit non-zero, with an actionable message,
 //!   when any headline throughput (`frames_per_sec`,
 //!   `frames_per_sec_batch`, `frames_per_sec_serving`,
-//!   `frames_per_sec_backend_shard`) drops more than
+//!   `frames_per_sec_backend_shard`, `frames_per_sec_backend_tcp`)
+//!   drops more than
 //!   15 % below the committed baseline, when the baseline file is
 //!   unreadable, or when it lacks a headline metric this run emits.
 //!   Regenerate the baseline (`bench/baseline.json`) whenever the CI
@@ -46,7 +50,9 @@
 use std::time::{Duration, Instant};
 
 use oisa_bench::gate::{self, Metric};
-use oisa_core::backend::{ComputeBackend, ShardedBackend};
+use oisa_core::backend::{
+    ComputeBackend, ShardTransport, ShardedBackend, TcpTransport, TcpTransportConfig, TcpWorker,
+};
 use oisa_core::mlp::{matvec, matvec_parallel};
 use oisa_core::serving::{ServingConfig, ServingEngine};
 use oisa_core::wire::InferenceJob;
@@ -75,8 +81,7 @@ fn test_frame(side: usize, phase: usize) -> Frame {
             let dy = (y as f64 - c) / c;
             let vignette = (1.0 - 0.8 * (dx * dx + dy * dy)).max(0.0);
             let gradient = (x + y) as f64 / (2.0 * side as f64);
-            let blob =
-                (-8.0 * ((dx - 0.3 + shift).powi(2) + (dy + 0.2 - shift).powi(2))).exp();
+            let blob = (-8.0 * ((dx - 0.3 + shift).powi(2) + (dy + 0.2 - shift).powi(2))).exp();
             data[y * side + x] = (0.55 * gradient * vignette + 0.6 * blob).clamp(0.0, 1.0);
         }
     }
@@ -130,13 +135,21 @@ fn main() {
     // Correctness gates before timing anything: the parallel pipeline
     // must be bit-identical to its sequential twin, and the batch
     // engine to the per-frame sequential loop, under the seed.
-    let par = accel.convolve_frame(&frame, &banks, k).expect("parallel run");
+    let par = accel
+        .convolve_frame(&frame, &banks, k)
+        .expect("parallel run");
     let mut accel_seq = OisaAccelerator::new(cfg).expect("accelerator construction");
     let seq = accel_seq
         .convolve_frame_sequential(&frame, &banks, k)
         .expect("sequential run");
-    assert_eq!(par.output, seq.output, "parallel output must be bit-identical");
-    assert_eq!(par.energy, seq.energy, "parallel energy must be bit-identical");
+    assert_eq!(
+        par.output, seq.output,
+        "parallel output must be bit-identical"
+    );
+    assert_eq!(
+        par.energy, seq.energy,
+        "parallel energy must be bit-identical"
+    );
 
     let batch_frames: Vec<Frame> = (0..batch).map(|i| test_frame(side, i)).collect();
     // The oracle every engine is gated against: a per-frame sequential
@@ -145,17 +158,25 @@ fn main() {
         let mut oracle = OisaAccelerator::new(cfg).expect("accelerator construction");
         batch_frames
             .iter()
-            .map(|f| oracle.convolve_frame_sequential(f, &banks, k).expect("loop run"))
+            .map(|f| {
+                oracle
+                    .convolve_frame_sequential(f, &banks, k)
+                    .expect("loop run")
+            })
             .collect()
     };
     {
         let mut a = OisaAccelerator::new(cfg).expect("accelerator construction");
-        let batched = a.convolve_frames(&batch_frames, &banks, k).expect("batch run");
+        let batched = a
+            .convolve_frames(&batch_frames, &banks, k)
+            .expect("batch run");
         assert_eq!(batched, looped, "batch must equal the per-frame loop");
     }
 
     let parallel_ms = median_ms(reps, || {
-        let r = accel.convolve_frame(&frame, &banks, k).expect("parallel run");
+        let r = accel
+            .convolve_frame(&frame, &banks, k)
+            .expect("parallel run");
         std::hint::black_box(r.output[0][0]);
     });
     let sequential_ms = median_ms(reps, || {
@@ -216,7 +237,11 @@ fn main() {
         let mut oracle = OisaAccelerator::new(cfg).expect("accelerator construction");
         let looped: Vec<_> = batch_frames
             .iter()
-            .map(|f| oracle.convolve_frame_sequential(f, &banks, k).expect("loop run"))
+            .map(|f| {
+                oracle
+                    .convolve_frame_sequential(f, &banks, k)
+                    .expect("loop run")
+            })
             .collect();
         assert_eq!(served, looped, "serving must equal the per-frame loop");
     }
@@ -254,7 +279,10 @@ fn main() {
             frames: batch_frames.clone(),
         };
         let merged = check.run_job(&job).expect("sharded run");
-        assert_eq!(merged, looped, "merged shards must equal the per-frame loop");
+        assert_eq!(
+            merged, looped,
+            "merged shards must equal the per-frame loop"
+        );
     }
     let mut shard_backend =
         ShardedBackend::in_process(cfg, shard_workers).expect("sharded backend construction");
@@ -268,6 +296,53 @@ fn main() {
         };
         shard_job_id += 1;
         let merged = shard_backend.run_job(&job).expect("sharded run");
+        std::hint::black_box(merged[0].output[0][0]);
+    });
+
+    // TCP backend: the same split dispatched to worker daemons over
+    // real loopback sockets (accept-loop daemons on background
+    // threads). The gap between `frames_per_sec_backend_tcp` and
+    // `frames_per_sec_backend_shard` is the socket + handshake
+    // overhead a genuinely multi-host deployment adds on top of the
+    // wire codec.
+    let tcp_workers = 2usize;
+    let tcp_transport_cfg = TcpTransportConfig::default();
+    let tcp_fleet: Vec<Box<dyn ShardTransport>> = (0..tcp_workers)
+        .map(|_| {
+            let endpoint = TcpWorker::bind(cfg, "127.0.0.1:0")
+                .expect("worker bind")
+                .spawn()
+                .expect("worker daemon thread")
+                .endpoint();
+            let transport = TcpTransport::connect(endpoint, cfg.fingerprint(), tcp_transport_cfg)
+                .expect("worker connect");
+            Box::new(transport) as Box<dyn ShardTransport>
+        })
+        .collect();
+    let mut tcp_backend = ShardedBackend::new(cfg, tcp_fleet).expect("tcp backend construction");
+    {
+        let job = InferenceJob {
+            job_id: 0,
+            k,
+            kernels: banks.clone(),
+            frames: batch_frames.clone(),
+        };
+        let merged = tcp_backend.run_job(&job).expect("tcp sharded run");
+        assert_eq!(
+            merged, looped,
+            "TCP-merged shards must equal the per-frame loop"
+        );
+    }
+    let mut tcp_job_id = 1u64;
+    let backend_tcp_ms = median_ms(reps, || {
+        let job = InferenceJob {
+            job_id: tcp_job_id,
+            k,
+            kernels: banks.clone(),
+            frames: batch_frames.clone(),
+        };
+        tcp_job_id += 1;
+        let merged = tcp_backend.run_job(&job).expect("tcp sharded run");
         std::hint::black_box(merged[0].output[0][0]);
     });
 
@@ -294,11 +369,25 @@ fn main() {
         let mut n1 = NoiseSource::seeded(7, NoiseConfig::paper_default());
         let mut n2 = NoiseSource::seeded(7, NoiseConfig::paper_default());
         let s = matvec(
-            &mut mv_opc, &mv_vom, &mv_mapper, &mv_matrix, mv_rows, mv_cols, &mv_input, &mut n1,
+            &mut mv_opc,
+            &mv_vom,
+            &mv_mapper,
+            &mv_matrix,
+            mv_rows,
+            mv_cols,
+            &mv_input,
+            &mut n1,
         )
         .expect("serial matvec");
         let p = matvec_parallel(
-            &mut mv_opc, &mv_vom, &mv_mapper, &mv_matrix, mv_rows, mv_cols, &mv_input, &mut n2,
+            &mut mv_opc,
+            &mv_vom,
+            &mv_mapper,
+            &mv_matrix,
+            mv_rows,
+            mv_cols,
+            &mv_input,
+            &mut n2,
         )
         .expect("parallel matvec");
         assert_eq!(s, p, "parallel matvec must be bit-identical to serial");
@@ -306,7 +395,13 @@ fn main() {
     let mut mv_noise = NoiseSource::seeded(7, NoiseConfig::paper_default());
     let matvec_serial_ms = median_ms(reps, || {
         let r = matvec(
-            &mut mv_opc, &mv_vom, &mv_mapper, &mv_matrix, mv_rows, mv_cols, &mv_input,
+            &mut mv_opc,
+            &mv_vom,
+            &mv_mapper,
+            &mv_matrix,
+            mv_rows,
+            mv_cols,
+            &mv_input,
             &mut mv_noise,
         )
         .expect("serial matvec");
@@ -314,7 +409,13 @@ fn main() {
     });
     let matvec_parallel_ms = median_ms(reps, || {
         let r = matvec_parallel(
-            &mut mv_opc, &mv_vom, &mv_mapper, &mv_matrix, mv_rows, mv_cols, &mv_input,
+            &mut mv_opc,
+            &mv_vom,
+            &mv_mapper,
+            &mv_matrix,
+            mv_rows,
+            mv_cols,
+            &mv_input,
             &mut mv_noise,
         )
         .expect("parallel matvec");
@@ -343,6 +444,7 @@ fn main() {
     let frames_per_sec_batch = batch as f64 * 1e3 / batch_ms;
     let frames_per_sec_serving = batch as f64 * 1e3 / serving_ms;
     let frames_per_sec_backend_shard = batch as f64 * 1e3 / backend_shard_ms;
+    let frames_per_sec_backend_tcp = batch as f64 * 1e3 / backend_tcp_ms;
     let matvec_rows_per_sec = mv_rows as f64 * 1e3 / matvec_parallel_ms;
     let batch_histogram = serving_stats
         .batch_size_histogram
@@ -364,6 +466,7 @@ fn main() {
             "\"frame_loop_8\":{frame_loop_ms:.3},",
             "\"serving_8_frames\":{serving_ms:.3},",
             "\"backend_shard_8_frames\":{backend_shard_ms:.3},",
+            "\"backend_tcp_8_frames\":{backend_tcp_ms:.3},",
             "\"matvec_parallel\":{matvec_parallel_ms:.3},",
             "\"matvec_serial\":{matvec_serial_ms:.3},",
             "\"conv2d_im2col\":{im2col:.3},",
@@ -373,10 +476,15 @@ fn main() {
             "\"frames_per_sec_batch\":{fps_batch:.3},",
             "\"frames_per_sec_serving\":{fps_serving:.3},",
             "\"frames_per_sec_backend_shard\":{fps_backend_shard:.3},",
+            "\"frames_per_sec_backend_tcp\":{fps_backend_tcp:.3},",
             "\"matvec_rows_per_sec\":{mv_rps:.3}}},",
             "\"backend_shard\":{{",
             "\"workers\":{shard_workers},",
             "\"jobs_run\":{shard_jobs}}},",
+            "\"backend_tcp\":{{",
+            "\"workers\":{tcp_workers},",
+            "\"endpoint\":\"loopback\",",
+            "\"jobs_run\":{tcp_jobs}}},",
             "\"serving\":{{",
             "\"max_batch\":{srv_max_batch},",
             "\"deadline_ms\":{srv_deadline_ms},",
@@ -398,7 +506,8 @@ fn main() {
             "\"bit_identical_parallel_vs_sequential\":true,",
             "\"bit_identical_batch_vs_frame_loop\":true,",
             "\"bit_identical_serving_vs_frame_loop\":true,",
-            "\"bit_identical_backend_shard_vs_frame_loop\":true}}"
+            "\"bit_identical_backend_shard_vs_frame_loop\":true,",
+            "\"bit_identical_backend_tcp_vs_frame_loop\":true}}"
         ),
         side = side,
         kernels = kernels,
@@ -414,6 +523,7 @@ fn main() {
         frame_loop_ms = frame_loop_ms,
         serving_ms = serving_ms,
         backend_shard_ms = backend_shard_ms,
+        backend_tcp_ms = backend_tcp_ms,
         matvec_parallel_ms = matvec_parallel_ms,
         matvec_serial_ms = matvec_serial_ms,
         im2col = im2col_ms,
@@ -422,9 +532,12 @@ fn main() {
         fps_batch = frames_per_sec_batch,
         fps_serving = frames_per_sec_serving,
         fps_backend_shard = frames_per_sec_backend_shard,
+        fps_backend_tcp = frames_per_sec_backend_tcp,
         mv_rps = matvec_rows_per_sec,
         shard_workers = shard_workers,
         shard_jobs = shard_backend.jobs_run(),
+        tcp_workers = tcp_workers,
+        tcp_jobs = tcp_backend.jobs_run(),
         srv_max_batch = serving_cfg.max_batch,
         srv_deadline_ms = serving_cfg.deadline.as_millis(),
         srv_queue_depth = serving_cfg.queue_depth,
@@ -446,12 +559,25 @@ fn main() {
 
     if let Some(path) = gate_path {
         let headline = [
-            Metric { name: "frames_per_sec", current: frames_per_sec },
-            Metric { name: "frames_per_sec_batch", current: frames_per_sec_batch },
-            Metric { name: "frames_per_sec_serving", current: frames_per_sec_serving },
+            Metric {
+                name: "frames_per_sec",
+                current: frames_per_sec,
+            },
+            Metric {
+                name: "frames_per_sec_batch",
+                current: frames_per_sec_batch,
+            },
+            Metric {
+                name: "frames_per_sec_serving",
+                current: frames_per_sec_serving,
+            },
             Metric {
                 name: "frames_per_sec_backend_shard",
                 current: frames_per_sec_backend_shard,
+            },
+            Metric {
+                name: "frames_per_sec_backend_tcp",
+                current: frames_per_sec_backend_tcp,
             },
         ];
         match gate::gate_file(&path, &headline, gate::GATE_TOLERANCE) {

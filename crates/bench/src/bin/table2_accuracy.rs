@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     row("baseline", results.iter().map(|r| r.baseline).collect());
     row("FBNA-like", results.iter().map(|r| r.fbna_like).collect());
-    row("AppCiP-like", results.iter().map(|r| r.appcip_like).collect());
+    row(
+        "AppCiP-like",
+        results.iter().map(|r| r.appcip_like).collect(),
+    );
     row("PISA-like", results.iter().map(|r| r.pisa_like).collect());
     for (i, bits) in [4u8, 3, 2, 1].iter().enumerate() {
         row(

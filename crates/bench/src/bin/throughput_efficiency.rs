@@ -36,10 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<42} {:>12} {:>12}",
         "full-map AWC iterations", "100", h.full_map_iterations
     );
-    println!(
-        "{:<42} {:>12} {:>12.2}",
-        "area (mm²)", "1.92", h.area_mm2
-    );
+    println!("{:<42} {:>12} {:>12.2}", "area (mm²)", "1.92", h.area_mm2);
     println!(
         "{:<42} {:>12} {:>12.2}",
         "ResNet18 L1 frame latency (µs)", "< 1000", h.resnet_frame_us

@@ -53,8 +53,8 @@ pub fn vam_waveforms(clk_ns: f64) -> Result<Vec<PixelWaveforms>, Box<dyn std::er
         let rst = Waveform::pulse(1.0, 0.0, 4e-9, 1e-10, 1e-10, 1.0, 0.0);
         let dch = Waveform::pulse(0.0, 1.0, 4e-9, 1e-10, 1e-10, 20e-9, 0.0);
         let ckt = design.build_netlist(illumination, rst, dch)?;
-        let trace = TransientAnalysis::new(Second::from_nano(40.0), Second::from_pico(50.0))
-            .run(&ckt)?;
+        let trace =
+            TransientAnalysis::new(Second::from_nano(40.0), Second::from_pico(50.0)).run(&ckt)?;
         let times = trace.times().to_vec();
         // The SA input is the buffered accumulated drop, vdd − v(pd).
         let out: Vec<f64> = trace.voltage("pd")?.iter().map(|v| vdd - v).collect();

@@ -67,7 +67,10 @@ pub fn power_sweep() -> Result<(Vec<PowerSeries>, ReductionFactors), Box<dyn std
             Box::new(move |b: u8| crosslight.power(b)) as Box<dyn Fn(u8) -> _>,
         ),
         ("AppCiP-like", Box::new(move |b: u8| appcip.power(b))),
-        ("ASIC (DaDianNao-like)", Box::new(move |b: u8| asic.power(b))),
+        (
+            "ASIC (DaDianNao-like)",
+            Box::new(move |b: u8| asic.power(b)),
+        ),
     ]
     .into_iter()
     .enumerate()
@@ -162,8 +165,16 @@ mod tests {
         let (series, _) = power_sweep().unwrap();
         let at4 = |i: usize| series[i].totals[3].get();
         let oisa = at4(0);
-        assert!((at4(1) / oisa - 8.3).abs() < 1.7, "crosslight {}", at4(1) / oisa);
-        assert!((at4(2) / oisa - 7.9).abs() < 1.6, "appcip {}", at4(2) / oisa);
+        assert!(
+            (at4(1) / oisa - 8.3).abs() < 1.7,
+            "crosslight {}",
+            at4(1) / oisa
+        );
+        assert!(
+            (at4(2) / oisa - 7.9).abs() < 1.6,
+            "appcip {}",
+            at4(2) / oisa
+        );
         assert!((at4(3) / oisa - 18.4).abs() < 3.7, "asic {}", at4(3) / oisa);
     }
 

@@ -112,8 +112,14 @@ mod tests {
     use super::*;
 
     const CURRENT: &[Metric] = &[
-        Metric { name: "frames_per_sec", current: 100.0 },
-        Metric { name: "frames_per_sec_batch", current: 200.0 },
+        Metric {
+            name: "frames_per_sec",
+            current: 100.0,
+        },
+        Metric {
+            name: "frames_per_sec_batch",
+            current: 200.0,
+        },
     ];
 
     #[test]
@@ -122,7 +128,10 @@ mod tests {
             .expect_err("a missing baseline must not pass the gate");
         assert!(err.contains("cannot read baseline"), "{err}");
         assert!(err.contains("/nonexistent/baseline.json"), "{err}");
-        assert!(err.contains("regenerate"), "the remedy must be named: {err}");
+        assert!(
+            err.contains("regenerate"),
+            "the remedy must be named: {err}"
+        );
     }
 
     #[test]
@@ -139,17 +148,19 @@ mod tests {
 
     #[test]
     fn within_tolerance_passes_with_comparison_log() {
-        let doc =
-            r#"{"throughput":{"frames_per_sec":110.0,"frames_per_sec_batch":210.0}}"#;
+        let doc = r#"{"throughput":{"frames_per_sec":110.0,"frames_per_sec_batch":210.0}}"#;
         let log = check_baseline(doc, CURRENT, GATE_TOLERANCE).expect("within tolerance");
         assert_eq!(log.len(), 2);
-        assert!(log[0].contains("frames_per_sec 100.00 vs baseline 110.00"), "{}", log[0]);
+        assert!(
+            log[0].contains("frames_per_sec 100.00 vs baseline 110.00"),
+            "{}",
+            log[0]
+        );
     }
 
     #[test]
     fn regression_beyond_tolerance_fails_and_names_the_metric() {
-        let doc =
-            r#"{"throughput":{"frames_per_sec":100.0,"frames_per_sec_batch":300.0}}"#;
+        let doc = r#"{"throughput":{"frames_per_sec":100.0,"frames_per_sec_batch":300.0}}"#;
         let err = check_baseline(doc, CURRENT, GATE_TOLERANCE).expect_err("33% regression");
         assert!(err.contains("frames_per_sec_batch regressed 33%"), "{err}");
     }

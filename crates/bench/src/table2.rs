@@ -253,11 +253,7 @@ mod tests {
         }
         // The float baseline tops every deployed configuration (small
         // slack for evaluation noise).
-        let best_oisa = result
-            .oisa
-            .iter()
-            .map(|&(_, a)| a)
-            .fold(0.0f64, f64::max);
+        let best_oisa = result.oisa.iter().map(|&(_, a)| a).fold(0.0f64, f64::max);
         assert!(result.baseline >= best_oisa - 0.05);
     }
 

@@ -94,7 +94,7 @@ impl OisaConfig {
     /// never panics: degenerate dimensions still surface as a
     /// `Result` from [`OisaAccelerator::new`], exactly as before the
     /// builder existed. Call `builder().build()` instead when you want
-    /// the up-front [`OisaError::Config`] validation.
+    /// the up-front [`OisaError::Config`](crate::error::OisaError::Config) validation.
     #[must_use]
     pub fn paper_default(width: usize, height: usize) -> Self {
         Self::builder().imager_dims(width, height).config
@@ -117,7 +117,7 @@ impl OisaConfig {
     ///
     /// Prefer this over mutating a default struct when the values come
     /// from outside the program: [`OisaConfigBuilder::build`] rejects
-    /// bad dimensions with a typed [`OisaError::Config`] naming the
+    /// bad dimensions with a typed [`OisaError::Config`](crate::error::OisaError::Config) naming the
     /// field, instead of letting them surface as a substrate error
     /// deep inside [`OisaAccelerator::new`].
     #[must_use]
@@ -251,16 +251,15 @@ impl OisaConfigBuilder {
     ///
     /// # Errors
     ///
-    /// [`OisaError::Config`] naming the offending field when any
+    /// [`OisaError::Config`](crate::error::OisaError::Config) naming the offending field when any
     /// dimension is degenerate: a zero-sized imager, a non-positive
     /// frame rate, an OPC whose banks don't tile its columns (or with
     /// zero banks/columns/AWC units), or a weight bit-width outside
     /// 1–4.
     pub fn build(self) -> std::result::Result<OisaConfig, crate::OisaError> {
         let cfg = &self.config;
-        let fail = |field: &'static str, reason: String| {
-            Err(crate::OisaError::Config { field, reason })
-        };
+        let fail =
+            |field: &'static str, reason: String| Err(crate::OisaError::Config { field, reason });
         if cfg.imager.width == 0 || cfg.imager.height == 0 {
             return fail(
                 "imager",
@@ -273,7 +272,10 @@ impl OisaConfigBuilder {
         if !(cfg.imager.frame_rate_hz.is_finite() && cfg.imager.frame_rate_hz > 0.0) {
             return fail(
                 "frame_rate_hz",
-                format!("must be a positive finite rate, got {}", cfg.imager.frame_rate_hz),
+                format!(
+                    "must be a positive finite rate, got {}",
+                    cfg.imager.frame_rate_hz
+                ),
             );
         }
         if cfg.opc.banks == 0 || cfg.opc.columns == 0 || cfg.opc.awc_units == 0 {
@@ -482,7 +484,14 @@ impl OisaAccelerator {
         while kernel_index < planes.len() {
             let pass_kernels =
                 &planes[kernel_index..(kernel_index + plan.slots_per_pass).min(planes.len())];
-            self.stage_pass(pass_kernels, kernel_index, &scales, ks, &mut normalised, &mut codes)?;
+            self.stage_pass(
+                pass_kernels,
+                kernel_index,
+                &scales,
+                ks,
+                &mut normalised,
+                &mut codes,
+            )?;
             kernel_index += pass_kernels.len();
         }
         // Staging cycled the kernel bank; the next convolution's memory
@@ -587,8 +596,14 @@ impl OisaAccelerator {
         while kernel_index < kernels.len() {
             let pass_kernels =
                 &kernels[kernel_index..(kernel_index + slots_per_pass).min(kernels.len())];
-            let slots =
-                self.stage_pass(pass_kernels, kernel_index, &scales, ks, &mut normalised, &mut codes)?;
+            let slots = self.stage_pass(
+                pass_kernels,
+                kernel_index,
+                &scales,
+                ks,
+                &mut normalised,
+                &mut codes,
+            )?;
             energy.tuning += self.pass_tuning_energy(&slots, arms_per_kernel)?;
 
             // Snapshot every slot's arms once per pass; the hot loop
@@ -597,7 +612,8 @@ impl OisaAccelerator {
             let slot_arms: Vec<Vec<ArmSnapshot>> = slots
                 .iter()
                 .map(|&(bank, first_arm)| {
-                    self.opc.snapshot_kernel_arms(bank, first_arm, arms_per_kernel)
+                    self.opc
+                        .snapshot_kernel_arms(bank, first_arm, arms_per_kernel)
                 })
                 .collect::<oisa_optics::Result<_>>()?;
 
@@ -726,7 +742,8 @@ impl OisaAccelerator {
             let offset = (bank * oisa_optics::bank::RINGS_PER_BANK + first_arm * RINGS_PER_ARM)
                 % self.bank.len();
             self.bank.store(offset, codes)?;
-            self.opc.load_kernel(bank, first_arm, normalised, &self.mapper)?;
+            self.opc
+                .load_kernel(bank, first_arm, normalised, &self.mapper)?;
         }
         Ok(slots)
     }
@@ -828,12 +845,19 @@ impl OisaAccelerator {
         while kernel_index < planes.len() {
             let pass_kernels =
                 &planes[kernel_index..(kernel_index + slots_per_pass).min(planes.len())];
-            let slots =
-                self.stage_pass(pass_kernels, kernel_index, &scales, ks, &mut normalised, &mut codes)?;
+            let slots = self.stage_pass(
+                pass_kernels,
+                kernel_index,
+                &scales,
+                ks,
+                &mut normalised,
+                &mut codes,
+            )?;
             let arms: Vec<Vec<ArmSnapshot>> = slots
                 .iter()
                 .map(|&(bank, first_arm)| {
-                    self.opc.snapshot_kernel_arms(bank, first_arm, arms_per_kernel)
+                    self.opc
+                        .snapshot_kernel_arms(bank, first_arm, arms_per_kernel)
                 })
                 .collect::<oisa_optics::Result<_>>()?;
             let tuning_first = self.pass_tuning_energy(&slots, arms_per_kernel)?;
@@ -1057,20 +1081,18 @@ impl OisaAccelerator {
             let pass_kernels =
                 &kernels[kernel_index..(kernel_index + slots_per_pass).min(kernels.len())];
             let slots = assign_slots(pass_kernels.len(), ks, &self.config.opc)?;
-            for (pk, (kn, &(bank, first_arm))) in
-                pass_kernels.iter().zip(&slots).enumerate()
-            {
+            for (pk, (kn, &(bank, first_arm))) in pass_kernels.iter().zip(&slots).enumerate() {
                 let scale = scales[kernel_index + pk];
                 let normalised: Vec<f64> = kn.iter().map(|&w| f64::from(w / scale)).collect();
                 let codes: Vec<u16> = normalised
                     .iter()
                     .map(|&w| self.mapper.quantize(w).map(|m| m.code))
                     .collect::<oisa_optics::Result<Vec<u16>>>()?;
-                let offset = (bank * oisa_optics::bank::RINGS_PER_BANK
-                    + first_arm * RINGS_PER_ARM)
+                let offset = (bank * oisa_optics::bank::RINGS_PER_BANK + first_arm * RINGS_PER_ARM)
                     % self.bank.len();
                 self.bank.store(offset, &codes)?;
-                self.opc.load_kernel(bank, first_arm, &normalised, &self.mapper)?;
+                self.opc
+                    .load_kernel(bank, first_arm, &normalised, &self.mapper)?;
             }
             energy.tuning += self.pass_tuning_energy(&slots, ks.arms_per_kernel())?;
 
@@ -1079,7 +1101,11 @@ impl OisaAccelerator {
                     let window = gather_window(&encoded.optical, frame.width(), oy, ox, k);
                     for (slot_idx, &(bank, first_arm)) in slots.iter().enumerate() {
                         let value = self.evaluate_kernel_reference(
-                            bank, first_arm, &window, ks, &mut energy,
+                            bank,
+                            first_arm,
+                            &window,
+                            ks,
+                            &mut energy,
                         )?;
                         output[kernel_index + slot_idx][oy * ow + ox] =
                             (value * f64::from(scales[kernel_index + slot_idx])) as f32;
@@ -1489,9 +1515,7 @@ mod tests {
     fn energy_report_phases_populated() {
         let mut accel = accel();
         let frame = Frame::constant(16, 16, 0.5).unwrap();
-        let report = accel
-            .convolve_frame(&frame, &[vec![0.5f32; 9]], 3)
-            .unwrap();
+        let report = accel.convolve_frame(&frame, &[vec![0.5f32; 9]], 3).unwrap();
         assert!(report.energy.sensing.get() > 0.0);
         assert!(report.energy.encoding.get() > 0.0);
         assert!(report.energy.tuning.get() > 0.0);
@@ -1506,9 +1530,7 @@ mod tests {
         let mut accel = accel();
         let frame = Frame::constant(16, 16, 0.5).unwrap();
         assert!(accel.convolve_frame(&frame, &[], 3).is_err());
-        assert!(accel
-            .convolve_frame(&frame, &[vec![0.5f32; 8]], 3)
-            .is_err());
+        assert!(accel.convolve_frame(&frame, &[vec![0.5f32; 8]], 3).is_err());
         assert!(accel
             .convolve_frame(&frame, &[vec![0.5f32; 16]], 4)
             .is_err());
@@ -1621,8 +1643,8 @@ mod tests {
         assert_eq!(rf.output, rr.output);
         // Energy matches up to reduction grouping (row partials vs one
         // running sum).
-        let rel = (rf.energy.total().get() - rr.energy.total().get()).abs()
-            / rr.energy.total().get();
+        let rel =
+            (rf.energy.total().get() - rr.energy.total().get()).abs() / rr.energy.total().get();
         assert!(rel < 1e-9, "energy drift {rel}");
     }
 
@@ -1655,7 +1677,10 @@ mod tests {
                 .iter()
                 .map(|f| serial.convolve_frame_sequential(f, kernels, k).unwrap())
                 .collect();
-            assert_eq!(batched, looped, "k={k} batch must equal the sequential loop");
+            assert_eq!(
+                batched, looped,
+                "k={k} batch must equal the sequential loop"
+            );
             // And both accelerators continue identically afterwards
             // (same fabric state, same noise epoch).
             assert_eq!(
@@ -1733,9 +1758,7 @@ mod tests {
         // passes.
         let mut accel = accel();
         let frame = Frame::constant(16, 16, 0.6).unwrap();
-        let kernels: Vec<Vec<f32>> = (0..25)
-            .map(|i| vec![(i as f32 / 25.0) - 0.5; 9])
-            .collect();
+        let kernels: Vec<Vec<f32>> = (0..25).map(|i| vec![(i as f32 / 25.0) - 0.5; 9]).collect();
         let report = accel.convolve_frame(&frame, &kernels, 3).unwrap();
         assert_eq!(report.plan.passes, 2);
         assert_eq!(report.output.len(), 25);

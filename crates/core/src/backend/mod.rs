@@ -12,8 +12,14 @@
 //!   into contiguous `(frame, epoch)` ranges, ships them as
 //!   length-prefixed [`wire`] messages to workers (in-process for
 //!   tests/bench, separate OS processes in `examples/multi_node.rs`,
-//!   TCP later — anything implementing [`ShardTransport`]), and merges
-//!   the [`ShardReport`]s in frame order.
+//!   remote hosts over [`TcpTransport`] — anything implementing
+//!   [`ShardTransport`]), and merges the [`ShardReport`]s in frame
+//!   order.
+//!
+//! The [`tcp`] submodule holds the multi-host deployment pieces: the
+//! [`TcpTransport`] coordinator side (connect/read timeouts, reconnect
+//! with backoff, a connect-time [`wire::Handshake`]) and the
+//! [`TcpWorker`] accept-loop daemon the `oisa_worker` binary wraps.
 //!
 //! # The determinism contract
 //!
@@ -57,8 +63,14 @@ use std::io::{Read, Write};
 use crate::accelerator::{ConvolutionReport, OisaAccelerator, OisaConfig};
 use crate::error::OisaError;
 use crate::mapping::{ConvWorkload, MappingPlan};
-use crate::wire::{self, FabricEntry, InferenceJob, JobShard, ShardRefusal, ShardReport, WireMessage};
+use crate::wire::{
+    self, FabricEntry, InferenceJob, JobShard, RefusalCode, ShardRefusal, ShardReport, WireMessage,
+};
 use crate::CoreError;
+
+pub mod tcp;
+
+pub use tcp::{TcpTransport, TcpTransportConfig, TcpWorker, TcpWorkerHandle, WorkerOptions};
 
 /// Result alias for backend operations.
 pub type BackendResult<T> = std::result::Result<T, OisaError>;
@@ -199,16 +211,15 @@ impl ComputeBackend for LocalBackend {
 ///
 /// # Errors
 ///
-/// [`OisaError::Backend`] on a fingerprint mismatch; otherwise the
-/// accelerator's own validation/substrate errors.
+/// [`OisaError::FingerprintMismatch`] on a fingerprint mismatch;
+/// otherwise the accelerator's own validation/substrate errors.
 pub fn execute_shard(config: &OisaConfig, shard: &JobShard) -> BackendResult<ShardReport> {
     let expected = config.fingerprint();
     if shard.config_fingerprint != expected {
-        return Err(OisaError::Backend(format!(
-            "config fingerprint mismatch: shard was built for {:#018x}, worker runs {expected:#018x} \
-             — coordinator and worker must deploy identical OisaConfigs",
-            shard.config_fingerprint
-        )));
+        return Err(OisaError::FingerprintMismatch {
+            coordinator: shard.config_fingerprint,
+            worker: expected,
+        });
     }
     let mut accel = OisaAccelerator::new(*config)?;
     accel.align_noise_epoch(shard.first_epoch)?;
@@ -227,11 +238,13 @@ pub fn execute_shard(config: &OisaConfig, shard: &JobShard) -> BackendResult<Sha
 }
 
 /// Serves shards from a byte stream until clean EOF: the main loop of
-/// a worker process. Each incoming frame must be a [`JobShard`]; the
-/// reply is a [`ShardReport`] on success or a typed [`ShardRefusal`]
-/// (never a dropped connection) when the shard cannot run.
+/// a worker process. Each incoming [`JobShard`] is answered with a
+/// [`ShardReport`] on success or a typed [`ShardRefusal`] (never a
+/// dropped connection) when the shard cannot run; a
+/// [`WireMessage::Ping`] is answered with a [`WireMessage::Pong`]
+/// echoing the nonce and carrying this worker's config fingerprint.
 ///
-/// Returns the number of shards answered.
+/// Returns the number of requests answered.
 ///
 /// # Errors
 ///
@@ -243,25 +256,55 @@ pub fn serve_worker<R: Read, W: Write>(
     reader: &mut R,
     writer: &mut W,
 ) -> BackendResult<u64> {
+    serve_worker_hooked(config, reader, writer, &mut |_| {})
+}
+
+/// [`serve_worker`] with a fault-injection hook: `before_shard` runs
+/// after a shard decodes and before it executes, receiving the count of
+/// shards this call already answered. The `oisa_worker` daemon's
+/// `--fail-after-shards` flag aborts the process from this hook to
+/// simulate a worker dying mid-job; production paths pass a no-op.
+///
+/// # Errors
+///
+/// As [`serve_worker`].
+pub fn serve_worker_hooked<R: Read, W: Write>(
+    config: &OisaConfig,
+    reader: &mut R,
+    writer: &mut W,
+    before_shard: &mut dyn FnMut(u64),
+) -> BackendResult<u64> {
     let mut served = 0u64;
+    let mut shards = 0u64;
     while let Some(payload) = wire::read_frame(reader)? {
         let reply = match wire::decode(&payload) {
-            Ok(WireMessage::Shard(shard)) => match execute_shard(config, &shard) {
-                Ok(report) => WireMessage::Report(report),
-                Err(e) => WireMessage::Refusal(ShardRefusal {
-                    job_id: shard.job_id,
-                    shard_index: shard.shard_index,
-                    reason: e.to_string(),
-                }),
-            },
+            Ok(WireMessage::Shard(shard)) => {
+                before_shard(shards);
+                shards += 1;
+                match execute_shard(config, &shard) {
+                    Ok(report) => WireMessage::Report(report),
+                    Err(e) => WireMessage::Refusal(ShardRefusal {
+                        job_id: shard.job_id,
+                        shard_index: shard.shard_index,
+                        code: refusal_code_for(&e),
+                        reason: e.to_string(),
+                    }),
+                }
+            }
+            Ok(WireMessage::Ping(hs)) => WireMessage::Pong(wire::Handshake {
+                nonce: hs.nonce,
+                config_fingerprint: config.fingerprint(),
+            }),
             Ok(other) => WireMessage::Refusal(ShardRefusal {
                 job_id: 0,
                 shard_index: 0,
+                code: RefusalCode::Other,
                 reason: format!("worker expected a JobShard, got {}", message_name(&other)),
             }),
             Err(e) => WireMessage::Refusal(ShardRefusal {
                 job_id: 0,
                 shard_index: 0,
+                code: RefusalCode::Other,
                 reason: format!("worker could not decode request: {e}"),
             }),
         };
@@ -274,12 +317,47 @@ pub fn serve_worker<R: Read, W: Write>(
     Ok(served)
 }
 
+/// The machine-readable class a worker-side error travels under.
+fn refusal_code_for(error: &OisaError) -> RefusalCode {
+    match error {
+        OisaError::FingerprintMismatch {
+            coordinator,
+            worker,
+        } => RefusalCode::FingerprintMismatch {
+            coordinator: *coordinator,
+            worker: *worker,
+        },
+        _ => RefusalCode::Other,
+    }
+}
+
+/// Coordinator-side inverse of [`refusal_code_for`]: a worker's typed
+/// "no" becomes the matching [`OisaError`] variant.
+fn refusal_to_error(refusal: ShardRefusal) -> OisaError {
+    match refusal.code {
+        RefusalCode::FingerprintMismatch {
+            coordinator,
+            worker,
+        } => OisaError::FingerprintMismatch {
+            coordinator,
+            worker,
+        },
+        RefusalCode::Other => OisaError::ShardRefused {
+            job_id: refusal.job_id,
+            shard_index: refusal.shard_index,
+            reason: refusal.reason,
+        },
+    }
+}
+
 fn message_name(message: &WireMessage) -> &'static str {
     match message {
         WireMessage::Job(_) => "InferenceJob",
         WireMessage::Shard(_) => "JobShard",
         WireMessage::Report(_) => "ShardReport",
         WireMessage::Refusal(_) => "ShardRefusal",
+        WireMessage::Ping(_) => "Ping",
+        WireMessage::Pong(_) => "Pong",
     }
 }
 
@@ -392,10 +470,7 @@ impl ShardedBackend {
     /// # Errors
     ///
     /// [`OisaError::Backend`] for an empty fleet.
-    pub fn new(
-        config: OisaConfig,
-        workers: Vec<Box<dyn ShardTransport>>,
-    ) -> BackendResult<Self> {
+    pub fn new(config: OisaConfig, workers: Vec<Box<dyn ShardTransport>>) -> BackendResult<Self> {
         if workers.is_empty() {
             return Err(OisaError::Backend(
                 "a sharded backend needs at least one worker".into(),
@@ -428,6 +503,29 @@ impl ShardedBackend {
     #[must_use]
     pub fn worker_count(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Swaps the worker at `index` for a replacement transport — the
+    /// repair step after a [`OisaError::Transport`] failure (a worker
+    /// died and its endpoint will not come back). Because `run_job`
+    /// advances no coordinator state on failure, a job retried after
+    /// the swap re-executes bit-identically, whatever the new fleet
+    /// shape.
+    ///
+    /// # Errors
+    ///
+    /// [`OisaError::Backend`] when `index` is out of range.
+    pub fn replace_worker(
+        &mut self,
+        index: usize,
+        transport: Box<dyn ShardTransport>,
+    ) -> BackendResult<()> {
+        let fleet = self.workers.len();
+        let slot = self.workers.get_mut(index).ok_or_else(|| {
+            OisaError::Backend(format!("no worker {index} to replace (fleet has {fleet})"))
+        })?;
+        *slot = transport;
+        Ok(())
     }
 
     /// Jobs merged so far.
@@ -532,12 +630,7 @@ impl ComputeBackend for ShardedBackend {
         for (shard, reply) in shards.iter().zip(replies) {
             let report = match wire::decode(&reply?)? {
                 WireMessage::Report(report) => report,
-                WireMessage::Refusal(refusal) => {
-                    return Err(OisaError::Backend(format!(
-                        "worker refused shard {} of job {}: {}",
-                        refusal.shard_index, refusal.job_id, refusal.reason
-                    )));
-                }
+                WireMessage::Refusal(refusal) => return Err(refusal_to_error(refusal)),
                 other => {
                     return Err(OisaError::Backend(format!(
                         "worker answered shard {} with a {}",
@@ -616,7 +709,9 @@ mod tests {
         let mut backend = LocalBackend::new(cfg(5)).unwrap();
         let via_backend = backend.run_job(&job).unwrap();
         let mut direct = OisaAccelerator::new(cfg(5)).unwrap();
-        let via_accel = direct.convolve_frames(&job.frames, &job.kernels, 3).unwrap();
+        let via_accel = direct
+            .convolve_frames(&job.frames, &job.kernels, 3)
+            .unwrap();
         assert_eq!(via_backend, via_accel);
     }
 
@@ -660,25 +755,34 @@ mod tests {
     }
 
     #[test]
-    fn fingerprint_mismatch_is_refused_with_a_reason() {
+    fn fingerprint_mismatch_is_typed_and_names_both_fingerprints() {
         let mut worker_cfg = cfg(7);
         worker_cfg.seed = 8; // different physics
+        let coordinator_fp = cfg(7).fingerprint();
+        let worker_fp = worker_cfg.fingerprint();
         let shard = JobShard {
             job_id: 3,
             shard_index: 0,
             shard_count: 1,
             first_frame: 0,
             first_epoch: 0,
-            config_fingerprint: cfg(7).fingerprint(),
+            config_fingerprint: coordinator_fp,
             entry: FabricEntry::Cold,
             k: 3,
             kernels: vec![vec![0.5f32; 9]],
             frames: frames(1),
         };
         let err = execute_shard(&worker_cfg, &shard).unwrap_err();
-        assert!(matches!(err, OisaError::Backend(_)), "got {err:?}");
+        assert_eq!(
+            err,
+            OisaError::FingerprintMismatch {
+                coordinator: coordinator_fp,
+                worker: worker_fp,
+            }
+        );
         assert!(err.to_string().contains("fingerprint"), "{err}");
-        // And through a transport it comes back as a typed refusal.
+        // Through a transport it comes back as a refusal whose code
+        // carries both fingerprints...
         let mut transport = InProcessWorker::new(worker_cfg);
         let reply = transport
             .round_trip(&wire::encode(&WireMessage::Shard(shard)))
@@ -686,9 +790,49 @@ mod tests {
         match wire::decode(&reply).unwrap() {
             WireMessage::Refusal(refusal) => {
                 assert_eq!(refusal.job_id, 3);
-                assert!(refusal.reason.contains("fingerprint"), "{}", refusal.reason);
+                assert_eq!(
+                    refusal.code,
+                    RefusalCode::FingerprintMismatch {
+                        coordinator: coordinator_fp,
+                        worker: worker_fp,
+                    }
+                );
             }
             other => panic!("expected a refusal, got {other:?}"),
+        }
+        // ...and the coordinator maps it back to the same typed error.
+        let mut backend = ShardedBackend::new(cfg(7), vec![Box::new(transport)]).unwrap();
+        let job = InferenceJob {
+            job_id: 3,
+            k: 3,
+            kernels: vec![vec![0.5f32; 9]],
+            frames: frames(1),
+        };
+        assert_eq!(
+            backend.run_job(&job).unwrap_err(),
+            OisaError::FingerprintMismatch {
+                coordinator: coordinator_fp,
+                worker: worker_fp,
+            }
+        );
+    }
+
+    #[test]
+    fn worker_answers_ping_with_a_nonce_echoing_pong() {
+        let config = cfg(11);
+        let mut transport = InProcessWorker::new(config);
+        let reply = transport
+            .round_trip(&wire::encode(&WireMessage::Ping(wire::Handshake {
+                nonce: 0xC0FFEE,
+                config_fingerprint: 0, // sender's fingerprint is informational
+            })))
+            .unwrap();
+        match wire::decode(&reply).unwrap() {
+            WireMessage::Pong(hs) => {
+                assert_eq!(hs.nonce, 0xC0FFEE);
+                assert_eq!(hs.config_fingerprint, config.fingerprint());
+            }
+            other => panic!("expected a pong, got {other:?}"),
         }
     }
 
@@ -716,7 +860,11 @@ mod tests {
             .unwrap();
         match wire::decode(&reply).unwrap() {
             WireMessage::Refusal(refusal) => {
-                assert!(refusal.reason.contains("InferenceJob"), "{}", refusal.reason);
+                assert!(
+                    refusal.reason.contains("InferenceJob"),
+                    "{}",
+                    refusal.reason
+                );
             }
             other => panic!("expected a refusal, got {other:?}"),
         }

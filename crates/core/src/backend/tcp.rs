@@ -1,0 +1,601 @@
+//! The multi-host deployment pieces: a [`TcpStream`]-backed
+//! [`ShardTransport`] and the accept-loop worker daemon behind the
+//! `oisa_worker` binary.
+//!
+//! Everything here speaks the same length-prefixed, schema-versioned
+//! [`wire`] protocol the in-process and child-process transports speak;
+//! only the byte stream differs. The pieces:
+//!
+//! * [`TcpTransport`] — the coordinator's side of one worker
+//!   connection. Connects with a timeout, performs a
+//!   [`wire::Handshake`] (nonce echo + config-fingerprint check, so a
+//!   mis-deployed fleet fails at connect time), and retries broken
+//!   round trips by reconnecting with exponential backoff and
+//!   **resending the shard** — safe because workers are stateless per
+//!   shard, so re-execution is idempotent. When every attempt fails the
+//!   caller gets a typed [`OisaError::Transport`], never a hang: reads
+//!   and writes carry [`TcpTransportConfig::io_timeout`].
+//! * [`TcpWorker`] — the daemon: binds a port, accepts coordinator
+//!   connections, and serves each on its own thread via
+//!   [`serve_worker_hooked`] until the peer disconnects. Any number of
+//!   coordinators may connect over the daemon's lifetime; every shard
+//!   is self-contained, so the daemon keeps no cross-connection state
+//!   (beyond the fault-injection shard counter).
+//!
+//! # Failure model
+//!
+//! A worker daemon dying mid-shard surfaces to the coordinator as a
+//! connection reset / EOF; [`TcpTransport`] retries against the same
+//! endpoint (covering daemon restarts and transient network faults) and
+//! then reports [`OisaError::Transport`]. Because
+//! [`ShardedBackend::run_job`](super::ComputeBackend::run_job) advances
+//! no coordinator state on failure, the caller repairs the fleet
+//! ([`ShardedBackend::replace_worker`](super::ShardedBackend::replace_worker))
+//! and retries the job, which re-executes **bit-identically** whatever
+//! the new fleet shape.
+
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::accelerator::OisaConfig;
+use crate::error::OisaError;
+use crate::wire::{self, Handshake, WireError, WireMessage};
+
+use super::{serve_worker_hooked, BackendResult, ShardTransport};
+
+// ---------------------------------------------------------------------
+// Coordinator side: TcpTransport
+// ---------------------------------------------------------------------
+
+/// Connection-lifecycle knobs of a [`TcpTransport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpTransportConfig {
+    /// Budget for one TCP connect attempt.
+    pub connect_timeout: Duration,
+    /// Read/write timeout on the established stream. Must exceed the
+    /// worst-case shard execution time — a reply that takes longer
+    /// counts as a broken connection. `None` blocks indefinitely
+    /// (surviving on the peer's death signal alone).
+    pub io_timeout: Option<Duration>,
+    /// Total attempts per [`ShardTransport::round_trip`] (first try
+    /// plus reconnects). At least 1.
+    pub attempts: u32,
+    /// Backoff before the first reconnect; doubles per further attempt.
+    pub backoff: Duration,
+    /// Exchange a [`wire::Handshake`] on every fresh connection,
+    /// verifying liveness and config agreement before any shard is
+    /// sent. Disable only to test the shard-level fingerprint refusal
+    /// path itself.
+    pub handshake: bool,
+}
+
+impl Default for TcpTransportConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Some(Duration::from_secs(30)),
+            attempts: 3,
+            backoff: Duration::from_millis(50),
+            handshake: true,
+        }
+    }
+}
+
+/// One worker daemon as the coordinator sees it: a [`ShardTransport`]
+/// over a [`TcpStream`], with reconnect-and-resend retry (module docs).
+#[derive(Debug)]
+pub struct TcpTransport {
+    endpoint: String,
+    /// The coordinator's config fingerprint, offered in the handshake
+    /// and checked against the worker's.
+    fingerprint: u64,
+    options: TcpTransportConfig,
+    stream: Option<TcpStream>,
+    nonce: u64,
+}
+
+/// How one round-trip attempt failed.
+enum AttemptError {
+    /// Worth reconnecting and resending: connect failures, broken or
+    /// timed-out streams, a peer that died mid-reply.
+    Retry(String),
+    /// Pointless to retry: protocol violations and config mismatches.
+    Fatal(OisaError),
+}
+
+impl From<WireError> for AttemptError {
+    fn from(e: WireError) -> Self {
+        match e {
+            // A dead or stalled stream may come back after a reconnect.
+            WireError::Io(_) | WireError::Truncated { .. } => Self::Retry(e.to_string()),
+            // Anything else decoded fine and is simply wrong.
+            other => Self::Fatal(other.into()),
+        }
+    }
+}
+
+impl TcpTransport {
+    /// Connects to a worker daemon eagerly (handshake included when
+    /// enabled), so a bad endpoint or a mismatched config fails at
+    /// fleet construction instead of on the first job.
+    ///
+    /// # Errors
+    ///
+    /// [`OisaError::Transport`] when the endpoint stays unreachable
+    /// across every attempt; [`OisaError::FingerprintMismatch`] when
+    /// the worker answers the handshake with different physics.
+    pub fn connect(
+        endpoint: impl Into<String>,
+        fingerprint: u64,
+        options: TcpTransportConfig,
+    ) -> BackendResult<Self> {
+        let mut transport = Self::deferred(endpoint, fingerprint, options);
+        transport.with_retries(|t| t.ensure_connected())?;
+        Ok(transport)
+    }
+
+    /// A transport that performs no I/O until its first
+    /// [`round_trip`](ShardTransport::round_trip) — for workers that
+    /// start after the coordinator.
+    pub fn deferred(
+        endpoint: impl Into<String>,
+        fingerprint: u64,
+        options: TcpTransportConfig,
+    ) -> Self {
+        Self {
+            endpoint: endpoint.into(),
+            fingerprint,
+            options,
+            stream: None,
+            nonce: 0,
+        }
+    }
+
+    /// The endpoint this transport dials.
+    #[must_use]
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// Runs `step` under the retry policy: transient failures drop the
+    /// connection, back off (doubling), and try again; fatal ones and
+    /// exhaustion return typed errors.
+    fn with_retries<T>(
+        &mut self,
+        mut step: impl FnMut(&mut Self) -> Result<T, AttemptError>,
+    ) -> BackendResult<T> {
+        let attempts = self.options.attempts.max(1);
+        let mut backoff = self.options.backoff;
+        let mut last = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            match step(self) {
+                Ok(value) => return Ok(value),
+                Err(AttemptError::Fatal(e)) => {
+                    self.stream = None;
+                    return Err(e);
+                }
+                Err(AttemptError::Retry(cause)) => {
+                    self.stream = None;
+                    last = cause;
+                }
+            }
+        }
+        Err(OisaError::Transport {
+            endpoint: self.endpoint.clone(),
+            attempts,
+            cause: last,
+        })
+    }
+
+    /// Establishes (or reuses) the connection, handshaking on fresh
+    /// ones.
+    fn ensure_connected(&mut self) -> Result<(), AttemptError> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        let addrs = self
+            .endpoint
+            .to_socket_addrs()
+            .map_err(|e| AttemptError::Retry(format!("cannot resolve endpoint: {e}")))?;
+        let mut last = format!("endpoint {} resolves to no address", self.endpoint);
+        let mut stream = None;
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, self.options.connect_timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last = format!("connect to {addr} failed: {e}"),
+            }
+        }
+        let stream = stream.ok_or(AttemptError::Retry(last))?;
+        let configure = |s: &TcpStream| -> std::io::Result<()> {
+            s.set_nodelay(true)?;
+            s.set_read_timeout(self.options.io_timeout)?;
+            s.set_write_timeout(self.options.io_timeout)
+        };
+        configure(&stream)
+            .map_err(|e| AttemptError::Retry(format!("socket configuration failed: {e}")))?;
+        self.stream = Some(stream);
+        if self.options.handshake {
+            if let Err(e) = self.handshake() {
+                self.stream = None;
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Ping/pong over the fresh connection: proves the peer speaks this
+    /// schema version and runs the same physics.
+    fn handshake(&mut self) -> Result<(), AttemptError> {
+        self.nonce = self.nonce.wrapping_add(1);
+        let ping = WireMessage::Ping(Handshake {
+            nonce: self.nonce,
+            config_fingerprint: self.fingerprint,
+        });
+        let stream = self.stream.as_mut().expect("connected before handshake");
+        wire::send(stream, &ping).map_err(AttemptError::from)?;
+        let payload = wire::read_frame(stream)
+            .map_err(AttemptError::from)?
+            .ok_or_else(|| {
+                AttemptError::Retry("worker closed the connection during the handshake".into())
+            })?;
+        match wire::decode(&payload).map_err(AttemptError::from)? {
+            WireMessage::Pong(pong) if pong.nonce != self.nonce => {
+                Err(AttemptError::Retry(format!(
+                    "stale handshake reply (nonce {} ≠ {})",
+                    pong.nonce, self.nonce
+                )))
+            }
+            WireMessage::Pong(pong) if pong.config_fingerprint != self.fingerprint => {
+                Err(AttemptError::Fatal(OisaError::FingerprintMismatch {
+                    coordinator: self.fingerprint,
+                    worker: pong.config_fingerprint,
+                }))
+            }
+            WireMessage::Pong(_) => Ok(()),
+            other => Err(AttemptError::Fatal(OisaError::Backend(format!(
+                "worker answered the handshake with a {}",
+                super::message_name(&other)
+            )))),
+        }
+    }
+
+    /// One send-and-receive over the current connection.
+    fn attempt(&mut self, message: &[u8]) -> Result<Vec<u8>, AttemptError> {
+        self.ensure_connected()?;
+        let stream = self.stream.as_mut().expect("connected");
+        wire::write_frame(stream, message).map_err(AttemptError::from)?;
+        wire::read_frame(stream)
+            .map_err(AttemptError::from)?
+            .ok_or_else(|| {
+                AttemptError::Retry("worker closed the connection before replying".into())
+            })
+    }
+}
+
+impl ShardTransport for TcpTransport {
+    fn round_trip(&mut self, message: &[u8]) -> BackendResult<Vec<u8>> {
+        self.with_retries(|t| t.attempt(message))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker side: the accept-loop daemon
+// ---------------------------------------------------------------------
+
+/// Behavioural knobs of a [`TcpWorker`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerOptions {
+    /// Read timeout per connection; an idle coordinator past this
+    /// drops the connection (the daemon keeps accepting new ones).
+    /// `None` waits indefinitely — a coordinator's clean disconnect
+    /// (EOF) always ends the connection either way.
+    pub io_timeout: Option<Duration>,
+    /// **Fault-injection hook for daemon processes only**: after this
+    /// many shards (across all connections), the next shard **aborts
+    /// the whole process** before replying — simulating a worker dying
+    /// mid-job. Never set this on a [`TcpWorker::spawn`]ed in-process
+    /// worker; it would kill the host process.
+    pub fail_after_shards: Option<u64>,
+}
+
+/// The worker daemon: an accept loop serving [`JobShard`]s (and
+/// handshake pings) to any coordinator that connects. The `oisa_worker`
+/// binary is a CLI wrapper around this; tests use
+/// [`TcpWorker::spawn`] to run one on a background thread.
+///
+/// [`JobShard`]: crate::wire::JobShard
+#[derive(Debug)]
+pub struct TcpWorker {
+    listener: TcpListener,
+    config: OisaConfig,
+    options: WorkerOptions,
+    shards_served: Arc<AtomicU64>,
+}
+
+impl TcpWorker {
+    /// Binds the daemon to `addr` (e.g. `127.0.0.1:0` for an ephemeral
+    /// port, `0.0.0.0:7401` for a fixed deployment port).
+    ///
+    /// # Errors
+    ///
+    /// [`OisaError::Transport`] when the address cannot be bound.
+    pub fn bind(config: OisaConfig, addr: &str) -> BackendResult<Self> {
+        let listener = TcpListener::bind(addr).map_err(|e| OisaError::Transport {
+            endpoint: addr.to_string(),
+            attempts: 1,
+            cause: format!("bind failed: {e}"),
+        })?;
+        Ok(Self {
+            listener,
+            config,
+            options: WorkerOptions::default(),
+            shards_served: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// Replaces the daemon's options.
+    #[must_use]
+    pub fn with_options(mut self, options: WorkerOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The bound address (resolves the port chosen for `:0` binds).
+    ///
+    /// # Errors
+    ///
+    /// [`OisaError::Backend`] when the OS cannot report the address.
+    pub fn local_addr(&self) -> BackendResult<SocketAddr> {
+        self.listener
+            .local_addr()
+            .map_err(|e| OisaError::Backend(format!("local_addr failed: {e}")))
+    }
+
+    /// Runs the accept loop on the calling thread, forever (the daemon
+    /// main). Each connection is served on its own thread until the
+    /// peer disconnects. Accept errors are logged to stderr and the
+    /// loop continues (after a short pause, so transient fd-pressure
+    /// faults like `EMFILE` cannot busy-spin) — a long-running daemon
+    /// must outlive them.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Ok`; an `Err` means the listener itself is gone
+    /// (a long unbroken run of accept failures with not one
+    /// connection in between).
+    pub fn serve(self) -> BackendResult<()> {
+        /// Consecutive accept failures tolerated before the listener
+        /// is declared dead. With the 100 ms pause per failure this
+        /// rides out several seconds of fd exhaustion, while a truly
+        /// broken listener (which fails instantly, forever) still
+        /// terminates the daemon with a typed error.
+        const MAX_CONSECUTIVE_ACCEPT_FAILURES: u32 = 64;
+        let endpoint = self
+            .local_addr()
+            .map_or_else(|_| "unknown".to_string(), |a| a.to_string());
+        let mut consecutive_failures = 0u32;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    consecutive_failures = 0;
+                    let config = self.config;
+                    let options = self.options;
+                    let counter = Arc::clone(&self.shards_served);
+                    std::thread::spawn(move || {
+                        serve_connection(&config, stream, options, &counter);
+                    });
+                }
+                Err(e) => {
+                    consecutive_failures += 1;
+                    if consecutive_failures >= MAX_CONSECUTIVE_ACCEPT_FAILURES {
+                        return Err(OisaError::Transport {
+                            endpoint,
+                            attempts: consecutive_failures,
+                            cause: format!("accept kept failing, last: {e}"),
+                        });
+                    }
+                    eprintln!("oisa worker {endpoint}: accept failed (continuing): {e}");
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+    }
+
+    /// Runs the accept loop on a background thread — the in-process
+    /// daemon shape tests and benches use. The thread runs until the
+    /// process exits (dropping the handle does not stop it).
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpWorker::local_addr`].
+    pub fn spawn(self) -> BackendResult<TcpWorkerHandle> {
+        let addr = self.local_addr()?;
+        let thread = std::thread::Builder::new()
+            .name(format!("oisa-worker-{addr}"))
+            .spawn(move || {
+                if let Err(e) = self.serve() {
+                    eprintln!("oisa worker {addr}: accept loop ended: {e}");
+                }
+            })
+            .map_err(|e| OisaError::Backend(format!("worker thread spawn failed: {e}")))?;
+        Ok(TcpWorkerHandle {
+            addr,
+            _thread: thread,
+        })
+    }
+}
+
+/// A running in-process [`TcpWorker`] (see [`TcpWorker::spawn`]).
+#[derive(Debug)]
+pub struct TcpWorkerHandle {
+    addr: SocketAddr,
+    _thread: std::thread::JoinHandle<()>,
+}
+
+impl TcpWorkerHandle {
+    /// The daemon's bound address, ready to hand to
+    /// [`TcpTransport::connect`].
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon's endpoint as a dialable string.
+    #[must_use]
+    pub fn endpoint(&self) -> String {
+        self.addr.to_string()
+    }
+}
+
+/// Serves one coordinator connection until EOF or a stream fault.
+fn serve_connection(
+    config: &OisaConfig,
+    stream: TcpStream,
+    options: WorkerOptions,
+    shards_served: &AtomicU64,
+) {
+    let peer = stream
+        .peer_addr()
+        .map_or_else(|_| "unknown".to_string(), |a| a.to_string());
+    let configure = |s: &TcpStream| -> std::io::Result<TcpStream> {
+        s.set_nodelay(true)?;
+        s.set_read_timeout(options.io_timeout)?;
+        s.set_write_timeout(options.io_timeout)?;
+        s.try_clone()
+    };
+    let mut reader = match configure(&stream) {
+        Ok(clone) => clone,
+        Err(e) => {
+            eprintln!("oisa worker: connection from {peer} unusable: {e}");
+            return;
+        }
+    };
+    let mut writer = stream;
+    let mut before_shard = |_local: u64| {
+        let total = shards_served.fetch_add(1, Ordering::SeqCst);
+        if let Some(limit) = options.fail_after_shards {
+            if total >= limit {
+                // Fault injection: die mid-request, reply unsent —
+                // exactly what a crashed worker looks like on the wire.
+                eprintln!("oisa worker: fail-after-shards={limit} reached, aborting mid-shard");
+                std::process::exit(17);
+            }
+        }
+    };
+    match serve_worker_hooked(config, &mut reader, &mut writer, &mut before_shard) {
+        Ok(_served) => {}
+        Err(e) => eprintln!("oisa worker: connection from {peer} ended: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{ComputeBackend, ShardedBackend};
+    use crate::wire::InferenceJob;
+    use oisa_device::noise::NoiseConfig;
+    use oisa_sensor::frame::Frame;
+
+    fn cfg(seed: u64) -> OisaConfig {
+        let mut cfg = OisaConfig::small_test();
+        cfg.noise = NoiseConfig::paper_default();
+        cfg.seed = seed;
+        cfg
+    }
+
+    fn fast() -> TcpTransportConfig {
+        TcpTransportConfig {
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Some(Duration::from_secs(10)),
+            attempts: 2,
+            backoff: Duration::from_millis(5),
+            handshake: true,
+        }
+    }
+
+    #[test]
+    fn transport_round_trips_a_job_through_a_spawned_daemon() {
+        let config = cfg(1);
+        let worker = TcpWorker::bind(config, "127.0.0.1:0")
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let transport =
+            TcpTransport::connect(worker.endpoint(), config.fingerprint(), fast()).unwrap();
+        let mut backend = ShardedBackend::new(config, vec![Box::new(transport)]).unwrap();
+        let job = InferenceJob {
+            job_id: 1,
+            k: 3,
+            kernels: vec![vec![0.5f32; 9]],
+            frames: vec![Frame::constant(16, 16, 0.6).unwrap()],
+        };
+        let reports = backend.run_job(&job).unwrap();
+        assert_eq!(reports.len(), 1);
+    }
+
+    #[test]
+    fn connect_to_a_dead_endpoint_is_a_typed_transport_error() {
+        // Bind-then-drop guarantees an unused port on loopback.
+        let port = {
+            let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().port()
+        };
+        let err = TcpTransport::connect(format!("127.0.0.1:{port}"), 0, fast()).unwrap_err();
+        match err {
+            OisaError::Transport {
+                endpoint, attempts, ..
+            } => {
+                assert!(endpoint.contains(&port.to_string()), "{endpoint}");
+                assert_eq!(attempts, 2);
+            }
+            other => panic!("expected a transport error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn handshake_names_mismatched_fingerprints_at_connect_time() {
+        let worker_cfg = cfg(2);
+        let coordinator_cfg = cfg(3); // different physics
+        let worker = TcpWorker::bind(worker_cfg, "127.0.0.1:0")
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let err = TcpTransport::connect(worker.endpoint(), coordinator_cfg.fingerprint(), fast())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            OisaError::FingerprintMismatch {
+                coordinator: coordinator_cfg.fingerprint(),
+                worker: worker_cfg.fingerprint(),
+            }
+        );
+    }
+
+    #[test]
+    fn deferred_transport_connects_on_first_use() {
+        let config = cfg(4);
+        let worker = TcpWorker::bind(config, "127.0.0.1:0")
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let transport = TcpTransport::deferred(worker.endpoint(), config.fingerprint(), fast());
+        let mut backend = ShardedBackend::new(config, vec![Box::new(transport)]).unwrap();
+        assert_eq!(backend.worker_count(), 1);
+        let job = InferenceJob {
+            job_id: 9,
+            k: 3,
+            kernels: vec![vec![0.25f32; 9]],
+            frames: vec![Frame::constant(16, 16, 0.4).unwrap()],
+        };
+        assert_eq!(backend.run_job(&job).unwrap().len(), 1);
+    }
+}

@@ -267,9 +267,7 @@ mod tests {
     #[test]
     fn compute_phase_uses_paper_cycle() {
         let ctrl = Controller::new(ControllerTiming::paper_default());
-        let t = ctrl
-            .execute(&[Command::Compute { cycles: 1000 }])
-            .unwrap();
+        let t = ctrl.execute(&[Command::Compute { cycles: 1000 }]).unwrap();
         assert!((t.compute.as_nano() - 55.8).abs() < 1e-9);
     }
 

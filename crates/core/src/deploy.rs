@@ -133,8 +133,16 @@ mod tests {
         let nn_default = TernaryActivation::paper_default();
         assert!((derived.t1 - nn_default.t1).abs() < 1e-6);
         assert!((derived.t2 - nn_default.t2).abs() < 1e-6);
-        assert!((derived.v0 - nn_default.v0).abs() < 0.005, "v0 {}", derived.v0);
-        assert!((derived.v1 - nn_default.v1).abs() < 0.005, "v1 {}", derived.v1);
+        assert!(
+            (derived.v0 - nn_default.v0).abs() < 0.005,
+            "v0 {}",
+            derived.v0
+        );
+        assert!(
+            (derived.v1 - nn_default.v1).abs() < 0.005,
+            "v1 {}",
+            derived.v1
+        );
         assert!((derived.v2 - nn_default.v2).abs() < 1e-6);
     }
 

@@ -1,9 +1,9 @@
 //! `OisaError` — the one error type backend and serving callers handle.
 //!
 //! The execution stack grew errors layer by layer: [`CoreError`] from
-//! the architecture, [`DeviceError`](oisa_device::DeviceError) from the
+//! the architecture, [`DeviceError`] from the
 //! substrate, [`SubmitError`](crate::serving::SubmitError) from the
-//! serving queue and [`WireError`](crate::wire::WireError) from the
+//! serving queue and [`WireError`] from the
 //! sharding protocol. A caller driving a [`ComputeBackend`] through all
 //! of them previously needed four `match` arms per call site;
 //! [`OisaError`] folds them into one `#[non_exhaustive]` enum with
@@ -56,10 +56,47 @@ pub enum OisaError {
         /// What was wrong with it.
         reason: String,
     },
-    /// A distributed-backend fault: a worker refused a shard, a
-    /// transport broke mid-job, or merged shards failed consistency
-    /// checks.
+    /// A distributed-backend fault that fits no dedicated variant
+    /// (merge consistency violations, unexpected reply types, fleet
+    /// misconfiguration).
     Backend(String),
+    /// A transport to a worker broke and stayed broken: every connect /
+    /// reconnect / resend attempt failed. The shard was **not**
+    /// executed as far as the coordinator knows; because
+    /// [`ShardedBackend::run_job`](crate::backend::ShardedBackend) only
+    /// advances state after a full merge, the job can be retried (after
+    /// repairing or replacing the worker) and will re-execute
+    /// identically.
+    Transport {
+        /// The worker endpoint (e.g. `127.0.0.1:7401`, `stdio`).
+        endpoint: String,
+        /// How many attempts were made before giving up.
+        attempts: u32,
+        /// The last attempt's failure.
+        cause: String,
+    },
+    /// Coordinator and worker were built from different
+    /// [`OisaConfig`](crate::accelerator::OisaConfig)s: the shard (or
+    /// handshake) carried the coordinator's fingerprint and the worker
+    /// refused it. Deployments must ship identical configs to every
+    /// node.
+    FingerprintMismatch {
+        /// Fingerprint of the coordinator's config.
+        coordinator: u64,
+        /// Fingerprint of the worker's config.
+        worker: u64,
+    },
+    /// A worker answered a shard with a typed
+    /// [`ShardRefusal`](crate::wire::ShardRefusal) that carries no
+    /// dedicated code: the shard reached the worker but could not run.
+    ShardRefused {
+        /// The refused shard's job.
+        job_id: u64,
+        /// The refused shard's index within the job.
+        shard_index: u32,
+        /// The worker's reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for OisaError {
@@ -78,6 +115,30 @@ impl fmt::Display for OisaError {
                 write!(f, "invalid configuration: {field}: {reason}")
             }
             Self::Backend(what) => write!(f, "backend error: {what}"),
+            Self::Transport {
+                endpoint,
+                attempts,
+                cause,
+            } => write!(
+                f,
+                "transport to worker {endpoint} failed after {attempts} attempt(s): {cause}"
+            ),
+            Self::FingerprintMismatch {
+                coordinator,
+                worker,
+            } => write!(
+                f,
+                "config fingerprint mismatch: coordinator runs {coordinator:#018x}, worker runs \
+                 {worker:#018x} — every node of a deployment must be built from the same OisaConfig"
+            ),
+            Self::ShardRefused {
+                job_id,
+                shard_index,
+                reason,
+            } => write!(
+                f,
+                "worker refused shard {shard_index} of job {job_id}: {reason}"
+            ),
         }
     }
 }
@@ -136,9 +197,7 @@ impl From<crate::serving::SubmitError> for OisaError {
     fn from(e: crate::serving::SubmitError) -> Self {
         match e {
             crate::serving::SubmitError::Rejected(core) => Self::Core(core),
-            crate::serving::SubmitError::Backpressure(_) => {
-                Self::Submit(SubmitKind::Backpressure)
-            }
+            crate::serving::SubmitError::Backpressure(_) => Self::Submit(SubmitKind::Backpressure),
             crate::serving::SubmitError::ShutDown(_) => Self::Submit(SubmitKind::ShutDown),
         }
     }
@@ -160,11 +219,13 @@ mod tests {
         let frame = Frame::constant(2, 2, 0.5).unwrap();
         let submit: OisaError = crate::serving::SubmitError::Backpressure(frame).into();
         assert_eq!(submit, OisaError::Submit(SubmitKind::Backpressure));
-        let rejected: OisaError = crate::serving::SubmitError::Rejected(
-            CoreError::InvalidParameter("bad frame".into()),
-        )
-        .into();
-        assert!(matches!(rejected, OisaError::Core(_)), "Rejected keeps its cause");
+        let rejected: OisaError =
+            crate::serving::SubmitError::Rejected(CoreError::InvalidParameter("bad frame".into()))
+                .into();
+        assert!(
+            matches!(rejected, OisaError::Core(_)),
+            "Rejected keeps its cause"
+        );
     }
 
     #[test]
@@ -180,5 +241,35 @@ mod tests {
             reason: "zero width".into(),
         };
         assert!(cfg.to_string().contains("imager"));
+    }
+
+    #[test]
+    fn distributed_variants_name_their_evidence() {
+        let transport = OisaError::Transport {
+            endpoint: "127.0.0.1:7401".into(),
+            attempts: 3,
+            cause: "connection refused".into(),
+        };
+        let shown = transport.to_string();
+        assert!(shown.contains("127.0.0.1:7401"), "{shown}");
+        assert!(shown.contains("3 attempt(s)"), "{shown}");
+        assert!(shown.contains("connection refused"), "{shown}");
+
+        let mismatch = OisaError::FingerprintMismatch {
+            coordinator: 0xAB,
+            worker: 0xCD,
+        };
+        let shown = mismatch.to_string();
+        assert!(shown.contains("0x00000000000000ab"), "{shown}");
+        assert!(shown.contains("0x00000000000000cd"), "{shown}");
+
+        let refused = OisaError::ShardRefused {
+            job_id: 7,
+            shard_index: 2,
+            reason: "no fabric".into(),
+        };
+        let shown = refused.to_string();
+        assert!(shown.contains("shard 2"), "{shown}");
+        assert!(shown.contains("job 7"), "{shown}");
     }
 }

@@ -28,7 +28,11 @@
 //! * [`backend`] — the unified execution seam: [`ComputeBackend`]
 //!   executes [`wire::InferenceJob`]s, either on this host
 //!   ([`LocalBackend`]) or sharded across worker processes
-//!   ([`ShardedBackend`]) with bit-identical merges.
+//!   ([`ShardedBackend`]) with bit-identical merges. The
+//!   [`backend::tcp`] submodule makes the fleet genuinely multi-host:
+//!   [`TcpTransport`] dials worker daemons ([`backend::TcpWorker`],
+//!   wrapped by the `oisa_worker` binary) with connect/read timeouts,
+//!   a connect-time handshake and reconnect-with-backoff retry.
 //! * [`wire`] — the versioned, length-prefixed binary schema those
 //!   processes speak (strict decode errors, schema-version checks).
 //! * [`error`] — [`OisaError`], the one error type backend/serving
@@ -94,11 +98,14 @@ pub mod serving;
 pub mod wire;
 
 pub use accelerator::{ConvolutionReport, OisaAccelerator, OisaConfig, OisaConfigBuilder};
-pub use backend::{ComputeBackend, LocalBackend, ShardTransport, ShardedBackend};
+pub use backend::{
+    ComputeBackend, LocalBackend, ShardTransport, ShardedBackend, TcpTransport, TcpTransportConfig,
+    TcpWorker,
+};
 pub use error::OisaError;
-pub use serving::{ServingConfig, ServingEngine, ServingStats};
 pub use mapping::{ConvWorkload, MappingPlan};
 pub use perf::{OisaPerfModel, PowerBreakdown};
+pub use serving::{ServingConfig, ServingEngine, ServingStats};
 pub use wire::{InferenceJob, JobShard, ShardReport};
 
 use std::fmt;
@@ -169,6 +176,7 @@ pub(crate) mod test_sync {
     /// assertions in a concurrently running guarded test.
     pub fn thread_count_lock() -> std::sync::MutexGuard<'static, ()> {
         static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }

@@ -141,9 +141,11 @@ impl MappingPlan {
         let positions = oh * ow;
         let cycles_per_pass = positions.div_ceil(parallel_positions);
         let resident_planes = planes.min(slots_per_pass);
-        let rings_per_pass =
-            resident_planes * parallel_positions.min(slots_per_pass / resident_planes.max(1)).max(1)
-                * k.weights();
+        let rings_per_pass = resident_planes
+            * parallel_positions
+                .min(slots_per_pass / resident_planes.max(1))
+                .max(1)
+            * k.weights();
         let rings_per_pass = rings_per_pass.min(opc.total_rings());
         Ok(Self {
             kernel_size_class: k.k(),
@@ -310,10 +312,7 @@ mod tests {
     fn output_size_and_mac_count() {
         let w = ConvWorkload::resnet18_first_layer();
         assert_eq!(w.output_size(), (61, 61));
-        assert_eq!(
-            w.macs_per_frame(),
-            61 * 61 * 64 * 3 * 49
-        );
+        assert_eq!(w.macs_per_frame(), 61 * 61 * 64 * 3 * 49);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //!   them.
 //! * [`matvec_parallel`] — rows fan out over the work-stealing
 //!   scheduler; each worker re-tunes a *private* scratch arm per chunk
-//!   and evaluates an immutable [`ArmSnapshot`], so no row ever waits
+//!   and evaluates an immutable [`ArmSnapshot`](oisa_optics::arm::ArmSnapshot), so no row ever waits
 //!   on another's fabric mutation. Output, energy, latency and chunk
 //!   count are bit-identical to [`matvec`] under the same seed and
 //!   epoch.
@@ -163,9 +163,7 @@ pub fn matvec_parallel(
             let row = &normalised_ref[r * cols..(r + 1) * cols];
             let row_stream = noise_ref.slot_stream(epoch, r as u64);
             let mut partials = Vec::with_capacity(cols.div_ceil(CHUNK));
-            for (ci, (w_chunk, a_chunk)) in
-                row.chunks(CHUNK).zip(input.chunks(CHUNK)).enumerate()
-            {
+            for (ci, (w_chunk, a_chunk)) in row.chunks(CHUNK).zip(input.chunks(CHUNK)).enumerate() {
                 arm.load_weights(w_chunk, mapper)?;
                 let snapshot = arm.snapshot();
                 let stream = row_stream.at(ci as u64);
@@ -216,7 +214,8 @@ pub fn matvec_parallel(
         let bank = slot / arms_per_bank;
         let arm = slot % arms_per_bank;
         if last >= nslots {
-            opc.bank_mut(bank)?.load_arm(arm, chunk_of(last - nslots), mapper)?;
+            opc.bank_mut(bank)?
+                .load_arm(arm, chunk_of(last - nslots), mapper)?;
         }
         opc.bank_mut(bank)?.load_arm(arm, chunk_of(last), mapper)?;
     }
@@ -297,12 +296,17 @@ mod tests {
         // 3×12 matrix → each row spans 2 chunks.
         let rows = 3;
         let cols = 12;
-        let matrix: Vec<f32> = (0..rows * cols)
-            .map(|i| (i as f32 * 0.37).sin())
-            .collect();
+        let matrix: Vec<f32> = (0..rows * cols).map(|i| (i as f32 * 0.37).sin()).collect();
         let input: Vec<f64> = (0..cols).map(|i| (i as f64) / cols as f64).collect();
         let report = matvec(
-            &mut opc, &vom, &mapper, &matrix, rows, cols, &input, &mut quiet(),
+            &mut opc,
+            &vom,
+            &mapper,
+            &matrix,
+            rows,
+            cols,
+            &input,
+            &mut quiet(),
         )
         .unwrap();
         assert_eq!(report.output.len(), rows);
@@ -326,8 +330,17 @@ mod tests {
         let cols = 784;
         let matrix = vec![0.01f32; cols];
         let input = vec![0.5f64; cols];
-        let report = matvec(&mut opc, &vom, &mapper, &matrix, 1, cols, &input, &mut quiet())
-            .unwrap();
+        let report = matvec(
+            &mut opc,
+            &vom,
+            &mapper,
+            &matrix,
+            1,
+            cols,
+            &input,
+            &mut quiet(),
+        )
+        .unwrap();
         assert_eq!(report.chunks, 88);
         let exact = 0.01 * 0.5 * cols as f64;
         assert!(
@@ -344,7 +357,17 @@ mod tests {
         let run = |opc: &mut Opc, rows: usize| {
             let matrix = vec![0.1f32; rows * cols];
             let input = vec![0.5f64; cols];
-            matvec(opc, &vom, &mapper, &matrix, rows, cols, &input, &mut quiet()).unwrap()
+            matvec(
+                opc,
+                &vom,
+                &mapper,
+                &matrix,
+                rows,
+                cols,
+                &input,
+                &mut quiet(),
+            )
+            .unwrap()
         };
         let one = run(&mut opc, 1);
         let four = run(&mut opc, 4);
@@ -369,7 +392,14 @@ mod tests {
         let mut serial_noise = NoiseSource::seeded(42, NoiseConfig::paper_default());
         let mut parallel_noise = NoiseSource::seeded(42, NoiseConfig::paper_default());
         let serial = matvec(
-            &mut opc, &vom, &mapper, &matrix, rows, cols, &input, &mut serial_noise,
+            &mut opc,
+            &vom,
+            &mapper,
+            &matrix,
+            rows,
+            cols,
+            &input,
+            &mut serial_noise,
         )
         .unwrap();
         let mut par_opc = {
@@ -377,13 +407,23 @@ mod tests {
             opc
         };
         let parallel = matvec_parallel(
-            &mut par_opc, &vom, &mapper, &matrix, rows, cols, &input, &mut parallel_noise,
+            &mut par_opc,
+            &vom,
+            &mapper,
+            &matrix,
+            rows,
+            cols,
+            &input,
+            &mut parallel_noise,
         )
         .unwrap();
         assert_eq!(serial, parallel, "reports must be bit-identical");
         // And the fabric exits in the serial engine's exact state, so
         // the engines stay interchangeable for whatever runs next.
-        assert_eq!(opc, par_opc, "fabric exit state must match the serial engine");
+        assert_eq!(
+            opc, par_opc,
+            "fabric exit state must match the serial engine"
+        );
     }
 
     #[test]
@@ -396,8 +436,10 @@ mod tests {
         );
         let mut input = vec![0.5f64; 12];
         input[4] = -0.3;
-        let err = matvec_parallel(&mut opc, &vom, &mapper, &[0.1; 12], 1, 12, &input, &mut noise)
-            .unwrap_err();
+        let err = matvec_parallel(
+            &mut opc, &vom, &mapper, &[0.1; 12], 1, 12, &input, &mut noise,
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("index 4"));
     }
 
@@ -407,7 +449,14 @@ mod tests {
         let mut input = vec![0.5f64; 12];
         input[7] = 1.7;
         let err = matvec(
-            &mut opc, &vom, &mapper, &[0.1; 12], 1, 12, &input, &mut quiet(),
+            &mut opc,
+            &vom,
+            &mapper,
+            &[0.1; 12],
+            1,
+            12,
+            &input,
+            &mut quiet(),
         )
         .unwrap_err();
         let msg = err.to_string();
@@ -417,9 +466,27 @@ mod tests {
     #[test]
     fn shape_validation() {
         let (mut opc, vom, mapper) = fabric();
-        let err = matvec(&mut opc, &vom, &mapper, &[0.1; 6], 2, 4, &[0.5; 4], &mut quiet());
+        let err = matvec(
+            &mut opc,
+            &vom,
+            &mapper,
+            &[0.1; 6],
+            2,
+            4,
+            &[0.5; 4],
+            &mut quiet(),
+        );
         assert!(err.is_err());
-        let err = matvec(&mut opc, &vom, &mapper, &[0.1; 8], 2, 4, &[0.5; 3], &mut quiet());
+        let err = matvec(
+            &mut opc,
+            &vom,
+            &mapper,
+            &[0.1; 8],
+            2,
+            4,
+            &[0.5; 3],
+            &mut quiet(),
+        );
         assert!(err.is_err());
         let err = matvec(&mut opc, &vom, &mapper, &[], 0, 0, &[], &mut quiet());
         assert!(err.is_err());

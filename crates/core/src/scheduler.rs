@@ -162,7 +162,11 @@ mod tests {
             |(), _, v| v,
         );
         assert!(out.is_empty());
-        assert_eq!(inits.load(Ordering::Relaxed), 0, "no worker state for no work");
+        assert_eq!(
+            inits.load(Ordering::Relaxed),
+            0,
+            "no worker state for no work"
+        );
     }
 
     #[test]
@@ -219,7 +223,11 @@ mod tests {
             |(), i, v| v + 1 + i as u64,
         );
         assert_eq!(out, vec![42]);
-        assert_eq!(inits.load(Ordering::Relaxed), 1, "one item needs one worker");
+        assert_eq!(
+            inits.load(Ordering::Relaxed),
+            1,
+            "one item needs one worker"
+        );
     }
 
     #[test]
@@ -287,7 +295,10 @@ mod tests {
         }
         assert!(hist[1] <= workers, "more chains than workers: {hist:?}");
         for v in 2..=max_seen {
-            assert!(hist[v] <= hist[v - 1], "broken chain at counter {v}: {hist:?}");
+            assert!(
+                hist[v] <= hist[v - 1],
+                "broken chain at counter {v}: {hist:?}"
+            );
         }
         assert!(
             max_seen >= 100usize.div_ceil(workers),

@@ -209,7 +209,11 @@ impl FrameHandle {
             )
             .into());
         }
-        let mut result = self.slot.result.lock().expect("serving: poisoned result slot");
+        let mut result = self
+            .slot
+            .result
+            .lock()
+            .expect("serving: poisoned result slot");
         loop {
             if let Some(r) = result.take() {
                 return r;
@@ -740,9 +744,8 @@ fn worker_loop<B: ComputeBackend>(
             frames,
         };
         next_job_id += 1;
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            backend.run_job(&job)
-        }));
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| backend.run_job(&job)));
         kernel_set = job.kernels;
         match outcome {
             Ok(Ok(reports)) => {
@@ -831,8 +834,9 @@ mod tests {
         let accel = OisaAccelerator::new(engine_config(1)).unwrap();
         assert!(ServingEngine::new(accel, vec![], 3, ServingConfig::default()).is_err());
         let accel = OisaAccelerator::new(engine_config(1)).unwrap();
-        assert!(ServingEngine::new(accel, vec![vec![0.5f32; 8]], 3, ServingConfig::default())
-            .is_err());
+        assert!(
+            ServingEngine::new(accel, vec![vec![0.5f32; 8]], 3, ServingConfig::default()).is_err()
+        );
         let accel = OisaAccelerator::new(engine_config(1)).unwrap();
         assert!(ServingEngine::new(accel, kernels, 4, ServingConfig::default()).is_err());
     }
@@ -902,12 +906,7 @@ mod tests {
         let accel = OisaAccelerator::new(engine_config(4)).unwrap();
         let engine =
             ServingEngine::new(accel, vec![vec![0.5f32; 9]], 3, ServingConfig::default()).unwrap();
-        engine
-            .shared
-            .queue
-            .lock()
-            .unwrap()
-            .shutting_down = true;
+        engine.shared.queue.lock().unwrap().shutting_down = true;
         match engine.submit(frame_16(1)) {
             Err(SubmitError::ShutDown(frame)) => assert_eq!(frame, frame_16(1)),
             other => panic!("expected ShutDown, got {other:?}"),

@@ -10,8 +10,8 @@
 //!
 //! # Framing and layout
 //!
-//! Messages travel over any byte stream (pipes in the in-tree example,
-//! TCP later) as length-prefixed frames:
+//! Messages travel over any byte stream (child-process pipes and real
+//! TCP sockets in the in-tree transports) as length-prefixed frames:
 //!
 //! ```text
 //! frame   := len:u32le payload
@@ -52,7 +52,12 @@ use oisa_units::{Joule, Second};
 
 /// Version of the message layout. Bump on **any** layout change; a
 /// decoder only ever accepts its own version.
-pub const SCHEMA_VERSION: u16 = 1;
+///
+/// v2 added the [`Handshake`] ping/pong pair (so a TCP coordinator can
+/// verify liveness and config agreement before dispatching shards) and
+/// gave [`ShardRefusal`] a machine-readable [`RefusalCode`] alongside
+/// its human-readable reason.
+pub const SCHEMA_VERSION: u16 = 2;
 
 /// Magic prefix of every payload (`"OW"`, OISA wire).
 pub const MAGIC: u16 = u16::from_le_bytes(*b"OW");
@@ -66,6 +71,8 @@ const TAG_JOB: u8 = 1;
 const TAG_SHARD: u8 = 2;
 const TAG_REPORT: u8 = 3;
 const TAG_REFUSAL: u8 = 4;
+const TAG_PING: u8 = 5;
+const TAG_PONG: u8 = 6;
 
 /// Decode/framing failures. Every variant is a *protocol* fault — the
 /// bytes were readable but wrong — except [`WireError::Io`], which
@@ -179,7 +186,8 @@ pub struct JobShard {
     pub first_frame: u64,
     /// Absolute noise epoch of this shard's first frame.
     pub first_epoch: u64,
-    /// Fingerprint of the coordinator's [`OisaConfig`]
+    /// Fingerprint of the coordinator's
+    /// [`OisaConfig`](crate::accelerator::OisaConfig)
     /// ([`crate::accelerator::OisaConfig::fingerprint`]); a worker
     /// refuses shards whose fingerprint differs from its own config's.
     pub config_fingerprint: u64,
@@ -207,6 +215,26 @@ pub struct ShardReport {
     pub reports: Vec<ConvolutionReport>,
 }
 
+/// Machine-readable class of a [`ShardRefusal`], so the coordinator can
+/// map a worker's "no" onto a typed
+/// [`OisaError`](crate::error::OisaError) variant instead of string
+/// matching the reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum RefusalCode {
+    /// Anything without a dedicated code; the reason string is the only
+    /// detail.
+    Other,
+    /// The shard's config fingerprint does not match the worker's — the
+    /// two ends were built from different physics. Carries both values
+    /// so the coordinator can name them.
+    FingerprintMismatch {
+        /// Fingerprint the shard carried (the coordinator's config).
+        coordinator: u64,
+        /// Fingerprint of the worker's own config.
+        worker: u64,
+    },
+}
+
 /// A worker's typed "no": the shard could not run (fingerprint
 /// mismatch, substrate failure, undecodable request). Travels instead
 /// of a [`ShardReport`] so coordinator-side errors carry the worker's
@@ -219,8 +247,25 @@ pub struct ShardRefusal {
     /// Echo of the refused shard's index (0 when the request never
     /// decoded).
     pub shard_index: u32,
+    /// Machine-readable class of the refusal.
+    pub code: RefusalCode,
     /// Human-readable cause.
     pub reason: String,
+}
+
+/// Ping/pong payload: a liveness + config-agreement probe. A TCP
+/// coordinator sends [`WireMessage::Ping`] right after connecting; the
+/// worker echoes the nonce in a [`WireMessage::Pong`] carrying its own
+/// fingerprint, so a mis-deployed fleet fails at connect time instead
+/// of on the first shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Handshake {
+    /// Caller-chosen value the peer must echo (catches crossed or
+    /// stale replies on a reused connection).
+    pub nonce: u64,
+    /// The sender's [`OisaConfig`
+    /// fingerprint](crate::accelerator::OisaConfig::fingerprint).
+    pub config_fingerprint: u64,
 }
 
 /// Every message the protocol speaks.
@@ -234,6 +279,10 @@ pub enum WireMessage {
     Report(ShardReport),
     /// A shard's typed failure (worker → coordinator).
     Refusal(ShardRefusal),
+    /// Liveness/config probe (coordinator → worker).
+    Ping(Handshake),
+    /// Probe reply (worker → coordinator), nonce echoed.
+    Pong(Handshake),
 }
 
 // ---------------------------------------------------------------------
@@ -296,13 +345,19 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
     fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
     fn f32(&mut self) -> Result<f32> {
         Ok(f32::from_bits(u32::from_le_bytes(
@@ -543,6 +598,33 @@ fn get_entry(r: &mut Reader<'_>) -> Result<FabricEntry> {
     }
 }
 
+fn put_refusal_code(w: &mut Writer, code: &RefusalCode) {
+    match code {
+        RefusalCode::Other => w.u8(0),
+        RefusalCode::FingerprintMismatch {
+            coordinator,
+            worker,
+        } => {
+            w.u8(1);
+            w.u64(*coordinator);
+            w.u64(*worker);
+        }
+    }
+}
+
+fn get_refusal_code(r: &mut Reader<'_>) -> Result<RefusalCode> {
+    match r.u8()? {
+        0 => Ok(RefusalCode::Other),
+        1 => Ok(RefusalCode::FingerprintMismatch {
+            coordinator: r.u64()?,
+            worker: r.u64()?,
+        }),
+        other => Err(WireError::Malformed(format!(
+            "unknown refusal code discriminant {other}"
+        ))),
+    }
+}
+
 fn put_string(w: &mut Writer, s: &str) {
     w.len(s.len());
     w.0.extend_from_slice(s.as_bytes());
@@ -589,7 +671,18 @@ pub fn encode(message: &WireMessage) -> Vec<u8> {
             w.u8(TAG_REFUSAL);
             w.u64(refusal.job_id);
             w.u32(refusal.shard_index);
+            put_refusal_code(&mut w, &refusal.code);
             put_string(&mut w, &refusal.reason);
+        }
+        WireMessage::Ping(hs) => {
+            w.u8(TAG_PING);
+            w.u64(hs.nonce);
+            w.u64(hs.config_fingerprint);
+        }
+        WireMessage::Pong(hs) => {
+            w.u8(TAG_PONG);
+            w.u64(hs.nonce);
+            w.u64(hs.config_fingerprint);
         }
     }
     w.0
@@ -672,7 +765,16 @@ pub fn decode(payload: &[u8]) -> Result<WireMessage> {
         TAG_REFUSAL => WireMessage::Refusal(ShardRefusal {
             job_id: r.u64()?,
             shard_index: r.u32()?,
+            code: get_refusal_code(&mut r)?,
             reason: get_string(&mut r)?,
+        }),
+        TAG_PING => WireMessage::Ping(Handshake {
+            nonce: r.u64()?,
+            config_fingerprint: r.u64()?,
+        }),
+        TAG_PONG => WireMessage::Pong(Handshake {
+            nonce: r.u64()?,
+            config_fingerprint: r.u64()?,
         }),
         other => return Err(WireError::UnknownTag(other)),
     };
@@ -852,7 +954,25 @@ mod tests {
             WireMessage::Refusal(ShardRefusal {
                 job_id: 9,
                 shard_index: 0,
+                code: RefusalCode::FingerprintMismatch {
+                    coordinator: 0x1,
+                    worker: 0x2,
+                },
                 reason: "fingerprint mismatch — coordinator 0x1, worker 0x2".into(),
+            }),
+            WireMessage::Refusal(ShardRefusal {
+                job_id: 0,
+                shard_index: 0,
+                code: RefusalCode::Other,
+                reason: "undecodable request".into(),
+            }),
+            WireMessage::Ping(Handshake {
+                nonce: 0xFEED_F00D,
+                config_fingerprint: 0xABCD,
+            }),
+            WireMessage::Pong(Handshake {
+                nonce: u64::MAX,
+                config_fingerprint: 0,
             }),
         ];
         for message in messages {
@@ -925,18 +1045,39 @@ mod tests {
     }
 
     #[test]
+    fn unknown_refusal_code_is_a_typed_error() {
+        let mut bytes = encode(&WireMessage::Refusal(ShardRefusal {
+            job_id: 1,
+            shard_index: 2,
+            code: RefusalCode::Other,
+            reason: "x".into(),
+        }));
+        // The code discriminant lives right after
+        // magic+version+tag+job_id+shard_index = 2+2+1+8+4 = 17 bytes.
+        bytes[17] = 0x7F;
+        assert!(matches!(decode(&bytes), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
     fn framing_round_trips_and_rejects_truncation() {
         let payload = encode(&WireMessage::Refusal(ShardRefusal {
             job_id: 1,
             shard_index: 2,
+            code: RefusalCode::Other,
             reason: "x".into(),
         }));
         let mut stream = Vec::new();
         write_frame(&mut stream, &payload).unwrap();
         write_frame(&mut stream, &payload).unwrap();
         let mut cursor = std::io::Cursor::new(stream.clone());
-        assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some(&payload[..]));
-        assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some(&payload[..]));
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().as_deref(),
+            Some(&payload[..])
+        );
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().as_deref(),
+            Some(&payload[..])
+        );
         assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
         // EOF inside the second frame's payload.
         let mut cut = std::io::Cursor::new(stream[..stream.len() - 3].to_vec());
@@ -962,9 +1103,6 @@ mod tests {
         // kernels count lives right after magic+version+tag+job_id+k =
         // 2+2+1+8+8 = 21 bytes.
         bytes[21..25].copy_from_slice(&u32::MAX.to_le_bytes());
-        assert!(matches!(
-            decode(&bytes),
-            Err(WireError::Truncated { .. })
-        ));
+        assert!(matches!(decode(&bytes), Err(WireError::Truncated { .. })));
     }
 }

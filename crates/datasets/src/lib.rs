@@ -248,8 +248,7 @@ impl SyntheticDataset {
     pub fn generate(spec: &DatasetSpec, seed: u64) -> Result<Self> {
         spec.validate()?;
         let mut rng = StdRng::seed_from_u64(seed);
-        let (train_images, train_labels) =
-            generate_split(spec, spec.train_count, &mut rng)?;
+        let (train_images, train_labels) = generate_split(spec, spec.train_count, &mut rng)?;
         let (test_images, test_labels) = generate_split(spec, spec.test_count, &mut rng)?;
         Ok(Self {
             spec: spec.clone(),
@@ -300,8 +299,8 @@ fn batch_of(
         .chain(s[1..].iter().copied())
         .collect();
     let data = images.as_slice()[start * stride..end * stride].to_vec();
-    let batch = Tensor::from_vec(shape, data)
-        .map_err(|e| DatasetError::InvalidParameter(e.to_string()))?;
+    let batch =
+        Tensor::from_vec(shape, data).map_err(|e| DatasetError::InvalidParameter(e.to_string()))?;
     Ok((batch, labels[start..end].to_vec()))
 }
 
@@ -319,11 +318,8 @@ fn generate_split(
         let img = &mut data[i * stride..(i + 1) * stride];
         render::render_sample(spec, class, img, rng);
     }
-    let images = Tensor::from_vec(
-        vec![count, spec.channels, spec.img, spec.img],
-        data,
-    )
-    .map_err(|e| DatasetError::InvalidParameter(e.to_string()))?;
+    let images = Tensor::from_vec(vec![count, spec.channels, spec.img, spec.img], data)
+        .map_err(|e| DatasetError::InvalidParameter(e.to_string()))?;
     Ok((images, labels))
 }
 
@@ -440,19 +436,16 @@ mod tests {
     fn cluttered_sets_have_brighter_backgrounds() {
         // The SVHN-like generator draws digits over non-dark, cluttered
         // backgrounds; the MNIST-like one uses near-black backgrounds.
-        let easy = SyntheticDataset::generate(&DatasetSpec::digits().with_counts(100, 10), 4)
-            .unwrap();
-        let hard = SyntheticDataset::generate(
-            &DatasetSpec::house_numbers().with_counts(100, 10),
-            4,
-        )
-        .unwrap();
+        let easy =
+            SyntheticDataset::generate(&DatasetSpec::digits().with_counts(100, 10), 4).unwrap();
+        let hard =
+            SyntheticDataset::generate(&DatasetSpec::house_numbers().with_counts(100, 10), 4)
+                .unwrap();
         // Digits backgrounds are near-black (< 0.15 after noise), so the
         // mid-gray band is almost empty; the cluttered generator fills it.
         let mid_fraction = |ds: &SyntheticDataset| -> f64 {
             let data = ds.train_images.as_slice();
-            data.iter().filter(|v| (0.18..0.45).contains(*v)).count() as f64
-                / data.len() as f64
+            data.iter().filter(|v| (0.18..0.45).contains(*v)).count() as f64 / data.len() as f64
         };
         assert!(
             mid_fraction(&hard) > 2.0 * mid_fraction(&easy),

@@ -20,16 +20,16 @@ use crate::{DatasetFamily, DatasetSpec};
 /// ```
 const SEGMENTS: [[bool; 7]; 10] = [
     // 0      1      2      3      4      5      6
-    [true, true, true, true, true, true, false],    // 0
+    [true, true, true, true, true, true, false],     // 0
     [false, true, true, false, false, false, false], // 1
-    [true, true, false, true, true, false, true],   // 2
-    [true, true, true, true, false, false, true],   // 3
-    [false, true, true, false, false, true, true],  // 4
-    [true, false, true, true, false, true, true],   // 5
-    [true, false, true, true, true, true, true],    // 6
-    [true, true, true, false, false, false, false], // 7
-    [true, true, true, true, true, true, true],     // 8
-    [true, true, true, true, false, true, true],    // 9
+    [true, true, false, true, true, false, true],    // 2
+    [true, true, true, true, false, false, true],    // 3
+    [false, true, true, false, false, true, true],   // 4
+    [true, false, true, true, false, true, true],    // 5
+    [true, false, true, true, true, true, true],     // 6
+    [true, true, true, false, false, false, false],  // 7
+    [true, true, true, true, true, true, true],      // 8
+    [true, true, true, true, false, true, true],     // 9
 ];
 
 /// Object classes drawn by the CIFAR-like generators.
@@ -95,9 +95,7 @@ impl ShapeClass {
             Self::Disk => r < 0.7,
             Self::Ring => (0.4..0.75).contains(&r),
             Self::Square => u.abs() < 0.6 && v.abs() < 0.6,
-            Self::Frame => {
-                u.abs() < 0.72 && v.abs() < 0.72 && (u.abs() > 0.42 || v.abs() > 0.42)
-            }
+            Self::Frame => u.abs() < 0.72 && v.abs() < 0.72 && (u.abs() > 0.42 || v.abs() > 0.42),
             Self::Triangle => v > -0.6 && v < 0.7 && u.abs() < (0.7 - v) * 0.6,
             Self::Cross => u.abs() < 0.22 || v.abs() < 0.22,
             Self::HBars => ((v + 1.0) * 3.0).rem_euclid(2.0) < 1.0,

@@ -307,8 +307,13 @@ impl AwcLadder {
         let vdd = ckt.node("vdd");
         let sum = ckt.node("ituning");
         let to_spice = |e: oisa_spice::SpiceError| DeviceError::InvalidParameter(e.to_string());
-        ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(self.params.vdd.get()))
-            .map_err(to_spice)?;
+        ckt.vsource(
+            "VDD",
+            vdd,
+            Circuit::GND,
+            Waveform::dc(self.params.vdd.get()),
+        )
+        .map_err(to_spice)?;
         // Sense resistor converts the summed current to a measurable
         // voltage while keeping the node near ground.
         ckt.resistor("RSENSE", sum, Circuit::GND, r_sense)

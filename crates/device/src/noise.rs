@@ -383,7 +383,11 @@ fn ziggurat_slow(tables: &ZigTables, mut first_u: f64, mut first_i: usize, state
                 let tx = -sub.uniform_open().ln() / ZIG_R;
                 let ty = -sub.uniform_open().ln();
                 if 2.0 * ty > tx * tx {
-                    return if first_u < 0.0 { -(ZIG_R + tx) } else { ZIG_R + tx };
+                    return if first_u < 0.0 {
+                        -(ZIG_R + tx)
+                    } else {
+                        ZIG_R + tx
+                    };
                 }
             }
         }
@@ -443,7 +447,7 @@ impl NoiseStream {
     ///
     /// Fast path: one SplitMix64 finalisation feeds both the ziggurat
     /// layer index (low 7 bits) and the 52-bit uniform; the rare
-    /// rejected draw continues in [`ziggurat_slow`].
+    /// rejected draw continues in `ziggurat_slow`.
     #[inline]
     #[must_use]
     pub fn gaussian_at(&self, counter: u64) -> f64 {
@@ -575,10 +579,13 @@ mod tests {
 
     #[test]
     fn mr_transmission_stays_physical() {
-        let mut src = NoiseSource::seeded(5, NoiseConfig {
-            mr_drift: 0.5, // exaggerated
-            ..NoiseConfig::paper_default()
-        });
+        let mut src = NoiseSource::seeded(
+            5,
+            NoiseConfig {
+                mr_drift: 0.5, // exaggerated
+                ..NoiseConfig::paper_default()
+            },
+        );
         for _ in 0..500 {
             let t = src.mr_transmission(0.95);
             assert!((0.0..=1.0).contains(&t));
@@ -587,10 +594,13 @@ mod tests {
 
     #[test]
     fn vcsel_power_never_negative() {
-        let mut src = NoiseSource::seeded(5, NoiseConfig {
-            vcsel_rin: 1.0, // exaggerated
-            ..NoiseConfig::paper_default()
-        });
+        let mut src = NoiseSource::seeded(
+            5,
+            NoiseConfig {
+                vcsel_rin: 1.0, // exaggerated
+                ..NoiseConfig::paper_default()
+            },
+        );
         for _ in 0..500 {
             assert!(src.vcsel(0.01) >= 0.0);
         }

@@ -143,12 +143,14 @@ impl BalancedPhotodetector {
     /// noise.
     #[must_use]
     pub fn noise_rms(&self, positive: Watt, negative: Watt) -> Ampere {
-        let shot_p = self.params.shot_noise_rms(self.params.photocurrent(positive));
-        let shot_n = self.params.shot_noise_rms(self.params.photocurrent(negative));
+        let shot_p = self
+            .params
+            .shot_noise_rms(self.params.photocurrent(positive));
+        let shot_n = self
+            .params
+            .shot_noise_rms(self.params.photocurrent(negative));
         let thermal = self.params.thermal_noise_rms();
-        Ampere::new(
-            (shot_p.get().powi(2) + shot_n.get().powi(2) + thermal.get().powi(2)).sqrt(),
-        )
+        Ampere::new((shot_p.get().powi(2) + shot_n.get().powi(2) + thermal.get().powi(2)).sqrt())
     }
 
     /// Signal-to-noise ratio (linear) of a differential measurement.

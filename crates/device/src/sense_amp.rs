@@ -201,8 +201,7 @@ mod tests {
             })
             .collect();
         let mean = offsets.iter().sum::<f64>() / offsets.len() as f64;
-        let var =
-            offsets.iter().map(|o| (o - mean).powi(2)).sum::<f64>() / offsets.len() as f64;
+        let var = offsets.iter().map(|o| (o - mean).powi(2)).sum::<f64>() / offsets.len() as f64;
         assert!(mean.abs() < 1e-3, "offset mean {mean}");
         let sigma = var.sqrt();
         assert!((sigma - 5e-3).abs() < 1e-3, "offset sigma {sigma}");

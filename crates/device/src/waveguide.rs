@@ -293,9 +293,7 @@ mod tests {
             .free_spectral_range()
             .as_nano();
         assert!((w9.as_nano() - w0.as_nano() - 0.9 * fsr).abs() < 1e-9);
-        assert!(
-            (plan.separation(3, 4).unwrap().as_nano() - fsr / 10.0).abs() < 1e-9
-        );
+        assert!((plan.separation(3, 4).unwrap().as_nano() - fsr / 10.0).abs() < 1e-9);
         // Spacing clears the worst-case weight detuning with margin.
         assert!(plan.spacing().as_nano() > 2.0 * 0.67);
     }

@@ -182,10 +182,12 @@ impl MemoryMacro {
             // Anchor: ≈ 10 µW per 4 KB at 45 nm, scaling with capacity and
             // inversely with node (thinner oxides leak more).
             MemoryKind::Sram => Watt::from_micro(
-                10.0 * (self.capacity_bytes as f64 / 4096.0) * (45.0 / f64::from(self.technology_nm)),
+                10.0 * (self.capacity_bytes as f64 / 4096.0)
+                    * (45.0 / f64::from(self.technology_nm)),
             ),
             MemoryKind::Edram => Watt::from_micro(
-                2.0 * (self.capacity_bytes as f64 / 4096.0) * (45.0 / f64::from(self.technology_nm)),
+                2.0 * (self.capacity_bytes as f64 / 4096.0)
+                    * (45.0 / f64::from(self.technology_nm)),
             ),
             MemoryKind::Nvm => Watt::ZERO,
         }

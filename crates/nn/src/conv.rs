@@ -247,8 +247,8 @@ impl Conv2d {
                                     if x >= w {
                                         continue;
                                     }
-                                    acc += input.at4(ni, ic, y, x)
-                                        * self.weights.at4(oc, ic, ky, kx);
+                                    acc +=
+                                        input.at4(ni, ic, y, x) * self.weights.at4(oc, ic, ky, kx);
                                 }
                             }
                         }
@@ -281,8 +281,8 @@ impl Layer for Conv2d {
         for ni in 0..n {
             let image = &input.as_slice()[ni * self.in_channels * h * w..];
             self.im2col(image, h, w, oh, ow);
-            let dst =
-                &mut out.as_mut_slice()[ni * self.out_channels * cols..(ni + 1) * self.out_channels * cols];
+            let dst = &mut out.as_mut_slice()
+                [ni * self.out_channels * cols..(ni + 1) * self.out_channels * cols];
             // Weights are already the [out_ch, in_ch·k²] matrix in
             // row-major memory; one blocked GEMM per image.
             crate::tensor::gemm_into(
@@ -416,11 +416,7 @@ mod tests {
     #[test]
     fn identity_kernel_preserves_input() {
         let mut c = identity_conv();
-        let x = Tensor::from_vec(
-            vec![1, 1, 2, 2],
-            vec![1.0, 2.0, 3.0, 4.0],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let y = c.forward(&x, false).unwrap();
         assert_eq!(y.as_slice(), x.as_slice());
     }
@@ -459,7 +455,6 @@ mod tests {
             (2, 4, 5, 2, 2, 13, 9),
             (3, 2, 3, 2, 0, 10, 10),
             (1, 2, 5, 1, 2, 3, 3), // kernel wider than the input, heavy padding
-
         ] {
             let mut conv = Conv2d::with_seed(ic, oc, k, stride, pad, 5).unwrap();
             let x = Tensor::he_normal(vec![2, ic, h, w], ic * k * k, 9);
@@ -483,8 +478,8 @@ mod tests {
     fn gradient_check_weights() {
         // Numerical gradient check on a tiny conv.
         let mut c = Conv2d::with_seed(1, 1, 2, 1, 0, 9).unwrap();
-        let x = Tensor::from_vec(vec![1, 1, 3, 3], (1..=9).map(|v| v as f32 / 9.0).collect())
-            .unwrap();
+        let x =
+            Tensor::from_vec(vec![1, 1, 3, 3], (1..=9).map(|v| v as f32 / 9.0).collect()).unwrap();
         // Forward + backward with a simple loss: sum of outputs.
         let y = c.forward(&x, true).unwrap();
         let ones = Tensor::full(y.shape().to_vec(), 1.0);

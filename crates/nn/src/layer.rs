@@ -377,7 +377,9 @@ mod tests {
     #[test]
     fn maxpool_shape_validation() {
         let mut pool = MaxPool2::new();
-        assert!(pool.forward(&Tensor::zeros(vec![1, 1, 1, 4]), true).is_err());
+        assert!(pool
+            .forward(&Tensor::zeros(vec![1, 1, 1, 4]), true)
+            .is_err());
         assert!(pool.forward(&Tensor::zeros(vec![4, 4]), true).is_err());
     }
 

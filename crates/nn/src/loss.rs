@@ -136,8 +136,7 @@ mod tests {
 
     #[test]
     fn predictions_argmax() {
-        let logits =
-            Tensor::from_vec(vec![2, 3], vec![0.1, 0.9, 0.0, 2.0, -1.0, 1.0]).unwrap();
+        let logits = Tensor::from_vec(vec![2, 3], vec![0.1, 0.9, 0.0, 2.0, -1.0, 1.0]).unwrap();
         assert_eq!(predictions(&logits).unwrap(), vec![1, 0]);
         assert!(predictions(&Tensor::zeros(vec![3])).is_err());
     }

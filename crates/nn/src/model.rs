@@ -28,7 +28,9 @@ pub struct Sequential {
 impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
-        f.debug_struct("Sequential").field("layers", &names).finish()
+        f.debug_struct("Sequential")
+            .field("layers", &names)
+            .finish()
     }
 }
 
@@ -393,7 +395,11 @@ pub fn mlp(
         m.push(Relu::new());
         width = h;
     }
-    m.push(Linear::with_seed(width, classes, seed + hidden.len() as u64)?);
+    m.push(Linear::with_seed(
+        width,
+        classes,
+        seed + hidden.len() as u64,
+    )?);
     Ok(m)
 }
 
@@ -404,12 +410,7 @@ pub fn mlp(
 /// # Errors
 ///
 /// Propagates layer construction failures.
-pub fn vgg_lite(
-    in_channels: usize,
-    img: usize,
-    classes: usize,
-    seed: u64,
-) -> Result<Sequential> {
+pub fn vgg_lite(in_channels: usize, img: usize, classes: usize, seed: u64) -> Result<Sequential> {
     let mut m = Sequential::new();
     m.push(Conv2d::with_seed(in_channels, 16, 3, 1, 1, seed)?);
     m.push(Relu::new());
@@ -456,7 +457,9 @@ mod tests {
     #[test]
     fn lenet_shapes() {
         let mut m = lenet(1, 28, 10, 0).unwrap();
-        let y = m.forward(&Tensor::zeros(vec![2, 1, 28, 28]), false).unwrap();
+        let y = m
+            .forward(&Tensor::zeros(vec![2, 1, 28, 28]), false)
+            .unwrap();
         assert_eq!(y.shape(), &[2, 10]);
         assert!(m.parameter_count() > 1000);
     }
@@ -464,14 +467,18 @@ mod tests {
     #[test]
     fn resnet_lite_shapes() {
         let mut m = resnet_lite(3, 10, 0).unwrap();
-        let y = m.forward(&Tensor::zeros(vec![1, 3, 32, 32]), false).unwrap();
+        let y = m
+            .forward(&Tensor::zeros(vec![1, 3, 32, 32]), false)
+            .unwrap();
         assert_eq!(y.shape(), &[1, 10]);
     }
 
     #[test]
     fn vgg_lite_shapes() {
         let mut m = vgg_lite(3, 32, 100, 0).unwrap();
-        let y = m.forward(&Tensor::zeros(vec![1, 3, 32, 32]), false).unwrap();
+        let y = m
+            .forward(&Tensor::zeros(vec![1, 3, 32, 32]), false)
+            .unwrap();
         assert_eq!(y.shape(), &[1, 100]);
     }
 
@@ -483,11 +490,15 @@ mod tests {
         // Dense stack must be trainable end-to-end.
         let x = Tensor::he_normal(vec![2, 1, 8, 8], 64, 1);
         let out = m.forward(&x, true).unwrap();
-        let g = m.backward(&Tensor::full(out.shape().to_vec(), 0.1)).unwrap();
+        let g = m
+            .backward(&Tensor::full(out.shape().to_vec(), 0.1))
+            .unwrap();
         assert_eq!(g.shape(), &[2, 1, 8, 8]);
         // No hidden layers: flatten straight into the classifier.
         let mut flat = mlp(1, 8, &[], 4, 3).unwrap();
-        let y = flat.forward(&Tensor::zeros(vec![1, 1, 8, 8]), false).unwrap();
+        let y = flat
+            .forward(&Tensor::zeros(vec![1, 1, 8, 8]), false)
+            .unwrap();
         assert_eq!(y.shape(), &[1, 4]);
     }
 

@@ -252,7 +252,11 @@ mod tests {
         }
         let y = bn.forward(&x, false).unwrap();
         // Mean ≈ 2.5, var ≈ 1.25: (1 − 2.5)/√1.25 ≈ −1.34.
-        assert!((y.as_slice()[0] + 1.34).abs() < 0.05, "got {}", y.as_slice()[0]);
+        assert!(
+            (y.as_slice()[0] + 1.34).abs() < 0.05,
+            "got {}",
+            y.as_slice()[0]
+        );
     }
 
     #[test]
@@ -278,9 +282,7 @@ mod tests {
         let w = [0.7f32, -0.2, 0.5, 1.1];
         let g = Tensor::from_vec(vec![1, 1, 2, 2], w.to_vec()).unwrap();
         let grad_in = bn.backward(&g).unwrap();
-        let loss = |t: &Tensor| -> f32 {
-            t.as_slice().iter().zip(&w).map(|(a, b)| a * b).sum()
-        };
+        let loss = |t: &Tensor| -> f32 { t.as_slice().iter().zip(&w).map(|(a, b)| a * b).sum() };
         let _ = loss(&y);
         let eps = 1e-3f32;
         for idx in 0..4 {

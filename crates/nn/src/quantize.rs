@@ -293,8 +293,7 @@ impl Layer for QuantizedConv2d {
         if self.noise_sigma > 0.0 {
             // Scale noise to the output RMS so it tracks signal magnitude,
             // as physical detector noise does relative to full scale.
-            let rms = (out.as_slice().iter().map(|v| v * v).sum::<f32>()
-                / out.len() as f32)
+            let rms = (out.as_slice().iter().map(|v| v * v).sum::<f32>() / out.len() as f32)
                 .sqrt()
                 .max(1e-6);
             let sigma = self.noise_sigma * rms;
@@ -386,8 +385,8 @@ mod tests {
             99,
         )
         .unwrap();
-        let mut b = QuantizedConv2d::new(conv, &q, TernaryActivation::paper_default(), 0.01, 99)
-            .unwrap();
+        let mut b =
+            QuantizedConv2d::new(conv, &q, TernaryActivation::paper_default(), 0.01, 99).unwrap();
         let ya = a.forward(&x, false).unwrap();
         let yb = b.forward(&x, false).unwrap();
         assert_eq!(ya, yb);
@@ -401,14 +400,9 @@ mod tests {
         // Reference: float conv on the ideal ternary encoding.
         let enc = TernaryActivation::ideal().encode_tensor(&x);
         let reference = float_conv.forward(&enc, false).unwrap();
-        let mut quant = QuantizedConv2d::new(
-            float_conv.clone(),
-            &q,
-            TernaryActivation::ideal(),
-            0.0,
-            0,
-        )
-        .unwrap();
+        let mut quant =
+            QuantizedConv2d::new(float_conv.clone(), &q, TernaryActivation::ideal(), 0.0, 0)
+                .unwrap();
         let approx = quant.forward(&x, false).unwrap();
         let max_dev = reference
             .as_slice()
@@ -424,8 +418,7 @@ mod tests {
     fn quantized_conv_refuses_backward() {
         let q = LevelQuantizer::uniform(4).unwrap();
         let conv = Conv2d::with_seed(1, 1, 3, 1, 1, 0).unwrap();
-        let mut qc =
-            QuantizedConv2d::new(conv, &q, TernaryActivation::ideal(), 0.0, 0).unwrap();
+        let mut qc = QuantizedConv2d::new(conv, &q, TernaryActivation::ideal(), 0.0, 0).unwrap();
         assert!(qc.backward(&Tensor::zeros(vec![1, 1, 4, 4])).is_err());
     }
 

@@ -337,12 +337,14 @@ mod tests {
     fn he_init_statistics() {
         let t = Tensor::he_normal(vec![1000], 50, 7);
         let mean = t.mean();
-        let sigma = (t.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
-            / t.len() as f32)
-            .sqrt();
+        let sigma =
+            (t.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / t.len() as f32).sqrt();
         let expected = (2.0f32 / 50.0).sqrt();
         assert!(mean.abs() < 0.03, "mean {mean}");
-        assert!((sigma - expected).abs() < 0.03, "sigma {sigma} vs {expected}");
+        assert!(
+            (sigma - expected).abs() < 0.03,
+            "sigma {sigma} vs {expected}"
+        );
     }
 
     #[test]

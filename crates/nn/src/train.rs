@@ -127,11 +127,7 @@ impl Trainer {
                 got: vec![labels.len()],
             });
         }
-        let correct = preds
-            .iter()
-            .zip(labels)
-            .filter(|(p, l)| p == l)
-            .count();
+        let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
         Ok(correct as f64 / labels.len().max(1) as f64)
     }
 

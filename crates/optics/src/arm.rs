@@ -732,10 +732,7 @@ mod tests {
             .collect();
         let mean = runs.iter().sum::<f64>() / runs.len() as f64;
         assert!((mean - exact).abs() < 0.4, "mean {mean} vs exact {exact}");
-        let spread = runs
-            .iter()
-            .map(|r| (r - mean).abs())
-            .fold(0.0f64, f64::max);
+        let spread = runs.iter().map(|r| (r - mean).abs()).fold(0.0f64, f64::max);
         assert!(spread > 0.0, "noise must perturb results");
         assert!(spread < 0.5, "noise out of calibration: {spread}");
     }
@@ -814,7 +811,10 @@ mod tests {
         acts[6] = 1.5;
         let err = arm.mac(&acts, &mut quiet()).unwrap_err();
         let msg = err.to_string();
-        assert!(msg.contains("index 6"), "message must name the index: {msg}");
+        assert!(
+            msg.contains("index 6"),
+            "message must name the index: {msg}"
+        );
         assert!(msg.contains("1.5"), "message must name the value: {msg}");
     }
 

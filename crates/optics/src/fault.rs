@@ -98,11 +98,7 @@ impl FaultMap {
 
     /// Draws `count` random ring faults over an OPC of the given
     /// dimensions (a fabrication-yield scenario).
-    pub fn random_ring_faults<R: Rng + ?Sized>(
-        count: usize,
-        banks: usize,
-        rng: &mut R,
-    ) -> Self {
+    pub fn random_ring_faults<R: Rng + ?Sized>(count: usize, banks: usize, rng: &mut R) -> Self {
         let mut map = Self::new();
         for _ in 0..count {
             let bank = rng.gen_range(0..banks);
@@ -119,9 +115,9 @@ impl FaultMap {
     }
 
     fn detector_dead(&self, bank: usize, arm: usize) -> bool {
-        self.faults
-            .iter()
-            .any(|f| matches!(f, Fault::DeadDetector { bank: b, arm: a } if *b == bank && *a == arm))
+        self.faults.iter().any(
+            |f| matches!(f, Fault::DeadDetector { bank: b, arm: a } if *b == bank && *a == arm),
+        )
     }
 
     fn ring_fault(&self, bank: usize, arm: usize, ring: usize) -> Option<&Fault> {
@@ -241,8 +237,13 @@ mod tests {
         };
         let mut opc = Opc::new(cfg).unwrap();
         let mapper = WeightMapper::ideal(4).unwrap();
-        opc.load_kernel(0, 0, &[1.0, -1.0, 0.5, 0.0, 0.25, 0.75, -0.5, 0.1, 0.9], &mapper)
-            .unwrap();
+        opc.load_kernel(
+            0,
+            0,
+            &[1.0, -1.0, 0.5, 0.0, 0.25, 0.75, -0.5, 0.1, 0.9],
+            &mapper,
+        )
+        .unwrap();
         opc
     }
 
@@ -263,7 +264,9 @@ mod tests {
     #[test]
     fn dead_detector_zeroes_output() {
         let opc = small_opc_with_kernel();
-        let map: FaultMap = [Fault::DeadDetector { bank: 0, arm: 0 }].into_iter().collect();
+        let map: FaultMap = [Fault::DeadDetector { bank: 0, arm: 0 }]
+            .into_iter()
+            .collect();
         let out = map
             .compute_arm(&opc, 0, 0, &[1.0; 9], &mut quiet())
             .unwrap();

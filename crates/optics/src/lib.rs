@@ -78,7 +78,10 @@ impl fmt::Display for OpticsError {
             Self::CapacityExceeded {
                 capacity,
                 requested,
-            } => write!(f, "capacity exceeded: requested {requested}, capacity {capacity}"),
+            } => write!(
+                f,
+                "capacity exceeded: requested {requested}, capacity {capacity}"
+            ),
             Self::IndexOutOfRange(what) => write!(f, "index out of range: {what}"),
             Self::Device(what) => write!(f, "device model error: {what}"),
         }

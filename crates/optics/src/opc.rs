@@ -259,7 +259,9 @@ impl Opc {
         arms: usize,
     ) -> Result<Vec<ArmSnapshot>> {
         let bank_ref = self.bank(bank)?;
-        (0..arms).map(|i| bank_ref.snapshot_arm(first_arm + i)).collect()
+        (0..arms)
+            .map(|i| bank_ref.snapshot_arm(first_arm + i))
+            .collect()
     }
 
     /// A fresh idle arm matching this core's arm design — private

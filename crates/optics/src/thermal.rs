@@ -102,10 +102,7 @@ impl ThermalModel {
             vec![Watt::ZERO; n]
         };
         let drift = self.drift(&powers)?;
-        let worst = drift
-            .iter()
-            .map(|d| d.get().abs())
-            .fold(0.0f64, f64::max);
+        let worst = drift.iter().map(|d| d.get().abs()).fold(0.0f64, f64::max);
         let eo_range = arm.config().ring.eo_range.get();
         Ok(ThermalReport {
             drift,

@@ -144,7 +144,10 @@ impl Vom {
     #[must_use]
     pub fn accumulate_values(&self, values: &[f64]) -> (f64, f64) {
         let value: f64 = values.iter().sum();
-        (value, self.config.accumulate_energy.get() * values.len() as f64)
+        (
+            value,
+            self.config.accumulate_energy.get() * values.len() as f64,
+        )
     }
 
     /// Splits an oversized dot product (an MLP row of `total` elements)

@@ -146,7 +146,8 @@ impl PixelDesign {
         let wrap = |e: oisa_spice::SpiceError| SensorError::Device(e.to_string());
         ckt.vsource("VDD", vdd, Circuit::GND, Waveform::dc(self.vdd.get()))
             .map_err(wrap)?;
-        ckt.vsource("VRST", rst_node, Circuit::GND, rst).map_err(wrap)?;
+        ckt.vsource("VRST", rst_node, Circuit::GND, rst)
+            .map_err(wrap)?;
         ckt.vsource("VDCH", dch_node, Circuit::GND, dcharge.clone())
             .map_err(wrap)?;
         // T1: reset switch charging the PD node to VDD.
@@ -280,10 +281,7 @@ mod tests {
         // After exposure it must have dropped substantially:
         // ΔV = 1 µA × 2.5 ns / 5 fF = 0.5 V.
         let v_end = trace.voltage_at("pd", 4.5e-9).unwrap();
-        assert!(
-            (0.35..0.75).contains(&v_end),
-            "pd after exposure: {v_end}"
-        );
+        assert!((0.35..0.75).contains(&v_end), "pd after exposure: {v_end}");
         // And the inverted follower output must have risen.
         let out_start = trace.voltage_at("out", 1.5e-9).unwrap();
         let out_end = trace.voltage_at("out", 4.5e-9).unwrap();

@@ -148,8 +148,7 @@ impl Vam {
             levels.push(level);
         }
         let n = capture.voltages.len() as f64;
-        let sa_energy =
-            (self.sa_low.decision_energy() + self.sa_high.decision_energy()) * n;
+        let sa_energy = (self.sa_low.decision_energy() + self.sa_high.decision_energy()) * n;
         Ok(EncodedFrame {
             ternary: TernaryFrame::new(capture.width, capture.height, levels)?,
             optical,
@@ -255,12 +254,8 @@ mod tests {
     fn energy_accounting_scales_with_pixels() {
         let small = encode_levels(&[0.5; 4]);
         let large = encode_levels(&[0.5; 8]);
-        assert!(
-            (large.sa_energy.get() / small.sa_energy.get() - 2.0).abs() < 1e-9
-        );
-        assert!(
-            (large.vcsel_energy.get() / small.vcsel_energy.get() - 2.0).abs() < 1e-9
-        );
+        assert!((large.sa_energy.get() / small.sa_energy.get() - 2.0).abs() < 1e-9);
+        assert!((large.vcsel_energy.get() / small.vcsel_energy.get() - 2.0).abs() < 1e-9);
         assert!(large.total_energy().get() > large.sa_energy.get());
     }
 

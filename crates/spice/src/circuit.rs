@@ -292,7 +292,8 @@ mod tests {
     fn duplicate_element_name_rejected() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
-        ckt.resistor("R1", a, Circuit::GND, Ohm::new(100.0)).unwrap();
+        ckt.resistor("R1", a, Circuit::GND, Ohm::new(100.0))
+            .unwrap();
         let err = ckt
             .resistor("R1", a, Circuit::GND, Ohm::new(200.0))
             .unwrap_err();
@@ -304,9 +305,7 @@ mod tests {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         assert!(ckt.resistor("R1", a, Circuit::GND, Ohm::new(0.0)).is_err());
-        assert!(ckt
-            .resistor("R2", a, Circuit::GND, Ohm::new(-5.0))
-            .is_err());
+        assert!(ckt.resistor("R2", a, Circuit::GND, Ohm::new(-5.0)).is_err());
     }
 
     #[test]

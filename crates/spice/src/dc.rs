@@ -300,7 +300,8 @@ mod tests {
         let a = ckt.node("a");
         ckt.vsource("V1", a, Circuit::GND, Waveform::dc(1.0))
             .unwrap();
-        ckt.resistor("R1", a, Circuit::GND, Ohm::new(100.0)).unwrap();
+        ckt.resistor("R1", a, Circuit::GND, Ohm::new(100.0))
+            .unwrap();
         assert!(ckt.set_source("V1", Waveform::dc(2.0)).is_ok());
         assert!(ckt.set_source("R1", Waveform::dc(2.0)).is_err());
         assert!(ckt.set_source("nope", Waveform::dc(2.0)).is_err());
@@ -312,7 +313,8 @@ mod tests {
         let a = ckt.node("a");
         ckt.vsource("V1", a, Circuit::GND, Waveform::dc(1.0))
             .unwrap();
-        ckt.resistor("R1", a, Circuit::GND, Ohm::new(100.0)).unwrap();
+        ckt.resistor("R1", a, Circuit::GND, Ohm::new(100.0))
+            .unwrap();
         let op = dc_operating_point(&ckt).unwrap();
         assert!(op.voltage("zzz").is_err());
         assert!(op.branch_current(5).is_none());

@@ -471,8 +471,8 @@ mod tests {
         ckt.vsource("V1", a, Circuit::GND, Waveform::dc(1.0))
             .unwrap();
         ckt.capacitor("C1", a, b, Farad::from_pico(1.0)).unwrap();
-        let trace = TransientAnalysis::new(Second::from_nano(2.0), Second::from_pico(100.0))
-            .run(&ckt);
+        let trace =
+            TransientAnalysis::new(Second::from_nano(2.0), Second::from_pico(100.0)).run(&ckt);
         assert!(trace.is_ok());
     }
 

@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let report = accel.dense_layer(&frame, &matrix, rows)?;
 
-    println!("dense 256 -> {rows} executed in {} arm-chunks", report.chunks);
+    println!(
+        "dense 256 -> {rows} executed in {} arm-chunks",
+        report.chunks
+    );
     println!("energy : {:.3}", report.energy);
     println!("latency: {:.3}", report.latency);
     println!("\nneuron outputs (optical vs exact):");

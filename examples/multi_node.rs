@@ -1,26 +1,41 @@
 //! Multi-node deployment: a coordinator shards inference jobs across
-//! OISA worker **processes** over the versioned wire protocol.
+//! OISA worker **processes** — over stdio pipes or real TCP sockets —
+//! speaking the versioned wire protocol.
 //!
 //! This is the paper's Fig. 2 scenario grown up: instead of four
 //! independent nodes each printing their own numbers, one coordinator
 //! process runs a [`ShardedBackend`] whose workers are separate OS
-//! processes (this same binary, re-executed with `--worker`). Shards
-//! travel as length-prefixed [`oisa::core::wire`] messages over the
-//! workers' stdin/stdout; every worker aligns its noise epochs and
-//! fabric entry state from the shard message, so the merged reports
-//! are **bit-identical** to one sequential per-frame loop — which the
+//! processes. Shards travel as length-prefixed [`oisa::core::wire`]
+//! messages; every worker aligns its noise epochs and fabric entry
+//! state from the shard message, so the merged reports are
+//! **bit-identical** to one sequential per-frame loop — which the
 //! example verifies before printing anything (it exits non-zero on any
 //! mismatch, making it a CI check).
 //!
 //! ```sh
-//! cargo run --release --example multi_node            # coordinator + 4 worker processes
-//! cargo run --release --example multi_node -- --worker # (what the coordinator spawns)
+//! cargo run --release --example multi_node             # coordinator + 4 stdio worker processes
+//! cargo run --release --example multi_node -- --tcp    # coordinator + 3 TCP worker daemons
+//!                                                      # (+ kill-one-mid-job retry drill)
+//! cargo run --release --example multi_node -- --connect 127.0.0.1:7401,127.0.0.1:7402
+//!                                                      # externally started oisa_worker daemons
+//! cargo run --release --example multi_node -- --in-process  # same wire path, no processes
 //! ```
+//!
+//! The `--tcp` mode also runs a **fault-injection drill**: one daemon
+//! is started with `--fail-after-shards` so it aborts mid-job; the
+//! coordinator sees a typed `OisaError::Transport`, replaces the dead
+//! worker ([`ShardedBackend::replace_worker`]) and retries the job —
+//! which, because `run_job` advances no state on failure, completes
+//! bit-identically to the uninterrupted sequential loop.
 
-use std::io::Write;
+use std::io::{BufRead, BufReader, Write};
 use std::process::{Child, Command, Stdio};
+use std::time::Duration;
 
-use oisa::core::backend::{ComputeBackend, InProcessWorker, ShardTransport, ShardedBackend};
+use oisa::core::backend::{
+    ComputeBackend, InProcessWorker, ShardTransport, ShardedBackend, TcpTransport,
+    TcpTransportConfig, TcpWorker, WorkerOptions,
+};
 use oisa::core::wire::{self, InferenceJob};
 use oisa::core::{ConvolutionReport, OisaAccelerator, OisaConfig, OisaError};
 use oisa::device::noise::NoiseConfig;
@@ -28,11 +43,13 @@ use oisa::sensor::Frame;
 use oisa::units::Joule;
 
 const WORKERS: usize = 4;
+const TCP_WORKERS: usize = 3;
 const IMG: usize = 16;
 
 /// The deployment configuration every process must agree on: shards
 /// carry its fingerprint and workers refuse mismatches. In a real
-/// fleet this ships with the deployment, out-of-band.
+/// fleet this ships with the deployment, out-of-band (the `oisa_worker`
+/// daemon's defaults reproduce it).
 fn node_config() -> OisaConfig {
     OisaConfig::builder()
         .imager_dims(IMG, IMG)
@@ -41,6 +58,17 @@ fn node_config() -> OisaConfig {
         .seed(2024)
         .build()
         .expect("deployment config validates")
+}
+
+/// Transport knobs for the loopback fleet: fail fast, retry twice.
+fn transport_config() -> TcpTransportConfig {
+    TcpTransportConfig {
+        connect_timeout: Duration::from_secs(2),
+        io_timeout: Some(Duration::from_secs(20)),
+        attempts: 2,
+        backoff: Duration::from_millis(50),
+        handshake: true,
+    }
 }
 
 /// First-layer kernel set, fixed for the deployment.
@@ -83,7 +111,11 @@ fn traffic_bytes(img: usize, out: usize, kernels: usize) -> (usize, usize) {
     (raw, features)
 }
 
-/// One worker process: a child of this binary speaking the wire
+// ---------------------------------------------------------------------
+// Worker transports
+// ---------------------------------------------------------------------
+
+/// One stdio worker process: a child of this binary speaking the wire
 /// protocol over its stdin/stdout.
 struct ProcessWorker {
     child: Child,
@@ -131,33 +163,142 @@ impl Drop for ProcessWorker {
     }
 }
 
+/// One TCP worker **daemon** process: this binary re-executed in
+/// `--worker-tcp` mode, reached over a real socket. The daemon prints
+/// its bound (ephemeral) address as a `LISTENING <addr>` line so the
+/// coordinator can dial it.
+struct TcpDaemon {
+    child: Child,
+    addr: String,
+}
+
+impl TcpDaemon {
+    fn spawn(fail_after_shards: Option<u64>) -> Result<Self, Box<dyn std::error::Error>> {
+        let exe = std::env::current_exe()?;
+        let mut cmd = Command::new(exe);
+        cmd.args(["--worker-tcp", "127.0.0.1:0"]);
+        if let Some(limit) = fail_after_shards {
+            cmd.args(["--fail-after-shards", &limit.to_string()]);
+        }
+        let mut child = cmd.stdout(Stdio::piped()).spawn()?;
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line)?;
+        let addr = line
+            .trim()
+            .strip_prefix("LISTENING ")
+            .ok_or_else(|| format!("daemon announced {line:?}, expected LISTENING <addr>"))?
+            .to_string();
+        Ok(Self { child, addr })
+    }
+
+    fn transport(&self, fingerprint: u64) -> Result<TcpTransport, OisaError> {
+        TcpTransport::connect(self.addr.clone(), fingerprint, transport_config())
+    }
+}
+
+impl Drop for TcpDaemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------
+
 /// How the coordinator reaches its workers.
 enum Fleet {
-    /// Spawn `--worker` child processes (the real deployment shape).
+    /// Spawn `--worker` child processes over stdio pipes.
     Processes,
+    /// Spawn `--worker-tcp` daemon processes and dial them on loopback
+    /// (the real multi-host deployment shape).
+    Tcp,
+    /// Dial externally started `oisa_worker` daemons.
+    Connect(Vec<String>),
     /// In-process workers over the same wire path — used by the unit
     /// test, where `current_exe` is the test harness, not this example.
     InProcess,
 }
 
+impl Fleet {
+    fn describe(&self) -> String {
+        match self {
+            Self::Processes => format!("{WORKERS} stdio worker processes"),
+            Self::Tcp => format!("{TCP_WORKERS} TCP worker daemons (loopback)"),
+            Self::Connect(endpoints) => {
+                format!(
+                    "{} external TCP daemons: {}",
+                    endpoints.len(),
+                    endpoints.join(", ")
+                )
+            }
+            Self::InProcess => format!("{WORKERS} in-process workers"),
+        }
+    }
+}
+
+/// The dialable transports plus any daemon processes they depend on
+/// (the daemons must outlive the backend that dials them).
+type BuiltFleet = (Vec<Box<dyn ShardTransport>>, Vec<TcpDaemon>);
+
+/// Builds the transports (spawning daemons as needed).
+fn build_fleet(
+    fleet: &Fleet,
+    config: OisaConfig,
+) -> Result<BuiltFleet, Box<dyn std::error::Error>> {
+    match fleet {
+        Fleet::Processes => {
+            let workers = (0..WORKERS)
+                .map(|_| ProcessWorker::spawn().map(|w| Box::new(w) as Box<dyn ShardTransport>))
+                .collect::<std::io::Result<_>>()?;
+            Ok((workers, Vec::new()))
+        }
+        Fleet::Tcp => {
+            let daemons: Vec<TcpDaemon> = (0..TCP_WORKERS)
+                .map(|_| TcpDaemon::spawn(None))
+                .collect::<Result<_, _>>()?;
+            let workers = daemons
+                .iter()
+                .map(|d| {
+                    d.transport(config.fingerprint())
+                        .map(|t| Box::new(t) as Box<dyn ShardTransport>)
+                })
+                .collect::<Result<_, _>>()?;
+            Ok((workers, daemons))
+        }
+        Fleet::Connect(endpoints) => {
+            let workers = endpoints
+                .iter()
+                .map(|endpoint| {
+                    TcpTransport::connect(
+                        endpoint.clone(),
+                        config.fingerprint(),
+                        transport_config(),
+                    )
+                    .map(|t| Box::new(t) as Box<dyn ShardTransport>)
+                })
+                .collect::<Result<_, _>>()?;
+            Ok((workers, Vec::new()))
+        }
+        Fleet::InProcess => {
+            let workers = (0..WORKERS)
+                .map(|_| Box::new(InProcessWorker::new(config)) as Box<dyn ShardTransport>)
+                .collect();
+            Ok((workers, Vec::new()))
+        }
+    }
+}
+
 fn run_coordinator(fleet: &Fleet) -> Result<(), Box<dyn std::error::Error>> {
     let config = node_config();
     let kernels = kernel_bank();
-    let workers: Vec<Box<dyn ShardTransport>> = match fleet {
-        Fleet::Processes => (0..WORKERS)
-            .map(|_| ProcessWorker::spawn().map(|w| Box::new(w) as Box<dyn ShardTransport>))
-            .collect::<std::io::Result<_>>()?,
-        Fleet::InProcess => (0..WORKERS)
-            .map(|_| Box::new(InProcessWorker::new(config)) as Box<dyn ShardTransport>)
-            .collect(),
-    };
-    let mode = match fleet {
-        Fleet::Processes => "worker processes",
-        Fleet::InProcess => "in-process workers",
-    };
+    let (workers, _daemons) = build_fleet(fleet, config)?;
+    let worker_count = workers.len();
     let mut backend = ShardedBackend::new(config, workers)?;
 
-    println!("OISA multi-node coordinator ({WORKERS} {mode})");
+    println!("OISA multi-node coordinator ({})", fleet.describe());
     println!("==============================================\n");
     println!(
         "deployment: {IMG}x{IMG} imager, {} kernels, config fingerprint {:#018x}\n",
@@ -207,7 +348,7 @@ fn run_coordinator(fleet: &Fleet) -> Result<(), Box<dyn std::error::Error>> {
             "burst {b}: {} frames over {} shards -> {} reports, energy {energy:.3} \
              (bit-identical to the sequential loop)",
             frames.len(),
-            WORKERS.min(frames.len()),
+            worker_count.min(frames.len()),
             merged.len()
         );
     }
@@ -225,22 +366,135 @@ fn run_coordinator(fleet: &Fleet) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// The fault-injection drill: daemon 1 is rigged to abort mid-job; the
+/// coordinator must surface a typed transport error, swap in a
+/// replacement daemon and retry the job to a bit-identical result.
+fn run_fault_drill() -> Result<(), Box<dyn std::error::Error>> {
+    println!("\nfault-injection drill (kill a worker mid-job)");
+    println!("---------------------------------------------");
+    let config = node_config();
+    let kernels = kernel_bank();
+    // Daemon 1 serves exactly one shard, then aborts on its next one.
+    let mut daemons = [
+        TcpDaemon::spawn(None)?,
+        TcpDaemon::spawn(Some(1))?,
+        TcpDaemon::spawn(None)?,
+    ];
+    let workers: Vec<Box<dyn ShardTransport>> = daemons
+        .iter()
+        .map(|d| {
+            d.transport(config.fingerprint())
+                .map(|t| Box::new(t) as Box<dyn ShardTransport>)
+        })
+        .collect::<Result<_, _>>()?;
+    let mut backend = ShardedBackend::new(config, workers)?;
+
+    let bursts: [Vec<Frame>; 2] = [
+        (0..6).map(capture).collect(),
+        (6..12).map(capture).collect(),
+    ];
+    let mut oracle = OisaAccelerator::new(config)?;
+    let oracle_reports: Vec<Vec<ConvolutionReport>> = bursts
+        .iter()
+        .map(|frames| {
+            frames
+                .iter()
+                .map(|f| oracle.convolve_frame_sequential(f, &kernels, 3))
+                .collect::<Result<_, _>>()
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Job 1 succeeds: every daemon (the doomed one included) serves its
+    // first shard.
+    let job1 = InferenceJob {
+        job_id: 1,
+        k: 3,
+        kernels: kernels.clone(),
+        frames: bursts[0].clone(),
+    };
+    assert_eq!(backend.run_job(&job1)?, oracle_reports[0], "burst 0 parity");
+    println!("job 1: merged clean across 3 daemons");
+
+    // Job 2: daemon 1 aborts mid-shard. The other shards are already in
+    // flight — a genuinely mid-job death — and the coordinator must
+    // report it as a typed transport failure without advancing state.
+    let job2 = InferenceJob {
+        job_id: 2,
+        k: 3,
+        kernels: kernels.clone(),
+        frames: bursts[1].clone(),
+    };
+    match backend.run_job(&job2) {
+        Err(OisaError::Transport {
+            endpoint, attempts, ..
+        }) => {
+            println!("job 2: worker {endpoint} died mid-job (after {attempts} attempts) — typed error, no state consumed");
+        }
+        Err(other) => return Err(format!("expected a transport error, got {other}").into()),
+        Ok(_) => return Err("job 2 should have failed: a worker was killed mid-job".into()),
+    }
+
+    // Repair: replace the dead daemon, retry the *same* job. Because
+    // run_job advances no coordinator state on failure, the retry is
+    // bit-identical to an uninterrupted run.
+    let replacement = TcpDaemon::spawn(None)?;
+    backend.replace_worker(1, Box::new(replacement.transport(config.fingerprint())?))?;
+    daemons[1] = replacement; // keep the new daemon alive, drop the dead one
+    assert_eq!(
+        backend.run_job(&job2)?,
+        oracle_reports[1],
+        "retried job must be bit-identical to the uninterrupted sequential loop"
+    );
+    println!("job 2 retried after replace_worker: bit-identical to the sequential loop");
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    if std::env::args().any(|a| a == "--worker") {
-        // Worker mode: speak the wire protocol over stdio until the
-        // coordinator closes the pipe. Nothing else may touch stdout.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    if args.iter().any(|a| a == "--worker-tcp") {
+        // TCP worker daemon mode: bind, announce, serve until killed.
+        let addr = value_of("--worker-tcp").ok_or("--worker-tcp needs a bind address")?;
+        let fail_after_shards = value_of("--fail-after-shards")
+            .map(|raw| raw.parse::<u64>())
+            .transpose()?;
+        let worker = TcpWorker::bind(node_config(), &addr)?.with_options(WorkerOptions {
+            io_timeout: None,
+            fail_after_shards,
+        });
+        println!("LISTENING {}", worker.local_addr()?);
+        std::io::stdout().flush()?;
+        worker.serve()?;
+        return Ok(());
+    }
+    if args.iter().any(|a| a == "--worker") {
+        // Stdio worker mode: speak the wire protocol over stdio until
+        // the coordinator closes the pipe. Nothing else may touch
+        // stdout.
         let config = node_config();
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
         oisa::core::backend::serve_worker(&config, &mut stdin.lock(), &mut stdout.lock())?;
         return Ok(());
     }
-    let fleet = if std::env::args().any(|a| a == "--in-process") {
+    let fleet = if args.iter().any(|a| a == "--tcp") {
+        Fleet::Tcp
+    } else if let Some(endpoints) = value_of("--connect") {
+        Fleet::Connect(endpoints.split(',').map(str::to_string).collect())
+    } else if args.iter().any(|a| a == "--in-process") {
         Fleet::InProcess
     } else {
         Fleet::Processes
     };
-    run_coordinator(&fleet)
+    run_coordinator(&fleet)?;
+    if matches!(fleet, Fleet::Tcp) {
+        run_fault_drill()?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -263,9 +517,27 @@ mod tests {
     /// The coordinator's full pipeline — shard, dispatch over the wire,
     /// merge, verify parity — with in-process workers (the test
     /// harness binary cannot re-exec itself as `--worker`; CI runs the
-    /// example binary itself for the real multi-process path).
+    /// example binary itself for the real multi-process and TCP paths).
     #[test]
     fn coordinator_demo_runs_and_verifies() {
         run_coordinator(&Fleet::InProcess).expect("multi_node coordinator");
+    }
+
+    /// The same coordinator pipeline over real loopback sockets:
+    /// in-process daemon threads stand in for the `--worker-tcp`
+    /// processes CI exercises via the example binary.
+    #[test]
+    fn coordinator_demo_runs_over_tcp_daemon_threads() {
+        let config = node_config();
+        let daemons: Vec<_> = (0..2)
+            .map(|_| {
+                TcpWorker::bind(config, "127.0.0.1:0")
+                    .expect("bind")
+                    .spawn()
+                    .expect("spawn")
+            })
+            .collect();
+        let endpoints = daemons.iter().map(|d| d.endpoint()).collect();
+        run_coordinator(&Fleet::Connect(endpoints)).expect("multi_node over TCP");
     }
 }

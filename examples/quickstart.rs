@@ -87,7 +87,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reports = accel.convolve_frames(&batch, std::slice::from_ref(&sharpen), 3)?;
     println!("\nbatched inference ({} frames)", reports.len());
     for (i, r) in reports.iter().enumerate() {
-        let peak = r.output[0].iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let peak = r.output[0]
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max);
         println!(
             "  frame {i}: sharpen peak {peak:.2}, energy {:.3}",
             r.energy.total()
@@ -113,9 +116,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vec![sharpen],
         3,
         ServingConfig {
-            max_batch: 4,                                   // throughput knob
-            deadline: std::time::Duration::from_millis(2),  // tail-latency knob
-            queue_depth: 16,                                // backpressure knob
+            max_batch: 4,                                  // throughput knob
+            deadline: std::time::Duration::from_millis(2), // tail-latency knob
+            queue_depth: 16,                               // backpressure knob
         },
     )?;
     let handles: Vec<_> = batch
@@ -125,7 +128,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nserved inference ({} frames)", handles.len());
     for (i, h) in handles.into_iter().enumerate() {
         let r = h.wait()?;
-        let peak = r.output[0].iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let peak = r.output[0]
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max);
         println!("  frame {i}: sharpen peak {peak:.2}");
     }
     let (_backend, stats) = engine.shutdown();
@@ -158,6 +164,53 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         job.frames.len(),
         sharded.worker_count(),
         merged.len()
+    );
+
+    // Multi-host over TCP
+    // -------------------
+    // The same coordinator goes multi-host by swapping the transport:
+    // `TcpWorker` is the accept-loop daemon (one per host — the
+    // `oisa_worker` binary wraps it), `TcpTransport` dials it with a
+    // connect timeout, a handshake that rejects mismatched configs at
+    // connect time, and reconnect-with-backoff on broken pipes. Here
+    // both daemons run as background threads on loopback; in a real
+    // fleet they are `oisa_worker` processes on other machines:
+    //
+    //   host-a$ oisa_worker --addr 0.0.0.0:7401 --seed 2024
+    //   host-b$ oisa_worker --addr 0.0.0.0:7401 --seed 2024
+    //
+    // Workers are stateless per shard, so a daemon lost mid-job costs
+    // nothing: `run_job` fails with a typed `OisaError::Transport`
+    // having consumed no coordinator state, and retrying after
+    // `replace_worker` re-executes bit-identically (see
+    // `examples/multi_node.rs --tcp` for the full drill).
+    use oisa::core::backend::{TcpTransport, TcpTransportConfig, TcpWorker};
+    let config = OisaConfig::small_test();
+    let endpoints: Vec<String> = (0..2)
+        .map(|_| Ok(TcpWorker::bind(config, "127.0.0.1:0")?.spawn()?.endpoint()))
+        .collect::<Result<_, oisa::core::OisaError>>()?;
+    let workers = endpoints
+        .iter()
+        .map(|endpoint| {
+            TcpTransport::connect(
+                endpoint.clone(),
+                config.fingerprint(),
+                TcpTransportConfig::default(),
+            )
+            .map(|t| Box::new(t) as _)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut tcp_backend = ShardedBackend::new(config, workers)?;
+    let tcp_merged = tcp_backend.run_job(&job)?;
+    assert_eq!(
+        tcp_merged, merged,
+        "TCP and in-process fleets merge bit-identically"
+    );
+    println!(
+        "tcp inference    : {} frames over {} daemons ({}) -> bit-identical reports",
+        job.frames.len(),
+        endpoints.len(),
+        endpoints.join(", ")
     );
     Ok(())
 }

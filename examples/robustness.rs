@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let exact: f64 = kernel.iter().zip(&activations).map(|(w, a)| w * a).sum();
 
     println!("-- stuck microrings (kernel replicated on 8 banks x 5 arms) --");
-    println!("{:>12} {:>16} {:>16}", "ring faults", "mean |error|", "worst |error|");
+    println!(
+        "{:>12} {:>16} {:>16}",
+        "ring faults", "mean |error|", "worst |error|"
+    );
     for &fault_count in &[0usize, 4, 16, 64] {
         let mut opc = Opc::new(opc_cfg)?;
         for bank in 0..opc_cfg.banks {

@@ -55,12 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         serving.max_batch, serving.deadline, serving.queue_depth
     );
 
-    let engine = ServingEngine::new(
-        OisaAccelerator::new(cfg)?,
-        kernels.clone(),
-        3,
-        serving,
-    )?;
+    let engine = ServingEngine::new(OisaAccelerator::new(cfg)?, kernels.clone(), 3, serving)?;
 
     // The "sensor": submit the burst, keeping handles in arrival order.
     // `submit` blocks if the queue hits its depth — backpressure, not
@@ -79,12 +74,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .cloned()
             .fold(f32::NEG_INFINITY, f32::max);
         if t < 4 {
-            println!("frame {t:2}: edge peak {peak:6.2}, energy {:.3}", report.energy.total());
+            println!(
+                "frame {t:2}: edge peak {peak:6.2}, energy {:.3}",
+                report.energy.total()
+            );
         }
         peak_sum += peak;
         served.push(report);
     }
-    println!("... ({FRAMES} frames served, mean edge peak {:.2})", peak_sum / FRAMES as f32);
+    println!(
+        "... ({FRAMES} frames served, mean edge peak {:.2})",
+        peak_sum / FRAMES as f32
+    );
 
     let (_backend, stats) = engine.shutdown();
     println!("\nserving stats:");

@@ -94,7 +94,11 @@ pub mod iter {
     {
         let threads = super::current_num_threads().min(items.len().max(1));
         if threads <= 1 {
-            return items.into_iter().enumerate().map(|(i, it)| f(i, it)).collect();
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, it)| f(i, it))
+                .collect();
         }
         let slots: Vec<Mutex<Option<I>>> =
             items.into_iter().map(|it| Mutex::new(Some(it))).collect();

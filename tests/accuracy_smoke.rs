@@ -36,9 +36,14 @@ fn quantisation_ladder_on_digits() {
     let mut accs = Vec::new();
     for bits in [4u8, 3, 2, 1] {
         let quantizer = quantizer_for_bits(bits, AwcModel::paper_mismatch()).unwrap();
-        let wrapper =
-            QuantizedConv2d::new(conv0.clone(), &quantizer, ternary, 0.02, 40 + u64::from(bits))
-                .unwrap();
+        let wrapper = QuantizedConv2d::new(
+            conv0.clone(),
+            &quantizer,
+            ternary,
+            0.02,
+            40 + u64::from(bits),
+        )
+        .unwrap();
         model.replace_layer(0, Box::new(wrapper)).unwrap();
         let acc = trainer
             .evaluate_batched(&mut model, &ds.test_images, &ds.test_labels, 64)

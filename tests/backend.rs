@@ -2,12 +2,22 @@
 //! coordinator merging worker reports must be **bit-identical** —
 //! outputs, energy, timeline, every field — to one sequential per-frame
 //! loop on a single accelerator, for any worker count, across multiple
-//! jobs, and when fronted by the serving engine.
+//! jobs, over any transport (in-process or real TCP sockets), and when
+//! fronted by the serving engine. The TCP fault-injection suite pins
+//! the failure contract: broken streams, dead workers and unreachable
+//! endpoints surface as typed errors — never hangs — and a retried job
+//! re-executes bit-identically.
 
-use oisa::core::backend::{ComputeBackend, LocalBackend, ShardedBackend};
+use std::io::Read;
+use std::net::TcpListener;
+use std::time::Duration;
+
+use oisa::core::backend::{
+    ComputeBackend, LocalBackend, ShardedBackend, TcpTransport, TcpTransportConfig, TcpWorker,
+};
 use oisa::core::serving::{ServingConfig, ServingEngine};
-use oisa::core::wire::InferenceJob;
-use oisa::core::{ConvolutionReport, OisaAccelerator, OisaConfig};
+use oisa::core::wire::{self, InferenceJob};
+use oisa::core::{ConvolutionReport, OisaAccelerator, OisaConfig, OisaError};
 use oisa::device::noise::NoiseConfig;
 use oisa::sensor::Frame;
 use oisa::units::Joule;
@@ -125,7 +135,11 @@ fn consecutive_jobs_continue_the_stream_bit_identically() {
             kernels: kernels_b.clone(),
             frames: frames_b.clone(),
         };
-        assert_eq!(backend.run_job(&job_a).unwrap(), looped_a, "workers={workers} job A");
+        assert_eq!(
+            backend.run_job(&job_a).unwrap(),
+            looped_a,
+            "workers={workers} job A"
+        );
         assert_eq!(
             backend.run_job(&job_b).unwrap(),
             looped_b,
@@ -183,12 +197,379 @@ fn serving_over_a_sharded_backend_is_bit_identical() {
         .iter()
         .map(|f| engine.submit(f.clone()).expect("submit"))
         .collect();
-    let served: Vec<ConvolutionReport> =
-        handles.into_iter().map(|h| h.wait().unwrap()).collect();
+    let served: Vec<ConvolutionReport> = handles.into_iter().map(|h| h.wait().unwrap()).collect();
     let (backend, stats) = engine.shutdown();
     assert_eq!(stats.frames_completed, frames.len() as u64);
     assert!(backend.jobs_run() >= 1);
 
     let mut oracle = OisaAccelerator::new(noisy_config(23)).unwrap();
     assert_eq!(served, sequential_loop(&mut oracle, &frames, &kernels, 3));
+}
+
+// ---------------------------------------------------------------------
+// TCP transport: parity
+// ---------------------------------------------------------------------
+
+/// Transport knobs for loopback tests: fail fast, never hang.
+fn fast_tcp(handshake: bool) -> TcpTransportConfig {
+    TcpTransportConfig {
+        connect_timeout: Duration::from_millis(500),
+        io_timeout: Some(Duration::from_secs(10)),
+        attempts: 2,
+        backoff: Duration::from_millis(5),
+        handshake,
+    }
+}
+
+/// Spawns `count` worker daemons (accept loops on background threads,
+/// real loopback sockets) and returns dialable endpoints.
+fn spawn_tcp_fleet(config: OisaConfig, count: usize) -> Vec<String> {
+    (0..count)
+        .map(|_| {
+            TcpWorker::bind(config, "127.0.0.1:0")
+                .expect("bind")
+                .spawn()
+                .expect("spawn daemon thread")
+                .endpoint()
+        })
+        .collect()
+}
+
+fn tcp_backend(config: OisaConfig, endpoints: &[String]) -> ShardedBackend {
+    let workers = endpoints
+        .iter()
+        .map(|endpoint| {
+            TcpTransport::connect(endpoint.clone(), config.fingerprint(), fast_tcp(true))
+                .map(|t| Box::new(t) as _)
+        })
+        .collect::<Result<Vec<_>, _>>()
+        .expect("connect fleet");
+    ShardedBackend::new(config, workers).expect("backend")
+}
+
+/// The acceptance property over real sockets: merged reports across
+/// 1/2/3 TCP daemons are bit-identical to the sequential loop, across
+/// two consecutive jobs (so epoch/fabric continuation crosses the
+/// network too).
+#[test]
+fn tcp_shard_merge_bit_identical_across_worker_counts() {
+    let frames_a = textured_frames(5, 7);
+    let frames_b = textured_frames(4, 8);
+    let kernels = kernel_bank(3, 3);
+    let mut oracle = OisaAccelerator::new(noisy_config(31)).unwrap();
+    let looped_a = sequential_loop(&mut oracle, &frames_a, &kernels, 3);
+    let looped_b = sequential_loop(&mut oracle, &frames_b, &kernels, 3);
+    for daemons in [1usize, 2, 3] {
+        let endpoints = spawn_tcp_fleet(noisy_config(31), daemons);
+        let mut backend = tcp_backend(noisy_config(31), &endpoints);
+        let job = |id: u64, frames: &[Frame]| InferenceJob {
+            job_id: id,
+            k: 3,
+            kernels: kernels.clone(),
+            frames: frames.to_vec(),
+        };
+        assert_eq!(
+            backend.run_job(&job(1, &frames_a)).unwrap(),
+            looped_a,
+            "daemons={daemons} job A over TCP"
+        );
+        assert_eq!(
+            backend.run_job(&job(2, &frames_b)).unwrap(),
+            looped_b,
+            "daemons={daemons} job B over TCP continues the stream"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP transport: fault injection
+// ---------------------------------------------------------------------
+
+/// An adversarial "worker": accepts connections forever and hands each
+/// to `behaviour` (which can truncate, stall, or hang up).
+fn evil_server(behaviour: fn(std::net::TcpStream)) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for stream in listener.incoming().flatten() {
+            std::thread::spawn(move || behaviour(stream));
+        }
+    });
+    addr.to_string()
+}
+
+fn small_job(id: u64) -> InferenceJob {
+    InferenceJob {
+        job_id: id,
+        k: 3,
+        kernels: kernel_bank(2, 3),
+        frames: textured_frames(2, id),
+    }
+}
+
+/// A worker that dies mid-reply: the stream truncates inside a message.
+/// Every retry meets the same fate, so the coordinator must give up
+/// with a typed transport error whose cause names the truncation —
+/// and must never hang.
+#[test]
+fn tcp_truncated_stream_mid_message_is_a_typed_error_not_a_hang() {
+    use std::io::Write as _;
+    let endpoint = evil_server(|mut stream| {
+        // Consume the ENTIRE framed request first: unread request bytes
+        // at close would RST the connection and could discard the
+        // buffered bogus reply below, turning the deterministic
+        // "truncated" cause into a racy "connection reset".
+        let mut prefix = [0u8; 4];
+        if stream.read_exact(&mut prefix).is_err() {
+            return;
+        }
+        let mut body = vec![0u8; u32::from_le_bytes(prefix) as usize];
+        if stream.read_exact(&mut body).is_err() {
+            return;
+        }
+        // A length prefix promising 64 bytes, followed by only 8.
+        let _ = stream.write_all(&64u32.to_le_bytes());
+        let _ = stream.write_all(&[0u8; 8]);
+        // Dropping the stream (clean FIN) cuts the reply mid-payload.
+    });
+    let config = noisy_config(33);
+    let transport = TcpTransport::deferred(endpoint.clone(), config.fingerprint(), fast_tcp(false));
+    let mut backend = ShardedBackend::new(config, vec![Box::new(transport)]).unwrap();
+    let started = std::time::Instant::now();
+    let err = backend.run_job(&small_job(1)).unwrap_err();
+    match &err {
+        OisaError::Transport {
+            endpoint: seen,
+            attempts,
+            cause,
+        } => {
+            assert_eq!(seen, &endpoint);
+            assert_eq!(*attempts, 2);
+            assert!(cause.contains("truncated"), "cause was: {cause}");
+        }
+        other => panic!("expected a transport error, got {other}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(20),
+        "fault path must fail fast, took {:?}",
+        started.elapsed()
+    );
+}
+
+/// A worker that accepts the shard and then goes silent: the read
+/// timeout must fire and surface as a typed transport error — the
+/// coordinator never blocks forever on a wedged worker.
+#[test]
+fn tcp_unresponsive_worker_hits_the_read_timeout_not_a_hang() {
+    let endpoint = evil_server(|mut stream| {
+        let mut sink = [0u8; 64 * 1024];
+        let _ = stream.read(&mut sink);
+        std::thread::sleep(Duration::from_secs(30)); // never reply
+    });
+    let config = noisy_config(34);
+    let options = TcpTransportConfig {
+        io_timeout: Some(Duration::from_millis(200)),
+        ..fast_tcp(false)
+    };
+    let transport = TcpTransport::deferred(endpoint, config.fingerprint(), options);
+    let mut backend = ShardedBackend::new(config, vec![Box::new(transport)]).unwrap();
+    let started = std::time::Instant::now();
+    let err = backend.run_job(&small_job(2)).unwrap_err();
+    assert!(
+        matches!(err, OisaError::Transport { attempts: 2, .. }),
+        "expected a transport error after 2 attempts, got {err}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "timeout path must fail fast, took {:?}",
+        started.elapsed()
+    );
+}
+
+/// Dialing an endpoint with no listener (connection refused / connect
+/// timeout territory) is a typed transport error at construction time.
+#[test]
+fn tcp_connect_to_an_unreachable_endpoint_is_typed_and_fast() {
+    // Bind-then-drop reserves a loopback port that now refuses.
+    let endpoint = {
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        probe.local_addr().unwrap().to_string()
+    };
+    let started = std::time::Instant::now();
+    let err = TcpTransport::connect(endpoint.clone(), 0, fast_tcp(true)).unwrap_err();
+    match err {
+        OisaError::Transport {
+            endpoint: seen,
+            attempts,
+            ..
+        } => {
+            assert_eq!(seen, endpoint);
+            assert_eq!(attempts, 2);
+        }
+        other => panic!("expected a transport error, got {other}"),
+    }
+    assert!(started.elapsed() < Duration::from_secs(10));
+}
+
+/// A worker lost mid-stream: job N succeeds, the worker dies, job N+1
+/// fails with a typed transport error having consumed **no** state, a
+/// replacement worker is swapped in, and the retried job merges
+/// bit-identically to the uninterrupted sequential loop.
+#[test]
+fn tcp_worker_death_mid_stream_retries_bit_identically_after_replacement() {
+    let config = noisy_config(35);
+    let kernels = kernel_bank(3, 3);
+    let frames_a = textured_frames(4, 11);
+    let frames_b = textured_frames(5, 12);
+    let mut oracle = OisaAccelerator::new(config).unwrap();
+    let looped_a = sequential_loop(&mut oracle, &frames_a, &kernels, 3);
+    let looped_b = sequential_loop(&mut oracle, &frames_b, &kernels, 3);
+
+    let endpoints = spawn_tcp_fleet(config, 2);
+    let mut backend = tcp_backend(config, &endpoints);
+    let job = |id: u64, frames: &[Frame]| InferenceJob {
+        job_id: id,
+        k: 3,
+        kernels: kernels.clone(),
+        frames: frames.to_vec(),
+    };
+    assert_eq!(backend.run_job(&job(1, &frames_a)).unwrap(), looped_a);
+
+    // "Kill" worker 1: point its slot at an endpoint that refuses, as
+    // a daemon host that dropped off the network would.
+    let dead = {
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        probe.local_addr().unwrap().to_string()
+    };
+    backend
+        .replace_worker(
+            1,
+            Box::new(TcpTransport::deferred(
+                dead,
+                config.fingerprint(),
+                fast_tcp(true),
+            )),
+        )
+        .unwrap();
+    let err = backend.run_job(&job(2, &frames_b)).unwrap_err();
+    assert!(
+        matches!(err, OisaError::Transport { .. }),
+        "expected a transport error, got {err}"
+    );
+
+    // Repair and retry: a fresh daemon takes slot 1; the job must
+    // re-execute identically because the failure consumed nothing.
+    let replacement = spawn_tcp_fleet(config, 1).remove(0);
+    backend
+        .replace_worker(
+            1,
+            Box::new(
+                TcpTransport::connect(replacement, config.fingerprint(), fast_tcp(true)).unwrap(),
+            ),
+        )
+        .unwrap();
+    assert_eq!(
+        backend.run_job(&job(2, &frames_b)).unwrap(),
+        looped_b,
+        "retried job must be bit-identical to the uninterrupted loop"
+    );
+}
+
+/// The config-fingerprint guard over TCP, both ways it can fire: the
+/// connect-time handshake reports a mismatch before any shard is sent,
+/// and with the handshake disabled the worker's shard-level refusal
+/// maps back to the same typed error naming both fingerprints.
+#[test]
+fn tcp_fingerprint_mismatch_is_typed_at_handshake_and_shard_level() {
+    let worker_cfg = noisy_config(36);
+    let coordinator_cfg = noisy_config(37); // different seed → different physics
+    let endpoint = spawn_tcp_fleet(worker_cfg, 1).remove(0);
+
+    // Handshake path: connect() itself names both fingerprints.
+    let err = TcpTransport::connect(
+        endpoint.clone(),
+        coordinator_cfg.fingerprint(),
+        fast_tcp(true),
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        OisaError::FingerprintMismatch {
+            coordinator: coordinator_cfg.fingerprint(),
+            worker: worker_cfg.fingerprint(),
+        }
+    );
+
+    // Shard path: with the handshake off, the shard reaches the worker,
+    // is refused with a coded ShardRefusal, and the coordinator maps it
+    // to the same typed error.
+    let transport =
+        TcpTransport::deferred(endpoint, coordinator_cfg.fingerprint(), fast_tcp(false));
+    let mut backend = ShardedBackend::new(coordinator_cfg, vec![Box::new(transport)]).unwrap();
+    assert_eq!(
+        backend.run_job(&small_job(3)).unwrap_err(),
+        OisaError::FingerprintMismatch {
+            coordinator: coordinator_cfg.fingerprint(),
+            worker: worker_cfg.fingerprint(),
+        }
+    );
+}
+
+/// A daemon accepts any number of sequential coordinator connections:
+/// dropping one backend and dialing again from a fresh one works (the
+/// daemon is stateless per shard, so nothing carries over but physics).
+#[test]
+fn tcp_daemon_serves_consecutive_coordinator_connections() {
+    let config = noisy_config(38);
+    let kernels = kernel_bank(2, 3);
+    let frames = textured_frames(3, 13);
+    let endpoint = spawn_tcp_fleet(config, 1).remove(0);
+    let mut oracle = OisaAccelerator::new(config).unwrap();
+    let looped = sequential_loop(&mut oracle, &frames, &kernels, 3);
+    for round in 0..2 {
+        let mut backend = tcp_backend(config, std::slice::from_ref(&endpoint));
+        let merged = backend
+            .run_job(&InferenceJob {
+                job_id: round + 1,
+                k: 3,
+                kernels: kernels.clone(),
+                frames: frames.clone(),
+            })
+            .unwrap();
+        assert_eq!(
+            merged, looped,
+            "round {round}: fresh coordinator, same physics"
+        );
+        drop(backend); // closes the connection; the daemon keeps accepting
+    }
+}
+
+/// Raw-socket check that a worker answers a handshake ping with a
+/// nonce-echoing pong carrying its fingerprint — the probe any
+/// load-balancer or health check can speak.
+#[test]
+fn tcp_worker_answers_a_raw_handshake_ping() {
+    use std::io::Write as _;
+    let config = noisy_config(39);
+    let endpoint = spawn_tcp_fleet(config, 1).remove(0);
+    let mut stream = std::net::TcpStream::connect(&endpoint).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    wire::send(
+        &mut stream,
+        &wire::WireMessage::Ping(wire::Handshake {
+            nonce: 99,
+            config_fingerprint: config.fingerprint(),
+        }),
+    )
+    .unwrap();
+    stream.flush().unwrap();
+    match wire::receive(&mut stream).unwrap() {
+        Some(wire::WireMessage::Pong(pong)) => {
+            assert_eq!(pong.nonce, 99);
+            assert_eq!(pong.config_fingerprint, config.fingerprint());
+        }
+        other => panic!("expected a pong, got {other:?}"),
+    }
 }

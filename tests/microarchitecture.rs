@@ -64,10 +64,8 @@ fn paper_operating_point_is_jointly_feasible() {
 
     // 3. Crosstalk: a fully loaded arm's MAC stays within a few per cent
     //    of the crosstalk-free value.
-    let mut quiet = oisa::device::noise::NoiseSource::seeded(
-        0,
-        oisa::device::noise::NoiseConfig::noiseless(),
-    );
+    let mut quiet =
+        oisa::device::noise::NoiseSource::seeded(0, oisa::device::noise::NoiseConfig::noiseless());
     let a = [1.0; 9];
     let with_xt = arm.mac(&a, &mut quiet).unwrap().value;
     let mut clean_arm = Arm::new(ArmConfig::no_crosstalk()).unwrap();

@@ -10,7 +10,10 @@ use oisa::optics::opc::{KernelSize, OpcConfig};
 #[test]
 fn headline_throughput_and_efficiency() {
     let perf = OisaPerfModel::paper_default().unwrap();
-    assert!((perf.throughput_tops() - 7.1).abs() < 0.2, "paper: 7.1 TOp/s");
+    assert!(
+        (perf.throughput_tops() - 7.1).abs() < 0.2,
+        "paper: 7.1 TOp/s"
+    );
     let eff = perf.efficiency_tops_per_watt(4).unwrap();
     assert!((eff - 6.68).abs() < 0.7, "paper: 6.68 TOp/s/W, got {eff}");
 }
@@ -37,7 +40,10 @@ fn table1_power_band() {
     let lo = perf.frontend_power(1).unwrap().as_milli();
     let hi = perf.frontend_power(4).unwrap().as_milli();
     assert!((lo - 0.00012).abs() < 0.00003, "low end {lo} mW vs 0.00012");
-    assert!((hi - 0.00034).abs() < 0.00006, "high end {hi} mW vs 0.00034");
+    assert!(
+        (hi - 0.00034).abs() < 0.00006,
+        "high end {hi} mW vs 0.00034"
+    );
 }
 
 #[test]
@@ -54,9 +60,15 @@ fn power_reduction_factors_at_4bit() {
     let cl = CrosslightLike::default().power(4).unwrap().total().get() / oisa;
     let ap = AppCipLike::default().power(4).unwrap().total().get() / oisa;
     let asic = AsicBaseline::default().power(4).unwrap().total().get() / oisa;
-    assert!((cl - 8.3).abs() < 1.7, "Crosslight factor {cl} vs paper 8.3");
+    assert!(
+        (cl - 8.3).abs() < 1.7,
+        "Crosslight factor {cl} vs paper 8.3"
+    );
     assert!((ap - 7.9).abs() < 1.6, "AppCiP factor {ap} vs paper 7.9");
-    assert!((asic - 18.4).abs() < 3.7, "ASIC factor {asic} vs paper 18.4");
+    assert!(
+        (asic - 18.4).abs() < 3.7,
+        "ASIC factor {asic} vs paper 18.4"
+    );
 }
 
 #[test]

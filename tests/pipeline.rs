@@ -24,7 +24,11 @@ fn physical_and_behavioural_paths_agree() {
 
     let conv = Conv2d::with_seed(1, 3, 3, 1, 1, 77).unwrap();
     let kernels: Vec<Vec<f32>> = (0..3)
-        .map(|oc| (0..9).map(|i| conv.weights().as_slice()[oc * 9 + i]).collect())
+        .map(|oc| {
+            (0..9)
+                .map(|i| conv.weights().as_slice()[oc * 9 + i])
+                .collect()
+        })
         .collect();
 
     // Physical path (noiseless, mismatch ladder).
@@ -107,7 +111,10 @@ mod oisa_bench_reuse {
         (0..16u16)
             .map(|code| {
                 let t = (f64::from(code) + 0.75) * step;
-                (code, trace.voltage_at("ituning", t).unwrap() / r.get() * 1e6)
+                (
+                    code,
+                    trace.voltage_at("ituning", t).unwrap() / r.get() * 1e6,
+                )
             })
             .collect()
     }
@@ -139,7 +146,9 @@ fn sensor_ternary_matches_nn_ternary() {
     use oisa::sensor::vam::{Vam, VamConfig};
 
     let img = 8usize;
-    let pixels: Vec<f64> = (0..img * img).map(|i| (i as f64) / (img * img) as f64).collect();
+    let pixels: Vec<f64> = (0..img * img)
+        .map(|i| (i as f64) / (img * img) as f64)
+        .collect();
     let frame = Frame::new(img, img, pixels.clone()).unwrap();
     let imager = Imager::new(ImagerConfig::paper_default(img, img)).unwrap();
     let vam = Vam::new(VamConfig::paper_default()).unwrap();

@@ -31,7 +31,11 @@ fn frame_16(tag: u64) -> Frame {
 
 fn kernel_bank(count: usize) -> Vec<Vec<f32>> {
     (0..count)
-        .map(|i| (0..9).map(|j| ((i * 7 + j * 3) as f32 * 0.41).sin()).collect())
+        .map(|i| {
+            (0..9)
+                .map(|j| ((i * 7 + j * 3) as f32 * 0.41).sin())
+                .collect()
+        })
         .collect()
 }
 
@@ -150,7 +154,11 @@ fn size_bound_launches_full_batches() {
     assert_eq!(stats.batches_run, 1);
     assert_eq!(stats.size_batches, 1);
     assert_eq!(stats.deadline_batches, 0);
-    assert_eq!(stats.batch_size_histogram[4], 1, "{:?}", stats.batch_size_histogram);
+    assert_eq!(
+        stats.batch_size_histogram[4], 1,
+        "{:?}",
+        stats.batch_size_histogram
+    );
     assert!(stats.frames_per_sec > 0.0);
 }
 

@@ -7,8 +7,8 @@
 use oisa::core::accelerator::EnergyReport;
 use oisa::core::controller::Timeline;
 use oisa::core::wire::{
-    self, FabricEntry, InferenceJob, JobShard, ShardReport, WireError, WireMessage,
-    SCHEMA_VERSION,
+    self, FabricEntry, Handshake, InferenceJob, JobShard, RefusalCode, ShardRefusal, ShardReport,
+    WireError, WireMessage, SCHEMA_VERSION,
 };
 use oisa::core::{ConvolutionReport, MappingPlan};
 use oisa::sensor::Frame;
@@ -144,6 +144,50 @@ proptest! {
         };
         let bytes = wire::encode(&WireMessage::Shard(shard.clone()));
         prop_assert_eq!(wire::decode(&bytes), Ok(WireMessage::Shard(shard)));
+    }
+
+    /// The v2 control messages — handshake pings/pongs and coded
+    /// refusals — round-trip losslessly for arbitrary field values,
+    /// including the fingerprint pair a mismatch refusal carries.
+    #[test]
+    fn control_messages_roundtrip_is_lossless(
+        nonce in 0u64..u64::MAX,
+        fingerprint in 0u64..u64::MAX,
+        worker_fp in 0u64..u64::MAX,
+        job_id in 0u64..u64::MAX,
+        // shard_index 0–999 × mismatch × reason length 0–63, packed so
+        // the shim reporter's tuple stays within `Debug`'s 12-element
+        // cap (see `inference_job_roundtrip_is_lossless`).
+        packed in 0usize..(1000 * 2 * 64),
+    ) {
+        let shard_index = (packed % 1000) as u32;
+        let mismatch = (packed / 1000) % 2 == 1;
+        let reason_salt = packed / 2000;
+        // The shim proptest has no string strategies; derive an ASCII
+        // reason (length 0–63, varied content) from the sampled salt.
+        let reason: String = (0..reason_salt)
+            .map(|i| char::from(b' ' + ((i * 7 + reason_salt) % 95) as u8))
+            .collect();
+        let hs = Handshake { nonce, config_fingerprint: fingerprint };
+        for message in [WireMessage::Ping(hs), WireMessage::Pong(hs)] {
+            let bytes = wire::encode(&message);
+            prop_assert_eq!(wire::decode(&bytes), Ok(message));
+        }
+        let refusal = ShardRefusal {
+            job_id,
+            shard_index,
+            code: if mismatch {
+                RefusalCode::FingerprintMismatch {
+                    coordinator: fingerprint,
+                    worker: worker_fp,
+                }
+            } else {
+                RefusalCode::Other
+            },
+            reason,
+        };
+        let bytes = wire::encode(&WireMessage::Refusal(refusal.clone()));
+        prop_assert_eq!(wire::decode(&bytes), Ok(WireMessage::Refusal(refusal)));
     }
 
     /// Any single-byte corruption of the 5-byte header, any truncation,
