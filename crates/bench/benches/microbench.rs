@@ -11,6 +11,7 @@ use oisa_core::{OisaAccelerator, OisaConfig};
 use oisa_device::awc::{AwcLadder, AwcParams};
 use oisa_device::mr::{Microring, MrDesign};
 use oisa_device::noise::{NoiseConfig, NoiseSource};
+use oisa_device::simd::LANES;
 use oisa_nn::conv::Conv2d;
 use oisa_nn::layer::Layer;
 use oisa_nn::tensor::Tensor;
@@ -63,6 +64,106 @@ fn bench_arm_mac(c: &mut Criterion) {
         b.iter(|| {
             arm.mac_reference(black_box(&activations), &mut noise)
                 .unwrap()
+        });
+    });
+    // The across-window path: LANES adjacent windows in lockstep.
+    // Compare per-window cost against `arm_mac_indexed_9tap` (divide
+    // by LANES).
+    let snap = arm.snapshot();
+    let mut acts4 = [0.0f64; 9 * LANES];
+    for (i, &a) in activations.iter().enumerate() {
+        for l in 0..LANES {
+            acts4[i * LANES + l] = (a + 0.1 * l as f64).min(1.0);
+        }
+    }
+    c.bench_function("arm_mac_indexed_x4_9tap", |b| {
+        b.iter(|| {
+            position = position.wrapping_add(LANES as u64);
+            let quad = slot.quad_at(position);
+            snap.mac_indexed_x4(black_box(&acts4), 9, &quad, 0)
+        });
+    });
+}
+
+/// Sweeps the fused MAC over longer ring sequences so the per-ring
+/// cost is visible without per-call overhead: `rings` total rings are
+/// evaluated as repeated 9-tap windows (arms hold [`RINGS_PER_ARM`]
+/// rings, so larger "rows" are chains of windows in practice). Run
+/// with `OISA_SIMD_TIER=scalar` to compare mixing tiers; the reported
+/// time divided by `rings` is the ns/ring figure quoted in the arm
+/// module docs and `perf_json`.
+fn bench_mac_rings(c: &mut Criterion) {
+    let mapper = WeightMapper::paper(4).unwrap();
+    let mut arm = Arm::new(ArmConfig::paper_default()).unwrap();
+    arm.load_weights(&[0.5, -0.25, 1.0, 0.1, 0.7, -0.9, 0.3, 0.2, -0.6], &mapper)
+        .unwrap();
+    let snap = arm.snapshot();
+    let source = NoiseSource::seeded(3, NoiseConfig::paper_default());
+    let slot = source.slot_stream(0, 0);
+    for rings in [72usize, 256, 1024] {
+        let windows = rings / 9;
+        let acts: Vec<f64> = (0..windows * 9)
+            .map(|i| match i % 5 {
+                0 => 0.0,
+                r => r as f64 / 5.0,
+            })
+            .collect();
+        let mut position = 0u64;
+        c.bench_function(&format!("mac_core_{rings}_rings"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for (wi, window) in acts.chunks_exact(9).enumerate() {
+                    position = position.wrapping_add(1);
+                    let stream = slot.at(position.wrapping_add(wi as u64));
+                    let (v, _) = snap.mac_indexed(black_box(window), &stream, 0);
+                    acc += v;
+                }
+                acc
+            });
+        });
+    }
+}
+
+/// The batched Gaussian draw against four scalar draws on the same
+/// counters — the mixing-kernel speedup in isolation.
+fn bench_gaussian_lanes(c: &mut Criterion) {
+    let source = NoiseSource::seeded(11, NoiseConfig::paper_default());
+    let stream = source.stream(0, 0, 0);
+    let mut c0 = 0u64;
+    c.bench_function("gaussian_at_4_scalar", |b| {
+        b.iter(|| {
+            c0 = c0.wrapping_add(4);
+            let mut acc = 0.0;
+            for d in 0..4u64 {
+                acc += stream.gaussian_at(black_box(c0 + d));
+            }
+            acc
+        });
+    });
+    c.bench_function("gaussian_at_lanes", |b| {
+        b.iter(|| {
+            c0 = c0.wrapping_add(4);
+            let [a, b2, c2, d] = stream.gaussian_at_lanes(black_box([c0, c0 + 1, c0 + 2, c0 + 3]));
+            a + b2 + c2 + d
+        });
+    });
+    // The across-window pair draw: 8 draws (4 windows x 2 counters)
+    // per call, 9 calls mirroring one 9-tap x4 MAC's draw traffic.
+    let slot = source.slot_stream(0, 0);
+    let mut position = 0u64;
+    c.bench_function("quad_pair_draws_9tap", |b| {
+        b.iter(|| {
+            position = position.wrapping_add(4);
+            let quad = slot.quad_at(black_box(position));
+            let mut acc = 0.0;
+            for i in 0..9u64 {
+                let (a, b2) = quad.gaussian_pair_at(2 * i);
+                for l in 0..4 {
+                    acc += a[l];
+                    acc += b2[l];
+                }
+            }
+            acc
         });
     });
 }
@@ -121,6 +222,57 @@ fn bench_full_frame_conv(c: &mut Criterion) {
             |mut accel| accel.convolve_frame(&frame, &kernels, 3).unwrap(),
             BatchSize::SmallInput,
         );
+    });
+}
+
+/// Streamed weight staging: a 32×32 frame against twice as many
+/// kernels as the fabric holds, so the engine runs multiple weight
+/// passes and pass `N + 1`'s quantise/tune/snapshot overlaps pass
+/// `N`'s row drain on the worker pool. The sequential twin stages
+/// strictly serially — the gap between the two is (threads ×) compute
+/// plus whatever staging latency the overlap hides.
+fn bench_staging_overlap(c: &mut Criterion) {
+    let side = 32usize;
+    let data: Vec<f64> = (0..side * side)
+        .map(|i| ((i % 13) as f64 / 13.0).clamp(0.0, 1.0))
+        .collect();
+    let frame = Frame::new(side, side, data).unwrap();
+    // The small 20-slot fabric keeps the pass count (and bench time)
+    // honest: 40 kernels → 2 passes, so staging genuinely re-runs
+    // mid-frame instead of once up front.
+    let mut cfg = OisaConfig::builder()
+        .imager_dims(side, side)
+        .opc_shape(4, 2, 10)
+        .build()
+        .unwrap();
+    cfg.seed = 7;
+    let workload = ConvWorkload {
+        out_channels: 1,
+        in_channels: 1,
+        kernel: 3,
+        input_h: side,
+        input_w: side,
+        stride: 1,
+    };
+    let plan = MappingPlan::compute(&workload, &cfg.opc).unwrap();
+    let count = plan.slots_per_pass * 2;
+    let kernels: Vec<Vec<f32>> = (0..count)
+        .map(|i| (0..9).map(|j| ((i * 7 + j) as f32 * 0.37).sin()).collect())
+        .collect();
+    let mut accel = OisaAccelerator::new(cfg).unwrap();
+    c.bench_function("staging_overlap_32x32_multipass", |b| {
+        b.iter(|| {
+            accel
+                .convolve_frame(black_box(&frame), &kernels, 3)
+                .unwrap()
+        });
+    });
+    c.bench_function("staging_serial_32x32_multipass", |b| {
+        b.iter(|| {
+            accel
+                .convolve_frame_sequential(black_box(&frame), &kernels, 3)
+                .unwrap()
+        });
     });
 }
 
@@ -315,11 +467,14 @@ criterion_group! {
         bench_mr_transfer,
         bench_awc_levels,
         bench_arm_mac,
+        bench_mac_rings,
+        bench_gaussian_lanes,
         bench_pixel_exposure,
         bench_conv2d,
         bench_mapping_plan,
         bench_spice_rc,
         bench_full_frame_conv,
+        bench_staging_overlap,
         bench_full_frame_conv_128,
         bench_matvec,
         bench_batch_conv,

@@ -61,7 +61,7 @@ use oisa_device::noise::{NoiseConfig, NoiseSource};
 use oisa_nn::conv::Conv2d;
 use oisa_nn::layer::Layer;
 use oisa_nn::tensor::Tensor;
-use oisa_optics::arm::ArmConfig;
+use oisa_optics::arm::{Arm, ArmConfig};
 use oisa_optics::opc::{Opc, OpcConfig};
 use oisa_optics::vom::{Vom, VomConfig};
 use oisa_optics::weights::WeightMapper;
@@ -434,6 +434,43 @@ fn main() {
         std::hint::black_box(y.as_slice()[0]);
     });
 
+    // MAC-core cost at three working-set sizes: chained 9-tap
+    // `mac_indexed` folds, the kernel every engine above amortises.
+    // Reported as nanoseconds per ring (with the active SIMD dispatch
+    // tier) so the bench covers the fold itself, not just the engines;
+    // pin `OISA_SIMD_TIER=scalar` to compare tiers.
+    let mac_snap = {
+        let mac_mapper = WeightMapper::ideal(4).expect("mapper construction");
+        let weights: Vec<f64> = (0..9).map(|i| ((i as f64) * 0.61).sin()).collect();
+        let mut arm = Arm::new(ArmConfig::paper_default()).expect("arm construction");
+        arm.load_weights(&weights, &mac_mapper)
+            .expect("arm weights");
+        arm.snapshot()
+    };
+    let mac_noise = NoiseSource::seeded(11, NoiseConfig::paper_default());
+    let mac_stream = mac_noise.stream(1, 0, 0);
+    let mac_acts: Vec<f64> = (0..9)
+        .map(|i| ((i as f64 * 0.23).sin().abs()).min(1.0))
+        .collect();
+    let mut mac_ns_per_ring = [0.0f64; 3];
+    for (slot, rings) in [72usize, 256, 1024].into_iter().enumerate() {
+        let windows = rings / 9;
+        let iters = (if quick { 200_000 } else { 2_000_000 }) / rings;
+        let ms = median_ms(reps, || {
+            for it in 0..iters {
+                let mut base = (it * 64) as u64;
+                let mut acc = 0.0;
+                for _ in 0..windows {
+                    let (v, _e) = mac_snap.mac_indexed(&mac_acts, &mac_stream, base);
+                    acc += v;
+                    base += Arm::counter_stride(9);
+                }
+                std::hint::black_box(acc);
+            }
+        });
+        mac_ns_per_ring[slot] = ms * 1e6 / (iters as f64 * (windows * 9) as f64);
+    }
+
     // Report the worker count the parallel pipelines actually used.
     let threads = rayon::current_num_threads();
     let optical_speedup = reference_ms / parallel_ms;
@@ -478,6 +515,11 @@ fn main() {
             "\"frames_per_sec_backend_shard\":{fps_backend_shard:.3},",
             "\"frames_per_sec_backend_tcp\":{fps_backend_tcp:.3},",
             "\"matvec_rows_per_sec\":{mv_rps:.3}}},",
+            "\"mac_ns_per_ring\":{{",
+            "\"simd_tier\":\"{simd_tier}\",",
+            "\"rings_72\":{mac72:.2},",
+            "\"rings_256\":{mac256:.2},",
+            "\"rings_1024\":{mac1024:.2}}},",
             "\"backend_shard\":{{",
             "\"workers\":{shard_workers},",
             "\"jobs_run\":{shard_jobs}}},",
@@ -534,6 +576,10 @@ fn main() {
         fps_backend_shard = frames_per_sec_backend_shard,
         fps_backend_tcp = frames_per_sec_backend_tcp,
         mv_rps = matvec_rows_per_sec,
+        simd_tier = oisa_device::simd::active_tier(),
+        mac72 = mac_ns_per_ring[0],
+        mac256 = mac_ns_per_ring[1],
+        mac1024 = mac_ns_per_ring[2],
         shard_workers = shard_workers,
         shard_jobs = shard_backend.jobs_run(),
         tcp_workers = tcp_workers,

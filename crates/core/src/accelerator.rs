@@ -588,36 +588,41 @@ impl OisaAccelerator {
         let arms_per_kernel = ks.arms_per_kernel();
 
         let slots_per_pass = plan.slots_per_pass;
-        let mut kernel_index = 0usize;
         // Weight staging is off the hot path, but reuse its buffers
         // anyway.
         let mut normalised: Vec<f64> = Vec::with_capacity(k2);
         let mut codes: Vec<u16> = Vec::with_capacity(k2);
-        while kernel_index < kernels.len() {
-            let pass_kernels =
-                &kernels[kernel_index..(kernel_index + slots_per_pass).min(kernels.len())];
-            let slots = self.stage_pass(
-                pass_kernels,
-                kernel_index,
-                &scales,
-                ks,
-                &mut normalised,
-                &mut codes,
-            )?;
-            energy.tuning += self.pass_tuning_energy(&slots, arms_per_kernel)?;
+        // Double-buffered streamed staging: the pass about to drain is
+        // already staged and snapshotted; on the parallel engine the
+        // *next* pass quantises/tunes/snapshots on this thread while
+        // the workers drain the current pass's rows
+        // ([`scheduler::execute_overlapped`]). Rows only ever read
+        // immutable snapshots and the encoded frame, so restaging the
+        // fabric underneath them is unobservable; tuning energy still
+        // accumulates in strict pass order, keeping the report
+        // bit-identical to the sequential engine, which stages each
+        // pass only after the previous one fully drained.
+        let mut staged = Some(stage_full_pass(
+            &mut self.bank,
+            &mut self.opc,
+            &self.mapper,
+            &self.config.opc,
+            kernels,
+            0,
+            slots_per_pass,
+            &scales,
+            ks,
+            arms_per_kernel,
+            &mut normalised,
+            &mut codes,
+        )?);
+        while let Some(pass) = staged.take() {
+            let kernel_index = pass.kernel_index;
+            let slot_arms = pass.arms;
+            let nslots = slot_arms.len();
+            let next_index = kernel_index + nslots;
+            energy.tuning += pass.tuning;
 
-            // Snapshot every slot's arms once per pass; the hot loop
-            // then walks immutable captured state instead of doing
-            // checked bank/arm lookups per pixel.
-            let slot_arms: Vec<Vec<ArmSnapshot>> = slots
-                .iter()
-                .map(|&(bank, first_arm)| {
-                    self.opc
-                        .snapshot_kernel_arms(bank, first_arm, arms_per_kernel)
-                })
-                .collect::<oisa_optics::Result<_>>()?;
-
-            let nslots = slots.len();
             // Hoist the (seed, epoch, slot) key mixing out of the pixel
             // loop: per position only one extra mix remains.
             let slot_streams: Vec<SlotStream> = (0..nslots)
@@ -649,7 +654,35 @@ impl OisaAccelerator {
                 )
             };
             let rows: Vec<&mut [f32]> = pass_out.chunks_mut(row_len).collect();
-            let partials: Vec<RowEnergy> = if parallel {
+            let partials: Vec<RowEnergy> = if parallel && next_index < kernels.len() {
+                // Streamed staging: drain this pass's rows on the
+                // worker pool while this thread stages the next pass.
+                let kbank = &mut self.bank;
+                let opc = &mut self.opc;
+                let mapper = &self.mapper;
+                let opc_config = &self.config.opc;
+                let scales_ref = &scales;
+                let normalised = &mut normalised;
+                let codes = &mut codes;
+                let (partials, next) = scheduler::execute_overlapped(rows, row_task, move || {
+                    stage_full_pass(
+                        kbank,
+                        opc,
+                        mapper,
+                        opc_config,
+                        kernels,
+                        next_index,
+                        slots_per_pass,
+                        scales_ref,
+                        ks,
+                        arms_per_kernel,
+                        normalised,
+                        codes,
+                    )
+                });
+                staged = Some(next?);
+                partials
+            } else if parallel {
                 rayon::iter::parallel_map(rows, row_task)
             } else {
                 rows.into_iter()
@@ -670,7 +703,24 @@ impl OisaAccelerator {
                     dst[oy * ow..(oy + 1) * ow].copy_from_slice(&pass_out[src..src + ow]);
                 }
             }
-            kernel_index += pass_kernels.len();
+            if staged.is_none() && next_index < kernels.len() {
+                // Sequential oracle: stage the next pass only after
+                // this one fully drained.
+                staged = Some(stage_full_pass(
+                    &mut self.bank,
+                    &mut self.opc,
+                    &self.mapper,
+                    &self.config.opc,
+                    kernels,
+                    next_index,
+                    slots_per_pass,
+                    &scales,
+                    ks,
+                    arms_per_kernel,
+                    &mut normalised,
+                    &mut codes,
+                )?);
+            }
         }
 
         // Kernel-bank access energy.
@@ -694,33 +744,18 @@ impl OisaAccelerator {
     }
 
     /// Tuning energy of exactly the arms `slots` staged — the energy a
-    /// pass is charged.
-    ///
-    /// Summing [`Opc::tuning_energy`] here instead would re-charge the
-    /// *last* load of every arm on the fabric, double-counting earlier
-    /// passes (and earlier workloads) on every pass; per-slot
-    /// accounting is also what lets a stateless shard worker reproduce
-    /// mid-stream tuning energies without the fabric's full load
-    /// history (see [`crate::backend`]).
+    /// pass is charged. See [`pass_tuning_energy_of`].
     fn pass_tuning_energy(
         &self,
         slots: &[(usize, usize)],
         arms_per_kernel: usize,
     ) -> Result<Joule> {
-        let mut total = Joule::ZERO;
-        for &(bank, first_arm) in slots {
-            let bank = self.opc.bank(bank)?;
-            for arm in first_arm..first_arm + arms_per_kernel {
-                total += bank.arm(arm)?.tuning_energy();
-            }
-        }
-        Ok(total)
+        pass_tuning_energy_of(&self.opc, slots, arms_per_kernel)
     }
 
-    /// Stages one pass's kernels onto the fabric: quantises each kernel
-    /// through the mapper, stores the codes in the kernel bank and
-    /// tunes the rings. Returns the slot assignment. Shared by the
-    /// single-frame and batched engines so both stage identically.
+    /// Stages one pass's kernels onto the fabric. See
+    /// [`stage_pass_onto`]; this method form serves the batched engine,
+    /// which stages every pass up front.
     fn stage_pass(
         &mut self,
         pass_kernels: &[&[f32]],
@@ -730,22 +765,18 @@ impl OisaAccelerator {
         normalised: &mut Vec<f64>,
         codes: &mut Vec<u16>,
     ) -> Result<Vec<(usize, usize)>> {
-        let slots = assign_slots(pass_kernels.len(), ks, &self.config.opc)?;
-        for (pk, (kn, &(bank, first_arm))) in pass_kernels.iter().zip(&slots).enumerate() {
-            let scale = scales[kernel_index + pk];
-            normalised.clear();
-            normalised.extend(kn.iter().map(|&w| f64::from(w / scale)));
-            codes.clear();
-            for &w in normalised.iter() {
-                codes.push(self.mapper.quantize(w)?.code);
-            }
-            let offset = (bank * oisa_optics::bank::RINGS_PER_BANK + first_arm * RINGS_PER_ARM)
-                % self.bank.len();
-            self.bank.store(offset, codes)?;
-            self.opc
-                .load_kernel(bank, first_arm, normalised, &self.mapper)?;
-        }
-        Ok(slots)
+        stage_pass_onto(
+            &mut self.bank,
+            &mut self.opc,
+            &self.mapper,
+            &self.config.opc,
+            pass_kernels,
+            kernel_index,
+            scales,
+            ks,
+            normalised,
+            codes,
+        )
     }
 
     /// Convolves a batch of captured frames with `kernels` in one
@@ -1342,6 +1373,136 @@ fn validate_optical(optical: &[f64]) -> Result<()> {
     Ok(())
 }
 
+/// One fully-staged weight pass, ready to drain: the immutable arm
+/// snapshots the row tasks read and the tuning energy the pass is
+/// charged. Produced by [`stage_full_pass`]; the single-frame engine
+/// double-buffers one of these so pass `N + 1` can stage while pass
+/// `N`'s rows drain.
+struct StagedPass {
+    /// Index of the first kernel this pass serves.
+    kernel_index: usize,
+    /// Captured arm state per slot, taken right after ring tuning.
+    arms: Vec<Vec<ArmSnapshot>>,
+    /// Tuning energy of exactly the arms this pass staged.
+    tuning: Joule,
+}
+
+/// Stages one pass's kernels onto the fabric: quantises each kernel
+/// through the mapper, stores the codes in the kernel bank and tunes
+/// the rings. Returns the slot assignment.
+///
+/// A free function over the accelerator's split fields (bank, fabric,
+/// mapper) rather than a method so the streamed-staging path can run
+/// it concurrently with row evaluation: rows read only previously
+/// captured [`ArmSnapshot`]s and the encoded frame, which this
+/// function never touches. Shared by the single-frame and batched
+/// engines so both stage identically.
+#[allow(clippy::too_many_arguments)]
+fn stage_pass_onto(
+    kbank: &mut KernelBank,
+    opc: &mut Opc,
+    mapper: &WeightMapper,
+    opc_config: &OpcConfig,
+    pass_kernels: &[&[f32]],
+    kernel_index: usize,
+    scales: &[f32],
+    ks: KernelSize,
+    normalised: &mut Vec<f64>,
+    codes: &mut Vec<u16>,
+) -> Result<Vec<(usize, usize)>> {
+    let slots = assign_slots(pass_kernels.len(), ks, opc_config)?;
+    for (pk, (kn, &(bank, first_arm))) in pass_kernels.iter().zip(&slots).enumerate() {
+        let scale = scales[kernel_index + pk];
+        normalised.clear();
+        normalised.extend(kn.iter().map(|&w| f64::from(w / scale)));
+        codes.clear();
+        for &w in normalised.iter() {
+            codes.push(mapper.quantize(w)?.code);
+        }
+        let offset =
+            (bank * oisa_optics::bank::RINGS_PER_BANK + first_arm * RINGS_PER_ARM) % kbank.len();
+        kbank.store(offset, codes)?;
+        opc.load_kernel(bank, first_arm, normalised, mapper)?;
+    }
+    Ok(slots)
+}
+
+/// Tuning energy of exactly the arms `slots` staged — the energy a
+/// pass is charged.
+///
+/// Summing [`Opc::tuning_energy`] here instead would re-charge the
+/// *last* load of every arm on the fabric, double-counting earlier
+/// passes (and earlier workloads) on every pass; per-slot accounting
+/// is also what lets a stateless shard worker reproduce mid-stream
+/// tuning energies without the fabric's full load history (see
+/// [`crate::backend`]).
+fn pass_tuning_energy_of(
+    opc: &Opc,
+    slots: &[(usize, usize)],
+    arms_per_kernel: usize,
+) -> Result<Joule> {
+    let mut total = Joule::ZERO;
+    for &(bank, first_arm) in slots {
+        let bank = opc.bank(bank)?;
+        for arm in first_arm..first_arm + arms_per_kernel {
+            total += bank.arm(arm)?.tuning_energy();
+        }
+    }
+    Ok(total)
+}
+
+/// Stages the pass starting at `kernel_index` end to end — quantise,
+/// store, tune, snapshot, charge tuning — and returns everything the
+/// drain needs as a [`StagedPass`].
+///
+/// Because ring tuning cost depends on the fabric's previous operating
+/// point, passes must stage in order; the streamed engine preserves
+/// that by always staging pass `N + 1` on one thread while only
+/// *reading* snapshots of pass `N`, so the tuning energies (and the
+/// whole report) stay bit-identical to the strictly serial engine.
+#[allow(clippy::too_many_arguments)]
+fn stage_full_pass(
+    kbank: &mut KernelBank,
+    opc: &mut Opc,
+    mapper: &WeightMapper,
+    opc_config: &OpcConfig,
+    kernels: &[&[f32]],
+    kernel_index: usize,
+    slots_per_pass: usize,
+    scales: &[f32],
+    ks: KernelSize,
+    arms_per_kernel: usize,
+    normalised: &mut Vec<f64>,
+    codes: &mut Vec<u16>,
+) -> Result<StagedPass> {
+    let pass_kernels = &kernels[kernel_index..(kernel_index + slots_per_pass).min(kernels.len())];
+    let slots = stage_pass_onto(
+        kbank,
+        opc,
+        mapper,
+        opc_config,
+        pass_kernels,
+        kernel_index,
+        scales,
+        ks,
+        normalised,
+        codes,
+    )?;
+    let tuning = pass_tuning_energy_of(opc, &slots, arms_per_kernel)?;
+    // Snapshot every slot's arms once per pass; the hot loop then walks
+    // immutable captured state instead of doing checked bank/arm
+    // lookups per pixel.
+    let arms: Vec<Vec<ArmSnapshot>> = slots
+        .iter()
+        .map(|&(bank, first_arm)| opc.snapshot_kernel_arms(bank, first_arm, arms_per_kernel))
+        .collect::<oisa_optics::Result<_>>()?;
+    Ok(StagedPass {
+        kernel_index,
+        arms,
+        tuning,
+    })
+}
+
 /// Per-kernel weight normalisation scales: each kernel's arm carries
 /// its own receiver gain, so every kernel uses its full dynamic range
 /// (this is what keeps 1-bit weights usable).
@@ -1361,6 +1522,15 @@ fn kernel_scales(kernels: &[&[f32]]) -> Vec<f32> {
 /// batched `(frame, pass, row-band)` work items. Windows gather into a
 /// stack scratch array, noise comes from the counter-addressed slot
 /// streams, and multi-arm kernels aggregate through the VOM.
+///
+/// Every window goes through the per-window [`ArmSnapshot::mac_indexed`]
+/// fold. An across-window ×4 variant ([`ArmSnapshot::mac_indexed_x4`])
+/// exists, is bit-identical, and was benchmarked here: on the bench
+/// host it *loses* at the frame level (the zero-activation skip the
+/// per-window fold gets for free outweighs batched noise mixing — see
+/// the perf notes in `crates/optics/src/arm.rs`), so the engine stays
+/// on the per-window path and the ×4 kernel remains available for
+/// hosts where vectorised integer mixing wins.
 #[allow(clippy::too_many_arguments)]
 fn eval_row(
     oy: usize,
@@ -1375,8 +1545,8 @@ fn eval_row(
     vom: &Vom,
 ) -> RowEnergy {
     let k2 = k * k;
-    let mut scratch = [0.0f64; MAX_WINDOW];
     let mut partial = RowEnergy::default();
+    let mut scratch = [0.0f64; MAX_WINDOW];
     for ox in 0..ow {
         for dy in 0..k {
             let src = (oy + dy) * width + ox;
@@ -1620,6 +1790,47 @@ mod tests {
             assert_eq!(rp.energy, rs.energy, "k={k} energy must be bit-identical");
             assert_eq!(rp.timeline, rs.timeline);
         }
+    }
+
+    #[test]
+    fn streamed_staging_charges_tuning_exactly_once_per_pass() {
+        // 25 kernels on the 20-slot test fabric = 2 passes, so the
+        // parallel engine stages pass 2 *while* pass 1 drains. The PR 4
+        // double-count class of bug — charging fabric-lifetime tuning
+        // energy instead of per-slot pass energy — would grow the
+        // charge on every repeated frame; the steady-state cycle must
+        // instead be exactly repeatable, and identical to the strictly
+        // serial engine's.
+        let _guard = crate::test_sync::thread_count_lock();
+        rayon::set_num_threads(3);
+        let frame = Frame::constant(16, 16, 0.6).unwrap();
+        let kernels: Vec<Vec<f32>> = (0..25)
+            .map(|i| (0..9).map(|j| ((i * 7 + j) as f32 * 0.37).sin()).collect())
+            .collect();
+        let cfg = OisaConfig::small_test();
+        let mut par = OisaAccelerator::new(cfg).unwrap();
+        let mut seq = OisaAccelerator::new(cfg).unwrap();
+        let tp: Vec<Joule> = (0..3)
+            .map(|_| {
+                par.convolve_frame(&frame, &kernels, 3)
+                    .unwrap()
+                    .energy
+                    .tuning
+            })
+            .collect();
+        let ts: Vec<Joule> = (0..3)
+            .map(|_| {
+                seq.convolve_frame_sequential(&frame, &kernels, 3)
+                    .unwrap()
+                    .energy
+                    .tuning
+            })
+            .collect();
+        assert!(tp[1] > Joule::ZERO);
+        // Steady state (runs 2 and 3 both start from pass 2's fabric
+        // state) repeats exactly; accumulation would make t[2] > t[1].
+        assert_eq!(tp[1], tp[2], "steady-state tuning must not accumulate");
+        assert_eq!(tp, ts, "streamed staging must charge what serial charges");
     }
 
     #[test]

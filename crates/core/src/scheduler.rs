@@ -134,6 +134,43 @@ where
     collected.into_iter().map(|(_, r)| r).collect()
 }
 
+/// [`execute`], with a second job overlapped on the calling thread: the
+/// items drain on the work-stealing pool while `overlap` runs
+/// concurrently on the caller's thread, and both results come back
+/// together once the pool is done.
+///
+/// This is the streamed-staging primitive: the convolution engine hands
+/// pass `N`'s row-bands to the workers and stages pass `N + 1`'s
+/// weights (quantise, ring tuning, snapshots) in `overlap`, hiding
+/// staging latency behind the drain. The determinism contract extends
+/// [`execute`]'s: `overlap` must not observe or mutate anything the
+/// item function reads — the engine guarantees this by having items
+/// evaluate immutable snapshots while staging mutates only the fabric
+/// and bank.
+///
+/// With no items, `overlap` still runs (on the calling thread) and an
+/// empty result vector is returned.
+pub fn execute_overlapped<T, R, F, O, Q>(items: Vec<T>, f: F, overlap: O) -> (Vec<R>, Q)
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync + Send,
+    O: FnOnce() -> Q + Send,
+    Q: Send,
+{
+    if items.is_empty() {
+        return (Vec::new(), overlap());
+    }
+    std::thread::scope(|scope| {
+        let drain = scope.spawn(|| execute(items, f));
+        let q = overlap();
+        let r = drain
+            .join()
+            .expect("scheduler: overlapped drain worker panicked");
+        (r, q)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +341,32 @@ mod tests {
             max_seen >= 100usize.div_ceil(workers),
             "no worker kept its state across the balanced share: max {max_seen}"
         );
+    }
+
+    #[test]
+    fn overlapped_job_runs_alongside_the_drain() {
+        let _guard = thread_count_lock();
+        rayon::set_num_threads(2);
+        let items: Vec<u64> = (0..128).collect();
+        let (out, staged) = execute_overlapped(
+            items,
+            |i, v| v + i as u64,
+            || {
+                // Simulates a staging job: pure, independent of the items.
+                (0..32u64).sum::<u64>()
+            },
+        );
+        assert_eq!(out, (0..128).map(|v| v * 2).collect::<Vec<_>>());
+        assert_eq!(staged, 496);
+    }
+
+    #[test]
+    fn overlapped_with_no_items_still_stages() {
+        let _guard = thread_count_lock();
+        rayon::set_num_threads(2);
+        let (out, staged): (Vec<u64>, u64) = execute_overlapped(Vec::new(), |_, v: u64| v, || 7u64);
+        assert!(out.is_empty());
+        assert_eq!(staged, 7);
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! SIMD ↔ scalar ↔ sequential-engine parity, property-tested.
+//!
+//! The wire-level bit-identity guarantee says: the same `OisaConfig`
+//! and inputs produce the same bits no matter which MAC kernel ran —
+//! per-window scalar fold, across-window ×4 SIMD kernel, parallel or
+//! strictly serial engine, any `OISA_SIMD_TIER`. These tests pin that
+//! guarantee from outside the crates:
+//!
+//! * engine level: `convolve_frame` == `convolve_frame_sequential`
+//!   bit-for-bit over random configs, frames and kernel sets;
+//! * MAC level: [`ArmSnapshot::mac_indexed_x4`] == 4 per-window
+//!   [`ArmSnapshot::mac_indexed`] calls (values *and* energies);
+//! * draw level: `gaussian_at_lanes` == 4 scalar `gaussian_at` calls
+//!   (including forced `ziggurat_slow` tail draws), `StreamQuad`
+//!   batched pair draws == the dispatcher's scalar fallback == the
+//!   four underlying per-lane streams.
+//!
+//! The CI matrix runs this same binary with `OISA_SIMD_TIER=scalar`,
+//! which turns every dispatcher-vs-scalar assertion into a tier
+//! cross-check: AVX2/AVX-512 runs must produce the bits the scalar run
+//! produced.
+
+use oisa_core::accelerator::{OisaAccelerator, OisaConfig};
+use oisa_device::noise::{NoiseConfig, NoiseSource};
+use oisa_device::simd::{mix64_key_pairs, mix64_key_pairs_scalar, LANES};
+use oisa_optics::arm::{Arm, ArmConfig};
+use oisa_optics::weights::WeightMapper;
+use oisa_sensor::frame::Frame;
+use proptest::prelude::*;
+
+/// Marsaglia tail cutoff of the 128-layer ziggurat: any draw with
+/// magnitude beyond it *must* have come through `ziggurat_slow`.
+const ZIG_R: f64 = 3.442_619_855_899;
+
+fn deterministic_frame(width: usize, height: usize, salt: u64) -> Frame {
+    let data: Vec<f64> = (0..width * height)
+        .map(|i| (((i as u64).wrapping_mul(salt | 1) % 97) as f64 / 96.0).clamp(0.0, 1.0))
+        .collect();
+    Frame::new(width, height, data).unwrap()
+}
+
+fn deterministic_kernels(count: usize, k2: usize, salt: u64) -> Vec<Vec<f32>> {
+    (0..count)
+        .map(|i| {
+            (0..k2)
+                .map(|j| (((i * k2 + j) as f32 + salt as f32) * 0.37).sin())
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn engine_parallel_matches_sequential_bitwise(
+        seed in 0u64..1_000,
+        salt in 1u64..1_000,
+        width in 8usize..=18,
+        height in 8usize..=18,
+        count in 1usize..=25,
+        noisy in proptest::bool::ANY,
+    ) {
+        let mut cfg = OisaConfig::paper_default(width, height);
+        cfg.seed = seed;
+        cfg.noise = if noisy {
+            NoiseConfig::paper_default()
+        } else {
+            NoiseConfig::noiseless()
+        };
+        let frame = deterministic_frame(width, height, salt);
+        let kernels = deterministic_kernels(count, 9, salt);
+        let mut par = OisaAccelerator::new(cfg).unwrap();
+        let mut seq = OisaAccelerator::new(cfg).unwrap();
+        let rp = par.convolve_frame(&frame, &kernels, 3).unwrap();
+        let rs = seq.convolve_frame_sequential(&frame, &kernels, 3).unwrap();
+        prop_assert_eq!(&rp.output, &rs.output);
+        prop_assert_eq!(rp.energy, rs.energy);
+    }
+
+    #[test]
+    fn engine_parity_holds_for_multi_arm_kernels(
+        seed in 0u64..200,
+        salt in 1u64..200,
+        count in 1usize..=4,
+    ) {
+        // 5×5 kernels route through the VOM multi-arm path.
+        let mut cfg = OisaConfig::paper_default(12, 12);
+        cfg.seed = seed;
+        cfg.noise = NoiseConfig::paper_default();
+        let frame = deterministic_frame(12, 12, salt);
+        let kernels = deterministic_kernels(count, 25, salt);
+        let mut par = OisaAccelerator::new(cfg).unwrap();
+        let mut seq = OisaAccelerator::new(cfg).unwrap();
+        let rp = par.convolve_frame(&frame, &kernels, 5).unwrap();
+        let rs = seq.convolve_frame_sequential(&frame, &kernels, 5).unwrap();
+        prop_assert_eq!(&rp.output, &rs.output);
+        prop_assert_eq!(rp.energy, rs.energy);
+    }
+
+    #[test]
+    fn gaussian_lanes_match_scalar_draws(
+        seed in 0u64..10_000,
+        slot in 0u64..64,
+        position in 0u64..100_000,
+        c0 in 0u64..1u64 << 40,
+        stride in 1u64..1_000,
+    ) {
+        let src = NoiseSource::seeded(seed, NoiseConfig::paper_default());
+        let stream = src.stream(1, slot, position);
+        let counters = [c0, c0 + stride, c0 + 2 * stride, c0 + 3 * stride];
+        let batched = stream.gaussian_at_lanes(counters);
+        for l in 0..LANES {
+            prop_assert_eq!(batched[l].to_bits(), stream.gaussian_at(counters[l]).to_bits());
+        }
+    }
+
+    #[test]
+    fn stream_quad_matches_four_adjacent_streams(
+        seed in 0u64..10_000,
+        slot in 0u64..64,
+        position in 0u64..100_000,
+        c in 0u64..1u64 << 40,
+    ) {
+        let src = NoiseSource::seeded(seed, NoiseConfig::paper_default());
+        let slot_stream = src.slot_stream(1, slot);
+        let quad = slot_stream.quad_at(position);
+        // Dispatcher == scalar fallback, in-process.
+        let (a, b) = quad.gaussian_pair_at(c);
+        let (sa, sb) = quad.gaussian_pair_at_scalar(c);
+        prop_assert_eq!(a, sa);
+        prop_assert_eq!(b, sb);
+        // Batched pair draws == the four underlying per-lane streams.
+        let singles = quad.gaussian_at(c);
+        for l in 0..LANES {
+            let lane = slot_stream.at(position + l as u64);
+            prop_assert_eq!(a[l].to_bits(), lane.gaussian_at(c).to_bits());
+            prop_assert_eq!(b[l].to_bits(), lane.gaussian_at(c + 1).to_bits());
+            prop_assert_eq!(singles[l].to_bits(), lane.gaussian_at(c).to_bits());
+        }
+    }
+
+    #[test]
+    fn key_pair_mixing_dispatch_matches_scalar(
+        k0 in 0u64..u64::MAX,
+        k1 in 0u64..u64::MAX,
+        k2 in 0u64..u64::MAX,
+        k3 in 0u64..u64::MAX,
+        c in 0u64..u64::MAX - 1,
+    ) {
+        let keys = [k0, k1, k2, k3];
+        prop_assert_eq!(mix64_key_pairs(keys, c), mix64_key_pairs_scalar(keys, c));
+    }
+
+    #[test]
+    fn mac_x4_matches_four_mac_indexed(
+        seed in 0u64..1_000,
+        m in 1usize..=9,
+        bits in 1u8..=4,
+        zero_mask in 0u32..1u32 << 12,
+    ) {
+        let weights: Vec<f64> = (0..m)
+            .map(|i| ((seed as f64 + i as f64) * 0.61).sin())
+            .collect();
+        let mapper = WeightMapper::ideal(bits).unwrap();
+        let mut arm = Arm::new(ArmConfig::paper_default()).unwrap();
+        arm.load_weights(&weights, &mapper).unwrap();
+        let snap = arm.snapshot();
+
+        // Element-major ×4 activations with exact zeros sprinkled in so
+        // the zero-skip contract is exercised, plus the same windows in
+        // window-major form for the per-window oracle.
+        let mut act4 = vec![0.0f64; m * LANES];
+        let mut windows = vec![vec![0.0f64; m]; LANES];
+        for i in 0..m {
+            for l in 0..LANES {
+                let v = if zero_mask >> ((i * LANES + l) % 12) & 1 == 1 {
+                    0.0
+                } else {
+                    (((seed + 7) as f64 + (i * LANES + l) as f64) * 0.29).sin().abs()
+                };
+                act4[i * LANES + l] = v;
+                windows[l][i] = v;
+            }
+        }
+
+        let src = NoiseSource::seeded(seed, NoiseConfig::paper_default());
+        let slot_stream = src.slot_stream(1, 3);
+        let position = seed.wrapping_mul(13) % 10_000;
+        let quad = slot_stream.quad_at(position);
+        let (values, energies) = snap.mac_indexed_x4(&act4, m, &quad, 0);
+        for l in 0..LANES {
+            let stream = slot_stream.at(position + l as u64);
+            let (value, energy) = snap.mac_indexed(&windows[l], &stream, 0);
+            prop_assert_eq!(values[l].to_bits(), value.to_bits());
+            prop_assert_eq!(energies[l].to_bits(), energy.to_bits());
+        }
+    }
+}
+
+#[test]
+fn gaussian_lanes_cover_forced_ziggurat_slow_draws() {
+    // Any draw with |g| > ZIG_R came through the Marsaglia tail inside
+    // `ziggurat_slow`, so scanning for outliers yields deterministic
+    // counters that force the cold path. The batched kernel must fall
+    // back per-lane and reproduce them bit-for-bit.
+    let src = NoiseSource::seeded(0xC0FFEE, NoiseConfig::paper_default());
+    let stream = src.stream(1, 0, 0);
+    let tails: Vec<u64> = (0..2_000_000u64)
+        .filter(|&c| stream.gaussian_at(c).abs() > ZIG_R)
+        .take(LANES)
+        .collect();
+    assert_eq!(
+        tails.len(),
+        LANES,
+        "expected ≥ {LANES} tail draws in 2M counters"
+    );
+    let counters = [tails[0], tails[1], tails[2], tails[3]];
+    let batched = stream.gaussian_at_lanes(counters);
+    for l in 0..LANES {
+        let scalar = stream.gaussian_at(counters[l]);
+        assert!(scalar.abs() > ZIG_R);
+        assert_eq!(batched[l].to_bits(), scalar.to_bits());
+    }
+}

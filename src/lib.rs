@@ -68,23 +68,38 @@
 //!   seed, on any thread count. Gaussians come from a 128-layer
 //!   ziggurat: the common case is one SplitMix64 finalisation, one
 //!   table compare and one multiply.
-//! * **Precomputed arm constants** ([`optics::arm::Arm`]). Inter-channel
-//!   crosstalk, waveguide loss, detector full-scale and dwell time
-//!   depend only on the loaded weights and geometry, so
-//!   `Arm::load_weights` folds them into per-ring gains;
-//!   `Arm::mac_indexed` is the fused allocation-free MAC the inner loop
-//!   calls, and `Arm::mac_reference` keeps the pre-optimisation cost
-//!   profile as the benchmark baseline.
-//! * **Flat, row-parallel pass buffers**
+//! * **Precomputed arm constants + the fixed 4-lane fold**
+//!   ([`optics::arm::Arm`]). Inter-channel crosstalk, waveguide loss,
+//!   detector full-scale and dwell time depend only on the loaded
+//!   weights and geometry, so `Arm::load_weights` folds them into
+//!   per-ring gains; `Arm::mac_indexed` is the fused allocation-free
+//!   MAC the inner loop calls, and `Arm::mac_reference` keeps the
+//!   pre-optimisation cost profile as the benchmark baseline. Every
+//!   MAC path accumulates each detector rail into 4 fixed lanes
+//!   reduced through one canonical tree — reduction order is part of
+//!   the wire-level bit-identity guarantee (see the performance notes
+//!   in `optics::arm`). The `simd` cargo feature (default on) enables
+//!   runtime-dispatched AVX2/AVX-512 noise-mixing kernels; outputs are
+//!   bit-identical with the feature off, on unsupported CPUs, with
+//!   `OISA_SIMD_TIER=scalar` pinned, and across mixed-tier sharded
+//!   fleets — the feature only moves wall-clock.
+//! * **Flat, row-parallel pass buffers with streamed weight staging**
 //!   ([`core::OisaAccelerator::convolve_frame`]). Windows gather into a
 //!   stack scratch array, each pass writes one flat `[row][slot][x]`
 //!   buffer whose rows are distributed over worker threads (a
 //!   `std::thread::scope`-backed rayon subset in offline builds), and
 //!   per-row energy partials are reduced in row order so reports are
-//!   reproducible bit-for-bit.
+//!   reproducible bit-for-bit. On multi-pass workloads (more kernels
+//!   than fabric slots) the parallel engine double-buffers staging:
+//!   pass `N + 1` quantises, tunes and snapshots on the calling thread
+//!   while pass `N`'s rows drain through the work-stealing pool
+//!   (`core::scheduler::execute_overlapped`), with tuning energy still
+//!   charged in strict pass order.
 //!
 //! Benchmarks: `cargo bench -p oisa_bench` runs the microbenchmarks
-//! (`arm_mac_indexed_9tap`, `oisa_convolve_frame_128x128_16k`, …);
+//! (`arm_mac_indexed_9tap`, `mac_core_{72,256,1024}_rings`,
+//! `gaussian_at_lanes`, `staging_overlap_32x32_multipass`,
+//! `oisa_convolve_frame_128x128_16k`, …);
 //! `cargo run --release -p oisa_bench --bin perf_json` emits one
 //! machine-readable `BENCH JSON` line comparing the optimised pipeline
 //! against the pre-optimisation reference (≥ 5× on the 128×128,
