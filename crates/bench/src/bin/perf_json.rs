@@ -28,9 +28,12 @@
 //! the coordination cost a multi-host split pays), the TCP transport
 //! runs the same split over real loopback sockets to worker daemons
 //! (`frames_per_sec_backend_tcp` and the `backend_tcp` block — the
-//! socket/handshake overhead on top of the wire codec), and the dense
-//! path times [`matvec_parallel`] against serial [`matvec`] on a
-//! 256-row layer (`matvec_rows_per_sec`).
+//! socket/handshake overhead on top of the wire codec), a
+//! `FleetSupervisor` fleet loses a worker mid-job and self-heals (the
+//! `supervisor_failover_ms` block: wall clock from the injected kill
+//! to the merged job completion, tracked for presence, not
+//! value-gated), and the dense path times [`matvec_parallel`] against
+//! serial [`matvec`] on a 256-row layer (`matvec_rows_per_sec`).
 //!
 //! Flags:
 //!
@@ -47,16 +50,18 @@
 //!   hardware changes — the gate compares wall-clock throughput, not
 //!   machine-neutral ratios.
 
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use oisa_bench::gate::{self, Metric};
 use oisa_core::backend::{
-    ComputeBackend, ShardTransport, ShardedBackend, TcpTransport, TcpTransportConfig, TcpWorker,
+    ComputeBackend, FleetSupervisor, InProcessWorker, ShardTransport, ShardedBackend,
+    SupervisorOptions, TcpTransport, TcpTransportConfig, TcpWorker,
 };
 use oisa_core::mlp::{matvec, matvec_parallel};
 use oisa_core::serving::{ServingConfig, ServingEngine};
-use oisa_core::wire::InferenceJob;
-use oisa_core::{OisaAccelerator, OisaConfig};
+use oisa_core::wire::{self, InferenceJob, WireMessage};
+use oisa_core::{OisaAccelerator, OisaConfig, OisaError};
 use oisa_device::noise::{NoiseConfig, NoiseSource};
 use oisa_nn::conv::Conv2d;
 use oisa_nn::layer::Layer;
@@ -346,6 +351,78 @@ fn main() {
         std::hint::black_box(merged[0].output[0][0]);
     });
 
+    // Supervisor failover: one of two in-process workers dies on its
+    // first shard of the job; the FleetSupervisor quarantines it,
+    // promotes the spare and finishes the *same* `run_job` call.
+    // `supervisor_failover_ms` is the wall clock from the injected kill
+    // to merged job completion — tracked for presence in the document,
+    // not value-gated (it measures recovery latency, not throughput).
+    struct DyingTransport {
+        inner: InProcessWorker,
+        dead: bool,
+        killed_at: Arc<Mutex<Option<Instant>>>,
+    }
+    impl ShardTransport for DyingTransport {
+        fn round_trip(&mut self, message: &[u8]) -> Result<Vec<u8>, OisaError> {
+            if !self.dead && matches!(wire::decode(message), Ok(WireMessage::Shard(_))) {
+                self.dead = true;
+                *self.killed_at.lock().expect("kill clock") = Some(Instant::now());
+            }
+            if self.dead {
+                return Err(OisaError::Transport {
+                    endpoint: "perf-dying-worker".into(),
+                    attempts: 1,
+                    cause: "injected worker death".into(),
+                });
+            }
+            self.inner.round_trip(message)
+        }
+        fn endpoint_label(&self) -> String {
+            "perf-dying-worker".into()
+        }
+    }
+    let killed_at: Arc<Mutex<Option<Instant>>> = Arc::new(Mutex::new(None));
+    let failover_active: Vec<Box<dyn ShardTransport>> = vec![
+        Box::new(InProcessWorker::new(cfg)),
+        Box::new(DyingTransport {
+            inner: InProcessWorker::new(cfg),
+            dead: false,
+            killed_at: Arc::clone(&killed_at),
+        }),
+    ];
+    let failover_spares: Vec<Box<dyn ShardTransport>> = vec![Box::new(InProcessWorker::new(cfg))];
+    let mut failover_fleet = FleetSupervisor::new(
+        cfg,
+        failover_active,
+        failover_spares,
+        SupervisorOptions::default(),
+    )
+    .expect("supervisor construction");
+    let failover_merged = failover_fleet
+        .run_job(&InferenceJob {
+            job_id: 0,
+            k,
+            kernels: banks.clone(),
+            frames: batch_frames.clone(),
+        })
+        .expect("supervised run");
+    let supervisor_failover_ms = killed_at
+        .lock()
+        .expect("kill clock")
+        .expect("the rigged worker must have died mid-job")
+        .elapsed()
+        .as_secs_f64()
+        * 1e3;
+    assert_eq!(
+        failover_merged, looped,
+        "self-healed job must equal the per-frame loop"
+    );
+    assert_eq!(
+        failover_fleet.status().promotions,
+        1,
+        "the spare must have been promoted"
+    );
+
     // Dense path: a 256-row layer over a 1152-wide input (128 chunks
     // per row), parallel snapshot evaluation vs the serial oracle.
     let mv_rows = 256usize;
@@ -527,6 +604,11 @@ fn main() {
             "\"workers\":{tcp_workers},",
             "\"endpoint\":\"loopback\",",
             "\"jobs_run\":{tcp_jobs}}},",
+            "\"supervisor_failover_ms\":{{",
+            "\"workers\":2,",
+            "\"spares\":1,",
+            "\"promotions\":{sup_promotions},",
+            "\"kill_to_merge_ms\":{sup_failover_ms:.3}}},",
             "\"serving\":{{",
             "\"max_batch\":{srv_max_batch},",
             "\"deadline_ms\":{srv_deadline_ms},",
@@ -549,7 +631,8 @@ fn main() {
             "\"bit_identical_batch_vs_frame_loop\":true,",
             "\"bit_identical_serving_vs_frame_loop\":true,",
             "\"bit_identical_backend_shard_vs_frame_loop\":true,",
-            "\"bit_identical_backend_tcp_vs_frame_loop\":true}}"
+            "\"bit_identical_backend_tcp_vs_frame_loop\":true,",
+            "\"bit_identical_supervisor_failover_vs_frame_loop\":true}}"
         ),
         side = side,
         kernels = kernels,
@@ -584,6 +667,8 @@ fn main() {
         shard_jobs = shard_backend.jobs_run(),
         tcp_workers = tcp_workers,
         tcp_jobs = tcp_backend.jobs_run(),
+        sup_promotions = failover_fleet.status().promotions,
+        sup_failover_ms = supervisor_failover_ms,
         srv_max_batch = serving_cfg.max_batch,
         srv_deadline_ms = serving_cfg.deadline.as_millis(),
         srv_queue_depth = serving_cfg.queue_depth,

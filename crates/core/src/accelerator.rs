@@ -146,6 +146,19 @@ impl OisaConfig {
         }
         hash
     }
+
+    /// Re-runs the [`OisaConfigBuilder::build`] validation on an
+    /// existing configuration — the check applied to configs that
+    /// arrive from outside the process (a wire-v3
+    /// [`ConfigPush`](crate::wire::ConfigPush)), so a malformed push
+    /// fails typed instead of deep inside accelerator construction.
+    ///
+    /// # Errors
+    ///
+    /// As [`OisaConfigBuilder::build`].
+    pub fn validated(self) -> std::result::Result<Self, crate::OisaError> {
+        OisaConfigBuilder { config: self }.build()
+    }
 }
 
 /// Validating builder for [`OisaConfig`] — see [`OisaConfig::builder`].

@@ -68,8 +68,10 @@ use crate::wire::{
 };
 use crate::CoreError;
 
+pub mod supervisor;
 pub mod tcp;
 
+pub use supervisor::{FleetStatus, FleetSupervisor, QuarantineEvent, SupervisorOptions};
 pub use tcp::{TcpTransport, TcpTransportConfig, TcpWorker, TcpWorkerHandle, WorkerOptions};
 
 /// Result alias for backend operations.
@@ -274,14 +276,50 @@ pub fn serve_worker_hooked<R: Read, W: Write>(
     writer: &mut W,
     before_shard: &mut dyn FnMut(u64),
 ) -> BackendResult<u64> {
+    serve_worker_configurable(*config, reader, writer, before_shard).map(|o| o.served)
+}
+
+/// What a worker connection did over its lifetime — returned by
+/// [`serve_worker_configurable`] so daemons can log a status line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOutcome {
+    /// Requests answered (shards, pings and config pushes alike).
+    pub served: u64,
+    /// v3 [`Configure`](WireMessage::Configure) pushes applied.
+    pub reconfigured: u64,
+    /// Fingerprint of the config the connection ended under.
+    pub final_fingerprint: u64,
+}
+
+/// The full worker loop, including wire-v3 config push: a
+/// [`WireMessage::Configure`] replaces the connection's working config
+/// (the push was already re-validated during decode) and is answered
+/// with a [`WireMessage::ConfigureAck`] echoing the nonce and carrying
+/// the fingerprint recomputed from the **applied** config. Subsequent
+/// shards and pings run under the pushed physics; the configuration is
+/// connection-local, so a coordinator that reconnects must push again
+/// (which [`TcpTransport`] does automatically when
+/// built with a config push).
+///
+/// # Errors
+///
+/// As [`serve_worker`].
+pub fn serve_worker_configurable<R: Read, W: Write>(
+    initial: OisaConfig,
+    reader: &mut R,
+    writer: &mut W,
+    before_shard: &mut dyn FnMut(u64),
+) -> BackendResult<ServeOutcome> {
+    let mut config = initial;
     let mut served = 0u64;
     let mut shards = 0u64;
+    let mut reconfigured = 0u64;
     while let Some(payload) = wire::read_frame(reader)? {
         let reply = match wire::decode(&payload) {
             Ok(WireMessage::Shard(shard)) => {
                 before_shard(shards);
                 shards += 1;
-                match execute_shard(config, &shard) {
+                match execute_shard(&config, &shard) {
                     Ok(report) => WireMessage::Report(report),
                     Err(e) => WireMessage::Refusal(ShardRefusal {
                         job_id: shard.job_id,
@@ -295,6 +333,14 @@ pub fn serve_worker_hooked<R: Read, W: Write>(
                 nonce: hs.nonce,
                 config_fingerprint: config.fingerprint(),
             }),
+            Ok(WireMessage::Configure(push)) => {
+                config = push.config;
+                reconfigured += 1;
+                WireMessage::ConfigureAck(wire::Handshake {
+                    nonce: push.nonce,
+                    config_fingerprint: config.fingerprint(),
+                })
+            }
             Ok(other) => WireMessage::Refusal(ShardRefusal {
                 job_id: 0,
                 shard_index: 0,
@@ -314,7 +360,11 @@ pub fn serve_worker_hooked<R: Read, W: Write>(
             .map_err(|e| wire::WireError::Io(e.to_string()))?;
         served += 1;
     }
-    Ok(served)
+    Ok(ServeOutcome {
+        served,
+        reconfigured,
+        final_fingerprint: config.fingerprint(),
+    })
 }
 
 /// The machine-readable class a worker-side error travels under.
@@ -332,7 +382,9 @@ fn refusal_code_for(error: &OisaError) -> RefusalCode {
 }
 
 /// Coordinator-side inverse of [`refusal_code_for`]: a worker's typed
-/// "no" becomes the matching [`OisaError`] variant.
+/// "no" becomes the matching [`OisaError`] variant. Codes without a
+/// dedicated variant travel inside [`OisaError::ShardRefused`], which
+/// renders them machine-readably.
 fn refusal_to_error(refusal: ShardRefusal) -> OisaError {
     match refusal.code {
         RefusalCode::FingerprintMismatch {
@@ -342,9 +394,10 @@ fn refusal_to_error(refusal: ShardRefusal) -> OisaError {
             coordinator,
             worker,
         },
-        RefusalCode::Other => OisaError::ShardRefused {
+        code => OisaError::ShardRefused {
             job_id: refusal.job_id,
             shard_index: refusal.shard_index,
+            code,
             reason: refusal.reason,
         },
     }
@@ -358,6 +411,8 @@ fn message_name(message: &WireMessage) -> &'static str {
         WireMessage::Refusal(_) => "ShardRefusal",
         WireMessage::Ping(_) => "Ping",
         WireMessage::Pong(_) => "Pong",
+        WireMessage::Configure(_) => "Configure",
+        WireMessage::ConfigureAck(_) => "ConfigureAck",
     }
 }
 
@@ -377,6 +432,13 @@ pub trait ShardTransport: Send {
     /// [`OisaError`] when the transport breaks (worker death, stream
     /// failure). Protocol-level refusals travel *inside* the reply.
     fn round_trip(&mut self, message: &[u8]) -> BackendResult<Vec<u8>>;
+
+    /// A human-readable name for the worker behind this transport
+    /// (an address for TCP, a marker for in-process) — what the
+    /// supervisor's quarantine log records.
+    fn endpoint_label(&self) -> String {
+        "unnamed-worker".to_string()
+    }
 }
 
 /// An in-process worker: runs [`serve_worker`] over in-memory buffers,
@@ -407,6 +469,10 @@ impl ShardTransport for InProcessWorker {
         let mut cursor = std::io::Cursor::new(reply_stream);
         wire::read_frame(&mut cursor)?
             .ok_or_else(|| OisaError::Backend("in-process worker produced no reply".into()))
+    }
+
+    fn endpoint_label(&self) -> String {
+        "in-process".to_string()
     }
 }
 
@@ -534,56 +600,162 @@ impl ShardedBackend {
         self.jobs_run
     }
 
-    /// Builds the shard messages for `job` without dispatching them —
-    /// split out so tests can inspect the partitioning.
+    /// Removes the worker at `index` from the fleet and hands its
+    /// transport back — the quarantine step of the self-healing ladder
+    /// (see [`FleetSupervisor`]). The fleet
+    /// must keep at least one worker.
+    ///
+    /// # Errors
+    ///
+    /// [`OisaError::Backend`] when `index` is out of range or the
+    /// fleet would become empty.
+    pub fn remove_worker(&mut self, index: usize) -> BackendResult<Box<dyn ShardTransport>> {
+        let fleet = self.workers.len();
+        if fleet <= 1 {
+            return Err(OisaError::Backend(
+                "cannot remove the last worker of a sharded backend".into(),
+            ));
+        }
+        if index >= fleet {
+            return Err(OisaError::Backend(format!(
+                "no worker {index} to remove (fleet has {fleet})"
+            )));
+        }
+        Ok(self.workers.remove(index))
+    }
+
+    /// Appends a worker to the fleet (e.g. a repaired endpoint
+    /// returning to duty).
+    pub fn add_worker(&mut self, transport: Box<dyn ShardTransport>) {
+        self.workers.push(transport);
+    }
+
+    /// The [`ShardTransport::endpoint_label`] of worker `index`, or
+    /// `None` when the index is out of range.
+    #[must_use]
+    pub fn worker_label(&self, index: usize) -> Option<String> {
+        self.workers.get(index).map(|w| w.endpoint_label())
+    }
+
+    /// Sends a [`WireMessage::Ping`] to worker `index` and verifies the
+    /// [`WireMessage::Pong`] echoes `nonce`; returns the fingerprint
+    /// the worker reported. This is the health probe
+    /// [`FleetSupervisor`] runs against idle
+    /// workers between jobs.
+    ///
+    /// # Errors
+    ///
+    /// [`OisaError::Transport`] / transport failures from the round
+    /// trip; [`OisaError::Backend`] for an out-of-range index, a
+    /// non-Pong reply or a stale nonce.
+    pub fn ping_worker(&mut self, index: usize, nonce: u64) -> BackendResult<u64> {
+        let fleet = self.workers.len();
+        let fingerprint = self.fingerprint;
+        let worker = self.workers.get_mut(index).ok_or_else(|| {
+            OisaError::Backend(format!("no worker {index} to ping (fleet has {fleet})"))
+        })?;
+        probe_transport(worker.as_mut(), fingerprint, nonce)
+    }
+
+    /// Pushes this coordinator's full [`OisaConfig`] to worker `index`
+    /// as a wire-v3 [`WireMessage::Configure`] and verifies the
+    /// [`WireMessage::ConfigureAck`]: nonce echoed, applied fingerprint
+    /// equal to the coordinator's. After this, a worker started with
+    /// different physics serves this coordinator's shards instead of
+    /// refusing them.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures from the round trip;
+    /// [`OisaError::FingerprintMismatch`] when the acknowledged
+    /// fingerprint still differs (the worker did not apply the push);
+    /// [`OisaError::Backend`] for an out-of-range index or an
+    /// unexpected reply; [`OisaError::ShardRefused`] when the worker
+    /// refused the push (e.g. a v2 peer that cannot decode it).
+    pub fn push_config_to_worker(&mut self, index: usize, nonce: u64) -> BackendResult<()> {
+        let fleet = self.workers.len();
+        let config = self.config;
+        let worker = self.workers.get_mut(index).ok_or_else(|| {
+            OisaError::Backend(format!(
+                "no worker {index} to configure (fleet has {fleet})"
+            ))
+        })?;
+        push_config_to_transport(worker.as_mut(), &config, nonce)
+    }
+
+    /// The fabric entry state a shard starting at job frame `start`
+    /// must carry (module docs, mechanism 2).
+    fn entry_for(&self, job: &InferenceJob, start: usize) -> FabricEntry {
+        if start == 0 {
+            match &self.last_staged {
+                None => FabricEntry::Cold,
+                Some((k, kernels)) if *k == job.k && *kernels == job.kernels => {
+                    FabricEntry::WarmSelf
+                }
+                Some((k, kernels)) => FabricEntry::Warm {
+                    k: *k,
+                    kernels: kernels.clone(),
+                },
+            }
+        } else {
+            FabricEntry::WarmSelf
+        }
+    }
+
+    /// Builds one shard covering job frames `start..start + len`.
+    /// Shard boundaries never affect results (module docs), so *any*
+    /// contiguous cover of the job's frames merges bit-identically —
+    /// the invariant the re-plan path stands on.
+    fn shard_for_range(
+        &self,
+        job: &InferenceJob,
+        start: usize,
+        len: usize,
+        shard_index: u32,
+        shard_count: u32,
+    ) -> JobShard {
+        JobShard {
+            job_id: job.job_id,
+            shard_index,
+            shard_count,
+            first_frame: start as u64,
+            first_epoch: self.next_epoch + start as u64,
+            config_fingerprint: self.fingerprint,
+            entry: self.entry_for(job, start),
+            k: job.k,
+            kernels: job.kernels.clone(),
+            frames: job.frames[start..start + len].to_vec(),
+        }
+    }
+
+    /// Builds the shard messages of a failure-free job — exactly what
+    /// round one of [`ShardedBackend::run_job_with_recovery`]
+    /// dispatches (same [`ShardedBackend::shard_for_range`], same
+    /// [`split_count`]) — so tests can inspect the partitioning.
+    #[cfg(test)]
     fn plan_shards(&self, job: &InferenceJob) -> Vec<JobShard> {
         let n = job.frames.len();
         let fleet = self.workers.len().min(n).max(1);
-        let base = n / fleet;
-        let extra = n % fleet;
-        let mut shards = Vec::with_capacity(fleet);
+        let splits = split_count(n, fleet);
+        let total = u32::try_from(splits.len()).expect("fleet fits u32");
+        let mut shards = Vec::with_capacity(splits.len());
         let mut start = 0usize;
-        for index in 0..fleet {
-            let len = base + usize::from(index < extra);
-            let range = start..start + len;
-            let entry = if start == 0 {
-                match &self.last_staged {
-                    None => FabricEntry::Cold,
-                    Some((k, kernels)) if *k == job.k && *kernels == job.kernels => {
-                        FabricEntry::WarmSelf
-                    }
-                    Some((k, kernels)) => FabricEntry::Warm {
-                        k: *k,
-                        kernels: kernels.clone(),
-                    },
-                }
-            } else {
-                FabricEntry::WarmSelf
-            };
-            shards.push(JobShard {
-                job_id: job.job_id,
-                shard_index: u32::try_from(index).expect("fleet fits u32"),
-                shard_count: u32::try_from(fleet).expect("fleet fits u32"),
-                first_frame: start as u64,
-                first_epoch: self.next_epoch + start as u64,
-                config_fingerprint: self.fingerprint,
-                entry,
-                k: job.k,
-                kernels: job.kernels.clone(),
-                frames: job.frames[range].to_vec(),
-            });
+        for (index, len) in splits.into_iter().enumerate() {
+            shards.push(self.shard_for_range(
+                job,
+                start,
+                len,
+                u32::try_from(index).expect("fleet fits u32"),
+                total,
+            ));
             start += len;
         }
         shards
     }
-}
 
-impl ComputeBackend for ShardedBackend {
-    fn config(&self) -> &OisaConfig {
-        &self.config
-    }
-
-    fn run_job(&mut self, job: &InferenceJob) -> BackendResult<Vec<ConvolutionReport>> {
+    /// Validation shared by [`ComputeBackend::run_job`] and the
+    /// recovery path.
+    fn validate_job(&self, job: &InferenceJob) -> BackendResult<()> {
         if job.frames.is_empty() {
             return Err(CoreError::InvalidParameter("no frames supplied".into()).into());
         }
@@ -601,13 +773,15 @@ impl ComputeBackend for ShardedBackend {
             ))
             .into());
         }
-        let shards = self.plan_shards(job);
-        let messages: Vec<Vec<u8>> = shards.iter().map(wire::encode_shard).collect();
+        Ok(())
+    }
 
-        // Dispatch every shard concurrently: one OS thread per engaged
-        // worker, each blocking on its transport's round trip. Replies
-        // come back in spawn order, which is frame order.
-        let replies: Vec<BackendResult<Vec<u8>>> = std::thread::scope(|scope| {
+    /// Dispatches `shards` concurrently, shard `i` to worker `i` — one
+    /// OS thread per engaged worker, each blocking on its transport's
+    /// round trip. Replies come back in spawn order.
+    fn dispatch_round(&mut self, shards: &[JobShard]) -> Vec<BackendResult<Vec<u8>>> {
+        let messages: Vec<Vec<u8>> = shards.iter().map(wire::encode_shard).collect();
+        std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .workers
                 .iter_mut()
@@ -622,55 +796,328 @@ impl ComputeBackend for ShardedBackend {
                     })
                 })
                 .collect()
-        });
+        })
+    }
 
-        // Merge in frame order, verifying every echo field so a
-        // misrouted or stale reply cannot silently corrupt the stream.
-        let mut merged = Vec::with_capacity(job.frames.len());
-        for (shard, reply) in shards.iter().zip(replies) {
-            let report = match wire::decode(&reply?)? {
-                WireMessage::Report(report) => report,
-                WireMessage::Refusal(refusal) => return Err(refusal_to_error(refusal)),
-                other => {
-                    return Err(OisaError::Backend(format!(
-                        "worker answered shard {} with a {}",
-                        shard.shard_index,
-                        message_name(&other)
-                    )));
+    /// [`ComputeBackend::run_job`] with a pluggable failure policy —
+    /// the re-plan path of the self-healing fleet.
+    ///
+    /// Execution proceeds in rounds. Each round covers the not yet
+    /// merged frame ranges with one shard per engaged worker and
+    /// dispatches them concurrently. A shard whose transport fails
+    /// ([`OisaError::Transport`]) consults `on_failure(worker_label,
+    /// error)` — the label is the failed worker's
+    /// [`ShardTransport::endpoint_label`]:
+    ///
+    /// * [`Recovery::Promote`] — swap the failed slot for the supplied
+    ///   transport (a spare); the failed range re-runs on the new
+    ///   fleet next round.
+    /// * [`Recovery::Shrink`] — drop the failed worker and re-plan the
+    ///   failed range across the survivors next round.
+    /// * [`Recovery::Abort`] — give up and propagate the error.
+    ///
+    /// Because workers are stateless per shard and shard boundaries
+    /// never affect results, the merged report stream is
+    /// **bit-identical** whatever sequence of failures, promotions and
+    /// re-plans occurred. Non-transport failures (refusals, fingerprint
+    /// mismatches, protocol faults) abort immediately — retrying them
+    /// cannot help. On error, no coordinator state advances, so the
+    /// whole job can be retried.
+    ///
+    /// # Errors
+    ///
+    /// The aborting failure, or [`OisaError::Backend`] when the fleet
+    /// is exhausted while frames remain.
+    pub fn run_job_with_recovery(
+        &mut self,
+        job: &InferenceJob,
+        on_failure: &mut dyn FnMut(&str, &OisaError) -> Recovery,
+    ) -> BackendResult<Vec<ConvolutionReport>> {
+        self.validate_job(job)?;
+        let n = job.frames.len();
+        // Frame ranges not yet merged, kept sorted and disjoint.
+        let mut pending: Vec<(usize, usize)> = vec![(0, n)];
+        let mut collected: Vec<(u64, Vec<ConvolutionReport>)> = Vec::new();
+        let mut shard_seq = 0u32;
+        while !pending.is_empty() {
+            // Cover the pending ranges with at most one shard per
+            // worker: each range gets a worker share proportional to
+            // its length (at least one), and splits contiguously.
+            // Ranges beyond the fleet size wait for the next round.
+            let fleet = self.workers.len();
+            let mut leftover: Vec<(usize, usize)> = Vec::new();
+            let round_ranges: Vec<(usize, usize)> = if pending.len() >= fleet {
+                leftover = pending.split_off(fleet);
+                pending.clone()
+            } else {
+                let mut shares = vec![1usize; pending.len()];
+                let mut left = fleet - pending.len();
+                while left > 0 {
+                    let (widest, _) = shares
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|&(i, &s)| pending[i].1 / s)
+                        .expect("pending is non-empty");
+                    shares[widest] += 1;
+                    left -= 1;
                 }
+                pending
+                    .iter()
+                    .zip(&shares)
+                    .flat_map(|(&(start, len), &share)| {
+                        let mut out = Vec::new();
+                        let mut at = start;
+                        for piece in split_count(len, share.min(len)) {
+                            out.push((at, piece));
+                            at += piece;
+                        }
+                        out
+                    })
+                    .collect()
             };
-            if report.job_id != shard.job_id
-                || report.shard_index != shard.shard_index
-                || report.first_frame != shard.first_frame
-            {
+            let dispatched = round_ranges.len();
+            let shards: Vec<JobShard> = round_ranges
+                .iter()
+                .map(|&(start, len)| {
+                    let shard = self.shard_for_range(
+                        job,
+                        start,
+                        len,
+                        shard_seq,
+                        u32::try_from(dispatched).expect("fleet fits u32"),
+                    );
+                    shard_seq += 1;
+                    shard
+                })
+                .collect();
+            let replies = self.dispatch_round(&shards);
+
+            // Settle the round: successes merge, transport failures
+            // consult the policy and their ranges go back to pending.
+            // Failed slots are handled in descending index order so
+            // removals cannot shift a slot that still needs handling.
+            let mut failures: Vec<(usize, OisaError)> = Vec::new();
+            for (slot, (shard, reply)) in shards.iter().zip(replies).enumerate() {
+                match reply.and_then(|payload| decode_shard_reply(shard, &payload)) {
+                    Ok(report) => collected.push((report.first_frame, report.reports)),
+                    Err(e @ OisaError::Transport { .. }) => failures.push((slot, e)),
+                    Err(other) => return Err(other),
+                }
+            }
+            let mut next_pending = leftover;
+            for (slot, error) in failures.into_iter().rev() {
+                let (start, len) = round_ranges[slot];
+                let label = self.workers[slot].endpoint_label();
+                match on_failure(&label, &error) {
+                    Recovery::Promote(spare) => {
+                        self.workers[slot] = spare;
+                    }
+                    Recovery::Shrink => {
+                        if self.workers.len() <= 1 {
+                            return Err(OisaError::Backend(format!(
+                                "fleet exhausted with {len} frame(s) unexecuted: {error}"
+                            )));
+                        }
+                        self.workers.remove(slot);
+                    }
+                    Recovery::Abort => return Err(error),
+                }
+                next_pending.push((start, len));
+            }
+            next_pending.sort_unstable();
+            pending = next_pending;
+        }
+
+        // Merge in frame order and verify the cover is exact.
+        collected.sort_by_key(|(first, _)| *first);
+        let mut merged = Vec::with_capacity(n);
+        let mut expected_next = 0u64;
+        for (first, reports) in collected {
+            if first != expected_next {
                 return Err(OisaError::Backend(format!(
-                    "shard reply mismatch: expected job {} shard {} first_frame {}, \
-                     got job {} shard {} first_frame {}",
-                    shard.job_id,
-                    shard.shard_index,
-                    shard.first_frame,
-                    report.job_id,
-                    report.shard_index,
-                    report.first_frame
+                    "re-planned shards left a gap: expected frame {expected_next}, got {first}"
                 )));
             }
-            if report.reports.len() != shard.frames.len() {
-                return Err(OisaError::Backend(format!(
-                    "shard {} returned {} reports for {} frames",
-                    shard.shard_index,
-                    report.reports.len(),
-                    shard.frames.len()
-                )));
-            }
-            merged.extend(report.reports);
+            expected_next += reports.len() as u64;
+            merged.extend(reports);
+        }
+        if merged.len() != n {
+            return Err(OisaError::Backend(format!(
+                "re-planned shards covered {} of {n} frames",
+                merged.len()
+            )));
         }
 
         // Only now does coordinator state advance: a failed job above
         // consumed nothing, so a retry re-executes identically.
-        self.next_epoch += job.frames.len() as u64;
+        self.next_epoch += n as u64;
         self.last_staged = Some((job.k, job.kernels.clone()));
         self.jobs_run += 1;
         Ok(merged)
+    }
+}
+
+/// How [`ShardedBackend::run_job_with_recovery`] reacts to a worker
+/// whose transport failed.
+pub enum Recovery {
+    /// Swap the failed slot for this transport (a promoted spare) and
+    /// re-run the failed range on the repaired fleet.
+    Promote(Box<dyn ShardTransport>),
+    /// Drop the failed worker and re-plan the failed range across the
+    /// surviving workers.
+    Shrink,
+    /// Propagate the failure to the caller.
+    Abort,
+}
+
+impl std::fmt::Debug for Recovery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Promote(_) => f.write_str("Promote(..)"),
+            Self::Shrink => f.write_str("Shrink"),
+            Self::Abort => f.write_str("Abort"),
+        }
+    }
+}
+
+/// Splits `n` items into `parts` contiguous counts, largest first —
+/// the partition both the initial plan and every re-plan use.
+fn split_count(n: usize, parts: usize) -> Vec<usize> {
+    let parts = parts.min(n).max(1);
+    let base = n / parts;
+    let extra = n % parts;
+    (0..parts).map(|i| base + usize::from(i < extra)).collect()
+}
+
+/// The [`WireMessage::Ping`]/[`WireMessage::Pong`] liveness probe over
+/// any [`ShardTransport`]: verifies the nonce echo and returns the
+/// fingerprint the worker reported. [`ShardedBackend::ping_worker`]
+/// and the supervisor's spare-admission check both run through here.
+///
+/// # Errors
+///
+/// Transport failures from the round trip; [`OisaError::Backend`] for
+/// a non-Pong reply or a stale nonce.
+pub(crate) fn probe_transport(
+    worker: &mut dyn ShardTransport,
+    fingerprint: u64,
+    nonce: u64,
+) -> BackendResult<u64> {
+    let ping = wire::encode(&WireMessage::Ping(wire::Handshake {
+        nonce,
+        config_fingerprint: fingerprint,
+    }));
+    let reply = worker.round_trip(&ping)?;
+    match wire::decode(&reply)? {
+        WireMessage::Pong(pong) if pong.nonce == nonce => Ok(pong.config_fingerprint),
+        WireMessage::Pong(pong) => Err(OisaError::Backend(format!(
+            "worker answered the ping with a stale nonce ({} ≠ {nonce})",
+            pong.nonce
+        ))),
+        other => Err(OisaError::Backend(format!(
+            "worker answered the ping with a {}",
+            message_name(&other)
+        ))),
+    }
+}
+
+/// The wire-v3 [`WireMessage::Configure`] push over any
+/// [`ShardTransport`]: sends `config` in full and verifies the
+/// [`WireMessage::ConfigureAck`] echoes `nonce` and acknowledges the
+/// fingerprint of the *applied* config.
+///
+/// # Errors
+///
+/// Transport failures from the round trip;
+/// [`OisaError::FingerprintMismatch`] when the acknowledged
+/// fingerprint differs (the worker did not apply the push);
+/// [`OisaError::ShardRefused`] when the worker refused it (e.g. a v2
+/// peer that cannot decode a Configure); [`OisaError::Backend`] for
+/// any other reply.
+pub(crate) fn push_config_to_transport(
+    worker: &mut dyn ShardTransport,
+    config: &OisaConfig,
+    nonce: u64,
+) -> BackendResult<()> {
+    let fingerprint = config.fingerprint();
+    let push = wire::encode(&WireMessage::Configure(wire::ConfigPush {
+        nonce,
+        config: *config,
+    }));
+    let reply = worker.round_trip(&push)?;
+    match wire::decode(&reply)? {
+        WireMessage::ConfigureAck(ack) if ack.nonce != nonce => Err(OisaError::Backend(format!(
+            "worker acknowledged the config push with a stale nonce ({} ≠ {nonce})",
+            ack.nonce
+        ))),
+        WireMessage::ConfigureAck(ack) if ack.config_fingerprint != fingerprint => {
+            Err(OisaError::FingerprintMismatch {
+                coordinator: fingerprint,
+                worker: ack.config_fingerprint,
+            })
+        }
+        WireMessage::ConfigureAck(_) => Ok(()),
+        WireMessage::Refusal(refusal) => Err(refusal_to_error(refusal)),
+        other => Err(OisaError::Backend(format!(
+            "worker answered the config push with a {}",
+            message_name(&other)
+        ))),
+    }
+}
+
+/// Verifies one shard reply end to end: decodes it, maps refusals to
+/// typed errors and checks every echo field, so a misrouted or stale
+/// reply cannot silently corrupt the merged stream.
+fn decode_shard_reply(shard: &JobShard, payload: &[u8]) -> BackendResult<ShardReport> {
+    let report = match wire::decode(payload)? {
+        WireMessage::Report(report) => report,
+        WireMessage::Refusal(refusal) => return Err(refusal_to_error(refusal)),
+        other => {
+            return Err(OisaError::Backend(format!(
+                "worker answered shard {} with a {}",
+                shard.shard_index,
+                message_name(&other)
+            )));
+        }
+    };
+    if report.job_id != shard.job_id
+        || report.shard_index != shard.shard_index
+        || report.first_frame != shard.first_frame
+    {
+        return Err(OisaError::Backend(format!(
+            "shard reply mismatch: expected job {} shard {} first_frame {}, \
+             got job {} shard {} first_frame {}",
+            shard.job_id,
+            shard.shard_index,
+            shard.first_frame,
+            report.job_id,
+            report.shard_index,
+            report.first_frame
+        )));
+    }
+    if report.reports.len() != shard.frames.len() {
+        return Err(OisaError::Backend(format!(
+            "shard {} returned {} reports for {} frames",
+            shard.shard_index,
+            report.reports.len(),
+            shard.frames.len()
+        )));
+    }
+    Ok(report)
+}
+
+impl ComputeBackend for ShardedBackend {
+    fn config(&self) -> &OisaConfig {
+        &self.config
+    }
+
+    /// [`ShardedBackend::run_job_with_recovery`] under the
+    /// no-recovery policy: the first transport failure aborts the job
+    /// (the caller repairs the fleet and retries). Both paths share
+    /// one planner, dispatcher and merge, so their results are
+    /// bit-identical by construction.
+    fn run_job(&mut self, job: &InferenceJob) -> BackendResult<Vec<ConvolutionReport>> {
+        self.run_job_with_recovery(job, &mut |_label, _error| Recovery::Abort)
     }
 }
 

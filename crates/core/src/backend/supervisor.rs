@@ -1,0 +1,681 @@
+//! [`FleetSupervisor`] — hands-off operation of a sharded worker
+//! fleet: health checks, automatic failover, and mid-job re-planning.
+//!
+//! The pre-supervisor deployment story required an operator in the
+//! loop: a dead worker surfaced as [`OisaError::Transport`], a human
+//! called
+//! [`ShardedBackend::replace_worker`](super::ShardedBackend::replace_worker),
+//! and the job was retried. The supervisor closes that loop. It owns
+//! N **active** workers (inside a [`ShardedBackend`]) plus M **spare**
+//! transports, and climbs an escalation ladder on every failure:
+//!
+//! 1. **Quarantine** — the failed endpoint is recorded (label + error)
+//!    and never dialed again by this supervisor.
+//! 2. **Promote** — a spare is admission-checked (liveness ping, or a
+//!    wire-v3 config push when
+//!    [`SupervisorOptions::push_config_to_spares`] is set) and swapped
+//!    into the failed slot; the failed shard re-runs on it.
+//! 3. **Re-plan** — with no admissible spare left, the failed shard's
+//!    frame range is re-split across the surviving workers and the
+//!    *current job* continues on the shrunken fleet.
+//!
+//! The ladder never changes results: workers are stateless per shard
+//! and shard boundaries never affect the merged stream (see the
+//! [backend module docs](super)), so a job that survives any sequence
+//! of failovers and re-plans merges **bit-identical** to a
+//! single-machine sequential run — the property the supervisor tests
+//! pin.
+//!
+//! Health checks run between jobs, not on a background thread:
+//! transports are `Send` but the supervisor is driven from one
+//! coordinator thread, so [`FleetSupervisor::run_job`] probes idle
+//! workers whenever [`SupervisorOptions::health_interval`] has
+//! elapsed, and [`FleetSupervisor::health_check_now`] forces a sweep.
+//! A hung worker (accepting but never replying) fails its probe within
+//! the transport's bounded `attempts × io_timeout` budget and is
+//! quarantined like a dead one.
+
+use std::time::{Duration, Instant};
+
+use crate::accelerator::{ConvolutionReport, OisaConfig};
+use crate::error::OisaError;
+use crate::wire::InferenceJob;
+
+use super::{
+    probe_transport, push_config_to_transport, BackendResult, ComputeBackend, Recovery,
+    ShardTransport, ShardedBackend,
+};
+
+/// Operating knobs of a [`FleetSupervisor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorOptions {
+    /// Probe idle workers when at least this much time has passed
+    /// since the last sweep ([`FleetSupervisor::run_job`] checks
+    /// lazily before dispatching). `None` disables interval checks;
+    /// [`FleetSupervisor::health_check_now`] still works.
+    pub health_interval: Option<Duration>,
+    /// Admit spares (and newly supervised workers) with a wire-v3
+    /// config push instead of a fingerprint-checking ping — required
+    /// for heterogeneous fleets whose spares were started with
+    /// different physics.
+    pub push_config_to_spares: bool,
+}
+
+impl Default for SupervisorOptions {
+    fn default() -> Self {
+        Self {
+            health_interval: Some(Duration::from_secs(10)),
+            push_config_to_spares: false,
+        }
+    }
+}
+
+/// One quarantined endpoint: who failed and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineEvent {
+    /// The failed worker's [`ShardTransport::endpoint_label`].
+    pub label: String,
+    /// The rendered failure that triggered the quarantine.
+    pub error: String,
+}
+
+/// A point-in-time summary of the supervised fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetStatus {
+    /// Workers currently serving shards.
+    pub active: usize,
+    /// Spares still available for promotion.
+    pub spares: usize,
+    /// Endpoints quarantined so far.
+    pub quarantined: usize,
+    /// Spares promoted into active duty so far.
+    pub promotions: u64,
+    /// Mid-job re-plans (fleet shrinks) so far.
+    pub replans: u64,
+}
+
+/// Self-healing front end over a [`ShardedBackend`] (module docs). It
+/// is itself a [`ComputeBackend`], so a
+/// [`ServingEngine`](crate::serving::ServingEngine) can run on top of
+/// a supervised fleet unchanged.
+pub struct FleetSupervisor {
+    backend: ShardedBackend,
+    spares: Vec<Box<dyn ShardTransport>>,
+    options: SupervisorOptions,
+    quarantined: Vec<QuarantineEvent>,
+    promotions: u64,
+    replans: u64,
+    last_sweep: Option<Instant>,
+    nonce: u64,
+}
+
+impl std::fmt::Debug for FleetSupervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetSupervisor")
+            .field("active", &self.backend.worker_count())
+            .field("spares", &self.spares.len())
+            .field("quarantined", &self.quarantined)
+            .field("promotions", &self.promotions)
+            .field("replans", &self.replans)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FleetSupervisor {
+    /// Supervises `active` workers with `spares` on the bench, all
+    /// executing under `config`. With
+    /// [`SupervisorOptions::push_config_to_spares`] set, every active
+    /// worker receives a wire-v3 config push up front, so a
+    /// heterogeneous fleet converges at admission instead of refusing
+    /// the first shard.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedBackend::new`] (empty fleet, invalid config);
+    /// admission-push failures from any active worker.
+    pub fn new(
+        config: OisaConfig,
+        active: Vec<Box<dyn ShardTransport>>,
+        spares: Vec<Box<dyn ShardTransport>>,
+        options: SupervisorOptions,
+    ) -> BackendResult<Self> {
+        let backend = ShardedBackend::new(config, active)?;
+        let mut supervisor = Self {
+            backend,
+            spares,
+            options,
+            quarantined: Vec::new(),
+            promotions: 0,
+            replans: 0,
+            last_sweep: None,
+            nonce: 0,
+        };
+        if options.push_config_to_spares {
+            for index in 0..supervisor.backend.worker_count() {
+                let nonce = supervisor.next_nonce();
+                supervisor.backend.push_config_to_worker(index, nonce)?;
+            }
+        }
+        Ok(supervisor)
+    }
+
+    fn next_nonce(&mut self) -> u64 {
+        self.nonce = self.nonce.wrapping_add(1);
+        self.nonce
+    }
+
+    /// The current fleet shape and recovery counters.
+    #[must_use]
+    pub fn status(&self) -> FleetStatus {
+        FleetStatus {
+            active: self.backend.worker_count(),
+            spares: self.spares.len(),
+            quarantined: self.quarantined.len(),
+            promotions: self.promotions,
+            replans: self.replans,
+        }
+    }
+
+    /// Every quarantine recorded so far, oldest first.
+    #[must_use]
+    pub fn quarantine_log(&self) -> &[QuarantineEvent] {
+        &self.quarantined
+    }
+
+    /// Read access to the supervised backend (fleet shape, job
+    /// counters).
+    #[must_use]
+    pub fn backend(&self) -> &ShardedBackend {
+        &self.backend
+    }
+
+    /// Pushes the supervisor's config to every active worker — the
+    /// between-jobs physics-update path. Workers rebuild their
+    /// accelerators; the next job runs under the new physics on every
+    /// node.
+    ///
+    /// # Errors
+    ///
+    /// The first failing push (transport, refusal, or a worker that
+    /// acknowledged a different fingerprint).
+    pub fn push_config_to_fleet(&mut self) -> BackendResult<()> {
+        for index in 0..self.backend.worker_count() {
+            let nonce = self.next_nonce();
+            self.backend.push_config_to_worker(index, nonce)?;
+        }
+        Ok(())
+    }
+
+    /// Probes every active worker now (liveness ping + fingerprint
+    /// echo), quarantining failures and back-filling from the spare
+    /// bench. Returns how many workers failed this sweep.
+    ///
+    /// A probe failure is handled, not propagated: the worker is
+    /// quarantined and (if possible) replaced. The only error case is
+    /// a fleet reduced to zero healthy workers.
+    ///
+    /// # Errors
+    ///
+    /// [`OisaError::Backend`] when every worker *and* every spare is
+    /// gone — an empty fleet cannot serve.
+    pub fn health_check_now(&mut self) -> BackendResult<usize> {
+        self.last_sweep = Some(Instant::now());
+        let mut failed = 0usize;
+        // Descending order: removals never shift a slot still waiting
+        // to be probed.
+        for index in (0..self.backend.worker_count()).rev() {
+            let nonce = self.next_nonce();
+            let outcome = self.backend.ping_worker(index, nonce);
+            let error = match outcome {
+                Ok(_fingerprint) => continue,
+                Err(e) => e,
+            };
+            failed += 1;
+            self.quarantine(index, &error);
+            match self.promote_spare() {
+                Some(spare) => {
+                    self.promotions += 1;
+                    self.backend
+                        .replace_worker(index, spare)
+                        .expect("probed index is in range");
+                }
+                None if self.backend.worker_count() > 1 => {
+                    self.backend
+                        .remove_worker(index)
+                        .expect("fleet has more than one worker");
+                }
+                None => {
+                    return Err(OisaError::Backend(format!(
+                        "fleet exhausted: last worker failed its health check ({error})"
+                    )));
+                }
+            }
+        }
+        Ok(failed)
+    }
+
+    /// Records a quarantine for the worker currently at `index`.
+    fn quarantine(&mut self, index: usize, error: &OisaError) {
+        let label = self
+            .backend
+            .worker_label(index)
+            .unwrap_or_else(|| format!("worker-{index}"));
+        self.quarantined.push(QuarantineEvent {
+            label,
+            error: error.to_string(),
+        });
+    }
+
+    /// Takes the next admissible spare off the bench: each candidate
+    /// is liveness-probed (or config-pushed, per the options); dead
+    /// spares are quarantined too and the search continues.
+    fn promote_spare(&mut self) -> Option<Box<dyn ShardTransport>> {
+        while let Some(mut spare) = self.spares.pop() {
+            let nonce = self.next_nonce();
+            let admission = if self.options.push_config_to_spares {
+                push_config_to_transport(spare.as_mut(), self.backend.config(), nonce)
+            } else {
+                probe_transport(spare.as_mut(), self.backend.config().fingerprint(), nonce)
+                    .map(|_fingerprint| ())
+            };
+            match admission {
+                Ok(()) => return Some(spare),
+                Err(error) => self.quarantined.push(QuarantineEvent {
+                    label: spare.endpoint_label(),
+                    error: format!("spare failed admission: {error}"),
+                }),
+            }
+        }
+        None
+    }
+
+    /// Runs the interval sweep if it is due.
+    fn maybe_sweep(&mut self) -> BackendResult<()> {
+        let Some(interval) = self.options.health_interval else {
+            return Ok(());
+        };
+        let due = self.last_sweep.is_none_or(|at| at.elapsed() >= interval);
+        if due {
+            self.health_check_now()?;
+        }
+        Ok(())
+    }
+}
+
+impl ComputeBackend for FleetSupervisor {
+    fn config(&self) -> &OisaConfig {
+        self.backend.config()
+    }
+
+    /// [`ShardedBackend::run_job`] behind the escalation ladder: a
+    /// worker lost mid-job is quarantined and its shard re-runs on a
+    /// promoted spare, or — spares exhausted — its frame range is
+    /// re-planned across the survivors. Either way the merged report
+    /// stream is bit-identical to the no-failure run.
+    fn run_job(&mut self, job: &InferenceJob) -> BackendResult<Vec<ConvolutionReport>> {
+        self.maybe_sweep()?;
+        // Split borrows: the recovery closure may not touch
+        // `self.backend` (mutably borrowed by the call), so promotion
+        // candidates and bookkeeping live in locals.
+        let config_fingerprint = self.backend.config().fingerprint();
+        let push_config = self
+            .options
+            .push_config_to_spares
+            .then(|| *self.backend.config());
+        let spares = &mut self.spares;
+        let quarantined = &mut self.quarantined;
+        let promotions = &mut self.promotions;
+        let replans = &mut self.replans;
+        let nonce = &mut self.nonce;
+        let backend = &mut self.backend;
+        backend.run_job_with_recovery(job, &mut |label, error| {
+            quarantined.push(QuarantineEvent {
+                label: label.to_string(),
+                error: error.to_string(),
+            });
+            while let Some(mut spare) = spares.pop() {
+                *nonce = nonce.wrapping_add(1);
+                let admission = match &push_config {
+                    Some(config) => push_config_to_transport(spare.as_mut(), config, *nonce),
+                    None => probe_transport(spare.as_mut(), config_fingerprint, *nonce)
+                        .map(|_fingerprint| ()),
+                };
+                match admission {
+                    Ok(()) => {
+                        *promotions += 1;
+                        return Recovery::Promote(spare);
+                    }
+                    Err(admission_error) => quarantined.push(QuarantineEvent {
+                        label: spare.endpoint_label(),
+                        error: format!("spare failed admission: {admission_error}"),
+                    }),
+                }
+            }
+            *replans += 1;
+            Recovery::Shrink
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::tcp::{TcpTransport, TcpTransportConfig, TcpWorker};
+    use crate::backend::{InProcessWorker, LocalBackend};
+    use crate::wire::{self, WireMessage};
+    use oisa_device::noise::NoiseConfig;
+    use oisa_sensor::frame::Frame;
+
+    fn cfg(seed: u64) -> OisaConfig {
+        let mut cfg = OisaConfig::small_test();
+        cfg.noise = NoiseConfig::paper_default();
+        cfg.seed = seed;
+        cfg
+    }
+
+    fn frames(count: usize) -> Vec<Frame> {
+        (0..count)
+            .map(|f| {
+                let data: Vec<f64> = (0..256)
+                    .map(|i| ((i * (f + 5)) % 23) as f64 / 23.0)
+                    .collect();
+                Frame::new(16, 16, data).unwrap()
+            })
+            .collect()
+    }
+
+    fn job(frames_n: usize) -> InferenceJob {
+        InferenceJob {
+            job_id: 77,
+            k: 3,
+            kernels: vec![vec![0.5f32; 9], vec![-0.125f32; 9]],
+            frames: frames(frames_n),
+        }
+    }
+
+    /// A worker that serves correctly until it has accepted
+    /// `shards_before_death` shards, then dies and stays dead — every
+    /// later round trip (shards *and* pings) fails like a crashed
+    /// process would.
+    struct DoomedWorker {
+        inner: InProcessWorker,
+        shards_before_death: u64,
+        served: u64,
+        dead: bool,
+        label: String,
+    }
+
+    impl DoomedWorker {
+        fn new(config: OisaConfig, shards_before_death: u64, label: &str) -> Self {
+            Self {
+                inner: InProcessWorker::new(config),
+                shards_before_death,
+                served: 0,
+                dead: false,
+                label: label.to_string(),
+            }
+        }
+    }
+
+    impl ShardTransport for DoomedWorker {
+        fn round_trip(&mut self, message: &[u8]) -> BackendResult<Vec<u8>> {
+            if !self.dead && matches!(wire::decode(message), Ok(WireMessage::Shard(_))) {
+                if self.served >= self.shards_before_death {
+                    self.dead = true;
+                } else {
+                    self.served += 1;
+                }
+            }
+            if self.dead {
+                return Err(OisaError::Transport {
+                    endpoint: self.label.clone(),
+                    attempts: 1,
+                    cause: "injected worker death".into(),
+                });
+            }
+            self.inner.round_trip(message)
+        }
+
+        fn endpoint_label(&self) -> String {
+            self.label.clone()
+        }
+    }
+
+    fn oracle(config: OisaConfig, the_job: &InferenceJob) -> Vec<ConvolutionReport> {
+        let mut local = LocalBackend::new(config).unwrap();
+        local.run_job(the_job).unwrap()
+    }
+
+    #[test]
+    fn worker_death_mid_job_promotes_a_spare_bit_identically() {
+        let config = cfg(40);
+        let active: Vec<Box<dyn ShardTransport>> = vec![
+            Box::new(InProcessWorker::new(config)),
+            Box::new(DoomedWorker::new(config, 0, "doomed-1")),
+            Box::new(InProcessWorker::new(config)),
+        ];
+        let spares: Vec<Box<dyn ShardTransport>> = vec![Box::new(InProcessWorker::new(config))];
+        let mut supervisor =
+            FleetSupervisor::new(config, active, spares, SupervisorOptions::default()).unwrap();
+        let the_job = job(9);
+        let reports = supervisor.run_job(&the_job).unwrap();
+        assert_eq!(
+            reports,
+            oracle(config, &the_job),
+            "failover must not change results"
+        );
+        let status = supervisor.status();
+        assert_eq!(status.promotions, 1, "{status:?}");
+        assert_eq!(status.replans, 0, "{status:?}");
+        assert_eq!(status.active, 3, "spare took the dead slot: {status:?}");
+        assert_eq!(status.spares, 0, "{status:?}");
+        assert_eq!(supervisor.quarantine_log().len(), 1);
+        assert_eq!(supervisor.quarantine_log()[0].label, "doomed-1");
+    }
+
+    #[test]
+    fn spare_exhaustion_replans_across_survivors_bit_identically() {
+        let config = cfg(41);
+        let active: Vec<Box<dyn ShardTransport>> = vec![
+            Box::new(InProcessWorker::new(config)),
+            Box::new(DoomedWorker::new(config, 0, "doomed-a")),
+            Box::new(DoomedWorker::new(config, 0, "doomed-b")),
+        ];
+        let mut supervisor =
+            FleetSupervisor::new(config, active, Vec::new(), SupervisorOptions::default()).unwrap();
+        let the_job = job(11);
+        let reports = supervisor.run_job(&the_job).unwrap();
+        assert_eq!(
+            reports,
+            oracle(config, &the_job),
+            "re-plan must not change results"
+        );
+        let status = supervisor.status();
+        assert_eq!(status.promotions, 0, "{status:?}");
+        assert_eq!(status.replans, 2, "{status:?}");
+        assert_eq!(status.active, 1, "two of three quarantined: {status:?}");
+        assert_eq!(status.quarantined, 2, "{status:?}");
+    }
+
+    #[test]
+    fn promotion_then_replan_when_the_spare_dies_too() {
+        let config = cfg(42);
+        let active: Vec<Box<dyn ShardTransport>> = vec![
+            Box::new(InProcessWorker::new(config)),
+            Box::new(DoomedWorker::new(config, 0, "doomed-active")),
+        ];
+        // The spare passes admission (pings fine) but dies on its
+        // first shard: the ladder must climb promote → re-plan.
+        let spares: Vec<Box<dyn ShardTransport>> =
+            vec![Box::new(DoomedWorker::new(config, 0, "doomed-spare"))];
+        let mut supervisor =
+            FleetSupervisor::new(config, active, spares, SupervisorOptions::default()).unwrap();
+        let the_job = job(6);
+        let reports = supervisor.run_job(&the_job).unwrap();
+        assert_eq!(reports, oracle(config, &the_job));
+        let status = supervisor.status();
+        assert_eq!(status.promotions, 1, "{status:?}");
+        assert_eq!(status.replans, 1, "{status:?}");
+        assert_eq!(status.active, 1, "{status:?}");
+        assert_eq!(status.quarantined, 2, "{status:?}");
+    }
+
+    #[test]
+    fn losing_every_worker_is_a_typed_error_and_a_retry_succeeds() {
+        let config = cfg(43);
+        let active: Vec<Box<dyn ShardTransport>> = vec![
+            Box::new(DoomedWorker::new(config, 0, "doomed-a")),
+            Box::new(DoomedWorker::new(config, 0, "doomed-b")),
+        ];
+        let mut supervisor =
+            FleetSupervisor::new(config, active, Vec::new(), SupervisorOptions::default()).unwrap();
+        let the_job = job(4);
+        let err = supervisor.run_job(&the_job).unwrap_err();
+        assert!(
+            matches!(err, OisaError::Backend(ref what) if what.contains("fleet exhausted")),
+            "{err}"
+        );
+        // No state advanced on failure; a repaired fleet retries the
+        // job bit-identically.
+        assert_eq!(supervisor.backend().jobs_run(), 0);
+    }
+
+    #[test]
+    fn health_check_quarantines_a_hung_tcp_worker_within_a_time_bound() {
+        let config = cfg(44);
+        let live = TcpWorker::bind(config, "127.0.0.1:0")
+            .unwrap()
+            .spawn()
+            .unwrap();
+        // Accepts connections, never replies: a hung worker.
+        let hung = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let hung_addr = hung.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let mut held = Vec::new();
+            while let Ok((stream, _)) = hung.accept() {
+                held.push(stream);
+            }
+        });
+        let options = TcpTransportConfig {
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Some(Duration::from_millis(200)),
+            attempts: 2,
+            backoff: Duration::from_millis(5),
+            handshake: false, // the health probe itself must find the hang
+        };
+        let active: Vec<Box<dyn ShardTransport>> = vec![
+            Box::new(
+                TcpTransport::connect(live.endpoint(), config.fingerprint(), options).unwrap(),
+            ),
+            Box::new(TcpTransport::deferred(
+                hung_addr.clone(),
+                config.fingerprint(),
+                options,
+            )),
+        ];
+        let mut supervisor =
+            FleetSupervisor::new(config, active, Vec::new(), SupervisorOptions::default()).unwrap();
+        let started = std::time::Instant::now();
+        let failed = supervisor.health_check_now().unwrap();
+        let elapsed = started.elapsed();
+        assert_eq!(failed, 1, "exactly the hung worker fails");
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "quarantine took {elapsed:?}, probe is not bounded"
+        );
+        let status = supervisor.status();
+        assert_eq!(status.active, 1, "{status:?}");
+        assert_eq!(status.quarantined, 1, "{status:?}");
+        assert!(
+            supervisor.quarantine_log()[0].label.contains(&hung_addr),
+            "{:?}",
+            supervisor.quarantine_log()
+        );
+    }
+
+    #[test]
+    fn config_push_admits_a_mismatched_tcp_spare_bit_identically() {
+        let coordinator_cfg = cfg(45);
+        let spare_cfg = cfg(46); // different physics on the spare daemon
+        assert_ne!(coordinator_cfg.fingerprint(), spare_cfg.fingerprint());
+        let spare_daemon = TcpWorker::bind(spare_cfg, "127.0.0.1:0")
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let options = TcpTransportConfig {
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Some(Duration::from_secs(10)),
+            attempts: 2,
+            backoff: Duration::from_millis(5),
+            handshake: false, // admission happens via the supervisor's push
+        };
+        let active: Vec<Box<dyn ShardTransport>> = vec![
+            Box::new(InProcessWorker::new(coordinator_cfg)),
+            Box::new(DoomedWorker::new(coordinator_cfg, 0, "doomed")),
+        ];
+        let spares: Vec<Box<dyn ShardTransport>> = vec![Box::new(TcpTransport::deferred(
+            spare_daemon.endpoint(),
+            coordinator_cfg.fingerprint(),
+            options,
+        ))];
+        let mut supervisor = FleetSupervisor::new(
+            coordinator_cfg,
+            active,
+            spares,
+            SupervisorOptions {
+                push_config_to_spares: true,
+                ..SupervisorOptions::default()
+            },
+        )
+        .unwrap();
+        let the_job = job(6);
+        let reports = supervisor.run_job(&the_job).unwrap();
+        assert_eq!(
+            reports,
+            oracle(coordinator_cfg, &the_job),
+            "a config-pushed spare must serve the coordinator's physics"
+        );
+        let status = supervisor.status();
+        assert_eq!(status.promotions, 1, "{status:?}");
+        assert_eq!(status.replans, 0, "{status:?}");
+    }
+
+    #[test]
+    fn push_config_to_fleet_reaches_every_active_worker() {
+        let config = cfg(47);
+        let daemons: Vec<_> = (0..2)
+            .map(|_| {
+                TcpWorker::bind(cfg(99), "127.0.0.1:0")
+                    .unwrap()
+                    .spawn()
+                    .unwrap()
+            })
+            .collect();
+        let options = TcpTransportConfig {
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Some(Duration::from_secs(10)),
+            attempts: 2,
+            backoff: Duration::from_millis(5),
+            handshake: false,
+        };
+        let active: Vec<Box<dyn ShardTransport>> = daemons
+            .iter()
+            .map(|d| {
+                Box::new(TcpTransport::deferred(
+                    d.endpoint(),
+                    config.fingerprint(),
+                    options,
+                )) as Box<dyn ShardTransport>
+            })
+            .collect();
+        let mut supervisor =
+            FleetSupervisor::new(config, active, Vec::new(), SupervisorOptions::default()).unwrap();
+        // Both daemons run different physics; the between-jobs push
+        // converges them, after which a job serves with parity.
+        supervisor.push_config_to_fleet().unwrap();
+        let the_job = job(4);
+        let reports = supervisor.run_job(&the_job).unwrap();
+        assert_eq!(reports, oracle(config, &the_job));
+        assert_eq!(supervisor.status().quarantined, 0);
+    }
+}

@@ -10,17 +10,29 @@
 //!   connection. Connects with a timeout, performs a
 //!   [`wire::Handshake`] (nonce echo + config-fingerprint check, so a
 //!   mis-deployed fleet fails at connect time), and retries broken
-//!   round trips by reconnecting with exponential backoff and
-//!   **resending the shard** — safe because workers are stateless per
-//!   shard, so re-execution is idempotent. When every attempt fails the
-//!   caller gets a typed [`OisaError::Transport`], never a hang: reads
-//!   and writes carry [`TcpTransportConfig::io_timeout`].
+//!   round trips by reconnecting with exponential backoff — jittered,
+//!   so a fleet restarting together does not hammer a recovering
+//!   worker in lock-step — and **resending the shard**, safe because
+//!   workers are stateless per shard, so re-execution is idempotent.
+//!   When every attempt fails the caller gets a typed
+//!   [`OisaError::Transport`], never a hang: reads and writes carry
+//!   [`TcpTransportConfig::io_timeout`]. With
+//!   [`TcpTransport::connect_with_config`] the handshake becomes a
+//!   wire-v3 config *push* instead of a fingerprint *check*: the full
+//!   [`OisaConfig`] travels in a [`WireMessage::Configure`] and the
+//!   worker rebuilds its accelerator to match, so heterogeneous fleets
+//!   converge instead of refusing. The push repeats on every
+//!   reconnect, because a worker's adopted config is
+//!   connection-local.
 //! * [`TcpWorker`] — the daemon: binds a port, accepts coordinator
 //!   connections, and serves each on its own thread via
-//!   [`serve_worker_hooked`] until the peer disconnects. Any number of
-//!   coordinators may connect over the daemon's lifetime; every shard
-//!   is self-contained, so the daemon keeps no cross-connection state
-//!   (beyond the fault-injection shard counter).
+//!   [`serve_worker_configurable`] until the peer disconnects. Any
+//!   number of coordinators may connect over the daemon's lifetime;
+//!   every shard is self-contained, so the daemon keeps no
+//!   cross-connection state (beyond the fault-injection shard
+//!   counter).
+//!
+//! [`serve_worker_configurable`]: super::serve_worker_configurable
 //!
 //! # Failure model
 //!
@@ -43,11 +55,54 @@ use crate::accelerator::OisaConfig;
 use crate::error::OisaError;
 use crate::wire::{self, Handshake, WireError, WireMessage};
 
-use super::{serve_worker_hooked, BackendResult, ShardTransport};
+use super::{refusal_to_error, serve_worker_configurable, BackendResult, ShardTransport};
 
 // ---------------------------------------------------------------------
 // Coordinator side: TcpTransport
 // ---------------------------------------------------------------------
+
+/// Ceiling on the doubled reconnect backoff: however many attempts a
+/// transport is configured for, no single sleep exceeds this.
+const MAX_BACKOFF: Duration = Duration::from_secs(2);
+
+/// Jitter adds at most this fraction (1/4) of the current backoff.
+const JITTER_DENOM: u32 = 4;
+
+/// The sleep before a reconnect attempt: the (capped) doubling backoff
+/// plus a deterministic jitter in `[0, backoff / JITTER_DENOM]`,
+/// derived from `salt` (per-transport) and `attempt` — so a fleet of
+/// transports restarting together spreads its reconnects instead of
+/// thundering in lock-step, while any single schedule stays
+/// reproducible. Jitter only shifts *when* a resend happens; shard
+/// results are bit-identical regardless (workers are stateless per
+/// shard).
+fn jittered_backoff(backoff: Duration, salt: u64, attempt: u32) -> Duration {
+    let capped = backoff.min(MAX_BACKOFF);
+    let span = capped / JITTER_DENOM;
+    if span.is_zero() {
+        return capped;
+    }
+    // FNV-1a over (salt, attempt): cheap, deterministic, well-spread.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for byte in salt.to_le_bytes().into_iter().chain(attempt.to_le_bytes()) {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    let permille = (h % 1001) as u32;
+    capped + span.mul_f64(f64::from(permille) / 1000.0)
+}
+
+/// FNV-1a over the endpoint string: the per-transport jitter salt, so
+/// two transports dialing different workers never share a schedule.
+fn endpoint_salt(endpoint: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for byte in endpoint.bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Connection-lifecycle knobs of a [`TcpTransport`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,9 +146,15 @@ pub struct TcpTransport {
     /// The coordinator's config fingerprint, offered in the handshake
     /// and checked against the worker's.
     fingerprint: u64,
+    /// When set, fresh connections open with a wire-v3
+    /// [`WireMessage::Configure`] push of this config instead of a
+    /// fingerprint-checking ping (module docs).
+    push_config: Option<OisaConfig>,
     options: TcpTransportConfig,
     stream: Option<TcpStream>,
     nonce: u64,
+    /// Per-transport jitter salt (see [`jittered_backoff`]).
+    salt: u64,
 }
 
 /// How one round-trip attempt failed.
@@ -136,6 +197,34 @@ impl TcpTransport {
         Ok(transport)
     }
 
+    /// Like [`TcpTransport::connect`], but every fresh connection
+    /// opens with a wire-v3 [`WireMessage::Configure`] carrying
+    /// `config` in full: the worker rebuilds its accelerator from it
+    /// and acknowledges with the fingerprint of what it *applied*. A
+    /// worker started with different physics therefore serves this
+    /// coordinator instead of refusing on fingerprint mismatch — the
+    /// heterogeneous-fleet admission path. The push repeats on every
+    /// reconnect (a worker's adopted config is connection-local), and
+    /// genuine v2 workers answer it with a typed refusal, surfaced
+    /// here as [`OisaError::ShardRefused`].
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpTransport::connect`], plus
+    /// [`OisaError::FingerprintMismatch`] when the acknowledged
+    /// fingerprint differs from `config`'s (the worker failed to apply
+    /// the push).
+    pub fn connect_with_config(
+        endpoint: impl Into<String>,
+        config: OisaConfig,
+        options: TcpTransportConfig,
+    ) -> BackendResult<Self> {
+        let mut transport = Self::deferred(endpoint, config.fingerprint(), options);
+        transport.push_config = Some(config);
+        transport.with_retries(|t| t.ensure_connected())?;
+        Ok(transport)
+    }
+
     /// A transport that performs no I/O until its first
     /// [`round_trip`](ShardTransport::round_trip) — for workers that
     /// start after the coordinator.
@@ -144,12 +233,16 @@ impl TcpTransport {
         fingerprint: u64,
         options: TcpTransportConfig,
     ) -> Self {
+        let endpoint = endpoint.into();
+        let salt = endpoint_salt(&endpoint);
         Self {
-            endpoint: endpoint.into(),
+            endpoint,
             fingerprint,
+            push_config: None,
             options,
             stream: None,
             nonce: 0,
+            salt,
         }
     }
 
@@ -159,9 +252,36 @@ impl TcpTransport {
         &self.endpoint
     }
 
+    /// Round-trips a liveness probe under the full retry policy: a
+    /// fresh connection handshakes (or config-pushes), an established
+    /// one re-pings. This is the quarantine hook
+    /// [`FleetSupervisor`](super::FleetSupervisor) calls between jobs;
+    /// a hung worker fails it within the transport's bounded
+    /// `attempts × (io_timeout + backoff)` budget rather than hanging
+    /// the coordinator.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardTransport::round_trip`]: [`OisaError::Transport`] on
+    /// exhaustion, fatal protocol/config errors immediately.
+    pub fn health_check(&mut self) -> BackendResult<()> {
+        self.with_retries(|t| {
+            t.ensure_connected()?;
+            t.handshake()
+        })
+    }
+
+    /// Drops the current connection (if any) without talking to the
+    /// peer. The next round trip reconnects — and re-runs the
+    /// handshake or config push.
+    pub fn disconnect(&mut self) {
+        self.stream = None;
+    }
+
     /// Runs `step` under the retry policy: transient failures drop the
-    /// connection, back off (doubling), and try again; fatal ones and
-    /// exhaustion return typed errors.
+    /// connection, back off (doubling, capped, jittered — see
+    /// [`jittered_backoff`]), and try again; fatal ones and exhaustion
+    /// return typed errors.
     fn with_retries<T>(
         &mut self,
         mut step: impl FnMut(&mut Self) -> Result<T, AttemptError>,
@@ -171,7 +291,7 @@ impl TcpTransport {
         let mut last = String::new();
         for attempt in 0..attempts {
             if attempt > 0 {
-                std::thread::sleep(backoff);
+                std::thread::sleep(jittered_backoff(backoff, self.salt, attempt));
                 backoff = backoff.saturating_mul(2);
             }
             match step(self) {
@@ -232,40 +352,62 @@ impl TcpTransport {
         Ok(())
     }
 
-    /// Ping/pong over the fresh connection: proves the peer speaks this
-    /// schema version and runs the same physics.
+    /// The connection-opening exchange: a ping/pong proving the peer
+    /// speaks this schema version and runs the same physics — or, when
+    /// built via [`TcpTransport::connect_with_config`], a wire-v3
+    /// config push making the peer *adopt* this physics.
     fn handshake(&mut self) -> Result<(), AttemptError> {
         self.nonce = self.nonce.wrapping_add(1);
-        let ping = WireMessage::Ping(Handshake {
-            nonce: self.nonce,
-            config_fingerprint: self.fingerprint,
-        });
+        let request = match self.push_config {
+            Some(config) => WireMessage::Configure(wire::ConfigPush {
+                nonce: self.nonce,
+                config,
+            }),
+            None => WireMessage::Ping(Handshake {
+                nonce: self.nonce,
+                config_fingerprint: self.fingerprint,
+            }),
+        };
         let stream = self.stream.as_mut().expect("connected before handshake");
-        wire::send(stream, &ping).map_err(AttemptError::from)?;
+        wire::send(stream, &request).map_err(AttemptError::from)?;
         let payload = wire::read_frame(stream)
             .map_err(AttemptError::from)?
             .ok_or_else(|| {
                 AttemptError::Retry("worker closed the connection during the handshake".into())
             })?;
-        match wire::decode(&payload).map_err(AttemptError::from)? {
-            WireMessage::Pong(pong) if pong.nonce != self.nonce => {
-                Err(AttemptError::Retry(format!(
-                    "stale handshake reply (nonce {} ≠ {})",
-                    pong.nonce, self.nonce
-                )))
+        let reply = wire::decode(&payload).map_err(AttemptError::from)?;
+        let echoed = match (&reply, self.push_config.is_some()) {
+            (WireMessage::Pong(pong), false) => *pong,
+            (WireMessage::ConfigureAck(ack), true) => *ack,
+            (WireMessage::Refusal(refusal), _) => {
+                // A v2 worker cannot decode a Configure and refuses it
+                // (typed) instead of adopting it — fatal, not a
+                // reconnect-and-hope situation.
+                return Err(AttemptError::Fatal(refusal_to_error(refusal.clone())));
             }
-            WireMessage::Pong(pong) if pong.config_fingerprint != self.fingerprint => {
-                Err(AttemptError::Fatal(OisaError::FingerprintMismatch {
-                    coordinator: self.fingerprint,
-                    worker: pong.config_fingerprint,
-                }))
+            (other, _) => {
+                return Err(AttemptError::Fatal(OisaError::Backend(format!(
+                    "worker answered the handshake with a {}",
+                    super::message_name(other)
+                ))));
             }
-            WireMessage::Pong(_) => Ok(()),
-            other => Err(AttemptError::Fatal(OisaError::Backend(format!(
-                "worker answered the handshake with a {}",
-                super::message_name(&other)
-            )))),
+        };
+        if echoed.nonce != self.nonce {
+            return Err(AttemptError::Retry(format!(
+                "stale handshake reply (nonce {} ≠ {})",
+                echoed.nonce, self.nonce
+            )));
         }
+        if echoed.config_fingerprint != self.fingerprint {
+            // On the ping path the worker *runs* other physics; on the
+            // push path it failed to adopt ours. Either way the fleet
+            // must not serve through this transport.
+            return Err(AttemptError::Fatal(OisaError::FingerprintMismatch {
+                coordinator: self.fingerprint,
+                worker: echoed.config_fingerprint,
+            }));
+        }
+        Ok(())
     }
 
     /// One send-and-receive over the current connection.
@@ -284,6 +426,10 @@ impl TcpTransport {
 impl ShardTransport for TcpTransport {
     fn round_trip(&mut self, message: &[u8]) -> BackendResult<Vec<u8>> {
         self.with_retries(|t| t.attempt(message))
+    }
+
+    fn endpoint_label(&self) -> String {
+        self.endpoint.clone()
     }
 }
 
@@ -491,8 +637,12 @@ fn serve_connection(
             }
         }
     };
-    match serve_worker_hooked(config, &mut reader, &mut writer, &mut before_shard) {
-        Ok(_served) => {}
+    match serve_worker_configurable(*config, &mut reader, &mut writer, &mut before_shard) {
+        Ok(outcome) => eprintln!(
+            "oisa worker: connection from {peer} closed: {} shard(s) served, \
+             {} config push(es), final fingerprint {:#018x}",
+            outcome.served, outcome.reconfigured, outcome.final_fingerprint
+        ),
         Err(e) => eprintln!("oisa worker: connection from {peer} ended: {e}"),
     }
 }
@@ -577,6 +727,110 @@ mod tests {
                 coordinator: coordinator_cfg.fingerprint(),
                 worker: worker_cfg.fingerprint(),
             }
+        );
+    }
+
+    #[test]
+    fn jittered_backoff_is_bounded_and_deterministic() {
+        for base_ms in [1u64, 5, 50, 400, 1900] {
+            let base = Duration::from_millis(base_ms);
+            for salt in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+                for attempt in 1..6u32 {
+                    let slept = jittered_backoff(base, salt, attempt);
+                    let capped = base.min(MAX_BACKOFF);
+                    assert!(slept >= capped, "{base_ms}ms salt {salt} attempt {attempt}");
+                    assert!(
+                        slept <= capped + capped / JITTER_DENOM,
+                        "jitter exceeded 1/{JITTER_DENOM} of the backoff: \
+                         {slept:?} for base {base_ms}ms"
+                    );
+                    // Same inputs, same sleep: schedules are reproducible.
+                    assert_eq!(slept, jittered_backoff(base, salt, attempt));
+                }
+            }
+        }
+        // The doubling is capped: even an absurd backoff sleeps ≤ 2.5 s.
+        let huge = jittered_backoff(Duration::from_secs(3600), 42, 9);
+        assert!(huge <= MAX_BACKOFF + MAX_BACKOFF / JITTER_DENOM, "{huge:?}");
+        // Different endpoints spread out: at least one pair of salts
+        // disagrees for the same base and attempt.
+        let spread: Vec<Duration> = (0..16u64)
+            .map(|salt| jittered_backoff(Duration::from_millis(400), salt, 1))
+            .collect();
+        assert!(
+            spread.iter().any(|d| *d != spread[0]),
+            "all 16 salts produced the same sleep: {spread:?}"
+        );
+    }
+
+    #[test]
+    fn config_push_makes_a_mismatched_worker_serve_with_parity() {
+        let worker_cfg = cfg(20); // different seed ⇒ different physics
+        let coordinator_cfg = cfg(21);
+        assert_ne!(worker_cfg.fingerprint(), coordinator_cfg.fingerprint());
+        let worker = TcpWorker::bind(worker_cfg, "127.0.0.1:0")
+            .unwrap()
+            .spawn()
+            .unwrap();
+
+        // Without the push, admission fails on the fingerprint check.
+        let refused =
+            TcpTransport::connect(worker.endpoint(), coordinator_cfg.fingerprint(), fast())
+                .unwrap_err();
+        assert!(matches!(refused, OisaError::FingerprintMismatch { .. }));
+
+        // With the push, the same daemon adopts the coordinator's
+        // physics and serves — bit-identical to a local run.
+        let transport =
+            TcpTransport::connect_with_config(worker.endpoint(), coordinator_cfg, fast()).unwrap();
+        let mut backend = ShardedBackend::new(coordinator_cfg, vec![Box::new(transport)]).unwrap();
+        let job = InferenceJob {
+            job_id: 31,
+            k: 3,
+            kernels: vec![vec![0.5f32; 9], vec![-0.25f32; 9]],
+            frames: (0..3)
+                .map(|i| Frame::constant(16, 16, 0.2 + 0.1 * f64::from(i)).unwrap())
+                .collect(),
+        };
+        let pushed = backend.run_job(&job).unwrap();
+        let mut local = crate::backend::LocalBackend::new(coordinator_cfg).unwrap();
+        let expected = local.run_job(&job).unwrap();
+        assert_eq!(pushed, expected, "config-pushed fleet must match local");
+    }
+
+    #[test]
+    fn health_check_passes_on_a_live_worker_and_fails_fast_on_a_hung_one() {
+        let config = cfg(22);
+        let worker = TcpWorker::bind(config, "127.0.0.1:0")
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let mut transport =
+            TcpTransport::connect(worker.endpoint(), config.fingerprint(), fast()).unwrap();
+        transport.health_check().unwrap();
+
+        // A listener that accepts and then never replies simulates a
+        // hung worker: the probe must fail within the bounded
+        // attempts × io_timeout budget instead of hanging.
+        let hung = TcpListener::bind("127.0.0.1:0").unwrap();
+        let hung_addr = hung.local_addr().unwrap();
+        let _keep_accepting = std::thread::spawn(move || {
+            let mut held = Vec::new();
+            while let Ok((stream, _)) = hung.accept() {
+                held.push(stream); // hold the socket open, say nothing
+            }
+        });
+        let mut options = fast();
+        options.io_timeout = Some(Duration::from_millis(200));
+        let mut probe =
+            TcpTransport::deferred(hung_addr.to_string(), config.fingerprint(), options);
+        let started = std::time::Instant::now();
+        let err = probe.health_check().unwrap_err();
+        let elapsed = started.elapsed();
+        assert!(matches!(err, OisaError::Transport { .. }), "{err}");
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "hung-worker probe took {elapsed:?}, not bounded"
         );
     }
 

@@ -23,6 +23,18 @@
 //! reports them before any shard is sent). Defaults match
 //! `examples/multi_node.rs`.
 //!
+//! **Except** when the coordinator pushes its config: the daemon
+//! speaks wire schema v3, so a `Configure` message (sent by
+//! [`TcpTransport::connect_with_config`](oisa_core::backend::TcpTransport::connect_with_config)
+//! or a [`FleetSupervisor`](oisa_core::backend::FleetSupervisor) at
+//! admission) makes it rebuild its accelerator from the pushed
+//! `OisaConfig` and serve that coordinator's physics for the rest of
+//! the connection — the flags above only set the *starting* config.
+//! The adoption is connection-local: a new connection starts from the
+//! flag-built config again. When a connection closes cleanly the
+//! daemon logs to stderr how many shards it served, how many config
+//! pushes it applied, and the fingerprint it ended on.
+//!
 //! | flag | default | meaning |
 //! |---|---|---|
 //! | `--addr HOST:PORT` | `127.0.0.1:0` | bind address (`:0` = ephemeral) |

@@ -15,7 +15,7 @@ use std::fmt;
 
 use oisa_device::DeviceError;
 
-use crate::wire::WireError;
+use crate::wire::{RefusalCode, WireError};
 use crate::CoreError;
 
 /// Why a submission was declined, without the returned frame.
@@ -87,13 +87,18 @@ pub enum OisaError {
         worker: u64,
     },
     /// A worker answered a shard with a typed
-    /// [`ShardRefusal`](crate::wire::ShardRefusal) that carries no
-    /// dedicated code: the shard reached the worker but could not run.
+    /// [`ShardRefusal`](crate::wire::ShardRefusal) that maps to no
+    /// dedicated error variant: the shard reached the worker but could
+    /// not run. Carries the refusal's machine-readable
+    /// [`RefusalCode`] so supervisor logs stay actionable without
+    /// string matching the reason.
     ShardRefused {
         /// The refused shard's job.
         job_id: u64,
         /// The refused shard's index within the job.
         shard_index: u32,
+        /// The worker's machine-readable refusal class.
+        code: RefusalCode,
         /// The worker's reason.
         reason: String,
     },
@@ -134,10 +139,11 @@ impl fmt::Display for OisaError {
             Self::ShardRefused {
                 job_id,
                 shard_index,
+                code,
                 reason,
             } => write!(
                 f,
-                "worker refused shard {shard_index} of job {job_id}: {reason}"
+                "worker refused shard {shard_index} of job {job_id} [code: {code}]: {reason}"
             ),
         }
     }
@@ -266,10 +272,27 @@ mod tests {
         let refused = OisaError::ShardRefused {
             job_id: 7,
             shard_index: 2,
+            code: RefusalCode::Other,
             reason: "no fabric".into(),
         };
         let shown = refused.to_string();
         assert!(shown.contains("shard 2"), "{shown}");
         assert!(shown.contains("job 7"), "{shown}");
+        // The machine-readable refusal class is rendered, not dropped.
+        assert!(shown.contains("[code: other]"), "{shown}");
+
+        let coded = OisaError::ShardRefused {
+            job_id: 1,
+            shard_index: 0,
+            code: RefusalCode::FingerprintMismatch {
+                coordinator: 0xAB,
+                worker: 0xCD,
+            },
+            reason: "mismatch".into(),
+        };
+        let shown = coded.to_string();
+        assert!(shown.contains("fingerprint-mismatch"), "{shown}");
+        assert!(shown.contains("0x00000000000000ab"), "{shown}");
+        assert!(shown.contains("0x00000000000000cd"), "{shown}");
     }
 }

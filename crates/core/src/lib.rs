@@ -32,7 +32,12 @@
 //!   [`backend::tcp`] submodule makes the fleet genuinely multi-host:
 //!   [`TcpTransport`] dials worker daemons ([`backend::TcpWorker`],
 //!   wrapped by the `oisa_worker` binary) with connect/read timeouts,
-//!   a connect-time handshake and reconnect-with-backoff retry.
+//!   a connect-time handshake and jittered reconnect-with-backoff
+//!   retry. [`FleetSupervisor`] makes operating that fleet hands-off:
+//!   interval health checks, automatic quarantine-promote-re-plan
+//!   failover mid-job (results stay bit-identical), and wire-v3
+//!   config push so heterogeneous workers adopt the coordinator's
+//!   physics instead of refusing.
 //! * [`wire`] — the versioned, length-prefixed binary schema those
 //!   processes speak (strict decode errors, schema-version checks).
 //! * [`error`] — [`OisaError`], the one error type backend/serving
@@ -99,8 +104,8 @@ pub mod wire;
 
 pub use accelerator::{ConvolutionReport, OisaAccelerator, OisaConfig, OisaConfigBuilder};
 pub use backend::{
-    ComputeBackend, LocalBackend, ShardTransport, ShardedBackend, TcpTransport, TcpTransportConfig,
-    TcpWorker,
+    ComputeBackend, FleetSupervisor, LocalBackend, ShardTransport, ShardedBackend,
+    SupervisorOptions, TcpTransport, TcpTransportConfig, TcpWorker,
 };
 pub use error::OisaError;
 pub use mapping::{ConvWorkload, MappingPlan};

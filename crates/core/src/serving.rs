@@ -11,7 +11,12 @@
 //! a [`LocalBackend`] (one accelerator, the work-stealing scheduler in
 //! [`crate::scheduler`] underneath) by default, or a
 //! [`ShardedBackend`](crate::backend::ShardedBackend) for multi-host
-//! serving, via [`ServingEngine::with_backend`].
+//! serving, via [`ServingEngine::with_backend`]. Fronting a
+//! [`FleetSupervisor`](crate::backend::FleetSupervisor) instead makes
+//! the served fleet *self-healing*: a worker dying mid-batch is
+//! quarantined and its shard re-run on a promoted spare (or re-planned
+//! across the survivors) inside the same job, so submitters never see
+//! the failure — and the reports stay bit-identical.
 //!
 //! # Batching policy — the latency/throughput knobs
 //!
@@ -911,5 +916,100 @@ mod tests {
             Err(SubmitError::ShutDown(frame)) => assert_eq!(frame, frame_16(1)),
             other => panic!("expected ShutDown, got {other:?}"),
         }
+    }
+
+    /// A serving engine fronting a [`FleetSupervisor`] self-heals: one
+    /// worker dies on its very first shard, the supervisor promotes
+    /// the spare inside the same job, and every submitter's report is
+    /// bit-identical to a single-accelerator engine — the failure is
+    /// invisible above the backend seam.
+    #[test]
+    fn supervised_engine_self_heals_under_worker_death() {
+        use crate::backend::{FleetSupervisor, InProcessWorker, ShardTransport, SupervisorOptions};
+        use crate::wire::WireMessage;
+
+        /// Serves until `shards_before_death` shards, then fails every
+        /// round trip like a crashed process (same shape as the
+        /// supervisor unit tests' doomed worker).
+        struct DyingWorker {
+            inner: InProcessWorker,
+            shards_before_death: u64,
+            served: u64,
+            dead: bool,
+        }
+
+        impl ShardTransport for DyingWorker {
+            fn round_trip(&mut self, message: &[u8]) -> Result<Vec<u8>, OisaError> {
+                if !self.dead && matches!(crate::wire::decode(message), Ok(WireMessage::Shard(_))) {
+                    if self.served >= self.shards_before_death {
+                        self.dead = true;
+                    } else {
+                        self.served += 1;
+                    }
+                }
+                if self.dead {
+                    return Err(OisaError::Transport {
+                        endpoint: "dying-worker".into(),
+                        attempts: 1,
+                        cause: "injected worker death".into(),
+                    });
+                }
+                self.inner.round_trip(message)
+            }
+
+            fn endpoint_label(&self) -> String {
+                "dying-worker".into()
+            }
+        }
+
+        let config = engine_config(11);
+        let kernels = vec![vec![0.5f32; 9], vec![-0.125f32; 9]];
+        let active: Vec<Box<dyn ShardTransport>> = vec![
+            Box::new(InProcessWorker::new(config)),
+            Box::new(DyingWorker {
+                inner: InProcessWorker::new(config),
+                shards_before_death: 0,
+                served: 0,
+                dead: false,
+            }),
+        ];
+        let spares: Vec<Box<dyn ShardTransport>> = vec![Box::new(InProcessWorker::new(config))];
+        let supervisor =
+            FleetSupervisor::new(config, active, spares, SupervisorOptions::default()).unwrap();
+
+        // Batch all 6 frames into one job so the dying worker's shard
+        // failure happens mid-batch.
+        let serving = ServingConfig {
+            max_batch: 6,
+            deadline: Duration::from_secs(5),
+            queue_depth: 16,
+        };
+        let engine = ServingEngine::with_backend(supervisor, kernels.clone(), 3, serving).unwrap();
+        let handles: Vec<_> = (0..6)
+            .map(|t| engine.submit(frame_16(t)).expect("queue has room"))
+            .collect();
+        let reports: Vec<ConvolutionReport> =
+            handles.into_iter().map(|h| h.wait().unwrap()).collect();
+        let (backend, stats) = engine.shutdown();
+        assert_eq!(stats.frames_completed, 6);
+        let status = backend.status();
+        assert_eq!(status.promotions, 1, "the spare must have been promoted");
+        assert_eq!(status.quarantined, 1);
+
+        // Oracle: the same frames through a plain local engine.
+        let accel = OisaAccelerator::new(config).unwrap();
+        let oracle = ServingEngine::new(accel, kernels, 3, serving).unwrap();
+        let oracle_handles: Vec<_> = (0..6)
+            .map(|t| oracle.submit(frame_16(t)).expect("queue has room"))
+            .collect();
+        let expected: Vec<ConvolutionReport> = oracle_handles
+            .into_iter()
+            .map(|h| h.wait().unwrap())
+            .collect();
+        let _ = oracle.shutdown();
+        assert_eq!(
+            reports, expected,
+            "self-healed serving must be bit-identical to a local engine"
+        );
     }
 }

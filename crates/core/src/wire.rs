@@ -23,19 +23,42 @@
 //! not a nicety, because the sharding contract is bit-identical merges.
 //! Collections are a `u32` count followed by the elements.
 //!
+//! # Versioning and v2 interop
+//!
+//! The schema is at [`SCHEMA_VERSION`] (3). v3 adds exactly two
+//! messages — [`WireMessage::Configure`] (a [`ConfigPush`] carrying a
+//! fully structured [`OisaConfig`], field by field, **not** the
+//! build-local Debug fingerprint) and its [`WireMessage::ConfigureAck`]
+//! reply — and changes no existing layout. The interop rule:
+//!
+//! * Every pre-v3 message (job, shard, report, refusal, ping, pong)
+//!   still travels **stamped [`LEGACY_SCHEMA_VERSION`] (2)** on the
+//!   wire, so a genuine v2 peer accepts everything a v3 coordinator
+//!   sends it — except a config push.
+//! * A v3 decoder accepts versions 2 *and* 3 for the pre-v3 tags;
+//!   [`WireMessage::Configure`] / [`WireMessage::ConfigureAck`] demand
+//!   version 3 (a v2-stamped one is [`WireError::Malformed`]).
+//! * A v2 peer receiving a v3 `Configure` rejects it as an unsupported
+//!   version and (per the worker loop's contract) answers with a typed
+//!   [`ShardRefusal`] rather than hanging up — so a mixed fleet
+//!   degrades to v2 behaviour (fingerprint refusal on mismatched
+//!   physics) instead of breaking.
+//!
 //! # Strictness
 //!
 //! Decoding rejects, with a typed [`WireError`] and never a panic:
 //!
 //! * a bad magic or an unknown message tag,
-//! * any schema version other than [`SCHEMA_VERSION`] (no silent
-//!   best-effort reads of future layouts),
+//! * any schema version other than [`SCHEMA_VERSION`] or
+//!   [`LEGACY_SCHEMA_VERSION`] (no silent best-effort reads of future
+//!   layouts), and v3-only tags stamped with a pre-v3 version,
 //! * truncated payloads and truncated length prefixes,
 //! * trailing bytes after a complete message,
 //! * length prefixes beyond [`MAX_MESSAGE_BYTES`] (a corrupt prefix
 //!   must not become an allocation bomb),
 //! * semantic violations the constructors enforce (e.g. frame pixels
-//!   outside `[0, 1]`).
+//!   outside `[0, 1]`, or a pushed config that fails
+//!   [`OisaConfig`] builder validation).
 //!
 //! The shim `serde` derive on these types is a forward-compatibility
 //! marker only (the offline build has no real serde); this module is
@@ -44,20 +67,45 @@
 use std::io::{Read, Write};
 
 use oisa_sensor::frame::Frame;
+use oisa_sensor::imager::ImagerConfig;
+use oisa_sensor::pixel::PixelDesign;
+use oisa_sensor::vam::VamConfig;
 
-use crate::accelerator::{ConvolutionReport, EnergyReport};
-use crate::controller::Timeline;
+use oisa_device::awc::AwcModel;
+use oisa_device::mr::MrDesign;
+use oisa_device::noise::NoiseConfig;
+use oisa_device::photodiode::PhotodiodeParams;
+use oisa_device::sense_amp::SenseAmpParams;
+use oisa_device::vcsel::VcselParams;
+use oisa_device::waveguide::LossBudget;
+
+use oisa_optics::arm::ArmConfig;
+use oisa_optics::opc::OpcConfig;
+use oisa_optics::vom::VomConfig;
+
+use crate::accelerator::{ConvolutionReport, EnergyReport, OisaConfig};
+use crate::controller::{ControllerTiming, Timeline};
 use crate::mapping::MappingPlan;
-use oisa_units::{Joule, Second};
+use oisa_units::{Ampere, Farad, Hertz, Joule, Kelvin, Meter, Ohm, Second, Volt, Watt};
 
-/// Version of the message layout. Bump on **any** layout change; a
-/// decoder only ever accepts its own version.
+/// Version of the message layout. Bump on **any** layout change.
 ///
 /// v2 added the [`Handshake`] ping/pong pair (so a TCP coordinator can
 /// verify liveness and config agreement before dispatching shards) and
 /// gave [`ShardRefusal`] a machine-readable [`RefusalCode`] alongside
 /// its human-readable reason.
-pub const SCHEMA_VERSION: u16 = 2;
+///
+/// v3 added [`WireMessage::Configure`] / [`WireMessage::ConfigureAck`]
+/// — a structured [`OisaConfig`] push so a coordinator can align a
+/// heterogeneous fleet's physics instead of refusing on fingerprint
+/// mismatch. No pre-v3 layout changed; see the module docs for the
+/// interop rule.
+pub const SCHEMA_VERSION: u16 = 3;
+
+/// The newest pre-v3 schema version. Pre-v3 messages are still stamped
+/// with this on the wire and the decoder accepts it for their tags, so
+/// genuine v2 peers interoperate for everything except config push.
+pub const LEGACY_SCHEMA_VERSION: u16 = 2;
 
 /// Magic prefix of every payload (`"OW"`, OISA wire).
 pub const MAGIC: u16 = u16::from_le_bytes(*b"OW");
@@ -73,6 +121,9 @@ const TAG_REPORT: u8 = 3;
 const TAG_REFUSAL: u8 = 4;
 const TAG_PING: u8 = 5;
 const TAG_PONG: u8 = 6;
+// v3-only tags: the decoder refuses these under a pre-v3 version stamp.
+const TAG_CONFIGURE: u8 = 7;
+const TAG_CONFIGURE_ACK: u8 = 8;
 
 /// Decode/framing failures. Every variant is a *protocol* fault — the
 /// bytes were readable but wrong — except [`WireError::Io`], which
@@ -82,7 +133,8 @@ const TAG_PONG: u8 = 6;
 pub enum WireError {
     /// The payload does not start with [`MAGIC`].
     BadMagic(u16),
-    /// The payload's schema version is not [`SCHEMA_VERSION`].
+    /// The payload's schema version is neither [`SCHEMA_VERSION`] nor
+    /// [`LEGACY_SCHEMA_VERSION`].
     UnsupportedVersion {
         /// The version the peer wrote.
         got: u16,
@@ -112,7 +164,8 @@ impl std::fmt::Display for WireError {
             Self::BadMagic(got) => write!(f, "bad magic 0x{got:04x} (expected 0x{MAGIC:04x})"),
             Self::UnsupportedVersion { got } => write!(
                 f,
-                "unsupported schema version {got} (this build speaks {SCHEMA_VERSION})"
+                "unsupported schema version {got} (this build speaks \
+                 {SCHEMA_VERSION}, accepting {LEGACY_SCHEMA_VERSION} for pre-v3 messages)"
             ),
             Self::UnknownTag(tag) => write!(f, "unknown message tag {tag}"),
             Self::Truncated { needed, available } => write!(
@@ -187,7 +240,7 @@ pub struct JobShard {
     /// Absolute noise epoch of this shard's first frame.
     pub first_epoch: u64,
     /// Fingerprint of the coordinator's
-    /// [`OisaConfig`](crate::accelerator::OisaConfig)
+    /// [`OisaConfig`]
     /// ([`crate::accelerator::OisaConfig::fingerprint`]); a worker
     /// refuses shards whose fingerprint differs from its own config's.
     pub config_fingerprint: u64,
@@ -235,6 +288,24 @@ pub enum RefusalCode {
     },
 }
 
+impl std::fmt::Display for RefusalCode {
+    /// The stable, log-greppable rendering supervisor logs use:
+    /// `other` or
+    /// `fingerprint-mismatch (coordinator 0x…, worker 0x…)`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Other => write!(f, "other"),
+            Self::FingerprintMismatch {
+                coordinator,
+                worker,
+            } => write!(
+                f,
+                "fingerprint-mismatch (coordinator {coordinator:#018x}, worker {worker:#018x})"
+            ),
+        }
+    }
+}
+
 /// A worker's typed "no": the shard could not run (fingerprint
 /// mismatch, substrate failure, undecodable request). Travels instead
 /// of a [`ShardReport`] so coordinator-side errors carry the worker's
@@ -268,7 +339,33 @@ pub struct Handshake {
     pub config_fingerprint: u64,
 }
 
+/// A configuration push (v3): the coordinator's complete
+/// [`OisaConfig`], serialized **field by field** — every pixel, ring,
+/// detector, laser, timing and noise parameter — so a worker started
+/// with different physics can rebuild its accelerator to match instead
+/// of refusing every shard. The Debug-derived fingerprint never
+/// travels; the receiving end recomputes it from the decoded fields,
+/// which makes the push meaningful across heterogeneous builds too.
+///
+/// Decoding re-runs the
+/// [`OisaConfigBuilder`](crate::accelerator::OisaConfigBuilder)
+/// validation, so a malformed push fails as a typed
+/// [`WireError::Malformed`] before any accelerator is rebuilt.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ConfigPush {
+    /// Caller-chosen value the worker must echo in its
+    /// [`WireMessage::ConfigureAck`].
+    pub nonce: u64,
+    /// The configuration the worker must adopt.
+    pub config: OisaConfig,
+}
+
 /// Every message the protocol speaks.
+// `Configure` inlines a full `OisaConfig` (~600 B), dwarfing the other
+// variants — acceptable because messages are built, encoded/decoded
+// and dropped one at a time, never stored in bulk; boxing would only
+// add a heap hop to every decode.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum WireMessage {
     /// A full job (client → coordinator).
@@ -283,6 +380,13 @@ pub enum WireMessage {
     Ping(Handshake),
     /// Probe reply (worker → coordinator), nonce echoed.
     Pong(Handshake),
+    /// v3: a structured config push (coordinator → worker).
+    Configure(ConfigPush),
+    /// v3: config-push acknowledgement (worker → coordinator) — nonce
+    /// echoed, `config_fingerprint` recomputed from the **applied**
+    /// config, so the coordinator can verify the worker now runs its
+    /// physics.
+    ConfigureAck(Handshake),
 }
 
 // ---------------------------------------------------------------------
@@ -638,8 +742,314 @@ fn get_string(r: &mut Reader<'_>) -> Result<String> {
 }
 
 // ---------------------------------------------------------------------
+// OisaConfig codec (v3)
+// ---------------------------------------------------------------------
+
+fn put_pixel(w: &mut Writer, p: &PixelDesign) {
+    for v in [
+        p.pd_capacitance.get(),
+        p.full_scale_current.get(),
+        p.exposure.get(),
+        p.vdd.get(),
+        p.swing.get(),
+        p.pitch.get(),
+        p.access_energy.get(),
+    ] {
+        w.f64(v);
+    }
+}
+
+fn get_pixel(r: &mut Reader<'_>) -> Result<PixelDesign> {
+    Ok(PixelDesign {
+        pd_capacitance: Farad::new(r.f64()?),
+        full_scale_current: Ampere::new(r.f64()?),
+        exposure: Second::new(r.f64()?),
+        vdd: Volt::new(r.f64()?),
+        swing: Volt::new(r.f64()?),
+        pitch: Meter::new(r.f64()?),
+        access_energy: Joule::new(r.f64()?),
+    })
+}
+
+fn put_mr(w: &mut Writer, m: &MrDesign) {
+    for v in [
+        m.radius.get(),
+        m.waveguide_width.get(),
+        m.resonance_wavelength.get(),
+        m.q_factor,
+        m.group_index,
+        m.intrinsic_loss,
+        m.to_efficiency_m_per_w,
+        m.eo_range.get(),
+        m.to_settle.get(),
+        m.eo_settle.get(),
+    ] {
+        w.f64(v);
+    }
+}
+
+fn get_mr(r: &mut Reader<'_>) -> Result<MrDesign> {
+    Ok(MrDesign {
+        radius: Meter::new(r.f64()?),
+        waveguide_width: Meter::new(r.f64()?),
+        resonance_wavelength: Meter::new(r.f64()?),
+        q_factor: r.f64()?,
+        group_index: r.f64()?,
+        intrinsic_loss: r.f64()?,
+        to_efficiency_m_per_w: r.f64()?,
+        eo_range: Meter::new(r.f64()?),
+        to_settle: Second::new(r.f64()?),
+        eo_settle: Second::new(r.f64()?),
+    })
+}
+
+fn put_photodiode(w: &mut Writer, p: &PhotodiodeParams) {
+    for v in [
+        p.responsivity_a_per_w,
+        p.dark_current.get(),
+        p.bandwidth.get(),
+        p.load.get(),
+        p.temperature.get(),
+    ] {
+        w.f64(v);
+    }
+}
+
+fn get_photodiode(r: &mut Reader<'_>) -> Result<PhotodiodeParams> {
+    Ok(PhotodiodeParams {
+        responsivity_a_per_w: r.f64()?,
+        dark_current: Ampere::new(r.f64()?),
+        bandwidth: Hertz::new(r.f64()?),
+        load: Ohm::new(r.f64()?),
+        temperature: Kelvin::new(r.f64()?),
+    })
+}
+
+fn put_sense_amp(w: &mut Writer, s: &SenseAmpParams) {
+    for v in [
+        s.reference.get(),
+        s.offset_sigma.get(),
+        s.noise_sigma.get(),
+        s.energy_per_decision.get(),
+        s.decision_time.get(),
+    ] {
+        w.f64(v);
+    }
+}
+
+fn get_sense_amp(r: &mut Reader<'_>) -> Result<SenseAmpParams> {
+    Ok(SenseAmpParams {
+        reference: Volt::new(r.f64()?),
+        offset_sigma: Volt::new(r.f64()?),
+        noise_sigma: Volt::new(r.f64()?),
+        energy_per_decision: Joule::new(r.f64()?),
+        decision_time: Second::new(r.f64()?),
+    })
+}
+
+fn put_vcsel(w: &mut Writer, v: &VcselParams) {
+    for x in [
+        v.threshold.get(),
+        v.slope_efficiency_w_per_a,
+        v.forward_voltage.get(),
+        v.wavelength.get(),
+        v.bias_floor.get(),
+        v.warmup.get(),
+        v.max_current.get(),
+    ] {
+        w.f64(x);
+    }
+}
+
+fn get_vcsel(r: &mut Reader<'_>) -> Result<VcselParams> {
+    Ok(VcselParams {
+        threshold: Ampere::new(r.f64()?),
+        slope_efficiency_w_per_a: r.f64()?,
+        forward_voltage: Volt::new(r.f64()?),
+        wavelength: Meter::new(r.f64()?),
+        bias_floor: Ampere::new(r.f64()?),
+        warmup: Second::new(r.f64()?),
+        max_current: Ampere::new(r.f64()?),
+    })
+}
+
+fn put_bool(w: &mut Writer, v: bool) {
+    w.u8(u8::from(v));
+}
+
+fn get_bool(r: &mut Reader<'_>, what: &str) -> Result<bool> {
+    match r.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(WireError::Malformed(format!(
+            "{what} must be 0 or 1, got {other}"
+        ))),
+    }
+}
+
+fn put_config(w: &mut Writer, c: &OisaConfig) {
+    // Imager.
+    put_pixel(w, &c.imager.pixel);
+    w.u64(c.imager.width as u64);
+    w.u64(c.imager.height as u64);
+    w.f64(c.imager.frame_rate_hz);
+    // OPC structure + arm.
+    w.u64(c.opc.banks as u64);
+    w.u64(c.opc.columns as u64);
+    w.u64(c.opc.awc_units as u64);
+    put_mr(w, &c.opc.arm.ring);
+    put_photodiode(w, &c.opc.arm.detector);
+    for v in [
+        c.opc.arm.losses.propagation_db_per_m,
+        c.opc.arm.losses.per_ring_db,
+        c.opc.arm.losses.splitter_db,
+        c.opc.arm.losses.coupler_db,
+        c.opc.arm.length.get(),
+        c.opc.arm.channel_power.get(),
+    ] {
+        w.f64(v);
+    }
+    put_bool(w, c.opc.arm.crosstalk);
+    // VAM / VOM.
+    put_sense_amp(w, &c.vam.sa_low);
+    put_sense_amp(w, &c.vam.sa_high);
+    put_vcsel(w, &c.vam.vcsel);
+    w.f64(c.vam.symbol_time.get());
+    put_vcsel(w, &c.vom.vcsel);
+    w.f64(c.vom.accumulate_energy.get());
+    w.f64(c.vom.accumulate_time.get());
+    w.f64(c.vom.symbol_time.get());
+    // Controller timing.
+    for v in [
+        c.timing.cycle.get(),
+        c.timing.tuning_iteration.get(),
+        c.timing.exposure.get(),
+        c.timing.transmit_word.get(),
+        c.timing.decode.get(),
+    ] {
+        w.f64(v);
+    }
+    // Weight path, noise, seed.
+    w.u8(c.weight_bits);
+    match c.awc_model {
+        AwcModel::Ideal => w.u8(0),
+        AwcModel::Mismatch {
+            leg_sigma,
+            compression,
+        } => {
+            w.u8(1);
+            w.f64(leg_sigma);
+            w.f64(compression);
+        }
+    }
+    w.f64(c.noise.vcsel_rin);
+    w.f64(c.noise.mr_drift);
+    w.f64(c.noise.detector);
+    w.u64(c.seed);
+}
+
+fn get_config(r: &mut Reader<'_>) -> Result<OisaConfig> {
+    let pixel = get_pixel(r)?;
+    let imager = ImagerConfig {
+        pixel,
+        width: r.usize_from_u64("config.imager.width")?,
+        height: r.usize_from_u64("config.imager.height")?,
+        frame_rate_hz: r.f64()?,
+    };
+    let banks = r.usize_from_u64("config.opc.banks")?;
+    let columns = r.usize_from_u64("config.opc.columns")?;
+    let awc_units = r.usize_from_u64("config.opc.awc_units")?;
+    let ring = get_mr(r)?;
+    let detector = get_photodiode(r)?;
+    let losses = LossBudget {
+        propagation_db_per_m: r.f64()?,
+        per_ring_db: r.f64()?,
+        splitter_db: r.f64()?,
+        coupler_db: r.f64()?,
+    };
+    let arm = ArmConfig {
+        ring,
+        detector,
+        losses,
+        length: Meter::new(r.f64()?),
+        channel_power: Watt::new(r.f64()?),
+        crosstalk: get_bool(r, "config.opc.arm.crosstalk")?,
+    };
+    let opc = OpcConfig {
+        banks,
+        columns,
+        awc_units,
+        arm,
+    };
+    let vam = VamConfig {
+        sa_low: get_sense_amp(r)?,
+        sa_high: get_sense_amp(r)?,
+        vcsel: get_vcsel(r)?,
+        symbol_time: Second::new(r.f64()?),
+    };
+    let vom = VomConfig {
+        vcsel: get_vcsel(r)?,
+        accumulate_energy: Joule::new(r.f64()?),
+        accumulate_time: Second::new(r.f64()?),
+        symbol_time: Second::new(r.f64()?),
+    };
+    let timing = ControllerTiming {
+        cycle: Second::new(r.f64()?),
+        tuning_iteration: Second::new(r.f64()?),
+        exposure: Second::new(r.f64()?),
+        transmit_word: Second::new(r.f64()?),
+        decode: Second::new(r.f64()?),
+    };
+    let weight_bits = r.u8()?;
+    let awc_model = match r.u8()? {
+        0 => AwcModel::Ideal,
+        1 => AwcModel::Mismatch {
+            leg_sigma: r.f64()?,
+            compression: r.f64()?,
+        },
+        other => {
+            return Err(WireError::Malformed(format!(
+                "unknown AWC model discriminant {other}"
+            )))
+        }
+    };
+    let noise = NoiseConfig {
+        vcsel_rin: r.f64()?,
+        mr_drift: r.f64()?,
+        detector: r.f64()?,
+    };
+    let seed = r.u64()?;
+    let config = OisaConfig {
+        imager,
+        opc,
+        vam,
+        vom,
+        timing,
+        weight_bits,
+        awc_model,
+        noise,
+        seed,
+    };
+    // Re-run the builder validation so a config a worker would only
+    // reject deep inside accelerator construction fails here, typed.
+    config
+        .validated()
+        .map_err(|e| WireError::Malformed(format!("pushed config rejected: {e}")))
+}
+
+// ---------------------------------------------------------------------
 // Message encode/decode
 // ---------------------------------------------------------------------
+
+/// The version stamp a message travels under: pre-v3 messages keep
+/// their [`LEGACY_SCHEMA_VERSION`] stamp (module docs: the v2-interop
+/// rule), v3-only messages are stamped [`SCHEMA_VERSION`].
+fn version_for(message: &WireMessage) -> u16 {
+    match message {
+        WireMessage::Configure(_) | WireMessage::ConfigureAck(_) => SCHEMA_VERSION,
+        _ => LEGACY_SCHEMA_VERSION,
+    }
+}
 
 /// Encodes one message as a versioned payload (no length prefix — see
 /// [`write_frame`] for framing).
@@ -647,7 +1057,7 @@ fn get_string(r: &mut Reader<'_>) -> Result<String> {
 pub fn encode(message: &WireMessage) -> Vec<u8> {
     let mut w = Writer(Vec::with_capacity(64));
     w.u16(MAGIC);
-    w.u16(SCHEMA_VERSION);
+    w.u16(version_for(message));
     match message {
         WireMessage::Job(job) => {
             w.u8(TAG_JOB);
@@ -684,6 +1094,16 @@ pub fn encode(message: &WireMessage) -> Vec<u8> {
             w.u64(hs.nonce);
             w.u64(hs.config_fingerprint);
         }
+        WireMessage::Configure(push) => {
+            w.u8(TAG_CONFIGURE);
+            w.u64(push.nonce);
+            put_config(&mut w, &push.config);
+        }
+        WireMessage::ConfigureAck(hs) => {
+            w.u8(TAG_CONFIGURE_ACK);
+            w.u64(hs.nonce);
+            w.u64(hs.config_fingerprint);
+        }
     }
     w.0
 }
@@ -709,7 +1129,7 @@ fn put_shard_message(w: &mut Writer, shard: &JobShard) {
 pub fn encode_shard(shard: &JobShard) -> Vec<u8> {
     let mut w = Writer(Vec::with_capacity(64));
     w.u16(MAGIC);
-    w.u16(SCHEMA_VERSION);
+    w.u16(LEGACY_SCHEMA_VERSION);
     put_shard_message(&mut w, shard);
     w.0
 }
@@ -727,10 +1147,16 @@ pub fn decode(payload: &[u8]) -> Result<WireMessage> {
         return Err(WireError::BadMagic(magic));
     }
     let version = r.u16()?;
-    if version != SCHEMA_VERSION {
+    if version != SCHEMA_VERSION && version != LEGACY_SCHEMA_VERSION {
         return Err(WireError::UnsupportedVersion { got: version });
     }
-    let message = match r.u8()? {
+    let tag = r.u8()?;
+    if matches!(tag, TAG_CONFIGURE | TAG_CONFIGURE_ACK) && version < SCHEMA_VERSION {
+        return Err(WireError::Malformed(format!(
+            "message tag {tag} requires schema v{SCHEMA_VERSION}, but was stamped v{version}"
+        )));
+    }
+    let message = match tag {
         TAG_JOB => WireMessage::Job(InferenceJob {
             job_id: r.u64()?,
             k: r.usize_from_u64("job.k")?,
@@ -773,6 +1199,14 @@ pub fn decode(payload: &[u8]) -> Result<WireMessage> {
             config_fingerprint: r.u64()?,
         }),
         TAG_PONG => WireMessage::Pong(Handshake {
+            nonce: r.u64()?,
+            config_fingerprint: r.u64()?,
+        }),
+        TAG_CONFIGURE => WireMessage::Configure(ConfigPush {
+            nonce: r.u64()?,
+            config: get_config(&mut r)?,
+        }),
+        TAG_CONFIGURE_ACK => WireMessage::ConfigureAck(Handshake {
             nonce: r.u64()?,
             config_fingerprint: r.u64()?,
         }),
@@ -974,11 +1408,151 @@ mod tests {
                 nonce: u64::MAX,
                 config_fingerprint: 0,
             }),
+            WireMessage::Configure(ConfigPush {
+                nonce: 41,
+                config: OisaConfig::small_test(),
+            }),
+            WireMessage::Configure(ConfigPush {
+                nonce: 42,
+                config: OisaConfig::paper_default(32, 32),
+            }),
+            WireMessage::ConfigureAck(Handshake {
+                nonce: 42,
+                config_fingerprint: 0xBEEF,
+            }),
         ];
         for message in messages {
             let bytes = encode(&message);
             assert_eq!(decode(&bytes).unwrap(), message);
         }
+    }
+
+    #[test]
+    fn configure_round_trips_every_structured_field() {
+        // A config that differs from every library preset in every
+        // enum arm it can reach: mismatch AWC, crosstalk on, odd seed.
+        let mut config = OisaConfig::paper_default(24, 18);
+        config.awc_model = oisa_device::awc::AwcModel::Mismatch {
+            leg_sigma: 0.0625,
+            compression: 0.03125,
+        };
+        config.opc.arm.crosstalk = true;
+        config.seed = 0x5EED_CAFE;
+        config.weight_bits = 2;
+        let push = WireMessage::Configure(ConfigPush { nonce: 7, config });
+        let decoded = decode(&encode(&push)).unwrap();
+        assert_eq!(decoded, push);
+        // The fingerprint recomputed from the decoded fields matches
+        // the sender's — the property that replaces fingerprint refusal
+        // with config push.
+        match decoded {
+            WireMessage::Configure(got) => {
+                assert_eq!(got.config.fingerprint(), config.fingerprint());
+            }
+            other => panic!("expected a Configure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_messages_stay_stamped_v2_and_both_versions_decode() {
+        // The v2-interop rule: pre-v3 messages travel under the legacy
+        // stamp so genuine v2 peers accept them...
+        let bytes = encode(&WireMessage::Job(sample_job()));
+        assert_eq!(
+            u16::from_le_bytes([bytes[2], bytes[3]]),
+            LEGACY_SCHEMA_VERSION
+        );
+        // ...while this decoder accepts the same layout under either
+        // stamp (a future peer may stamp v3 on everything).
+        let mut restamped = bytes.clone();
+        restamped[2..4].copy_from_slice(&SCHEMA_VERSION.to_le_bytes());
+        assert_eq!(decode(&restamped).unwrap(), decode(&bytes).unwrap());
+        // Configure is the v3-only message and is stamped as such.
+        let push = encode(&WireMessage::Configure(ConfigPush {
+            nonce: 1,
+            config: OisaConfig::small_test(),
+        }));
+        assert_eq!(u16::from_le_bytes([push[2], push[3]]), SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn configure_under_a_legacy_stamp_is_rejected() {
+        let mut bytes = encode(&WireMessage::Configure(ConfigPush {
+            nonce: 9,
+            config: OisaConfig::small_test(),
+        }));
+        bytes[2..4].copy_from_slice(&LEGACY_SCHEMA_VERSION.to_le_bytes());
+        match decode(&bytes) {
+            Err(WireError::Malformed(what)) => {
+                assert!(what.contains("requires schema v3"), "{what}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pushed_config_is_revalidated_on_decode() {
+        let mut config = OisaConfig::small_test();
+        config.weight_bits = 9; // outside the 1–4 builder invariant
+        let bytes = encode(&WireMessage::Configure(ConfigPush { nonce: 3, config }));
+        match decode(&bytes) {
+            Err(WireError::Malformed(what)) => {
+                assert!(what.contains("weight_bits"), "{what}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_configure_bool_is_a_typed_error() {
+        // Locate the crosstalk byte by diffing two encodings that
+        // differ only in that field, then corrupt it.
+        let mut config = OisaConfig::small_test();
+        config.opc.arm.crosstalk = false;
+        let off = encode(&WireMessage::Configure(ConfigPush { nonce: 5, config }));
+        config.opc.arm.crosstalk = true;
+        let on = encode(&WireMessage::Configure(ConfigPush { nonce: 5, config }));
+        let flips: Vec<usize> = (0..off.len()).filter(|&i| off[i] != on[i]).collect();
+        assert_eq!(flips.len(), 1, "crosstalk must be exactly one byte");
+        let mut corrupt = off;
+        corrupt[flips[0]] = 7;
+        match decode(&corrupt) {
+            Err(WireError::Malformed(what)) => {
+                assert!(what.contains("crosstalk"), "{what}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_configure_is_an_error_not_a_panic() {
+        let bytes = encode(&WireMessage::Configure(ConfigPush {
+            nonce: 11,
+            config: OisaConfig::paper_default(16, 16),
+        }));
+        for cut in 0..bytes.len() {
+            let err = decode(&bytes[..cut]).expect_err("truncation must fail");
+            assert!(
+                matches!(err, WireError::Truncated { .. } | WireError::Malformed(_)),
+                "cut at {cut}: {err:?}"
+            );
+        }
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert_eq!(decode(&trailing), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn refusal_code_display_is_stable_and_greppable() {
+        assert_eq!(RefusalCode::Other.to_string(), "other");
+        let shown = RefusalCode::FingerprintMismatch {
+            coordinator: 0xAB,
+            worker: 0xCD,
+        }
+        .to_string();
+        assert!(shown.contains("fingerprint-mismatch"), "{shown}");
+        assert!(shown.contains("0x00000000000000ab"), "{shown}");
+        assert!(shown.contains("0x00000000000000cd"), "{shown}");
     }
 
     #[test]

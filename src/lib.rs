@@ -52,6 +52,49 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Supervised fleets
+//!
+//! For hands-off operation, wrap the fleet in a
+//! [`core::backend::FleetSupervisor`] instead of driving a
+//! `ShardedBackend` directly. The supervisor health-checks idle
+//! workers on an interval, and when a worker dies mid-job it
+//! quarantines the endpoint, promotes a spare (or re-plans the
+//! remaining shards across the survivors when the bench is empty) and
+//! finishes the job — the merged reports stay bit-identical to the
+//! sequential loop, so failover is invisible in the results. With
+//! [`core::backend::SupervisorOptions::push_config_to_spares`] set,
+//! admission pushes the coordinator's full `OisaConfig` over the wire
+//! (schema v3 `Configure`), so spares started with different physics
+//! converge instead of refusing shards.
+//!
+//! ```
+//! use oisa::core::backend::{
+//!     ComputeBackend, FleetSupervisor, InProcessWorker, ShardTransport, SupervisorOptions,
+//! };
+//! use oisa::core::wire::InferenceJob;
+//! use oisa::core::OisaConfig;
+//! use oisa::sensor::Frame;
+//!
+//! # fn main() -> Result<(), oisa::core::OisaError> {
+//! let config = OisaConfig::small_test();
+//! let active: Vec<Box<dyn ShardTransport>> = vec![
+//!     Box::new(InProcessWorker::new(config)),
+//!     Box::new(InProcessWorker::new(config)),
+//! ];
+//! let spares: Vec<Box<dyn ShardTransport>> = vec![Box::new(InProcessWorker::new(config))];
+//! let mut fleet = FleetSupervisor::new(config, active, spares, SupervisorOptions::default())?;
+//! let job = InferenceJob {
+//!     job_id: 1,
+//!     k: 3,
+//!     kernels: vec![vec![0.5f32; 9]],
+//!     frames: vec![Frame::constant(16, 16, 0.7)?; 4],
+//! };
+//! assert_eq!(fleet.run_job(&job)?.len(), 4);
+//! assert_eq!(fleet.status().spares, 1); // nobody died; the bench is untouched
+//! # Ok(())
+//! # }
+//! ```
 
 //! # Performance notes
 //!
