@@ -235,14 +235,10 @@ impl FleetSupervisor {
             match self.promote_spare() {
                 Some(spare) => {
                     self.promotions += 1;
-                    self.backend
-                        .replace_worker(index, spare)
-                        .expect("probed index is in range");
+                    self.backend.replace_worker(index, spare)?;
                 }
                 None if self.backend.worker_count() > 1 => {
-                    self.backend
-                        .remove_worker(index)
-                        .expect("fleet has more than one worker");
+                    self.backend.remove_worker(index)?;
                 }
                 None => {
                     return Err(OisaError::Backend(format!(

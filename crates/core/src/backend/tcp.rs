@@ -368,7 +368,10 @@ impl TcpTransport {
                 config_fingerprint: self.fingerprint,
             }),
         };
-        let stream = self.stream.as_mut().expect("connected before handshake");
+        let stream = self
+            .stream
+            .as_mut()
+            .ok_or_else(|| AttemptError::Retry("connection dropped before the handshake".into()))?;
         wire::send(stream, &request).map_err(AttemptError::from)?;
         let payload = wire::read_frame(stream)
             .map_err(AttemptError::from)?
@@ -413,7 +416,10 @@ impl TcpTransport {
     /// One send-and-receive over the current connection.
     fn attempt(&mut self, message: &[u8]) -> Result<Vec<u8>, AttemptError> {
         self.ensure_connected()?;
-        let stream = self.stream.as_mut().expect("connected");
+        let stream = self
+            .stream
+            .as_mut()
+            .ok_or_else(|| AttemptError::Retry("connection dropped before the exchange".into()))?;
         wire::write_frame(stream, message).map_err(AttemptError::from)?;
         wire::read_frame(stream)
             .map_err(AttemptError::from)?

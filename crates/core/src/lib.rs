@@ -90,6 +90,10 @@
 //! # }
 //! ```
 
+// No unsafe: this crate must stay entirely safe Rust. The SIMD layer
+// (oisa_device/oisa_optics) is the only sanctioned unsafe in the tree.
+#![forbid(unsafe_code)]
+
 pub mod accelerator;
 pub mod backend;
 pub mod controller;

@@ -125,6 +125,32 @@ const TAG_PONG: u8 = 6;
 const TAG_CONFIGURE: u8 = 7;
 const TAG_CONFIGURE_ACK: u8 = 8;
 
+/// The version-gating registry: every message tag, paired with the
+/// minimum schema version a payload may stamp it with. Adding a message
+/// means adding a row here — `oisa-lint`'s `wire-tag-registry` rule
+/// asserts tag values are unique and that no tag constant is missing
+/// from this table, so a new message can neither collide nor silently
+/// skip gating.
+const TAG_MIN_VERSION: &[(u8, u16)] = &[
+    (TAG_JOB, LEGACY_SCHEMA_VERSION),
+    (TAG_SHARD, LEGACY_SCHEMA_VERSION),
+    (TAG_REPORT, LEGACY_SCHEMA_VERSION),
+    (TAG_REFUSAL, LEGACY_SCHEMA_VERSION),
+    (TAG_PING, LEGACY_SCHEMA_VERSION),
+    (TAG_PONG, LEGACY_SCHEMA_VERSION),
+    (TAG_CONFIGURE, SCHEMA_VERSION),
+    (TAG_CONFIGURE_ACK, SCHEMA_VERSION),
+];
+
+/// Minimum schema version for `tag`, or `None` for tags this build does
+/// not know.
+fn min_version_for(tag: u8) -> Option<u16> {
+    TAG_MIN_VERSION
+        .iter()
+        .find(|&&(t, _)| t == tag)
+        .map(|&(_, v)| v)
+}
+
 /// Decode/framing failures. Every variant is a *protocol* fault — the
 /// bytes were readable but wrong — except [`WireError::Io`], which
 /// wraps transport failures so stream helpers return one error type.
@@ -1041,14 +1067,26 @@ fn get_config(r: &mut Reader<'_>) -> Result<OisaConfig> {
 // Message encode/decode
 // ---------------------------------------------------------------------
 
-/// The version stamp a message travels under: pre-v3 messages keep
-/// their [`LEGACY_SCHEMA_VERSION`] stamp (module docs: the v2-interop
-/// rule), v3-only messages are stamped [`SCHEMA_VERSION`].
-fn version_for(message: &WireMessage) -> u16 {
+/// The tag [`encode`] writes for `message`.
+fn tag_for(message: &WireMessage) -> u8 {
     match message {
-        WireMessage::Configure(_) | WireMessage::ConfigureAck(_) => SCHEMA_VERSION,
-        _ => LEGACY_SCHEMA_VERSION,
+        WireMessage::Job(_) => TAG_JOB,
+        WireMessage::Shard(_) => TAG_SHARD,
+        WireMessage::Report(_) => TAG_REPORT,
+        WireMessage::Refusal(_) => TAG_REFUSAL,
+        WireMessage::Ping(_) => TAG_PING,
+        WireMessage::Pong(_) => TAG_PONG,
+        WireMessage::Configure(_) => TAG_CONFIGURE,
+        WireMessage::ConfigureAck(_) => TAG_CONFIGURE_ACK,
     }
+}
+
+/// The version stamp a message travels under: its [`TAG_MIN_VERSION`]
+/// entry. Pre-v3 messages keep their [`LEGACY_SCHEMA_VERSION`] stamp
+/// (module docs: the v2-interop rule), v3-only messages are stamped
+/// [`SCHEMA_VERSION`].
+fn version_for(message: &WireMessage) -> u16 {
+    min_version_for(tag_for(message)).unwrap_or(SCHEMA_VERSION)
 }
 
 /// Encodes one message as a versioned payload (no length prefix — see
@@ -1058,17 +1096,16 @@ pub fn encode(message: &WireMessage) -> Vec<u8> {
     let mut w = Writer(Vec::with_capacity(64));
     w.u16(MAGIC);
     w.u16(version_for(message));
+    w.u8(tag_for(message));
     match message {
         WireMessage::Job(job) => {
-            w.u8(TAG_JOB);
             w.u64(job.job_id);
             w.u64(job.k as u64);
             put_kernels(&mut w, &job.kernels);
             put_frames(&mut w, &job.frames);
         }
-        WireMessage::Shard(shard) => put_shard_message(&mut w, shard),
+        WireMessage::Shard(shard) => put_shard_body(&mut w, shard),
         WireMessage::Report(report) => {
-            w.u8(TAG_REPORT);
             w.u64(report.job_id);
             w.u32(report.shard_index);
             w.u64(report.first_frame);
@@ -1078,38 +1115,25 @@ pub fn encode(message: &WireMessage) -> Vec<u8> {
             }
         }
         WireMessage::Refusal(refusal) => {
-            w.u8(TAG_REFUSAL);
             w.u64(refusal.job_id);
             w.u32(refusal.shard_index);
             put_refusal_code(&mut w, &refusal.code);
             put_string(&mut w, &refusal.reason);
         }
-        WireMessage::Ping(hs) => {
-            w.u8(TAG_PING);
-            w.u64(hs.nonce);
-            w.u64(hs.config_fingerprint);
-        }
-        WireMessage::Pong(hs) => {
-            w.u8(TAG_PONG);
+        WireMessage::Ping(hs) | WireMessage::Pong(hs) | WireMessage::ConfigureAck(hs) => {
             w.u64(hs.nonce);
             w.u64(hs.config_fingerprint);
         }
         WireMessage::Configure(push) => {
-            w.u8(TAG_CONFIGURE);
             w.u64(push.nonce);
             put_config(&mut w, &push.config);
-        }
-        WireMessage::ConfigureAck(hs) => {
-            w.u8(TAG_CONFIGURE_ACK);
-            w.u64(hs.nonce);
-            w.u64(hs.config_fingerprint);
         }
     }
     w.0
 }
 
-fn put_shard_message(w: &mut Writer, shard: &JobShard) {
-    w.u8(TAG_SHARD);
+/// Body of a [`TAG_SHARD`] message (everything after the tag byte).
+fn put_shard_body(w: &mut Writer, shard: &JobShard) {
     w.u64(shard.job_id);
     w.u32(shard.shard_index);
     w.u32(shard.shard_count);
@@ -1130,7 +1154,8 @@ pub fn encode_shard(shard: &JobShard) -> Vec<u8> {
     let mut w = Writer(Vec::with_capacity(64));
     w.u16(MAGIC);
     w.u16(LEGACY_SCHEMA_VERSION);
-    put_shard_message(&mut w, shard);
+    w.u8(TAG_SHARD);
+    put_shard_body(&mut w, shard);
     w.0
 }
 
@@ -1151,9 +1176,10 @@ pub fn decode(payload: &[u8]) -> Result<WireMessage> {
         return Err(WireError::UnsupportedVersion { got: version });
     }
     let tag = r.u8()?;
-    if matches!(tag, TAG_CONFIGURE | TAG_CONFIGURE_ACK) && version < SCHEMA_VERSION {
+    let min_version = min_version_for(tag).ok_or(WireError::UnknownTag(tag))?;
+    if version < min_version {
         return Err(WireError::Malformed(format!(
-            "message tag {tag} requires schema v{SCHEMA_VERSION}, but was stamped v{version}"
+            "message tag {tag} requires schema v{min_version}, but was stamped v{version}"
         )));
     }
     let message = match tag {
@@ -1488,6 +1514,37 @@ mod tests {
             }
             other => panic!("expected Malformed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn tag_registry_is_unique_and_version_sane() {
+        for (i, &(tag, min)) in TAG_MIN_VERSION.iter().enumerate() {
+            assert!(
+                !TAG_MIN_VERSION[..i].iter().any(|&(t, _)| t == tag),
+                "tag {tag} registered twice"
+            );
+            assert!(
+                (LEGACY_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&min),
+                "tag {tag}: min version {min} outside the supported range"
+            );
+        }
+        // The v2-interop rule: exactly the config-push pair is v3-only.
+        let v3_only: Vec<u8> = TAG_MIN_VERSION
+            .iter()
+            .filter(|&&(_, v)| v == SCHEMA_VERSION)
+            .map(|&(t, _)| t)
+            .collect();
+        assert_eq!(v3_only, vec![TAG_CONFIGURE, TAG_CONFIGURE_ACK]);
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected_before_body_parsing() {
+        let mut bytes = encode(&WireMessage::Ping(Handshake {
+            nonce: 1,
+            config_fingerprint: 2,
+        }));
+        bytes[4] = 0xEE;
+        assert_eq!(decode(&bytes), Err(WireError::UnknownTag(0xEE)));
     }
 
     #[test]

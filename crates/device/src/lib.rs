@@ -38,6 +38,11 @@
 //! # }
 //! ```
 
+// The only sanctioned unsafe in the tree lives here, and every unsafe
+// operation inside an `unsafe fn` must be its own block with its own
+// `// SAFETY:` comment (enforced mechanically by `oisa-lint`).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod awc;
 pub mod mr;
 pub mod noise;

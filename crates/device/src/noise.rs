@@ -396,32 +396,28 @@ impl StreamQuad {
     }
 
     /// Pair draw on the AVX2 mixing tier (doc-hidden; see
-    /// [`StreamQuad::gaussian_pair_at_scalar`]).
-    ///
-    /// # Safety
-    ///
-    /// The CPU must support AVX2.
+    /// [`StreamQuad::gaussian_pair_at_scalar`]). Safe
+    /// `#[target_feature]` fn: callers that have not proven AVX2
+    /// support must still wrap the call in `unsafe`.
     #[doc(hidden)]
     #[cfg(all(feature = "simd", target_arch = "x86_64"))]
     #[inline]
     #[target_feature(enable = "avx2")]
     #[must_use]
-    pub unsafe fn gaussian_pair_at_avx2(&self, c: u64) -> ([f64; LANES], [f64; LANES]) {
+    pub fn gaussian_pair_at_avx2(&self, c: u64) -> ([f64; LANES], [f64; LANES]) {
         self.pair_from_mixed(crate::simd::x86::mix64_key_pairs_avx2(self.keys, c))
     }
 
     /// Pair draw on the AVX-512 mixing tier (doc-hidden; see
-    /// [`StreamQuad::gaussian_pair_at_scalar`]).
-    ///
-    /// # Safety
-    ///
-    /// The CPU must support AVX-512DQ and AVX-512VL.
+    /// [`StreamQuad::gaussian_pair_at_scalar`]). Safe
+    /// `#[target_feature]` fn: callers that have not proven
+    /// AVX-512DQ/VL support must still wrap the call in `unsafe`.
     #[doc(hidden)]
     #[cfg(all(feature = "simd", target_arch = "x86_64"))]
     #[inline]
     #[target_feature(enable = "avx512dq,avx512vl")]
     #[must_use]
-    pub unsafe fn gaussian_pair_at_avx512(&self, c: u64) -> ([f64; LANES], [f64; LANES]) {
+    pub fn gaussian_pair_at_avx512(&self, c: u64) -> ([f64; LANES], [f64; LANES]) {
         self.pair_from_mixed(crate::simd::x86::mix64_key_pairs_avx512(self.keys, c))
     }
 

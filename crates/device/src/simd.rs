@@ -247,9 +247,13 @@ pub(crate) mod x86 {
 
     /// 64×64→64 low multiply on AVX2, where no native instruction
     /// exists: three `vpmuludq` 32×32→64 partial products.
+    ///
+    /// Safe `#[target_feature]` fn: register-only intrinsics are safe
+    /// inside a matching target-feature context, and callers (the
+    /// other kernels here) share the `avx2` feature.
     #[inline]
     #[target_feature(enable = "avx2")]
-    unsafe fn mullo64_avx2(a: __m256i, b: __m256i) -> __m256i {
+    fn mullo64_avx2(a: __m256i, b: __m256i) -> __m256i {
         let lo = _mm256_mul_epu32(a, b);
         let a_hi_b = _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b);
         let a_b_hi = _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32));
@@ -292,7 +296,10 @@ pub(crate) mod x86 {
     /// the two finaliser multiply rounds per register.
     macro_rules! key_pairs_body {
         ($mullo:ident, $keys:ident, $c:ident) => {{
-            let keys_v = _mm256_loadu_si256($keys.as_ptr().cast::<__m256i>());
+            // SAFETY: `$keys` is a `[u64; LANES]` (LANES = 4), exactly
+            // one 256-bit unaligned load; `loadu` has no alignment
+            // requirement.
+            let keys_v = unsafe { _mm256_loadu_si256($keys.as_ptr().cast::<__m256i>()) };
             let s0 = _mm256_xor_si256(
                 keys_v,
                 _mm256_set1_epi64x($c.wrapping_mul(COUNTER_MUL) as i64),
@@ -304,37 +311,43 @@ pub(crate) mod x86 {
             let z0 = finalise_reg!($mullo, s0);
             let z1 = finalise_reg!($mullo, s1);
             let mut out = [0u64; 2 * LANES];
-            _mm256_storeu_si256(out.as_mut_ptr().cast::<__m256i>(), z0);
-            _mm256_storeu_si256(out.as_mut_ptr().add(LANES).cast::<__m256i>(), z1);
+            // SAFETY: `out` is `2 * LANES` u64s — two 256-bit stores at
+            // element offsets 0 and LANES stay in bounds; `storeu` has
+            // no alignment requirement.
+            unsafe {
+                _mm256_storeu_si256(out.as_mut_ptr().cast::<__m256i>(), z0);
+                _mm256_storeu_si256(out.as_mut_ptr().add(LANES).cast::<__m256i>(), z1);
+            }
             out
         }};
     }
 
-    /// # Safety
-    ///
-    /// The CPU must support AVX2.
+    /// Safe `#[target_feature]` kernel: dispatchers that have not
+    /// proven AVX2 support must still wrap the call in `unsafe`.
     #[inline]
     #[target_feature(enable = "avx2")]
-    pub(crate) unsafe fn mix64_key_pairs_avx2(keys: [u64; LANES], c: u64) -> [u64; 2 * LANES] {
+    pub(crate) fn mix64_key_pairs_avx2(keys: [u64; LANES], c: u64) -> [u64; 2 * LANES] {
         key_pairs_body!(mullo64_avx2, keys, c)
     }
 
-    /// # Safety
-    ///
-    /// The CPU must support AVX-512DQ and AVX-512VL (for `vpmullq` on
-    /// 256-bit vectors).
+    /// Safe `#[target_feature]` kernel: dispatchers that have not
+    /// proven AVX-512DQ/VL support must still wrap the call in
+    /// `unsafe`.
     #[inline]
     #[target_feature(enable = "avx512dq,avx512vl")]
-    pub(crate) unsafe fn mix64_key_pairs_avx512(keys: [u64; LANES], c: u64) -> [u64; 2 * LANES] {
+    pub(crate) fn mix64_key_pairs_avx512(keys: [u64; LANES], c: u64) -> [u64; 2 * LANES] {
         key_pairs_body!(_mm256_mullo_epi64, keys, c)
     }
 
     macro_rules! mix_body {
         ($mullo:ident, $key:ident, $counters:ident) => {{
-            let c = _mm256_loadu_si256($counters.as_ptr().cast::<__m256i>());
+            // SAFETY: `$counters` is a `[u64; LANES]` (LANES = 4) —
+            // exactly one unaligned 256-bit load.
+            let c = unsafe { _mm256_loadu_si256($counters.as_ptr().cast::<__m256i>()) };
             let z = mix_reg!($mullo, $key, c);
             let mut out = [0u64; LANES];
-            _mm256_storeu_si256(out.as_mut_ptr().cast::<__m256i>(), z);
+            // SAFETY: one 256-bit store into the LANES-u64 `out`.
+            unsafe { _mm256_storeu_si256(out.as_mut_ptr().cast::<__m256i>(), z) };
             out
         }};
     }
@@ -345,56 +358,57 @@ pub(crate) mod x86 {
     /// into its dispatcher) is paid once instead of twice.
     macro_rules! mix2_body {
         ($mullo:ident, $key:ident, $counters:ident) => {{
-            let c0 = _mm256_loadu_si256($counters.as_ptr().cast::<__m256i>());
-            let c1 = _mm256_loadu_si256($counters.as_ptr().add(LANES).cast::<__m256i>());
+            // SAFETY: `$counters` is a `[u64; 2 * LANES]` — two
+            // unaligned 256-bit loads at element offsets 0 and LANES
+            // stay in bounds.
+            let (c0, c1) = unsafe {
+                (
+                    _mm256_loadu_si256($counters.as_ptr().cast::<__m256i>()),
+                    _mm256_loadu_si256($counters.as_ptr().add(LANES).cast::<__m256i>()),
+                )
+            };
             let z0 = mix_reg!($mullo, $key, c0);
             let z1 = mix_reg!($mullo, $key, c1);
             let mut out = [0u64; 2 * LANES];
-            _mm256_storeu_si256(out.as_mut_ptr().cast::<__m256i>(), z0);
-            _mm256_storeu_si256(out.as_mut_ptr().add(LANES).cast::<__m256i>(), z1);
+            // SAFETY: `out` is `2 * LANES` u64s — two 256-bit stores at
+            // element offsets 0 and LANES stay in bounds.
+            unsafe {
+                _mm256_storeu_si256(out.as_mut_ptr().cast::<__m256i>(), z0);
+                _mm256_storeu_si256(out.as_mut_ptr().add(LANES).cast::<__m256i>(), z1);
+            }
             out
         }};
     }
 
-    /// # Safety
-    ///
-    /// The CPU must support AVX2.
+    /// Safe `#[target_feature]` kernel: dispatchers that have not
+    /// proven AVX2 support must still wrap the call in `unsafe`.
     #[target_feature(enable = "avx2")]
-    pub(crate) unsafe fn mix64_lanes_avx2(key: u64, counters: [u64; LANES]) -> [u64; LANES] {
+    pub(crate) fn mix64_lanes_avx2(key: u64, counters: [u64; LANES]) -> [u64; LANES] {
         mix_body!(mullo64_avx2, key, counters)
     }
 
-    /// # Safety
-    ///
-    /// The CPU must support AVX-512DQ and AVX-512VL (for `vpmullq` on
-    /// 256-bit vectors).
+    /// Safe `#[target_feature]` kernel: dispatchers that have not
+    /// proven AVX-512DQ/VL support (`vpmullq` on 256-bit vectors) must
+    /// still wrap the call in `unsafe`.
     #[target_feature(enable = "avx512dq,avx512vl")]
-    pub(crate) unsafe fn mix64_lanes_avx512(key: u64, counters: [u64; LANES]) -> [u64; LANES] {
+    pub(crate) fn mix64_lanes_avx512(key: u64, counters: [u64; LANES]) -> [u64; LANES] {
         mix_body!(_mm256_mullo_epi64, key, counters)
     }
 
-    /// # Safety
-    ///
-    /// The CPU must support AVX2.
+    /// Safe `#[target_feature]` kernel: dispatchers that have not
+    /// proven AVX2 support must still wrap the call in `unsafe`.
     #[inline]
     #[target_feature(enable = "avx2")]
-    pub(crate) unsafe fn mix64_lanes2_avx2(
-        key: u64,
-        counters: [u64; 2 * LANES],
-    ) -> [u64; 2 * LANES] {
+    pub(crate) fn mix64_lanes2_avx2(key: u64, counters: [u64; 2 * LANES]) -> [u64; 2 * LANES] {
         mix2_body!(mullo64_avx2, key, counters)
     }
 
-    /// # Safety
-    ///
-    /// The CPU must support AVX-512DQ and AVX-512VL (for `vpmullq` on
-    /// 256-bit vectors).
+    /// Safe `#[target_feature]` kernel: dispatchers that have not
+    /// proven AVX-512DQ/VL support (`vpmullq` on 256-bit vectors) must
+    /// still wrap the call in `unsafe`.
     #[inline]
     #[target_feature(enable = "avx512dq,avx512vl")]
-    pub(crate) unsafe fn mix64_lanes2_avx512(
-        key: u64,
-        counters: [u64; 2 * LANES],
-    ) -> [u64; 2 * LANES] {
+    pub(crate) fn mix64_lanes2_avx512(key: u64, counters: [u64; 2 * LANES]) -> [u64; 2 * LANES] {
         mix2_body!(_mm256_mullo_epi64, key, counters)
     }
 }

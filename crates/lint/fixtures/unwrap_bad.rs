@@ -1,0 +1,4 @@
+// Fixture: panicking error handling in non-test library code.
+pub fn first_row(rows: &[Vec<f64>]) -> &Vec<f64> {
+    rows.first().unwrap()
+}

@@ -1,0 +1,14 @@
+// Fixture: unwrap is fine inside #[cfg(test)] regions and the
+// unwrap_or family never counts.
+pub fn first_or_default(rows: &[Vec<f64>]) -> Vec<f64> {
+    rows.first().cloned().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let rows = vec![vec![1.0]];
+        assert_eq!(rows.first().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,327 @@
+//! The `lint-allow.toml` allowlist: a TOML-subset parser (no
+//! dependencies) plus the logic that subtracts allowlisted findings
+//! from a run.
+//!
+//! Grammar — an array-of-tables, nothing else:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "no-unwrap-in-lib"
+//! path = "crates/core/src/serving.rs"
+//! max = 21                 # or: line = 118
+//! justification = "lock-poison expects; a poisoned lock is a crashed worker"
+//! ```
+//!
+//! Every entry names a `rule`, a workspace-relative `path`, exactly one
+//! of `line` (pin one finding to an exact line) or `max` (a budget: up
+//! to N findings for this rule+path pair — counts can only go down),
+//! and a non-empty `justification`. Anything else is a parse error —
+//! the allowlist is load-bearing, so it fails closed.
+
+use crate::rules::{Finding, ALL_RULES};
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id the entry silences.
+    pub rule: String,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Pin to one exact line…
+    pub line: Option<u32>,
+    /// …or grant a per-(rule, path) budget.
+    pub max: Option<u32>,
+    /// Why this violation is acceptable. Mandatory.
+    pub justification: String,
+    /// 1-based line of the `[[allow]]` header in `lint-allow.toml`.
+    pub src_line: u32,
+}
+
+/// A parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// All entries, in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+/// Outcome of subtracting an allowlist from a finding set.
+#[derive(Debug, Default)]
+pub struct Applied {
+    /// Findings not covered by any entry — these fail the run.
+    pub active: Vec<Finding>,
+    /// Findings silenced by an entry.
+    pub suppressed: Vec<Finding>,
+    /// Entries that matched nothing (or budgets larger than the current
+    /// count). Non-fatal: reported as warnings so budgets get ratcheted
+    /// down.
+    pub stale: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parses `lint-allow.toml` text. Errors are human-readable strings
+    /// with 1-based line numbers.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut current: Option<AllowEntry> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = (idx + 1) as u32;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(e) = current.take() {
+                    finish_entry(e, &mut entries)?;
+                }
+                current = Some(AllowEntry {
+                    rule: String::new(),
+                    path: String::new(),
+                    line: None,
+                    max: None,
+                    justification: String::new(),
+                    src_line: lineno,
+                });
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!(
+                    "lint-allow.toml:{lineno}: only `[[allow]]` tables are supported, got `{line}`"
+                ));
+            }
+            let Some(eq) = line.find('=') else {
+                return Err(format!(
+                    "lint-allow.toml:{lineno}: expected `key = value`, got `{line}`"
+                ));
+            };
+            let key = line[..eq].trim();
+            let value = line[eq + 1..].trim();
+            let Some(entry) = current.as_mut() else {
+                return Err(format!(
+                    "lint-allow.toml:{lineno}: `{key}` outside any `[[allow]]` table"
+                ));
+            };
+            match key {
+                "rule" => entry.rule = parse_string(value, lineno)?,
+                "path" => entry.path = parse_string(value, lineno)?,
+                "justification" => entry.justification = parse_string(value, lineno)?,
+                "line" => entry.line = Some(parse_int(value, lineno)?),
+                "max" => entry.max = Some(parse_int(value, lineno)?),
+                other => {
+                    return Err(format!(
+                        "lint-allow.toml:{lineno}: unknown key `{other}` \
+                         (expected rule/path/line/max/justification)"
+                    ));
+                }
+            }
+        }
+        if let Some(e) = current.take() {
+            finish_entry(e, &mut entries)?;
+        }
+        Ok(Self { entries })
+    }
+
+    /// Splits `findings` into active / suppressed, and reports stale
+    /// entries.
+    #[must_use]
+    pub fn apply(&self, findings: Vec<Finding>) -> Applied {
+        let mut out = Applied::default();
+        // Track how many findings each entry consumed.
+        let mut used = vec![0u32; self.entries.len()];
+        for f in findings {
+            let slot = self.entries.iter().enumerate().find(|(i, e)| {
+                if e.rule != f.rule || e.path != f.path {
+                    return false;
+                }
+                match (e.line, e.max) {
+                    (Some(l), _) => l == f.line && used[*i] == 0,
+                    (None, Some(m)) => used[*i] < m,
+                    (None, None) => false, // unreachable post-validation
+                }
+            });
+            match slot {
+                Some((i, _)) => {
+                    used[i] += 1;
+                    out.suppressed.push(f);
+                }
+                None => out.active.push(f),
+            }
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            let expected = match (e.line, e.max) {
+                (Some(_), _) => 1,
+                (None, Some(m)) => m,
+                (None, None) => 0,
+            };
+            if used[i] < expected {
+                out.stale.push(e.clone());
+            }
+        }
+        out
+    }
+}
+
+fn finish_entry(e: AllowEntry, entries: &mut Vec<AllowEntry>) -> Result<(), String> {
+    let at = |msg: &str| format!("lint-allow.toml:{}: {msg}", e.src_line);
+    if e.rule.is_empty() {
+        return Err(at("entry is missing `rule`"));
+    }
+    if !ALL_RULES.contains(&e.rule.as_str()) {
+        return Err(at(&format!("unknown rule `{}`", e.rule)));
+    }
+    if e.path.is_empty() {
+        return Err(at("entry is missing `path`"));
+    }
+    match (e.line, e.max) {
+        (Some(_), Some(_)) => return Err(at("give `line` or `max`, not both")),
+        (None, None) => return Err(at("entry needs `line = N` or `max = N`")),
+        (None, Some(0)) => return Err(at("`max = 0` allows nothing — delete the entry")),
+        _ => {}
+    }
+    if e.justification.trim().len() < 10 {
+        return Err(at(
+            "every allowlist entry needs a real `justification` (>= 10 chars)",
+        ));
+    }
+    entries.push(e);
+    Ok(())
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn parse_string(value: &str, lineno: u32) -> Result<String, String> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        let inner = &v[1..v.len() - 1];
+        let mut out = String::with_capacity(inner.len());
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    other => {
+                        return Err(format!(
+                            "lint-allow.toml:{lineno}: unsupported escape `\\{}`",
+                            other.map(String::from).unwrap_or_default()
+                        ));
+                    }
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        Ok(out)
+    } else {
+        Err(format!(
+            "lint-allow.toml:{lineno}: expected a double-quoted string, got `{v}`"
+        ))
+    }
+}
+
+fn parse_int(value: &str, lineno: u32) -> Result<u32, String> {
+    value.trim().parse::<u32>().map_err(|_| {
+        format!("lint-allow.toml:{lineno}: expected an unsigned integer, got `{value}`")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{RULE_UNWRAP, RULE_WALLCLOCK};
+
+    fn finding(rule: &'static str, path: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    const GOOD: &str = r#"
+# serving needs its lock-poison policy
+[[allow]]
+rule = "no-unwrap-in-lib"
+path = "crates/core/src/serving.rs"
+max = 2
+justification = "lock-poison expects: a poisoned lock means a worker crashed"
+
+[[allow]]
+rule = "deterministic-no-wallclock"
+path = "crates/core/src/wire.rs"
+line = 7
+justification = "doc example string, not executed code"
+"#;
+
+    #[test]
+    fn parses_and_applies_budgets_and_pins() {
+        let list = Allowlist::parse(GOOD).unwrap();
+        assert_eq!(list.entries.len(), 2);
+        let findings = vec![
+            finding(RULE_UNWRAP, "crates/core/src/serving.rs", 10),
+            finding(RULE_UNWRAP, "crates/core/src/serving.rs", 20),
+            finding(RULE_UNWRAP, "crates/core/src/serving.rs", 30), // over budget
+            finding(RULE_WALLCLOCK, "crates/core/src/wire.rs", 7),
+            finding(RULE_WALLCLOCK, "crates/core/src/wire.rs", 8), // wrong line
+        ];
+        let applied = list.apply(findings);
+        assert_eq!(applied.suppressed.len(), 3);
+        assert_eq!(applied.active.len(), 2);
+        assert!(applied.stale.is_empty());
+    }
+
+    #[test]
+    fn unused_entries_are_stale_not_fatal() {
+        let list = Allowlist::parse(GOOD).unwrap();
+        let applied = list.apply(vec![finding(RULE_UNWRAP, "crates/core/src/serving.rs", 10)]);
+        assert_eq!(applied.suppressed.len(), 1);
+        // Budget of 2 only half-used + the pinned entry unmatched.
+        assert_eq!(applied.stale.len(), 2);
+    }
+
+    #[test]
+    fn rejects_entry_without_justification() {
+        let bad = "[[allow]]\nrule = \"no-unwrap-in-lib\"\npath = \"x.rs\"\nmax = 1\n";
+        let err = Allowlist::parse(bad).unwrap_err();
+        assert!(err.contains("justification"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_rule_and_bad_shapes() {
+        let unknown =
+            "[[allow]]\nrule = \"nope\"\npath = \"x.rs\"\nmax = 1\njustification = \"0123456789\"\n";
+        assert!(Allowlist::parse(unknown)
+            .unwrap_err()
+            .contains("unknown rule"));
+        let both = "[[allow]]\nrule = \"no-unwrap-in-lib\"\npath = \"x.rs\"\nline = 1\nmax = 1\njustification = \"0123456789\"\n";
+        assert!(Allowlist::parse(both).unwrap_err().contains("not both"));
+        let neither = "[[allow]]\nrule = \"no-unwrap-in-lib\"\npath = \"x.rs\"\njustification = \"0123456789\"\n";
+        assert!(Allowlist::parse(neither).unwrap_err().contains("needs"));
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let src = "[[allow]]\nrule = \"no-unwrap-in-lib\"\npath = \"x.rs\"\nmax = 1\njustification = \"the # is part of the text\" # trailing\n";
+        let list = Allowlist::parse(src).unwrap();
+        assert_eq!(list.entries[0].justification, "the # is part of the text");
+    }
+}

@@ -1,0 +1,680 @@
+//! A small Rust lexer: just enough structure for invariant rules.
+//!
+//! The rules in [`crate::rules`] must never fire on the word `unsafe`
+//! inside a string literal, miss a `thread::spawn` because a comment
+//! sits between the tokens, or mistake a lifetime for a character
+//! literal. This lexer produces a token stream where those cases are
+//! already resolved, so every rule matches **tokens**, not raw text:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   are single [`TokenKind::Comment`] tokens,
+//! * plain, byte, C and **raw** strings (any `#` depth) are single
+//!   [`TokenKind::StrLit`] tokens — their contents are never tokenized,
+//! * `'a` lifetimes and `'a'` / `'\n'` character literals are
+//!   distinguished,
+//! * numeric literals carry whether they are floats
+//!   ([`TokenKind::Float`] vs [`TokenKind::Int`]), including exponent
+//!   (`1e-5`) and suffix (`2f64`) forms, while hex literals like
+//!   `0x1E` stay integers,
+//! * the three punctuation pairs rules match on (`::`, `==`, `!=`) are
+//!   fused into single tokens.
+//!
+//! [`test_mask`] layers item structure on top: it marks every token
+//! under a `#[cfg(test)]` / `#[test]` attribute (through the matching
+//! close brace or terminating semicolon) so rules can skip test code.
+
+/// Classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw `r#ident` forms).
+    Ident,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    CharLit,
+    /// Any string literal: plain, byte, C or raw at any `#` depth.
+    StrLit,
+    /// An integer literal (any base, any suffix).
+    Int,
+    /// A floating-point literal (`1.5`, `1e-3`, `2f64`).
+    Float,
+    /// A line or block comment, text included.
+    Comment,
+    /// Punctuation; `::`, `==` and `!=` are single tokens, everything
+    /// else is one character.
+    Punct,
+}
+
+/// One lexed token with its 1-based starting line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// The exact source text, comments and string quotes included.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// 1-based line the token ends on (block comments and raw strings
+    /// can span many lines).
+    #[must_use]
+    pub fn end_line(&self) -> u32 {
+        self.line + self.text.matches('\n').count() as u32
+    }
+
+    /// Kind + text equality in one call.
+    #[must_use]
+    pub fn is(&self, kind: TokenKind, text: &str) -> bool {
+        self.kind == kind && self.text == text
+    }
+}
+
+/// Lexes `source` into tokens. Never panics: malformed input (an
+/// unterminated string, a lone backslash) degrades to best-effort
+/// tokens rather than an error, because a linter must keep walking the
+/// rest of the file.
+#[must_use]
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char into `text`, tracking line numbers.
+    fn bump(&mut self, text: &mut String) {
+        if let Some(c) = self.chars.get(self.pos).copied() {
+            if c == '\n' {
+                self.line += 1;
+            }
+            text.push(c);
+            self.pos += 1;
+        }
+    }
+
+    fn emit(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            if c == '\n' || c.is_whitespace() {
+                let mut sink = String::new();
+                self.bump(&mut sink);
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line);
+            } else if c == '"' {
+                self.escaped_string(line, 0);
+            } else if c == '\'' {
+                self.quote(line);
+            } else if c.is_ascii_digit() {
+                self.number(line);
+            } else if is_ident_start(c) {
+                self.ident_or_prefixed(line);
+            } else {
+                self.punct(line);
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            let _ = c;
+            self.bump(&mut text);
+        }
+        self.emit(TokenKind::Comment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump(&mut text);
+                self.bump(&mut text);
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth = depth.saturating_sub(1);
+                self.bump(&mut text);
+                self.bump(&mut text);
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.bump(&mut text);
+            }
+        }
+        self.emit(TokenKind::Comment, text, line);
+    }
+
+    /// A `"…"`-delimited string with escapes, after `prefix` marker
+    /// chars (`b"…"` has prefix 1, `"…"` prefix 0).
+    fn escaped_string(&mut self, line: u32, prefix: usize) {
+        let mut text = String::new();
+        for _ in 0..prefix {
+            self.bump(&mut text);
+        }
+        self.bump(&mut text); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.bump(&mut text);
+                self.bump(&mut text);
+            } else if c == '"' {
+                self.bump(&mut text);
+                break;
+            } else {
+                self.bump(&mut text);
+            }
+        }
+        self.emit(TokenKind::StrLit, text, line);
+    }
+
+    /// A raw string after `prefix` marker chars (`r`, `br`, `cr`):
+    /// `#`*n* `"` … `"` `#`*n*.
+    fn raw_string(&mut self, line: u32, prefix: usize) {
+        let mut text = String::new();
+        for _ in 0..prefix {
+            self.bump(&mut text);
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump(&mut text);
+        }
+        self.bump(&mut text); // opening quote
+        'scan: while let Some(c) = self.peek(0) {
+            if c == '"' {
+                // The closing quote must be followed by `hashes` '#'s.
+                let mut all = true;
+                for h in 0..hashes {
+                    if self.peek(1 + h) != Some('#') {
+                        all = false;
+                        break;
+                    }
+                }
+                if all {
+                    self.bump(&mut text);
+                    for _ in 0..hashes {
+                        self.bump(&mut text);
+                    }
+                    break 'scan;
+                }
+            }
+            self.bump(&mut text);
+        }
+        self.emit(TokenKind::StrLit, text, line);
+    }
+
+    /// `'` starts either a lifetime or a character literal.
+    fn quote(&mut self, line: u32) {
+        let next = self.peek(1);
+        let after = self.peek(2);
+        if next == Some('\\') {
+            // Escaped char literal: consume until the closing quote.
+            let mut text = String::new();
+            self.bump(&mut text); // '
+            while let Some(c) = self.peek(0) {
+                if c == '\\' {
+                    self.bump(&mut text);
+                    self.bump(&mut text);
+                } else if c == '\'' {
+                    self.bump(&mut text);
+                    break;
+                } else {
+                    self.bump(&mut text);
+                }
+            }
+            self.emit(TokenKind::CharLit, text, line);
+        } else if after == Some('\'') && next != Some('\'') {
+            // 'x' — any single char closed by a quote.
+            let mut text = String::new();
+            self.bump(&mut text);
+            self.bump(&mut text);
+            self.bump(&mut text);
+            self.emit(TokenKind::CharLit, text, line);
+        } else if next.is_some_and(is_ident_start) {
+            let mut text = String::new();
+            self.bump(&mut text); // '
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump(&mut text);
+            }
+            self.emit(TokenKind::Lifetime, text, line);
+        } else {
+            // A stray quote; emit as punctuation and keep going.
+            let mut text = String::new();
+            self.bump(&mut text);
+            self.emit(TokenKind::Punct, text, line);
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let radix_prefixed = self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'));
+        loop {
+            match self.peek(0) {
+                Some(c) if is_ident_continue(c) => {
+                    self.bump(&mut text);
+                    // `1e-5` / `1E+3`: pull the sign into the literal
+                    // when it follows an exponent marker.
+                    if !radix_prefixed
+                        && (c == 'e' || c == 'E')
+                        && matches!(self.peek(0), Some('+' | '-'))
+                        && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                    {
+                        self.bump(&mut text);
+                    }
+                }
+                Some('.')
+                    if !radix_prefixed
+                        && !text.contains('.')
+                        && self.peek(1).is_some_and(|d| d.is_ascii_digit()) =>
+                {
+                    self.bump(&mut text);
+                }
+                _ => break,
+            }
+        }
+        let float = !radix_prefixed
+            && (text.contains('.')
+                || text.ends_with("f32")
+                || text.ends_with("f64")
+                || has_exponent(&text));
+        let kind = if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.emit(kind, text, line);
+    }
+
+    fn ident_or_prefixed(&mut self, line: u32) {
+        let c = self.peek(0);
+        let next = self.peek(1);
+        let after = self.peek(2);
+        match (c, next) {
+            // r"…" / r#"…"# raw strings vs r#ident raw identifiers.
+            (Some('r'), Some('"')) => return self.raw_string(line, 1),
+            (Some('r'), Some('#')) if raw_hashes_open_string(&self.chars, self.pos + 1) => {
+                return self.raw_string(line, 1)
+            }
+            (Some('b'), Some('"')) | (Some('c'), Some('"')) => return self.escaped_string(line, 1),
+            (Some('b'), Some('\'')) => {
+                // Byte char literal: consume the `b` then reuse the
+                // quote path.
+                let mut marker = String::new();
+                self.bump(&mut marker);
+                let before = self.out.len();
+                self.quote(line);
+                if let Some(tok) = self.out.get_mut(before) {
+                    tok.text.insert(0, 'b');
+                }
+                return;
+            }
+            (Some('b'), Some('r')) | (Some('c'), Some('r'))
+                if after == Some('"')
+                    || (after == Some('#')
+                        && raw_hashes_open_string(&self.chars, self.pos + 2)) =>
+            {
+                return self.raw_string(line, 2)
+            }
+            _ => {}
+        }
+        let mut text = String::new();
+        self.bump(&mut text);
+        // Raw identifier marker r#foo.
+        if text == "r" && self.peek(0) == Some('#') && self.peek(1).is_some_and(is_ident_start) {
+            self.bump(&mut text);
+        }
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump(&mut text);
+        }
+        self.emit(TokenKind::Ident, text, line);
+    }
+
+    fn punct(&mut self, line: u32) {
+        let mut text = String::new();
+        let c = self.peek(0);
+        let next = self.peek(1);
+        self.bump(&mut text);
+        let fused = matches!(
+            (c, next),
+            (Some(':'), Some(':')) | (Some('='), Some('=')) | (Some('!'), Some('='))
+        );
+        if fused {
+            self.bump(&mut text);
+        }
+        self.emit(TokenKind::Punct, text, line);
+    }
+}
+
+/// True when `chars[start..]` is `#`*n* followed by `"` — i.e. the
+/// hashes open a raw string rather than a raw identifier.
+fn raw_hashes_open_string(chars: &[char], start: usize) -> bool {
+    let mut i = start;
+    while chars.get(i) == Some(&'#') {
+        i += 1;
+    }
+    i > start && chars.get(i) == Some(&'"')
+}
+
+/// Detects a decimal exponent (`e`/`E` followed by a digit or sign) in
+/// a numeric literal's text.
+fn has_exponent(text: &str) -> bool {
+    let bytes = text.as_bytes();
+    bytes.iter().enumerate().any(|(i, &b)| {
+        (b == b'e' || b == b'E')
+            && i > 0
+            && bytes
+                .get(i + 1)
+                .is_some_and(|&n| n.is_ascii_digit() || n == b'+' || n == b'-')
+    })
+}
+
+// ---------------------------------------------------------------------
+// Test-region marking
+// ---------------------------------------------------------------------
+
+/// Marks every token covered by a `#[cfg(test)]` / `#[test]` attribute
+/// — the attribute itself, the item header and the full body through
+/// the matching close brace (or terminating semicolon). Rules consult
+/// this mask to skip test code.
+///
+/// `cfg` attributes that mention `not` (e.g. `#[cfg(not(test))]`) are
+/// conservatively treated as **non**-test: the code they gate is
+/// compiled into the library.
+#[must_use]
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is(TokenKind::Punct, "#") {
+            i += 1;
+            continue;
+        }
+        // Inner attribute `#![…]`: skip, it never gates an item.
+        if token_is(tokens, i + 1, "!") && token_is(tokens, i + 2, "[") {
+            i = matching(tokens, i + 2, "[", "]") + 1;
+            continue;
+        }
+        if !token_is(tokens, i + 1, "[") {
+            i += 1;
+            continue;
+        }
+        let close = matching(tokens, i + 1, "[", "]");
+        if attr_is_test(&tokens[i + 2..close.min(tokens.len())]) {
+            let end = item_end(tokens, close + 1).min(tokens.len() - 1);
+            for m in mask.iter_mut().take(end + 1).skip(i) {
+                *m = true;
+            }
+            i = end + 1;
+        } else {
+            i = close + 1;
+        }
+    }
+    mask
+}
+
+fn token_is(tokens: &[Token], i: usize, text: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+}
+
+/// Index of the punct matching `open` at `open_idx` (depth-aware);
+/// the last index when unbalanced, so callers always stay in bounds.
+fn matching(tokens: &[Token], open_idx: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0usize;
+    let mut i = open_idx;
+    while i < tokens.len() {
+        if tokens[i].is(TokenKind::Punct, open) {
+            depth += 1;
+        } else if tokens[i].is(TokenKind::Punct, close) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Decides whether an attribute's inner tokens gate test-only code:
+/// `#[test]` itself, or a `cfg(…)` whose predicate mentions `test` and
+/// never `not`.
+fn attr_is_test(inner: &[Token]) -> bool {
+    let mut idents = inner
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.as_str());
+    match idents.next() {
+        Some("test") => true,
+        Some("cfg") => {
+            let rest: Vec<&str> = idents.collect();
+            rest.contains(&"test") && !rest.contains(&"not")
+        }
+        _ => false,
+    }
+}
+
+/// Finds the end of the item starting at `start` (just past an
+/// attribute): the matching `}` of its first top-level brace, or the
+/// first top-level `;` for brace-less items like `use` declarations.
+fn item_end(tokens: &[Token], start: usize) -> usize {
+    let mut j = start;
+    let mut depth = 0usize; // parens + brackets (fn args, generics)
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                "#" if depth == 0 && token_is(tokens, j + 1, "[") => {
+                    // A further attribute on the same item.
+                    j = matching(tokens, j + 1, "[", "]");
+                }
+                ";" if depth == 0 => return j,
+                "{" if depth == 0 => return matching(tokens, j, "{", "}"),
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_strings_and_idents_are_separated() {
+        let toks = kinds("let x = \"unsafe\"; // unsafe here\nunsafe {}");
+        assert!(toks.contains(&(TokenKind::StrLit, "\"unsafe\"".into())));
+        assert!(toks.contains(&(TokenKind::Comment, "// unsafe here".into())));
+        let unsafe_idents = toks
+            .iter()
+            .filter(|(k, t)| *k == TokenKind::Ident && t == "unsafe")
+            .count();
+        assert_eq!(unsafe_idents, 1, "only the real keyword is an ident");
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let toks = kinds("/* outer /* inner */ still outer */ fn");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::Comment);
+        assert_eq!(toks[1], (TokenKind::Ident, "fn".into()));
+    }
+
+    #[test]
+    fn raw_strings_swallow_their_contents() {
+        let toks = kinds(r###"let s = r#"quote " and unsafe"# ;"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::StrLit && t.contains("unsafe")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unsafe"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.contains(&(TokenKind::Ident, "r#type".into())));
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_differ() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .count();
+        let chars = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::CharLit)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn numeric_literals_classify_floats() {
+        let toks = kinds("0x1E 1_000 1.5 2f64 1e-5 3E+2 7usize 0b101");
+        let floats: Vec<&String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Float)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(floats, ["1.5", "2f64", "1e-5", "3E+2"]);
+    }
+
+    #[test]
+    fn ranges_do_not_create_floats() {
+        let toks = kinds("for i in 0..n { a[i] = t.0; }");
+        assert!(toks.iter().all(|(k, _)| *k != TokenKind::Float));
+    }
+
+    #[test]
+    fn fused_puncts() {
+        let toks = kinds("a == b != c::d");
+        assert!(toks.contains(&(TokenKind::Punct, "==".into())));
+        assert!(toks.contains(&(TokenKind::Punct, "!=".into())));
+        assert!(toks.contains(&(TokenKind::Punct, "::".into())));
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_mod() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\nfn lib2() {}";
+        let tokens = lex(src);
+        let mask = test_mask(&tokens);
+        let unwrap_idx = tokens
+            .iter()
+            .position(|t| t.is(TokenKind::Ident, "unwrap"))
+            .expect("unwrap token present");
+        assert!(mask[unwrap_idx], "test-module token must be masked");
+        let lib2 = tokens
+            .iter()
+            .position(|t| t.is(TokenKind::Ident, "lib2"))
+            .expect("lib2 present");
+        assert!(!mask[lib2], "code after the test module is live again");
+    }
+
+    #[test]
+    fn test_mask_handles_cfg_not_test() {
+        let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }";
+        let tokens = lex(src);
+        let mask = test_mask(&tokens);
+        assert!(mask.iter().all(|&m| !m), "not(test) code is library code");
+    }
+
+    #[test]
+    fn test_mask_covers_test_fn_and_use() {
+        let src = "#[cfg(test)]\nuse std::mem;\n#[test]\nfn t() { a.unwrap() }\nfn live() {}";
+        let tokens = lex(src);
+        let mask = test_mask(&tokens);
+        let unwrap_idx = tokens
+            .iter()
+            .position(|t| t.is(TokenKind::Ident, "unwrap"))
+            .expect("unwrap present");
+        assert!(mask[unwrap_idx]);
+        let live = tokens
+            .iter()
+            .position(|t| t.is(TokenKind::Ident, "live"))
+            .expect("live present");
+        assert!(!mask[live]);
+    }
+
+    #[test]
+    fn byte_and_c_strings_lex_as_strings() {
+        let toks = kinds(r#"b"bytes" c"cstr" br"raw" b'x'"#);
+        let strs = toks.iter().filter(|(k, _)| *k == TokenKind::StrLit).count();
+        assert_eq!(strs, 3);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::CharLit && t == "b'x'"));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"open", "/* open", "r#\"open", "'\\", "b'", "1e", "r#"] {
+            let _ = lex(src);
+        }
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"multi\nline\"\n/* c\nc */\nb";
+        let toks = lex(src);
+        let b = toks
+            .iter()
+            .find(|t| t.is(TokenKind::Ident, "b"))
+            .expect("b");
+        assert_eq!(b.line, 6);
+        let s = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::StrLit)
+            .expect("s");
+        assert_eq!((s.line, s.end_line()), (2, 3));
+    }
+}

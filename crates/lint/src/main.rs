@@ -1,0 +1,104 @@
+//! `oisa-lint` CLI. See the crate docs (`src/lib.rs`) for the
+//! quickstart and `crates/lint/README.md` for the rule catalogue.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use oisa_lint::{check_workspace, discover_root, report, selftest};
+
+const USAGE: &str = "\
+oisa-lint — OISA workspace invariant checker
+
+USAGE:
+    oisa-lint [--root <dir>] [--allow <file>] [--json]
+    oisa-lint self-test
+
+OPTIONS:
+    --root <dir>     Workspace root (default: ascend from cwd to the
+                     first directory containing lint-allow.toml)
+    --allow <file>   Allowlist path (default: <root>/lint-allow.toml)
+    --json           Emit the machine-readable report on stdout
+    self-test        Run the embedded rule fixtures and exit
+
+EXIT CODE:
+    0  clean    1  non-allowlisted findings    2  tool error
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut allow: Option<PathBuf> = None;
+    let mut json = false;
+    let mut self_test = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--allow" => match args.next() {
+                Some(v) => allow = Some(PathBuf::from(v)),
+                None => return usage_error("--allow needs a file"),
+            },
+            "--json" => json = true,
+            "self-test" => self_test = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if self_test {
+        return match selftest::run() {
+            Ok(rep) => {
+                print!("{rep}");
+                ExitCode::SUCCESS
+            }
+            Err(rep) => {
+                eprint!("{rep}");
+                ExitCode::from(1)
+            }
+        };
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| discover_root(&cwd))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "oisa-lint: no lint-allow.toml found above the current directory; pass --root"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let allow = allow.unwrap_or_else(|| root.join("lint-allow.toml"));
+
+    match check_workspace(&root, &allow) {
+        Ok(applied) => {
+            if json {
+                print!("{}", report::json(&applied));
+            } else {
+                print!("{}", report::human(&applied));
+            }
+            if applied.active.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("oisa-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("oisa-lint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

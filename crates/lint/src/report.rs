@@ -1,0 +1,153 @@
+//! Human and `--json` rendering of a lint run.
+
+use crate::allowlist::Applied;
+
+/// Renders findings for terminals: `path:line: [rule] message`.
+#[must_use]
+pub fn human(applied: &Applied) -> String {
+    let mut out = String::new();
+    for f in &applied.active {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            f.path, f.line, f.rule, f.message
+        ));
+    }
+    for e in &applied.stale {
+        out.push_str(&format!(
+            "lint-allow.toml:{}: warning: stale allow entry ({} @ {}{}) — ratchet it down\n",
+            e.src_line,
+            e.rule,
+            e.path,
+            match (e.line, e.max) {
+                (Some(l), _) => format!(", line {l}"),
+                (None, Some(m)) => format!(", max {m}"),
+                (None, None) => String::new(),
+            }
+        ));
+    }
+    out.push_str(&format!(
+        "{} finding(s), {} suppressed by lint-allow.toml, {} stale allow entrie(s)\n",
+        applied.active.len(),
+        applied.suppressed.len(),
+        applied.stale.len()
+    ));
+    out
+}
+
+/// Renders the run as a stable JSON document (machine-readable CI
+/// artifact). Hand-rolled: the crate is dependency-free by design.
+#[must_use]
+pub fn json(applied: &Applied) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in applied.active.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}",
+            escape(f.rule),
+            escape(&f.path),
+            f.line,
+            escape(&f.message)
+        ));
+    }
+    if !applied.active.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"suppressed\": [");
+    for (i, f) in applied.suppressed.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}}}",
+            escape(f.rule),
+            escape(&f.path),
+            f.line
+        ));
+    }
+    if !applied.suppressed.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"stale_allows\": [");
+    for (i, e) in applied.stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"path\": {}, \"allow_line\": {}}}",
+            escape(&e.rule),
+            escape(&e.path),
+            e.src_line
+        ));
+    }
+    if !applied.stale.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"counts\": {{\"active\": {}, \"suppressed\": {}, \"stale_allows\": {}}}\n}}\n",
+        applied.active.len(),
+        applied.suppressed.len(),
+        applied.stale.len()
+    ));
+    out
+}
+
+/// JSON string escaping per RFC 8259.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Finding, RULE_UNWRAP};
+
+    fn applied_with_one() -> Applied {
+        Applied {
+            active: vec![Finding {
+                rule: RULE_UNWRAP,
+                path: "crates/x/src/lib.rs".to_string(),
+                line: 3,
+                message: "say \"no\"\tto unwrap".to_string(),
+            }],
+            suppressed: vec![],
+            stale: vec![],
+        }
+    }
+
+    #[test]
+    fn human_lists_findings_and_counts() {
+        let text = human(&applied_with_one());
+        assert!(text.contains("crates/x/src/lib.rs:3: [no-unwrap-in-lib]"));
+        assert!(text.contains("1 finding(s)"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_tabs() {
+        let doc = json(&applied_with_one());
+        assert!(doc.contains(r#"say \"no\"\tto unwrap"#), "{doc}");
+        assert!(doc.contains("\"counts\": {\"active\": 1, \"suppressed\": 0"));
+    }
+
+    #[test]
+    fn empty_run_is_valid_json_shape() {
+        let doc = json(&Applied::default());
+        assert!(doc.contains("\"findings\": []"));
+        assert!(doc.contains("\"stale_allows\": []"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the lint lexer: the rules are only as sound as
+//! the token stream, so the lexer must survive arbitrary input, lose
+//! nothing, and never leak identifier-looking text out of comments or
+//! strings.
+
+use oisa_lint::lexer::{lex, Token, TokenKind};
+use proptest::prelude::*;
+
+/// Palette biased toward the characters that drive lexer state
+/// transitions: quotes, escapes, comment markers, raw-string hashes.
+const PALETTE: &[char] = &[
+    '"', '\'', '\\', '/', '*', '#', 'r', 'b', 'c', 'e', 'x', '_', 'a', '9', '0', '.', ':', '=',
+    '!', '{', '}', '[', ']', '(', ')', ';', ' ', '\n', 'u', 'n', 's', 'f',
+];
+
+fn soup(selectors: &[usize]) -> String {
+    selectors
+        .iter()
+        .map(|&s| PALETTE[s % PALETTE.len()])
+        .collect()
+}
+
+fn joined(tokens: &[Token]) -> String {
+    tokens.iter().map(|t| t.text.as_str()).collect()
+}
+
+fn without_ws(s: &str) -> String {
+    s.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+proptest! {
+    #[test]
+    fn lexing_arbitrary_soup_never_panics_and_loses_nothing(
+        selectors in prop::collection::vec(0usize..1000, 48),
+    ) {
+        let source = soup(&selectors);
+        let tokens = lex(&source);
+        // Lossless modulo whitespace: every non-whitespace char of the
+        // source appears, in order, in exactly one token's text.
+        prop_assert_eq!(without_ws(&joined(&tokens)), without_ws(&source));
+    }
+
+    #[test]
+    fn token_lines_are_monotonic_and_in_range(
+        selectors in prop::collection::vec(0usize..1000, 48),
+    ) {
+        let source = soup(&selectors);
+        let total_lines = source.lines().count().max(1) as u32;
+        let tokens = lex(&source);
+        let mut last = 1u32;
+        for t in &tokens {
+            prop_assert!(t.line >= last, "line numbers went backwards");
+            prop_assert!(t.end_line() <= total_lines + 1);
+            last = t.line;
+        }
+    }
+
+    #[test]
+    fn nested_block_comments_stay_one_token(depth in 1usize..8) {
+        let source = format!(
+            "{}unsafe{} after",
+            "/* ".repeat(depth),
+            " */".repeat(depth)
+        );
+        let tokens = lex(&source);
+        prop_assert_eq!(tokens.len(), 2);
+        prop_assert!(tokens[0].kind == TokenKind::Comment);
+        prop_assert!(tokens[1].is(TokenKind::Ident, "after"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_keywords_at_any_hash_depth(hashes in 0usize..6) {
+        let h = "#".repeat(hashes);
+        let source = format!("let s = r{h}\"unsafe thread::spawn .unwrap()\"{h};");
+        let tokens = lex(&source);
+        prop_assert!(
+            !tokens.iter().any(|t| t.kind == TokenKind::Ident
+                && (t.text == "unsafe" || t.text == "unwrap" || t.text == "spawn")),
+            "string-embedded keywords leaked into ident tokens"
+        );
+        prop_assert!(tokens.iter().any(|t| t.kind == TokenKind::StrLit));
+    }
+
+    #[test]
+    fn escaped_strings_swallow_keywords(pad in 0usize..16) {
+        let padding = "x".repeat(pad);
+        let source = format!(r#"let s = "{padding} \" unsafe \\" ;"#);
+        let tokens = lex(&source);
+        prop_assert!(
+            !tokens.iter().any(|t| t.is(TokenKind::Ident, "unsafe")),
+            "escaped-string unsafe leaked"
+        );
+    }
+
+    #[test]
+    fn lifetimes_never_become_char_literals(letter in 0usize..26) {
+        let c = (b'a' + letter as u8) as char;
+        let lifetime = format!("fn f<'{c}x>(v: &'{c}x u8) {{}}");
+        let tokens = lex(&lifetime);
+        prop_assert_eq!(
+            tokens.iter().filter(|t| t.kind == TokenKind::Lifetime).count(),
+            2
+        );
+        prop_assert!(tokens.iter().all(|t| t.kind != TokenKind::CharLit));
+
+        let char_lit = format!("let v = '{c}';");
+        let tokens = lex(&char_lit);
+        prop_assert_eq!(
+            tokens.iter().filter(|t| t.kind == TokenKind::CharLit).count(),
+            1
+        );
+        prop_assert!(tokens.iter().all(|t| t.kind != TokenKind::Lifetime));
+    }
+
+    #[test]
+    fn float_classification_is_stable(int_part in 0u32..1000, frac in 0u32..1000) {
+        let float_src = format!("let a = {int_part}.{frac:03};");
+        prop_assert!(
+            lex(&float_src).iter().any(|t| t.kind == TokenKind::Float),
+            "decimal literal must classify as float"
+        );
+        let int_src = format!("let a = {int_part}; let b = 0x{frac:x};");
+        prop_assert!(
+            lex(&int_src).iter().all(|t| t.kind != TokenKind::Float),
+            "integer and hex literals must stay ints"
+        );
+    }
+}

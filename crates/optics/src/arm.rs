@@ -832,28 +832,21 @@ fn mac_indexed_x4_scalar(a: &MacX4Args<'_>) -> ([f64; LANES], [f64; LANES]) {
 }
 
 /// AVX2 specialisation: the whole across-window loop is compiled with
-/// AVX2 enabled so the vector mixing kernel inlines into it.
-///
-/// # Safety
-///
-/// The CPU must support AVX2.
+/// AVX2 enabled so the vector mixing kernel inlines into it. Safe
+/// `#[target_feature]` fn: the dispatcher wraps the call in `unsafe`
+/// after runtime detection; the draw closure inherits this fn's AVX2
+/// context, so the pair-draw call needs no `unsafe` of its own.
 #[cfg(all(feature = "simd", target_arch = "x86_64"))]
 #[target_feature(enable = "avx2")]
-unsafe fn mac_indexed_x4_avx2(a: &MacX4Args<'_>) -> ([f64; LANES], [f64; LANES]) {
-    // SAFETY: the caller guarantees AVX2 support.
-    mac_indexed_x4_body(a, |q, c| unsafe { q.gaussian_pair_at_avx2(c) })
+fn mac_indexed_x4_avx2(a: &MacX4Args<'_>) -> ([f64; LANES], [f64; LANES]) {
+    mac_indexed_x4_body(a, |q, c| q.gaussian_pair_at_avx2(c))
 }
 
 /// AVX-512 specialisation (see [`mac_indexed_x4_avx2`]).
-///
-/// # Safety
-///
-/// The CPU must support AVX-512DQ and AVX-512VL.
 #[cfg(all(feature = "simd", target_arch = "x86_64"))]
 #[target_feature(enable = "avx512dq,avx512vl")]
-unsafe fn mac_indexed_x4_avx512(a: &MacX4Args<'_>) -> ([f64; LANES], [f64; LANES]) {
-    // SAFETY: the caller guarantees AVX-512DQ/VL support.
-    mac_indexed_x4_body(a, |q, c| unsafe { q.gaussian_pair_at_avx512(c) })
+fn mac_indexed_x4_avx512(a: &MacX4Args<'_>) -> ([f64; LANES], [f64; LANES]) {
+    mac_indexed_x4_body(a, |q, c| q.gaussian_pair_at_avx512(c))
 }
 
 /// Tier dispatch for the across-window MAC: one cached-tier check per

@@ -20,6 +20,10 @@
 //! assert!((energy.as_pico() - 16.0).abs() < 1e-9);
 //! ```
 
+// No unsafe: this crate must stay entirely safe Rust. The SIMD layer
+// (oisa_device/oisa_optics) is the only sanctioned unsafe in the tree.
+#![forbid(unsafe_code)]
+
 mod quantity;
 
 pub use quantity::{

@@ -149,6 +149,10 @@
 //! 16-kernel acceptance workload) plus the im2col-vs-naive digital
 //! `Conv2d` ratio, so CI can track the perf trajectory.
 
+// No unsafe: this crate must stay entirely safe Rust. The SIMD layer
+// (oisa_device/oisa_optics) is the only sanctioned unsafe in the tree.
+#![forbid(unsafe_code)]
+
 /// Physical-quantity newtypes (volts, watts, seconds, …).
 pub use oisa_units as units;
 
