@@ -532,6 +532,10 @@ impl<B: ComputeBackend + 'static> ServingEngine<B> {
                 self.frame_height
             ))));
         }
+        // Allocate the slot before taking the queue mutex: the worker
+        // contends on it for every batch, so the critical section
+        // should only cover the push itself.
+        let slot = Arc::new(Slot::new());
         let mut queue = self.shared.queue.lock().expect("serving: poisoned queue");
         loop {
             if queue.shutting_down {
@@ -549,7 +553,6 @@ impl<B: ComputeBackend + 'static> ServingEngine<B> {
                 .wait(queue)
                 .expect("serving: poisoned queue");
         }
-        let slot = Arc::new(Slot::new());
         queue.pending.push_back(Request {
             frame,
             slot: Arc::clone(&slot),
@@ -662,13 +665,12 @@ fn next_batch(shared: &Shared) -> Option<(Vec<Request>, BatchTrigger)> {
             continue;
         }
         // The oldest pending frame anchors the deadline; `checked_add`
-        // turns `Duration::MAX` into "no deadline".
-        let deadline = queue
-            .pending
-            .front()
-            .expect("serving: non-empty queue")
-            .enqueued
-            .checked_add(config.deadline);
+        // turns `Duration::MAX` into "no deadline". The emptiness
+        // re-check costs nothing and keeps this loop panic-free.
+        let deadline = match queue.pending.front() {
+            Some(oldest) => oldest.enqueued.checked_add(config.deadline),
+            None => continue,
+        };
         let trigger = loop {
             if queue.pending.len() >= config.max_batch {
                 break BatchTrigger::Size;

@@ -6,7 +6,7 @@
 //!
 //! ```toml
 //! [[allow]]
-//! rule = "no-unwrap-in-lib"
+//! rule = "panic-reachability"
 //! path = "crates/core/src/serving.rs"
 //! max = 21                 # or: line = 118
 //! justification = "lock-poison expects; a poisoned lock is a crashed worker"
@@ -246,10 +246,11 @@ fn parse_int(value: &str, lineno: u32) -> Result<u32, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rules::{RULE_UNWRAP, RULE_WALLCLOCK};
+    use crate::rules::{RULE_PANIC, RULE_WALLCLOCK};
 
     fn finding(rule: &'static str, path: &str, line: u32) -> Finding {
         Finding {
+            col: 1,
             rule,
             path: path.to_string(),
             line,
@@ -260,7 +261,7 @@ mod tests {
     const GOOD: &str = r#"
 # serving needs its lock-poison policy
 [[allow]]
-rule = "no-unwrap-in-lib"
+rule = "panic-reachability"
 path = "crates/core/src/serving.rs"
 max = 2
 justification = "lock-poison expects: a poisoned lock means a worker crashed"
@@ -277,9 +278,9 @@ justification = "doc example string, not executed code"
         let list = Allowlist::parse(GOOD).unwrap();
         assert_eq!(list.entries.len(), 2);
         let findings = vec![
-            finding(RULE_UNWRAP, "crates/core/src/serving.rs", 10),
-            finding(RULE_UNWRAP, "crates/core/src/serving.rs", 20),
-            finding(RULE_UNWRAP, "crates/core/src/serving.rs", 30), // over budget
+            finding(RULE_PANIC, "crates/core/src/serving.rs", 10),
+            finding(RULE_PANIC, "crates/core/src/serving.rs", 20),
+            finding(RULE_PANIC, "crates/core/src/serving.rs", 30), // over budget
             finding(RULE_WALLCLOCK, "crates/core/src/wire.rs", 7),
             finding(RULE_WALLCLOCK, "crates/core/src/wire.rs", 8), // wrong line
         ];
@@ -292,7 +293,7 @@ justification = "doc example string, not executed code"
     #[test]
     fn unused_entries_are_stale_not_fatal() {
         let list = Allowlist::parse(GOOD).unwrap();
-        let applied = list.apply(vec![finding(RULE_UNWRAP, "crates/core/src/serving.rs", 10)]);
+        let applied = list.apply(vec![finding(RULE_PANIC, "crates/core/src/serving.rs", 10)]);
         assert_eq!(applied.suppressed.len(), 1);
         // Budget of 2 only half-used + the pinned entry unmatched.
         assert_eq!(applied.stale.len(), 2);
@@ -300,7 +301,7 @@ justification = "doc example string, not executed code"
 
     #[test]
     fn rejects_entry_without_justification() {
-        let bad = "[[allow]]\nrule = \"no-unwrap-in-lib\"\npath = \"x.rs\"\nmax = 1\n";
+        let bad = "[[allow]]\nrule = \"panic-reachability\"\npath = \"x.rs\"\nmax = 1\n";
         let err = Allowlist::parse(bad).unwrap_err();
         assert!(err.contains("justification"), "{err}");
     }
@@ -312,15 +313,15 @@ justification = "doc example string, not executed code"
         assert!(Allowlist::parse(unknown)
             .unwrap_err()
             .contains("unknown rule"));
-        let both = "[[allow]]\nrule = \"no-unwrap-in-lib\"\npath = \"x.rs\"\nline = 1\nmax = 1\njustification = \"0123456789\"\n";
+        let both = "[[allow]]\nrule = \"panic-reachability\"\npath = \"x.rs\"\nline = 1\nmax = 1\njustification = \"0123456789\"\n";
         assert!(Allowlist::parse(both).unwrap_err().contains("not both"));
-        let neither = "[[allow]]\nrule = \"no-unwrap-in-lib\"\npath = \"x.rs\"\njustification = \"0123456789\"\n";
+        let neither = "[[allow]]\nrule = \"panic-reachability\"\npath = \"x.rs\"\njustification = \"0123456789\"\n";
         assert!(Allowlist::parse(neither).unwrap_err().contains("needs"));
     }
 
     #[test]
     fn comments_inside_strings_survive() {
-        let src = "[[allow]]\nrule = \"no-unwrap-in-lib\"\npath = \"x.rs\"\nmax = 1\njustification = \"the # is part of the text\" # trailing\n";
+        let src = "[[allow]]\nrule = \"panic-reachability\"\npath = \"x.rs\"\nmax = 1\njustification = \"the # is part of the text\" # trailing\n";
         let list = Allowlist::parse(src).unwrap();
         assert_eq!(list.entries[0].justification, "the # is part of the text");
     }

@@ -1,0 +1,532 @@
+//! Workspace model: module + approximate call graph.
+//!
+//! [`Workspace::build`] parses every [`SourceFile`] into an item tree
+//! ([`crate::parser`]), flattens all functions with their enclosing
+//! context (crate, module path, impl self type), and resolves call
+//! sites to workspace functions with receiver-type heuristics:
+//!
+//! * **free calls** `name(…)` — same-file functions first, then
+//!   same-crate free functions, then any workspace free function;
+//! * **path calls** `a::b::name(…)` — the last qualifier is matched
+//!   against impl self types, module tails and crate names
+//!   (`wire::encode` resolves into `mod wire`, `Engine::new` into
+//!   `impl Engine`, `oisa_device::step` into that crate);
+//! * **method calls** `.name(…)` — every impl method with that name,
+//!   restricted to same-crate candidates when any exist.
+//!
+//! The result **over-approximates**: a method name shared by two types
+//! yields edges to both. Flow rules accept the extra edges (they only
+//! widen reachability) and document what the approximation can miss.
+
+use std::collections::HashMap;
+
+use crate::parser::{self, CallKind, CallSite, Item, ItemKind};
+use crate::rules::SourceFile;
+
+/// One workspace function with its resolution context.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Index into the file list passed to [`Workspace::build`].
+    pub file: usize,
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing `impl` self type, when the fn is a method.
+    pub self_type: Option<String>,
+    /// `::`-joined module path inside the crate (empty at crate root).
+    pub module: String,
+    /// Owning crate name (`oisa_core`, `oisa`, …).
+    pub crate_name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+    /// Raw token range of the body braces, when the fn has a body.
+    pub body: Option<(usize, usize)>,
+    /// Call sites extracted from the body.
+    pub sites: Vec<CallSite>,
+    /// True when the fn sits inside a `#[cfg(test)]` / `#[test]`
+    /// region.
+    pub is_test: bool,
+}
+
+impl FnInfo {
+    /// `Type::name` for methods, bare `name` for free functions.
+    #[must_use]
+    pub fn qual(&self) -> String {
+        match &self.self_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The parsed workspace: items per file, flattened functions, and the
+/// resolved call-graph adjacency.
+pub struct Workspace<'a> {
+    /// The files, in the order given to [`Workspace::build`].
+    pub files: &'a [SourceFile],
+    /// Parsed item tree per file (parallel to `files`).
+    pub items: Vec<Vec<Item>>,
+    /// Every function found, flattened.
+    pub fns: Vec<FnInfo>,
+    /// `calls[f]` = indices into `fns` that function `f` may call.
+    pub calls: Vec<Vec<usize>>,
+    /// `site_calls[f][s]` = callees resolved for `fns[f].sites[s]`
+    /// (parallel to each fn's site list; `calls` is the flattened,
+    /// deduplicated union).
+    pub site_calls: Vec<Vec<Vec<usize>>>,
+}
+
+impl<'a> Workspace<'a> {
+    /// Parses all files and resolves the call graph.
+    #[must_use]
+    pub fn build(files: &'a [SourceFile]) -> Self {
+        let mut items = Vec::with_capacity(files.len());
+        let mut fns: Vec<FnInfo> = Vec::new();
+        for (fi, file) in files.iter().enumerate() {
+            let tree = parser::parse_items(&file.tokens);
+            let crate_name = crate_of(&file.path);
+            let module = module_of(&file.path);
+            collect_fns(file, fi, &crate_name, &module, &tree, None, &mut fns);
+            items.push(tree);
+        }
+        let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.as_str()).or_default().push(i);
+        }
+        let site_calls: Vec<Vec<Vec<usize>>> = fns
+            .iter()
+            .map(|f| {
+                f.sites
+                    .iter()
+                    .map(|s| resolve(f, s, &fns, &by_name))
+                    .collect()
+            })
+            .collect();
+        let calls = site_calls
+            .iter()
+            .map(|per_site| {
+                let mut out: Vec<usize> = per_site.iter().flatten().copied().collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            })
+            .collect();
+        Self {
+            files,
+            items,
+            fns,
+            calls,
+            site_calls,
+        }
+    }
+
+    /// Indices of functions whose qualified name ends with `suffix`
+    /// (`Engine::submit` matches suffix `Engine::submit`; a bare
+    /// suffix `run_job` matches any fn of that name).
+    #[must_use]
+    pub fn fns_matching(&self, pred: impl Fn(&FnInfo) -> bool) -> Vec<usize> {
+        (0..self.fns.len())
+            .filter(|&i| pred(&self.fns[i]))
+            .collect()
+    }
+}
+
+/// Walks an item tree collecting functions; `mods` tracks inline-mod
+/// nesting appended to the file's module path.
+fn collect_fns(
+    file: &SourceFile,
+    fi: usize,
+    crate_name: &str,
+    module: &str,
+    tree: &[Item],
+    self_type: Option<&str>,
+    out: &mut Vec<FnInfo>,
+) {
+    for item in tree {
+        match item.kind {
+            ItemKind::Fn => {
+                let sites = item
+                    .body
+                    .map(|(b0, b1)| parser::extract_calls(&file.tokens, b0, b1))
+                    .unwrap_or_default();
+                out.push(FnInfo {
+                    file: fi,
+                    name: item.name.clone(),
+                    self_type: self_type.map(str::to_string),
+                    module: module.to_string(),
+                    crate_name: crate_name.to_string(),
+                    line: item.line,
+                    col: item.col,
+                    body: item.body,
+                    sites,
+                    is_test: file.test_mask.get(item.start).copied().unwrap_or(false),
+                });
+            }
+            ItemKind::Impl => collect_fns(
+                file,
+                fi,
+                crate_name,
+                module,
+                &item.children,
+                item.self_type.as_deref(),
+                out,
+            ),
+            ItemKind::Mod => {
+                let sub = if module.is_empty() {
+                    item.name.clone()
+                } else {
+                    format!("{module}::{}", item.name)
+                };
+                collect_fns(file, fi, crate_name, &sub, &item.children, None, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Crate name from a workspace-relative path: `crates/<d>/src/…` →
+/// `oisa_<d>`, the facade `src/…` → `oisa`, `examples/…` →
+/// `examples`.
+#[must_use]
+pub fn crate_of(path: &str) -> String {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        if let Some(dir) = rest.split('/').next() {
+            return format!("oisa_{dir}");
+        }
+    }
+    if path.starts_with("src/") {
+        return "oisa".to_string();
+    }
+    "examples".to_string()
+}
+
+/// In-crate module path from a file path: `…/src/backend/mod.rs` →
+/// `backend`, `…/src/backend/tcp.rs` → `backend::tcp`, `…/src/lib.rs`
+/// → empty.
+#[must_use]
+pub fn module_of(path: &str) -> String {
+    let rel = path
+        .split_once("/src/")
+        .map_or(path, |(_, r)| r)
+        .strip_prefix("src/")
+        .unwrap_or_else(|| path.split_once("/src/").map_or(path, |(_, r)| r));
+    let rel = rel.strip_suffix(".rs").unwrap_or(rel);
+    let mut segs: Vec<&str> = rel.split('/').collect();
+    if matches!(segs.last().copied(), Some("lib" | "main" | "mod")) {
+        segs.pop();
+    }
+    segs.join("::")
+}
+
+/// Resolves one call site to candidate workspace functions.
+fn resolve(
+    caller: &FnInfo,
+    site: &CallSite,
+    fns: &[FnInfo],
+    by_name: &HashMap<&str, Vec<usize>>,
+) -> Vec<usize> {
+    let name = site.name();
+    let Some(cands) = by_name.get(name) else {
+        return Vec::new();
+    };
+    match site.kind {
+        CallKind::Macro => Vec::new(),
+        CallKind::Method => {
+            let methods: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&i| fns[i].self_type.is_some())
+                .collect();
+            let same_crate: Vec<usize> = methods
+                .iter()
+                .copied()
+                .filter(|&i| fns[i].crate_name == caller.crate_name)
+                .collect();
+            if same_crate.is_empty() {
+                methods
+            } else {
+                same_crate
+            }
+        }
+        CallKind::Free => {
+            let same_file: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&i| fns[i].file == caller.file && fns[i].self_type.is_none())
+                .collect();
+            if !same_file.is_empty() {
+                return same_file;
+            }
+            let same_crate: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&i| fns[i].crate_name == caller.crate_name && fns[i].self_type.is_none())
+                .collect();
+            if !same_crate.is_empty() {
+                return same_crate;
+            }
+            cands
+                .iter()
+                .copied()
+                .filter(|&i| fns[i].self_type.is_none())
+                .collect()
+        }
+        CallKind::Path => {
+            let qual = match site.path.len() {
+                0 | 1 => return Vec::new(),
+                n => site.path[n - 2].as_str(),
+            };
+            match qual {
+                "self" | "crate" | "super" => cands
+                    .iter()
+                    .copied()
+                    .filter(|&i| fns[i].crate_name == caller.crate_name)
+                    .collect(),
+                "Self" => cands
+                    .iter()
+                    .copied()
+                    .filter(|&i| fns[i].self_type.is_some() && fns[i].self_type == caller.self_type)
+                    .collect(),
+                q => cands
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        let f = &fns[i];
+                        f.self_type.as_deref() == Some(q)
+                            || f.module.rsplit("::").next() == Some(q)
+                            || f.crate_name == q
+                            || f.crate_name == format!("oisa_{q}")
+                    })
+                    .collect(),
+            }
+        }
+    }
+}
+
+/// Finds one cycle in a directed graph given its adjacency lists,
+/// returned as a node sequence whose first node equals its last;
+/// `None` when acyclic. Iterative DFS — safe on deep graphs.
+#[must_use]
+pub fn find_cycle(adj: &[Vec<usize>]) -> Option<Vec<usize>> {
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let n = adj.len();
+    let mut color = vec![WHITE; n];
+    let mut parent = vec![usize::MAX; n];
+    for root in 0..n {
+        if color[root] != WHITE {
+            continue;
+        }
+        // Stack of (node, next-edge-index).
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        color[root] = GRAY;
+        while let Some(&mut (u, ref mut ei)) = stack.last_mut() {
+            if *ei < adj[u].len() {
+                let v = adj[u][*ei];
+                *ei += 1;
+                match color.get(v).copied() {
+                    Some(WHITE) => {
+                        color[v] = GRAY;
+                        parent[v] = u;
+                        stack.push((v, 0));
+                    }
+                    Some(GRAY) => {
+                        // Back edge u → v: unwind parents from u to v.
+                        let mut cycle = vec![v];
+                        let mut w = u;
+                        while w != v && w != usize::MAX {
+                            cycle.push(w);
+                            w = parent[w];
+                        }
+                        let mid = cycle.len();
+                        cycle.push(v);
+                        cycle[1..mid].reverse();
+                        return Some(cycle);
+                    }
+                    _ => {}
+                }
+            } else {
+                color[u] = BLACK;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// BFS over `adj` from `starts`; returns per-node `Some(parent)` when
+/// reachable (start nodes parent themselves). `skip` prunes nodes
+/// (both as targets and as expansion frontier).
+#[must_use]
+pub fn bfs_parents(
+    adj: &[Vec<usize>],
+    starts: &[usize],
+    skip: impl Fn(usize) -> bool,
+) -> Vec<Option<usize>> {
+    let mut parent: Vec<Option<usize>> = vec![None; adj.len()];
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    for &s in starts {
+        if s < adj.len() && !skip(s) && parent[s].is_none() {
+            parent[s] = Some(s);
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u] {
+            if v < adj.len() && parent[v].is_none() && !skip(v) {
+                parent[v] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    parent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws_files(specs: &[(&str, &str)]) -> Vec<SourceFile> {
+        specs.iter().map(|(p, s)| SourceFile::parse(p, s)).collect()
+    }
+
+    fn fn_idx(ws: &Workspace<'_>, qual: &str) -> usize {
+        ws.fns
+            .iter()
+            .position(|f| f.qual() == qual)
+            .unwrap_or_else(|| panic!("no fn {qual}"))
+    }
+
+    #[test]
+    fn crate_and_module_mapping() {
+        assert_eq!(crate_of("crates/core/src/backend/mod.rs"), "oisa_core");
+        assert_eq!(crate_of("src/lib.rs"), "oisa");
+        assert_eq!(crate_of("examples/quickstart.rs"), "examples");
+        assert_eq!(module_of("crates/core/src/backend/mod.rs"), "backend");
+        assert_eq!(module_of("crates/core/src/backend/tcp.rs"), "backend::tcp");
+        assert_eq!(module_of("crates/core/src/lib.rs"), "");
+        assert_eq!(module_of("src/lib.rs"), "");
+    }
+
+    #[test]
+    fn free_calls_prefer_same_file_then_same_crate() {
+        let files = ws_files(&[
+            (
+                "crates/core/src/a.rs",
+                "pub fn caller() { helper(); }\nfn helper() {}",
+            ),
+            ("crates/core/src/b.rs", "pub fn helper() {}"),
+            ("crates/nn/src/lib.rs", "pub fn helper() {}"),
+        ]);
+        let ws = Workspace::build(&files);
+        let caller = fn_idx(&ws, "caller");
+        let local = ws
+            .fns
+            .iter()
+            .position(|f| f.file == 0 && f.name == "helper");
+        assert_eq!(ws.calls[caller], vec![local.unwrap()]);
+    }
+
+    #[test]
+    fn path_calls_resolve_across_crates_by_crate_name() {
+        let files = ws_files(&[
+            (
+                "crates/core/src/a.rs",
+                "pub fn go() { oisa_device::step(); device::step(); }",
+            ),
+            ("crates/device/src/lib.rs", "pub fn step() {}"),
+        ]);
+        let ws = Workspace::build(&files);
+        let go = fn_idx(&ws, "go");
+        let step = fn_idx(&ws, "step");
+        assert_eq!(ws.calls[go], vec![step]);
+    }
+
+    #[test]
+    fn path_calls_resolve_by_module_and_self_type() {
+        let files = ws_files(&[
+            (
+                "crates/core/src/lib.rs",
+                "pub fn go() { wire::encode(); Engine::new(); }",
+            ),
+            ("crates/core/src/wire.rs", "pub fn encode() {}"),
+            (
+                "crates/core/src/serving.rs",
+                "impl Engine { pub fn new() {} }",
+            ),
+        ]);
+        let ws = Workspace::build(&files);
+        let go = fn_idx(&ws, "go");
+        let encode = fn_idx(&ws, "encode");
+        let new = fn_idx(&ws, "Engine::new");
+        let mut want = vec![encode, new];
+        want.sort_unstable();
+        assert_eq!(ws.calls[go], want);
+    }
+
+    #[test]
+    fn method_calls_prefer_same_crate_impls() {
+        let files = ws_files(&[
+            (
+                "crates/core/src/a.rs",
+                "pub fn go(e: Engine) { e.submit(); }",
+            ),
+            (
+                "crates/core/src/b.rs",
+                "impl Engine { pub fn submit(&self) {} }",
+            ),
+            (
+                "crates/nn/src/lib.rs",
+                "impl Other { pub fn submit(&self) {} }",
+            ),
+        ]);
+        let ws = Workspace::build(&files);
+        let go = fn_idx(&ws, "go");
+        let same = fn_idx(&ws, "Engine::submit");
+        assert_eq!(ws.calls[go], vec![same]);
+    }
+
+    #[test]
+    fn test_fns_are_marked() {
+        let files = ws_files(&[(
+            "crates/core/src/a.rs",
+            "pub fn lib_fn() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {}\n}",
+        )]);
+        let ws = Workspace::build(&files);
+        assert!(!ws.fns[fn_idx(&ws, "lib_fn")].is_test);
+        assert!(ws.fns[fn_idx(&ws, "t")].is_test);
+    }
+
+    #[test]
+    fn find_cycle_detects_and_reports_a_loop() {
+        // 0 → 1 → 2 → 1 (cycle 1,2), 3 isolated.
+        let adj = vec![vec![1], vec![2], vec![1], vec![]];
+        let cycle = find_cycle(&adj).expect("cycle");
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(cycle.len() >= 3);
+        assert!(cycle.contains(&1) && cycle.contains(&2));
+        let dag = vec![vec![1, 2], vec![2], vec![], vec![0]];
+        assert!(find_cycle(&dag).is_none());
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let adj = vec![vec![0]];
+        let cycle = find_cycle(&adj).expect("self loop");
+        assert_eq!(cycle, vec![0, 0]);
+    }
+
+    #[test]
+    fn bfs_parents_reaches_and_skips() {
+        let adj = vec![vec![1], vec![2], vec![], vec![2]];
+        let p = bfs_parents(&adj, &[0], |_| false);
+        assert_eq!(p[0], Some(0));
+        assert_eq!(p[1], Some(0));
+        assert_eq!(p[2], Some(1));
+        assert_eq!(p[3], None);
+        let p = bfs_parents(&adj, &[0], |n| n == 1);
+        assert_eq!(p[2], None, "skip prunes the path through 1");
+    }
+}

@@ -45,7 +45,7 @@ pub enum TokenKind {
     Punct,
 }
 
-/// One lexed token with its 1-based starting line.
+/// One lexed token with its 1-based starting line and column.
 #[derive(Debug, Clone)]
 pub struct Token {
     /// What the token is.
@@ -54,6 +54,8 @@ pub struct Token {
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
+    /// 1-based column (in characters) the token starts at.
+    pub col: u32,
 }
 
 impl Token {
@@ -81,6 +83,7 @@ pub fn lex(source: &str) -> Vec<Token> {
         chars: source.chars().collect(),
         pos: 0,
         line: 1,
+        col: 1,
         out: Vec::new(),
     }
     .run()
@@ -90,6 +93,7 @@ struct Lexer {
     chars: Vec<char>,
     pos: usize,
     line: u32,
+    col: u32,
     out: Vec<Token>,
 }
 
@@ -106,47 +110,55 @@ impl Lexer {
         self.chars.get(self.pos + ahead).copied()
     }
 
-    /// Consumes one char into `text`, tracking line numbers.
+    /// Consumes one char into `text`, tracking line/column numbers.
     fn bump(&mut self, text: &mut String) {
         if let Some(c) = self.chars.get(self.pos).copied() {
             if c == '\n' {
                 self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
             }
             text.push(c);
             self.pos += 1;
         }
     }
 
-    fn emit(&mut self, kind: TokenKind, text: String, line: u32) {
-        self.out.push(Token { kind, text, line });
+    fn emit(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.out.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
     }
 
     fn run(mut self) -> Vec<Token> {
         while let Some(c) = self.peek(0) {
-            let line = self.line;
+            let (line, col) = (self.line, self.col);
             if c == '\n' || c.is_whitespace() {
                 let mut sink = String::new();
                 self.bump(&mut sink);
             } else if c == '/' && self.peek(1) == Some('/') {
-                self.line_comment(line);
+                self.line_comment(line, col);
             } else if c == '/' && self.peek(1) == Some('*') {
-                self.block_comment(line);
+                self.block_comment(line, col);
             } else if c == '"' {
-                self.escaped_string(line, 0);
+                self.escaped_string(line, col, 0);
             } else if c == '\'' {
-                self.quote(line);
+                self.quote(line, col);
             } else if c.is_ascii_digit() {
-                self.number(line);
+                self.number(line, col);
             } else if is_ident_start(c) {
-                self.ident_or_prefixed(line);
+                self.ident_or_prefixed(line, col);
             } else {
-                self.punct(line);
+                self.punct(line, col);
             }
         }
         self.out
     }
 
-    fn line_comment(&mut self, line: u32) {
+    fn line_comment(&mut self, line: u32, col: u32) {
         let mut text = String::new();
         while let Some(c) = self.peek(0) {
             if c == '\n' {
@@ -155,10 +167,10 @@ impl Lexer {
             let _ = c;
             self.bump(&mut text);
         }
-        self.emit(TokenKind::Comment, text, line);
+        self.emit(TokenKind::Comment, text, line, col);
     }
 
-    fn block_comment(&mut self, line: u32) {
+    fn block_comment(&mut self, line: u32, col: u32) {
         let mut text = String::new();
         let mut depth = 0usize;
         while let Some(c) = self.peek(0) {
@@ -177,12 +189,12 @@ impl Lexer {
                 self.bump(&mut text);
             }
         }
-        self.emit(TokenKind::Comment, text, line);
+        self.emit(TokenKind::Comment, text, line, col);
     }
 
     /// A `"…"`-delimited string with escapes, after `prefix` marker
     /// chars (`b"…"` has prefix 1, `"…"` prefix 0).
-    fn escaped_string(&mut self, line: u32, prefix: usize) {
+    fn escaped_string(&mut self, line: u32, col: u32, prefix: usize) {
         let mut text = String::new();
         for _ in 0..prefix {
             self.bump(&mut text);
@@ -199,12 +211,12 @@ impl Lexer {
                 self.bump(&mut text);
             }
         }
-        self.emit(TokenKind::StrLit, text, line);
+        self.emit(TokenKind::StrLit, text, line, col);
     }
 
     /// A raw string after `prefix` marker chars (`r`, `br`, `cr`):
     /// `#`*n* `"` … `"` `#`*n*.
-    fn raw_string(&mut self, line: u32, prefix: usize) {
+    fn raw_string(&mut self, line: u32, col: u32, prefix: usize) {
         let mut text = String::new();
         for _ in 0..prefix {
             self.bump(&mut text);
@@ -235,11 +247,11 @@ impl Lexer {
             }
             self.bump(&mut text);
         }
-        self.emit(TokenKind::StrLit, text, line);
+        self.emit(TokenKind::StrLit, text, line, col);
     }
 
     /// `'` starts either a lifetime or a character literal.
-    fn quote(&mut self, line: u32) {
+    fn quote(&mut self, line: u32, col: u32) {
         let next = self.peek(1);
         let after = self.peek(2);
         if next == Some('\\') {
@@ -257,30 +269,30 @@ impl Lexer {
                     self.bump(&mut text);
                 }
             }
-            self.emit(TokenKind::CharLit, text, line);
+            self.emit(TokenKind::CharLit, text, line, col);
         } else if after == Some('\'') && next != Some('\'') {
             // 'x' — any single char closed by a quote.
             let mut text = String::new();
             self.bump(&mut text);
             self.bump(&mut text);
             self.bump(&mut text);
-            self.emit(TokenKind::CharLit, text, line);
+            self.emit(TokenKind::CharLit, text, line, col);
         } else if next.is_some_and(is_ident_start) {
             let mut text = String::new();
             self.bump(&mut text); // '
             while self.peek(0).is_some_and(is_ident_continue) {
                 self.bump(&mut text);
             }
-            self.emit(TokenKind::Lifetime, text, line);
+            self.emit(TokenKind::Lifetime, text, line, col);
         } else {
             // A stray quote; emit as punctuation and keep going.
             let mut text = String::new();
             self.bump(&mut text);
-            self.emit(TokenKind::Punct, text, line);
+            self.emit(TokenKind::Punct, text, line, col);
         }
     }
 
-    fn number(&mut self, line: u32) {
+    fn number(&mut self, line: u32, col: u32) {
         let mut text = String::new();
         let radix_prefixed = self.peek(0) == Some('0')
             && matches!(self.peek(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'));
@@ -318,27 +330,29 @@ impl Lexer {
         } else {
             TokenKind::Int
         };
-        self.emit(kind, text, line);
+        self.emit(kind, text, line, col);
     }
 
-    fn ident_or_prefixed(&mut self, line: u32) {
+    fn ident_or_prefixed(&mut self, line: u32, col: u32) {
         let c = self.peek(0);
         let next = self.peek(1);
         let after = self.peek(2);
         match (c, next) {
             // r"…" / r#"…"# raw strings vs r#ident raw identifiers.
-            (Some('r'), Some('"')) => return self.raw_string(line, 1),
+            (Some('r'), Some('"')) => return self.raw_string(line, col, 1),
             (Some('r'), Some('#')) if raw_hashes_open_string(&self.chars, self.pos + 1) => {
-                return self.raw_string(line, 1)
+                return self.raw_string(line, col, 1)
             }
-            (Some('b'), Some('"')) | (Some('c'), Some('"')) => return self.escaped_string(line, 1),
+            (Some('b'), Some('"')) | (Some('c'), Some('"')) => {
+                return self.escaped_string(line, col, 1)
+            }
             (Some('b'), Some('\'')) => {
                 // Byte char literal: consume the `b` then reuse the
                 // quote path.
                 let mut marker = String::new();
                 self.bump(&mut marker);
                 let before = self.out.len();
-                self.quote(line);
+                self.quote(line, col);
                 if let Some(tok) = self.out.get_mut(before) {
                     tok.text.insert(0, 'b');
                 }
@@ -349,7 +363,7 @@ impl Lexer {
                     || (after == Some('#')
                         && raw_hashes_open_string(&self.chars, self.pos + 2)) =>
             {
-                return self.raw_string(line, 2)
+                return self.raw_string(line, col, 2)
             }
             _ => {}
         }
@@ -362,10 +376,10 @@ impl Lexer {
         while self.peek(0).is_some_and(is_ident_continue) {
             self.bump(&mut text);
         }
-        self.emit(TokenKind::Ident, text, line);
+        self.emit(TokenKind::Ident, text, line, col);
     }
 
-    fn punct(&mut self, line: u32) {
+    fn punct(&mut self, line: u32, col: u32) {
         let mut text = String::new();
         let c = self.peek(0);
         let next = self.peek(1);
@@ -377,7 +391,7 @@ impl Lexer {
         if fused {
             self.bump(&mut text);
         }
-        self.emit(TokenKind::Punct, text, line);
+        self.emit(TokenKind::Punct, text, line, col);
     }
 }
 
@@ -543,6 +557,25 @@ mod tests {
         assert_eq!(toks.len(), 2);
         assert_eq!(toks[0].0, TokenKind::Comment);
         assert_eq!(toks[1], (TokenKind::Ident, "fn".into()));
+    }
+
+    #[test]
+    fn columns_are_one_based_and_survive_newlines() {
+        let toks = lex("let x = 1;\n  \"a\nb\" y");
+        let at = |text: &str| {
+            toks.iter()
+                .find(|t| t.text == text)
+                .map(|t| (t.line, t.col))
+                .unwrap()
+        };
+        assert_eq!(at("let"), (1, 1));
+        assert_eq!(at("x"), (1, 5));
+        assert_eq!(at("="), (1, 7));
+        assert_eq!(at("1"), (1, 9));
+        // A multi-line string starts at its opening quote; the token
+        // after it lands on the line/col past the closing quote.
+        assert_eq!(at("\"a\nb\""), (2, 3));
+        assert_eq!(at("y"), (3, 4));
     }
 
     #[test]

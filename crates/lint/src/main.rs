@@ -10,7 +10,7 @@ const USAGE: &str = "\
 oisa-lint — OISA workspace invariant checker
 
 USAGE:
-    oisa-lint [--root <dir>] [--allow <file>] [--json]
+    oisa-lint [--root <dir>] [--allow <file>] [--json | --sarif]
     oisa-lint self-test
 
 OPTIONS:
@@ -18,6 +18,7 @@ OPTIONS:
                      first directory containing lint-allow.toml)
     --allow <file>   Allowlist path (default: <root>/lint-allow.toml)
     --json           Emit the machine-readable report on stdout
+    --sarif          Emit a SARIF 2.1.0 document for code scanning
     self-test        Run the embedded rule fixtures and exit
 
 EXIT CODE:
@@ -28,6 +29,7 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut allow: Option<PathBuf> = None;
     let mut json = false;
+    let mut sarif = false;
     let mut self_test = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -41,6 +43,7 @@ fn main() -> ExitCode {
                 None => return usage_error("--allow needs a file"),
             },
             "--json" => json = true,
+            "--sarif" => sarif = true,
             "self-test" => self_test = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -82,6 +85,8 @@ fn main() -> ExitCode {
         Ok(applied) => {
             if json {
                 print!("{}", report::json(&applied));
+            } else if sarif {
+                print!("{}", report::sarif(&applied));
             } else {
                 print!("{}", report::human(&applied));
             }

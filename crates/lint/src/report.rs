@@ -1,15 +1,16 @@
-//! Human and `--json` rendering of a lint run.
+//! Human, `--json` and `--sarif` rendering of a lint run.
 
 use crate::allowlist::Applied;
+use crate::rules::ALL_RULES;
 
-/// Renders findings for terminals: `path:line: [rule] message`.
+/// Renders findings for terminals: `path:line:col: [rule] message`.
 #[must_use]
 pub fn human(applied: &Applied) -> String {
     let mut out = String::new();
     for f in &applied.active {
         out.push_str(&format!(
-            "{}:{}: [{}] {}\n",
-            f.path, f.line, f.rule, f.message
+            "{}:{}:{}: [{}] {}\n",
+            f.path, f.line, f.col, f.rule, f.message
         ));
     }
     for e in &applied.stale {
@@ -44,10 +45,11 @@ pub fn json(applied: &Applied) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}",
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
             escape(f.rule),
             escape(&f.path),
             f.line,
+            f.col,
             escape(&f.message)
         ));
     }
@@ -93,6 +95,43 @@ pub fn json(applied: &Applied) -> String {
     out
 }
 
+/// Renders active findings as a SARIF 2.1.0 document for
+/// code-scanning upload. Minimal but valid: one run, the rule
+/// catalogue as `tool.driver.rules`, one `result` per finding with a
+/// `physicalLocation` region. Hand-rolled like [`json`]: the crate is
+/// dependency-free by design.
+#[must_use]
+pub fn sarif(applied: &Applied) -> String {
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n          \"name\": \"oisa-lint\",\n          \"informationUri\": \"crates/lint/README.md\",\n          \"rules\": [",
+    );
+    for (i, rule) in ALL_RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n            {{\"id\": {}}}", escape(rule)));
+    }
+    out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+    for (i, f) in applied.active.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\n          \"ruleId\": {},\n          \"level\": \"error\",\n          \"message\": {{\"text\": {}}},\n          \"locations\": [\n            {{\n              \"physicalLocation\": {{\n                \"artifactLocation\": {{\"uri\": {}}},\n                \"region\": {{\"startLine\": {}, \"startColumn\": {}}}\n              }}\n            }}\n          ]\n        }}",
+            escape(f.rule),
+            escape(&f.message),
+            escape(&f.path),
+            f.line,
+            f.col
+        ));
+    }
+    if !applied.active.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
 /// JSON string escaping per RFC 8259.
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -115,14 +154,15 @@ fn escape(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rules::{Finding, RULE_UNWRAP};
+    use crate::rules::{Finding, RULE_PANIC};
 
     fn applied_with_one() -> Applied {
         Applied {
             active: vec![Finding {
-                rule: RULE_UNWRAP,
+                rule: RULE_PANIC,
                 path: "crates/x/src/lib.rs".to_string(),
                 line: 3,
+                col: 17,
                 message: "say \"no\"\tto unwrap".to_string(),
             }],
             suppressed: vec![],
@@ -131,16 +171,20 @@ mod tests {
     }
 
     #[test]
-    fn human_lists_findings_and_counts() {
+    fn human_format_is_path_line_col_rule_message() {
         let text = human(&applied_with_one());
-        assert!(text.contains("crates/x/src/lib.rs:3: [no-unwrap-in-lib]"));
+        assert!(
+            text.contains("crates/x/src/lib.rs:3:17: [panic-reachability]"),
+            "{text}"
+        );
         assert!(text.contains("1 finding(s)"));
     }
 
     #[test]
-    fn json_escapes_quotes_and_tabs() {
+    fn json_carries_line_and_col_and_escapes() {
         let doc = json(&applied_with_one());
         assert!(doc.contains(r#"say \"no\"\tto unwrap"#), "{doc}");
+        assert!(doc.contains("\"line\": 3, \"col\": 17,"), "{doc}");
         assert!(doc.contains("\"counts\": {\"active\": 1, \"suppressed\": 0"));
     }
 
@@ -149,5 +193,26 @@ mod tests {
         let doc = json(&Applied::default());
         assert!(doc.contains("\"findings\": []"));
         assert!(doc.contains("\"stale_allows\": []"));
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_located_results() {
+        let doc = sarif(&applied_with_one());
+        assert!(doc.contains("\"version\": \"2.1.0\""));
+        assert!(doc.contains("\"ruleId\": \"panic-reachability\""));
+        assert!(doc.contains("\"uri\": \"crates/x/src/lib.rs\""));
+        assert!(
+            doc.contains("\"startLine\": 3, \"startColumn\": 17"),
+            "{doc}"
+        );
+        for rule in ALL_RULES {
+            assert!(doc.contains(&format!("{{\"id\": \"{rule}\"}}")), "{rule}");
+        }
+    }
+
+    #[test]
+    fn sarif_empty_run_is_well_formed() {
+        let doc = sarif(&Applied::default());
+        assert!(doc.contains("\"results\": []"));
     }
 }

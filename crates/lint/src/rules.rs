@@ -1,10 +1,15 @@
-//! The six OISA invariant rules.
+//! The OISA invariant rules: ids, findings, and the per-file rules.
 //!
-//! Each rule walks the token stream of one [`SourceFile`] and pushes
-//! [`Finding`]s — machine-readable `(rule, path, line, message)`
-//! records. Rules see real tokens (comments, strings and lifetimes are
-//! already resolved by [`crate::lexer`]) and skip `#[cfg(test)]` /
-//! `#[test]` regions via the file's test mask.
+//! Each per-file rule walks the token stream of one [`SourceFile`] and
+//! pushes [`Finding`]s — machine-readable `(rule, path, line, col,
+//! message)` records. Rules see real tokens (comments, strings and
+//! lifetimes are already resolved by [`crate::lexer`]) and skip
+//! `#[cfg(test)]` / `#[test]` regions via the file's test mask.
+//!
+//! The four flow-aware rules (lock-order, panic-reachability,
+//! determinism-taint, crate-layering) need the whole workspace at
+//! once; they live in [`crate::flow`] but share the [`Finding`] type
+//! and the [`ALL_RULES`] catalogue defined here.
 //!
 //! The rule catalogue (ids, rationale, how to allowlist) lives in
 //! `crates/lint/README.md`; keep the two in sync.
@@ -25,8 +30,17 @@ pub const RULE_FLOAT_WIRE: &str = "float-bit-exact-wire";
 pub const RULE_TAG_REGISTRY: &str = "wire-tag-registry";
 /// `thread::spawn` only in the scheduler, the backend and serving.
 pub const RULE_BARE_SPAWN: &str = "no-bare-spawn";
-/// `.unwrap()` / `.expect(` banned in non-test library code.
-pub const RULE_UNWRAP: &str = "no-unwrap-in-lib";
+/// No cycle in the global lock-acquisition-order graph (propagated
+/// through the call graph).
+pub const RULE_LOCK_ORDER: &str = "lock-order";
+/// No call-graph path from a serving/backend entry point to
+/// `panic!` / `.unwrap()` / `.expect(` in non-test library code.
+pub const RULE_PANIC: &str = "panic-reachability";
+/// Wall-clock / entropy values must not flow into wire encoding or
+/// `NoiseSource` keys and counters.
+pub const RULE_TAINT: &str = "determinism-taint";
+/// `use` declarations must respect the crate/module dependency DAG.
+pub const RULE_LAYERING: &str = "crate-layering";
 
 /// Every rule id, in reporting order.
 pub const ALL_RULES: &[&str] = &[
@@ -35,7 +49,10 @@ pub const ALL_RULES: &[&str] = &[
     RULE_FLOAT_WIRE,
     RULE_TAG_REGISTRY,
     RULE_BARE_SPAWN,
-    RULE_UNWRAP,
+    RULE_LOCK_ORDER,
+    RULE_PANIC,
+    RULE_TAINT,
+    RULE_LAYERING,
 ];
 
 /// How many lines above an `unsafe` token a `SAFETY:` comment may sit
@@ -73,6 +90,8 @@ pub struct Finding {
     pub path: String,
     /// 1-based line.
     pub line: u32,
+    /// 1-based column.
+    pub col: u32,
     /// Human-readable description.
     pub message: String,
 }
@@ -101,7 +120,7 @@ impl SourceFile {
     }
 
     /// Indices of non-comment tokens — the stream patterns match over.
-    fn significant(&self) -> Vec<usize> {
+    pub(crate) fn significant(&self) -> Vec<usize> {
         (0..self.tokens.len())
             .filter(|&i| self.tokens[i].kind != TokenKind::Comment)
             .collect()
@@ -118,16 +137,22 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
     float_bit_exact_wire(file, &sig, &mut out);
     wire_tag_registry(file, &sig, &mut out);
     no_bare_spawn(file, &sig, &mut out);
-    no_unwrap_in_lib(file, &sig, &mut out);
-    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     out
 }
 
-fn finding(file: &SourceFile, rule: &'static str, line: u32, message: String) -> Finding {
+pub(crate) fn finding(
+    file: &SourceFile,
+    rule: &'static str,
+    line: u32,
+    col: u32,
+    message: String,
+) -> Finding {
     Finding {
         rule,
         path: file.path.clone(),
         line,
+        col,
         message,
     }
 }
@@ -150,7 +175,7 @@ fn unsafe_needs_safety(file: &SourceFile, sig: &[usize], out: &mut Vec<Finding>)
         if file.test_mask[i] || !t.is(TokenKind::Ident, "unsafe") {
             continue;
         }
-        let line = t.line;
+        let (line, col) = (t.line, t.col);
         let documented = comments
             .iter()
             .any(|c| c.end_line() >= line.saturating_sub(SAFETY_COMMENT_WINDOW) && c.line <= line);
@@ -159,6 +184,7 @@ fn unsafe_needs_safety(file: &SourceFile, sig: &[usize], out: &mut Vec<Finding>)
                 file,
                 RULE_UNSAFE,
                 line,
+                col,
                 format!(
                     "`unsafe` without a `// SAFETY:` comment (or `# Safety` doc section) \
                      within the preceding {SAFETY_COMMENT_WINDOW} lines"
@@ -191,6 +217,7 @@ fn no_wallclock(file: &SourceFile, sig: &[usize], out: &mut Vec<Finding>) {
                 file,
                 RULE_WALLCLOCK,
                 t.line,
+                t.col,
                 format!(
                     "`{}` in a deterministic compute path — results must be a pure \
                      function of (config, seed, counter), never of the clock",
@@ -225,6 +252,7 @@ fn float_bit_exact_wire(file: &SourceFile, sig: &[usize], out: &mut Vec<Finding>
                     file,
                     RULE_FLOAT_WIRE,
                     t.line,
+                    t.col,
                     format!(
                         "float `{}` comparison on the wire/merge path — compare \
                          `to_bits()` values instead",
@@ -238,6 +266,7 @@ fn float_bit_exact_wire(file: &SourceFile, sig: &[usize], out: &mut Vec<Finding>
                 file,
                 RULE_FLOAT_WIRE,
                 t.line,
+                t.col,
                 "float text-formatting spec in a wire/merge-path string — floats must \
                  cross as `to_bits`/`from_bits`, never as decimal text"
                     .to_string(),
@@ -292,7 +321,7 @@ fn wire_tag_registry(file: &SourceFile, sig: &[usize], out: &mut Vec<Finding>) {
     }
     let tok = |p: usize| sig.get(p).map(|&i| &file.tokens[i]);
     // Tag definitions: `TAG_X : u8 = <int>`.
-    let mut defs: Vec<(String, String, u32)> = Vec::new();
+    let mut defs: Vec<(String, String, u32, u32)> = Vec::new();
     for p in 0..sig.len() {
         let (Some(name), Some(colon), Some(ty), Some(eq), Some(value)) =
             (tok(p), tok(p + 1), tok(p + 2), tok(p + 3), tok(p + 4))
@@ -307,7 +336,7 @@ fn wire_tag_registry(file: &SourceFile, sig: &[usize], out: &mut Vec<Finding>) {
             && eq.is(TokenKind::Punct, "=")
             && value.kind == TokenKind::Int
         {
-            defs.push((name.text.clone(), value.text.clone(), name.line));
+            defs.push((name.text.clone(), value.text.clone(), name.line, name.col));
         }
     }
     if defs.is_empty() {
@@ -320,6 +349,7 @@ fn wire_tag_registry(file: &SourceFile, sig: &[usize], out: &mut Vec<Finding>) {
                 file,
                 RULE_TAG_REGISTRY,
                 def.2,
+                def.3,
                 format!("message tag `{}` reuses value {}", def.0, def.1),
             ));
         }
@@ -333,6 +363,7 @@ fn wire_tag_registry(file: &SourceFile, sig: &[usize], out: &mut Vec<Finding>) {
             file,
             RULE_TAG_REGISTRY,
             defs[0].2,
+            defs[0].3,
             format!(
                 "no `{TAG_TABLE_NAME}` version-gating table — every tag must declare \
                  the minimum schema version it may travel under"
@@ -349,6 +380,7 @@ fn wire_tag_registry(file: &SourceFile, sig: &[usize], out: &mut Vec<Finding>) {
             file,
             RULE_TAG_REGISTRY,
             file.tokens[sig[tp]].line,
+            file.tokens[sig[tp]].col,
             format!("`{TAG_TABLE_NAME}` exists but no table literal follows it"),
         ));
         return;
@@ -368,45 +400,48 @@ fn wire_tag_registry(file: &SourceFile, sig: &[usize], out: &mut Vec<Finding>) {
             _ => {}
         }
     }
-    let mut listed: Vec<(String, u32)> = Vec::new();
+    let mut listed: Vec<(String, u32, u32)> = Vec::new();
     for p in open..close {
         if let Some(t) = tok(p) {
             if t.kind == TokenKind::Ident && t.text.starts_with("TAG_") {
-                listed.push((t.text.clone(), t.line));
+                listed.push((t.text.clone(), t.line, t.col));
             }
         }
     }
-    for (name, line) in &listed {
-        if listed.iter().filter(|(n, _)| n == name).count() > 1 {
+    for (name, line, col) in &listed {
+        if listed.iter().filter(|(n, _, _)| n == name).count() > 1 {
             // Report once, at the first occurrence.
             if listed
                 .iter()
-                .find(|(n, _)| n == name)
-                .is_some_and(|(_, l)| l == line)
+                .find(|(n, _, _)| n == name)
+                .is_some_and(|(_, l, _)| l == line)
             {
                 out.push(finding(
                     file,
                     RULE_TAG_REGISTRY,
                     *line,
+                    *col,
                     format!("tag `{name}` listed more than once in `{TAG_TABLE_NAME}`"),
                 ));
             }
         }
-        if !defs.iter().any(|(n, _, _)| n == name) {
+        if !defs.iter().any(|(n, _, _, _)| n == name) {
             out.push(finding(
                 file,
                 RULE_TAG_REGISTRY,
                 *line,
+                *col,
                 format!("`{TAG_TABLE_NAME}` lists `{name}` but no such tag constant exists"),
             ));
         }
     }
-    for (name, _, line) in &defs {
-        if !listed.iter().any(|(n, _)| n == name) {
+    for (name, _, line, col) in &defs {
+        if !listed.iter().any(|(n, _, _)| n == name) {
             out.push(finding(
                 file,
                 RULE_TAG_REGISTRY,
                 *line,
+                *col,
                 format!(
                     "tag `{name}` missing from the `{TAG_TABLE_NAME}` version-gating \
                      table — decide whether it is legacy (v2) or v3-only"
@@ -446,6 +481,7 @@ fn no_bare_spawn(file: &SourceFile, sig: &[usize], out: &mut Vec<Finding>) {
                 file,
                 RULE_BARE_SPAWN,
                 t.line,
+                t.col,
                 "`thread::spawn` outside the scheduler/backend/serving layer — route \
                  parallelism through the scheduler so shutdown, panic containment and \
                  determinism stay centralized"
@@ -455,47 +491,12 @@ fn no_bare_spawn(file: &SourceFile, sig: &[usize], out: &mut Vec<Finding>) {
     }
 }
 
-// ---------------------------------------------------------------------
-// Rule 6: no-unwrap-in-lib
-// ---------------------------------------------------------------------
-
-fn unwrap_scope(path: &str) -> bool {
+/// Library scope: `src/` trees, excluding binaries and `main.rs`.
+/// Shared with the panic-reachability rule in [`crate::flow`].
+pub(crate) fn lib_scope(path: &str) -> bool {
     let in_lib =
         path.starts_with("src/") || (path.starts_with("crates/") && path.contains("/src/"));
     in_lib && !path.contains("/bin/") && !path.ends_with("/main.rs")
-}
-
-fn no_unwrap_in_lib(file: &SourceFile, sig: &[usize], out: &mut Vec<Finding>) {
-    if !unwrap_scope(&file.path) {
-        return;
-    }
-    for p in 0..sig.len() {
-        let i = sig[p];
-        if file.test_mask[i] {
-            continue;
-        }
-        let t = &file.tokens[i];
-        let is_call = t.kind == TokenKind::Ident
-            && (t.text == "unwrap" || t.text == "expect")
-            && sig
-                .get(p.wrapping_sub(1))
-                .is_some_and(|&q| file.tokens[q].is(TokenKind::Punct, "."))
-            && sig
-                .get(p + 1)
-                .is_some_and(|&q| file.tokens[q].is(TokenKind::Punct, "("));
-        if is_call {
-            out.push(finding(
-                file,
-                RULE_UNWRAP,
-                t.line,
-                format!(
-                    "`.{}(` in non-test library code — return a typed `OisaError` (or \
-                     allowlist it with a proof of infallibility)",
-                    t.text
-                ),
-            ));
-        }
-    }
 }
 
 #[cfg(test)]
@@ -612,18 +613,22 @@ mod tests {
     }
 
     #[test]
-    fn unwrap_in_lib_fires_but_tests_bins_examples_are_exempt() {
-        let src = "pub fn f() { Some(1).unwrap(); }";
-        assert_eq!(run("crates/nn/src/train.rs", src).len(), 1);
-        assert!(run("crates/bench/src/bin/perf_json.rs", src).is_empty());
-        assert!(run("examples/quickstart.rs", src).is_empty());
-        let test_only = "#[cfg(test)]\nmod tests {\n fn t() { Some(1).unwrap(); }\n}";
-        assert!(run("crates/nn/src/train.rs", test_only).is_empty());
+    fn lib_scope_excludes_bins_mains_and_examples() {
+        assert!(lib_scope("crates/nn/src/train.rs"));
+        assert!(lib_scope("src/lib.rs"));
+        assert!(!lib_scope("crates/bench/src/bin/perf_json.rs"));
+        assert!(!lib_scope("examples/quickstart.rs"));
+        assert!(!lib_scope("crates/lint/src/main.rs"));
     }
 
     #[test]
-    fn unwrap_or_variants_do_not_fire() {
-        let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap_or(0).max(x.unwrap_or_else(|| 1)) }";
-        assert!(run("crates/nn/src/train.rs", src).is_empty());
+    fn findings_carry_columns() {
+        let f = run(
+            "crates/optics/src/x.rs",
+            "pub fn t() {\n    let _ = std::time::Instant::now();\n}",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[0].col, 24, "column of `Instant`");
     }
 }

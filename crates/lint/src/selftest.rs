@@ -5,9 +5,12 @@
 //! so the binary self-tests from any working directory). Each is
 //! checked under a *virtual* workspace path that puts it in the rule's
 //! scope — the fixtures directory itself is never walked by a normal
-//! run.
+//! run. Per-file **and** workspace (flow) rules both run on every
+//! fixture: the flow rules see the fixture as a one-file virtual
+//! workspace, and any stray finding from another rule fails the case.
 
 use crate::rules::{self, SourceFile};
+use crate::{flow, rules as r};
 
 struct Case {
     /// Fixture file name, for reporting.
@@ -27,21 +30,21 @@ const CASES: &[Case] = &[
         name: "unsafe_bad.rs",
         source: include_str!("../fixtures/unsafe_bad.rs"),
         virtual_path: "crates/device/src/lint_fixture.rs",
-        rule: rules::RULE_UNSAFE,
+        rule: r::RULE_UNSAFE,
         expect: 1,
     },
     Case {
         name: "unsafe_good.rs",
         source: include_str!("../fixtures/unsafe_good.rs"),
         virtual_path: "crates/device/src/lint_fixture.rs",
-        rule: rules::RULE_UNSAFE,
+        rule: r::RULE_UNSAFE,
         expect: 0,
     },
     Case {
         name: "wallclock_bad.rs",
         source: include_str!("../fixtures/wallclock_bad.rs"),
         virtual_path: "crates/optics/src/lint_fixture.rs",
-        rule: rules::RULE_WALLCLOCK,
+        rule: r::RULE_WALLCLOCK,
         // Two clock types, each named in the `use` and at a call site.
         expect: 4,
     },
@@ -49,14 +52,14 @@ const CASES: &[Case] = &[
         name: "wallclock_good.rs",
         source: include_str!("../fixtures/wallclock_good.rs"),
         virtual_path: "crates/optics/src/lint_fixture.rs",
-        rule: rules::RULE_WALLCLOCK,
+        rule: r::RULE_WALLCLOCK,
         expect: 0,
     },
     Case {
         name: "float_wire_bad.rs",
         source: include_str!("../fixtures/float_wire_bad.rs"),
         virtual_path: "crates/core/src/backend/mod.rs",
-        rule: rules::RULE_FLOAT_WIRE,
+        rule: r::RULE_FLOAT_WIRE,
         // One float `==`, one `{x:.6}` format spec.
         expect: 2,
     },
@@ -64,14 +67,14 @@ const CASES: &[Case] = &[
         name: "float_wire_good.rs",
         source: include_str!("../fixtures/float_wire_good.rs"),
         virtual_path: "crates/core/src/backend/mod.rs",
-        rule: rules::RULE_FLOAT_WIRE,
+        rule: r::RULE_FLOAT_WIRE,
         expect: 0,
     },
     Case {
         name: "tags_bad.rs",
         source: include_str!("../fixtures/tags_bad.rs"),
         virtual_path: "crates/core/src/wire.rs",
-        rule: rules::RULE_TAG_REGISTRY,
+        rule: r::RULE_TAG_REGISTRY,
         // One value collision, one tag missing from the gating table.
         expect: 2,
     },
@@ -79,35 +82,80 @@ const CASES: &[Case] = &[
         name: "tags_good.rs",
         source: include_str!("../fixtures/tags_good.rs"),
         virtual_path: "crates/core/src/wire.rs",
-        rule: rules::RULE_TAG_REGISTRY,
+        rule: r::RULE_TAG_REGISTRY,
         expect: 0,
     },
     Case {
         name: "spawn_bad.rs",
         source: include_str!("../fixtures/spawn_bad.rs"),
         virtual_path: "crates/nn/src/lint_fixture.rs",
-        rule: rules::RULE_BARE_SPAWN,
+        rule: r::RULE_BARE_SPAWN,
         expect: 1,
     },
     Case {
         name: "spawn_good.rs",
         source: include_str!("../fixtures/spawn_good.rs"),
         virtual_path: "crates/core/src/backend/lint_fixture.rs",
-        rule: rules::RULE_BARE_SPAWN,
+        rule: r::RULE_BARE_SPAWN,
         expect: 0,
     },
     Case {
-        name: "unwrap_bad.rs",
-        source: include_str!("../fixtures/unwrap_bad.rs"),
-        virtual_path: "crates/nn/src/lint_fixture.rs",
-        rule: rules::RULE_UNWRAP,
+        name: "lock_order_bad.rs",
+        source: include_str!("../fixtures/lock_order_bad.rs"),
+        virtual_path: "crates/core/src/lint_fixture.rs",
+        rule: r::RULE_LOCK_ORDER,
+        // One cycle in the queue/stats order graph.
         expect: 1,
     },
     Case {
-        name: "unwrap_good.rs",
-        source: include_str!("../fixtures/unwrap_good.rs"),
-        virtual_path: "crates/nn/src/lint_fixture.rs",
-        rule: rules::RULE_UNWRAP,
+        name: "lock_order_good.rs",
+        source: include_str!("../fixtures/lock_order_good.rs"),
+        virtual_path: "crates/core/src/lint_fixture.rs",
+        rule: r::RULE_LOCK_ORDER,
+        expect: 0,
+    },
+    Case {
+        name: "panic_bad.rs",
+        source: include_str!("../fixtures/panic_bad.rs"),
+        virtual_path: "crates/core/src/lint_fixture.rs",
+        rule: r::RULE_PANIC,
+        // One `.unwrap()` two call edges below the entry point.
+        expect: 1,
+    },
+    Case {
+        name: "panic_good.rs",
+        source: include_str!("../fixtures/panic_good.rs"),
+        virtual_path: "crates/core/src/lint_fixture.rs",
+        rule: r::RULE_PANIC,
+        expect: 0,
+    },
+    Case {
+        name: "taint_bad.rs",
+        source: include_str!("../fixtures/taint_bad.rs"),
+        virtual_path: "crates/core/src/lint_fixture.rs",
+        rule: r::RULE_TAINT,
+        // One tainted local reaching `wire::encode_header`.
+        expect: 1,
+    },
+    Case {
+        name: "taint_good.rs",
+        source: include_str!("../fixtures/taint_good.rs"),
+        virtual_path: "crates/core/src/lint_fixture.rs",
+        rule: r::RULE_TAINT,
+        expect: 0,
+    },
+    Case {
+        name: "layering_bad.rs",
+        source: include_str!("../fixtures/layering_bad.rs"),
+        virtual_path: "crates/device/src/lint_fixture.rs",
+        rule: r::RULE_LAYERING,
+        expect: 1,
+    },
+    Case {
+        name: "layering_good.rs",
+        source: include_str!("../fixtures/layering_good.rs"),
+        virtual_path: "crates/device/src/lint_fixture.rs",
+        rule: r::RULE_LAYERING,
         expect: 0,
     },
 ];
@@ -120,7 +168,8 @@ pub fn run() -> Result<String, String> {
     let mut fired: Vec<&'static str> = Vec::new();
     for case in CASES {
         let file = SourceFile::parse(case.virtual_path, case.source);
-        let findings = rules::check_file(&file);
+        let mut findings = rules::check_file(&file);
+        findings.extend(flow::check_workspace_files(std::slice::from_ref(&file)));
         let (hits, strays): (Vec<_>, Vec<_>) =
             findings.into_iter().partition(|f| f.rule == case.rule);
         let ok = hits.len() == case.expect && strays.is_empty();
@@ -144,8 +193,8 @@ pub fn run() -> Result<String, String> {
             ));
             for f in hits.iter().chain(strays.iter()) {
                 report.push_str(&format!(
-                    "       {}:{} [{}] {}\n",
-                    f.path, f.line, f.rule, f.message
+                    "       {}:{}:{} [{}] {}\n",
+                    f.path, f.line, f.col, f.rule, f.message
                 ));
             }
         }

@@ -1,0 +1,335 @@
+//! Property tests for the lint parser and call graph: the flow rules
+//! are only as sound as the item tree, so the parser must survive
+//! arbitrary and truncated input, keep every span in bounds, and
+//! reconstruct each well-formed item losslessly from its token span.
+
+use oisa_lint::graph::find_cycle;
+use oisa_lint::lexer::{lex, Token};
+use oisa_lint::parser::{extract_calls, parse_items, CallKind, Item, ItemKind};
+use proptest::prelude::*;
+
+/// Word palette biased toward item keywords and the structural
+/// punctuation that drives parser state transitions.
+const WORDS: &[&str] = &[
+    "fn",
+    "impl",
+    "mod",
+    "use",
+    "struct",
+    "enum",
+    "trait",
+    "const",
+    "static",
+    "type",
+    "macro_rules",
+    "pub",
+    "for",
+    "where",
+    "unsafe",
+    "{",
+    "}",
+    "(",
+    ")",
+    "<",
+    ">",
+    "[",
+    "]",
+    ";",
+    ",",
+    "::",
+    "->",
+    "=",
+    "!",
+    "#",
+    "name",
+    "x",
+    "u8",
+    "'a",
+    "\"str\"",
+    "0.5",
+    "7",
+    "// line\n",
+    "/* block */",
+    ".",
+    "&",
+    "self",
+    "as",
+];
+
+fn soup(selectors: &[usize]) -> String {
+    let mut out = String::new();
+    for &s in selectors {
+        out.push_str(WORDS[s % WORDS.len()]);
+        out.push(' ');
+    }
+    out
+}
+
+/// Recursively checks the structural span invariants of an item tree:
+/// every span inside `lo..hi`, start <= end, body braces inside the
+/// span, children inside the body, siblings ordered and disjoint.
+fn span_violation(items: &[Item], lo: usize, hi: usize) -> Option<String> {
+    let mut prev_end: Option<usize> = None;
+    for item in items {
+        if item.start < lo || item.end >= hi || item.start > item.end {
+            return Some(format!(
+                "span {}..={} of `{}` escapes window {lo}..{hi}",
+                item.start, item.end, item.name
+            ));
+        }
+        if let Some(p) = prev_end {
+            if item.start <= p {
+                return Some(format!(
+                    "item `{}` at {} overlaps previous sibling ending at {p}",
+                    item.name, item.start
+                ));
+            }
+        }
+        prev_end = Some(item.end);
+        if let Some((open, close)) = item.body {
+            if open < item.start || close > item.end || open > close {
+                return Some(format!(
+                    "body {open}..={close} of `{}` escapes its span {}..={}",
+                    item.name, item.start, item.end
+                ));
+            }
+            if let Some(v) = span_violation(&item.children, open, close.max(open + 1)) {
+                return Some(v);
+            }
+        } else if !item.children.is_empty() {
+            return Some(format!("`{}` has children but no body", item.name));
+        }
+    }
+    None
+}
+
+/// One well-formed item per template index; returns the rendered
+/// source together with the kind and name the parser must recover.
+fn template(kind: usize, i: usize) -> (String, ItemKind, String) {
+    match kind % 10 {
+        0 => (
+            format!("fn f{i}(x: u8) -> u8 {{ helper(x) }}"),
+            ItemKind::Fn,
+            format!("f{i}"),
+        ),
+        1 => (
+            format!("struct S{i} {{ a: u8, b: u16 }}"),
+            ItemKind::Struct,
+            format!("S{i}"),
+        ),
+        2 => (
+            format!("enum E{i} {{ A, B(u8) }}"),
+            ItemKind::Enum,
+            format!("E{i}"),
+        ),
+        3 => (
+            format!("const K{i}: u32 = {i};"),
+            ItemKind::Const,
+            format!("K{i}"),
+        ),
+        4 => (
+            format!("static G{i}: u8 = 0;"),
+            ItemKind::Static,
+            format!("G{i}"),
+        ),
+        5 => (
+            format!("type A{i} = Vec<u8>;"),
+            ItemKind::TypeAlias,
+            format!("A{i}"),
+        ),
+        6 => (
+            format!("mod m{i} {{ fn inner(x: u8) {{ probe(x); }} }}"),
+            ItemKind::Mod,
+            format!("m{i}"),
+        ),
+        7 => (
+            format!("impl T{i} {{ fn method(&self) {{ self.other(); }} }}"),
+            ItemKind::Impl,
+            format!("T{i}"),
+        ),
+        8 => (
+            format!("use alpha{i}::beta::{{gamma, delta}};"),
+            ItemKind::Use,
+            format!("alpha{i}::beta::gamma"),
+        ),
+        _ => (
+            format!("trait Q{i} {{ fn req(&self) -> u8; }}"),
+            ItemKind::Trait,
+            format!("Q{i}"),
+        ),
+    }
+}
+
+fn without_ws(s: &str) -> String {
+    s.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+fn span_text(tokens: &[Token], item: &Item) -> String {
+    tokens[item.start..=item.end]
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn parsing_arbitrary_soup_never_panics_and_spans_stay_in_bounds(
+        selectors in prop::collection::vec(0usize..1000, 64),
+    ) {
+        let source = soup(&selectors);
+        let tokens = lex(&source);
+        let items = parse_items(&tokens);
+        if let Some(v) = span_violation(&items, 0, tokens.len().max(1)) {
+            prop_assert!(false, "span invariant broken: {v}\nsource: {source:?}");
+        }
+        // Call extraction over every recovered body must also be total.
+        for item in &items {
+            if let Some((open, close)) = item.body {
+                let _ = extract_calls(&tokens, open, close);
+            }
+        }
+    }
+
+    #[test]
+    fn well_formed_items_reconstruct_losslessly(
+        kinds in prop::collection::vec(0usize..10, 8),
+    ) {
+        let rendered: Vec<(String, ItemKind, String)> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| template(k, i))
+            .collect();
+        let source = rendered
+            .iter()
+            .map(|(src, _, _)| src.as_str())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let tokens = lex(&source);
+        let items = parse_items(&tokens);
+        prop_assert_eq!(items.len(), rendered.len());
+        for (item, (src, kind, name)) in items.iter().zip(&rendered) {
+            prop_assert_eq!(item.kind, *kind);
+            prop_assert_eq!(&item.name, name);
+            // Losslessness: the raw-token span reproduces the item's
+            // source text exactly, modulo whitespace.
+            prop_assert_eq!(without_ws(&span_text(&tokens, item)), without_ws(src));
+        }
+    }
+
+    #[test]
+    fn truncated_well_formed_source_never_panics(
+        kinds in prop::collection::vec(0usize..10, 6),
+        cut in 0usize..400,
+    ) {
+        let source = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| template(k, i).0)
+            .collect::<Vec<_>>()
+            .join("\n");
+        // Templates are pure ASCII, so any byte index is a char boundary.
+        let truncated = &source[..cut.min(source.len())];
+        let tokens = lex(truncated);
+        let items = parse_items(&tokens);
+        if let Some(v) = span_violation(&items, 0, tokens.len().max(1)) {
+            prop_assert!(false, "span invariant broken after truncation: {v}");
+        }
+    }
+
+    #[test]
+    fn nested_mods_chain_to_depth(depth in 1usize..7) {
+        let mut source = String::new();
+        for d in 0..depth {
+            source.push_str(&format!("mod level{d} {{ "));
+        }
+        source.push_str("fn leaf() { probe(); }");
+        source.push_str(&" }".repeat(depth));
+        let tokens = lex(&source);
+        let mut items = parse_items(&tokens);
+        for d in 0..depth {
+            prop_assert_eq!(items.len(), 1);
+            prop_assert_eq!(items[0].kind, ItemKind::Mod);
+            prop_assert_eq!(&items[0].name, &format!("level{d}"));
+            items = items.remove(0).children;
+        }
+        prop_assert_eq!(items.len(), 1);
+        prop_assert_eq!(items[0].kind, ItemKind::Fn);
+        prop_assert_eq!(&items[0].name, "leaf");
+    }
+
+    #[test]
+    fn call_extraction_labels_kinds_correctly(
+        picks in prop::collection::vec(0usize..6, 6),
+    ) {
+        let labeled: &[(&str, CallKind, &str)] = &[
+            ("helper(1)", CallKind::Free, "helper"),
+            ("wire::encode(x)", CallKind::Path, "encode"),
+            ("std::mem::take(r)", CallKind::Path, "take"),
+            ("v.push(1)", CallKind::Method, "push"),
+            ("println!(\"x\")", CallKind::Macro, "println"),
+            ("Vec::new()", CallKind::Path, "new"),
+        ];
+        let stmts: Vec<&(&str, CallKind, &str)> =
+            picks.iter().map(|&p| &labeled[p % labeled.len()]).collect();
+        let source = format!(
+            "fn body() {{ {} }}",
+            stmts
+                .iter()
+                .map(|(s, _, _)| format!("{s};"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        let tokens = lex(&source);
+        let items = parse_items(&tokens);
+        prop_assert_eq!(items.len(), 1);
+        let (open, close) = items[0].body.expect("fn has a body");
+        let calls = extract_calls(&tokens, open, close);
+        prop_assert_eq!(calls.len(), stmts.len());
+        for (call, (_, kind, name)) in calls.iter().zip(&stmts) {
+            prop_assert_eq!(call.kind, *kind);
+            prop_assert_eq!(call.name(), *name);
+        }
+    }
+
+    #[test]
+    fn reported_cycles_are_real_cycles(
+        edges in prop::collection::vec(0usize..10_000, 24),
+    ) {
+        // 8-node graph with arbitrary edges: whenever find_cycle
+        // reports one, every hop must be a real edge and the walk must
+        // close on itself.
+        let n = 8usize;
+        let mut adj = vec![Vec::new(); n];
+        for &e in &edges {
+            adj[(e / n) % n].push(e % n);
+        }
+        if let Some(cycle) = find_cycle(&adj) {
+            prop_assert!(cycle.len() >= 2);
+            prop_assert_eq!(cycle.first(), cycle.last());
+            for pair in cycle.windows(2) {
+                prop_assert!(
+                    adj[pair[0]].contains(&pair[1]),
+                    "cycle hop {} -> {} is not an edge",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_only_graphs_have_no_cycles(
+        edges in prop::collection::vec(0usize..10_000, 24),
+    ) {
+        // Edges forced forward (u < v) form a DAG by construction.
+        let n = 8usize;
+        let mut adj = vec![Vec::new(); n];
+        for &e in &edges {
+            let (u, v) = ((e / n) % n, e % n);
+            if u < v {
+                adj[u].push(v);
+            }
+        }
+        prop_assert_eq!(find_cycle(&adj), None);
+    }
+}

@@ -148,6 +148,18 @@
 //! against the pre-optimisation reference (≥ 5× on the 128×128,
 //! 16-kernel acceptance workload) plus the im2col-vs-naive digital
 //! `Conv2d` ratio, so CI can track the perf trajectory.
+//!
+//! # Checking a working tree
+//!
+//! The invariants above (bit-identical merges, counter-based
+//! determinism, centralized spawning) are enforced structurally by the
+//! in-tree checker **oisa-lint v2**
+//! (`cargo run --release -p oisa_lint --bin oisa-lint`): on top of the
+//! per-file token rules it parses every item, builds an approximate
+//! cross-crate call graph, and checks lock-acquisition order, panic
+//! reachability from the serving entry points, wall-clock/entropy
+//! taint into the wire codec, and the crate layering DAG. See
+//! `crates/lint/README.md` for the rule catalogue and analysis model.
 
 // No unsafe: this crate must stay entirely safe Rust. The SIMD layer
 // (oisa_device/oisa_optics) is the only sanctioned unsafe in the tree.
