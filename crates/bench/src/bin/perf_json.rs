@@ -28,7 +28,11 @@
 //! the coordination cost a multi-host split pays), the TCP transport
 //! runs the same split over real loopback sockets to worker daemons
 //! (`frames_per_sec_backend_tcp` and the `backend_tcp` block — the
-//! socket/handshake overhead on top of the wire codec), a
+//! socket/handshake overhead on top of the wire codec), a whole
+//! **layer program** — the autoencoder encoder, conv → ternary
+//! quantize → dense → ReLU — runs end-to-end through the sharded
+//! backend (`frames_per_sec_program` and the `program` block — the
+//! cost of a whole-model job over the first layer alone), a
 //! `FleetSupervisor` fleet loses a worker mid-job and self-heals (the
 //! `supervisor_failover_ms` block: wall clock from the injected kill
 //! to the merged job completion, tracked for presence, not
@@ -42,7 +46,8 @@
 //!   ([`oisa_bench::gate`]): exit non-zero, with an actionable message,
 //!   when any headline throughput (`frames_per_sec`,
 //!   `frames_per_sec_batch`, `frames_per_sec_serving`,
-//!   `frames_per_sec_backend_shard`, `frames_per_sec_backend_tcp`)
+//!   `frames_per_sec_backend_shard`, `frames_per_sec_backend_tcp`,
+//!   `frames_per_sec_program`)
 //!   drops more than
 //!   15 % below the committed baseline, when the baseline file is
 //!   unreadable, or when it lacks a headline metric this run emits.
@@ -59,8 +64,9 @@ use oisa_core::backend::{
     SupervisorOptions, TcpTransport, TcpTransportConfig, TcpWorker,
 };
 use oisa_core::mlp::{matvec, matvec_parallel};
+use oisa_core::program::{run_reference, LayerProgram};
 use oisa_core::serving::{ServingConfig, ServingEngine};
-use oisa_core::wire::{self, InferenceJob, WireMessage};
+use oisa_core::wire::{self, InferenceJob, ProgramJob, WireMessage};
 use oisa_core::{OisaAccelerator, OisaConfig, OisaError};
 use oisa_device::noise::{NoiseConfig, NoiseSource};
 use oisa_nn::conv::Conv2d;
@@ -351,6 +357,47 @@ fn main() {
         std::hint::black_box(merged[0].output[0][0]);
     });
 
+    // Layer program: the autoencoder encoder — conv → ternary quantize
+    // → dense → ReLU — executed end-to-end per frame by the sharded
+    // backend (wire v4 ProgramJob). The gap between
+    // `frames_per_sec_program` and `frames_per_sec_backend_shard` is
+    // what the extra stages of a whole-model job cost over the first
+    // layer alone.
+    let program_features = 2usize;
+    let program_latent = 8usize;
+    let program = LayerProgram::autoencoder(side, side, program_features, program_latent, 42)
+        .expect("program construction");
+    {
+        let oracle =
+            run_reference(&cfg, 0, &program, &batch_frames).expect("program sequential forward");
+        let mut check =
+            ShardedBackend::in_process(cfg, shard_workers).expect("sharded backend construction");
+        let merged = check
+            .run_program(&ProgramJob {
+                job_id: 0,
+                program: program.clone(),
+                frames: batch_frames.clone(),
+            })
+            .expect("sharded program run");
+        assert_eq!(
+            merged, oracle,
+            "merged program shards must equal the sequential forward"
+        );
+    }
+    let mut program_backend =
+        ShardedBackend::in_process(cfg, shard_workers).expect("sharded backend construction");
+    let mut program_job_id = 0u64;
+    let program_ms = median_ms(reps, || {
+        let job = ProgramJob {
+            job_id: program_job_id,
+            program: program.clone(),
+            frames: batch_frames.clone(),
+        };
+        program_job_id += 1;
+        let merged = program_backend.run_program(&job).expect("program run");
+        std::hint::black_box(merged[0].output[0]);
+    });
+
     // Supervisor failover: one of two in-process workers dies on its
     // first shard of the job; the FleetSupervisor quarantines it,
     // promotes the spare and finishes the *same* `run_job` call.
@@ -559,6 +606,7 @@ fn main() {
     let frames_per_sec_serving = batch as f64 * 1e3 / serving_ms;
     let frames_per_sec_backend_shard = batch as f64 * 1e3 / backend_shard_ms;
     let frames_per_sec_backend_tcp = batch as f64 * 1e3 / backend_tcp_ms;
+    let frames_per_sec_program = batch as f64 * 1e3 / program_ms;
     let matvec_rows_per_sec = mv_rows as f64 * 1e3 / matvec_parallel_ms;
     let batch_histogram = serving_stats
         .batch_size_histogram
@@ -581,6 +629,7 @@ fn main() {
             "\"serving_8_frames\":{serving_ms:.3},",
             "\"backend_shard_8_frames\":{backend_shard_ms:.3},",
             "\"backend_tcp_8_frames\":{backend_tcp_ms:.3},",
+            "\"program_8_frames\":{program_ms:.3},",
             "\"matvec_parallel\":{matvec_parallel_ms:.3},",
             "\"matvec_serial\":{matvec_serial_ms:.3},",
             "\"conv2d_im2col\":{im2col:.3},",
@@ -591,6 +640,7 @@ fn main() {
             "\"frames_per_sec_serving\":{fps_serving:.3},",
             "\"frames_per_sec_backend_shard\":{fps_backend_shard:.3},",
             "\"frames_per_sec_backend_tcp\":{fps_backend_tcp:.3},",
+            "\"frames_per_sec_program\":{fps_program:.3},",
             "\"matvec_rows_per_sec\":{mv_rps:.3}}},",
             "\"mac_ns_per_ring\":{{",
             "\"simd_tier\":\"{simd_tier}\",",
@@ -604,6 +654,12 @@ fn main() {
             "\"workers\":{tcp_workers},",
             "\"endpoint\":\"loopback\",",
             "\"jobs_run\":{tcp_jobs}}},",
+            "\"program\":{{",
+            "\"workers\":{shard_workers},",
+            "\"stages\":{program_stages},",
+            "\"features\":{program_features},",
+            "\"latent\":{program_latent},",
+            "\"jobs_run\":{program_jobs}}},",
             "\"supervisor_failover_ms\":{{",
             "\"workers\":2,",
             "\"spares\":1,",
@@ -632,6 +688,7 @@ fn main() {
             "\"bit_identical_serving_vs_frame_loop\":true,",
             "\"bit_identical_backend_shard_vs_frame_loop\":true,",
             "\"bit_identical_backend_tcp_vs_frame_loop\":true,",
+            "\"bit_identical_program_vs_sequential_forward\":true,",
             "\"bit_identical_supervisor_failover_vs_frame_loop\":true}}"
         ),
         side = side,
@@ -649,6 +706,7 @@ fn main() {
         serving_ms = serving_ms,
         backend_shard_ms = backend_shard_ms,
         backend_tcp_ms = backend_tcp_ms,
+        program_ms = program_ms,
         matvec_parallel_ms = matvec_parallel_ms,
         matvec_serial_ms = matvec_serial_ms,
         im2col = im2col_ms,
@@ -658,6 +716,7 @@ fn main() {
         fps_serving = frames_per_sec_serving,
         fps_backend_shard = frames_per_sec_backend_shard,
         fps_backend_tcp = frames_per_sec_backend_tcp,
+        fps_program = frames_per_sec_program,
         mv_rps = matvec_rows_per_sec,
         simd_tier = oisa_device::simd::active_tier(),
         mac72 = mac_ns_per_ring[0],
@@ -667,6 +726,10 @@ fn main() {
         shard_jobs = shard_backend.jobs_run(),
         tcp_workers = tcp_workers,
         tcp_jobs = tcp_backend.jobs_run(),
+        program_stages = program.stages.len(),
+        program_features = program_features,
+        program_latent = program_latent,
+        program_jobs = program_backend.jobs_run(),
         sup_promotions = failover_fleet.status().promotions,
         sup_failover_ms = supervisor_failover_ms,
         srv_max_batch = serving_cfg.max_batch,
@@ -709,6 +772,10 @@ fn main() {
             Metric {
                 name: "frames_per_sec_backend_tcp",
                 current: frames_per_sec_backend_tcp,
+            },
+            Metric {
+                name: "frames_per_sec_program",
+                current: frames_per_sec_program,
             },
         ];
         match gate::gate_file(&path, &headline, gate::GATE_TOLERANCE) {

@@ -120,6 +120,28 @@ impl OisaConfig {
     /// bad dimensions with a typed [`OisaError::Config`](crate::error::OisaError::Config) naming the
     /// field, instead of letting them surface as a substrate error
     /// deep inside [`OisaAccelerator::new`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use oisa_core::OisaConfig;
+    /// use oisa_device::noise::NoiseConfig;
+    ///
+    /// # fn main() -> Result<(), oisa_core::OisaError> {
+    /// let config = OisaConfig::builder()
+    ///     .imager_dims(16, 16)
+    ///     .opc_shape(4, 2, 10)
+    ///     .noise(NoiseConfig::paper_default())
+    ///     .seed(7)
+    ///     .build()?;
+    /// assert_eq!((config.imager.width, config.imager.height), (16, 16));
+    ///
+    /// // `build` refuses degenerate values with a typed error.
+    /// let err = OisaConfig::builder().imager_dims(0, 16).build().unwrap_err();
+    /// assert!(err.to_string().contains("imager"));
+    /// # Ok(())
+    /// # }
+    /// ```
     #[must_use]
     pub fn builder() -> OisaConfigBuilder {
         OisaConfigBuilder::default()
@@ -1345,6 +1367,62 @@ impl OisaAccelerator {
             &encoded.optical,
             &mut self.noise,
         )
+    }
+
+    /// Executes a dense layer on a raw activation vector already in the
+    /// optical domain (`[0, 1]`) — the mid-program dense path of a
+    /// [layer program](crate::program): unlike
+    /// [`OisaAccelerator::dense_layer`] no frame is sensed or encoded,
+    /// the predecessor stage's output drives the arms directly.
+    ///
+    /// Rows fan out over [`crate::mlp::matvec_parallel`]; one noise
+    /// epoch is consumed, exactly as [`OisaAccelerator::dense_layer`]
+    /// does.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for shape mismatches or inputs
+    /// outside `[0, 1]`; substrate errors from the optical fabric.
+    pub fn dense_vector(
+        &mut self,
+        input: &[f64],
+        matrix: &[f32],
+        rows: usize,
+    ) -> Result<crate::mlp::MatVecReport> {
+        crate::mlp::matvec_parallel(
+            &mut self.opc,
+            &self.vom,
+            &self.mapper,
+            matrix,
+            rows,
+            input.len(),
+            input,
+            &mut self.noise,
+        )
+    }
+
+    /// Stages the fabric into the exit state one dense `rows × cols`
+    /// matvec over `matrix` leaves behind — **without** computing
+    /// anything or consuming noise epochs. The dense analogue of
+    /// [`OisaAccelerator::prewarm`]: a shard worker entering a layer
+    /// program mid-stream replays each dense stage's exit state so its
+    /// first frame pays steady-state tuning cost exactly like the
+    /// sequential loop (see
+    /// [`OisaAccelerator::prewarm_program`](crate::program)).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for a matrix that is not
+    /// `rows × cols`; substrate errors from the optical fabric.
+    pub fn prewarm_dense(&mut self, matrix: &[f32], rows: usize, cols: usize) -> Result<()> {
+        if matrix.len() != rows * cols || rows == 0 || cols == 0 {
+            return Err(CoreError::InvalidParameter(format!(
+                "matrix {rows}x{cols} does not match {} elements",
+                matrix.len()
+            )));
+        }
+        let (_scale, normalised) = crate::mlp::normalise_matrix(matrix);
+        crate::mlp::replay_exit_state(&mut self.opc, &self.mapper, &normalised, rows, cols)
     }
 }
 

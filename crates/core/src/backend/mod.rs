@@ -57,14 +57,42 @@
 //! point instead of the deep history. Fixed or non-growing kernel sets
 //! (every serving deployment: the kernel set is pinned at engine
 //! construction) never hit this.
+//!
+//! # Layer programs
+//!
+//! [`ComputeBackend::run_program`] (wire v4) runs a multi-stage
+//! [`crate::program::LayerProgram`] — `conv → quantize → dense →
+//! activation` — through the same machinery. The determinism story is
+//! *simpler* than the conv-job one:
+//!
+//! * **Epochs** — a program consumes
+//!   [`epochs_per_frame`](crate::program::LayerProgram::epochs_per_frame)
+//!   (one per optical stage) per frame, so a shard starting at job
+//!   frame `i` carries `first_epoch = base + i · E`.
+//! * **Entry state** — there is no [`FabricEntry`] on a
+//!   [`ProgramShard`]: every executor (local or worker) runs
+//!   [`prewarm_program`](crate::program) once, which stages the
+//!   program's own steady state regardless of fabric history. Ring
+//!   state after a load depends only on that load's weights, so
+//!   per-frame reports are history-independent by construction and
+//!   shard merges are bit-identical to the sequential reference
+//!   ([`crate::program::run_reference`]) over any fleet shape.
+//! * **Cross-job staging** — after a program job, the coordinator's
+//!   `last_staged` records the program's kernel set only when the
+//!   program is pure conv (its dense stages, if any, re-tune arms the
+//!   conv entry-state protocol does not model); otherwise the next
+//!   conv job enters [`FabricEntry::Cold`]. This is the same one-job-
+//!   deep energy caveat as above — feature maps stay exact either way.
 
 use std::io::{Read, Write};
 
 use crate::accelerator::{ConvolutionReport, OisaAccelerator, OisaConfig};
 use crate::error::OisaError;
 use crate::mapping::{ConvWorkload, MappingPlan};
+use crate::program::{ProgramFrameReport, Stage};
 use crate::wire::{
-    self, FabricEntry, InferenceJob, JobShard, RefusalCode, ShardRefusal, ShardReport, WireMessage,
+    self, FabricEntry, InferenceJob, JobShard, ProgramJob, ProgramReport, ProgramShard,
+    RefusalCode, ShardRefusal, ShardReport, WireMessage,
 };
 use crate::CoreError;
 
@@ -82,6 +110,35 @@ pub type BackendResult<T> = std::result::Result<T, OisaError>;
 ///
 /// See the module docs for the determinism contract implementations
 /// must uphold.
+///
+/// # Examples
+///
+/// Code written against the trait runs unchanged on one host or a
+/// fleet — here, the same job through both built-in backends:
+///
+/// ```
+/// use oisa_core::backend::{ComputeBackend, LocalBackend, ShardedBackend};
+/// use oisa_core::wire::InferenceJob;
+/// use oisa_core::OisaConfig;
+/// use oisa_sensor::Frame;
+///
+/// fn run(backend: &mut dyn ComputeBackend) -> Result<usize, oisa_core::OisaError> {
+///     let job = InferenceJob {
+///         job_id: 1,
+///         k: 3,
+///         kernels: vec![vec![0.5f32; 9]],
+///         frames: vec![Frame::constant(16, 16, 0.6)?],
+///     };
+///     Ok(backend.run_job(&job)?.len())
+/// }
+///
+/// # fn main() -> Result<(), oisa_core::OisaError> {
+/// let cfg = OisaConfig::small_test();
+/// assert_eq!(run(&mut LocalBackend::new(cfg)?)?, 1);
+/// assert_eq!(run(&mut ShardedBackend::in_process(cfg, 2)?)?, 1);
+/// # Ok(())
+/// # }
+/// ```
 pub trait ComputeBackend: Send {
     /// The physics configuration this backend executes under.
     fn config(&self) -> &OisaConfig;
@@ -94,6 +151,28 @@ pub trait ComputeBackend: Send {
     /// failure. Implementations must not advance observable state on
     /// error, so callers can retry.
     fn run_job(&mut self, job: &InferenceJob) -> BackendResult<Vec<ConvolutionReport>>;
+
+    /// Executes one multi-stage [`ProgramJob`] (wire v4), returning one
+    /// [`ProgramFrameReport`] per frame in frame order. Same
+    /// determinism contract as [`ComputeBackend::run_job`], with the
+    /// program semantics of the module docs.
+    ///
+    /// The provided implementation refuses: a backend must opt in to
+    /// programs, so pre-v4 test doubles and transports keep compiling
+    /// and fail loudly rather than half-executing.
+    ///
+    /// # Errors
+    ///
+    /// [`OisaError::Backend`] from the provided implementation;
+    /// validation, substrate, wire or transport failures from
+    /// overrides. Implementations must not advance observable state on
+    /// error, so callers can retry.
+    fn run_program(&mut self, job: &ProgramJob) -> BackendResult<Vec<ProgramFrameReport>> {
+        let _ = job;
+        Err(OisaError::Backend(
+            "this backend does not support layer programs".into(),
+        ))
+    }
 
     /// Frame dimensions (width, height) this backend accepts.
     fn frame_dims(&self) -> (usize, usize) {
@@ -197,6 +276,49 @@ impl ComputeBackend for LocalBackend {
             .convolve_frames(&job.frames, &job.kernels, job.k)
             .map_err(Into::into)
     }
+
+    /// One [`prewarm_program`](crate::program) (so reports are
+    /// history-independent, matching the sequential reference and any
+    /// sharded merge), then a per-frame loop.
+    fn run_program(&mut self, job: &ProgramJob) -> BackendResult<Vec<ProgramFrameReport>> {
+        validate_program_job(self, job)?;
+        self.accel.prewarm_program(&job.program)?;
+        job.frames
+            .iter()
+            .map(|frame| {
+                self.accel
+                    .run_program_frame(&job.program, frame)
+                    .map_err(Into::into)
+            })
+            .collect()
+    }
+}
+
+/// Validation shared by every program-capable backend: frames present
+/// and imager-sized, program structurally valid and shape-compatible
+/// with the frame dimensions ([`crate::program::LayerProgram::output_lens`]).
+fn validate_program_job(backend: &dyn ComputeBackend, job: &ProgramJob) -> BackendResult<()> {
+    if job.frames.is_empty() {
+        return Err(CoreError::InvalidParameter("no frames supplied".into()).into());
+    }
+    let (width, height) = backend.frame_dims();
+    job.program.output_lens(width, height)?;
+    if let Some(Stage::Conv { k, kernels }) = job.program.stages.first() {
+        backend.check_workload(kernels, *k)?;
+    }
+    if let Some(frame) = job
+        .frames
+        .iter()
+        .find(|f| f.width() != width || f.height() != height)
+    {
+        return Err(CoreError::InvalidParameter(format!(
+            "frame is {}x{} but the imager is {width}x{height}",
+            frame.width(),
+            frame.height()
+        ))
+        .into());
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -232,6 +354,46 @@ pub fn execute_shard(config: &OisaConfig, shard: &JobShard) -> BackendResult<Sha
     }
     let reports = accel.convolve_frames(&shard.frames, &shard.kernels, shard.k)?;
     Ok(ShardReport {
+        job_id: shard.job_id,
+        shard_index: shard.shard_index,
+        first_frame: shard.first_frame,
+        reports,
+    })
+}
+
+/// Executes one [`ProgramShard`] on a fresh accelerator — the
+/// program counterpart of [`execute_shard`], shared by the in-process
+/// transport and the process worker loop.
+///
+/// No entry state travels: [`prewarm_program`](crate::program) stages
+/// the program's own steady state (module docs, "Layer programs"), so
+/// this shard's reports are bit-identical to the same frames' slice of
+/// a sequential run regardless of what the worker ran before.
+///
+/// # Errors
+///
+/// [`OisaError::FingerprintMismatch`] on a fingerprint mismatch;
+/// otherwise program validation and substrate errors.
+pub fn execute_program_shard(
+    config: &OisaConfig,
+    shard: &ProgramShard,
+) -> BackendResult<ProgramReport> {
+    let expected = config.fingerprint();
+    if shard.config_fingerprint != expected {
+        return Err(OisaError::FingerprintMismatch {
+            coordinator: shard.config_fingerprint,
+            worker: expected,
+        });
+    }
+    let mut accel = OisaAccelerator::new(*config)?;
+    accel.align_noise_epoch(shard.first_epoch)?;
+    accel.prewarm_program(&shard.program)?;
+    let reports = shard
+        .frames
+        .iter()
+        .map(|frame| accel.run_program_frame(&shard.program, frame))
+        .collect::<crate::Result<Vec<_>>>()?;
+    Ok(ProgramReport {
         job_id: shard.job_id,
         shard_index: shard.shard_index,
         first_frame: shard.first_frame,
@@ -329,6 +491,19 @@ pub fn serve_worker_configurable<R: Read, W: Write>(
                     }),
                 }
             }
+            Ok(WireMessage::ProgramShard(shard)) => {
+                before_shard(shards);
+                shards += 1;
+                match execute_program_shard(&config, &shard) {
+                    Ok(report) => WireMessage::ProgramReport(report),
+                    Err(e) => WireMessage::Refusal(ShardRefusal {
+                        job_id: shard.job_id,
+                        shard_index: shard.shard_index,
+                        code: refusal_code_for(&e),
+                        reason: e.to_string(),
+                    }),
+                }
+            }
             Ok(WireMessage::Ping(hs)) => WireMessage::Pong(wire::Handshake {
                 nonce: hs.nonce,
                 config_fingerprint: config.fingerprint(),
@@ -413,6 +588,9 @@ fn message_name(message: &WireMessage) -> &'static str {
         WireMessage::Pong(_) => "Pong",
         WireMessage::Configure(_) => "Configure",
         WireMessage::ConfigureAck(_) => "ConfigureAck",
+        WireMessage::ProgramJob(_) => "ProgramJob",
+        WireMessage::ProgramShard(_) => "ProgramShard",
+        WireMessage::ProgramReport(_) => "ProgramReport",
     }
 }
 
@@ -702,36 +880,10 @@ impl ShardedBackend {
         }
     }
 
-    /// Builds one shard covering job frames `start..start + len`.
-    /// Shard boundaries never affect results (module docs), so *any*
-    /// contiguous cover of the job's frames merges bit-identically —
-    /// the invariant the re-plan path stands on.
-    fn shard_for_range(
-        &self,
-        job: &InferenceJob,
-        start: usize,
-        len: usize,
-        shard_index: u32,
-        shard_count: u32,
-    ) -> JobShard {
-        JobShard {
-            job_id: job.job_id,
-            shard_index,
-            shard_count,
-            first_frame: start as u64,
-            first_epoch: self.next_epoch + start as u64,
-            config_fingerprint: self.fingerprint,
-            entry: self.entry_for(job, start),
-            k: job.k,
-            kernels: job.kernels.clone(),
-            frames: job.frames[start..start + len].to_vec(),
-        }
-    }
-
     /// Builds the shard messages of a failure-free job — exactly what
     /// round one of [`ShardedBackend::run_job_with_recovery`]
-    /// dispatches (same [`ShardedBackend::shard_for_range`], same
-    /// [`split_count`]) — so tests can inspect the partitioning.
+    /// dispatches (same [`shard_for_range`], same [`split_count`]) —
+    /// so tests can inspect the partitioning.
     #[cfg(test)]
     fn plan_shards(&self, job: &InferenceJob) -> Vec<JobShard> {
         let n = job.frames.len();
@@ -741,12 +893,15 @@ impl ShardedBackend {
         let mut shards = Vec::with_capacity(splits.len());
         let mut start = 0usize;
         for (index, len) in splits.into_iter().enumerate() {
-            shards.push(self.shard_for_range(
+            shards.push(shard_for_range(
                 job,
                 start,
                 len,
                 u32::try_from(index).expect("fleet fits u32"),
                 total,
+                self.next_epoch,
+                self.fingerprint,
+                self.entry_for(job, start),
             ));
             start += len;
         }
@@ -776,16 +931,15 @@ impl ShardedBackend {
         Ok(())
     }
 
-    /// Dispatches `shards` concurrently, shard `i` to worker `i` — one
-    /// OS thread per engaged worker, each blocking on its transport's
-    /// round trip. Replies come back in spawn order.
-    fn dispatch_round(&mut self, shards: &[JobShard]) -> Vec<BackendResult<Vec<u8>>> {
-        let messages: Vec<Vec<u8>> = shards.iter().map(wire::encode_shard).collect();
+    /// Dispatches pre-encoded shard messages concurrently, message `i`
+    /// to worker `i` — one OS thread per engaged worker, each blocking
+    /// on its transport's round trip. Replies come back in spawn order.
+    fn dispatch_round(&mut self, messages: &[Vec<u8>]) -> Vec<BackendResult<Vec<u8>>> {
         std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .workers
                 .iter_mut()
-                .zip(&messages)
+                .zip(messages)
                 .map(|(worker, message)| scope.spawn(move || worker.round_trip(message)))
                 .collect();
             handles
@@ -835,9 +989,118 @@ impl ShardedBackend {
     ) -> BackendResult<Vec<ConvolutionReport>> {
         self.validate_job(job)?;
         let n = job.frames.len();
+        let next_epoch = self.next_epoch;
+        let fingerprint = self.fingerprint;
+        // Entry state is a function of *pre-job* coordinator state, so
+        // it is captured before the rounds (which may mutate the fleet
+        // but never the staging cursor).
+        let entry0 = self.entry_for(job, 0);
+        let job_id = job.job_id;
+        let merged = self.run_with_recovery_impl(
+            n,
+            &mut |start, len, index, count| {
+                let entry = if start == 0 {
+                    entry0.clone()
+                } else {
+                    FabricEntry::WarmSelf
+                };
+                wire::encode_shard(&shard_for_range(
+                    job,
+                    start,
+                    len,
+                    index,
+                    count,
+                    next_epoch,
+                    fingerprint,
+                    entry,
+                ))
+            },
+            &|start, len, index, payload| settle_shard_reply(job_id, start, len, index, payload),
+            on_failure,
+        )?;
+
+        // Only now does coordinator state advance: a failed job above
+        // consumed nothing, so a retry re-executes identically.
+        self.next_epoch += n as u64;
+        self.last_staged = Some((job.k, job.kernels.clone()));
+        self.jobs_run += 1;
+        Ok(merged)
+    }
+
+    /// [`ComputeBackend::run_program`] with the same pluggable failure
+    /// policy as [`ShardedBackend::run_job_with_recovery`] — programs
+    /// ride the identical round/re-plan/merge engine, they just carry
+    /// a [`ProgramShard`] and stride
+    /// [`epochs_per_frame`](crate::program::LayerProgram::epochs_per_frame)
+    /// epochs per frame.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedBackend::run_job_with_recovery`].
+    pub fn run_program_with_recovery(
+        &mut self,
+        job: &ProgramJob,
+        on_failure: &mut dyn FnMut(&str, &OisaError) -> Recovery,
+    ) -> BackendResult<Vec<ProgramFrameReport>> {
+        validate_program_job(self, job)?;
+        let n = job.frames.len();
+        let stride = job.program.epochs_per_frame();
+        let next_epoch = self.next_epoch;
+        let fingerprint = self.fingerprint;
+        let job_id = job.job_id;
+        let merged = self.run_with_recovery_impl(
+            n,
+            &mut |start, len, index, count| {
+                wire::encode_program_shard(&ProgramShard {
+                    job_id,
+                    shard_index: index,
+                    shard_count: count,
+                    first_frame: start as u64,
+                    first_epoch: next_epoch + start as u64 * stride,
+                    config_fingerprint: fingerprint,
+                    program: job.program.clone(),
+                    frames: job.frames[start..start + len].to_vec(),
+                })
+            },
+            &|start, len, index, payload| settle_program_reply(job_id, start, len, index, payload),
+            on_failure,
+        )?;
+
+        self.next_epoch += n as u64 * stride;
+        // A pure conv program leaves the fabric holding its kernel set
+        // exactly like a conv job would; dense stages re-tune arms the
+        // conv entry-state protocol does not model, so the next conv
+        // job enters cold (module docs, "Layer programs").
+        let has_dense = job
+            .program
+            .stages
+            .iter()
+            .any(|s| matches!(s, Stage::Dense { .. }));
+        self.last_staged = match job.program.stages.first() {
+            Some(Stage::Conv { k, kernels }) if !has_dense => Some((*k, kernels.clone())),
+            _ => None,
+        };
+        self.jobs_run += 1;
+        Ok(merged)
+    }
+
+    /// The shared round/re-plan/merge engine behind both recovery
+    /// entry points. `make_message` builds the encoded shard message
+    /// for the frame range `start..start + len` with the given shard
+    /// index/count; `settle` decodes and echo-checks one reply,
+    /// returning that range's per-frame reports. Advances **no**
+    /// coordinator state — callers commit their epoch/staging cursors
+    /// only after this returns `Ok`.
+    fn run_with_recovery_impl<Out>(
+        &mut self,
+        n: usize,
+        make_message: &mut dyn FnMut(usize, usize, u32, u32) -> Vec<u8>,
+        settle: SettleFn<'_, Out>,
+        on_failure: &mut dyn FnMut(&str, &OisaError) -> Recovery,
+    ) -> BackendResult<Vec<Out>> {
         // Frame ranges not yet merged, kept sorted and disjoint.
         let mut pending: Vec<(usize, usize)> = vec![(0, n)];
-        let mut collected: Vec<(u64, Vec<ConvolutionReport>)> = Vec::new();
+        let mut collected: Vec<(usize, Vec<Out>)> = Vec::new();
         let mut shard_seq = 0u32;
         while !pending.is_empty() {
             // Cover the pending ranges with at most one shard per
@@ -875,38 +1138,36 @@ impl ShardedBackend {
                     })
                     .collect()
             };
-            let dispatched = round_ranges.len();
-            let shards: Vec<JobShard> = round_ranges
+            let dispatched = u32::try_from(round_ranges.len()).expect("fleet fits u32");
+            let round: Vec<(usize, usize, u32)> = round_ranges
                 .iter()
                 .map(|&(start, len)| {
-                    let shard = self.shard_for_range(
-                        job,
-                        start,
-                        len,
-                        shard_seq,
-                        u32::try_from(dispatched).expect("fleet fits u32"),
-                    );
+                    let index = shard_seq;
                     shard_seq += 1;
-                    shard
+                    (start, len, index)
                 })
                 .collect();
-            let replies = self.dispatch_round(&shards);
+            let messages: Vec<Vec<u8>> = round
+                .iter()
+                .map(|&(start, len, index)| make_message(start, len, index, dispatched))
+                .collect();
+            let replies = self.dispatch_round(&messages);
 
             // Settle the round: successes merge, transport failures
             // consult the policy and their ranges go back to pending.
             // Failed slots are handled in descending index order so
             // removals cannot shift a slot that still needs handling.
             let mut failures: Vec<(usize, OisaError)> = Vec::new();
-            for (slot, (shard, reply)) in shards.iter().zip(replies).enumerate() {
-                match reply.and_then(|payload| decode_shard_reply(shard, &payload)) {
-                    Ok(report) => collected.push((report.first_frame, report.reports)),
+            for (slot, (&(start, len, index), reply)) in round.iter().zip(replies).enumerate() {
+                match reply.and_then(|payload| settle(start, len, index, &payload)) {
+                    Ok(reports) => collected.push((start, reports)),
                     Err(e @ OisaError::Transport { .. }) => failures.push((slot, e)),
                     Err(other) => return Err(other),
                 }
             }
             let mut next_pending = leftover;
             for (slot, error) in failures.into_iter().rev() {
-                let (start, len) = round_ranges[slot];
+                let (start, len, _) = round[slot];
                 let label = self.workers[slot].endpoint_label();
                 match on_failure(&label, &error) {
                     Recovery::Promote(spare) => {
@@ -928,17 +1189,19 @@ impl ShardedBackend {
             pending = next_pending;
         }
 
-        // Merge in frame order and verify the cover is exact.
+        // Merge in frame order and verify the cover is exact. The
+        // planned start doubles as the merge key because `settle`
+        // verified each reply's first-frame echo against it.
         collected.sort_by_key(|(first, _)| *first);
         let mut merged = Vec::with_capacity(n);
-        let mut expected_next = 0u64;
+        let mut expected_next = 0usize;
         for (first, reports) in collected {
             if first != expected_next {
                 return Err(OisaError::Backend(format!(
                     "re-planned shards left a gap: expected frame {expected_next}, got {first}"
                 )));
             }
-            expected_next += reports.len() as u64;
+            expected_next += reports.len();
             merged.extend(reports);
         }
         if merged.len() != n {
@@ -947,13 +1210,38 @@ impl ShardedBackend {
                 merged.len()
             )));
         }
-
-        // Only now does coordinator state advance: a failed job above
-        // consumed nothing, so a retry re-executes identically.
-        self.next_epoch += n as u64;
-        self.last_staged = Some((job.k, job.kernels.clone()));
-        self.jobs_run += 1;
         Ok(merged)
+    }
+}
+
+/// Builds one shard covering job frames `start..start + len`. Shard
+/// boundaries never affect results (module docs), so *any* contiguous
+/// cover of the job's frames merges bit-identically — the invariant
+/// the re-plan path stands on. A free function (not a method) because
+/// the recovery loop's planner closure runs while the loop mutates the
+/// fleet; coordinator state enters as explicit values.
+#[allow(clippy::too_many_arguments)]
+fn shard_for_range(
+    job: &InferenceJob,
+    start: usize,
+    len: usize,
+    shard_index: u32,
+    shard_count: u32,
+    next_epoch: u64,
+    fingerprint: u64,
+    entry: FabricEntry,
+) -> JobShard {
+    JobShard {
+        job_id: job.job_id,
+        shard_index,
+        shard_count,
+        first_frame: start as u64,
+        first_epoch: next_epoch + start as u64,
+        config_fingerprint: fingerprint,
+        entry,
+        k: job.k,
+        kernels: job.kernels.clone(),
+        frames: job.frames[start..start + len].to_vec(),
     }
 }
 
@@ -1065,45 +1353,95 @@ pub(crate) fn push_config_to_transport(
     }
 }
 
-/// Verifies one shard reply end to end: decodes it, maps refusals to
-/// typed errors and checks every echo field, so a misrouted or stale
-/// reply cannot silently corrupt the merged stream.
-fn decode_shard_reply(shard: &JobShard, payload: &[u8]) -> BackendResult<ShardReport> {
+/// A recovery-loop settle callback: decodes and echo-checks one
+/// worker reply for the frame range `start..start + len` of shard
+/// `index`, yielding that range's per-frame outputs.
+type SettleFn<'a, Out> = &'a dyn Fn(usize, usize, u32, &[u8]) -> BackendResult<Vec<Out>>;
+
+/// Shared echo verification of [`settle_shard_reply`] /
+/// [`settle_program_reply`]: a misrouted or stale reply cannot
+/// silently corrupt the merged stream.
+fn check_reply_echo(
+    expected: (u64, u32, u64, usize),
+    got: (u64, u32, u64, usize),
+) -> BackendResult<()> {
+    let (job_id, shard_index, first_frame, frames) = expected;
+    let (got_job, got_index, got_first, got_reports) = got;
+    if got_job != job_id || got_index != shard_index || got_first != first_frame {
+        return Err(OisaError::Backend(format!(
+            "shard reply mismatch: expected job {job_id} shard {shard_index} \
+             first_frame {first_frame}, \
+             got job {got_job} shard {got_index} first_frame {got_first}"
+        )));
+    }
+    if got_reports != frames {
+        return Err(OisaError::Backend(format!(
+            "shard {shard_index} returned {got_reports} reports for {frames} frames"
+        )));
+    }
+    Ok(())
+}
+
+/// Verifies one conv-shard reply end to end: decodes it, maps refusals
+/// to typed errors and checks every echo field against the planned
+/// range.
+fn settle_shard_reply(
+    job_id: u64,
+    start: usize,
+    len: usize,
+    index: u32,
+    payload: &[u8],
+) -> BackendResult<Vec<ConvolutionReport>> {
     let report = match wire::decode(payload)? {
         WireMessage::Report(report) => report,
         WireMessage::Refusal(refusal) => return Err(refusal_to_error(refusal)),
         other => {
             return Err(OisaError::Backend(format!(
-                "worker answered shard {} with a {}",
-                shard.shard_index,
+                "worker answered shard {index} with a {}",
                 message_name(&other)
             )));
         }
     };
-    if report.job_id != shard.job_id
-        || report.shard_index != shard.shard_index
-        || report.first_frame != shard.first_frame
-    {
-        return Err(OisaError::Backend(format!(
-            "shard reply mismatch: expected job {} shard {} first_frame {}, \
-             got job {} shard {} first_frame {}",
-            shard.job_id,
-            shard.shard_index,
-            shard.first_frame,
+    check_reply_echo(
+        (job_id, index, start as u64, len),
+        (
             report.job_id,
             report.shard_index,
-            report.first_frame
-        )));
-    }
-    if report.reports.len() != shard.frames.len() {
-        return Err(OisaError::Backend(format!(
-            "shard {} returned {} reports for {} frames",
-            shard.shard_index,
+            report.first_frame,
             report.reports.len(),
-            shard.frames.len()
-        )));
-    }
-    Ok(report)
+        ),
+    )?;
+    Ok(report.reports)
+}
+
+/// [`settle_shard_reply`] for program shards.
+fn settle_program_reply(
+    job_id: u64,
+    start: usize,
+    len: usize,
+    index: u32,
+    payload: &[u8],
+) -> BackendResult<Vec<ProgramFrameReport>> {
+    let report = match wire::decode(payload)? {
+        WireMessage::ProgramReport(report) => report,
+        WireMessage::Refusal(refusal) => return Err(refusal_to_error(refusal)),
+        other => {
+            return Err(OisaError::Backend(format!(
+                "worker answered program shard {index} with a {}",
+                message_name(&other)
+            )));
+        }
+    };
+    check_reply_echo(
+        (job_id, index, start as u64, len),
+        (
+            report.job_id,
+            report.shard_index,
+            report.first_frame,
+            report.reports.len(),
+        ),
+    )?;
+    Ok(report.reports)
 }
 
 impl ComputeBackend for ShardedBackend {
@@ -1118,6 +1456,13 @@ impl ComputeBackend for ShardedBackend {
     /// bit-identical by construction.
     fn run_job(&mut self, job: &InferenceJob) -> BackendResult<Vec<ConvolutionReport>> {
         self.run_job_with_recovery(job, &mut |_label, _error| Recovery::Abort)
+    }
+
+    /// [`ShardedBackend::run_program_with_recovery`] under the
+    /// no-recovery policy, exactly mirroring
+    /// [`ComputeBackend::run_job`] above.
+    fn run_program(&mut self, job: &ProgramJob) -> BackendResult<Vec<ProgramFrameReport>> {
+        self.run_program_with_recovery(job, &mut |_label, _error| Recovery::Abort)
     }
 }
 

@@ -39,7 +39,8 @@ use std::time::{Duration, Instant};
 
 use crate::accelerator::{ConvolutionReport, OisaConfig};
 use crate::error::OisaError;
-use crate::wire::InferenceJob;
+use crate::program::ProgramFrameReport;
+use crate::wire::{InferenceJob, ProgramJob};
 
 use super::{
     probe_transport, push_config_to_transport, BackendResult, ComputeBackend, Recovery,
@@ -98,6 +99,45 @@ pub struct FleetStatus {
 /// is itself a [`ComputeBackend`], so a
 /// [`ServingEngine`](crate::serving::ServingEngine) can run on top of
 /// a supervised fleet unchanged.
+///
+/// # Examples
+///
+/// Supervise two in-process workers with one spare on the bench, run
+/// a job and read the fleet counters:
+///
+/// ```
+/// use oisa_core::backend::{
+///     ComputeBackend, FleetSupervisor, InProcessWorker, ShardTransport, SupervisorOptions,
+/// };
+/// use oisa_core::wire::InferenceJob;
+/// use oisa_core::OisaConfig;
+/// use oisa_sensor::Frame;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = OisaConfig::small_test();
+/// let worker = |_| Box::new(InProcessWorker::new(config)) as Box<dyn ShardTransport>;
+/// let mut fleet = FleetSupervisor::new(
+///     config,
+///     (0..2).map(worker).collect(), // active
+///     (0..1).map(worker).collect(), // spares
+///     SupervisorOptions::default(),
+/// )?;
+///
+/// let job = InferenceJob {
+///     job_id: 1,
+///     k: 3,
+///     kernels: vec![vec![0.25f32; 9]],
+///     frames: vec![Frame::constant(16, 16, 0.6)?; 4],
+/// };
+/// let reports = fleet.run_job(&job)?; // sharded over the active pair
+/// assert_eq!(reports.len(), 4);
+///
+/// let status = fleet.status();
+/// assert_eq!((status.active, status.spares), (2, 1)); // nothing failed
+/// assert_eq!(status.promotions + status.replans, 0);
+/// # Ok(())
+/// # }
+/// ```
 pub struct FleetSupervisor {
     backend: ShardedBackend,
     spares: Vec<Box<dyn ShardTransport>>,
@@ -325,32 +365,98 @@ impl ComputeBackend for FleetSupervisor {
         let nonce = &mut self.nonce;
         let backend = &mut self.backend;
         backend.run_job_with_recovery(job, &mut |label, error| {
-            quarantined.push(QuarantineEvent {
-                label: label.to_string(),
-                error: error.to_string(),
-            });
-            while let Some(mut spare) = spares.pop() {
-                *nonce = nonce.wrapping_add(1);
-                let admission = match &push_config {
-                    Some(config) => push_config_to_transport(spare.as_mut(), config, *nonce),
-                    None => probe_transport(spare.as_mut(), config_fingerprint, *nonce)
-                        .map(|_fingerprint| ()),
-                };
-                match admission {
-                    Ok(()) => {
-                        *promotions += 1;
-                        return Recovery::Promote(spare);
-                    }
-                    Err(admission_error) => quarantined.push(QuarantineEvent {
-                        label: spare.endpoint_label(),
-                        error: format!("spare failed admission: {admission_error}"),
-                    }),
-                }
-            }
-            *replans += 1;
-            Recovery::Shrink
+            escalate(
+                spares,
+                quarantined,
+                promotions,
+                replans,
+                nonce,
+                push_config.as_ref(),
+                config_fingerprint,
+                label,
+                error,
+            )
         })
     }
+
+    /// [`ShardedBackend::run_program`](ComputeBackend::run_program)
+    /// behind the same escalation ladder as [`run_job`]: layer-program
+    /// shards lost to a dead worker re-run on promoted spares or
+    /// re-plan across the survivors, and the merged per-frame report
+    /// stream stays bit-identical to the no-failure run.
+    ///
+    /// [`run_job`]: ComputeBackend::run_job
+    fn run_program(&mut self, job: &ProgramJob) -> BackendResult<Vec<ProgramFrameReport>> {
+        self.maybe_sweep()?;
+        // Same split-borrow discipline as `run_job`.
+        let config_fingerprint = self.backend.config().fingerprint();
+        let push_config = self
+            .options
+            .push_config_to_spares
+            .then(|| *self.backend.config());
+        let spares = &mut self.spares;
+        let quarantined = &mut self.quarantined;
+        let promotions = &mut self.promotions;
+        let replans = &mut self.replans;
+        let nonce = &mut self.nonce;
+        let backend = &mut self.backend;
+        backend.run_program_with_recovery(job, &mut |label, error| {
+            escalate(
+                spares,
+                quarantined,
+                promotions,
+                replans,
+                nonce,
+                push_config.as_ref(),
+                config_fingerprint,
+                label,
+                error,
+            )
+        })
+    }
+}
+
+/// The escalation ladder shared by every supervised job kind (conv
+/// jobs and layer programs): quarantine the failed endpoint, admit a
+/// spare if one passes its admission check (promote), otherwise fall
+/// back to re-planning the lost range across the survivors (shrink).
+#[allow(clippy::too_many_arguments)]
+fn escalate(
+    spares: &mut Vec<Box<dyn ShardTransport>>,
+    quarantined: &mut Vec<QuarantineEvent>,
+    promotions: &mut u64,
+    replans: &mut u64,
+    nonce: &mut u64,
+    push_config: Option<&OisaConfig>,
+    config_fingerprint: u64,
+    label: &str,
+    error: &OisaError,
+) -> Recovery {
+    quarantined.push(QuarantineEvent {
+        label: label.to_string(),
+        error: error.to_string(),
+    });
+    while let Some(mut spare) = spares.pop() {
+        *nonce = nonce.wrapping_add(1);
+        let admission = match push_config {
+            Some(config) => push_config_to_transport(spare.as_mut(), config, *nonce),
+            None => {
+                probe_transport(spare.as_mut(), config_fingerprint, *nonce).map(|_fingerprint| ())
+            }
+        };
+        match admission {
+            Ok(()) => {
+                *promotions += 1;
+                return Recovery::Promote(spare);
+            }
+            Err(admission_error) => quarantined.push(QuarantineEvent {
+                label: spare.endpoint_label(),
+                error: format!("spare failed admission: {admission_error}"),
+            }),
+        }
+    }
+    *replans += 1;
+    Recovery::Shrink
 }
 
 #[cfg(test)]
@@ -415,7 +521,12 @@ mod tests {
 
     impl ShardTransport for DoomedWorker {
         fn round_trip(&mut self, message: &[u8]) -> BackendResult<Vec<u8>> {
-            if !self.dead && matches!(wire::decode(message), Ok(WireMessage::Shard(_))) {
+            if !self.dead
+                && matches!(
+                    wire::decode(message),
+                    Ok(WireMessage::Shard(_) | WireMessage::ProgramShard(_))
+                )
+            {
                 if self.served >= self.shards_before_death {
                     self.dead = true;
                 } else {
@@ -440,6 +551,45 @@ mod tests {
     fn oracle(config: OisaConfig, the_job: &InferenceJob) -> Vec<ConvolutionReport> {
         let mut local = LocalBackend::new(config).unwrap();
         local.run_job(the_job).unwrap()
+    }
+
+    fn program_job(frames_n: usize) -> ProgramJob {
+        ProgramJob {
+            job_id: 78,
+            program: crate::program::LayerProgram::autoencoder(16, 16, 2, 4, 11).unwrap(),
+            frames: frames(frames_n),
+        }
+    }
+
+    /// Layer programs ride the same escalation ladder as conv jobs: a
+    /// worker death mid-program promotes the spare, a second death
+    /// re-plans, and the merged per-frame reports stay bit-identical
+    /// to a local sequential forward.
+    #[test]
+    fn program_failover_promotes_then_replans_bit_identically() {
+        let config = cfg(45);
+        let active: Vec<Box<dyn ShardTransport>> = vec![
+            Box::new(InProcessWorker::new(config)),
+            Box::new(DoomedWorker::new(config, 0, "doomed-prog")),
+        ];
+        // The spare pings fine but dies on its first program shard:
+        // the ladder must climb promote → re-plan, like for conv jobs.
+        let spares: Vec<Box<dyn ShardTransport>> =
+            vec![Box::new(DoomedWorker::new(config, 0, "doomed-prog-spare"))];
+        let mut supervisor =
+            FleetSupervisor::new(config, active, spares, SupervisorOptions::default()).unwrap();
+        let the_job = program_job(6);
+        let reports = supervisor.run_program(&the_job).unwrap();
+        let mut local = LocalBackend::new(config).unwrap();
+        assert_eq!(
+            reports,
+            local.run_program(&the_job).unwrap(),
+            "program failover must not change results"
+        );
+        let status = supervisor.status();
+        assert_eq!(status.promotions, 1, "{status:?}");
+        assert_eq!(status.replans, 1, "{status:?}");
+        assert_eq!(status.quarantined, 2, "{status:?}");
     }
 
     #[test]

@@ -38,6 +38,10 @@
 //!   failover mid-job (results stay bit-identical), and wire-v3
 //!   config push so heterogeneous workers adopt the coordinator's
 //!   physics instead of refusing.
+//! * [`program`] — layer programs: ordered `conv → quantize → dense →
+//!   activation` stages executed per frame by any [`ComputeBackend`],
+//!   with a steady-state prewarm that keeps sharded merges
+//!   bit-identical ([`LayerProgram`]).
 //! * [`wire`] — the versioned, length-prefixed binary schema those
 //!   processes speak (strict decode errors, schema-version checks).
 //! * [`error`] — [`OisaError`], the one error type backend/serving
@@ -93,6 +97,10 @@
 // No unsafe: this crate must stay entirely safe Rust. The SIMD layer
 // (oisa_device/oisa_optics) is the only sanctioned unsafe in the tree.
 #![forbid(unsafe_code)]
+// Every public item of the architecture crate documents itself; CI's
+// docs step builds with `RUSTDOCFLAGS=-D warnings`, which turns any
+// missing doc on this crate's public API into a build failure.
+#![warn(missing_docs)]
 
 pub mod accelerator;
 pub mod backend;
@@ -102,6 +110,7 @@ pub mod error;
 pub mod mapping;
 pub mod mlp;
 pub mod perf;
+pub mod program;
 pub mod scheduler;
 pub mod serving;
 pub mod wire;
@@ -114,8 +123,11 @@ pub use backend::{
 pub use error::OisaError;
 pub use mapping::{ConvWorkload, MappingPlan};
 pub use perf::{OisaPerfModel, PowerBreakdown};
+pub use program::{
+    ActivationKind, LayerProgram, ProgramFrameReport, QuantizeKind, Stage, StageReport,
+};
 pub use serving::{ServingConfig, ServingEngine, ServingStats};
-pub use wire::{InferenceJob, JobShard, ShardReport};
+pub use wire::{InferenceJob, JobShard, ProgramJob, ShardReport};
 
 use std::fmt;
 

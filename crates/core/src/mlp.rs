@@ -191,16 +191,44 @@ pub fn matvec_parallel(
     }
 
     // Leave the shared fabric exactly as the serial engine would, so
-    // the two paths stay interchangeable for whatever runs next. Ring
-    // state after a load depends only on that load's chunk, and an
-    // arm's recorded tuning energy/latency only on its previous
-    // operating point — so replaying each used arm's final two
-    // round-robin loads (in any arm order) reproduces the serial exit
-    // state bit-for-bit at a cost bounded by the fabric size, not the
-    // chunk count.
+    // the two paths stay interchangeable for whatever runs next.
+    replay_exit_state(opc, mapper, &normalised, rows, cols)?;
+
+    Ok(MatVecReport {
+        output,
+        chunks: total_chunks,
+        energy,
+        latency,
+    })
+}
+
+/// Reproduces the fabric exit state a serial [`matvec`] over the
+/// `rows × cols` matrix `normalised` (already scale-normalised into
+/// `[-1, 1]` f64) would leave, without computing anything or consuming
+/// noise epochs.
+///
+/// Ring state after a load depends only on that load's chunk, and an
+/// arm's recorded tuning energy/latency only on its previous operating
+/// point — so replaying each used arm's final two round-robin loads (in
+/// any arm order) reproduces the serial exit state bit-for-bit at a
+/// cost bounded by the fabric size, not the chunk count.
+///
+/// [`matvec_parallel`] runs this after its ordered reduction; the
+/// layer-program prewarm
+/// ([`OisaAccelerator::prewarm_program`](crate::accelerator::OisaAccelerator::prewarm_program))
+/// runs it per dense stage so a shard's first frame sees exactly the
+/// steady-state fabric a sequential per-frame loop reaches.
+pub(crate) fn replay_exit_state(
+    opc: &mut Opc,
+    mapper: &WeightMapper,
+    normalised: &[f64],
+    rows: usize,
+    cols: usize,
+) -> Result<()> {
     let arms_per_bank = oisa_optics::bank::ARMS_PER_BANK;
     let nslots = opc.bank_count() * arms_per_bank;
     let chunks_per_row = cols.div_ceil(CHUNK);
+    let total_chunks = rows * chunks_per_row;
     let chunk_of = |g: usize| {
         let start = (g / chunks_per_row) * cols + (g % chunks_per_row) * CHUNK;
         let end = (g / chunks_per_row) * cols + cols.min((g % chunks_per_row) * CHUNK + CHUNK);
@@ -219,13 +247,7 @@ pub fn matvec_parallel(
         }
         opc.bank_mut(bank)?.load_arm(arm, chunk_of(last), mapper)?;
     }
-
-    Ok(MatVecReport {
-        output,
-        chunks: total_chunks,
-        energy,
-        latency,
-    })
+    Ok(())
 }
 
 /// Shape/range validation shared by both matvec engines; range errors
@@ -254,8 +276,9 @@ fn validate_matvec(matrix: &[f32], rows: usize, cols: usize, input: &[f64]) -> R
 
 /// One scan for the per-tensor scale, one pass normalising the whole
 /// matrix — hoisted out of the row loop so neither engine re-stages
-/// weights per chunk.
-fn normalise_matrix(matrix: &[f32]) -> (f32, Vec<f64>) {
+/// weights per chunk. Shared with the layer-program dense prewarm so
+/// its [`replay_exit_state`] stages the exact bits the engines load.
+pub(crate) fn normalise_matrix(matrix: &[f32]) -> (f32, Vec<f64>) {
     let scale = matrix
         .iter()
         .fold(0.0f32, |m, w| m.max(w.abs()))

@@ -415,6 +415,30 @@ struct Shared {
 /// `&mut` access) and [`ServingEngine::shutdown`] hands it back so
 /// callers can verify or reuse its state (for a [`LocalBackend`],
 /// [`LocalBackend::into_accelerator`] recovers the accelerator).
+///
+/// # Examples
+///
+/// Submit one frame, wait its handle, shut down cleanly:
+///
+/// ```
+/// use oisa_core::serving::{ServingConfig, ServingEngine};
+/// use oisa_core::{OisaAccelerator, OisaConfig};
+/// use oisa_sensor::Frame;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let accel = OisaAccelerator::new(OisaConfig::small_test())?;
+/// let kernels = vec![vec![0.25f32; 9], vec![-0.5f32; 9]];
+/// let engine = ServingEngine::new(accel, kernels, 3, ServingConfig::default())?;
+///
+/// let handle = engine.submit(Frame::constant(16, 16, 0.8)?)?;
+/// let report = handle.wait()?; // blocks until the frame's batch ran
+/// assert_eq!(report.output.len(), 2); // one feature map per kernel
+///
+/// let (_backend, stats) = engine.shutdown();
+/// assert_eq!(stats.frames_completed, 1);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug)]
 pub struct ServingEngine<B: ComputeBackend + 'static = LocalBackend> {
     shared: Arc<Shared>,

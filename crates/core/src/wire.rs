@@ -23,46 +23,137 @@
 //! not a nicety, because the sharding contract is bit-identical merges.
 //! Collections are a `u32` count followed by the elements.
 //!
-//! # Versioning and v2 interop
+//! # Versioning and interop
 //!
-//! The schema is at [`SCHEMA_VERSION`] (3). v3 adds exactly two
-//! messages — [`WireMessage::Configure`] (a [`ConfigPush`] carrying a
-//! fully structured [`OisaConfig`], field by field, **not** the
-//! build-local Debug fingerprint) and its [`WireMessage::ConfigureAck`]
-//! reply — and changes no existing layout. The interop rule:
+//! The schema is at [`SCHEMA_VERSION`] (4). The rule that has held
+//! since v3: a new version adds *messages* and changes no existing
+//! layout, and every message keeps travelling stamped with the
+//! **minimum** version that knows its tag (the `TAG_MIN_VERSION`
+//! registry). Concretely:
 //!
-//! * Every pre-v3 message (job, shard, report, refusal, ping, pong)
-//!   still travels **stamped [`LEGACY_SCHEMA_VERSION`] (2)** on the
-//!   wire, so a genuine v2 peer accepts everything a v3 coordinator
-//!   sends it — except a config push.
-//! * A v3 decoder accepts versions 2 *and* 3 for the pre-v3 tags;
-//!   [`WireMessage::Configure`] / [`WireMessage::ConfigureAck`] demand
-//!   version 3 (a v2-stamped one is [`WireError::Malformed`]).
-//! * A v2 peer receiving a v3 `Configure` rejects it as an unsupported
-//!   version and (per the worker loop's contract) answers with a typed
-//!   [`ShardRefusal`] rather than hanging up — so a mixed fleet
-//!   degrades to v2 behaviour (fingerprint refusal on mismatched
-//!   physics) instead of breaking.
+//! * v2 messages (job, shard, report, refusal, ping, pong) travel
+//!   stamped [`LEGACY_SCHEMA_VERSION`] (2), so a genuine v2 peer
+//!   accepts everything an up-to-date coordinator sends it — except
+//!   the newer messages below.
+//! * v3 added [`WireMessage::Configure`] / [`WireMessage::ConfigureAck`]
+//!   (a structured [`OisaConfig`] push, field by field, **not** the
+//!   build-local Debug fingerprint); both travel stamped
+//!   [`V3_SCHEMA_VERSION`] (3).
+//! * v4 adds the layer-program trio — [`WireMessage::ProgramJob`],
+//!   [`WireMessage::ProgramShard`], [`WireMessage::ProgramReport`] —
+//!   carrying a [`crate::program::LayerProgram`] instead of a single
+//!   kernel set; these travel stamped [`SCHEMA_VERSION`] (4).
+//! * The decoder accepts any stamp in
+//!   `LEGACY_SCHEMA_VERSION..=SCHEMA_VERSION`, then gates per tag: a
+//!   tag stamped below its registry minimum is
+//!   [`WireError::Malformed`].
+//! * An older peer receiving a newer-versioned message rejects it as
+//!   an unsupported version and (per the worker loop's contract)
+//!   answers with a typed [`ShardRefusal`] rather than hanging up —
+//!   so a mixed fleet degrades (fingerprint refusal instead of config
+//!   push; conv-only jobs instead of programs) instead of breaking.
+//!
+//! The complete byte-level layout of every tag, the version-gating
+//! table and the refusal-code catalogue live in
+//! `docs/wire-format.md`, whose examples are pinned by doctests in
+//! this module.
 //!
 //! # Strictness
 //!
 //! Decoding rejects, with a typed [`WireError`] and never a panic:
 //!
 //! * a bad magic or an unknown message tag,
-//! * any schema version other than [`SCHEMA_VERSION`] or
-//!   [`LEGACY_SCHEMA_VERSION`] (no silent best-effort reads of future
-//!   layouts), and v3-only tags stamped with a pre-v3 version,
+//! * any schema version outside
+//!   `LEGACY_SCHEMA_VERSION..=SCHEMA_VERSION` (no silent best-effort
+//!   reads of future layouts), and newer-only tags stamped with an
+//!   older version,
 //! * truncated payloads and truncated length prefixes,
 //! * trailing bytes after a complete message,
 //! * length prefixes beyond [`MAX_MESSAGE_BYTES`] (a corrupt prefix
 //!   must not become an allocation bomb),
 //! * semantic violations the constructors enforce (e.g. frame pixels
-//!   outside `[0, 1]`, or a pushed config that fails
-//!   [`OisaConfig`] builder validation).
+//!   outside `[0, 1]`, a pushed config that fails
+//!   [`OisaConfig`] builder validation, or a layer program that fails
+//!   [`crate::program::LayerProgram::validate`]).
 //!
 //! The shim `serde` derive on these types is a forward-compatibility
 //! marker only (the offline build has no real serde); this module is
 //! the actual, tested serialization.
+//!
+//! # Examples
+//!
+//! This doctest pins the worked byte examples of `docs/wire-format.md`
+//! — if the layout or the stamping rule drifts, it fails before the
+//! spec lies:
+//!
+//! ```
+//! use oisa_core::program::LayerProgram;
+//! use oisa_core::wire::{
+//!     self, ConfigPush, Handshake, ProgramJob, RefusalCode, ShardRefusal, WireMessage,
+//! };
+//! use oisa_core::OisaConfig;
+//!
+//! // A Ping payload, byte for byte: magic "OW", version 2 (the tag's
+//! // registry minimum), tag 5, then the two u64le handshake fields.
+//! let ping = WireMessage::Ping(Handshake {
+//!     nonce: 7,
+//!     config_fingerprint: 0x0123_4567_89AB_CDEF,
+//! });
+//! let payload = wire::encode(&ping);
+//! assert_eq!(
+//!     payload,
+//!     [
+//!         0x4F, 0x57, // magic "OW"
+//!         0x02, 0x00, // version 2
+//!         0x05, // tag 5 = Ping
+//!         0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // nonce
+//!         0xEF, 0xCD, 0xAB, 0x89, 0x67, 0x45, 0x23, 0x01, // fingerprint
+//!     ]
+//! );
+//!
+//! // Framing adds a u32le length prefix.
+//! let mut framed = Vec::new();
+//! wire::write_frame(&mut framed, &payload).unwrap();
+//! assert_eq!(&framed[..4], &21u32.to_le_bytes());
+//! assert_eq!(&framed[4..], &payload[..]);
+//!
+//! // Minimum-stamp rule: Configure travels stamped v3, ProgramJob v4,
+//! // regardless of the sender's build version.
+//! let configure = wire::encode(&WireMessage::Configure(ConfigPush {
+//!     nonce: 1,
+//!     config: OisaConfig::small_test(),
+//! }));
+//! assert_eq!(&configure[..5], &[0x4F, 0x57, 0x03, 0x00, 0x07]);
+//! let program_job = wire::encode(&WireMessage::ProgramJob(ProgramJob {
+//!     job_id: 1,
+//!     program: LayerProgram::autoencoder(16, 16, 2, 4, 1).unwrap(),
+//!     frames: Vec::new(),
+//! }));
+//! assert_eq!(&program_job[..5], &[0x4F, 0x57, 0x04, 0x00, 0x09]);
+//!
+//! // A refusal with the fingerprint-mismatch code.
+//! let refusal = wire::encode(&WireMessage::Refusal(ShardRefusal {
+//!     job_id: 9,
+//!     shard_index: 2,
+//!     code: RefusalCode::FingerprintMismatch {
+//!         coordinator: 0xAAAA,
+//!         worker: 0xBBBB,
+//!     },
+//!     reason: "no".into(),
+//! }));
+//! let mut expected = vec![0x4F, 0x57, 0x02, 0x00, 0x04]; // header
+//! expected.extend_from_slice(&9u64.to_le_bytes()); // job_id
+//! expected.extend_from_slice(&2u32.to_le_bytes()); // shard_index
+//! expected.push(1); // code discriminant: fingerprint mismatch
+//! expected.extend_from_slice(&0xAAAAu64.to_le_bytes());
+//! expected.extend_from_slice(&0xBBBBu64.to_le_bytes());
+//! expected.extend_from_slice(&2u32.to_le_bytes()); // reason length
+//! expected.extend_from_slice(b"no");
+//! assert_eq!(refusal, expected);
+//!
+//! // Round trip: decode returns the identical message.
+//! assert_eq!(wire::decode(&payload).unwrap(), ping);
+//! ```
 
 use std::io::{Read, Write};
 
@@ -98,13 +189,23 @@ use oisa_units::{Ampere, Farad, Hertz, Joule, Kelvin, Meter, Ohm, Second, Volt, 
 /// v3 added [`WireMessage::Configure`] / [`WireMessage::ConfigureAck`]
 /// — a structured [`OisaConfig`] push so a coordinator can align a
 /// heterogeneous fleet's physics instead of refusing on fingerprint
-/// mismatch. No pre-v3 layout changed; see the module docs for the
-/// interop rule.
-pub const SCHEMA_VERSION: u16 = 3;
+/// mismatch.
+///
+/// v4 adds [`WireMessage::ProgramJob`] / [`WireMessage::ProgramShard`]
+/// / [`WireMessage::ProgramReport`] — multi-stage
+/// [`crate::program::LayerProgram`] execution (conv → quantize →
+/// dense → activation) through the same sharded backend. No earlier
+/// layout changed; see the module docs for the interop rule.
+pub const SCHEMA_VERSION: u16 = 4;
 
-/// The newest pre-v3 schema version. Pre-v3 messages are still stamped
-/// with this on the wire and the decoder accepts it for their tags, so
-/// genuine v2 peers interoperate for everything except config push.
+/// The version that introduced the config-push pair.
+/// [`WireMessage::Configure`] / [`WireMessage::ConfigureAck`] travel
+/// stamped with this, per the minimum-stamp rule.
+pub const V3_SCHEMA_VERSION: u16 = 3;
+
+/// The oldest schema version this build decodes. v2 messages are still
+/// stamped with this on the wire, so genuine v2 peers interoperate for
+/// everything except config push and layer programs.
 pub const LEGACY_SCHEMA_VERSION: u16 = 2;
 
 /// Magic prefix of every payload (`"OW"`, OISA wire).
@@ -124,6 +225,10 @@ const TAG_PONG: u8 = 6;
 // v3-only tags: the decoder refuses these under a pre-v3 version stamp.
 const TAG_CONFIGURE: u8 = 7;
 const TAG_CONFIGURE_ACK: u8 = 8;
+// v4-only tags: layer-program execution.
+const TAG_PROGRAM_JOB: u8 = 9;
+const TAG_PROGRAM_SHARD: u8 = 10;
+const TAG_PROGRAM_REPORT: u8 = 11;
 
 /// The version-gating registry: every message tag, paired with the
 /// minimum schema version a payload may stamp it with. Adding a message
@@ -138,8 +243,11 @@ const TAG_MIN_VERSION: &[(u8, u16)] = &[
     (TAG_REFUSAL, LEGACY_SCHEMA_VERSION),
     (TAG_PING, LEGACY_SCHEMA_VERSION),
     (TAG_PONG, LEGACY_SCHEMA_VERSION),
-    (TAG_CONFIGURE, SCHEMA_VERSION),
-    (TAG_CONFIGURE_ACK, SCHEMA_VERSION),
+    (TAG_CONFIGURE, V3_SCHEMA_VERSION),
+    (TAG_CONFIGURE_ACK, V3_SCHEMA_VERSION),
+    (TAG_PROGRAM_JOB, SCHEMA_VERSION),
+    (TAG_PROGRAM_SHARD, SCHEMA_VERSION),
+    (TAG_PROGRAM_REPORT, SCHEMA_VERSION),
 ];
 
 /// Minimum schema version for `tag`, or `None` for tags this build does
@@ -159,8 +267,8 @@ fn min_version_for(tag: u8) -> Option<u16> {
 pub enum WireError {
     /// The payload does not start with [`MAGIC`].
     BadMagic(u16),
-    /// The payload's schema version is neither [`SCHEMA_VERSION`] nor
-    /// [`LEGACY_SCHEMA_VERSION`].
+    /// The payload's schema version is outside
+    /// `LEGACY_SCHEMA_VERSION..=SCHEMA_VERSION`.
     UnsupportedVersion {
         /// The version the peer wrote.
         got: u16,
@@ -191,7 +299,7 @@ impl std::fmt::Display for WireError {
             Self::UnsupportedVersion { got } => write!(
                 f,
                 "unsupported schema version {got} (this build speaks \
-                 {SCHEMA_VERSION}, accepting {LEGACY_SCHEMA_VERSION} for pre-v3 messages)"
+                 {SCHEMA_VERSION}, accepting {LEGACY_SCHEMA_VERSION}..={SCHEMA_VERSION})"
             ),
             Self::UnknownTag(tag) => write!(f, "unknown message tag {tag}"),
             Self::Truncated { needed, available } => write!(
@@ -226,6 +334,64 @@ pub struct InferenceJob {
     pub kernels: Vec<Vec<f32>>,
     /// The frames, in order; reports come back in the same order.
     pub frames: Vec<Frame>,
+}
+
+/// A batch of frames to run through a multi-stage
+/// [`LayerProgram`](crate::program::LayerProgram) (v4) — the
+/// program-capable counterpart of [`InferenceJob`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ProgramJob {
+    /// Caller-chosen identifier, echoed in every shard and report.
+    pub job_id: u64,
+    /// The stages every frame passes through, in order.
+    pub program: crate::program::LayerProgram,
+    /// The frames, in order; reports come back in the same order.
+    pub frames: Vec<Frame>,
+}
+
+/// A contiguous `(frame, epoch)` range of a [`ProgramJob`], assigned to
+/// one worker (v4). Unlike [`JobShard`] there is no
+/// [`FabricEntry`]: every program shard enters through
+/// [`prewarm_program`](crate::program), which stages the program's own
+/// steady state regardless of fabric history, so per-frame reports are
+/// history-independent by construction.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ProgramShard {
+    /// The job this shard belongs to.
+    pub job_id: u64,
+    /// Position of this shard in the job's split.
+    pub shard_index: u32,
+    /// Number of shards the job was split into.
+    pub shard_count: u32,
+    /// Index (within the job) of this shard's first frame.
+    pub first_frame: u64,
+    /// Absolute noise epoch of this shard's first frame. Programs
+    /// consume [`epochs_per_frame`](crate::program::LayerProgram::epochs_per_frame)
+    /// epochs per frame, so this is
+    /// `job_base + first_frame · epochs_per_frame`.
+    pub first_epoch: u64,
+    /// Fingerprint of the coordinator's [`OisaConfig`]; a worker
+    /// refuses shards whose fingerprint differs from its own config's.
+    pub config_fingerprint: u64,
+    /// The stages every frame passes through, in order.
+    pub program: crate::program::LayerProgram,
+    /// This shard's frames, in job order.
+    pub frames: Vec<Frame>,
+}
+
+/// One worker's results for one program shard: per-frame
+/// [`ProgramFrameReport`](crate::program::ProgramFrameReport)s in
+/// frame order, merge-ready (v4).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ProgramReport {
+    /// Echo of [`ProgramShard::job_id`].
+    pub job_id: u64,
+    /// Echo of [`ProgramShard::shard_index`].
+    pub shard_index: u32,
+    /// Echo of [`ProgramShard::first_frame`].
+    pub first_frame: u64,
+    /// One report per shard frame, in order.
+    pub reports: Vec<crate::program::ProgramFrameReport>,
 }
 
 /// The fabric state a shard's first frame must see, so tuning/memory
@@ -413,6 +579,12 @@ pub enum WireMessage {
     /// config, so the coordinator can verify the worker now runs its
     /// physics.
     ConfigureAck(Handshake),
+    /// v4: a full layer-program job (client → coordinator).
+    ProgramJob(ProgramJob),
+    /// v4: one shard of a program job (coordinator → worker).
+    ProgramShard(ProgramShard),
+    /// v4: a program shard's results (worker → coordinator).
+    ProgramReport(ProgramReport),
 }
 
 // ---------------------------------------------------------------------
@@ -726,6 +898,148 @@ fn get_entry(r: &mut Reader<'_>) -> Result<FabricEntry> {
             "unknown fabric entry discriminant {other}"
         ))),
     }
+}
+
+fn put_stage(w: &mut Writer, stage: &crate::program::Stage) {
+    use crate::program::{ActivationKind, QuantizeKind, Stage};
+    match stage {
+        Stage::Conv { k, kernels } => {
+            w.u8(0);
+            w.u64(*k as u64);
+            put_kernels(w, kernels);
+        }
+        Stage::Quantize(QuantizeKind::Ternary) => {
+            w.u8(1);
+            w.u8(0);
+        }
+        Stage::Quantize(QuantizeKind::Levels { bits }) => {
+            w.u8(1);
+            w.u8(1);
+            w.u8(*bits);
+        }
+        Stage::Dense { rows, matrix } => {
+            w.u8(2);
+            w.u64(*rows as u64);
+            put_f32s(w, matrix);
+        }
+        Stage::Activation(ActivationKind::Relu) => {
+            w.u8(3);
+            w.u8(0);
+        }
+    }
+}
+
+fn get_stage(r: &mut Reader<'_>) -> Result<crate::program::Stage> {
+    use crate::program::{ActivationKind, QuantizeKind, Stage};
+    match r.u8()? {
+        0 => Ok(Stage::Conv {
+            k: r.usize_from_u64("stage.k")?,
+            kernels: get_kernels(r)?,
+        }),
+        1 => match r.u8()? {
+            0 => Ok(Stage::Quantize(QuantizeKind::Ternary)),
+            1 => Ok(Stage::Quantize(QuantizeKind::Levels { bits: r.u8()? })),
+            other => Err(WireError::Malformed(format!(
+                "unknown quantize kind discriminant {other}"
+            ))),
+        },
+        2 => Ok(Stage::Dense {
+            rows: r.usize_from_u64("stage.rows")?,
+            matrix: get_f32s(r)?,
+        }),
+        3 => match r.u8()? {
+            0 => Ok(Stage::Activation(ActivationKind::Relu)),
+            other => Err(WireError::Malformed(format!(
+                "unknown activation kind discriminant {other}"
+            ))),
+        },
+        other => Err(WireError::Malformed(format!(
+            "unknown stage discriminant {other}"
+        ))),
+    }
+}
+
+fn put_program(w: &mut Writer, program: &crate::program::LayerProgram) {
+    w.len(program.stages.len());
+    for stage in &program.stages {
+        put_stage(w, stage);
+    }
+}
+
+/// Decodes a layer program and re-runs
+/// [`crate::program::LayerProgram::validate`], so a structurally
+/// invalid program is a typed [`WireError::Malformed`] before any
+/// backend sees it.
+fn get_program(r: &mut Reader<'_>) -> Result<crate::program::LayerProgram> {
+    let n = r.len(2)?;
+    let stages = (0..n).map(|_| get_stage(r)).collect::<Result<_>>()?;
+    let program = crate::program::LayerProgram { stages };
+    program
+        .validate()
+        .map_err(|e| WireError::Malformed(format!("layer program rejected: {e}")))?;
+    Ok(program)
+}
+
+fn put_matvec_report(w: &mut Writer, report: &crate::mlp::MatVecReport) {
+    put_f32s(w, &report.output);
+    w.u64(report.chunks as u64);
+    w.f64(report.energy.get());
+    w.f64(report.latency.get());
+}
+
+fn get_matvec_report(r: &mut Reader<'_>) -> Result<crate::mlp::MatVecReport> {
+    Ok(crate::mlp::MatVecReport {
+        output: get_f32s(r)?,
+        chunks: r.usize_from_u64("matvec.chunks")?,
+        energy: Joule::new(r.f64()?),
+        latency: Second::new(r.f64()?),
+    })
+}
+
+fn put_stage_report(w: &mut Writer, report: &crate::program::StageReport) {
+    use crate::program::StageReport;
+    match report {
+        StageReport::Conv(conv) => {
+            w.u8(0);
+            put_report(w, conv);
+        }
+        StageReport::Quantize => w.u8(1),
+        StageReport::Dense(dense) => {
+            w.u8(2);
+            put_matvec_report(w, dense);
+        }
+        StageReport::Activation => w.u8(3),
+    }
+}
+
+fn get_stage_report(r: &mut Reader<'_>) -> Result<crate::program::StageReport> {
+    use crate::program::StageReport;
+    match r.u8()? {
+        0 => Ok(StageReport::Conv(get_report(r)?)),
+        1 => Ok(StageReport::Quantize),
+        2 => Ok(StageReport::Dense(get_matvec_report(r)?)),
+        3 => Ok(StageReport::Activation),
+        other => Err(WireError::Malformed(format!(
+            "unknown stage report discriminant {other}"
+        ))),
+    }
+}
+
+fn put_frame_report(w: &mut Writer, report: &crate::program::ProgramFrameReport) {
+    w.len(report.stages.len());
+    for stage in &report.stages {
+        put_stage_report(w, stage);
+    }
+    put_f32s(w, &report.output);
+}
+
+fn get_frame_report(r: &mut Reader<'_>) -> Result<crate::program::ProgramFrameReport> {
+    let n = r.len(1)?;
+    let stages = (0..n).map(|_| get_stage_report(r)).collect::<Result<_>>()?;
+    Ok(crate::program::ProgramFrameReport {
+        stages,
+        output: get_f32s(r)?,
+    })
 }
 
 fn put_refusal_code(w: &mut Writer, code: &RefusalCode) {
@@ -1078,13 +1392,16 @@ fn tag_for(message: &WireMessage) -> u8 {
         WireMessage::Pong(_) => TAG_PONG,
         WireMessage::Configure(_) => TAG_CONFIGURE,
         WireMessage::ConfigureAck(_) => TAG_CONFIGURE_ACK,
+        WireMessage::ProgramJob(_) => TAG_PROGRAM_JOB,
+        WireMessage::ProgramShard(_) => TAG_PROGRAM_SHARD,
+        WireMessage::ProgramReport(_) => TAG_PROGRAM_REPORT,
     }
 }
 
 /// The version stamp a message travels under: its [`TAG_MIN_VERSION`]
-/// entry. Pre-v3 messages keep their [`LEGACY_SCHEMA_VERSION`] stamp
-/// (module docs: the v2-interop rule), v3-only messages are stamped
-/// [`SCHEMA_VERSION`].
+/// entry — the minimum-stamp rule of the module docs. v2 messages keep
+/// their [`LEGACY_SCHEMA_VERSION`] stamp, the config-push pair is
+/// stamped [`V3_SCHEMA_VERSION`], program messages [`SCHEMA_VERSION`].
 fn version_for(message: &WireMessage) -> u16 {
     min_version_for(tag_for(message)).unwrap_or(SCHEMA_VERSION)
 }
@@ -1128,6 +1445,21 @@ pub fn encode(message: &WireMessage) -> Vec<u8> {
             w.u64(push.nonce);
             put_config(&mut w, &push.config);
         }
+        WireMessage::ProgramJob(job) => {
+            w.u64(job.job_id);
+            put_program(&mut w, &job.program);
+            put_frames(&mut w, &job.frames);
+        }
+        WireMessage::ProgramShard(shard) => put_program_shard_body(&mut w, shard),
+        WireMessage::ProgramReport(report) => {
+            w.u64(report.job_id);
+            w.u32(report.shard_index);
+            w.u64(report.first_frame);
+            w.len(report.reports.len());
+            for r in &report.reports {
+                put_frame_report(&mut w, r);
+            }
+        }
     }
     w.0
 }
@@ -1159,6 +1491,31 @@ pub fn encode_shard(shard: &JobShard) -> Vec<u8> {
     w.0
 }
 
+/// Body of a [`TAG_PROGRAM_SHARD`] message (everything after the tag
+/// byte).
+fn put_program_shard_body(w: &mut Writer, shard: &ProgramShard) {
+    w.u64(shard.job_id);
+    w.u32(shard.shard_index);
+    w.u32(shard.shard_count);
+    w.u64(shard.first_frame);
+    w.u64(shard.first_epoch);
+    w.u64(shard.config_fingerprint);
+    put_program(w, &shard.program);
+    put_frames(w, &shard.frames);
+}
+
+/// [`encode`] for a [`ProgramShard`] by reference — the coordinator's
+/// program dispatch path, mirroring [`encode_shard`].
+#[must_use]
+pub fn encode_program_shard(shard: &ProgramShard) -> Vec<u8> {
+    let mut w = Writer(Vec::with_capacity(64));
+    w.u16(MAGIC);
+    w.u16(SCHEMA_VERSION);
+    w.u8(TAG_PROGRAM_SHARD);
+    put_program_shard_body(&mut w, shard);
+    w.0
+}
+
 /// Decodes one payload produced by [`encode`].
 ///
 /// # Errors
@@ -1172,7 +1529,7 @@ pub fn decode(payload: &[u8]) -> Result<WireMessage> {
         return Err(WireError::BadMagic(magic));
     }
     let version = r.u16()?;
-    if version != SCHEMA_VERSION && version != LEGACY_SCHEMA_VERSION {
+    if !(LEGACY_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&version) {
         return Err(WireError::UnsupportedVersion { got: version });
     }
     let tag = r.u8()?;
@@ -1236,6 +1593,36 @@ pub fn decode(payload: &[u8]) -> Result<WireMessage> {
             nonce: r.u64()?,
             config_fingerprint: r.u64()?,
         }),
+        TAG_PROGRAM_JOB => WireMessage::ProgramJob(ProgramJob {
+            job_id: r.u64()?,
+            program: get_program(&mut r)?,
+            frames: get_frames(&mut r)?,
+        }),
+        TAG_PROGRAM_SHARD => WireMessage::ProgramShard(ProgramShard {
+            job_id: r.u64()?,
+            shard_index: r.u32()?,
+            shard_count: r.u32()?,
+            first_frame: r.u64()?,
+            first_epoch: r.u64()?,
+            config_fingerprint: r.u64()?,
+            program: get_program(&mut r)?,
+            frames: get_frames(&mut r)?,
+        }),
+        TAG_PROGRAM_REPORT => {
+            let job_id = r.u64()?;
+            let shard_index = r.u32()?;
+            let first_frame = r.u64()?;
+            let n = r.len(1)?;
+            let reports = (0..n)
+                .map(|_| get_frame_report(&mut r))
+                .collect::<Result<_>>()?;
+            WireMessage::ProgramReport(ProgramReport {
+                job_id,
+                shard_index,
+                first_frame,
+                reports,
+            })
+        }
         other => return Err(WireError::UnknownTag(other)),
     };
     r.finish()?;
@@ -1390,6 +1777,37 @@ mod tests {
         }
     }
 
+    fn sample_program() -> crate::program::LayerProgram {
+        use crate::program::{ActivationKind, QuantizeKind, Stage};
+        crate::program::LayerProgram {
+            stages: vec![
+                Stage::Conv {
+                    k: 3,
+                    kernels: vec![vec![0.5f32; 9], vec![-0.25f32; 9]],
+                },
+                Stage::Quantize(QuantizeKind::Ternary),
+                Stage::Dense {
+                    rows: 2,
+                    matrix: vec![0.125f32; 2 * 8],
+                },
+                Stage::Activation(ActivationKind::Relu),
+            ],
+        }
+    }
+
+    fn sample_program_shard() -> ProgramShard {
+        ProgramShard {
+            job_id: 11,
+            shard_index: 1,
+            shard_count: 2,
+            first_frame: 2,
+            first_epoch: 24,
+            config_fingerprint: 0xCAFE,
+            program: sample_program(),
+            frames: vec![Frame::constant(4, 4, 0.25).unwrap()],
+        }
+    }
+
     #[test]
     fn every_message_round_trips() {
         let shard = JobShard {
@@ -1446,6 +1864,31 @@ mod tests {
                 nonce: 42,
                 config_fingerprint: 0xBEEF,
             }),
+            WireMessage::ProgramJob(ProgramJob {
+                job_id: 11,
+                program: sample_program(),
+                frames: vec![Frame::constant(4, 4, 0.5).unwrap()],
+            }),
+            WireMessage::ProgramShard(sample_program_shard()),
+            WireMessage::ProgramReport(ProgramReport {
+                job_id: 11,
+                shard_index: 1,
+                first_frame: 2,
+                reports: vec![crate::program::ProgramFrameReport {
+                    stages: vec![
+                        crate::program::StageReport::Conv(sample_report().reports[0].clone()),
+                        crate::program::StageReport::Quantize,
+                        crate::program::StageReport::Dense(crate::mlp::MatVecReport {
+                            output: vec![0.5f32, -1.25],
+                            chunks: 6,
+                            energy: Joule::new(3.5e-12),
+                            latency: Second::new(2e-10),
+                        }),
+                        crate::program::StageReport::Activation,
+                    ],
+                    output: vec![0.5f32, 0.0],
+                }],
+            }),
         ];
         for message in messages {
             let bytes = encode(&message);
@@ -1493,12 +1936,71 @@ mod tests {
         let mut restamped = bytes.clone();
         restamped[2..4].copy_from_slice(&SCHEMA_VERSION.to_le_bytes());
         assert_eq!(decode(&restamped).unwrap(), decode(&bytes).unwrap());
-        // Configure is the v3-only message and is stamped as such.
+        // Configure keeps its v3 stamp (minimum-stamp rule)...
         let push = encode(&WireMessage::Configure(ConfigPush {
             nonce: 1,
             config: OisaConfig::small_test(),
         }));
-        assert_eq!(u16::from_le_bytes([push[2], push[3]]), SCHEMA_VERSION);
+        assert_eq!(u16::from_le_bytes([push[2], push[3]]), V3_SCHEMA_VERSION);
+        // ...and the program messages are the only v4-stamped ones.
+        let program = encode(&WireMessage::ProgramShard(sample_program_shard()));
+        assert_eq!(u16::from_le_bytes([program[2], program[3]]), SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn program_messages_under_an_older_stamp_are_rejected() {
+        let bytes = encode(&WireMessage::ProgramShard(sample_program_shard()));
+        for older in [LEGACY_SCHEMA_VERSION, V3_SCHEMA_VERSION] {
+            let mut restamped = bytes.clone();
+            restamped[2..4].copy_from_slice(&older.to_le_bytes());
+            match decode(&restamped) {
+                Err(WireError::Malformed(what)) => {
+                    assert!(what.contains("requires schema v4"), "{what}");
+                }
+                other => panic!("expected Malformed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_program_is_rejected_on_decode() {
+        // A structurally valid encoding of a semantically invalid
+        // program (conv after stage 0) must fail decode, typed.
+        let mut shard = sample_program_shard();
+        let conv = shard.program.stages[0].clone();
+        shard.program.stages.push(conv);
+        let bytes = encode(&WireMessage::ProgramShard(shard));
+        match decode(&bytes) {
+            Err(WireError::Malformed(what)) => {
+                assert!(what.contains("layer program rejected"), "{what}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn encode_program_shard_matches_the_owned_message_encoding() {
+        let shard = sample_program_shard();
+        assert_eq!(
+            encode_program_shard(&shard),
+            encode(&WireMessage::ProgramShard(shard.clone())),
+            "the by-reference dispatch path must emit identical bytes"
+        );
+    }
+
+    #[test]
+    fn truncated_program_messages_are_errors_not_panics() {
+        let bytes = encode(&WireMessage::ProgramShard(sample_program_shard()));
+        for cut in 0..bytes.len() {
+            let err = decode(&bytes[..cut]).expect_err("truncation must fail");
+            assert!(
+                matches!(err, WireError::Truncated { .. } | WireError::Malformed(_)),
+                "cut at {cut}: {err:?}"
+            );
+        }
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert_eq!(decode(&trailing), Err(WireError::TrailingBytes(1)));
     }
 
     #[test]
@@ -1528,13 +2030,25 @@ mod tests {
                 "tag {tag}: min version {min} outside the supported range"
             );
         }
-        // The v2-interop rule: exactly the config-push pair is v3-only.
+        // The interop rule: exactly the config-push pair is v3-only.
+        // Pinned to the literal version, not SCHEMA_VERSION, so a
+        // future bump cannot silently turn this into a different set.
         let v3_only: Vec<u8> = TAG_MIN_VERSION
             .iter()
-            .filter(|&&(_, v)| v == SCHEMA_VERSION)
+            .filter(|&&(_, v)| v == V3_SCHEMA_VERSION)
             .map(|&(t, _)| t)
             .collect();
         assert_eq!(v3_only, vec![TAG_CONFIGURE, TAG_CONFIGURE_ACK]);
+        // ...and exactly the layer-program trio is v4-only.
+        let v4_only: Vec<u8> = TAG_MIN_VERSION
+            .iter()
+            .filter(|&&(_, v)| v == 4)
+            .map(|&(t, _)| t)
+            .collect();
+        assert_eq!(
+            v4_only,
+            vec![TAG_PROGRAM_JOB, TAG_PROGRAM_SHARD, TAG_PROGRAM_REPORT]
+        );
     }
 
     #[test]

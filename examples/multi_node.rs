@@ -599,13 +599,15 @@ fn run_interop_smoke() -> Result<(), Box<dyn std::error::Error>> {
     let configure = wire::encode(&WireMessage::Configure(ConfigPush { nonce: 7, config }));
     assert_eq!(
         u16::from_le_bytes([configure[2], configure[3]]),
-        wire::SCHEMA_VERSION,
-        "Configure is a v3-only message and must say so on the wire"
+        wire::V3_SCHEMA_VERSION,
+        "Configure needs v3 and must say exactly that on the wire — not the \
+         build's own (v4) version, which would lock out v3 peers"
     );
     println!(
-        "stamps: Ping -> v{}, Configure -> v{} (v2 peers never see an un-decodable legacy frame)",
+        "stamps: Ping -> v{}, Configure -> v{} (every message carries the *minimum* \
+         version that understands it, so older peers keep decoding)",
         wire::LEGACY_SCHEMA_VERSION,
-        wire::SCHEMA_VERSION
+        wire::V3_SCHEMA_VERSION
     );
 
     // A daemon running different physics (different noise seed — a

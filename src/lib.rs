@@ -95,6 +95,46 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Running a whole model
+//!
+//! One conv pass set per job is the paper's first-layer story; a
+//! [`core::program::LayerProgram`] runs a whole edge model. A program
+//! is an ordered stage list — conv (the optical path) → quantize →
+//! dense ([`core::mlp`]) → activation — validated up front (shape and
+//! value-range inference), executed per frame by **any**
+//! [`core::backend::ComputeBackend`] via `run_program`, and sharded
+//! over the frame axis: inter-stage tensors never cross the wire, and
+//! a steady-state prewarm on every shard keeps the merged reports
+//! bit-identical to one sequential forward
+//! ([`core::program::run_reference`] is the oracle).
+//! `examples/autoencoder.rs` is the runnable drill: encode on sharded
+//! workers, ship only latent codes, decode at the coordinator.
+//!
+//! ```
+//! use oisa::core::backend::{ComputeBackend, ShardedBackend};
+//! use oisa::core::program::{run_reference, LayerProgram};
+//! use oisa::core::wire::ProgramJob;
+//! use oisa::core::OisaConfig;
+//! use oisa::sensor::Frame;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = OisaConfig::small_test();
+//! // conv 2×3×3 → ternary quantize → dense → ReLU: a 4-float latent
+//! // code per frame instead of feature maps.
+//! let program = LayerProgram::autoencoder(16, 16, 2, 4, 7)?;
+//! let frames = vec![Frame::constant(16, 16, 0.6)?; 3];
+//!
+//! let mut backend = ShardedBackend::in_process(config, 2)?;
+//! let job = ProgramJob { job_id: 1, program: program.clone(), frames: frames.clone() };
+//! let reports = backend.run_program(&job)?;
+//!
+//! assert_eq!(reports[0].output.len(), 4); // the latent code
+//! // Sharding is invisible: bit-identical to one sequential forward.
+//! assert_eq!(reports, run_reference(&config, 0, &program, &frames)?);
+//! # Ok(())
+//! # }
+//! ```
 
 //! # Performance notes
 //!

@@ -6,9 +6,10 @@
 
 use oisa::core::accelerator::EnergyReport;
 use oisa::core::controller::Timeline;
+use oisa::core::program::{ActivationKind, LayerProgram, QuantizeKind, Stage};
 use oisa::core::wire::{
-    self, FabricEntry, Handshake, InferenceJob, JobShard, RefusalCode, ShardRefusal, ShardReport,
-    WireError, WireMessage, SCHEMA_VERSION,
+    self, FabricEntry, Handshake, InferenceJob, JobShard, ProgramJob, ProgramShard, RefusalCode,
+    ShardRefusal, ShardReport, WireError, WireMessage, LEGACY_SCHEMA_VERSION, SCHEMA_VERSION,
 };
 use oisa::core::{ConvolutionReport, MappingPlan};
 use oisa::sensor::Frame;
@@ -146,6 +147,51 @@ proptest! {
         prop_assert_eq!(wire::decode(&bytes), Ok(WireMessage::Shard(shard)));
     }
 
+    /// The v4 layer-program messages (`ProgramJob`, `ProgramShard`)
+    /// round-trip bit-exactly, covering every stage kind the schema
+    /// can carry (conv, both quantisers, dense, activation).
+    #[test]
+    fn program_messages_roundtrip_is_lossless(
+        job_id in 0u64..u64::MAX,
+        // shard_index 0–63 × bits 1–8 × nframes 1–3, packed (see
+        // `inference_job_roundtrip_is_lossless`).
+        packed in 0usize..(64 * 8 * 3),
+        weights in prop::collection::vec(-2.0f32..2.0, 27),
+        matrix in prop::collection::vec(-1.0f32..1.0, 12),
+        pixels in prop::collection::vec(0.0f64..=1.0, 16),
+    ) {
+        let shard_index = (packed % 64) as u32;
+        let bits = ((packed / 64) % 8 + 1) as u8;
+        let nframes = packed / 512 + 1;
+        let program = LayerProgram::new(vec![
+            Stage::Conv { k: 3, kernels: kernels_from(2, 3, &weights) },
+            Stage::Quantize(QuantizeKind::Levels { bits }),
+            Stage::Activation(ActivationKind::Relu),
+            Stage::Quantize(QuantizeKind::Ternary),
+            Stage::Dense { rows: 3, matrix: matrix.clone() },
+            Stage::Activation(ActivationKind::Relu),
+        ]).unwrap();
+        let frames: Vec<Frame> = (0..nframes)
+            .map(|i| frame_from(5, 5, &pixels[i % 8..]))
+            .collect();
+        let job = ProgramJob { job_id, program: program.clone(), frames: frames.clone() };
+        let bytes = wire::encode(&WireMessage::ProgramJob(job.clone()));
+        prop_assert_eq!(wire::decode(&bytes), Ok(WireMessage::ProgramJob(job)));
+
+        let shard = ProgramShard {
+            job_id,
+            shard_index,
+            shard_count: shard_index + 1,
+            first_frame: job_id % 1_000_000,
+            first_epoch: job_id % 7_000,
+            config_fingerprint: job_id ^ 0x5A5A,
+            program,
+            frames,
+        };
+        let bytes = wire::encode_program_shard(&shard);
+        prop_assert_eq!(wire::decode(&bytes), Ok(WireMessage::ProgramShard(shard)));
+    }
+
     /// The v2 control messages — handshake pings/pongs and coded
     /// refusals — round-trip losslessly for arbitrary field values,
     /// including the fingerprint pair a mismatch refusal carries.
@@ -200,7 +246,9 @@ proptest! {
         cut_salt in 0usize..10_000,
         pixels in prop::collection::vec(0.0f64..=1.0, 16),
     ) {
-        prop_assume!(version != SCHEMA_VERSION);
+        // v4 decoders accept every stamp in the legacy..=current
+        // range, so only versions outside it are "unknown".
+        prop_assume!(!(LEGACY_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&version));
         let job = InferenceJob {
             job_id,
             k: 3,
